@@ -1,0 +1,495 @@
+package hetpapi
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, each printing the regenerated rows/series alongside the
+// paper's reference values, plus microbenchmarks for the measurement-path
+// costs the paper's section V.5 worries about.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The paper-scale benchmarks use exp.Default() (N=57024, NB=192 on Raptor
+// Lake). Absolute wall time per benchmark iteration is tens of seconds of
+// simulated machine time; the printed tables appear once.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hetpapi/internal/core"
+	"hetpapi/internal/events"
+	"hetpapi/internal/exp"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/perfevent"
+	"hetpapi/internal/pfmlib"
+	"hetpapi/internal/sim"
+	"hetpapi/internal/sysfs"
+	"hetpapi/internal/workload"
+)
+
+var printOnce sync.Map
+
+func printHeader(b *testing.B, key, title, paper string) bool {
+	if _, loaded := printOnce.LoadOrStore(key, true); loaded {
+		return false
+	}
+	fmt.Printf("\n===== %s =====\n", title)
+	if paper != "" {
+		fmt.Printf("paper reference: %s\n", paper)
+	}
+	return true
+}
+
+func benchCfg() exp.Config {
+	cfg := exp.Default()
+	cfg.Runs = 1 // the simulator is deterministic per seed
+	return cfg
+}
+
+// BenchmarkTableII regenerates Table II: OpenBLAS HPL vs Intel HPL Gflops
+// for E-only, P-only and all-core runs at N=57024, NB=192.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.TableII(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader(b, "t2", "Table II: benchmark performance comparison",
+			"OpenBLAS 188.62/356.28/290.51, Intel 198.95/392.89/457.38 Gflops; changes +5.4%/+10.3%/+57.4%") {
+			fmt.Print(res)
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates Table III: LLC miss rate and instruction
+// share per core type for the two all-core runs.
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.TableIII(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader(b, "t3", "Table III: hardware counter measurements (all-core)",
+			"LLC missrate P 86%->64%, E 0.05%->0.03%; instruction share 80/20 -> 68/32") {
+			fmt.Print(res)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the Figure 1 frequency traces of both
+// all-core runs and reports the median busy frequencies the paper quotes.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figures1And2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader(b, "f1", "Figure 1: measured core frequencies (all-core runs)",
+			"medians: OpenBLAS P 2.94 GHz / E 2.26 GHz; Intel P 2.61 GHz / E 2.32 GHz") {
+			fmt.Print(res)
+			for _, v := range []string{"OpenBLAS HPL", "Intel HPL"} {
+				fs := res.ByVariant[v]
+				fmt.Printf("%s: %d one-second samples; first P-core frequency series (GHz, every 20 s):\n  ", v, len(fs.Samples))
+				for j := 0; j < len(fs.Samples); j += 20 {
+					fmt.Printf("%.2f ", fs.Samples[j].FreqMHz[0]/1000)
+				}
+				fmt.Println()
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the Figure 2 power and temperature traces.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figures1And2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader(b, "f2", "Figure 2: measured power and package temperature (all-core runs)",
+			"short spike toward the 219 W PL2 (OpenBLAS peaks 165.7 W), then the 65 W PL1 plateau; temp < 100 C") {
+			for _, v := range []string{"OpenBLAS HPL", "Intel HPL"} {
+				fs := res.ByVariant[v]
+				fmt.Printf("%-14s peak %.1f W, plateau %.1f W, max temp %.1f C; power series (W, every 20 s):\n  ",
+					v, fs.PeakPowerW, fs.PlateauPowerW, fs.MaxTempC)
+				for j := 1; j < len(fs.Samples); j += 20 {
+					fmt.Printf("%.0f ", fs.Samples[j].PowerW)
+				}
+				fmt.Println()
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the OrangePi frequency-scaling traces.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader(b, "f3", "Figure 3: OrangePi frequency scaling behaviour",
+			"big cores ramp to 1.8 GHz then throttle within seconds; LITTLE cores sustain; WattsUpPro wall power") {
+			fmt.Print(res)
+			bigRun := res.Series[0]
+			fmt.Println("2-big run, big-cluster frequency (MHz, every 10 s):")
+			fmt.Print("  ")
+			m := hw.OrangePi800()
+			for j := 0; j < len(bigRun.Samples); j += 10 {
+				s := bigRun.Samples[j]
+				fmt.Printf("%.0f ", (s.FreqMHz[m.CPUsOfType("big")[0]]+s.FreqMHz[m.CPUsOfType("big")[1]])/2)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the OrangePi core-count sweep.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure4(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader(b, "f4", "Figure 4: OrangePi HPL performance as more cores added",
+			"4 LITTLE completes faster than 2 big; all 6 only a minimal improvement over 4 LITTLE") {
+			fmt.Print(res)
+		}
+	}
+}
+
+// BenchmarkHybridTest regenerates the papi_hybrid_100m_one_eventset test of
+// section IV.F: patched vs legacy PAPI on a free-migrating process.
+func BenchmarkHybridTest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.HybridTest(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader(b, "hy", "Section IV.F: papi_hybrid_100m_one_eventset",
+			"patched example: p: 836848 e: 167487 (sum ~1M); legacy: 0, 1M, or in between") {
+			fmt.Print(res)
+		}
+	}
+}
+
+// BenchmarkOverhead regenerates the section V.5 overhead study: syscall
+// cost per EventSet operation across set shapes.
+func BenchmarkOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Overhead(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader(b, "ov", "Section V.5: measurement overhead by EventSet shape",
+			"hybrid EventSets need one group per PMU: at least two reads per measurement") {
+			fmt.Print(res)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks: the real (Go-level) latency of the measurement paths.
+
+type benchRig struct {
+	s    *sim.Machine
+	lib  *core.Library
+	es   *core.EventSet
+	spin *workload.Spin
+}
+
+func newRig(b *testing.B, names []string, multiplex bool) *benchRig {
+	b.Helper()
+	s := sim.New(hw.RaptorLake(), sim.DefaultConfig())
+	lib, err := core.Init(s, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spin := workload.NewSpin("w", 1e12)
+	p := s.Spawn(spin, hw.NewCPUSet(0))
+	es := lib.CreateEventSet()
+	if err := es.Attach(p.PID); err != nil {
+		b.Fatal(err)
+	}
+	if multiplex {
+		if err := es.SetMultiplex(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, n := range names {
+		if err := es.AddNamed(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := es.Start(); err != nil {
+		b.Fatal(err)
+	}
+	s.RunFor(0.05)
+	return &benchRig{s: s, lib: lib, es: es, spin: spin}
+}
+
+var singlePMUNames = []string{
+	"adl_glc::INST_RETIRED:ANY", "adl_glc::CPU_CLK_UNHALTED:THREAD",
+}
+
+var multiPMUNames = []string{
+	"adl_glc::INST_RETIRED:ANY", "adl_glc::CPU_CLK_UNHALTED:THREAD",
+	"adl_grt::INST_RETIRED:ANY", "adl_grt::CPU_CLK_UNHALTED:CORE",
+}
+
+// BenchmarkReadSinglePMU measures EventSet.Read on a one-group set.
+func BenchmarkReadSinglePMU(b *testing.B) {
+	rig := newRig(b, singlePMUNames, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rig.es.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadMultiPMU measures EventSet.Read on a hybrid two-group set —
+// the extra indirection of section IV.E.
+func BenchmarkReadMultiPMU(b *testing.B) {
+	rig := newRig(b, multiPMUNames, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rig.es.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadFastRdpmc measures the rdpmc user-space read path.
+func BenchmarkReadFastRdpmc(b *testing.B) {
+	rig := newRig(b, multiPMUNames, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rig.es.ReadFast(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadMultiplexed measures Read on a 14-event multiplexed set.
+func BenchmarkReadMultiplexed(b *testing.B) {
+	names := []string{
+		"adl_glc::INST_RETIRED:ANY", "adl_glc::CPU_CLK_UNHALTED:THREAD",
+		"adl_glc::BR_INST_RETIRED:ALL_BRANCHES", "adl_glc::BR_MISP_RETIRED:ALL_BRANCHES",
+		"adl_glc::LONGEST_LAT_CACHE:REFERENCE", "adl_glc::LONGEST_LAT_CACHE:MISS",
+		"adl_glc::MEM_INST_RETIRED:ALL_LOADS", "adl_glc::MEM_INST_RETIRED:ALL_STORES",
+		"adl_glc::CYCLE_ACTIVITY:STALLS_TOTAL", "adl_glc::UOPS_RETIRED:SLOTS",
+		"adl_glc::TOPDOWN:SLOTS", "adl_glc::DTLB_LOAD_MISSES:WALK_COMPLETED",
+		"adl_glc::RESOURCE_STALLS:ANY", "adl_glc::INST_RETIRED:NOP",
+	}
+	rig := newRig(b, names, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rig.es.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStartStopMultiPMU measures the start/stop caliper cost of a
+// hybrid EventSet (open + enable per group, read + disable per group).
+func BenchmarkStartStopMultiPMU(b *testing.B) {
+	s := sim.New(hw.RaptorLake(), sim.DefaultConfig())
+	lib, err := core.Init(s, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := s.Spawn(workload.NewSpin("w", 1e12), hw.NewCPUSet(0))
+	es := lib.CreateEventSet()
+	es.Attach(p.PID)
+	for _, n := range multiPMUNames {
+		if err := es.AddNamed(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := es.Start(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := es.Stop(); err != nil {
+			b.Fatal(err)
+		}
+		if err := es.Cleanup(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfEventOpenClose measures raw kernel open/close.
+func BenchmarkPerfEventOpenClose(b *testing.B) {
+	k := perfevent.NewKernel(hw.RaptorLake())
+	def := events.LookupPMU("adl_glc").Lookup("INST_RETIRED")
+	attr := perfevent.Attr{Type: 8, Config: events.Encode(def.Code, def.DefaultUmask().Bits)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fd, err := k.Open(attr, 100, -1, -1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := k.Close(fd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelTaskExec measures the hot counting path: one execution
+// report against 8 open events.
+func BenchmarkKernelTaskExec(b *testing.B) {
+	k := perfevent.NewKernel(hw.RaptorLake())
+	def := events.LookupPMU("adl_glc").Lookup("INST_RETIRED")
+	attr := perfevent.Attr{Type: 8, Config: events.Encode(def.Code, def.DefaultUmask().Bits)}
+	for i := 0; i < 8; i++ {
+		if _, err := k.Open(attr, 100, -1, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := events.Stats{Instructions: 1e6, Cycles: 5e5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.TaskExec(100, 0, 0.001, st)
+	}
+}
+
+// BenchmarkSimTick measures one simulator step with a full 16-thread HPL.
+func BenchmarkSimTick(b *testing.B) {
+	s := sim.New(hw.RaptorLake(), sim.DefaultConfig())
+	h, err := workload.NewHPL(workload.HPLConfig{
+		N: 57024, NB: 192, Threads: 16, Strategy: workload.IntelMKL(), Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, task := range h.Threads() {
+		s.Spawn(task, hw.NewCPUSet(hw.RaptorLake().FirstCPUPerCore()[i]))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkParseEvent measures libpfm4-style event parsing.
+func BenchmarkParseEvent(b *testing.B) {
+	l, err := pfmlib.New(hw.RaptorLake())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.ParseEvent("adl_grt::INST_RETIRED:ANY:u"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSysfsDetect measures the PMU-scan core detection heuristic.
+func BenchmarkSysfsDetect(b *testing.B) {
+	f := sysfs.New(hw.RaptorLake(), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sysfs.DetectByPMU(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHPLThreadRun measures one workload execution slice.
+func BenchmarkHPLThreadRun(b *testing.B) {
+	h, err := workload.NewHPL(workload.HPLConfig{
+		N: 57024, NB: 192, Threads: 1, Strategy: workload.OpenBLASx86(), Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := hw.RaptorLake()
+	t := m.TypeByName("P-core")
+	ctx := &workload.ExecContext{CPU: 0, Type: t, FreqMHz: 3000, Throughput: 1}
+	task := h.Threads()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task.Run(ctx, 0.001)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks: the design choices behind the reproduced shapes.
+
+// BenchmarkAblationStrategySweep shows the Table II crossover mechanism:
+// static-barrier HPL degrades as E-cores join while work stealing gains.
+func BenchmarkAblationStrategySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AblationStrategySweep(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader(b, "ab-strategy", "Ablation: threading strategy vs E-core count",
+			"the static split's loss grows with E-core count; work stealing keeps gaining") {
+			fmt.Print(res)
+		}
+	}
+}
+
+// BenchmarkAblationTurboBudget shows what the PL2 window buys.
+func BenchmarkAblationTurboBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AblationTurboBudget(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader(b, "ab-turbo", "Ablation: PL2 turbo budget",
+			"the initial spike of Figures 1-2 exists because of the above-PL1 energy budget") {
+			fmt.Print(res)
+		}
+	}
+}
+
+// BenchmarkAblationMuxInterval quantifies multiplex estimation error.
+func BenchmarkAblationMuxInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AblationMuxInterval(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader(b, "ab-mux", "Ablation: multiplex rotation interval vs estimate error", "") {
+			fmt.Print(res)
+		}
+	}
+}
+
+// BenchmarkAblationSchedulerPreference times hybrid-aware vs class-blind
+// placement.
+func BenchmarkAblationSchedulerPreference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AblationSchedulerPreference(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader(b, "ab-sched", "Ablation: hybrid-aware scheduler placement", "") {
+			fmt.Print(res)
+		}
+	}
+}
+
+// BenchmarkEnergyTable measures energy-to-solution for every Table II
+// cell via RAPL — the efficiency view the paper's motivation implies but
+// never tabulates.
+func BenchmarkEnergyTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.EnergyTable(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader(b, "en", "Extension: energy to solution (RAPL) per Table II cell",
+			"the hybrid-aware all-core configuration should be the most energy-efficient") {
+			fmt.Print(res)
+		}
+	}
+}

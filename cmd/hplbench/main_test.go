@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"hetpapi/internal/exp"
+)
+
+func quiet(t *testing.T, fn func() error) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	if err := fn(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func smallCfg() exp.Config {
+	cfg := exp.Quick()
+	cfg.N = 3840
+	cfg.ArmN = 4096
+	return cfg
+}
+
+func TestRunEachExperiment(t *testing.T) {
+	for _, which := range []string{"table2", "table3", "fig12", "fig3", "fig4", "energy", "ablations"} {
+		which := which
+		t.Run(which, func(t *testing.T) {
+			quiet(t, func() error { return run(smallCfg(), which) })
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(smallCfg(), "nope"); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}

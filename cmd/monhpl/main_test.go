@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"hetpapi/internal/trace"
+)
+
+func quiet(t *testing.T, fn func() error) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	if err := fn(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorRaptorLake(t *testing.T) {
+	quiet(t, func() error {
+		return run("raptorlake", "intel", "0,2,4,6", 3840, 192, 1, 35, 1, 1)
+	})
+}
+
+func TestMonitorOrangePi(t *testing.T) {
+	quiet(t, func() error {
+		return run("orangepi800", "openblas", "", 4096, 128, 2, 35, 0.5, 1)
+	})
+}
+
+func TestMonitorErrors(t *testing.T) {
+	if err := run("nope", "openblas", "", 0, 0, 1, 35, 1, 1); err == nil {
+		t.Error("unknown machine must fail")
+	}
+	if err := run("raptorlake", "nope", "", 0, 0, 1, 35, 1, 1); err == nil {
+		t.Error("unknown variant must fail")
+	}
+	if err := run("orangepi800", "intel", "", 0, 0, 1, 35, 1, 1); err == nil {
+		t.Error("intel variant on ARM must fail")
+	}
+	if err := run("raptorlake", "intel", "0-99", 3840, 192, 1, 35, 1, 1); err == nil {
+		t.Error("out-of-range cores must fail")
+	}
+	if err := run("raptorlake", "intel", "bogus", 3840, 192, 1, 35, 1, 1); err == nil {
+		t.Error("malformed cores must fail")
+	}
+}
+
+func TestResample(t *testing.T) {
+	samples := sampleSeq(10)
+	if got := resample(samples, 1); len(got) != 10 {
+		t.Errorf("1 Hz resample changed length: %d", len(got))
+	}
+	if got := resample(samples, 0.5); len(got) != 5 {
+		t.Errorf("0.5 Hz resample = %d samples, want 5", len(got))
+	}
+	if got := resample(samples, 0); len(got) != 10 {
+		t.Errorf("0 Hz resample must be a no-op: %d", len(got))
+	}
+}
+
+func sampleSeq(n int) (out []trace.Sample) {
+	for i := 0; i < n; i++ {
+		out = append(out, trace.Sample{TimeSec: float64(i)})
+	}
+	return
+}

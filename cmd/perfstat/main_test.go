@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func quiet(t *testing.T, fn func() error) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	if err := fn(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloads(t *testing.T) {
+	for _, wl := range []string{"spin", "loop", "stream", "branch?"} {
+		wl := wl
+		t.Run(wl, func(t *testing.T) {
+			if wl == "branch?" {
+				if err := run("raptorlake", wl, 0.1, "", 0); err == nil {
+					t.Fatal("unknown workload must fail")
+				}
+				return
+			}
+			quiet(t, func() error { return run("raptorlake", wl, 0.2, "", 0) })
+		})
+	}
+}
+
+func TestHPLWorkloadOnCores(t *testing.T) {
+	quiet(t, func() error { return run("orangepi800", "spin", 0.2, "4-5", 0) })
+}
+
+func TestProfileMode(t *testing.T) {
+	quiet(t, func() error { return run("raptorlake", "loop", 1, "", 1_000_000) })
+}
+
+func TestErrors(t *testing.T) {
+	if err := run("nope", "spin", 1, "", 0); err == nil {
+		t.Error("unknown machine must fail")
+	}
+	if err := run("raptorlake", "spin", 1, "zzz", 0); err == nil {
+		t.Error("bad cpu list must fail")
+	}
+}

@@ -1,0 +1,73 @@
+// Command procruns is the process_runs.py analog of the paper's artifact
+// A2: it reads one or more raw monitoring CSVs (as written by monhpl),
+// aligns and averages them into a single averaged run, writes the averaged
+// CSV to stdout, and prints a summary to stderr.
+//
+// Usage:
+//
+//	monhpl -n_runs 1 > run1.csv
+//	monhpl -n_runs 1 -seed 2 > run2.csv
+//	procruns run1.csv run2.csv > averaged.csv
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hetpapi/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: procruns RUN.csv [RUN.csv ...]")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "procruns:", err)
+		os.Exit(1)
+	}
+}
+
+func run(paths []string) error {
+	var runs [][]trace.Sample
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		samples, err := trace.ParseCSV(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		runs = append(runs, samples)
+		fmt.Fprintf(os.Stderr, "procruns: %s: %d samples, %.0f s\n",
+			path, len(samples), samples[len(samples)-1].TimeSec)
+	}
+
+	avg := trace.AverageRuns(runs)
+	if len(avg) == 0 {
+		return fmt.Errorf("no overlapping samples across runs")
+	}
+	ncpu := len(avg[0].FreqMHz)
+	if err := trace.WriteCSV(os.Stdout, ncpu, avg); err != nil {
+		return err
+	}
+
+	sum := trace.Summarize(avg)
+	fmt.Fprintf(os.Stderr, "procruns: averaged %d run(s): %d samples over %.0f s\n",
+		len(runs), sum.Samples, sum.DurationSec)
+	fmt.Fprintf(os.Stderr, "  mean power %.1f W, peak %.1f W, energy %.0f J, max temp %.1f C\n",
+		sum.MeanPowerW, sum.PeakPowerW, sum.EnergyJ, sum.MaxTempC)
+	lo, hi := sum.MedianFreqMHz[0], sum.MedianFreqMHz[0]
+	for _, f := range sum.MedianFreqMHz {
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	fmt.Fprintf(os.Stderr, "  per-cpu median frequency: %.0f-%.0f MHz\n", lo, hi)
+	return nil
+}

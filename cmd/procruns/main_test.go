@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hetpapi/internal/trace"
+)
+
+func writeRun(t *testing.T, dir, name string, samples []trace.Sample) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, 2, samples); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAverageTwoRuns(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(base float64) []trace.Sample {
+		var out []trace.Sample
+		for i := 0; i < 5; i++ {
+			out = append(out, trace.Sample{
+				TimeSec: float64(i),
+				FreqMHz: []float64{base, base * 2},
+				TempC:   30 + base/1000,
+				PowerW:  base / 100,
+				EnergyJ: float64(i) * base / 100,
+				WallW:   base/100 + 10,
+			})
+		}
+		return out
+	}
+	p1 := writeRun(t, dir, "r1.csv", mk(1000))
+	p2 := writeRun(t, dir, "r2.csv", mk(3000))
+
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	err := run([]string{p1, p2})
+	os.Stdout = old
+	devnull.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"/no/such/file.csv"}); err == nil {
+		t.Error("missing file must fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.csv")
+	os.WriteFile(bad, []byte("not,a,trace\n1,2,3\n"), 0o644)
+	if err := run([]string{bad}); err == nil {
+		t.Error("malformed csv must fail")
+	}
+}

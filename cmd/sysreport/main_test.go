@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func quiet(t *testing.T, fn func() error) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	if err := fn(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportAllMachines(t *testing.T) {
+	for _, m := range []string{"raptorlake", "orangepi800", "homogeneous"} {
+		m := m
+		t.Run(m, func(t *testing.T) {
+			quiet(t, func() error { return run(m, true) })
+		})
+	}
+}
+
+func TestUnknownMachine(t *testing.T) {
+	if err := run("nope", false); err == nil {
+		t.Fatal("unknown machine must fail")
+	}
+}

@@ -1,0 +1,103 @@
+// sampling builds a statistical execution profile of a migrating workload
+// on the simulated hybrid machine — the measurement mode the paper
+// contrasts with PAPI calipers. On a hybrid CPU one sampled event per core
+// PMU is required (a cpu_core sample stream never fires on E-cores);
+// merging the two streams yields a timeline of which core type executed
+// the program when.
+//
+// Run with: go run ./examples/sampling
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hetpapi/internal/core"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/sim"
+	"hetpapi/internal/workload"
+)
+
+func main() {
+	cfg := sim.DefaultConfig()
+	cfg.TickSec = 0.0001
+	cfg.Sched.MigrateToEffProb = 0.10
+	cfg.Sched.MigrateToPerfProb = 0.18
+	cfg.Sched.BalancePeriodSec = 0.001
+	cfg.Sched.Seed = 12
+	machine := sim.New(hw.RaptorLake(), cfg)
+	papi, err := core.Init(machine, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	loop := workload.NewInstructionLoop("profiled", 1e6, 5000)
+	proc := machine.Spawn(loop, hw.AllCPUs(machine.HW))
+
+	es := papi.CreateEventSet()
+	must(es.Attach(proc.PID))
+	must(es.AddPreset(core.PresetTotIns)) // expands to one native per PMU
+	must(es.SetSamplePeriod(0, 2_000_000))
+	must(es.Start())
+	if !machine.RunUntil(loop.Done, 60) {
+		log.Fatal("workload did not finish")
+	}
+	samples, lost, err := es.Samples()
+	if err != nil {
+		log.Fatal(err)
+	}
+	vals, _ := es.Stop()
+	defer es.Cleanup()
+
+	pType := machine.HW.TypeByName("P-core").PMU.PerfType
+	fmt.Printf("profiled %d instructions; %d samples (period 2M), %d lost\n\n",
+		vals[0], len(samples), lost)
+
+	// Timeline: bucket samples into 20 equal time slices, render P vs E
+	// occupancy per slice.
+	if len(samples) == 0 {
+		log.Fatal("no samples")
+	}
+	end := samples[len(samples)-1].TimeSec
+	const buckets = 20
+	var p, e [buckets]int
+	for _, smp := range samples {
+		b := int(smp.TimeSec / end * buckets)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		if smp.PMUType == pType {
+			p[b]++
+		} else {
+			e[b]++
+		}
+	}
+	fmt.Println("execution timeline (each row is 1/20 of the run; # = P-core samples, . = E-core):")
+	for b := 0; b < buckets; b++ {
+		total := p[b] + e[b]
+		if total == 0 {
+			continue
+		}
+		const width = 60
+		pw := p[b] * width / total
+		fmt.Printf("  t%2d |%s%s| P %3d  E %3d\n",
+			b, strings.Repeat("#", pw), strings.Repeat(".", width-pw), p[b], e[b])
+	}
+
+	var pTotal, eTotal int
+	for b := range p {
+		pTotal += p[b]
+		eTotal += e[b]
+	}
+	fmt.Printf("\ncore-type residency by samples: P %.1f%%, E %.1f%%\n",
+		100*float64(pTotal)/float64(pTotal+eTotal),
+		100*float64(eTotal)/float64(pTotal+eTotal))
+	fmt.Println("(a single-PMU profiler would silently miss every E-core sample)")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module hetpapi
+
+go 1.22

@@ -1,0 +1,648 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/sim"
+	"hetpapi/internal/workload"
+)
+
+func newSim(m *hw.Machine) *sim.Machine {
+	cfg := sim.DefaultConfig()
+	cfg.Sched.MigrateToEffProb = 0.15
+	cfg.Sched.MigrateToPerfProb = 0.30
+	cfg.Sched.Seed = 11
+	return sim.New(m, cfg)
+}
+
+func initLib(t *testing.T, s *sim.Machine, opts Options) *Library {
+	t.Helper()
+	l, err := Init(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestHybridEventSetSumsToTotal reproduces the papi_hybrid test of section
+// IV.F: both per-PMU instruction events in ONE EventSet, a free-migrating
+// task, and the two counts summing to the retired total.
+func TestHybridEventSetSumsToTotal(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+
+	loop := workload.NewInstructionLoop("hybrid", 1e6, 2000)
+	p := s.Spawn(loop, hw.AllCPUs(s.HW))
+
+	es := l.CreateEventSet()
+	if err := es.Attach(p.PID); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.AddNamed("adl_glc::INST_RETIRED:ANY"); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.AddNamed("adl_grt::INST_RETIRED:ANY"); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := es.NumGroups(); got != 2 {
+		t.Fatalf("NumGroups = %d, want 2 (one per PMU)", got)
+	}
+	if !s.RunUntil(loop.Done, 60) {
+		t.Fatal("workload did not finish")
+	}
+	vals, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := loop.TotalInstructions()
+	sum := float64(vals[0] + vals[1])
+	if math.Abs(sum-total) > 1 {
+		t.Fatalf("P(%d) + E(%d) = %g, want %g", vals[0], vals[1], sum, total)
+	}
+	if vals[0] == 0 || vals[1] == 0 {
+		t.Fatalf("both PMUs should have counted: %v", vals)
+	}
+	if err := es.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Kernel.NumOpen() != 0 {
+		t.Fatalf("%d fds leaked after cleanup", s.Kernel.NumOpen())
+	}
+}
+
+// TestLegacySingleSingletonPMU reproduces the "original PAPI" failure mode:
+// only one PMU's event fits, so the count misses whatever ran on the other
+// core type.
+func TestLegacyUndercounts(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{Legacy: true})
+
+	loop := workload.NewInstructionLoop("hybrid", 1e6, 2000)
+	p := s.Spawn(loop, hw.AllCPUs(s.HW))
+
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	// Unqualified name resolves against the single default (P) PMU.
+	if err := es.AddNamed("INST_RETIRED:ANY"); err != nil {
+		t.Fatal(err)
+	}
+	// Adding the E-core event must conflict, exactly like PAPI 7.1.
+	if err := es.AddNamed("adl_grt::INST_RETIRED:ANY"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("cross-PMU add in legacy mode: err = %v, want ErrConflict", err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(loop.Done, 60)
+	vals, _ := es.Stop()
+	total := loop.TotalInstructions()
+	if float64(vals[0]) >= total {
+		t.Fatalf("legacy P-only count %d should undercount the %g total", vals[0], total)
+	}
+	if vals[0] == 0 {
+		t.Fatal("task never ran on P cores; scheduler config suspect")
+	}
+}
+
+func TestPresetDerivedOnHybrid(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+
+	info := l.QueryPreset(PresetTotIns)
+	if !info.Available || !info.Derived || info.Partial {
+		t.Fatalf("PAPI_TOT_INS on Raptor Lake = %+v, want available+derived", info)
+	}
+	if len(info.Natives) != 2 {
+		t.Fatalf("natives = %v", info.Natives)
+	}
+
+	loop := workload.NewInstructionLoop("w", 1e6, 1000)
+	p := s.Spawn(loop, hw.AllCPUs(s.HW))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	if err := es.AddPreset(PresetTotIns); err != nil {
+		t.Fatal(err)
+	}
+	if es.NumEvents() != 1 || es.NumNative() != 2 {
+		t.Fatalf("preset expansion: events=%d natives=%d", es.NumEvents(), es.NumNative())
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(loop.Done, 60)
+	vals, _ := es.Stop()
+	if math.Abs(float64(vals[0])-loop.TotalInstructions()) > 1 {
+		t.Fatalf("derived PAPI_TOT_INS = %d, want %g (transparent hybrid sum)",
+			vals[0], loop.TotalInstructions())
+	}
+}
+
+func TestPresetOnHomogeneous(t *testing.T) {
+	s := newSim(hw.Homogeneous())
+	l := initLib(t, s, Options{})
+	info := l.QueryPreset(PresetTotIns)
+	if !info.Available || info.Derived || info.Partial {
+		t.Fatalf("PAPI_TOT_INS on homogeneous = %+v, want plain available", info)
+	}
+	if len(info.Natives) != 1 {
+		t.Fatalf("natives = %v", info.Natives)
+	}
+}
+
+func TestPartialPreset(t *testing.T) {
+	// PAPI_RES_STL exists on the Cortex-A72 but not the A53: available but
+	// partial on the OrangePi.
+	s := newSim(hw.OrangePi800())
+	l := initLib(t, s, Options{})
+	info := l.QueryPreset(PresetResStl)
+	if !info.Available || !info.Partial {
+		t.Fatalf("PAPI_RES_STL on RK3399 = %+v, want available+partial", info)
+	}
+	// PAPI_VEC_DP has no ARM mapping at all.
+	if info := l.QueryPreset(PresetVecDP); info.Available {
+		t.Fatalf("PAPI_VEC_DP on RK3399 = %+v, want unavailable", info)
+	}
+	es := l.CreateEventSet()
+	if err := es.AddPreset(PresetVecDP); !errors.Is(err, ErrNoEvent) {
+		t.Fatalf("adding unavailable preset: %v", err)
+	}
+	// L1_DCM exists only on the P-core PMU of Raptor Lake: partial there.
+	s2 := newSim(hw.RaptorLake())
+	l2 := initLib(t, s2, Options{})
+	if info := l2.QueryPreset(PresetL1DCM); !info.Available || !info.Partial {
+		t.Fatalf("PAPI_L1_DCM on Raptor Lake = %+v, want partial", info)
+	}
+}
+
+func TestPresetsListing(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	ps := l.Presets()
+	if len(ps) < 10 {
+		t.Fatalf("only %d presets known", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Name >= ps[i].Name {
+			t.Fatal("presets not sorted")
+		}
+	}
+}
+
+func TestRAPLInSameEventSet(t *testing.T) {
+	// Section V.3: with the new infrastructure, energy events join core
+	// events in one EventSet.
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	loop := workload.NewInstructionLoop("w", 1e6, 2000)
+	p := s.Spawn(loop, hw.AllCPUs(s.HW))
+
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	if err := es.AddNamed("adl_glc::INST_RETIRED:ANY"); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.AddNamed("rapl::ENERGY_PKG"); err != nil {
+		t.Fatalf("mixed cpu+rapl eventset (patched): %v", err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(loop.Done, 60)
+	vals, _ := es.Stop()
+	if vals[0] == 0 {
+		t.Error("instructions did not count")
+	}
+	joules := float64(vals[1]) * s.HW.Power.EnergyUnitJ
+	if joules <= 0 {
+		t.Error("energy did not count")
+	}
+
+	// Legacy: RAPL lives in a separate component; mixing conflicts.
+	l2 := initLib(t, s, Options{Legacy: true})
+	es2 := l2.CreateEventSet()
+	es2.Attach(p.PID)
+	es2.AddNamed("adl_glc::INST_RETIRED:ANY")
+	if err := es2.AddNamed("rapl::ENERGY_PKG"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("legacy mixed eventset: err = %v, want ErrConflict", err)
+	}
+}
+
+func TestOneActiveEventSetPerComponent(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	spin := workload.NewSpin("x", 100)
+	p := s.Spawn(spin, hw.AllCPUs(s.HW))
+
+	es1 := l.CreateEventSet()
+	es1.Attach(p.PID)
+	es1.AddNamed("adl_glc::INST_RETIRED:ANY")
+	if err := es1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	es2 := l.CreateEventSet()
+	es2.Attach(p.PID)
+	es2.AddNamed("adl_grt::INST_RETIRED:ANY")
+	if err := es2.Start(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second running cpu eventset: err = %v, want ErrConflict", err)
+	}
+	// A RAPL-only set uses a different component and may run concurrently.
+	es3 := l.CreateEventSet()
+	es3.AddNamed("rapl::ENERGY_PKG")
+	if err := es3.Start(); err != nil {
+		t.Fatalf("concurrent rapl eventset: %v", err)
+	}
+	es1.Stop()
+	es3.Stop()
+	// Now the cpu component is free again.
+	if err := es2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	es2.Stop()
+	es1.Cleanup()
+	es2.Cleanup()
+	es3.Cleanup()
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	es := l.CreateEventSet()
+
+	if err := es.Start(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("starting empty set: %v", err)
+	}
+	if _, err := es.Read(); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("reading stopped set: %v", err)
+	}
+	if _, err := es.Stop(); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("stopping stopped set: %v", err)
+	}
+	if err := es.AddNamed("no_such::EVENT"); !errors.Is(err, ErrNoEvent) {
+		t.Errorf("bad event name: %v", err)
+	}
+	if err := es.Attach(-5); !errors.Is(err, ErrInvalid) {
+		t.Errorf("bad pid: %v", err)
+	}
+
+	es.AddNamed("adl_glc::INST_RETIRED:ANY")
+	if err := es.Start(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("starting unattached set: %v", err)
+	}
+
+	spin := workload.NewSpin("x", 100)
+	p := s.Spawn(spin, hw.AllCPUs(s.HW))
+	es.Attach(p.PID)
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); !errors.Is(err, ErrIsRunning) {
+		t.Errorf("double start: %v", err)
+	}
+	if err := es.AddNamed("adl_grt::INST_RETIRED:ANY"); !errors.Is(err, ErrIsRunning) {
+		t.Errorf("add while running: %v", err)
+	}
+	if err := es.Cleanup(); !errors.Is(err, ErrIsRunning) {
+		t.Errorf("cleanup while running: %v", err)
+	}
+	if err := es.SetMultiplex(); !errors.Is(err, ErrIsRunning) {
+		t.Errorf("multiplex while running: %v", err)
+	}
+	if err := es.Attach(p.PID); !errors.Is(err, ErrIsRunning) {
+		t.Errorf("attach while running: %v", err)
+	}
+	es.Stop()
+	if err := es.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	// Cleanup twice is fine; reset on cleaned set is a no-op.
+	if err := es.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Reset(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetAndRestart(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	spin := workload.NewSpin("x", 100)
+	p := s.Spawn(spin, hw.NewCPUSet(0))
+
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	es.AddNamed("adl_glc::INST_RETIRED:ANY")
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(0.1)
+	v1, _ := es.Read()
+	if v1[0] == 0 {
+		t.Fatal("no counts before reset")
+	}
+	if err := es.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := es.Read()
+	if v2[0] >= v1[0] {
+		t.Fatalf("reset did not zero: before=%d after=%d", v1[0], v2[0])
+	}
+	vals, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop-restart continues from the stopped value (PAPI semantics:
+	// restart does not implicitly reset unless asked).
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(0.05)
+	v3, _ := es.Read()
+	if v3[0] < vals[0] {
+		t.Fatalf("restart lost counts: %d < %d", v3[0], vals[0])
+	}
+	es.Stop()
+	es.Cleanup()
+}
+
+func TestMultiplexedEventSet(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	spin := workload.NewSpin("x", 100)
+	p := s.Spawn(spin, hw.NewCPUSet(0)) // pinned to a P-core
+
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	if err := es.SetMultiplex(); err != nil {
+		t.Fatal(err)
+	}
+	// 14 P-core events > 11 counters: only possible multiplexed.
+	names := []string{
+		"adl_glc::INST_RETIRED:ANY", "adl_glc::CPU_CLK_UNHALTED:THREAD",
+		"adl_glc::BR_INST_RETIRED:ALL_BRANCHES", "adl_glc::BR_MISP_RETIRED:ALL_BRANCHES",
+		"adl_glc::LONGEST_LAT_CACHE:REFERENCE", "adl_glc::LONGEST_LAT_CACHE:MISS",
+		"adl_glc::MEM_INST_RETIRED:ALL_LOADS", "adl_glc::MEM_INST_RETIRED:ALL_STORES",
+		"adl_glc::CYCLE_ACTIVITY:STALLS_TOTAL", "adl_glc::UOPS_RETIRED:SLOTS",
+		"adl_glc::TOPDOWN:SLOTS", "adl_glc::DTLB_LOAD_MISSES:WALK_COMPLETED",
+		"adl_glc::RESOURCE_STALLS:ANY", "adl_glc::INST_RETIRED:NOP",
+	}
+	for _, n := range names {
+		if err := es.AddNamed(n); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if es.NumGroups() != len(names) {
+		t.Fatalf("multiplexed groups = %d, want %d (one per event)", es.NumGroups(), len(names))
+	}
+	s.RunFor(2)
+	vals, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instructions and cycles: scaled estimates should be close to the
+	// truth (pinned task, so instructions = IPC * cycles at ~1.6x base).
+	if vals[0] == 0 || vals[1] == 0 {
+		t.Fatalf("multiplexed values empty: %v", vals)
+	}
+	ratio := float64(vals[0]) / float64(vals[1])
+	if ratio < 2.0 || ratio > 6.0 {
+		t.Errorf("scaled IPC = %.2f, implausible for a spin loop", ratio)
+	}
+	es.Cleanup()
+}
+
+func TestWithoutMultiplexTooManyEventsFails(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	spin := workload.NewSpin("x", 100)
+	p := s.Spawn(spin, hw.NewCPUSet(0))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	for i := 0; i < 12; i++ { // 12 > 11 counters
+		es.AddNamed("adl_glc::INST_RETIRED:ANY")
+	}
+	if err := es.Start(); err == nil {
+		t.Fatal("oversized non-multiplexed eventset must fail to start")
+	}
+	// And it must clean up after itself: no leaked fds, component free.
+	if s.Kernel.NumOpen() != 0 {
+		t.Fatalf("%d fds leaked after failed start", s.Kernel.NumOpen())
+	}
+	es2 := l.CreateEventSet()
+	es2.Attach(p.PID)
+	es2.AddNamed("adl_glc::INST_RETIRED:ANY")
+	if err := es2.Start(); err != nil {
+		t.Fatalf("component busy after failed start: %v", err)
+	}
+	es2.Stop()
+	es2.Cleanup()
+}
+
+func TestReadFastMatchesRead(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	spin := workload.NewSpin("x", 100)
+	p := s.Spawn(spin, hw.NewCPUSet(0))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	es.AddNamed("adl_glc::INST_RETIRED:ANY")
+	es.AddNamed("rapl::ENERGY_PKG") // forces the fallback path too
+	es.Start()
+	s.RunFor(0.5)
+	slow, err := es.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := es.ReadFast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow[0] != fast[0] {
+		t.Fatalf("fast read %d != read %d", fast[0], slow[0])
+	}
+	es.Stop()
+	es.Cleanup()
+}
+
+func TestHardwareInfo(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	info := l.HardwareInfo()
+	if !info.Hybrid || len(info.CoreTypes) != 2 {
+		t.Fatalf("hardware info = %+v", info)
+	}
+	if info.TotalCPUs != 24 || info.Cores != 16 {
+		t.Fatalf("cpus=%d cores=%d", info.TotalCPUs, info.Cores)
+	}
+	if info.CoreTypes[0].Name != "P-core" || info.CoreTypes[0].PMUName != "cpu_core" {
+		t.Fatalf("core type 0 = %+v", info.CoreTypes[0])
+	}
+	if len(info.CoreTypes[0].CPUs) != 16 || len(info.CoreTypes[1].CPUs) != 8 {
+		t.Fatal("core type cpu lists wrong")
+	}
+	// Legacy: the V.1 gap — no per-type reporting.
+	leg := initLib(t, s, Options{Legacy: true}).HardwareInfo()
+	if leg.Hybrid || leg.CoreTypes != nil {
+		t.Fatalf("legacy hardware info leaked hybrid details: %+v", leg)
+	}
+	if leg.TotalCPUs != 24 {
+		t.Fatal("legacy info must still count CPUs")
+	}
+}
+
+func TestSysDetect(t *testing.T) {
+	s := newSim(hw.OrangePi800())
+	l := initLib(t, s, Options{})
+	res, err := l.SysDetect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "pmu" || len(res.Groups) != 2 {
+		t.Fatalf("sysdetect = %+v", res)
+	}
+}
+
+func TestNumCoreGroups(t *testing.T) {
+	if got := initLib(t, newSim(hw.RaptorLake()), Options{}).NumCoreGroups(); got != 2 {
+		t.Errorf("Raptor Lake groups = %d", got)
+	}
+	if got := initLib(t, newSim(hw.RaptorLake()), Options{Legacy: true}).NumCoreGroups(); got != 1 {
+		t.Errorf("legacy groups = %d", got)
+	}
+	if got := initLib(t, newSim(hw.Homogeneous()), Options{}).NumCoreGroups(); got != 1 {
+		t.Errorf("homogeneous groups = %d", got)
+	}
+}
+
+func TestEventSetNamesAndIDs(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	es1 := l.CreateEventSet()
+	es2 := l.CreateEventSet()
+	if es1.ID() == es2.ID() {
+		t.Fatal("eventset ids must be unique")
+	}
+	es1.AddNamed("adl_glc::INST_RETIRED:ANY")
+	es1.AddPreset(PresetTotCyc)
+	names := es1.Names()
+	if len(names) != 2 || names[0] != "adl_glc::INST_RETIRED:ANY" || names[1] != "PAPI_TOT_CYC" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestUnqualifiedSearchPatchedFindsECoreEvent(t *testing.T) {
+	// MEM_UOPS_RETIRED only exists on the E-core PMU: the patched library
+	// finds it in the second default PMU, legacy does not find it at all.
+	s := newSim(hw.RaptorLake())
+	if err := initLib(t, s, Options{}).CreateEventSet().AddNamed("MEM_UOPS_RETIRED:ALL_LOADS"); err != nil {
+		t.Errorf("patched: %v", err)
+	}
+	err := initLib(t, s, Options{Legacy: true}).CreateEventSet().AddNamed("MEM_UOPS_RETIRED:ALL_LOADS")
+	if !errors.Is(err, ErrNoEvent) {
+		t.Errorf("legacy: err = %v, want ErrNoEvent", err)
+	}
+}
+
+func TestEventCodeRoundTrip(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	for _, name := range []string{
+		"adl_glc::INST_RETIRED:ANY",
+		"adl_grt::LONGEST_LAT_CACHE:MISS",
+		"rapl::ENERGY_PKG",
+		"adl_imc::UNC_M_CAS_COUNT:RD",
+		"perf::CONTEXT_SWITCHES",
+	} {
+		code, err := l.NameToCode(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := l.CodeToName(code)
+		if err != nil {
+			t.Fatalf("%s (code %#x): %v", name, uint64(code), err)
+		}
+		if back != name {
+			t.Errorf("round trip %q -> %#x -> %q", name, uint64(code), back)
+		}
+	}
+	// Distinct events get distinct codes across PMUs sharing event selects.
+	p, _ := l.NameToCode("adl_glc::INST_RETIRED:ANY_P")
+	e, _ := l.NameToCode("adl_grt::INST_RETIRED:ANY")
+	if p == e {
+		t.Error("P and E INST_RETIRED must have distinct codes")
+	}
+	if _, err := l.NameToCode("no::such"); !errors.Is(err, ErrNoEvent) {
+		t.Errorf("bad name: %v", err)
+	}
+	if _, err := l.CodeToName(EventCode(0xFFFF000000000000)); !errors.Is(err, ErrNoEvent) {
+		t.Errorf("bad code: %v", err)
+	}
+}
+
+func TestLibraryAccessors(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{Legacy: true})
+	if !l.Legacy() {
+		t.Error("Legacy() must report the mode")
+	}
+	if l2 := initLib(t, s, Options{}); l2.Legacy() {
+		t.Error("patched library reports legacy")
+	}
+	if l.RealUsec() != 0 || l.RealNsec() != 0 {
+		t.Error("clock must start at zero")
+	}
+	s.RunFor(0.5)
+	us, ns := l.RealUsec(), l.RealNsec()
+	if us < 499_000 || us > 501_000 {
+		t.Errorf("RealUsec = %d after 0.5 s", us)
+	}
+	if ns < us*1000 || ns > (us+1)*1000 {
+		t.Errorf("RealNsec %d inconsistent with RealUsec %d", ns, us)
+	}
+	// Init fails when the machine lacks event tables (the IV.C situation).
+	m := hw.RaptorLake()
+	m.Types[0].PfmName = "unsupported"
+	if _, err := Init(sim.New(m, sim.DefaultConfig()), Options{}); err == nil {
+		t.Error("Init must fail without libpfm4 support")
+	}
+}
+
+func TestRunningAndElapsed(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	spin := workload.NewSpin("w", 100)
+	p := s.Spawn(spin, hw.NewCPUSet(0))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	es.AddNamed("adl_glc::INST_RETIRED:ANY")
+	if es.Running() {
+		t.Error("fresh set reports running")
+	}
+	if es.ElapsedSec() != 0 {
+		t.Error("stopped set must report zero elapsed")
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !es.Running() {
+		t.Error("started set not running")
+	}
+	s.RunFor(0.25)
+	if el := es.ElapsedSec(); el < 0.24 || el > 0.26 {
+		t.Errorf("ElapsedSec = %g, want ~0.25", el)
+	}
+	es.Stop()
+	if es.Running() || es.ElapsedSec() != 0 {
+		t.Error("stopped set state wrong")
+	}
+	es.Cleanup()
+}

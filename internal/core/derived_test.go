@@ -1,0 +1,106 @@
+package core
+
+// Tests for derived-subtract presets (PAPI's DERIVED_SUB shape) combined
+// with the hybrid DERIVED_ADD across PMUs: PAPI_L3_TCH = LLC accesses
+// minus misses, summed over both core types.
+
+import (
+	"testing"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/workload"
+)
+
+func TestDerivedSubPresetL3Hits(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+
+	info := l.QueryPreset(PresetL3TCH)
+	if !info.Available || !info.Derived {
+		t.Fatalf("PAPI_L3_TCH = %+v", info)
+	}
+	// 2 PMUs x (reference - miss) = 4 natives, two of them negated.
+	if len(info.Natives) != 4 {
+		t.Fatalf("natives = %v", info.Natives)
+	}
+	neg := 0
+	for _, n := range info.Natives {
+		if n[0] == '-' {
+			neg++
+		}
+	}
+	if neg != 2 {
+		t.Fatalf("want 2 negated terms, got %d: %v", neg, info.Natives)
+	}
+
+	stream := workload.NewStream("mem", 5e8, 0.7, 3)
+	p := s.Spawn(stream, hw.NewCPUSet(0))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	if err := es.AddPreset(PresetL3TCA); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.AddPreset(PresetL3TCM); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.AddPreset(PresetL3TCH); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RunUntil(stream.Done, 60) {
+		t.Fatal("stream did not finish")
+	}
+	vals, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es.Cleanup()
+	tca, tcm, tch := vals[0], vals[1], vals[2]
+	if tca == 0 || tcm == 0 {
+		t.Fatalf("no LLC traffic: %v", vals)
+	}
+	if tch != tca-tcm {
+		t.Fatalf("L3_TCH = %d, want TCA - TCM = %d", tch, tca-tcm)
+	}
+	// Miss rate ~0.7: hits are ~30% of accesses.
+	rate := float64(tch) / float64(tca)
+	if rate < 0.2 || rate > 0.4 {
+		t.Errorf("hit rate = %.2f, want ~0.3", rate)
+	}
+}
+
+func TestDerivedSubOnARM(t *testing.T) {
+	// The ARM expansion subtracts L2D refills from L2D accesses.
+	s := newSim(hw.OrangePi800())
+	l := initLib(t, s, Options{})
+	info := l.QueryPreset(PresetL3TCH)
+	if !info.Available {
+		t.Fatalf("PAPI_L3_TCH on ARM = %+v", info)
+	}
+	if len(info.Natives) != 4 {
+		t.Fatalf("natives = %v", info.Natives)
+	}
+}
+
+func TestDerivedSubNeverNegative(t *testing.T) {
+	// Even if the subtraction transiently undershoots, Read clamps at 0
+	// rather than wrapping a uint64.
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	spin := workload.NewSpin("w", 100)
+	p := s.Spawn(spin, hw.NewCPUSet(0))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	if err := es.AddPreset(PresetL3TCH); err != nil {
+		t.Fatal(err)
+	}
+	es.Start()
+	vals, _ := es.Read() // immediately: zero counts on both sides
+	if vals[0] > 1<<62 {
+		t.Fatalf("derived value wrapped: %d", vals[0])
+	}
+	es.Stop()
+	es.Cleanup()
+}

@@ -1,0 +1,523 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hetpapi/internal/perfevent"
+	"hetpapi/internal/pfmlib"
+)
+
+// state of an EventSet.
+const (
+	stateStopped = iota
+	stateRunning
+)
+
+// entry is one added event (native or preset) and its expansion.
+type entry struct {
+	display string
+	preset  bool
+	partial bool
+	natives []pfmlib.EventInfo
+	// signs holds +1/-1 per native for derived-subtract presets
+	// (PAPI_L3_TCH = accesses - misses); nil means all positive.
+	signs        []float64
+	fds          []int // parallel to natives, valid while fds are open
+	samplePeriod uint64
+}
+
+func (e *entry) signOf(i int) float64 {
+	if e.signs == nil || i >= len(e.signs) {
+		return 1
+	}
+	return e.signs[i]
+}
+
+// EventSet is PAPI's abstraction for a set of events measured together.
+//
+// With heterogeneous support (the paper's section IV.E), one EventSet may
+// hold events from several perf PMUs: internally the events are split into
+// one perf event group per PMU type, and Start/Stop/Read/Reset walk all
+// the groups. In legacy mode adding a second PMU's event fails with
+// ErrConflict, exactly like unpatched PAPI.
+type EventSet struct {
+	lib *Library
+	id  int
+
+	pid     int
+	entries []entry
+	state   int
+
+	multiplex bool
+
+	// members maps each group-leader fd to its group's fds in open order
+	// (leader first). Valid while running or until cleanup.
+	members map[int][]int
+	// leaders holds the group-leader fds in open order.
+	leaders []int
+	// leaderType maps each leader fd to its perf PMU type.
+	leaderType map[int]uint32
+
+	startedAt float64
+}
+
+// CreateEventSet returns an empty, unattached EventSet.
+func (l *Library) CreateEventSet() *EventSet {
+	l.sets++
+	return &EventSet{lib: l, id: l.sets, pid: -1}
+}
+
+// ID returns the EventSet's identifier.
+func (es *EventSet) ID() int { return es.id }
+
+// Attach binds the EventSet to a process (PAPI_attach). Must be called
+// before Start unless the set holds only CPU-wide (energy) events.
+func (es *EventSet) Attach(pid int) error {
+	if es.state == stateRunning {
+		return ErrIsRunning
+	}
+	if pid < 0 {
+		return fmt.Errorf("%w: bad pid %d", ErrInvalid, pid)
+	}
+	es.pid = pid
+	return nil
+}
+
+// SetMultiplex enables multiplexing for the set: every event becomes its
+// own perf event group, letting more events run than hardware counters
+// exist at the cost of time-slicing accuracy.
+func (es *EventSet) SetMultiplex() error {
+	if es.state == stateRunning {
+		return ErrIsRunning
+	}
+	es.multiplex = true
+	return nil
+}
+
+// Names returns the display names of the added events, in add order.
+func (es *EventSet) Names() []string {
+	var out []string
+	for _, e := range es.entries {
+		out = append(out, e.display)
+	}
+	return out
+}
+
+// NumEvents returns the number of added (user-visible) events.
+func (es *EventSet) NumEvents() int { return len(es.entries) }
+
+// NumNative returns the number of underlying native perf events.
+func (es *EventSet) NumNative() int {
+	n := 0
+	for _, e := range es.entries {
+		n += len(e.natives)
+	}
+	return n
+}
+
+// AddNamed adds a native event by its libpfm4-style name. Unqualified
+// names are searched in the default PMUs — all core PMUs when patched,
+// only the hard-coded first one in legacy mode.
+func (es *EventSet) AddNamed(name string) error {
+	if es.state == stateRunning {
+		return ErrIsRunning
+	}
+	info, err := es.resolve(name)
+	if err != nil {
+		return err
+	}
+	if err := es.checkLegacy([]pfmlib.EventInfo{info}); err != nil {
+		return err
+	}
+	es.entries = append(es.entries, entry{display: info.FullName, natives: []pfmlib.EventInfo{info}})
+	return nil
+}
+
+func (es *EventSet) resolve(name string) (pfmlib.EventInfo, error) {
+	if es.lib.legacy && !strings.Contains(name, "::") {
+		// Legacy: unqualified names only match the single default PMU.
+		name = es.lib.defaultPMUs()[0] + "::" + name
+	}
+	info, err := es.lib.pfm.ParseEvent(name)
+	if err != nil {
+		return pfmlib.EventInfo{}, fmt.Errorf("%w: %v", ErrNoEvent, err)
+	}
+	return info, nil
+}
+
+// AddPreset adds a preset event. On hybrid machines (patched mode) the
+// preset expands to one native event per core PMU and Read reports their
+// sum; legacy mode resolves only the default PMU's native event.
+func (es *EventSet) AddPreset(p Preset) error {
+	if es.state == stateRunning {
+		return ErrIsRunning
+	}
+	info := es.lib.QueryPreset(p)
+	if !info.Available {
+		return fmt.Errorf("%w: preset %s has no native mapping on this machine", ErrNoEvent, p)
+	}
+	var natives []pfmlib.EventInfo
+	var signs []float64
+	for _, spec := range info.Natives {
+		sign := 1.0
+		if strings.HasPrefix(spec, "-") {
+			sign = -1
+			spec = spec[1:]
+		}
+		ev, err := es.lib.pfm.ParseEvent(spec)
+		if err != nil {
+			return fmt.Errorf("%w: preset %s expansion %q: %v", ErrNoEvent, p, spec, err)
+		}
+		natives = append(natives, ev)
+		signs = append(signs, sign)
+	}
+	if err := es.checkLegacy(natives); err != nil {
+		return err
+	}
+	es.entries = append(es.entries, entry{
+		display: string(p),
+		preset:  true,
+		partial: info.Partial,
+		natives: natives,
+		signs:   signs,
+	})
+	return nil
+}
+
+// checkLegacy enforces the PAPI 7.1 single-PMU-per-EventSet restriction:
+// an EventSet can hold events of exactly one perf PMU type, so hybrid core
+// pairs, RAPL and uncore each need their own EventSet (and their own
+// components — the situation sections IV.E and V.3 remove).
+func (es *EventSet) checkLegacy(more []pfmlib.EventInfo) error {
+	if !es.lib.legacy {
+		return nil
+	}
+	types := map[uint32]bool{}
+	add := func(n pfmlib.EventInfo) {
+		if n.PMU == "perf" {
+			return // software events mixed fine even in PAPI 7.1
+		}
+		types[n.Attr.Type] = true
+	}
+	for _, e := range es.entries {
+		for _, n := range e.natives {
+			add(n)
+		}
+	}
+	for _, n := range more {
+		add(n)
+	}
+	if len(types) > 1 {
+		return fmt.Errorf("%w: PAPI 7.1 eventsets cannot span perf PMU types", ErrConflict)
+	}
+	return nil
+}
+
+// components returns the distinct PAPI components the set's natives
+// belong to ("cpu", "rapl", "uncore"), sorted.
+func (es *EventSet) components() []string {
+	seen := map[string]bool{}
+	for _, e := range es.entries {
+		for _, n := range e.natives {
+			seen[es.lib.componentOf(n.PMU)] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (es *EventSet) usesComponent(name string) bool {
+	for _, c := range es.components() {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// componentKeys returns the activation keys the set occupies while
+// running: per-task components are scoped to the attached pid, CPU-wide
+// ones (rapl, uncore) are global.
+func (es *EventSet) componentKeys() []componentKey {
+	var out []componentKey
+	for _, c := range es.components() {
+		pid := -1
+		if c == "cpu" {
+			pid = es.pid
+		}
+		out = append(out, componentKey{component: c, pid: pid})
+	}
+	return out
+}
+
+// Start opens the perf events and begins counting (PAPI_start).
+//
+// This is where the multi-PMU machinery lives: the natives are partitioned
+// by perf PMU type, each partition becomes one perf event group (or one
+// group per event under multiplexing), and every group is enabled. Only
+// one EventSet may be running per component at a time.
+func (es *EventSet) Start() error {
+	if es.state == stateRunning {
+		return ErrIsRunning
+	}
+	if len(es.entries) == 0 {
+		return fmt.Errorf("%w: empty eventset", ErrInvalid)
+	}
+	if es.usesComponent("cpu") && es.pid < 0 {
+		return fmt.Errorf("%w: eventset not attached to a process", ErrInvalid)
+	}
+	keys := es.componentKeys()
+	for _, k := range keys {
+		if other := es.lib.active[k]; other != nil {
+			return fmt.Errorf("%w: eventset %d already running on the %s component",
+				ErrConflict, other.id, k.component)
+		}
+	}
+
+	k := es.lib.sys.Kernel
+	es.members = map[int][]int{}
+	es.leaders = nil
+	es.leaderType = map[int]uint32{}
+	// Track the leader fd per PMU type while opening in add order.
+	leaderOf := map[uint32]int{}
+
+	fail := func(err error) error {
+		for _, fds := range es.members {
+			for _, fd := range fds {
+				k.Close(fd)
+			}
+		}
+		es.members = nil
+		es.leaders = nil
+		es.leaderType = nil
+		for i := range es.entries {
+			es.entries[i].fds = nil
+		}
+		return err
+	}
+
+	for i := range es.entries {
+		e := &es.entries[i]
+		e.fds = nil
+		for _, n := range e.natives {
+			attr := n.Attr
+			attr.Disabled = true
+			attr.SamplePeriod = e.samplePeriod
+			pid, cpuTarget := es.pid, -1
+			cpuWide := es.lib.cpuWide(n.PMU)
+			if cpuWide {
+				pid, cpuTarget = -1, 0
+			}
+			groupFD := -1
+			if !es.multiplex && !cpuWide && n.PMU != "perf" {
+				if lfd, ok := leaderOf[attr.Type]; ok {
+					groupFD = lfd
+				}
+			}
+			fd, err := k.Open(attr, pid, cpuTarget, groupFD)
+			if err != nil {
+				return fail(fmt.Errorf("core: opening %s: %w", n.FullName, err))
+			}
+			if groupFD == -1 {
+				if !es.multiplex && !cpuWide && n.PMU != "perf" {
+					leaderOf[attr.Type] = fd
+				}
+				es.leaders = append(es.leaders, fd)
+				es.leaderType[fd] = attr.Type
+				es.members[fd] = []int{fd}
+			} else {
+				es.members[groupFD] = append(es.members[groupFD], fd)
+			}
+			e.fds = append(e.fds, fd)
+		}
+	}
+
+	// Enable all groups. Real PAPI does one ioctl per group leader — on a
+	// hybrid machine that is one per core type, the extra start overhead
+	// section V.5 worries about.
+	for _, fd := range es.leaders {
+		if err := k.Enable(fd); err != nil {
+			return fail(err)
+		}
+	}
+	es.state = stateRunning
+	es.startedAt = es.lib.sys.Now()
+	for _, k := range keys {
+		es.lib.active[k] = es
+	}
+	return nil
+}
+
+// Running reports whether the set is counting.
+func (es *EventSet) Running() bool { return es.state == stateRunning }
+
+// NumGroups returns the number of perf event groups backing the running
+// set (one per PMU type, or one per event when multiplexed).
+func (es *EventSet) NumGroups() int { return len(es.leaders) }
+
+// GroupPMUTypes returns the distinct perf PMU types of the running
+// groups, sorted.
+func (es *EventSet) GroupPMUTypes() []uint32 {
+	seen := map[uint32]bool{}
+	var out []uint32
+	for _, t := range es.leaderType {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Read returns the current counts in add order (PAPI_read). Preset entries
+// report the sum of their native expansions; multiplexed reads are scaled
+// by time-enabled/time-running.
+func (es *EventSet) Read() ([]uint64, error) {
+	if es.state != stateRunning {
+		return nil, ErrNotRunning
+	}
+	return es.collect(false)
+}
+
+// ReadFast reads through the rdpmc user-space fast path where possible,
+// avoiding syscall-equivalent reads for per-task hardware events (the
+// "fast rdpmc counter support" of section V.5). Energy events fall back to
+// normal reads.
+func (es *EventSet) ReadFast() ([]uint64, error) {
+	if es.state != stateRunning {
+		return nil, ErrNotRunning
+	}
+	return es.collect(true)
+}
+
+func (es *EventSet) collect(fast bool) ([]uint64, error) {
+	k := es.lib.sys.Kernel
+	counts := map[int]perfevent.Count{}
+	if fast {
+		for _, e := range es.entries {
+			for _, fd := range e.fds {
+				c, err := k.ReadUser(fd)
+				if err != nil {
+					c, err = k.Read(fd) // energy events: no rdpmc page
+					if err != nil {
+						return nil, err
+					}
+				}
+				counts[fd] = c
+			}
+		}
+	} else {
+		// One read syscall per group (PERF_FORMAT_GROUP), the best case
+		// the paper describes: "at least two or more relatively
+		// high-latency read syscalls" on a hybrid machine.
+		for _, leader := range es.leaders {
+			got, err := k.ReadGroup(leader)
+			if err != nil {
+				return nil, err
+			}
+			for i, fd := range es.members[leader] {
+				counts[fd] = got[i]
+			}
+		}
+	}
+
+	var out []uint64
+	for _, e := range es.entries {
+		var sum float64
+		for i, fd := range e.fds {
+			c := counts[fd]
+			v := c.Value
+			if es.multiplex {
+				v = c.Scaled()
+			}
+			sum += e.signOf(i) * float64(v)
+		}
+		if sum < 0 {
+			sum = 0 // derived subtraction can transiently undershoot
+		}
+		out = append(out, uint64(sum))
+	}
+	return out, nil
+}
+
+// Stop stops counting and returns the final values (PAPI_stop).
+func (es *EventSet) Stop() ([]uint64, error) {
+	if es.state != stateRunning {
+		return nil, ErrNotRunning
+	}
+	vals, err := es.collect(false)
+	if err != nil {
+		return nil, err
+	}
+	k := es.lib.sys.Kernel
+	for _, fd := range es.leaders {
+		if err := k.Disable(fd); err != nil {
+			return nil, err
+		}
+	}
+	es.state = stateStopped
+	for _, k := range es.componentKeys() {
+		if es.lib.active[k] == es {
+			delete(es.lib.active, k)
+		}
+	}
+	return vals, nil
+}
+
+// Reset zeroes all counters (PAPI_reset), running or stopped.
+func (es *EventSet) Reset() error {
+	if es.members == nil {
+		return nil // nothing open yet
+	}
+	k := es.lib.sys.Kernel
+	for _, fd := range es.leaders {
+		if err := k.Reset(fd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cleanup closes the perf descriptors; the set must be stopped
+// (PAPI_cleanup_eventset). Events stay added and the set can be started
+// again.
+func (es *EventSet) Cleanup() error {
+	if es.state == stateRunning {
+		return ErrIsRunning
+	}
+	if es.members == nil {
+		return nil
+	}
+	k := es.lib.sys.Kernel
+	var firstErr error
+	for _, fds := range es.members {
+		// Close siblings before leaders (reverse open order).
+		for i := len(fds) - 1; i >= 0; i-- {
+			if err := k.Close(fds[i]); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	es.members = nil
+	es.leaders = nil
+	es.leaderType = nil
+	for i := range es.entries {
+		es.entries[i].fds = nil
+	}
+	return firstErr
+}
+
+// ElapsedSec returns the simulated seconds since Start (0 when stopped).
+func (es *EventSet) ElapsedSec() float64 {
+	if es.state != stateRunning {
+		return 0
+	}
+	return es.lib.sys.Now() - es.startedAt
+}

@@ -1,0 +1,132 @@
+package core_test
+
+// Runnable, output-verified documentation examples for the PAPI-style API.
+
+import (
+	"fmt"
+	"log"
+
+	"hetpapi/internal/core"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/sim"
+	"hetpapi/internal/workload"
+)
+
+// Example shows the canonical hybrid measurement: one EventSet holding
+// both core types' instruction events around a pinned workload.
+func Example() {
+	machine := sim.New(hw.RaptorLake(), sim.DefaultConfig())
+	papi, err := core.Init(machine, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	loop := workload.NewInstructionLoop("demo", 1e6, 100)
+	proc := machine.Spawn(loop, hw.NewCPUSet(0)) // pinned to a P-core
+
+	es := papi.CreateEventSet()
+	es.Attach(proc.PID)
+	es.AddNamed("adl_glc::INST_RETIRED:ANY")
+	es.AddNamed("adl_grt::INST_RETIRED:ANY")
+	es.Start()
+	machine.RunUntil(loop.Done, 60)
+	vals, _ := es.Stop()
+	es.Cleanup()
+
+	fmt.Printf("p: %d e: %d\n", vals[0], vals[1])
+	// Output:
+	// p: 100000000 e: 0
+}
+
+// ExampleLibrary_HardwareInfo shows the detailed per-core-type reporting
+// of the paper's section V.1.
+func ExampleLibrary_HardwareInfo() {
+	machine := sim.New(hw.OrangePi800(), sim.DefaultConfig())
+	papi, _ := core.Init(machine, core.Options{})
+	info := papi.HardwareInfo()
+	fmt.Printf("%s: hybrid=%v\n", info.Model, info.Hybrid)
+	for _, ct := range info.CoreTypes {
+		fmt.Printf("%s (%s): %d cpus\n", ct.Name, ct.Microarch, len(ct.CPUs))
+	}
+	// Output:
+	// Rockchip RK3399: hybrid=true
+	// LITTLE (Cortex-A53): 4 cpus
+	// big (Cortex-A72): 2 cpus
+}
+
+// ExampleLibrary_QueryPreset shows hybrid preset derivation: PAPI_TOT_INS
+// expands to one native event per core PMU (section V.2).
+func ExampleLibrary_QueryPreset() {
+	machine := sim.New(hw.RaptorLake(), sim.DefaultConfig())
+	papi, _ := core.Init(machine, core.Options{})
+	info := papi.QueryPreset(core.PresetTotIns)
+	fmt.Println("available:", info.Available)
+	fmt.Println("derived:  ", info.Derived)
+	for _, n := range info.Natives {
+		fmt.Println(" ", n)
+	}
+	// Output:
+	// available: true
+	// derived:   true
+	//   adl_glc::INST_RETIRED:ANY
+	//   adl_grt::INST_RETIRED:ANY
+}
+
+// ExampleEventSet_AddPreset measures through a derived preset: the value
+// transparently sums both PMUs' events.
+func ExampleEventSet_AddPreset() {
+	machine := sim.New(hw.RaptorLake(), sim.DefaultConfig())
+	papi, _ := core.Init(machine, core.Options{})
+	loop := workload.NewInstructionLoop("w", 1e6, 50)
+	proc := machine.Spawn(loop, hw.NewCPUSet(16)) // pinned to an E-core
+
+	es := papi.CreateEventSet()
+	es.Attach(proc.PID)
+	es.AddPreset(core.PresetTotIns)
+	es.Start()
+	machine.RunUntil(loop.Done, 60)
+	vals, _ := es.Stop()
+	es.Cleanup()
+	fmt.Println("PAPI_TOT_INS:", vals[0])
+	// Output:
+	// PAPI_TOT_INS: 50000000
+}
+
+// ExampleLibrary_SysDetect runs the section IV.B detection heuristics.
+func ExampleLibrary_SysDetect() {
+	machine := sim.New(hw.Dimensity9000(), sim.DefaultConfig())
+	papi, _ := core.Init(machine, core.Options{})
+	res, _ := papi.SysDetect()
+	fmt.Println("strategy:", res.Strategy)
+	for _, g := range res.Groups {
+		fmt.Println(" ", g.Key, g.CPUs)
+	}
+	// Output:
+	// strategy: pmu
+	//   pmu:armv9_cortex_a510 [0 1 2 3]
+	//   pmu:armv9_cortex_a710 [4 5 6]
+	//   pmu:armv9_cortex_x2 [7]
+}
+
+// ExampleLibrary_NewHL calipers two regions with the high-level API.
+func ExampleLibrary_NewHL() {
+	machine := sim.New(hw.RaptorLake(), sim.DefaultConfig())
+	papi, _ := core.Init(machine, core.Options{})
+	loop := workload.NewInstructionLoop("w", 1e6, 1000)
+	proc := machine.Spawn(loop, hw.NewCPUSet(0))
+
+	hl, _ := papi.NewHL(proc.PID, core.PresetTotIns)
+	hl.Begin("phase1")
+	machine.RunFor(0.01)
+	hl.End("phase1")
+	hl.Begin("phase2")
+	machine.RunFor(0.02)
+	hl.End("phase2")
+	hl.Close()
+
+	p1 := hl.Stats("phase1").Values[0]
+	p2 := hl.Stats("phase2").Values[0]
+	fmt.Println("phase2 measured roughly twice phase1:", p2 > p1*3/2 && p2 < p1*5/2)
+	// Output:
+	// phase2 measured roughly twice phase1: true
+}

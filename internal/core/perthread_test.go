@@ -1,0 +1,113 @@
+package core
+
+// Per-thread EventSet tests: real PAPI scopes "one running EventSet per
+// component" to the calling thread, so a 16-thread HPL can run 16 attached
+// EventSets concurrently — the usage pattern of instrumented parallel
+// applications (Gupta et al. in the paper's related work).
+
+import (
+	"errors"
+	"testing"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/workload"
+)
+
+func TestConcurrentEventSetsOnDifferentThreads(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	h, err := workload.NewHPL(workload.HPLConfig{
+		N: 3840, NB: 192, Threads: 16, Strategy: workload.OpenBLASx86(), Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpus := s.HW.FirstCPUPerCore()
+	var sets []*EventSet
+	for i, task := range h.Threads() {
+		p := s.Spawn(task, hw.NewCPUSet(cpus[i]))
+		es := l.CreateEventSet()
+		if err := es.Attach(p.PID); err != nil {
+			t.Fatal(err)
+		}
+		if err := es.AddPreset(PresetTotIns); err != nil {
+			t.Fatal(err)
+		}
+		// Every thread's EventSet starts concurrently: the per-component
+		// rule is per-thread.
+		if err := es.Start(); err != nil {
+			t.Fatalf("thread %d: %v", i, err)
+		}
+		sets = append(sets, es)
+	}
+	if !s.RunUntil(h.Done, 600) {
+		t.Fatal("HPL did not finish")
+	}
+	var pInstr, eInstr float64
+	for i, es := range sets {
+		vals, err := es.Stop()
+		if err != nil {
+			t.Fatalf("thread %d stop: %v", i, err)
+		}
+		if vals[0] == 0 {
+			t.Fatalf("thread %d counted nothing", i)
+		}
+		if s.HW.TypeOf(cpus[i]).Class == hw.Performance {
+			pInstr += float64(vals[0])
+		} else {
+			eInstr += float64(vals[0])
+		}
+		if err := es.Cleanup(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Per-thread PAPI measurement reproduces the Table III skew: P threads
+	// retire more instructions (work + barrier spin).
+	share := pInstr / (pInstr + eInstr)
+	if share < 0.55 || share > 0.95 {
+		t.Errorf("per-thread P instruction share = %.2f", share)
+	}
+	if s.Kernel.NumOpen() != 0 {
+		t.Fatalf("%d fds leaked", s.Kernel.NumOpen())
+	}
+}
+
+func TestSameThreadStillConflicts(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	spin := workload.NewSpin("w", 100)
+	p := s.Spawn(spin, hw.AllCPUs(s.HW))
+	es1 := l.CreateEventSet()
+	es1.Attach(p.PID)
+	es1.AddNamed("adl_glc::INST_RETIRED:ANY")
+	if err := es1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	es2 := l.CreateEventSet()
+	es2.Attach(p.PID)
+	es2.AddNamed("adl_grt::INST_RETIRED:ANY")
+	if err := es2.Start(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("same-pid second set: %v", err)
+	}
+	es1.Stop()
+	es1.Cleanup()
+}
+
+func TestCPUWideComponentsStayGlobal(t *testing.T) {
+	// RAPL is package-scope: two RAPL EventSets conflict even when their
+	// creators differ, because there is one energy counter.
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	es1 := l.CreateEventSet()
+	es1.AddNamed("rapl::ENERGY_PKG")
+	if err := es1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	es2 := l.CreateEventSet()
+	es2.AddNamed("rapl::ENERGY_CORES")
+	if err := es2.Start(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second rapl set: %v", err)
+	}
+	es1.Stop()
+	es1.Cleanup()
+}

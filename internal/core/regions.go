@@ -1,0 +1,213 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// HL is the high-level region API, mirroring PAPI_hl_region_begin /
+// PAPI_hl_region_read / PAPI_hl_region_end: named calipers over one shared
+// EventSet, with per-region accumulation and a formatted report. This is
+// the "caliper your source code" capability the paper names as PAPI's key
+// advantage over the perf tool, wrapped for casual use.
+type HL struct {
+	lib *Library
+	es  *EventSet
+
+	names  []string // event display names
+	open   map[string][]uint64
+	openAt map[string]float64
+	totals map[string]*RegionStats
+	order  []string
+	closed bool
+}
+
+// RegionStats accumulates one region's measurements.
+type RegionStats struct {
+	// Count is how many Begin/End pairs completed.
+	Count int
+	// Values are the summed event deltas, in the event order of the HL
+	// instance.
+	Values []uint64
+	// Seconds is the summed simulated time inside the region.
+	Seconds float64
+}
+
+// NewHL creates a high-level instance measuring the given presets (default:
+// PAPI_TOT_INS and PAPI_TOT_CYC) on the process, and starts counting.
+func (l *Library) NewHL(pid int, presets ...Preset) (*HL, error) {
+	if len(presets) == 0 {
+		presets = []Preset{PresetTotIns, PresetTotCyc}
+	}
+	es := l.CreateEventSet()
+	if err := es.Attach(pid); err != nil {
+		return nil, err
+	}
+	for _, p := range presets {
+		if err := es.AddPreset(p); err != nil {
+			return nil, err
+		}
+	}
+	if err := es.Start(); err != nil {
+		return nil, err
+	}
+	return &HL{
+		lib:    l,
+		es:     es,
+		names:  es.Names(),
+		open:   map[string][]uint64{},
+		openAt: map[string]float64{},
+		totals: map[string]*RegionStats{},
+	}, nil
+}
+
+// Begin opens a region. Overlapping different regions is fine; re-entering
+// an already-open region is an error (matching PAPI_hl semantics).
+func (h *HL) Begin(region string) error {
+	if h.closed {
+		return fmt.Errorf("%w: high-level instance closed", ErrInvalid)
+	}
+	if _, dup := h.open[region]; dup {
+		return fmt.Errorf("%w: region %q already open", ErrInvalid, region)
+	}
+	vals, err := h.es.Read()
+	if err != nil {
+		return err
+	}
+	h.open[region] = vals
+	h.openAt[region] = h.lib.sys.Now()
+	return nil
+}
+
+// End closes a region and accumulates its deltas.
+func (h *HL) End(region string) error {
+	if h.closed {
+		return fmt.Errorf("%w: high-level instance closed", ErrInvalid)
+	}
+	start, ok := h.open[region]
+	if !ok {
+		return fmt.Errorf("%w: region %q not open", ErrInvalid, region)
+	}
+	vals, err := h.es.Read()
+	if err != nil {
+		return err
+	}
+	delete(h.open, region)
+	st := h.totals[region]
+	if st == nil {
+		st = &RegionStats{Values: make([]uint64, len(vals))}
+		h.totals[region] = st
+		h.order = append(h.order, region)
+	}
+	for i := range vals {
+		if vals[i] >= start[i] {
+			st.Values[i] += vals[i] - start[i]
+		}
+	}
+	st.Count++
+	st.Seconds += h.lib.sys.Now() - h.openAt[region]
+	delete(h.openAt, region)
+	return nil
+}
+
+// Stats returns the accumulated statistics of a region, or nil.
+func (h *HL) Stats(region string) *RegionStats { return h.totals[region] }
+
+// Regions returns the region names in first-End order.
+func (h *HL) Regions() []string {
+	return append([]string(nil), h.order...)
+}
+
+// EventNames returns the measured event names.
+func (h *HL) EventNames() []string {
+	return append([]string(nil), h.names...)
+}
+
+// Report renders a per-region table like the PAPI high-level JSON output,
+// as fixed-width text.
+func (h *HL) Report() string {
+	var b strings.Builder
+	header := append([]string{"region", "count", "seconds"}, h.names...)
+	widths := make([]int, len(header))
+	for i, hd := range header {
+		widths[i] = len(hd)
+	}
+	rows := [][]string{}
+	regions := append([]string(nil), h.order...)
+	sort.Strings(regions)
+	for _, r := range regions {
+		st := h.totals[r]
+		row := []string{r, fmt.Sprintf("%d", st.Count), fmt.Sprintf("%.3f", st.Seconds)}
+		for _, v := range st.Values {
+			row = append(row, fmt.Sprintf("%d", v))
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+		rows = append(rows, row)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// WriteJSON emits the accumulated regions in the style of PAPI's
+// high-level papi_hl_output report: one object per region with the event
+// values keyed by event name.
+func (h *HL) WriteJSON(w io.Writer) error {
+	type regionJSON struct {
+		Region  string            `json:"region"`
+		Count   int               `json:"count"`
+		Seconds float64           `json:"real_time_sec"`
+		Events  map[string]uint64 `json:"events"`
+	}
+	regions := append([]string(nil), h.order...)
+	sort.Strings(regions)
+	out := struct {
+		Regions []regionJSON `json:"regions"`
+	}{}
+	for _, r := range regions {
+		st := h.totals[r]
+		ev := map[string]uint64{}
+		for i, name := range h.names {
+			if i < len(st.Values) {
+				ev[name] = st.Values[i]
+			}
+		}
+		out.Regions = append(out.Regions, regionJSON{
+			Region: r, Count: st.Count, Seconds: st.Seconds, Events: ev,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Close stops and releases the underlying EventSet. Open regions are
+// discarded.
+func (h *HL) Close() error {
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	if _, err := h.es.Stop(); err != nil {
+		return err
+	}
+	return h.es.Cleanup()
+}

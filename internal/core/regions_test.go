@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/workload"
+)
+
+func TestHLRegionsAccumulate(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	loop := workload.NewInstructionLoop("w", 1e6, 10000)
+	p := s.Spawn(loop, hw.NewCPUSet(0))
+
+	hl, err := l.NewHL(p.PID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hl.Close()
+
+	// Region A over two separate windows, region B over one.
+	reps := func(n int) func() bool {
+		target := loop.RepsDone() + n
+		return func() bool { return loop.RepsDone() >= target }
+	}
+	if err := hl.Begin("A"); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(reps(100), 60)
+	if err := hl.End("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := hl.Begin("B"); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(reps(200), 60)
+	if err := hl.End("B"); err != nil {
+		t.Fatal(err)
+	}
+	hl.Begin("A")
+	s.RunUntil(reps(100), 60)
+	hl.End("A")
+
+	a, b := hl.Stats("A"), hl.Stats("B")
+	if a == nil || b == nil {
+		t.Fatal("missing region stats")
+	}
+	if a.Count != 2 || b.Count != 1 {
+		t.Fatalf("counts A=%d B=%d", a.Count, b.Count)
+	}
+	// A covered ~200 reps total, B ~200 reps: similar instruction counts,
+	// and both near rep-count * 1e6 (ticks add slop at boundaries).
+	if a.Values[0] < 190e6 || a.Values[0] > 230e6 {
+		t.Errorf("region A instructions = %d, want ~200e6", a.Values[0])
+	}
+	if b.Values[0] < 190e6 || b.Values[0] > 230e6 {
+		t.Errorf("region B instructions = %d, want ~200e6", b.Values[0])
+	}
+	if a.Seconds <= 0 || b.Seconds <= 0 {
+		t.Error("region seconds not accumulated")
+	}
+	report := hl.Report()
+	for _, want := range []string{"region", "A", "B", "PAPI_TOT_INS", "PAPI_TOT_CYC"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if got := hl.Regions(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("regions = %v", got)
+	}
+	if got := hl.EventNames(); len(got) != 2 || got[0] != "PAPI_TOT_INS" {
+		t.Errorf("event names = %v", got)
+	}
+}
+
+func TestHLOverlappingRegions(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	spin := workload.NewSpin("w", 100)
+	p := s.Spawn(spin, hw.NewCPUSet(0))
+	hl, err := l.NewHL(p.PID, PresetTotIns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hl.Close()
+
+	hl.Begin("outer")
+	s.RunFor(0.05)
+	hl.Begin("inner")
+	s.RunFor(0.05)
+	if err := hl.End("inner"); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(0.05)
+	if err := hl.End("outer"); err != nil {
+		t.Fatal(err)
+	}
+	outer, inner := hl.Stats("outer"), hl.Stats("inner")
+	if outer.Values[0] <= inner.Values[0] {
+		t.Fatalf("outer (%d) must contain inner (%d)", outer.Values[0], inner.Values[0])
+	}
+	// Inner covered 1/3 of outer's window.
+	ratio := float64(inner.Values[0]) / float64(outer.Values[0])
+	if ratio < 0.25 || ratio > 0.45 {
+		t.Errorf("inner/outer = %.2f, want ~0.33", ratio)
+	}
+}
+
+func TestHLErrors(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	spin := workload.NewSpin("w", 100)
+	p := s.Spawn(spin, hw.NewCPUSet(0))
+	hl, err := l.NewHL(p.PID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hl.End("never"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("End without Begin: %v", err)
+	}
+	hl.Begin("r")
+	if err := hl.Begin("r"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("double Begin: %v", err)
+	}
+	if err := hl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hl.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+	if err := hl.Begin("x"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("Begin after Close: %v", err)
+	}
+	if err := hl.End("r"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("End after Close: %v", err)
+	}
+	// Bad pid / unavailable preset at construction.
+	if _, err := l.NewHL(-1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("NewHL(-1): %v", err)
+	}
+	s2 := newSim(hw.OrangePi800())
+	l2 := initLib(t, s2, Options{})
+	if _, err := l2.NewHL(1000, PresetVecDP); !errors.Is(err, ErrNoEvent) {
+		t.Errorf("NewHL with unavailable preset: %v", err)
+	}
+}
+
+func TestHLOccupiesComponent(t *testing.T) {
+	// The HL instance holds a running EventSet: a second concurrent cpu
+	// EventSet must conflict until Close.
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	spin := workload.NewSpin("w", 100)
+	p := s.Spawn(spin, hw.NewCPUSet(0))
+	hl, _ := l.NewHL(p.PID)
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	es.AddNamed("adl_glc::INST_RETIRED:ANY")
+	if err := es.Start(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("concurrent eventset: %v", err)
+	}
+	hl.Close()
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	es.Stop()
+	es.Cleanup()
+}
+
+func TestHLWriteJSON(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	spin := workload.NewSpin("w", 100)
+	p := s.Spawn(spin, hw.NewCPUSet(0))
+	hl, err := l.NewHL(p.PID, PresetTotIns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl.Begin("r1")
+	s.RunFor(0.01)
+	hl.End("r1")
+	hl.Close()
+
+	var buf bytes.Buffer
+	if err := hl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Regions []struct {
+			Region  string            `json:"region"`
+			Count   int               `json:"count"`
+			Seconds float64           `json:"real_time_sec"`
+			Events  map[string]uint64 `json:"events"`
+		} `json:"regions"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(parsed.Regions) != 1 || parsed.Regions[0].Region != "r1" {
+		t.Fatalf("parsed = %+v", parsed)
+	}
+	if parsed.Regions[0].Events["PAPI_TOT_INS"] == 0 {
+		t.Error("event value missing from JSON")
+	}
+	if parsed.Regions[0].Seconds <= 0 || parsed.Regions[0].Count != 1 {
+		t.Error("metadata missing from JSON")
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/workload"
+)
+
+func TestHybridSamplingProfile(t *testing.T) {
+	// Sample a hybrid preset: one sampled native per core PMU, merged into
+	// a single time-ordered profile that attributes execution to core
+	// types.
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	loop := workload.NewInstructionLoop("w", 1e6, 3000)
+	p := s.Spawn(loop, hw.AllCPUs(s.HW))
+
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	if err := es.AddPreset(PresetTotIns); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.SetSamplePeriod(0, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RunUntil(loop.Done, 60) {
+		t.Fatal("workload did not finish")
+	}
+	samples, lost, err := es.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 0 {
+		t.Fatalf("lost %d samples", lost)
+	}
+	// 3e9 instructions at a 1M period: ~3000 samples (minus per-PMU
+	// residuals at migrations).
+	if len(samples) < 2900 || len(samples) > 3000 {
+		t.Fatalf("got %d samples, want ~3000", len(samples))
+	}
+	byType := map[uint32]int{}
+	for i, smp := range samples {
+		byType[smp.PMUType]++
+		if i > 0 && smp.TimeSec < samples[i-1].TimeSec {
+			t.Fatal("merged samples out of order")
+		}
+	}
+	pType := s.HW.TypeByName("P-core").PMU.PerfType
+	eType := s.HW.TypeByName("E-core").PMU.PerfType
+	if byType[pType] == 0 || byType[eType] == 0 {
+		t.Fatalf("profile missing a core type: %v", byType)
+	}
+	if byType[pType] <= byType[eType] {
+		t.Errorf("expected P-heavy profile: %v", byType)
+	}
+	vals, _ := es.Stop()
+	es.Cleanup()
+	if vals[0] != 3_000_000_000 {
+		t.Fatalf("count = %d", vals[0])
+	}
+}
+
+func TestSetSamplePeriodValidation(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	es := l.CreateEventSet()
+	es.Attach(1000)
+	es.AddNamed("adl_glc::INST_RETIRED:ANY")
+	es.AddNamed("rapl::ENERGY_PKG")
+
+	if err := es.SetSamplePeriod(5, 100); !errors.Is(err, ErrInvalid) {
+		t.Errorf("out of range index: %v", err)
+	}
+	if err := es.SetSamplePeriod(0, 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("zero period: %v", err)
+	}
+	if err := es.SetSamplePeriod(1, 100); !errors.Is(err, ErrInvalid) {
+		t.Errorf("sampling a RAPL event: %v", err)
+	}
+	if err := es.SetSamplePeriod(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.SetSamplePeriod(0, 100); !errors.Is(err, ErrIsRunning) {
+		t.Errorf("set period while running: %v", err)
+	}
+	es.Stop()
+	es.Cleanup()
+	// Samples on a cleaned-up set.
+	if _, _, err := es.Samples(); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("samples after cleanup: %v", err)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+// Tests for kernel software events (PERF_TYPE_SOFTWARE) flowing through
+// PAPI EventSets: context switches, CPU migrations and the task clock for
+// a thread migrating across core types.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/workload"
+)
+
+func TestSoftwareEventsCountMigrations(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	loop := workload.NewInstructionLoop("w", 1e6, 3000)
+	p := s.Spawn(loop, hw.AllCPUs(s.HW))
+
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	for _, n := range []string{
+		"perf::CONTEXT_SWITCHES",
+		"perf::CPU_MIGRATIONS",
+		"perf::TASK_CLOCK",
+		"adl_glc::INST_RETIRED:ANY", // software mixes with hardware
+		"adl_grt::INST_RETIRED:ANY",
+	} {
+		if err := es.AddNamed(n); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RunUntil(loop.Done, 60) {
+		t.Fatal("workload did not finish")
+	}
+	vals, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es.Cleanup()
+	switches, migrations, clockNs := vals[0], vals[1], vals[2]
+	if migrations == 0 {
+		t.Error("free-migrating task should record CPU migrations")
+	}
+	if switches < migrations {
+		t.Errorf("switches (%d) must be >= migrations (%d)", switches, migrations)
+	}
+	// The task ran continuously: task clock ~= elapsed simulated time.
+	elapsedNs := s.Now() * 1e9
+	if math.Abs(float64(clockNs)-elapsedNs) > elapsedNs*0.2 {
+		t.Errorf("task clock %d ns vs elapsed %g ns", clockNs, elapsedNs)
+	}
+	if vals[3]+vals[4] != uint64(loop.TotalInstructions()) {
+		t.Errorf("hardware counts broken alongside software events: %v", vals)
+	}
+}
+
+func TestSoftwareEventsPinnedTaskNoMigrations(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	spin := workload.NewSpin("w", 5)
+	p := s.Spawn(spin, hw.NewCPUSet(0))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	es.AddNamed("perf::CPU_MIGRATIONS")
+	es.AddNamed("perf::PAGE_FAULTS")
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(spin.Done, 60)
+	vals, _ := es.Stop()
+	es.Cleanup()
+	if vals[0] != 0 {
+		t.Errorf("pinned task recorded %d migrations", vals[0])
+	}
+	if vals[1] == 0 {
+		t.Error("page faults should accumulate with memory activity")
+	}
+}
+
+func TestSoftwareMixAllowedInLegacy(t *testing.T) {
+	// PAPI 7.1 also let software and hardware events share an EventSet —
+	// the single-PMU restriction applies to hardware PMUs only.
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{Legacy: true})
+	es := l.CreateEventSet()
+	es.Attach(1000)
+	if err := es.AddNamed("adl_glc::INST_RETIRED:ANY"); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.AddNamed("perf::CONTEXT_SWITCHES"); err != nil {
+		t.Fatalf("legacy sw+hw mix: %v", err)
+	}
+	if err := es.AddNamed("adl_grt::INST_RETIRED:ANY"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("legacy hw+hw mix must still conflict: %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+// Tests for N>2 core types: the paper notes ARM systems with three core
+// types exist ("usually there are two, but there exist ARM CPUs with three
+// types and it is plausible even more will be supported someday"), so the
+// heterogeneous machinery must generalize beyond the P/E pair.
+
+import (
+	"math"
+	"testing"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/workload"
+)
+
+func TestThreeDefaultPMUs(t *testing.T) {
+	s := newSim(hw.Dimensity9000())
+	l := initLib(t, s, Options{})
+	d := l.Pfm().DefaultPMUs()
+	if len(d) != 3 {
+		t.Fatalf("defaults = %v, want 3", d)
+	}
+	if l.NumCoreGroups() != 3 {
+		t.Fatalf("NumCoreGroups = %d", l.NumCoreGroups())
+	}
+	info := l.HardwareInfo()
+	if !info.Hybrid || len(info.CoreTypes) != 3 {
+		t.Fatalf("hardware info = %+v", info)
+	}
+}
+
+func TestTriCoreEventSetThreeGroups(t *testing.T) {
+	cfg := hw.Dimensity9000()
+	s := newSim(cfg)
+	l := initLib(t, s, Options{})
+
+	loop := workload.NewInstructionLoop("w", 1e6, 3000)
+	p := s.Spawn(loop, hw.AllCPUs(s.HW))
+
+	es := l.CreateEventSet()
+	if err := es.Attach(p.PID); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"arm_cortex_a510::INST_RETIRED",
+		"arm_cortex_a710::INST_RETIRED",
+		"arm_cortex_x2::INST_RETIRED",
+	} {
+		if err := es.AddNamed(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := es.NumGroups(); got != 3 {
+		t.Fatalf("NumGroups = %d, want 3 (one per core-type PMU)", got)
+	}
+	if got := len(es.GroupPMUTypes()); got != 3 {
+		t.Fatalf("distinct PMU types = %d", got)
+	}
+	if !s.RunUntil(loop.Done, 120) {
+		t.Fatal("workload did not finish")
+	}
+	vals, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += float64(v)
+	}
+	if math.Abs(sum-loop.TotalInstructions()) > 1 {
+		t.Fatalf("three-PMU sum %g != retired %g (per-type: %v)", sum, loop.TotalInstructions(), vals)
+	}
+	if err := es.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriCorePresetSumsThreeNatives(t *testing.T) {
+	s := newSim(hw.Dimensity9000())
+	l := initLib(t, s, Options{})
+	info := l.QueryPreset(PresetTotIns)
+	if !info.Available || !info.Derived || info.Partial {
+		t.Fatalf("PAPI_TOT_INS on tri-core = %+v", info)
+	}
+	if len(info.Natives) != 3 {
+		t.Fatalf("natives = %v, want 3", info.Natives)
+	}
+
+	loop := workload.NewInstructionLoop("w", 1e6, 2000)
+	p := s.Spawn(loop, hw.AllCPUs(s.HW))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	if err := es.AddPreset(PresetTotIns); err != nil {
+		t.Fatal(err)
+	}
+	if es.NumNative() != 3 {
+		t.Fatalf("NumNative = %d", es.NumNative())
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(loop.Done, 120)
+	vals, _ := es.Stop()
+	if math.Abs(float64(vals[0])-loop.TotalInstructions()) > 1 {
+		t.Fatalf("derived preset = %d, want %g", vals[0], loop.TotalInstructions())
+	}
+	es.Cleanup()
+}
+
+func TestTriCorePartialPresets(t *testing.T) {
+	s := newSim(hw.Dimensity9000())
+	l := initLib(t, s, Options{})
+	// Stall events exist on X2 and A710 but not the little A510: partial.
+	if info := l.QueryPreset(PresetResStl); !info.Available || !info.Partial || len(info.Natives) != 2 {
+		t.Fatalf("PAPI_RES_STL on tri-core = %+v", info)
+	}
+	// L3 events exist on X2 and A710 only (the A510 has no L3 events in
+	// its table): partial with two natives.
+	if info := l.QueryPreset(PresetL3TCM); !info.Available || !info.Partial {
+		t.Fatalf("PAPI_L3_TCM on tri-core = %+v", info)
+	}
+}
+
+func TestTriCoreLegacySingleDefault(t *testing.T) {
+	s := newSim(hw.Dimensity9000())
+	l := initLib(t, s, Options{Legacy: true})
+	// Legacy picks the FIRST machine core type (the LITTLE cluster here,
+	// since device-tree order lists it first) — there is "not a generic
+	// way of determining which of the core types should be default".
+	es := l.CreateEventSet()
+	if err := es.AddNamed("INST_RETIRED"); err != nil {
+		t.Fatal(err)
+	}
+	if got := es.Names()[0]; got != "arm_cortex_a510::INST_RETIRED" {
+		t.Fatalf("legacy default resolved to %q", got)
+	}
+}
+
+func TestTriCoreMachineValid(t *testing.T) {
+	m := hw.Dimensity9000()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCPUs() != 8 || len(m.Types) != 3 {
+		t.Fatalf("topology: %d cpus, %d types", m.NumCPUs(), len(m.Types))
+	}
+	// The paper's capacity triple.
+	caps := map[int]bool{}
+	for i := range m.Types {
+		caps[m.Types[i].Capacity] = true
+	}
+	for _, want := range []int{250, 512, 1024} {
+		if !caps[want] {
+			t.Errorf("capacity %d missing (paper: often 250, 512, 1024)", want)
+		}
+	}
+}

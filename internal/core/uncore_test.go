@@ -1,0 +1,178 @@
+package core
+
+// Tests for uncore PMU support: section V.3 of the paper argues that once
+// EventSets can span perf PMUs, the separate PAPI perf_event_uncore
+// component can be retired — uncore events simply join a combined
+// EventSet. Legacy mode keeps the old separate-component behaviour.
+
+import (
+	"errors"
+	"testing"
+
+	"hetpapi/internal/events"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/perfevent"
+	"hetpapi/internal/workload"
+)
+
+func TestUncoreJoinsCombinedEventSet(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	stream := workload.NewStream("mem", 5e8, 0.8, 1)
+	p := s.Spawn(stream, hw.NewCPUSet(0))
+
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(es.AddNamed("adl_glc::LONGEST_LAT_CACHE:MISS"))
+	must(es.AddNamed("adl_imc::UNC_M_CAS_COUNT:RD"))
+	must(es.AddNamed("adl_imc::UNC_M_CAS_COUNT:WR"))
+	must(es.AddNamed("rapl::ENERGY_PKG"))
+	must(es.Start())
+	if !s.RunUntil(stream.Done, 60) {
+		t.Fatal("stream did not finish")
+	}
+	vals, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	llcMiss, casRD, casWR := float64(vals[0]), float64(vals[1]), float64(vals[2])
+	if llcMiss <= 0 || casRD <= 0 || casWR <= 0 {
+		t.Fatalf("counts: llc=%v casRD=%v casWR=%v", vals[0], vals[1], vals[2])
+	}
+	// Read CAS tracks LLC misses with the prefetch overshoot factor.
+	ratio := casRD / llcMiss
+	if ratio < 1.1 || ratio > 1.3 {
+		t.Errorf("CAS_RD / LLC_MISS = %.3f, want ~1.18", ratio)
+	}
+	if casWR >= casRD {
+		t.Error("write CAS should be below read CAS")
+	}
+	must(es.Cleanup())
+	if s.Kernel.NumOpen() != 0 {
+		t.Fatal("fds leaked")
+	}
+}
+
+func TestUncoreCountsAllCoreTypes(t *testing.T) {
+	// An uncore counter must observe memory traffic from BOTH core types
+	// — it has no core-type gate.
+	m := hw.RaptorLake()
+	s := newSim(m)
+	l := initLib(t, s, Options{})
+	streamP := workload.NewStream("memP", 2e8, 0.8, 1)
+	streamE := workload.NewStream("memE", 2e8, 0.8, 2)
+	s.Spawn(streamP, hw.NewCPUSet(0))  // P-core
+	s.Spawn(streamE, hw.NewCPUSet(16)) // E-core
+
+	es := l.CreateEventSet()
+	if err := es.AddNamed("adl_imc::UNC_M_CAS_COUNT:RD"); err != nil {
+		t.Fatal(err)
+	}
+	// An uncore-only EventSet needs no process attachment.
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(func() bool { return streamP.Done() && streamE.Done() }, 60)
+	all, _ := es.Stop()
+	es.Cleanup()
+
+	// Re-run with only the P stream; the count must drop by roughly half.
+	s2 := newSim(m)
+	l2 := initLib(t, s2, Options{})
+	streamP2 := workload.NewStream("memP", 2e8, 0.8, 1)
+	s2.Spawn(streamP2, hw.NewCPUSet(0))
+	es2 := l2.CreateEventSet()
+	es2.AddNamed("adl_imc::UNC_M_CAS_COUNT:RD")
+	es2.Start()
+	s2.RunUntil(streamP2.Done, 60)
+	pOnly, _ := es2.Stop()
+	es2.Cleanup()
+
+	if all[0] <= pOnly[0] {
+		t.Fatalf("uncore with both streams (%d) should exceed P-only (%d)", all[0], pOnly[0])
+	}
+	ratio := float64(all[0]) / float64(pOnly[0])
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("both/one stream CAS ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestUncoreLegacySeparateComponent(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{Legacy: true})
+	es := l.CreateEventSet()
+	es.Attach(1000)
+	if err := es.AddNamed("adl_glc::INST_RETIRED:ANY"); err != nil {
+		t.Fatal(err)
+	}
+	// Legacy PAPI: uncore lives in perf_event_uncore, not the cpu
+	// component — mixing conflicts.
+	if err := es.AddNamed("adl_imc::UNC_M_CAS_COUNT:RD"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("legacy cpu+uncore mix: err = %v, want ErrConflict", err)
+	}
+	// An uncore-only legacy EventSet still works (the old component).
+	es2 := l.CreateEventSet()
+	if err := es2.AddNamed("adl_imc::UNC_M_CAS_COUNT:RD"); err != nil {
+		t.Fatal(err)
+	}
+	if err := es2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	es2.Stop()
+	es2.Cleanup()
+}
+
+func TestUncoreComponentExclusivity(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	es1 := l.CreateEventSet()
+	es1.AddNamed("adl_imc::UNC_M_CAS_COUNT:RD")
+	if err := es1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	es2 := l.CreateEventSet()
+	es2.AddNamed("adl_imc::UNC_M_ACT_COUNT")
+	if err := es2.Start(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second uncore set: err = %v, want ErrConflict", err)
+	}
+	es1.Stop()
+	if err := es2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	es2.Stop()
+	es1.Cleanup()
+	es2.Cleanup()
+}
+
+func TestUncoreKernelRequiresCPUWide(t *testing.T) {
+	m := hw.RaptorLake()
+	s := newSim(m)
+	def := events.LookupPMU("adl_imc").Lookup("UNC_M_CAS_COUNT")
+	attr := perfevent.Attr{Type: 24, Config: events.Encode(def.Code, def.Umasks[0].Bits)}
+	if _, err := s.Kernel.Open(attr, 100, -1, -1); !errors.Is(err, perfevent.ErrInvalid) {
+		t.Fatalf("task-attached uncore: err = %v, want EINVAL", err)
+	}
+	if _, err := s.Kernel.Open(attr, -1, 0, -1); err != nil {
+		t.Fatalf("cpu-wide uncore: %v", err)
+	}
+	// Unknown uncore config.
+	bad := perfevent.Attr{Type: 24, Config: 0xFFFF}
+	if _, err := s.Kernel.Open(bad, -1, 0, -1); !errors.Is(err, perfevent.ErrNotSupported) {
+		t.Fatalf("bad uncore config: err = %v", err)
+	}
+}
+
+func TestArmMachinesHaveNoUncore(t *testing.T) {
+	s := newSim(hw.OrangePi800())
+	l := initLib(t, s, Options{})
+	es := l.CreateEventSet()
+	if err := es.AddNamed("adl_imc::UNC_M_CAS_COUNT:RD"); !errors.Is(err, ErrNoEvent) {
+		t.Fatalf("imc on ARM: err = %v, want ErrNoEvent", err)
+	}
+}

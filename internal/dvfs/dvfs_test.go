@@ -1,0 +1,191 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hetpapi/internal/hw"
+)
+
+func TestStartsAtMax(t *testing.T) {
+	m := hw.RaptorLake()
+	g := New(m, DefaultConfig())
+	p := m.TypeByName("P-core")
+	e := m.TypeByName("E-core")
+	if f := g.TargetMHz(p); f != p.MaxFreqMHz {
+		t.Fatalf("initial P target = %g, want max %g", f, p.MaxFreqMHz)
+	}
+	if f := g.TargetMHz(e); f != e.MaxFreqMHz {
+		t.Fatalf("initial E target = %g, want max %g", f, e.MaxFreqMHz)
+	}
+	if g.Level() != 1 {
+		t.Fatal("initial level must be 1")
+	}
+}
+
+func TestIdleCPUsAtMinFreq(t *testing.T) {
+	m := hw.RaptorLake()
+	g := New(m, DefaultConfig())
+	if f := g.FreqMHz(0, false); f != m.TypeOf(0).MinFreqMHz {
+		t.Fatalf("idle cpu freq = %g, want min", f)
+	}
+	if f := g.FreqMHz(0, true); f != m.TypeOf(0).MaxFreqMHz {
+		t.Fatalf("busy cpu freq = %g, want max", f)
+	}
+}
+
+func TestPowerLoopConverges(t *testing.T) {
+	// Feed the governor a synthetic plant: power proportional to level^3.
+	m := hw.RaptorLake()
+	g := New(m, DefaultConfig())
+	const cap = 65.0
+	plant := func(level float64) float64 { return 10 + 280*level*level*level }
+	now := 0.0
+	for i := 0; i < 2000; i++ {
+		now += 0.01
+		g.Update(now, plant(g.Level()), cap, 40)
+	}
+	p := plant(g.Level())
+	if math.Abs(p-cap) > 6 {
+		t.Fatalf("converged power = %g, want ~%g (level %g)", p, cap, g.Level())
+	}
+	// P-core target should be far below max on the 65 W plateau.
+	pt := g.TargetMHz(m.TypeByName("P-core"))
+	if pt > 3500 || pt < 1500 {
+		t.Fatalf("P-core plateau frequency = %g MHz, expected 1.5-3.5 GHz band", pt)
+	}
+}
+
+func TestInfiniteCapMeansFullLevel(t *testing.T) {
+	m := hw.OrangePi800()
+	g := New(m, DefaultConfig())
+	now := 0.0
+	for i := 0; i < 100; i++ {
+		now += 0.01
+		g.Update(now, 500, math.Inf(1), 40)
+	}
+	if g.Level() != 1 {
+		t.Fatalf("level = %g with no power cap, want 1", g.Level())
+	}
+}
+
+func TestThermalThrottlesBigFirst(t *testing.T) {
+	m := hw.OrangePi800()
+	g := New(m, DefaultConfig())
+	big := m.TypeByName("big")
+	little := m.TypeByName("LITTLE")
+	now := 0.0
+	// Hot zone: just above trip.
+	for i := 0; i < 10; i++ {
+		now += 0.5
+		g.Update(now, 5, math.Inf(1), 86)
+	}
+	if g.ThermalCapMHz(hw.Performance) >= big.MaxFreqMHz {
+		t.Fatal("big cluster did not throttle")
+	}
+	if g.ThermalCapMHz(hw.Efficiency) != little.MaxFreqMHz {
+		t.Fatal("LITTLE cluster throttled while big cluster still had headroom")
+	}
+}
+
+func TestThermalReachesFloorThenLittle(t *testing.T) {
+	m := hw.OrangePi800()
+	g := New(m, DefaultConfig())
+	now := 0.0
+	// Very hot for a long time: big hits its floor, then LITTLE throttles.
+	for i := 0; i < 40; i++ {
+		now += 0.5
+		g.Update(now, 5, math.Inf(1), 95)
+	}
+	if got := g.ThermalCapMHz(hw.Performance); got != m.Thermal.ThrottleFloorMHz["big"] {
+		t.Fatalf("big cap = %g, want floor %g", got, m.Thermal.ThrottleFloorMHz["big"])
+	}
+	if g.ThermalCapMHz(hw.Efficiency) >= m.TypeByName("LITTLE").MaxFreqMHz {
+		t.Fatal("LITTLE cluster should throttle once big is floored and zone stays hot")
+	}
+	if got := g.ThermalCapMHz(hw.Efficiency); got < m.Thermal.ThrottleFloorMHz["LITTLE"] {
+		t.Fatalf("LITTLE cap %g below its floor", got)
+	}
+}
+
+func TestThermalRecovery(t *testing.T) {
+	m := hw.OrangePi800()
+	g := New(m, DefaultConfig())
+	now := 0.0
+	for i := 0; i < 40; i++ {
+		now += 0.5
+		g.Update(now, 5, math.Inf(1), 95)
+	}
+	// Cool down: both clusters must return to max.
+	for i := 0; i < 100; i++ {
+		now += 0.5
+		g.Update(now, 1, math.Inf(1), 40)
+	}
+	if g.ThermalCapMHz(hw.Performance) != m.TypeByName("big").MaxFreqMHz {
+		t.Fatalf("big cap %g did not recover", g.ThermalCapMHz(hw.Performance))
+	}
+	if g.ThermalCapMHz(hw.Efficiency) != m.TypeByName("LITTLE").MaxFreqMHz {
+		t.Fatalf("LITTLE cap %g did not recover", g.ThermalCapMHz(hw.Efficiency))
+	}
+}
+
+func TestDesktopIgnoresThermalLoop(t *testing.T) {
+	m := hw.RaptorLake() // PassiveTripC == 0
+	g := New(m, DefaultConfig())
+	now := 0.0
+	for i := 0; i < 20; i++ {
+		now += 0.5
+		g.Update(now, 60, 65, 99)
+	}
+	if g.ThermalCapMHz(hw.Performance) != m.TypeByName("P-core").MaxFreqMHz {
+		t.Fatal("machine without passive trip must not thermal-throttle")
+	}
+}
+
+func TestTargetQuantizedToOPPStep(t *testing.T) {
+	m := hw.OrangePi800()
+	g := New(m, DefaultConfig())
+	big := m.TypeByName("big")
+	now := 0.0
+	for i := 0; i < 7; i++ {
+		now += 0.5
+		g.Update(now, 5, math.Inf(1), 86)
+	}
+	f := g.TargetMHz(big)
+	rel := f - big.MinFreqMHz
+	if math.Mod(rel, big.FreqStepMHz) > 1e-9 {
+		t.Fatalf("target %g MHz is not on the OPP grid (min %g, step %g)",
+			f, big.MinFreqMHz, big.FreqStepMHz)
+	}
+}
+
+// Property: targets always stay within [min, max] for any control history.
+func TestTargetBoundsProperty(t *testing.T) {
+	m := hw.RaptorLake()
+	f := func(events []struct {
+		Power uint8
+		Temp  uint8
+	}) bool {
+		g := New(m, DefaultConfig())
+		now := 0.0
+		for _, e := range events {
+			now += 0.01
+			g.Update(now, float64(e.Power)*2, 65, float64(e.Temp))
+			for i := range m.Types {
+				tt := &m.Types[i]
+				f := g.TargetMHz(tt)
+				if f < tt.MinFreqMHz-1e-9 || f > tt.MaxFreqMHz+1e-9 {
+					return false
+				}
+			}
+			if g.Level() < 0 || g.Level() > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

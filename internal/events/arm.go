@@ -1,0 +1,58 @@
+package events
+
+// ARM PMUv3 event tables for the Cortex-A72 (big) and Cortex-A53 (LITTLE)
+// cores of the RK3399. ARM events are flat event numbers with no unit
+// masks; the numbers follow the ARMv8 PMUv3 common event table.
+//
+// On the RK3399 the per-cluster L2 is the last-level cache, so the L2D
+// events double as the LLC quantities used by cache-missrate analyses.
+
+func armv8CommonEvents() []Def {
+	return []Def{
+		{Name: "SW_INCR", Code: 0x00, Desc: "Software increment", Kind: KindInstructions, Scale: 0},
+		{Name: "L1I_CACHE_REFILL", Code: 0x01, Desc: "L1 instruction cache refill", Kind: KindL1DMisses, Scale: 0.05},
+		{Name: "L1D_CACHE_REFILL", Code: 0x03, Desc: "L1 data cache refill", Kind: KindL1DMisses},
+		{Name: "L1D_CACHE", Code: 0x04, Desc: "L1 data cache access", Kind: KindL1DRefs},
+		{Name: "LD_RETIRED", Code: 0x06, Desc: "Load instructions architecturally executed", Kind: KindLoads},
+		{Name: "ST_RETIRED", Code: 0x07, Desc: "Store instructions architecturally executed", Kind: KindStores},
+		{Name: "INST_RETIRED", Code: 0x08, Desc: "Instructions architecturally executed", Kind: KindInstructions},
+		{Name: "EXC_TAKEN", Code: 0x09, Desc: "Exceptions taken", Kind: KindBranches, Scale: 0.0001},
+		{Name: "BR_MIS_PRED", Code: 0x10, Desc: "Mispredicted branches", Kind: KindBranchMisses},
+		{Name: "CPU_CYCLES", Code: 0x11, Desc: "Processor cycles", Kind: KindCycles},
+		{Name: "BR_PRED", Code: 0x12, Desc: "Predictable branches speculatively executed", Kind: KindBranches},
+		{Name: "MEM_ACCESS", Code: 0x13, Desc: "Data memory accesses", Kind: KindMemAccess},
+		{Name: "L2D_CACHE", Code: 0x16, Desc: "L2 data cache access (LLC on RK3399)", Kind: KindLLCRefs},
+		{Name: "L2D_CACHE_REFILL", Code: 0x17, Desc: "L2 data cache refill (LLC miss on RK3399)", Kind: KindLLCMisses},
+		{Name: "L2D_CACHE_WB", Code: 0x18, Desc: "L2 data cache write-back", Kind: KindLLCMisses, Scale: 0.4},
+		{Name: "BUS_ACCESS", Code: 0x19, Desc: "Bus accesses", Kind: KindLLCMisses, Scale: 1.1},
+		{Name: "BUS_CYCLES", Code: 0x1D, Desc: "Bus cycles", Kind: KindBusCycles},
+		{Name: "L1D_TLB_REFILL", Code: 0x05, Desc: "L1 data TLB refill", Kind: KindL1DMisses, Scale: 0.03},
+		{Name: "L1I_CACHE", Code: 0x14, Desc: "L1 instruction cache access", Kind: KindInstructions, Scale: 0.22},
+		{Name: "PC_WRITE_RETIRED", Code: 0x0C, Desc: "Software change of PC, architecturally executed", Kind: KindBranches, Scale: 0.92},
+		{Name: "UNALIGNED_LDST_RETIRED", Code: 0x0F, Desc: "Unaligned accesses architecturally executed", Kind: KindMemAccess, Scale: 0.001},
+		{Name: "CID_WRITE_RETIRED", Code: 0x0B, Desc: "Context ID writes, architecturally executed", Kind: KindBranches, Scale: 0.00005},
+	}
+}
+
+// ArmCortexA72 is the big-core PMU of the RK3399.
+var ArmCortexA72 = register(&PMU{
+	Name: "arm_cortex_a72",
+	Desc: "ARM Cortex-A72 (big)",
+	Events: append(armv8CommonEvents(),
+		// A72 implementation-specific events.
+		Def{Name: "BR_RETIRED", Code: 0x21, Desc: "Branches architecturally executed", Kind: KindBranches},
+		Def{Name: "BR_MIS_PRED_RETIRED", Code: 0x22, Desc: "Mispredicted branches architecturally executed", Kind: KindBranchMisses},
+		Def{Name: "STALL_FRONTEND", Code: 0x23, Desc: "Cycles stalled on frontend", Kind: KindStallCycles, Scale: 0.35},
+		Def{Name: "STALL_BACKEND", Code: 0x24, Desc: "Cycles stalled on backend", Kind: KindStallCycles, Scale: 0.65},
+	),
+})
+
+// ArmCortexA53 is the LITTLE-core PMU of the RK3399. The in-order A53
+// implements a smaller event set than the A72 (no retired-branch or stall
+// breakdown events), which exercises the "event exists on one core type
+// only" paths.
+var ArmCortexA53 = register(&PMU{
+	Name:   "arm_cortex_a53",
+	Desc:   "ARM Cortex-A53 (LITTLE)",
+	Events: armv8CommonEvents(),
+})

@@ -1,0 +1,46 @@
+package events
+
+// ARMv9 DynamIQ event tables for the three-core-type machine
+// (hw.Dimensity9000): a prime Cortex-X2, big Cortex-A710s and LITTLE
+// Cortex-A510s. The paper notes that ARM systems with three core types
+// already exist and that "it is plausible even more will be supported
+// someday" — the PAPI-side machinery must therefore handle N default
+// PMUs, not two.
+
+// ArmCortexX2 is the prime-core PMU of the Dimensity 9000 model.
+var ArmCortexX2 = register(&PMU{
+	Name: "arm_cortex_x2",
+	Desc: "ARM Cortex-X2 (prime)",
+	Events: append(armv8CommonEvents(),
+		Def{Name: "BR_RETIRED", Code: 0x21, Desc: "Branches architecturally executed", Kind: KindBranches},
+		Def{Name: "BR_MIS_PRED_RETIRED", Code: 0x22, Desc: "Mispredicted branches architecturally executed", Kind: KindBranchMisses},
+		Def{Name: "STALL_FRONTEND", Code: 0x23, Desc: "Cycles stalled on frontend", Kind: KindStallCycles, Scale: 0.3},
+		Def{Name: "STALL_BACKEND", Code: 0x24, Desc: "Cycles stalled on backend", Kind: KindStallCycles, Scale: 0.7},
+		Def{Name: "STALL_SLOT", Code: 0x3F, Desc: "Issue slots not occupied", Kind: KindSlots, Scale: 0.25},
+		Def{Name: "OP_RETIRED", Code: 0x3A, Desc: "Micro-operations architecturally executed", Kind: KindInstructions, Scale: 1.15},
+		Def{Name: "L3D_CACHE", Code: 0x2B, Desc: "L3 data cache access", Kind: KindLLCRefs},
+		Def{Name: "L3D_CACHE_REFILL", Code: 0x2A, Desc: "L3 data cache refill", Kind: KindLLCMisses},
+	),
+})
+
+// ArmCortexA710 is the big-core PMU of the Dimensity 9000 model.
+var ArmCortexA710 = register(&PMU{
+	Name: "arm_cortex_a710",
+	Desc: "ARM Cortex-A710 (big)",
+	Events: append(armv8CommonEvents(),
+		Def{Name: "BR_RETIRED", Code: 0x21, Desc: "Branches architecturally executed", Kind: KindBranches},
+		Def{Name: "BR_MIS_PRED_RETIRED", Code: 0x22, Desc: "Mispredicted branches architecturally executed", Kind: KindBranchMisses},
+		Def{Name: "STALL_FRONTEND", Code: 0x23, Desc: "Cycles stalled on frontend", Kind: KindStallCycles, Scale: 0.35},
+		Def{Name: "STALL_BACKEND", Code: 0x24, Desc: "Cycles stalled on backend", Kind: KindStallCycles, Scale: 0.65},
+		Def{Name: "L3D_CACHE", Code: 0x2B, Desc: "L3 data cache access", Kind: KindLLCRefs},
+		Def{Name: "L3D_CACHE_REFILL", Code: 0x2A, Desc: "L3 data cache refill", Kind: KindLLCMisses},
+	),
+})
+
+// ArmCortexA510 is the LITTLE-core PMU of the Dimensity 9000 model: the
+// smallest event set of the three, like its in-order predecessors.
+var ArmCortexA510 = register(&PMU{
+	Name:   "arm_cortex_a510",
+	Desc:   "ARM Cortex-A510 (LITTLE)",
+	Events: armv8CommonEvents(),
+})

@@ -1,0 +1,77 @@
+package events
+
+// Generic perf_event hardware event ids (PERF_TYPE_HARDWARE). On hybrid
+// systems the real kernel extends these with a PMU type in the upper config
+// bits; internal/perfevent implements the same convention, so these ids
+// stay PMU-independent here.
+
+// Perf hardware event ids, mirroring PERF_COUNT_HW_*.
+const (
+	HWCPUCycles             = 0
+	HWInstructions          = 1
+	HWCacheReferences       = 2
+	HWCacheMisses           = 3
+	HWBranchInstructions    = 4
+	HWBranchMisses          = 5
+	HWBusCycles             = 6
+	HWStalledCyclesFrontend = 7
+	HWStalledCyclesBackend  = 8
+	HWRefCPUCycles          = 9
+)
+
+// GenericKind maps a PERF_COUNT_HW_* id to the architectural Kind it counts
+// and a scale. Unknown ids return KindNone.
+func GenericKind(id uint64) (Kind, float64) {
+	switch id {
+	case HWCPUCycles:
+		return KindCycles, 1
+	case HWInstructions:
+		return KindInstructions, 1
+	case HWCacheReferences:
+		return KindLLCRefs, 1
+	case HWCacheMisses:
+		return KindLLCMisses, 1
+	case HWBranchInstructions:
+		return KindBranches, 1
+	case HWBranchMisses:
+		return KindBranchMisses, 1
+	case HWBusCycles:
+		return KindBusCycles, 1
+	case HWStalledCyclesFrontend:
+		return KindStallCycles, 0.35
+	case HWStalledCyclesBackend:
+		return KindStallCycles, 0.65
+	case HWRefCPUCycles:
+		return KindRefCycles, 1
+	default:
+		return KindNone, 0
+	}
+}
+
+// GenericName returns the perf tool style name of a PERF_COUNT_HW_* id.
+func GenericName(id uint64) string {
+	switch id {
+	case HWCPUCycles:
+		return "cycles"
+	case HWInstructions:
+		return "instructions"
+	case HWCacheReferences:
+		return "cache-references"
+	case HWCacheMisses:
+		return "cache-misses"
+	case HWBranchInstructions:
+		return "branches"
+	case HWBranchMisses:
+		return "branch-misses"
+	case HWBusCycles:
+		return "bus-cycles"
+	case HWStalledCyclesFrontend:
+		return "stalled-cycles-frontend"
+	case HWStalledCyclesBackend:
+		return "stalled-cycles-backend"
+	case HWRefCPUCycles:
+		return "ref-cycles"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,439 @@
+package events
+
+// Intel event tables. Encodings follow the event-select / unit-mask scheme
+// of real Intel PMUs; the exact numeric values are stable identifiers for
+// this simulator rather than verbatim SDM encodings.
+//
+// AdlGlc is the Golden Cove / Raptor Cove P-core PMU ("adl_glc" in libpfm4
+// naming; Raptor Lake exposes the same PMU model as Alder Lake). AdlGrt is
+// the Gracemont E-core PMU ("adl_grt"). Per the paper, the topdown slot
+// events exist only on the P-core PMU, which makes them a natural test for
+// "this event is unavailable on the other core type".
+
+// AdlGlc is the Alder/Raptor Lake P-core (Golden Cove) PMU event table.
+var AdlGlc = register(&PMU{
+	Name: "adl_glc",
+	Desc: "Intel Alder Lake GoldenCove (P-core)",
+	Events: []Def{
+		{
+			Name: "INST_RETIRED", Code: 0xC0,
+			Desc: "Instructions retired",
+			Umasks: []Umask{
+				{Name: "ANY", Bits: 0x01, Desc: "All retired instructions", Kind: KindInstructions, Default: true},
+				{Name: "ANY_P", Bits: 0x00, Desc: "All retired instructions (programmable counter)", Kind: KindInstructions},
+				{Name: "MACRO_FUSED", Bits: 0x10, Desc: "Retired macro-fused instruction pairs", Kind: KindInstructions, Scale: 0.08},
+				{Name: "NOP", Bits: 0x02, Desc: "Retired NOP instructions", Kind: KindInstructions, Scale: 0.005},
+			},
+		},
+		{
+			Name: "CPU_CLK_UNHALTED", Code: 0x3C,
+			Desc: "Core clock cycles when not halted",
+			Umasks: []Umask{
+				{Name: "THREAD", Bits: 0x00, Desc: "Core cycles at current frequency", Kind: KindCycles, Default: true},
+				{Name: "THREAD_P", Bits: 0x01, Desc: "Core cycles (programmable counter)", Kind: KindCycles},
+				{Name: "REF_TSC", Bits: 0x03, Desc: "Reference cycles at TSC rate", Kind: KindRefCycles},
+				{Name: "REF_DISTRIBUTED", Bits: 0x08, Desc: "Reference cycles distributed across SMT threads", Kind: KindRefCycles, Scale: 0.5},
+			},
+		},
+		{
+			Name: "BR_INST_RETIRED", Code: 0xC4,
+			Desc: "Branch instructions retired",
+			Umasks: []Umask{
+				{Name: "ALL_BRANCHES", Bits: 0x00, Desc: "All retired branches", Kind: KindBranches, Default: true},
+				{Name: "COND", Bits: 0x11, Desc: "Conditional branches", Kind: KindBranches, Scale: 0.72},
+				{Name: "COND_TAKEN", Bits: 0x01, Desc: "Taken conditional branches", Kind: KindBranches, Scale: 0.48},
+				{Name: "NEAR_CALL", Bits: 0x02, Desc: "Near call branches", Kind: KindBranches, Scale: 0.05},
+				{Name: "NEAR_RETURN", Bits: 0x08, Desc: "Near return branches", Kind: KindBranches, Scale: 0.05},
+				{Name: "NEAR_TAKEN", Bits: 0x20, Desc: "Taken branches", Kind: KindBranches, Scale: 0.58},
+				{Name: "FAR_BRANCH", Bits: 0x40, Desc: "Far branches (interrupts, syscalls)", Kind: KindBranches, Scale: 0.0005},
+			},
+		},
+		{
+			Name: "BR_MISP_RETIRED", Code: 0xC5,
+			Desc: "Mispredicted branch instructions retired",
+			Umasks: []Umask{
+				{Name: "ALL_BRANCHES", Bits: 0x00, Desc: "All mispredicted branches", Kind: KindBranchMisses, Default: true},
+				{Name: "COND", Bits: 0x11, Desc: "Mispredicted conditional branches", Kind: KindBranchMisses, Scale: 0.85},
+				{Name: "INDIRECT", Bits: 0x80, Desc: "Mispredicted indirect branches", Kind: KindBranchMisses, Scale: 0.08},
+			},
+		},
+		{
+			Name: "LONGEST_LAT_CACHE", Code: 0x2E,
+			Desc: "Last level cache references and misses",
+			Umasks: []Umask{
+				{Name: "REFERENCE", Bits: 0x4F, Desc: "LLC references", Kind: KindLLCRefs, Default: true},
+				{Name: "MISS", Bits: 0x41, Desc: "LLC misses", Kind: KindLLCMisses},
+			},
+		},
+		{
+			Name: "MEM_LOAD_RETIRED", Code: 0xD1,
+			Desc: "Retired load instructions by data source",
+			Umasks: []Umask{
+				{Name: "L1_HIT", Bits: 0x01, Desc: "Loads hitting L1D", Kind: KindL1DRefs, Scale: 0.97, Default: true},
+				{Name: "L1_MISS", Bits: 0x08, Desc: "Loads missing L1D", Kind: KindL1DMisses},
+				{Name: "L2_HIT", Bits: 0x02, Desc: "Loads hitting L2", Kind: KindL2Refs, Scale: 0.8},
+				{Name: "L2_MISS", Bits: 0x10, Desc: "Loads missing L2", Kind: KindL2Misses},
+				{Name: "L3_HIT", Bits: 0x04, Desc: "Loads hitting LLC", Kind: KindLLCHits},
+				{Name: "L3_MISS", Bits: 0x20, Desc: "Loads missing LLC", Kind: KindLLCMisses},
+			},
+		},
+		{
+			Name: "MEM_INST_RETIRED", Code: 0xD0,
+			Desc: "Retired memory instructions",
+			Umasks: []Umask{
+				{Name: "ALL_LOADS", Bits: 0x81, Desc: "All retired loads", Kind: KindLoads, Default: true},
+				{Name: "ALL_STORES", Bits: 0x82, Desc: "All retired stores", Kind: KindStores},
+				{Name: "ANY", Bits: 0x83, Desc: "All retired memory instructions", Kind: KindMemAccess},
+			},
+		},
+		{
+			Name: "FP_ARITH_INST_RETIRED", Code: 0xC7,
+			Desc: "Floating-point arithmetic instructions retired",
+			Umasks: []Umask{
+				{Name: "SCALAR_DOUBLE", Bits: 0x01, Desc: "Scalar double-precision instructions", Kind: KindFPScalarD, Default: true},
+				{Name: "128B_PACKED_DOUBLE", Bits: 0x04, Desc: "128-bit packed double instructions", Kind: KindFP128D},
+				{Name: "256B_PACKED_DOUBLE", Bits: 0x10, Desc: "256-bit packed double instructions", Kind: KindFP256D},
+				{Name: "VECTOR", Bits: 0x3C, Desc: "All vector FP instructions", Kind: KindFP256D, Scale: 1.1},
+			},
+		},
+		{
+			Name: "TOPDOWN", Code: 0xA4,
+			Desc: "Topdown slot accounting (P-core only)",
+			Umasks: []Umask{
+				{Name: "SLOTS", Bits: 0x01, Desc: "Topdown issue slots", Kind: KindSlots, Default: true},
+				{Name: "SLOTS_P", Bits: 0x02, Desc: "Topdown issue slots (programmable)", Kind: KindSlots},
+				{Name: "BACKEND_BOUND_SLOTS", Bits: 0x08, Desc: "Slots stalled on backend", Kind: KindSlots, Scale: 0.3},
+				{Name: "BAD_SPEC_SLOTS", Bits: 0x04, Desc: "Slots wasted on misspeculation", Kind: KindSlots, Scale: 0.05},
+			},
+		},
+		{
+			Name: "CYCLE_ACTIVITY", Code: 0xA3,
+			Desc: "Cycle activity and stall breakdown",
+			Umasks: []Umask{
+				{Name: "STALLS_TOTAL", Bits: 0x04, Desc: "Total execution stall cycles", Kind: KindStallCycles, Default: true},
+				{Name: "STALLS_MEM_ANY", Bits: 0x14, Desc: "Stall cycles waiting on memory", Kind: KindStallCycles, Scale: 0.75},
+				{Name: "STALLS_L3_MISS", Bits: 0x06, Desc: "Stall cycles on outstanding LLC misses", Kind: KindStallCycles, Scale: 0.4},
+			},
+		},
+		{
+			Name: "UOPS_RETIRED", Code: 0xC2,
+			Desc: "Micro-operations retired",
+			Umasks: []Umask{
+				{Name: "SLOTS", Bits: 0x02, Desc: "Retirement slots used", Kind: KindInstructions, Scale: 1.12, Default: true},
+				{Name: "HEAVY", Bits: 0x01, Desc: "Uops from multi-uop instructions", Kind: KindInstructions, Scale: 0.06},
+			},
+		},
+		{
+			Name: "RESOURCE_STALLS", Code: 0xA2,
+			Desc: "Resource-related stall cycles",
+			Umasks: []Umask{
+				{Name: "ANY", Bits: 0x01, Desc: "Any resource stall", Kind: KindStallCycles, Scale: 0.5, Default: true},
+				{Name: "SB", Bits: 0x08, Desc: "Store buffer full stalls", Kind: KindStallCycles, Scale: 0.1},
+			},
+		},
+		{
+			Name: "DTLB_LOAD_MISSES", Code: 0x12,
+			Desc: "Data TLB load misses",
+			Umasks: []Umask{
+				{Name: "WALK_COMPLETED", Bits: 0x0E, Desc: "Completed page walks from load misses", Kind: KindL1DMisses, Scale: 0.02, Default: true},
+				{Name: "STLB_HIT", Bits: 0x20, Desc: "Load misses hitting the STLB", Kind: KindL1DMisses, Scale: 0.05},
+			},
+		},
+		{
+			Name: "L2_RQSTS", Code: 0x24,
+			Desc: "L2 cache requests by type",
+			Umasks: []Umask{
+				{Name: "ALL_DEMAND_DATA_RD", Bits: 0xE1, Desc: "Demand data read requests", Kind: KindL2Refs, Scale: 0.70, Default: true},
+				{Name: "DEMAND_DATA_RD_HIT", Bits: 0xC1, Desc: "Demand data reads hitting L2", Kind: KindL2Refs, Scale: 0.45},
+				{Name: "ALL_DEMAND_MISS", Bits: 0x27, Desc: "Demand requests missing L2", Kind: KindL2Misses},
+				{Name: "ALL_CODE_RD", Bits: 0xE4, Desc: "Code read requests", Kind: KindL2Refs, Scale: 0.12},
+				{Name: "ALL_RFO", Bits: 0xE2, Desc: "Read-for-ownership requests", Kind: KindL2Refs, Scale: 0.25},
+			},
+		},
+		{
+			Name: "MACHINE_CLEARS", Code: 0xC3,
+			Desc: "Machine clear events",
+			Umasks: []Umask{
+				{Name: "COUNT", Bits: 0x01, Desc: "All machine clears", Kind: KindBranchMisses, Scale: 0.02, Default: true},
+				{Name: "MEMORY_ORDERING", Bits: 0x02, Desc: "Memory ordering clears", Kind: KindBranchMisses, Scale: 0.008},
+				{Name: "SMC", Bits: 0x04, Desc: "Self-modifying code clears", Kind: KindBranchMisses, Scale: 0.0001},
+			},
+		},
+		{
+			Name: "LD_BLOCKS", Code: 0x03,
+			Desc: "Blocked loads",
+			Umasks: []Umask{
+				{Name: "STORE_FORWARD", Bits: 0x82, Desc: "Loads blocked on store forwarding", Kind: KindLoads, Scale: 0.001, Default: true},
+				{Name: "NO_SR", Bits: 0x88, Desc: "Loads blocked on split registers", Kind: KindLoads, Scale: 0.0002},
+			},
+		},
+		{
+			Name: "ARITH", Code: 0xB0,
+			Desc: "Arithmetic unit activity",
+			Umasks: []Umask{
+				{Name: "DIV_ACTIVE", Bits: 0x09, Desc: "Cycles the divider is busy", Kind: KindCycles, Scale: 0.015, Default: true},
+			},
+		},
+		{
+			Name: "EXE_ACTIVITY", Code: 0xA6,
+			Desc: "Execution port activity breakdown",
+			Umasks: []Umask{
+				{Name: "BOUND_ON_LOADS", Bits: 0x21, Desc: "Stall cycles bound on outstanding loads", Kind: KindStallCycles, Scale: 0.55, Default: true},
+				{Name: "BOUND_ON_STORES", Bits: 0x40, Desc: "Stall cycles bound on stores", Kind: KindStallCycles, Scale: 0.06},
+				{Name: "1_PORTS_UTIL", Bits: 0x02, Desc: "Cycles with one port utilized", Kind: KindCycles, Scale: 0.18},
+			},
+		},
+		{
+			Name: "INT_MISC", Code: 0xAD,
+			Desc: "Miscellaneous front/backend interruptions",
+			Umasks: []Umask{
+				{Name: "RECOVERY_CYCLES", Bits: 0x01, Desc: "Cycles recovering from machine clears", Kind: KindCycles, Scale: 0.02, Default: true},
+				{Name: "CLEAR_RESTEER_CYCLES", Bits: 0x80, Desc: "Cycles resteering after clears", Kind: KindCycles, Scale: 0.012},
+			},
+		},
+		{
+			Name: "LSD", Code: 0xA8,
+			Desc: "Loop stream detector activity",
+			Umasks: []Umask{
+				{Name: "UOPS", Bits: 0x01, Desc: "Uops delivered by the LSD", Kind: KindInstructions, Scale: 0.15, Default: true},
+				{Name: "CYCLES_ACTIVE", Bits: 0x02, Desc: "Cycles the LSD delivers uops", Kind: KindCycles, Scale: 0.12},
+			},
+		},
+		{
+			Name: "BACLEARS", Code: 0xE6,
+			Desc: "Branch address clears at the frontend",
+			Umasks: []Umask{
+				{Name: "ANY", Bits: 0x01, Desc: "All BAClears", Kind: KindBranchMisses, Scale: 0.30, Default: true},
+			},
+		},
+		{
+			Name: "ICACHE_DATA", Code: 0x80,
+			Desc: "Instruction cache data stalls",
+			Umasks: []Umask{
+				{Name: "STALLS", Bits: 0x04, Desc: "Cycles stalled on icache data misses", Kind: KindStallCycles, Scale: 0.08, Default: true},
+			},
+		},
+		{
+			Name: "ICACHE_TAG", Code: 0x83,
+			Desc: "Instruction cache tag stalls",
+			Umasks: []Umask{
+				{Name: "STALLS", Bits: 0x04, Desc: "Cycles stalled on icache tag misses", Kind: KindStallCycles, Scale: 0.02, Default: true},
+			},
+		},
+		{
+			Name: "OFFCORE_REQUESTS", Code: 0x21,
+			Desc: "Requests sent to the uncore",
+			Umasks: []Umask{
+				{Name: "DEMAND_DATA_RD", Bits: 0x01, Desc: "Demand data reads to uncore", Kind: KindLLCRefs, Scale: 0.80, Default: true},
+				{Name: "ALL_REQUESTS", Bits: 0x80, Desc: "All offcore requests", Kind: KindLLCRefs, Scale: 1.10},
+			},
+		},
+		{
+			Name: "MEM_TRANS_RETIRED", Code: 0xCD,
+			Desc: "Memory transactions by latency",
+			Umasks: []Umask{
+				{Name: "LOAD_LATENCY_GT_8", Bits: 0x01, Desc: "Loads with latency above 8 cycles", Kind: KindLoads, Scale: 0.04, Default: true},
+				{Name: "LOAD_LATENCY_GT_128", Bits: 0x02, Desc: "Loads with latency above 128 cycles", Kind: KindLLCMisses, Scale: 0.90},
+			},
+		},
+	},
+})
+
+// AdlGrt is the Alder/Raptor Lake E-core (Gracemont) PMU event table.
+// Gracemont has no TOPDOWN slots event and fewer programmable counters.
+var AdlGrt = register(&PMU{
+	Name: "adl_grt",
+	Desc: "Intel Alder Lake Gracemont (E-core)",
+	Events: []Def{
+		{
+			Name: "INST_RETIRED", Code: 0xC0,
+			Desc: "Instructions retired",
+			Umasks: []Umask{
+				{Name: "ANY", Bits: 0x00, Desc: "All retired instructions", Kind: KindInstructions, Default: true},
+				{Name: "ANY_P", Bits: 0x01, Desc: "All retired instructions (programmable counter)", Kind: KindInstructions},
+			},
+		},
+		{
+			Name: "CPU_CLK_UNHALTED", Code: 0x3C,
+			Desc: "Core clock cycles when not halted",
+			Umasks: []Umask{
+				{Name: "CORE", Bits: 0x00, Desc: "Core cycles at current frequency", Kind: KindCycles, Default: true},
+				{Name: "CORE_P", Bits: 0x02, Desc: "Core cycles (programmable counter)", Kind: KindCycles},
+				{Name: "REF_TSC", Bits: 0x03, Desc: "Reference cycles at TSC rate", Kind: KindRefCycles},
+			},
+		},
+		{
+			Name: "BR_INST_RETIRED", Code: 0xC4,
+			Desc: "Branch instructions retired",
+			Umasks: []Umask{
+				{Name: "ALL_BRANCHES", Bits: 0x00, Desc: "All retired branches", Kind: KindBranches, Default: true},
+				{Name: "COND", Bits: 0x7E, Desc: "Conditional branches", Kind: KindBranches, Scale: 0.72},
+				{Name: "CALL", Bits: 0xF9, Desc: "Call branches", Kind: KindBranches, Scale: 0.05},
+			},
+		},
+		{
+			Name: "BR_MISP_RETIRED", Code: 0xC5,
+			Desc: "Mispredicted branch instructions retired",
+			Umasks: []Umask{
+				{Name: "ALL_BRANCHES", Bits: 0x00, Desc: "All mispredicted branches", Kind: KindBranchMisses, Default: true},
+				{Name: "COND", Bits: 0x7E, Desc: "Mispredicted conditional branches", Kind: KindBranchMisses, Scale: 0.85},
+			},
+		},
+		{
+			Name: "LONGEST_LAT_CACHE", Code: 0x2E,
+			Desc: "Last level cache references and misses",
+			Umasks: []Umask{
+				{Name: "REFERENCE", Bits: 0x4F, Desc: "LLC references", Kind: KindLLCRefs, Default: true},
+				{Name: "MISS", Bits: 0x41, Desc: "LLC misses", Kind: KindLLCMisses},
+			},
+		},
+		{
+			Name: "MEM_UOPS_RETIRED", Code: 0xD0,
+			Desc: "Retired memory micro-operations",
+			Umasks: []Umask{
+				{Name: "ALL_LOADS", Bits: 0x81, Desc: "All retired load uops", Kind: KindLoads, Default: true},
+				{Name: "ALL_STORES", Bits: 0x82, Desc: "All retired store uops", Kind: KindStores},
+			},
+		},
+		{
+			Name: "MEM_LOAD_UOPS_RETIRED", Code: 0xD1,
+			Desc: "Retired load uops by data source",
+			Umasks: []Umask{
+				{Name: "L1_HIT", Bits: 0x01, Desc: "Loads hitting L1D", Kind: KindL1DRefs, Scale: 0.97, Default: true},
+				{Name: "L2_HIT", Bits: 0x02, Desc: "Loads hitting L2", Kind: KindL2Refs, Scale: 0.8},
+				{Name: "L3_HIT", Bits: 0x04, Desc: "Loads hitting LLC", Kind: KindLLCHits},
+				{Name: "DRAM_HIT", Bits: 0x80, Desc: "Loads served from DRAM", Kind: KindLLCMisses},
+			},
+		},
+		{
+			Name: "FP_ARITH_INST_RETIRED", Code: 0xC7,
+			Desc: "Floating-point arithmetic instructions retired",
+			Umasks: []Umask{
+				{Name: "SCALAR_DOUBLE", Bits: 0x01, Desc: "Scalar double-precision instructions", Kind: KindFPScalarD, Default: true},
+				{Name: "128B_PACKED_DOUBLE", Bits: 0x04, Desc: "128-bit packed double instructions", Kind: KindFP128D},
+				{Name: "256B_PACKED_DOUBLE", Bits: 0x10, Desc: "256-bit packed double instructions", Kind: KindFP256D},
+			},
+		},
+		{
+			Name: "CYCLE_ACTIVITY", Code: 0xA3,
+			Desc: "Cycle activity and stall breakdown",
+			Umasks: []Umask{
+				{Name: "STALLS_TOTAL", Bits: 0x04, Desc: "Total execution stall cycles", Kind: KindStallCycles, Default: true},
+			},
+		},
+		{
+			Name: "UOPS_RETIRED", Code: 0xC2,
+			Desc: "Micro-operations retired",
+			Umasks: []Umask{
+				{Name: "ALL", Bits: 0x00, Desc: "All retired uops", Kind: KindInstructions, Scale: 1.25, Default: true},
+			},
+		},
+		{
+			Name: "TOPDOWN_FE_BOUND", Code: 0x71,
+			Desc: "Topdown slots lost to frontend (Gracemont topdown family)",
+			Umasks: []Umask{
+				{Name: "ALL", Bits: 0x00, Desc: "All frontend-bound slots", Kind: KindSlots, Scale: 0.20, Default: true},
+				{Name: "ICACHE", Bits: 0x20, Desc: "Slots lost to icache misses", Kind: KindSlots, Scale: 0.04},
+			},
+		},
+		{
+			Name: "TOPDOWN_BE_BOUND", Code: 0x74,
+			Desc: "Topdown slots lost to backend",
+			Umasks: []Umask{
+				{Name: "ALL", Bits: 0x00, Desc: "All backend-bound slots", Kind: KindSlots, Scale: 0.30, Default: true},
+				{Name: "MEM_SCHEDULER", Bits: 0x01, Desc: "Slots lost to memory scheduler", Kind: KindSlots, Scale: 0.10},
+			},
+		},
+		{
+			Name: "TOPDOWN_BAD_SPECULATION", Code: 0x73,
+			Desc: "Topdown slots lost to misspeculation",
+			Umasks: []Umask{
+				{Name: "ALL", Bits: 0x00, Desc: "All bad-speculation slots", Kind: KindSlots, Scale: 0.05, Default: true},
+				{Name: "MISPREDICT", Bits: 0x04, Desc: "Slots lost to mispredicted branches", Kind: KindSlots, Scale: 0.04},
+			},
+		},
+		{
+			Name: "TOPDOWN_RETIRING", Code: 0x72,
+			Desc: "Topdown slots that retired",
+			Umasks: []Umask{
+				{Name: "ALL", Bits: 0x00, Desc: "All retiring slots", Kind: KindSlots, Scale: 0.45, Default: true},
+			},
+		},
+		{
+			Name: "MACHINE_CLEARS", Code: 0xC3,
+			Desc: "Machine clear events",
+			Umasks: []Umask{
+				{Name: "ANY", Bits: 0x00, Desc: "All machine clears", Kind: KindBranchMisses, Scale: 0.02, Default: true},
+			},
+		},
+		{
+			Name: "ICACHE", Code: 0x80,
+			Desc: "Instruction cache activity",
+			Umasks: []Umask{
+				{Name: "ACCESSES", Bits: 0x03, Desc: "Instruction cache accesses", Kind: KindInstructions, Scale: 0.06, Default: true},
+				{Name: "MISSES", Bits: 0x02, Desc: "Instruction cache misses", Kind: KindL1DMisses, Scale: 0.04},
+			},
+		},
+		{
+			Name: "LD_BLOCKS", Code: 0x03,
+			Desc: "Blocked loads",
+			Umasks: []Umask{
+				{Name: "DATA_UNKNOWN", Bits: 0x01, Desc: "Loads blocked on unknown store data", Kind: KindLoads, Scale: 0.001, Default: true},
+			},
+		},
+	},
+})
+
+// Skl is a Skylake-class PMU used by the homogeneous baseline machine.
+var Skl = register(&PMU{
+	Name: "skl",
+	Desc: "Intel Skylake",
+	Events: []Def{
+		{
+			Name: "INST_RETIRED", Code: 0xC0,
+			Desc: "Instructions retired",
+			Umasks: []Umask{
+				{Name: "ANY", Bits: 0x01, Desc: "All retired instructions", Kind: KindInstructions, Default: true},
+				{Name: "ANY_P", Bits: 0x00, Desc: "All retired instructions (programmable)", Kind: KindInstructions},
+			},
+		},
+		{
+			Name: "CPU_CLK_UNHALTED", Code: 0x3C,
+			Desc: "Core clock cycles when not halted",
+			Umasks: []Umask{
+				{Name: "THREAD", Bits: 0x00, Desc: "Core cycles", Kind: KindCycles, Default: true},
+				{Name: "REF_TSC", Bits: 0x03, Desc: "Reference cycles", Kind: KindRefCycles},
+			},
+		},
+		{
+			Name: "BR_INST_RETIRED", Code: 0xC4,
+			Desc: "Branch instructions retired",
+			Umasks: []Umask{
+				{Name: "ALL_BRANCHES", Bits: 0x00, Desc: "All retired branches", Kind: KindBranches, Default: true},
+			},
+		},
+		{
+			Name: "BR_MISP_RETIRED", Code: 0xC5,
+			Desc: "Mispredicted branches retired",
+			Umasks: []Umask{
+				{Name: "ALL_BRANCHES", Bits: 0x00, Desc: "All mispredicted branches", Kind: KindBranchMisses, Default: true},
+			},
+		},
+		{
+			Name: "LONGEST_LAT_CACHE", Code: 0x2E,
+			Desc: "Last level cache references and misses",
+			Umasks: []Umask{
+				{Name: "REFERENCE", Bits: 0x4F, Desc: "LLC references", Kind: KindLLCRefs, Default: true},
+				{Name: "MISS", Bits: 0x41, Desc: "LLC misses", Kind: KindLLCMisses},
+			},
+		},
+		{
+			Name: "FP_ARITH_INST_RETIRED", Code: 0xC7,
+			Desc: "Floating-point arithmetic instructions retired",
+			Umasks: []Umask{
+				{Name: "SCALAR_DOUBLE", Bits: 0x01, Desc: "Scalar double-precision", Kind: KindFPScalarD, Default: true},
+				{Name: "256B_PACKED_DOUBLE", Bits: 0x10, Desc: "256-bit packed double", Kind: KindFP256D},
+			},
+		},
+	},
+})

@@ -1,0 +1,17 @@
+package events
+
+// Rapl is the Intel Running Average Power Limit energy PMU ("power" in
+// kernel naming). Its events are package-scope: the kernel only accepts
+// them as CPU-wide events, one per package, exactly like the real
+// perf_event power PMU. Counter values are expressed in RAPL energy units
+// (PowerSpec.EnergyUnitJ joules per count).
+var Rapl = register(&PMU{
+	Name: "rapl",
+	Desc: "Intel RAPL energy counters",
+	Events: []Def{
+		{Name: "ENERGY_CORES", Code: 0x01, Desc: "Energy consumed by all cores", Kind: KindEnergyCores},
+		{Name: "ENERGY_PKG", Code: 0x02, Desc: "Energy consumed by the package", Kind: KindEnergyPkg},
+		{Name: "ENERGY_RAM", Code: 0x03, Desc: "Energy consumed by DRAM", Kind: KindEnergyRAM},
+		{Name: "ENERGY_PSYS", Code: 0x05, Desc: "Energy consumed by the platform", Kind: KindEnergyPsys},
+	},
+})

@@ -1,0 +1,40 @@
+package events
+
+// Software event kinds (PERF_TYPE_SOFTWARE): quantities maintained by the
+// kernel rather than by PMU hardware. ValueOf never services these — the
+// perf_event layer credits them from its own scheduler hooks and clocks —
+// but they live in the same Kind space so the rest of the stack (pfmlib
+// naming, PAPI EventSets) treats them uniformly.
+
+const (
+	// KindSWCpuClock counts wall time on CPU in nanoseconds.
+	KindSWCpuClock Kind = 100 + iota
+	// KindSWTaskClock counts task execution time in nanoseconds.
+	KindSWTaskClock
+	// KindSWPageFaults counts (minor) page faults.
+	KindSWPageFaults
+	// KindSWContextSwitches counts scheduler switch-outs of the task.
+	KindSWContextSwitches
+	// KindSWCpuMigrations counts placements on a different CPU.
+	KindSWCpuMigrations
+)
+
+// Software reports whether the kind is serviced by kernel software
+// counters instead of PMU hardware.
+func (k Kind) Software() bool {
+	return k >= KindSWCpuClock && k <= KindSWCpuMigrations
+}
+
+// PerfSoftware is the software pseudo-PMU ("perf" in libpfm4 naming). Its
+// event codes are the PERF_COUNT_SW_* ids.
+var PerfSoftware = register(&PMU{
+	Name: "perf",
+	Desc: "Kernel software events",
+	Events: []Def{
+		{Name: "CPU_CLOCK", Code: 0x00, Desc: "Wall time on CPU (ns)", Kind: KindSWCpuClock},
+		{Name: "TASK_CLOCK", Code: 0x01, Desc: "Task execution time (ns)", Kind: KindSWTaskClock},
+		{Name: "PAGE_FAULTS", Code: 0x02, Desc: "Page faults", Kind: KindSWPageFaults},
+		{Name: "CONTEXT_SWITCHES", Code: 0x03, Desc: "Context switches", Kind: KindSWContextSwitches},
+		{Name: "CPU_MIGRATIONS", Code: 0x04, Desc: "CPU migrations", Kind: KindSWCpuMigrations},
+	},
+})

@@ -1,0 +1,37 @@
+package events
+
+// AdlImc is the Alder/Raptor Lake integrated memory controller uncore PMU.
+// Its events are package-scope: the kernel accepts them only CPU-wide, and
+// they observe memory traffic from every core regardless of type — which
+// is why, once EventSets can span perf PMUs (section IV.E of the paper),
+// the separate PAPI perf_event_uncore component becomes unnecessary
+// (section V.3).
+//
+// The counts derive from last-level-cache miss traffic: a DRAM read CAS is
+// issued for LLC misses plus prefetch overshoot, and writes follow the
+// dirty-eviction ratio.
+var AdlImc = register(&PMU{
+	Name: "adl_imc",
+	Desc: "Intel Alder Lake integrated memory controller (uncore)",
+	Events: []Def{
+		{
+			Name: "UNC_M_CAS_COUNT", Code: 0x04,
+			Desc: "DRAM CAS commands issued",
+			Umasks: []Umask{
+				{Name: "RD", Bits: 0x01, Desc: "Read CAS commands", Kind: KindLLCMisses, Scale: 1.18, Default: true},
+				{Name: "WR", Bits: 0x02, Desc: "Write CAS commands", Kind: KindLLCMisses, Scale: 0.42},
+				{Name: "ALL", Bits: 0x03, Desc: "All CAS commands", Kind: KindLLCMisses, Scale: 1.60},
+			},
+		},
+		{
+			Name: "UNC_M_ACT_COUNT", Code: 0x01,
+			Desc: "DRAM row activations",
+			Kind: KindLLCMisses, Scale: 0.30,
+		},
+		{
+			Name: "UNC_M_PRE_COUNT", Code: 0x02,
+			Desc: "DRAM precharge commands",
+			Kind: KindLLCMisses, Scale: 0.28,
+		},
+	},
+})

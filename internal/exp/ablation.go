@@ -1,0 +1,304 @@
+package exp
+
+// Ablation studies for the design choices DESIGN.md calls out: the
+// threading strategy (static barrier vs work stealing) across E-core
+// counts, the PL2 turbo budget, the multiplex rotation interval, and the
+// scheduler's Performance-class placement preference.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"hetpapi/internal/core"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/sim"
+	"hetpapi/internal/workload"
+)
+
+// StrategySweepRow is one 8P+kE configuration of the strategy ablation.
+type StrategySweepRow struct {
+	ECores   int
+	Static   float64 // OpenBLAS-style Gflops
+	Dynamic  float64 // MKL-style Gflops
+	DeltaPct float64 // dynamic vs static
+}
+
+// StrategySweepResult shows how the static barrier split degrades as
+// E-cores join — the mechanism behind the paper's Table II crossover.
+type StrategySweepResult struct {
+	Rows []StrategySweepRow
+}
+
+// AblationStrategySweep runs both strategies on 8 P-cores plus 0..8
+// E-cores; the eight cells run on independent machines concurrently.
+func AblationStrategySweep(cfg Config) (StrategySweepResult, error) {
+	var res StrategySweepResult
+	m := hw.RaptorLake()
+	pcpus := cpusFor(m, POnly)
+	ecpus := m.CPUsOfType("E-core")
+	counts := []int{0, 2, 4, 8}
+	cells := make([][2]float64, len(counts))
+	errs := make([]error, len(counts)*2)
+	var wg sync.WaitGroup
+	for ci, k := range counts {
+		cpus := append(append([]int{}, pcpus...), ecpus[:k]...)
+		for si, strat := range []workload.Strategy{workload.OpenBLASx86(), workload.IntelMKL()} {
+			ci, si, strat, cpus := ci, si, strat, cpus
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				run, err := RunHPL(hw.RaptorLake(), strat, cpus, cfg.N, cfg.NB, cfg.Seed)
+				if err != nil {
+					errs[ci*2+si] = err
+					return
+				}
+				cells[ci][si] = run.Gflops
+			}()
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	for ci, k := range counts {
+		res.Rows = append(res.Rows, StrategySweepRow{
+			ECores:   k,
+			Static:   cells[ci][0],
+			Dynamic:  cells[ci][1],
+			DeltaPct: (cells[ci][1] - cells[ci][0]) / cells[ci][0] * 100,
+		})
+	}
+	return res, nil
+}
+
+// String renders the sweep.
+func (r StrategySweepResult) String() string {
+	rows := [][]string{}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("8P + %dE", row.ECores),
+			fmt.Sprintf("%.1f", row.Static),
+			fmt.Sprintf("%.1f", row.Dynamic),
+			fmt.Sprintf("%+.1f%%", row.DeltaPct),
+		})
+	}
+	return table([]string{"cores", "static (Gflops)", "dynamic (Gflops)", "dynamic vs static"}, rows)
+}
+
+// TurboRow is one PL2-budget configuration.
+type TurboRow struct {
+	Label      string
+	BudgetJ    float64
+	Gflops     float64
+	ElapsedSec float64
+	PeakPowerW float64
+}
+
+// TurboResult shows what the short-term power limit budget buys.
+type TurboResult struct {
+	Rows []TurboRow
+}
+
+// AblationTurboBudget compares no-turbo, paper-default and doubled PL2
+// budgets on a medium all-core run — long enough to outlast the default
+// turbo window (otherwise the whole run fits inside it and the budgets
+// are indistinguishable), short enough that the spike still matters.
+func AblationTurboBudget(cfg Config) (TurboResult, error) {
+	var res TurboResult
+	n := cfg.N
+	if n < 28800 {
+		n = 28800
+	}
+	for _, tc := range []struct {
+		label string
+		scale float64
+	}{
+		{"no turbo budget", 0},
+		{"default budget", 1},
+		{"double budget", 2},
+	} {
+		m := hw.RaptorLake()
+		m.Power.PL2BudgetJ *= tc.scale
+		run, err := RunHPL(m, workload.IntelMKL(), m.FirstCPUPerCore(), n, cfg.NB, cfg.Seed)
+		if err != nil {
+			return res, err
+		}
+		var peak float64
+		for i, s := range run.Samples {
+			if i > 0 && s.PowerW > peak {
+				peak = s.PowerW
+			}
+		}
+		res.Rows = append(res.Rows, TurboRow{
+			Label:      tc.label,
+			BudgetJ:    m.Power.PL2BudgetJ,
+			Gflops:     run.Gflops,
+			ElapsedSec: run.ElapsedSec,
+			PeakPowerW: peak,
+		})
+	}
+	return res, nil
+}
+
+// String renders the turbo ablation.
+func (r TurboResult) String() string {
+	rows := [][]string{}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Label,
+			fmt.Sprintf("%.0f J", row.BudgetJ),
+			fmt.Sprintf("%.1f Gflops", row.Gflops),
+			fmt.Sprintf("%.1f s", row.ElapsedSec),
+			fmt.Sprintf("%.0f W", row.PeakPowerW),
+		})
+	}
+	return table([]string{"config", "PL2 budget", "HPL", "time", "peak power"}, rows)
+}
+
+// MuxRow is one multiplex-interval configuration.
+type MuxRow struct {
+	IntervalMs  float64
+	MeanErrPct  float64
+	WorstErrPct float64
+}
+
+// MuxResult quantifies multiplex estimation error versus rotation
+// interval for a 14-event set on one P-core.
+type MuxResult struct {
+	Rows []MuxRow
+}
+
+// AblationMuxInterval measures scaled-estimate error against ground truth
+// for several rotation intervals, using a phase-alternating workload (a
+// constant-rate workload scales back exactly, hiding the error).
+func AblationMuxInterval(cfg Config) (MuxResult, error) {
+	var res MuxResult
+	names := []string{
+		"adl_glc::INST_RETIRED:ANY", "adl_glc::CPU_CLK_UNHALTED:THREAD",
+		"adl_glc::BR_INST_RETIRED:ALL_BRANCHES", "adl_glc::BR_MISP_RETIRED:ALL_BRANCHES",
+		"adl_glc::LONGEST_LAT_CACHE:REFERENCE", "adl_glc::LONGEST_LAT_CACHE:MISS",
+		"adl_glc::MEM_INST_RETIRED:ALL_LOADS", "adl_glc::MEM_INST_RETIRED:ALL_STORES",
+		"adl_glc::CYCLE_ACTIVITY:STALLS_TOTAL", "adl_glc::UOPS_RETIRED:SLOTS",
+		"adl_glc::TOPDOWN:SLOTS", "adl_glc::DTLB_LOAD_MISSES:WALK_COMPLETED",
+		"adl_glc::RESOURCE_STALLS:ANY", "adl_glc::INST_RETIRED:NOP",
+	}
+	for _, ms := range []float64{1, 4, 16} {
+		s := sim.New(hw.RaptorLake(), sim.DefaultConfig())
+		s.Kernel.SetMuxInterval(ms / 1000)
+		lib, err := core.Init(s, core.Options{})
+		if err != nil {
+			return res, err
+		}
+		// A bursty loop with a known retirement total is the ground truth:
+		// its phase-alternating rate is what makes multiplexed estimates
+		// drift (a constant-rate workload would scale back exactly).
+		loop := workload.NewBurstyLoop("w", 1e7, 150, 0.008, 0.15)
+		p := s.Spawn(loop, hw.NewCPUSet(0))
+		es := lib.CreateEventSet()
+		if err := es.Attach(p.PID); err != nil {
+			return res, err
+		}
+		if err := es.SetMultiplex(); err != nil {
+			return res, err
+		}
+		for _, n := range names {
+			if err := es.AddNamed(n); err != nil {
+				return res, err
+			}
+		}
+		if err := es.Start(); err != nil {
+			return res, err
+		}
+		if !s.RunUntil(loop.Done, 600) {
+			return res, fmt.Errorf("exp: mux ablation workload did not finish")
+		}
+		vals, err := es.Stop()
+		if err != nil {
+			return res, err
+		}
+		es.Cleanup()
+
+		truth := loop.TotalInstructions()
+		// INST_RETIRED appears twice (ANY and NOP-scaled); compare the two
+		// estimates that have exact ground truths: instructions (index 0)
+		// and slots via cycles*width consistency. Use the repeated reads of
+		// the same quantity: index 0 is the key error metric.
+		errPct := math.Abs(float64(vals[0])-truth) / truth * 100
+		// Worst case across all events is approximated by the spread of
+		// the two INST_RETIRED-derived estimates.
+		uops := float64(vals[9]) / 1.12 // UOPS_RETIRED:SLOTS scale
+		errUops := math.Abs(uops-truth) / truth * 100
+		worst := errPct
+		if errUops > worst {
+			worst = errUops
+		}
+		res.Rows = append(res.Rows, MuxRow{IntervalMs: ms, MeanErrPct: (errPct + errUops) / 2, WorstErrPct: worst})
+	}
+	return res, nil
+}
+
+// String renders the multiplex ablation.
+func (r MuxResult) String() string {
+	rows := [][]string{}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f ms", row.IntervalMs),
+			fmt.Sprintf("%.2f%%", row.MeanErrPct),
+			fmt.Sprintf("%.2f%%", row.WorstErrPct),
+		})
+	}
+	return table([]string{"mux interval", "mean estimate error", "worst error"}, rows)
+}
+
+// SchedPrefResult compares hybrid-aware (prefer-P) placement against a
+// class-blind scheduler for a latency-sensitive single task.
+type SchedPrefResult struct {
+	PreferPSec     float64
+	ClassBlindSec  float64
+	SlowdownFactor float64
+}
+
+// AblationSchedulerPreference times a fixed instruction workload under
+// both placement policies. A class-blind scheduler parks the task on the
+// lowest free CPU id; on the OrangePi (LITTLE cores enumerate first) that
+// is the slow cluster.
+func AblationSchedulerPreference(cfg Config) (SchedPrefResult, error) {
+	run := func(blind bool) (float64, error) {
+		scfg := sim.DefaultConfig()
+		scfg.Sched.NoClassPreference = blind
+		scfg.Sched.MigrateToEffProb = 0
+		scfg.Sched.MigrateToPerfProb = 0
+		scfg.Sched.Seed = cfg.Seed
+		s := sim.New(hw.OrangePi800(), scfg)
+		loop := workload.NewInstructionLoop("w", 1e6, 5000)
+		s.Spawn(loop, hw.AllCPUs(s.HW))
+		start := s.Now()
+		if !s.RunUntil(loop.Done, 600) {
+			return 0, fmt.Errorf("exp: scheduler ablation workload did not finish")
+		}
+		return s.Now() - start, nil
+	}
+	prefer, err := run(false)
+	if err != nil {
+		return SchedPrefResult{}, err
+	}
+	blind, err := run(true)
+	if err != nil {
+		return SchedPrefResult{}, err
+	}
+	return SchedPrefResult{
+		PreferPSec:     prefer,
+		ClassBlindSec:  blind,
+		SlowdownFactor: blind / prefer,
+	}, nil
+}
+
+// String renders the scheduler ablation.
+func (r SchedPrefResult) String() string {
+	return fmt.Sprintf(
+		"prefer-big placement: %.3f s; class-blind placement: %.3f s; slowdown %.2fx\n",
+		r.PreferPSec, r.ClassBlindSec, r.SlowdownFactor)
+}

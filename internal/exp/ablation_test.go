@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationStrategySweep(t *testing.T) {
+	res, err := AblationStrategySweep(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// With no E-cores the strategies are nearly equal; the dynamic
+	// advantage must grow monotonically-ish with E-core count.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if first.ECores != 0 || last.ECores != 8 {
+		t.Fatalf("sweep bounds wrong: %+v", res.Rows)
+	}
+	if first.DeltaPct > 20 {
+		t.Errorf("with 0 E-cores the gap should be small: %+.1f%%", first.DeltaPct)
+	}
+	if last.DeltaPct < 25 {
+		t.Errorf("with 8 E-cores the dynamic advantage should be large: %+.1f%%", last.DeltaPct)
+	}
+	if last.DeltaPct <= first.DeltaPct {
+		t.Error("the dynamic advantage must grow with E-core count")
+	}
+	// Static throughput must eventually DROP as E-cores join (the
+	// crossover): the 8E static cell is below the 0E one.
+	if last.Static >= first.Static {
+		t.Errorf("static: 8E %.1f >= 0E %.1f; stragglers must hurt", last.Static, first.Static)
+	}
+	// Dynamic keeps improving.
+	if last.Dynamic <= first.Dynamic {
+		t.Errorf("dynamic: 8E %.1f <= 0E %.1f", last.Dynamic, first.Dynamic)
+	}
+	if !strings.Contains(res.String(), "dynamic vs static") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestAblationTurboBudget(t *testing.T) {
+	res, err := AblationTurboBudget(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	none, def, double := res.Rows[0], res.Rows[1], res.Rows[2]
+	// Short runs get faster with more turbo budget.
+	if !(none.Gflops < def.Gflops && def.Gflops < double.Gflops) {
+		t.Errorf("turbo ordering: %.1f / %.1f / %.1f", none.Gflops, def.Gflops, double.Gflops)
+	}
+	// Without budget, power never exceeds ~PL1.
+	if none.PeakPowerW > 75 {
+		t.Errorf("no-budget peak power %.1f W should stay near PL1", none.PeakPowerW)
+	}
+	if def.PeakPowerW < 100 {
+		t.Errorf("default-budget peak %.1f W should spike well above PL1", def.PeakPowerW)
+	}
+	if !strings.Contains(res.String(), "PL2 budget") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestAblationMuxInterval(t *testing.T) {
+	res, err := AblationMuxInterval(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.WorstErrPct > 15 {
+			t.Errorf("mux %vms worst error %.2f%% too large", row.IntervalMs, row.WorstErrPct)
+		}
+		if row.MeanErrPct > row.WorstErrPct {
+			t.Error("mean error above worst error")
+		}
+	}
+	if !strings.Contains(res.String(), "mux interval") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestAblationSchedulerPreference(t *testing.T) {
+	res, err := AblationSchedulerPreference(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The class-blind scheduler parks the task on a LITTLE core (cpu0 on
+	// the OrangePi): slower by roughly the big/LITTLE IPC*freq ratio.
+	if res.SlowdownFactor < 1.5 {
+		t.Errorf("class-blind slowdown = %.2fx; expected a clear penalty", res.SlowdownFactor)
+	}
+	if res.SlowdownFactor > 6 {
+		t.Errorf("slowdown %.2fx implausibly large", res.SlowdownFactor)
+	}
+	if !strings.Contains(res.String(), "class-blind") {
+		t.Error("rendering broken")
+	}
+}

@@ -1,0 +1,369 @@
+// Package exp contains the experiment drivers that regenerate every table
+// and figure of the paper's evaluation, shared by the cmd/ tools, the
+// examples and the top-level benchmarks. Each driver builds fresh
+// simulated machines, runs the paper's workloads under the paper's
+// measurement methodology (1 Hz sysfs polling, perf-style system-wide
+// counters, PAPI EventSets for the hybrid test), and returns structured
+// results with paper-style text rendering.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"hetpapi/internal/events"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/perfevent"
+	"hetpapi/internal/sim"
+	"hetpapi/internal/trace"
+	"hetpapi/internal/workload"
+)
+
+// Config scales the experiments. Default() reproduces the paper's
+// parameters; tests shrink N to keep runtimes small.
+type Config struct {
+	// N and NB are the Raptor Lake HPL.dat parameters (paper: 57024/192).
+	N  int
+	NB int
+	// ArmN and ArmNB size the OrangePi runs.
+	ArmN  int
+	ArmNB int
+	// Runs is how many runs are averaged per cell (paper: 10).
+	Runs int
+	// SettleTempC is the between-runs thermal settle target (paper: 35).
+	SettleTempC float64
+	// Reps and InstrPerRep parameterize the papi_hybrid test
+	// (paper: 100 x 1M).
+	Reps        int
+	InstrPerRep float64
+	// Seed is the base RNG seed; run r of a cell uses Seed + r.
+	Seed int64
+}
+
+// Default returns the paper's experimental parameters, with Runs reduced
+// from 10 to 3 (the simulator is deterministic per seed, so additional
+// runs only average scheduler noise).
+func Default() Config {
+	return Config{
+		N: 57024, NB: 192,
+		ArmN: 16384, ArmNB: 128,
+		Runs:        3,
+		SettleTempC: 35,
+		Reps:        100,
+		InstrPerRep: 1e6,
+		Seed:        2028,
+	}
+}
+
+// Quick returns a scaled-down configuration for tests: the same machines
+// and mechanisms on a small problem.
+func Quick() Config {
+	return Config{
+		N: 9600, NB: 192,
+		ArmN: 12288, ArmNB: 128,
+		Runs:        1,
+		SettleTempC: 35,
+		Reps:        100,
+		InstrPerRep: 1e6,
+		Seed:        7,
+	}
+}
+
+// CoreSelection names the "Enabled cores" rows of Table II.
+type CoreSelection string
+
+// The three Raptor Lake core selections.
+const (
+	EOnly CoreSelection = "E only"
+	POnly CoreSelection = "P only"
+	PAndE CoreSelection = "P and E"
+)
+
+// cpusFor returns the pinned CPU list of a selection (one thread per
+// physical core, as the paper configures HPL).
+func cpusFor(m *hw.Machine, sel CoreSelection) []int {
+	switch sel {
+	case EOnly:
+		return m.CPUsOfType("E-core")
+	case POnly:
+		var out []int
+		for _, c := range m.CPUsOfType("P-core") {
+			if m.CPUs[c].SMTIndex == 0 {
+				out = append(out, c)
+			}
+		}
+		return out
+	default:
+		return m.FirstCPUPerCore()
+	}
+}
+
+// TypeCounters holds system-wide counter totals for one core type.
+type TypeCounters struct {
+	Instructions float64
+	Cycles       float64
+	LLCRefs      float64
+	LLCMisses    float64
+}
+
+// MissRate returns LLC misses / references (0 when idle).
+func (c TypeCounters) MissRate() float64 {
+	if c.LLCRefs == 0 {
+		return 0
+	}
+	return c.LLCMisses / c.LLCRefs
+}
+
+// HPLRun is one measured HPL execution.
+type HPLRun struct {
+	// Gflops is the benchmark figure of merit.
+	Gflops float64
+	// ElapsedSec is the run duration in simulated seconds.
+	ElapsedSec float64
+	// Samples is the 1 Hz monitoring trace.
+	Samples []trace.Sample
+	// ByType holds perf-style system-wide counters per core type name.
+	ByType map[string]TypeCounters
+	// EnergyJ is the total package energy of the run (RAPL machines).
+	EnergyJ float64
+}
+
+// openWide opens system-wide INST_RETIRED, cycles and LLC ref/miss events
+// on every CPU (what "perf stat -a" does) and returns a closure that
+// collects them per core type plus one that closes the descriptors.
+func openWide(s *sim.Machine) (collect func() map[string]TypeCounters, closeAll func(), err error) {
+	type wideEvent struct {
+		fd       int
+		typeName string
+		kind     events.Kind
+	}
+	var open []wideEvent
+	m := s.HW
+	for cpu := 0; cpu < m.NumCPUs(); cpu++ {
+		t := m.TypeOf(cpu)
+		tab := events.LookupPMU(t.PfmName)
+		for _, spec := range []struct {
+			event string
+			umask string
+			kind  events.Kind
+		}{
+			{"INST_RETIRED", "", events.KindInstructions},
+			{cyclesEventFor(t.PfmName), "", events.KindCycles},
+			{"LONGEST_LAT_CACHE", "REFERENCE", events.KindLLCRefs},
+			{"LONGEST_LAT_CACHE", "MISS", events.KindLLCMisses},
+		} {
+			def := tab.Lookup(spec.event)
+			if def == nil {
+				// ARM: LLC events are the L2D pair.
+				switch spec.kind {
+				case events.KindLLCRefs:
+					def = tab.Lookup("L2D_CACHE")
+				case events.KindLLCMisses:
+					def = tab.Lookup("L2D_CACHE_REFILL")
+				}
+				if def == nil {
+					continue
+				}
+			}
+			var bits uint64
+			if spec.umask != "" {
+				if u := def.Umask(spec.umask); u != nil {
+					bits = u.Bits
+				}
+			} else if u := def.DefaultUmask(); u != nil {
+				bits = u.Bits
+			}
+			fd, err := s.Kernel.Open(perfevent.Attr{
+				Type:   t.PMU.PerfType,
+				Config: events.Encode(def.Code, bits),
+			}, -1, cpu, -1)
+			if err != nil {
+				return nil, nil, fmt.Errorf("exp: opening system-wide %s on cpu%d: %w", spec.event, cpu, err)
+			}
+			open = append(open, wideEvent{fd: fd, typeName: t.Name, kind: spec.kind})
+		}
+	}
+	collect = func() map[string]TypeCounters {
+		out := map[string]TypeCounters{}
+		for _, we := range open {
+			c, err := s.Kernel.Read(we.fd)
+			if err != nil {
+				continue
+			}
+			tc := out[we.typeName]
+			switch we.kind {
+			case events.KindInstructions:
+				tc.Instructions += float64(c.Value)
+			case events.KindCycles:
+				tc.Cycles += float64(c.Value)
+			case events.KindLLCRefs:
+				tc.LLCRefs += float64(c.Value)
+			case events.KindLLCMisses:
+				tc.LLCMisses += float64(c.Value)
+			}
+			out[we.typeName] = tc
+		}
+		return out
+	}
+	closeAll = func() {
+		for _, we := range open {
+			s.Kernel.Close(we.fd)
+		}
+	}
+	return collect, closeAll, nil
+}
+
+func cyclesEventFor(pfmName string) string {
+	switch pfmName {
+	case "arm_cortex_a53", "arm_cortex_a72":
+		return "CPU_CYCLES"
+	default:
+		return "CPU_CLK_UNHALTED"
+	}
+}
+
+// RunHPL executes one monitored HPL run on a fresh machine.
+func RunHPL(m *hw.Machine, strategy workload.Strategy, cpus []int, n, nb int, seed int64) (HPLRun, error) {
+	simCfg := sim.DefaultConfig()
+	simCfg.Sched.Seed = seed
+	s := sim.New(m, simCfg)
+	return runHPLOn(s, strategy, cpus, n, nb, seed)
+}
+
+// runHPLOn executes one monitored HPL run on an already-booted machine
+// (which may be warm from a previous run).
+func runHPLOn(s *sim.Machine, strategy workload.Strategy, cpus []int, n, nb int, seed int64) (HPLRun, error) {
+	h, err := workload.NewHPL(workload.HPLConfig{
+		N: n, NB: nb, Threads: len(cpus), Strategy: strategy, Seed: seed,
+	})
+	if err != nil {
+		return HPLRun{}, err
+	}
+	collect, closeWide, err := openWide(s)
+	if err != nil {
+		return HPLRun{}, err
+	}
+	defer closeWide()
+	before := collect()
+	for i, task := range h.Threads() {
+		s.Spawn(task, hw.NewCPUSet(cpus[i]))
+	}
+	startEnergy := s.Power.EnergyJ(0)
+	start := s.Now()
+	rec := trace.NewRecorder(s, 1.0)
+	if !rec.RunUntil(h.Done, 4*3600) {
+		return HPLRun{}, fmt.Errorf("exp: HPL(N=%d) did not finish in 4 simulated hours", n)
+	}
+	elapsed := s.Now() - start
+	byType := collect()
+	for name, b := range before {
+		tc := byType[name]
+		tc.Instructions -= b.Instructions
+		tc.Cycles -= b.Cycles
+		tc.LLCRefs -= b.LLCRefs
+		tc.LLCMisses -= b.LLCMisses
+		byType[name] = tc
+	}
+	return HPLRun{
+		Gflops:     h.Gflops(elapsed),
+		ElapsedSec: elapsed,
+		Samples:    rec.Samples(),
+		ByType:     byType,
+		EnergyJ:    s.Power.EnergyJ(0) - startEnergy,
+	}, nil
+}
+
+// AverageHPL runs a cell cfg.Runs times with distinct seeds on ONE
+// machine, waiting between runs for the package to settle at
+// cfg.SettleTempC — the paper's data-collection protocol ("waiting for
+// the CPU package temperature to settle at 35 degC before each run") —
+// and returns the run with averaged scalars and trace.
+func AverageHPL(cfg Config, m func() *hw.Machine, strategy workload.Strategy, sel CoreSelection) (HPLRun, error) {
+	machine := m()
+	simCfg := sim.DefaultConfig()
+	simCfg.Sched.Seed = cfg.Seed
+	s := sim.New(machine, simCfg)
+	settle := cfg.SettleTempC
+	if settle <= 0 {
+		settle = 35
+	}
+	var runs []HPLRun
+	var traces [][]trace.Sample
+	for r := 0; r < max(1, cfg.Runs); r++ {
+		if r > 0 {
+			s.Settle(settle)
+		}
+		run, err := runHPLOn(s, strategy, cpusFor(machine, sel), cfg.N, cfg.NB, cfg.Seed+int64(r))
+		if err != nil {
+			return HPLRun{}, err
+		}
+		runs = append(runs, run)
+		traces = append(traces, run.Samples)
+	}
+	avg := HPLRun{
+		Samples: trace.AverageRuns(traces),
+		ByType:  map[string]TypeCounters{},
+	}
+	for _, r := range runs {
+		avg.Gflops += r.Gflops
+		avg.ElapsedSec += r.ElapsedSec
+		avg.EnergyJ += r.EnergyJ
+		for name, tc := range r.ByType {
+			cur := avg.ByType[name]
+			cur.Instructions += tc.Instructions
+			cur.Cycles += tc.Cycles
+			cur.LLCRefs += tc.LLCRefs
+			cur.LLCMisses += tc.LLCMisses
+			avg.ByType[name] = cur
+		}
+	}
+	n := float64(len(runs))
+	avg.Gflops /= n
+	avg.ElapsedSec /= n
+	avg.EnergyJ /= n
+	for name, tc := range avg.ByType {
+		tc.Instructions /= n
+		tc.Cycles /= n
+		tc.LLCRefs /= n
+		tc.LLCMisses /= n
+		avg.ByType[name] = tc
+	}
+	return avg, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// table renders rows of columns with padding, for paper-style output.
+func table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

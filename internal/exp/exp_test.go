@@ -1,0 +1,333 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/workload"
+)
+
+func TestTableIIShape(t *testing.T) {
+	res, err := TableII(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byCores := map[CoreSelection]TableIIRow{}
+	for _, r := range res.Rows {
+		byCores[r.Cores] = r
+	}
+	// Intel wins every row.
+	for sel, r := range byCores {
+		if r.Intel <= r.OpenBLAS {
+			t.Errorf("%s: Intel %.1f <= OpenBLAS %.1f", sel, r.Intel, r.OpenBLAS)
+		}
+		if r.ChangePct <= 0 {
+			t.Errorf("%s: change %.1f%%", sel, r.ChangePct)
+		}
+	}
+	// The headline crossover: OpenBLAS loses throughput when E-cores are
+	// enabled; Intel gains.
+	if res.OpenBLASAllVsPPct >= 0 {
+		t.Errorf("OpenBLAS all-core vs P-only = %+.1f%%, want negative", res.OpenBLASAllVsPPct)
+	}
+	if res.IntelAllVsPPct <= 0 {
+		t.Errorf("Intel all-core vs P-only = %+.1f%%, want positive", res.IntelAllVsPPct)
+	}
+	// The all-core gap is the biggest one (paper: +57.4%).
+	if byCores[PAndE].ChangePct <= byCores[POnly].ChangePct {
+		t.Error("the all-core Intel advantage must exceed the P-only advantage")
+	}
+	out := res.String()
+	for _, want := range []string{"Enabled cores", "P and E", "Gflops", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIIIShape(t *testing.T) {
+	res, err := TableIII(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := res.Cells["OpenBLAS HPL"]
+	in := res.Cells["Intel HPL"]
+	if ob == nil || in == nil {
+		t.Fatalf("cells = %+v", res.Cells)
+	}
+	// LLC miss rates: P high (0.6-0.95), E near zero; Intel lower than
+	// OpenBLAS on both types.
+	if p := ob["P-core"].LLCMissRate; p < 0.6 || p > 0.95 {
+		t.Errorf("OpenBLAS P missrate = %.3f, want ~0.86", p)
+	}
+	if p := in["P-core"].LLCMissRate; p < 0.4 || p > 0.8 {
+		t.Errorf("Intel P missrate = %.3f, want ~0.64", p)
+	}
+	if in["P-core"].LLCMissRate >= ob["P-core"].LLCMissRate {
+		t.Error("Intel must reduce the P-core LLC miss rate")
+	}
+	if e := ob["E-core"].LLCMissRate; e > 0.01 {
+		t.Errorf("OpenBLAS E missrate = %.4f, want near zero", e)
+	}
+	// Instruction shares: OpenBLAS more P-skewed than Intel; Intel near
+	// the paper's 68/32.
+	if obP := ob["P-core"].InstrShare; obP < 0.60 || obP > 0.92 {
+		t.Errorf("OpenBLAS P share = %.2f, want ~0.80", obP)
+	}
+	if inP := in["P-core"].InstrShare; inP < 0.55 || inP > 0.80 {
+		t.Errorf("Intel P share = %.2f, want ~0.68", inP)
+	}
+	if ob["P-core"].InstrShare <= in["P-core"].InstrShare {
+		t.Error("OpenBLAS must be more P-skewed than Intel (spin at barriers)")
+	}
+	for _, cells := range res.Cells {
+		sum := cells["P-core"].InstrShare + cells["E-core"].InstrShare
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("instruction shares sum to %.3f", sum)
+		}
+	}
+	if !strings.Contains(res.String(), "LLC missrate") {
+		t.Error("rendering missing LLC missrate row")
+	}
+}
+
+func TestFigures1And2Shape(t *testing.T) {
+	cfg := Quick()
+	cfg.N = 28800 // long enough to leave the PL2 spike and plateau
+	res, err := Figures1And2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := res.ByVariant["OpenBLAS HPL"]
+	in := res.ByVariant["Intel HPL"]
+	if len(ob.Samples) < 10 || len(in.Samples) < 10 {
+		t.Fatalf("traces too short: %d / %d samples", len(ob.Samples), len(in.Samples))
+	}
+	// Paper: OpenBLAS P-core median frequency exceeds Intel's (P cores
+	// spin at barriers, leaving power headroom), E medians are close.
+	if ob.MedianPFreqMHz <= in.MedianPFreqMHz {
+		t.Errorf("median P freq: OpenBLAS %.0f <= Intel %.0f", ob.MedianPFreqMHz, in.MedianPFreqMHz)
+	}
+	// Both plateau near PL1 = 65 W.
+	for name, fs := range res.ByVariant {
+		if fs.PlateauPowerW < 55 || fs.PlateauPowerW > 75 {
+			t.Errorf("%s plateau power = %.1f W, want ~65", name, fs.PlateauPowerW)
+		}
+		if fs.PeakPowerW <= fs.PlateauPowerW {
+			t.Errorf("%s: no initial power spike (peak %.1f, plateau %.1f)",
+				name, fs.PeakPowerW, fs.PlateauPowerW)
+		}
+		if fs.MaxTempC >= 100 {
+			t.Errorf("%s: package reached %.1f C; paper says no thermal throttling", name, fs.MaxTempC)
+		}
+	}
+	// Intel pulls at least as hard as OpenBLAS at the peak. (The paper
+	// reports OpenBLAS peaking at 165.7 W, below the cap; our model's
+	// uniform iteration structure lets both variants brush the PL2 cap
+	// during the spike — a documented divergence, see EXPERIMENTS.md.)
+	if in.PeakPowerW < ob.PeakPowerW-2 {
+		t.Errorf("peak power: Intel %.1f well below OpenBLAS %.1f", in.PeakPowerW, ob.PeakPowerW)
+	}
+	if !strings.Contains(res.String(), "median P freq") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	res, err := Figure3(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	big := res.Series[0]
+	little := res.Series[1]
+	if big.Config.Label != "2 big" || little.Config.Label != "4 LITTLE" {
+		t.Fatalf("order wrong: %+v", res.Series)
+	}
+	// The Figure 3 collapse: bigs start at max and throttle hard.
+	if big.StartBigMHz < 1700 {
+		t.Errorf("big start = %.0f MHz, want ~1800", big.StartBigMHz)
+	}
+	if big.SustainedBigMHz >= big.StartBigMHz-200 {
+		t.Errorf("big sustained %.0f vs start %.0f: no visible throttling",
+			big.SustainedBigMHz, big.StartBigMHz)
+	}
+	if big.MaxTempC < 80 {
+		t.Errorf("big run max temp %.1f C, want near the 85 C trip", big.MaxTempC)
+	}
+	// LITTLE-only: sustains near max, stays cooler.
+	if little.SustainedLittleMHz < 1300 {
+		t.Errorf("LITTLE sustained %.0f MHz, want ~1416", little.SustainedLittleMHz)
+	}
+	if little.MaxTempC >= 85 {
+		t.Errorf("LITTLE run reached the trip (%.1f C)", little.MaxTempC)
+	}
+	// Wall power is in single-board territory.
+	for _, fs := range res.Series {
+		if fs.MeanWallW < 3 || fs.MeanWallW > 25 {
+			t.Errorf("%s wall power %.1f W implausible", fs.Config.Label, fs.MeanWallW)
+		}
+	}
+	if !strings.Contains(res.String(), "big sustained") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	res, err := Figure4(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	oneBig := res.Row("1 big")
+	twoBig := res.Row("2 big")
+	twoLittle := res.Row("2 LITTLE")
+	fourLittle := res.Row("4 LITTLE")
+	all := res.Row("all 6")
+	if oneBig == nil || twoBig == nil || twoLittle == nil || fourLittle == nil || all == nil {
+		t.Fatal("missing rows")
+	}
+	// Paper Figure 4: 4 LITTLE beats 2 big; all 6 only marginally better
+	// than 4 LITTLE.
+	if fourLittle.Gflops <= twoBig.Gflops {
+		t.Errorf("4 LITTLE %.2f <= 2 big %.2f", fourLittle.Gflops, twoBig.Gflops)
+	}
+	if all.Gflops <= fourLittle.Gflops {
+		t.Errorf("all 6 %.2f <= 4 LITTLE %.2f", all.Gflops, fourLittle.Gflops)
+	}
+	if all.Gflops > fourLittle.Gflops*1.5 {
+		t.Errorf("all 6 %.2f >> 4 LITTLE %.2f; paper shows only minimal improvement",
+			all.Gflops, fourLittle.Gflops)
+	}
+	// Scaling sanity inside each cluster.
+	if twoBig.Gflops <= oneBig.Gflops || fourLittle.Gflops <= twoLittle.Gflops {
+		t.Error("adding cores within a cluster must help")
+	}
+	if !strings.Contains(res.String(), "4 LITTLE") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestHybridTestShape(t *testing.T) {
+	res, err := HybridTest(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.AvgP + res.AvgE
+	// The patched sum is ~1M per rep.
+	if sum < res.InstrPerRep*0.999 || sum > res.InstrPerRep*1.001 {
+		t.Errorf("patched sum = %.0f, want ~%.0f", sum, res.InstrPerRep)
+	}
+	if res.AvgP <= res.AvgE {
+		t.Errorf("expected P-heavy split, got p=%.0f e=%.0f", res.AvgP, res.AvgE)
+	}
+	if res.AvgE <= 0 {
+		t.Error("E count must be nonzero for a free-migrating task")
+	}
+	// Legacy: undercounts when free, ~full when pinned to P, ~0 on E.
+	if res.LegacyFree >= res.InstrPerRep*0.999 {
+		t.Errorf("legacy free count %.0f should undercount", res.LegacyFree)
+	}
+	if res.LegacyPinnedP < res.InstrPerRep*0.999 {
+		t.Errorf("legacy pinned-P count %.0f, want ~%.0f", res.LegacyPinnedP, res.InstrPerRep)
+	}
+	if res.LegacyPinnedE > res.InstrPerRep*0.001 {
+		t.Errorf("legacy pinned-E count %.0f, want ~0", res.LegacyPinnedE)
+	}
+	if !strings.Contains(res.String(), "Average instructions p:") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestOverheadShape(t *testing.T) {
+	res, err := Overhead(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 4 {
+		t.Fatalf("cases = %d", len(res.Cases))
+	}
+	single, multi, rapl, mux := res.Cases[0], res.Cases[1], res.Cases[2], res.Cases[3]
+	if single.Groups != 1 || multi.Groups != 2 || rapl.Groups != 3 || mux.Groups != 14 {
+		t.Fatalf("groups = %d/%d/%d/%d", single.Groups, multi.Groups, rapl.Groups, mux.Groups)
+	}
+	// Reads cost one syscall per group — the V.5 overhead.
+	if single.ReadSyscalls != 1 || multi.ReadSyscalls != 2 || rapl.ReadSyscalls != 3 {
+		t.Errorf("read costs = %d/%d/%d, want 1/2/3",
+			single.ReadSyscalls, multi.ReadSyscalls, rapl.ReadSyscalls)
+	}
+	if mux.ReadSyscalls != 14 {
+		t.Errorf("multiplexed read cost = %d, want 14", mux.ReadSyscalls)
+	}
+	// rdpmc eliminates syscalls for pure-hardware sets.
+	if single.FastReadSyscalls != 0 || multi.FastReadSyscalls != 0 {
+		t.Errorf("rdpmc costs = %d/%d, want 0/0", single.FastReadSyscalls, multi.FastReadSyscalls)
+	}
+	// The RAPL event cannot use rdpmc: exactly one fallback syscall.
+	if rapl.FastReadSyscalls != 1 {
+		t.Errorf("rapl rdpmc fallback = %d, want 1", rapl.FastReadSyscalls)
+	}
+	if multi.StartSyscalls <= single.StartSyscalls {
+		t.Error("multi-PMU start must cost more than single-PMU start")
+	}
+	if !strings.Contains(res.String(), "rdpmc read") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestCpusForSelections(t *testing.T) {
+	m := hw.RaptorLake()
+	if got := cpusFor(m, EOnly); len(got) != 8 || got[0] != 16 {
+		t.Errorf("E only = %v", got)
+	}
+	if got := cpusFor(m, POnly); len(got) != 8 || got[7] != 14 {
+		t.Errorf("P only = %v", got)
+	}
+	if got := cpusFor(m, PAndE); len(got) != 16 {
+		t.Errorf("P and E = %v", got)
+	}
+}
+
+func TestRunHPLErrors(t *testing.T) {
+	m := hw.RaptorLake()
+	if _, err := RunHPL(m, workload.OpenBLASx86(), []int{0}, 0, 192, 1); err == nil {
+		t.Error("invalid N must fail")
+	}
+}
+
+func TestAverageHPLSettlesBetweenRuns(t *testing.T) {
+	cfg := Quick()
+	cfg.N = 3840
+	cfg.Runs = 3
+	cfg.SettleTempC = 35
+	run, err := AverageHPL(cfg, hw.RaptorLake, workload.IntelMKL(), POnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Gflops <= 0 {
+		t.Fatal("no throughput")
+	}
+	// Averaged counters must be per-run magnitudes, not 3x (the wide
+	// counters are re-opened and baselined each run).
+	single, err := AverageHPL(exp1Run(cfg), hw.RaptorLake, workload.IntelMKL(), POnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := run.ByType["P-core"].Instructions / single.ByType["P-core"].Instructions
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("averaged instruction count %.2fx the single-run count; baselining broken", ratio)
+	}
+}
+
+func exp1Run(cfg Config) Config {
+	cfg.Runs = 1
+	return cfg
+}

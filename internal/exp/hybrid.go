@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"fmt"
+
+	"hetpapi/internal/core"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/sim"
+	"hetpapi/internal/workload"
+)
+
+// HybridTestResult reproduces the papi_hybrid_100m_one_eventset experiment
+// of section IV.F: a loop retiring InstrPerRep instructions Reps times,
+// measured four ways.
+type HybridTestResult struct {
+	Reps        int
+	InstrPerRep float64
+	// Patched: one EventSet holding both PMUs' INST_RETIRED events. AvgP
+	// and AvgE are the average per-repetition counts; their sum should be
+	// ~InstrPerRep (the paper's "p: 836848 e: 167487").
+	AvgP, AvgE float64
+	// LegacyFree is the legacy library measuring the same free-migrating
+	// workload: only the default (P) PMU counts, so it undercounts.
+	LegacyFree float64
+	// LegacyPinnedP and LegacyPinnedE are the legacy library with the
+	// process tasksetted to one core type: ~InstrPerRep on P, ~0 on E —
+	// the "0, 1 million, or something in between" the paper describes.
+	LegacyPinnedP float64
+	LegacyPinnedE float64
+}
+
+// hybridSim builds a machine with enough scheduler noise that a single
+// thread visits both core types, as timer interrupts and background load
+// cause on real systems.
+func hybridSim(seed int64) *sim.Machine {
+	cfg := sim.DefaultConfig()
+	// The whole test retires 100M instructions in a few milliseconds, so
+	// the simulation runs at a 50 us tick with sub-millisecond balancing
+	// to capture the scheduler-noise migrations a real desktop shows.
+	cfg.TickSec = 0.00005
+	cfg.Sched.MigrateToEffProb = 0.13
+	cfg.Sched.MigrateToPerfProb = 0.37
+	cfg.Sched.BalancePeriodSec = 0.00025
+	cfg.Sched.Seed = seed
+	return sim.New(hw.RaptorLake(), cfg)
+}
+
+// runHybridOnce measures one loop execution and returns the per-rep
+// averages of the EventSet's values.
+func runHybridOnce(cfg Config, legacy bool, affinity func(*hw.Machine) hw.CPUSet, names []string) ([]float64, error) {
+	s := hybridSim(cfg.Seed)
+	l, err := core.Init(s, core.Options{Legacy: legacy})
+	if err != nil {
+		return nil, err
+	}
+	loop := workload.NewInstructionLoop("papi_hybrid", cfg.InstrPerRep, cfg.Reps)
+	p := s.Spawn(loop, affinity(s.HW))
+
+	es := l.CreateEventSet()
+	if err := es.Attach(p.PID); err != nil {
+		return nil, err
+	}
+	for _, n := range names {
+		if err := es.AddNamed(n); err != nil {
+			return nil, err
+		}
+	}
+	if err := es.Start(); err != nil {
+		return nil, err
+	}
+	if !s.RunUntil(loop.Done, 600) {
+		return nil, fmt.Errorf("exp: hybrid loop did not finish")
+	}
+	vals, err := es.Stop()
+	if err != nil {
+		return nil, err
+	}
+	if err := es.Cleanup(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = float64(v) / float64(cfg.Reps)
+	}
+	return out, nil
+}
+
+// HybridTest regenerates the section IV.F experiment.
+func HybridTest(cfg Config) (HybridTestResult, error) {
+	res := HybridTestResult{Reps: cfg.Reps, InstrPerRep: cfg.InstrPerRep}
+	all := func(m *hw.Machine) hw.CPUSet { return hw.AllCPUs(m) }
+	pOnly := func(m *hw.Machine) hw.CPUSet { return hw.NewCPUSet(cpusFor(m, POnly)...) }
+	eOnly := func(m *hw.Machine) hw.CPUSet { return hw.NewCPUSet(m.CPUsOfType("E-core")...) }
+
+	both := []string{"adl_glc::INST_RETIRED:ANY", "adl_grt::INST_RETIRED:ANY"}
+	vals, err := runHybridOnce(cfg, false, all, both)
+	if err != nil {
+		return res, err
+	}
+	res.AvgP, res.AvgE = vals[0], vals[1]
+
+	// Legacy can hold only the default-PMU event.
+	pOnlyEvent := []string{"INST_RETIRED:ANY"}
+	if vals, err = runHybridOnce(cfg, true, all, pOnlyEvent); err != nil {
+		return res, err
+	}
+	res.LegacyFree = vals[0]
+	if vals, err = runHybridOnce(cfg, true, pOnly, pOnlyEvent); err != nil {
+		return res, err
+	}
+	res.LegacyPinnedP = vals[0]
+	if vals, err = runHybridOnce(cfg, true, eOnly, pOnlyEvent); err != nil {
+		return res, err
+	}
+	res.LegacyPinnedE = vals[0]
+	return res, nil
+}
+
+// String renders the test output in the style of section IV.F.
+func (r HybridTestResult) String() string {
+	s := fmt.Sprintf("papi_hybrid: %.0f instructions x %d reps\n", r.InstrPerRep, r.Reps)
+	s += fmt.Sprintf("patched PAPI: Average instructions p: %.0f e: %.0f (sum %.0f)\n",
+		r.AvgP, r.AvgE, r.AvgP+r.AvgE)
+	s += fmt.Sprintf("legacy PAPI, free migration: %.0f\n", r.LegacyFree)
+	s += fmt.Sprintf("legacy PAPI, taskset P-cores: %.0f\n", r.LegacyPinnedP)
+	s += fmt.Sprintf("legacy PAPI, taskset E-cores: %.0f\n", r.LegacyPinnedE)
+	return s
+}

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"fmt"
+
+	"hetpapi/internal/core"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/sim"
+	"hetpapi/internal/workload"
+)
+
+// OverheadCase measures the syscall-equivalent cost of EventSet operations
+// for one configuration — the quantity section V.5 flags: the multi-group
+// indirection adds per-group syscalls to start, stop and read.
+type OverheadCase struct {
+	// Name describes the configuration.
+	Name string
+	// Events is the number of user-visible events in the set.
+	Events int
+	// Groups is the number of perf event groups backing the set.
+	Groups int
+	// StartSyscalls, ReadSyscalls, StopSyscalls count syscall-equivalents
+	// per operation.
+	StartSyscalls int
+	ReadSyscalls  int
+	StopSyscalls  int
+	// FastReadSyscalls counts the rdpmc path (0 when all events support
+	// user-space reads).
+	FastReadSyscalls int
+}
+
+// OverheadResult compares measurement overhead across EventSet shapes.
+type OverheadResult struct {
+	Cases []OverheadCase
+}
+
+// Overhead regenerates the overhead comparison: single-PMU sets (the
+// pre-patch world), multi-PMU sets (the new hybrid support), and
+// multiplexed sets.
+func Overhead(cfg Config) (OverheadResult, error) {
+	var res OverheadResult
+	cases := []struct {
+		name      string
+		names     []string
+		multiplex bool
+	}{
+		{
+			name:  "single PMU, 2 events",
+			names: []string{"adl_glc::INST_RETIRED:ANY", "adl_glc::CPU_CLK_UNHALTED:THREAD"},
+		},
+		{
+			name: "multi PMU (hybrid), 4 events",
+			names: []string{
+				"adl_glc::INST_RETIRED:ANY", "adl_glc::CPU_CLK_UNHALTED:THREAD",
+				"adl_grt::INST_RETIRED:ANY", "adl_grt::CPU_CLK_UNHALTED:CORE",
+			},
+		},
+		{
+			name: "multi PMU + RAPL, 5 events",
+			names: []string{
+				"adl_glc::INST_RETIRED:ANY", "adl_glc::CPU_CLK_UNHALTED:THREAD",
+				"adl_grt::INST_RETIRED:ANY", "adl_grt::CPU_CLK_UNHALTED:CORE",
+				"rapl::ENERGY_PKG",
+			},
+		},
+		{
+			name: "multiplexed, 14 events",
+			names: []string{
+				"adl_glc::INST_RETIRED:ANY", "adl_glc::CPU_CLK_UNHALTED:THREAD",
+				"adl_glc::BR_INST_RETIRED:ALL_BRANCHES", "adl_glc::BR_MISP_RETIRED:ALL_BRANCHES",
+				"adl_glc::LONGEST_LAT_CACHE:REFERENCE", "adl_glc::LONGEST_LAT_CACHE:MISS",
+				"adl_glc::MEM_INST_RETIRED:ALL_LOADS", "adl_glc::MEM_INST_RETIRED:ALL_STORES",
+				"adl_glc::CYCLE_ACTIVITY:STALLS_TOTAL", "adl_glc::UOPS_RETIRED:SLOTS",
+				"adl_glc::TOPDOWN:SLOTS", "adl_glc::DTLB_LOAD_MISSES:WALK_COMPLETED",
+				"adl_glc::RESOURCE_STALLS:ANY", "adl_glc::INST_RETIRED:NOP",
+			},
+			multiplex: true,
+		},
+	}
+
+	for _, tc := range cases {
+		s := sim.New(hw.RaptorLake(), sim.DefaultConfig())
+		l, err := core.Init(s, core.Options{})
+		if err != nil {
+			return res, err
+		}
+		spin := workload.NewSpin("w", 1e9)
+		p := s.Spawn(spin, hw.NewCPUSet(0))
+		es := l.CreateEventSet()
+		if err := es.Attach(p.PID); err != nil {
+			return res, err
+		}
+		if tc.multiplex {
+			if err := es.SetMultiplex(); err != nil {
+				return res, err
+			}
+		}
+		for _, n := range tc.names {
+			if err := es.AddNamed(n); err != nil {
+				return res, fmt.Errorf("exp: overhead case %q: %v", tc.name, err)
+			}
+		}
+		k := s.Kernel
+
+		before := k.Syscalls()
+		if err := es.Start(); err != nil {
+			return res, err
+		}
+		startCost := k.Syscalls() - before
+		s.RunFor(0.1)
+
+		before = k.Syscalls()
+		if _, err := es.Read(); err != nil {
+			return res, err
+		}
+		readCost := k.Syscalls() - before
+
+		before = k.Syscalls()
+		if _, err := es.ReadFast(); err != nil {
+			return res, err
+		}
+		fastCost := k.Syscalls() - before
+
+		before = k.Syscalls()
+		if _, err := es.Stop(); err != nil {
+			return res, err
+		}
+		stopCost := k.Syscalls() - before
+
+		res.Cases = append(res.Cases, OverheadCase{
+			Name:             tc.name,
+			Events:           es.NumEvents(),
+			Groups:           es.NumGroups(),
+			StartSyscalls:    startCost,
+			ReadSyscalls:     readCost,
+			StopSyscalls:     stopCost,
+			FastReadSyscalls: fastCost,
+		})
+		if err := es.Cleanup(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// String renders the overhead comparison.
+func (r OverheadResult) String() string {
+	rows := [][]string{}
+	for _, c := range r.Cases {
+		rows = append(rows, []string{
+			c.Name,
+			fmt.Sprintf("%d", c.Events),
+			fmt.Sprintf("%d", c.Groups),
+			fmt.Sprintf("%d", c.StartSyscalls),
+			fmt.Sprintf("%d", c.ReadSyscalls),
+			fmt.Sprintf("%d", c.FastReadSyscalls),
+			fmt.Sprintf("%d", c.StopSyscalls),
+		})
+	}
+	return table([]string{"EventSet shape", "events", "groups",
+		"start", "read", "rdpmc read", "stop"}, rows)
+}

@@ -1,0 +1,241 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/stats"
+	"hetpapi/internal/trace"
+	"hetpapi/internal/workload"
+)
+
+// TableIIRow is one "Enabled cores" row of Table II.
+type TableIIRow struct {
+	Cores     CoreSelection
+	OpenBLAS  float64 // Gflops
+	Intel     float64 // Gflops
+	ChangePct float64 // OpenBLAS -> Intel
+}
+
+// TableIIResult reproduces Table II: OpenBLAS HPL vs Intel HPL Gflops per
+// core selection, plus the two headline deltas the paper calls out.
+type TableIIResult struct {
+	Rows []TableIIRow
+	// OpenBLASAllVsPPct is the all-core vs P-only change for OpenBLAS
+	// (paper: -18.5%, all-core is WORSE).
+	OpenBLASAllVsPPct float64
+	// IntelAllVsPPct is the same for Intel HPL (paper: +16.4%).
+	IntelAllVsPPct float64
+}
+
+// TableII regenerates Table II. The six cells are independent simulated
+// machines, so they run concurrently (each cell is internally
+// deterministic; the table is identical to a serial run).
+func TableII(cfg Config) (TableIIResult, error) {
+	var res TableIIResult
+	type cellKey struct {
+		sel     CoreSelection
+		variant string
+	}
+	type cellOut struct {
+		key    cellKey
+		gflops float64
+		err    error
+	}
+	var wg sync.WaitGroup
+	results := make(chan cellOut, 6)
+	for _, sel := range []CoreSelection{EOnly, POnly, PAndE} {
+		for _, strat := range []workload.Strategy{workload.OpenBLASx86(), workload.IntelMKL()} {
+			sel, strat := sel, strat
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				run, err := AverageHPL(cfg, hw.RaptorLake, strat, sel)
+				results <- cellOut{cellKey{sel, strat.Name}, run.Gflops, err}
+			}()
+		}
+	}
+	wg.Wait()
+	close(results)
+	cells := map[CoreSelection]map[string]float64{}
+	for out := range results {
+		if out.err != nil {
+			return res, out.err
+		}
+		if cells[out.key.sel] == nil {
+			cells[out.key.sel] = map[string]float64{}
+		}
+		cells[out.key.sel][out.key.variant] = out.gflops
+	}
+	for _, sel := range []CoreSelection{EOnly, POnly, PAndE} {
+		ob := cells[sel]["OpenBLAS HPL"]
+		in := cells[sel]["Intel HPL"]
+		res.Rows = append(res.Rows, TableIIRow{
+			Cores:     sel,
+			OpenBLAS:  ob,
+			Intel:     in,
+			ChangePct: stats.PctChange(ob, in),
+		})
+	}
+	res.OpenBLASAllVsPPct = stats.PctChange(cells[POnly]["OpenBLAS HPL"], cells[PAndE]["OpenBLAS HPL"])
+	res.IntelAllVsPPct = stats.PctChange(cells[POnly]["Intel HPL"], cells[PAndE]["Intel HPL"])
+	return res, nil
+}
+
+// String renders the result in the paper's Table II layout.
+func (r TableIIResult) String() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			string(row.Cores),
+			fmt.Sprintf("%.2f Gflops", row.OpenBLAS),
+			fmt.Sprintf("%.2f Gflops", row.Intel),
+			fmt.Sprintf("%+.1f%%", row.ChangePct),
+		})
+	}
+	s := table([]string{"Enabled cores", "OpenBLAS HPL", "Intel HPL", "% Change"}, rows)
+	s += fmt.Sprintf("OpenBLAS all-core vs P-only: %+.1f%% (paper: -18.5%%)\n", r.OpenBLASAllVsPPct)
+	s += fmt.Sprintf("Intel    all-core vs P-only: %+.1f%% (paper: +16.4%%)\n", r.IntelAllVsPPct)
+	return s
+}
+
+// TableIIICell holds the measured values for one (variant, core type).
+type TableIIICell struct {
+	LLCMissRate float64
+	InstrShare  float64
+}
+
+// TableIIIResult reproduces Table III: hardware counter measurements of
+// the two all-core runs, per core type.
+type TableIIIResult struct {
+	// Cells[variant][coreTypeName].
+	Cells map[string]map[string]TableIIICell
+}
+
+// TableIII regenerates Table III from monitored all-core runs.
+func TableIII(cfg Config) (TableIIIResult, error) {
+	res := TableIIIResult{Cells: map[string]map[string]TableIIICell{}}
+	for _, strat := range []workload.Strategy{workload.OpenBLASx86(), workload.IntelMKL()} {
+		run, err := AverageHPL(cfg, hw.RaptorLake, strat, PAndE)
+		if err != nil {
+			return res, err
+		}
+		var totalInstr float64
+		for _, tc := range run.ByType {
+			totalInstr += tc.Instructions
+		}
+		res.Cells[strat.Name] = map[string]TableIIICell{}
+		for name, tc := range run.ByType {
+			share := 0.0
+			if totalInstr > 0 {
+				share = tc.Instructions / totalInstr
+			}
+			res.Cells[strat.Name][name] = TableIIICell{
+				LLCMissRate: tc.MissRate(),
+				InstrShare:  share,
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders Table III in the paper's layout.
+func (r TableIIIResult) String() string {
+	rows := [][]string{}
+	for _, metric := range []string{"LLC missrate", "% of total instructions"} {
+		row := []string{metric}
+		for _, variant := range []string{"OpenBLAS HPL", "Intel HPL"} {
+			for _, ct := range []string{"P-core", "E-core"} {
+				cell := r.Cells[variant][ct]
+				switch metric {
+				case "LLC missrate":
+					row = append(row, fmt.Sprintf("%.2f%%", cell.LLCMissRate*100))
+				default:
+					row = append(row, fmt.Sprintf("%.0f%%", cell.InstrShare*100))
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return table([]string{"", "OpenBLAS P", "OpenBLAS E", "Intel P", "Intel E"}, rows)
+}
+
+// FigureSeries is the monitoring trace of one all-core run plus the
+// summary frequencies the paper quotes in the Figure 1 discussion.
+type FigureSeries struct {
+	Variant string
+	Samples []trace.Sample
+	// MedianPFreqMHz / MedianEFreqMHz are the median busy-core
+	// frequencies (paper: Intel 2610/2320, OpenBLAS 2940/2260).
+	MedianPFreqMHz float64
+	MedianEFreqMHz float64
+	// PeakPowerW and PlateauPowerW summarize the Figure 2 shape
+	// (paper: OpenBLAS peaks at 165.7 W, both plateau at 65 W).
+	PeakPowerW    float64
+	PlateauPowerW float64
+	// MaxTempC is the hottest package temperature (paper: below 100).
+	MaxTempC float64
+}
+
+// Figures1And2Result carries the per-variant traces behind Figures 1 and 2.
+type Figures1And2Result struct {
+	ByVariant map[string]FigureSeries
+}
+
+// Figures1And2 regenerates the frequency (Fig. 1) and power/temperature
+// (Fig. 2) traces of the two all-core runs.
+func Figures1And2(cfg Config) (Figures1And2Result, error) {
+	m := hw.RaptorLake()
+	res := Figures1And2Result{ByVariant: map[string]FigureSeries{}}
+	pcpus := cpusFor(m, POnly)
+	ecpus := m.CPUsOfType("E-core")
+	for _, strat := range []workload.Strategy{workload.OpenBLASx86(), workload.IntelMKL()} {
+		run, err := AverageHPL(cfg, hw.RaptorLake, strat, PAndE)
+		if err != nil {
+			return res, err
+		}
+		fs := FigureSeries{Variant: strat.Name, Samples: run.Samples}
+		// Drop the first and last samples (ramp-up and completion) from
+		// the medians, as eyeballing the paper's plots does.
+		pSeries := trace.MeanFreqSeries(run.Samples, pcpus)
+		eSeries := trace.MeanFreqSeries(run.Samples, ecpus)
+		if len(pSeries) > 4 {
+			pSeries = pSeries[1 : len(pSeries)-1]
+			eSeries = eSeries[1 : len(eSeries)-1]
+		}
+		fs.MedianPFreqMHz = stats.Median(pSeries)
+		fs.MedianEFreqMHz = stats.Median(eSeries)
+		power := trace.PowerSeries(run.Samples)
+		if len(power) > 1 {
+			power = power[1:] // first sample has no energy delta
+		}
+		fs.PeakPowerW = stats.Max(power)
+		fs.PlateauPowerW = stats.Median(power)
+		fs.MaxTempC = stats.Max(trace.TempSeries(run.Samples))
+		res.ByVariant[strat.Name] = fs
+	}
+	return res, nil
+}
+
+// String summarizes the Figure 1/2 shapes.
+func (r Figures1And2Result) String() string {
+	rows := [][]string{}
+	for _, v := range []string{"OpenBLAS HPL", "Intel HPL"} {
+		fs, ok := r.ByVariant[v]
+		if !ok {
+			continue
+		}
+		rows = append(rows, []string{
+			v,
+			fmt.Sprintf("%.2f GHz", fs.MedianPFreqMHz/1000),
+			fmt.Sprintf("%.2f GHz", fs.MedianEFreqMHz/1000),
+			fmt.Sprintf("%.1f W", fs.PeakPowerW),
+			fmt.Sprintf("%.1f W", fs.PlateauPowerW),
+			fmt.Sprintf("%.1f C", fs.MaxTempC),
+			fmt.Sprintf("%d samples", len(fs.Samples)),
+		})
+	}
+	return table([]string{"Variant", "median P freq", "median E freq",
+		"peak power", "plateau power", "max temp", "trace"}, rows)
+}

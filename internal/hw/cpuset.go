@@ -1,0 +1,107 @@
+package hw
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// CPUSet is an affinity mask over logical CPUs, like the mask taskset
+// manipulates. Machines in this simulator have at most 64 logical CPUs.
+type CPUSet uint64
+
+// MaxCPUs is the largest logical CPU id a CPUSet can hold plus one.
+const MaxCPUs = 64
+
+// NewCPUSet returns a set containing the given CPU ids.
+func NewCPUSet(ids ...int) CPUSet {
+	var s CPUSet
+	for _, id := range ids {
+		s = s.Add(id)
+	}
+	return s
+}
+
+// AllCPUs returns the set of every logical CPU of the machine.
+func AllCPUs(m *Machine) CPUSet {
+	return NewCPUSet(rangeInts(m.NumCPUs())...)
+}
+
+func rangeInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Add returns the set with id included. Out-of-range ids are ignored.
+func (s CPUSet) Add(id int) CPUSet {
+	if id < 0 || id >= MaxCPUs {
+		return s
+	}
+	return s | 1<<uint(id)
+}
+
+// Remove returns the set with id excluded.
+func (s CPUSet) Remove(id int) CPUSet {
+	if id < 0 || id >= MaxCPUs {
+		return s
+	}
+	return s &^ (1 << uint(id))
+}
+
+// Has reports whether id is in the set.
+func (s CPUSet) Has(id int) bool {
+	return id >= 0 && id < MaxCPUs && s&(1<<uint(id)) != 0
+}
+
+// Count returns the number of CPUs in the set.
+func (s CPUSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Empty reports whether the set has no CPUs.
+func (s CPUSet) Empty() bool { return s == 0 }
+
+// Intersect returns the CPUs present in both sets.
+func (s CPUSet) Intersect(other CPUSet) CPUSet { return s & other }
+
+// Union returns the CPUs present in either set.
+func (s CPUSet) Union(other CPUSet) CPUSet { return s | other }
+
+// IDs returns the CPU ids in the set, ascending.
+func (s CPUSet) IDs() []int {
+	out := make([]int, 0, s.Count())
+	for v := uint64(s); v != 0; {
+		id := bits.TrailingZeros64(v)
+		out = append(out, id)
+		v &^= 1 << uint(id)
+	}
+	return out
+}
+
+// String renders the set in cpulist style ("0-3,16").
+func (s CPUSet) String() string {
+	ids := s.IDs()
+	if len(ids) == 0 {
+		return "(empty)"
+	}
+	var parts []string
+	start, prev := ids[0], ids[0]
+	flush := func() {
+		if start == prev {
+			parts = append(parts, fmt.Sprintf("%d", start))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", start, prev))
+		}
+	}
+	for _, id := range ids[1:] {
+		if id == prev+1 {
+			prev = id
+			continue
+		}
+		flush()
+		start, prev = id, id
+	}
+	flush()
+	return strings.Join(parts, ",")
+}

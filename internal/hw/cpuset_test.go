@@ -1,0 +1,108 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCPUSetBasics(t *testing.T) {
+	s := NewCPUSet(0, 2, 4)
+	if !s.Has(0) || !s.Has(2) || !s.Has(4) || s.Has(1) || s.Has(3) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	s = s.Remove(2)
+	if s.Has(2) || s.Count() != 2 {
+		t.Fatalf("Remove failed: %v", s)
+	}
+	if !s.Remove(99).Has(0) {
+		t.Fatal("removing out-of-range must not disturb the set")
+	}
+	if NewCPUSet().Count() != 0 || !NewCPUSet().Empty() {
+		t.Fatal("empty set wrong")
+	}
+	if s.Empty() {
+		t.Fatal("non-empty set reports Empty")
+	}
+}
+
+func TestCPUSetOutOfRange(t *testing.T) {
+	s := NewCPUSet(-1, 64, 1000)
+	if !s.Empty() {
+		t.Fatalf("out-of-range ids must be ignored: %v", s)
+	}
+	if s.Has(-1) || s.Has(64) {
+		t.Fatal("Has must reject out-of-range ids")
+	}
+}
+
+func TestCPUSetOps(t *testing.T) {
+	a := NewCPUSet(0, 1, 2)
+	b := NewCPUSet(2, 3)
+	if got := a.Intersect(b); got != NewCPUSet(2) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := a.Union(b); got != NewCPUSet(0, 1, 2, 3) {
+		t.Fatalf("Union = %v", got)
+	}
+}
+
+func TestCPUSetString(t *testing.T) {
+	cases := []struct {
+		s    CPUSet
+		want string
+	}{
+		{NewCPUSet(), "(empty)"},
+		{NewCPUSet(3), "3"},
+		{NewCPUSet(0, 1, 2, 3), "0-3"},
+		{NewCPUSet(0, 2, 4, 16, 17, 18), "0,2,4,16-18"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String(%b) = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestAllCPUs(t *testing.T) {
+	m := RaptorLake()
+	all := AllCPUs(m)
+	if all.Count() != 24 {
+		t.Fatalf("AllCPUs count = %d", all.Count())
+	}
+	if !all.Has(0) || !all.Has(23) || all.Has(24) {
+		t.Fatal("AllCPUs membership wrong")
+	}
+}
+
+// Property: IDs returns exactly the added unique in-range ids, sorted.
+func TestCPUSetIDsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var s CPUSet
+		want := map[int]bool{}
+		for _, r := range raw {
+			id := int(r) % 80 // include some out-of-range
+			s = s.Add(id)
+			if id < MaxCPUs {
+				want[id] = true
+			}
+		}
+		ids := s.IDs()
+		if len(ids) != len(want) {
+			return false
+		}
+		prev := -1
+		for _, id := range ids {
+			if !want[id] || id <= prev {
+				return false
+			}
+			prev = id
+		}
+		return s.Count() == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package hw
+
+// Dimensity9000 returns a three-core-type ARM machine modeled on a
+// MediaTek Dimensity 9000 class SoC: one Cortex-X2 "prime" core, three
+// Cortex-A710 "big" cores and four Cortex-A510 "LITTLE" cores. The paper
+// notes such tri-gear ARM CPUs already ship and that on them the
+// cpu_capacity values "often are 250, 512, and 1024" — which is exactly
+// what this model exposes. It exists to exercise every N>2 code path:
+// three default PMUs, three perf groups per EventSet, presets derived
+// across three natives, and three-way detection groupings.
+func Dimensity9000() *Machine {
+	little := CoreType{
+		Name:             "LITTLE",
+		Microarch:        "Cortex-A510",
+		PfmName:          "arm_cortex_a510",
+		Class:            Efficiency,
+		PMU:              PMUSpec{Name: "armv9_cortex_a510", PerfType: 8, NumGP: 6, NumFixed: 1},
+		MinFreqMHz:       500,
+		MaxFreqMHz:       1800,
+		BaseFreqMHz:      1800,
+		FreqStepMHz:      100,
+		ThreadsPerCore:   1,
+		FlopsPerCycle:    4,
+		HPLEfficiency:    0.72,
+		BaseIPC:          1.1,
+		IssueWidth:       3,
+		VecFlopsPerInstr: 4,
+		SMTThroughput:    1.0,
+		Capacity:         250,
+		IdleWatts:        0.02,
+		DynWattsAtMax:    0.45,
+		SpinActivity:     0.30,
+		L1DKB:            32,
+		L2KB:             256,
+	}
+	big := CoreType{
+		Name:             "big",
+		Microarch:        "Cortex-A710",
+		PfmName:          "arm_cortex_a710",
+		Class:            Performance,
+		PMU:              PMUSpec{Name: "armv9_cortex_a710", PerfType: 9, NumGP: 6, NumFixed: 1},
+		MinFreqMHz:       600,
+		MaxFreqMHz:       2850,
+		BaseFreqMHz:      2850,
+		FreqStepMHz:      150,
+		ThreadsPerCore:   1,
+		FlopsPerCycle:    8,
+		HPLEfficiency:    0.82,
+		BaseIPC:          2.0,
+		IssueWidth:       5,
+		VecFlopsPerInstr: 4,
+		SMTThroughput:    1.0,
+		Capacity:         512,
+		IdleWatts:        0.05,
+		DynWattsAtMax:    2.2,
+		SpinActivity:     0.22,
+		L1DKB:            64,
+		L2KB:             512,
+	}
+	prime := CoreType{
+		Name:             "prime",
+		Microarch:        "Cortex-X2",
+		PfmName:          "arm_cortex_x2",
+		Class:            Performance,
+		PMU:              PMUSpec{Name: "armv9_cortex_x2", PerfType: 10, NumGP: 6, NumFixed: 1},
+		MinFreqMHz:       700,
+		MaxFreqMHz:       3050,
+		BaseFreqMHz:      3050,
+		FreqStepMHz:      150,
+		ThreadsPerCore:   1,
+		FlopsPerCycle:    8,
+		HPLEfficiency:    0.85,
+		BaseIPC:          2.6,
+		IssueWidth:       6,
+		VecFlopsPerInstr: 4,
+		SMTThroughput:    1.0,
+		Capacity:         1024,
+		IdleWatts:        0.08,
+		DynWattsAtMax:    3.6,
+		SpinActivity:     0.20,
+		L1DKB:            64,
+		L2KB:             1024,
+	}
+
+	m := &Machine{
+		Name:     "dimensity9000",
+		Vendor:   "MediaTek",
+		CPUModel: "MediaTek Dimensity 9000 (model)",
+		Arch:     "aarch64",
+		Family:   9,
+		Model:    0xd48,
+		Stepping: 0,
+		Types:    []CoreType{little, big, prime},
+		MemoryGB: 12,
+		LLCKB:    8 * 1024, // shared system-level cache
+		Power: PowerSpec{
+			HasRAPL:      false,
+			UncoreWatts:  0.9,
+			ACLossWatts:  1.8,
+			ACEfficiency: 0.9,
+		},
+		Thermal: ThermalSpec{
+			ZoneName:         "soc-thermal",
+			ZoneIndex:        0,
+			AmbientC:         25,
+			CapacitanceJPerC: 0.8,
+			ResistanceCPerW:  9,
+			TjMaxC:           105,
+			PassiveTripC:     80,
+			ThrottleFloorMHz: map[string]float64{"prime": 700, "big": 600, "LITTLE": 900},
+		},
+		HasCPUCapacity: true,
+		HasCPUID:       false,
+	}
+
+	// Device-tree order: LITTLE cluster cpu0-3, big cluster cpu4-6, prime
+	// core cpu7.
+	for i := 0; i < 4; i++ {
+		m.CPUs = append(m.CPUs, CPU{ID: i, TypeIndex: 0, PhysCore: i, SMTIndex: 0})
+	}
+	for i := 0; i < 3; i++ {
+		m.CPUs = append(m.CPUs, CPU{ID: 4 + i, TypeIndex: 1, PhysCore: 4 + i, SMTIndex: 0})
+	}
+	m.CPUs = append(m.CPUs, CPU{ID: 7, TypeIndex: 2, PhysCore: 7, SMTIndex: 0})
+	return m
+}

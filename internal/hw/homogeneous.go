@@ -1,0 +1,74 @@
+package hw
+
+// Homogeneous returns a traditional single-core-type machine (a generic
+// 4-core/8-thread Skylake-class desktop). The paper uses such systems as the
+// baseline: on a traditional machine a single-PMU EventSet already measures
+// everything, so the hybrid test returns the expected count without any of
+// the multi-PMU machinery.
+func Homogeneous() *Machine {
+	core := CoreType{
+		Name:             "core",
+		Microarch:        "Skylake",
+		PfmName:          "skl",
+		Class:            Performance,
+		PMU:              PMUSpec{Name: "cpu", PerfType: 6, NumGP: 4, NumFixed: 3},
+		MinFreqMHz:       800,
+		MaxFreqMHz:       4200,
+		BaseFreqMHz:      3600,
+		FreqStepMHz:      100,
+		ThreadsPerCore:   2,
+		FlopsPerCycle:    16,
+		HPLEfficiency:    0.90,
+		BaseIPC:          2.0,
+		IssueWidth:       4,
+		VecFlopsPerInstr: 8,
+		SMTThroughput:    0.65,
+		Capacity:         1024,
+		IdleWatts:        0.8,
+		DynWattsAtMax:    18,
+		SpinActivity:     0.20,
+		L1DKB:            32,
+		L2KB:             256,
+	}
+	m := &Machine{
+		Name:     "homogeneous",
+		Vendor:   "GenuineIntel",
+		CPUModel: "Generic Skylake Desktop",
+		Arch:     "x86_64",
+		Family:   6,
+		Model:    0x5E,
+		Stepping: 3,
+		Types:    []CoreType{core},
+		MemoryGB: 16,
+		LLCKB:    8 * 1024,
+		Power: PowerSpec{
+			HasRAPL:      true,
+			PL1Watts:     65,
+			PL2Watts:     90,
+			PL1TauSec:    28,
+			PL2BudgetJ:   500,
+			UncoreWatts:  6,
+			EnergyUnitJ:  1.0 / 16384,
+			ACLossWatts:  8,
+			ACEfficiency: 0.88,
+			RAPLPerfType: 20,
+		},
+		Thermal: ThermalSpec{
+			ZoneName:         "x86_pkg_temp",
+			ZoneIndex:        2,
+			AmbientC:         25,
+			CapacitanceJPerC: 100,
+			ResistanceCPerW:  0.5,
+			TjMaxC:           100,
+			PassiveTripC:     0,
+		},
+		HasCPUCapacity: false,
+		HasCPUID:       true,
+	}
+	for i := 0; i < 4; i++ {
+		m.CPUs = append(m.CPUs,
+			CPU{ID: 2 * i, TypeIndex: 0, PhysCore: i, SMTIndex: 0},
+			CPU{ID: 2*i + 1, TypeIndex: 0, PhysCore: i, SMTIndex: 1})
+	}
+	return m
+}

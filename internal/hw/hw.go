@@ -1,0 +1,469 @@
+// Package hw describes simulated heterogeneous machines: core types, CPU
+// topology, PMU capabilities, and the power/thermal constants that drive the
+// physical models in internal/power, internal/thermal and internal/dvfs.
+//
+// Everything in this package is plain data. The two machines evaluated in the
+// paper are provided as presets: RaptorLake (an Intel i7-13700 desktop with
+// 8 P-cores and 8 E-cores) and OrangePi800 (a Rockchip RK3399 with 2 ARM
+// Cortex-A72 "big" and 4 Cortex-A53 "LITTLE" cores).
+package hw
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CoreClass is the coarse role of a core type inside a hybrid processor.
+type CoreClass int
+
+const (
+	// Performance marks the fast, power-hungry cores (Intel P-core, ARM big).
+	Performance CoreClass = iota
+	// Efficiency marks the small, power-efficient cores (Intel E-core, ARM LITTLE).
+	Efficiency
+)
+
+// String returns "performance" or "efficiency".
+func (c CoreClass) String() string {
+	switch c {
+	case Performance:
+		return "performance"
+	case Efficiency:
+		return "efficiency"
+	default:
+		return fmt.Sprintf("CoreClass(%d)", int(c))
+	}
+}
+
+// PMUSpec describes the performance monitoring unit of one core type as the
+// kernel exports it: a name (the /sys/devices/<name> directory), a dynamic
+// perf event type id, and the counter inventory that bounds how many events
+// can be scheduled simultaneously before multiplexing kicks in.
+type PMUSpec struct {
+	// Name is the kernel PMU name, e.g. "cpu_core", "cpu_atom",
+	// "armv8_cortex_a72".
+	Name string
+	// PerfType is the dynamic perf event type id exported in
+	// /sys/devices/<Name>/type. Values below 6 are reserved for the static
+	// perf_event types (hardware, software, tracepoint, hw-cache, raw,
+	// breakpoint).
+	PerfType uint32
+	// NumGP is the number of general-purpose programmable counters.
+	NumGP int
+	// NumFixed is the number of fixed-function counters (instructions,
+	// cycles, ref-cycles on Intel).
+	NumFixed int
+}
+
+// CoreType describes one kind of core in a hybrid processor, including its
+// microarchitectural performance envelope and its contribution to the power
+// model.
+type CoreType struct {
+	// Name is the human-readable core type name ("P-core", "E-core", "big",
+	// "LITTLE").
+	Name string
+	// Microarch is the microarchitecture name ("RaptorCove", "Gracemont",
+	// "Cortex-A72", "Cortex-A53").
+	Microarch string
+	// PfmName is the libpfm4-style PMU model name used in event strings,
+	// e.g. "adl_glc" for the Alder/Raptor Lake GoldenCove P-core.
+	PfmName string
+	// Class is Performance or Efficiency.
+	Class CoreClass
+	// PMU describes the core type's performance monitoring unit.
+	PMU PMUSpec
+
+	// MinFreqMHz and MaxFreqMHz bound the DVFS range; BaseFreqMHz is the
+	// guaranteed sustained frequency.
+	MinFreqMHz  float64
+	MaxFreqMHz  float64
+	BaseFreqMHz float64
+	// FreqStepMHz is the DVFS step granularity (P-states are multiples of
+	// the bus clock, typically 100 MHz on Intel).
+	FreqStepMHz float64
+
+	// ThreadsPerCore is the SMT width (2 for Intel P-cores, 1 elsewhere).
+	ThreadsPerCore int
+
+	// FlopsPerCycle is the peak double-precision FLOPs retired per cycle by
+	// the vector units (FMA counted as two).
+	FlopsPerCycle float64
+	// HPLEfficiency is the fraction of peak a well-tuned DGEMM sustains on
+	// this core type.
+	HPLEfficiency float64
+	// BaseIPC is the retired instructions per cycle for generic scalar
+	// integer work (used by non-HPL workloads and spin loops).
+	BaseIPC float64
+	// IssueWidth is the pipeline issue width (topdown slots per cycle).
+	IssueWidth float64
+	// VecFlopsPerInstr is how many double-precision FLOPs one packed
+	// vector FMA instruction retires (8 for 256-bit, 4 for 128-bit).
+	VecFlopsPerInstr float64
+	// SMTThroughput is the per-thread throughput factor when both SMT
+	// siblings of a core are busy (1.0 means no contention).
+	SMTThroughput float64
+
+	// Capacity is the scheduler capacity value in 0..1024 exported via
+	// /sys/devices/system/cpu/cpuX/cpu_capacity on ARM systems.
+	Capacity int
+
+	// IdleWatts is the per-core idle (C0 residency floor) power.
+	IdleWatts float64
+	// DynWattsAtMax is the per-core dynamic power at maximum frequency under
+	// full vector load. Dynamic power scales as (f/fmax)^3 (voltage tracks
+	// frequency approximately linearly in the DVFS range).
+	DynWattsAtMax float64
+	// SpinActivity is the activity factor of a spin-wait loop relative to
+	// full vector load (spinning burns far less power than FMA streams).
+	SpinActivity float64
+
+	// L1DKB, L2KB are per-core private cache sizes in KiB (L2 shared per
+	// 4-core cluster on E-cores and A53s, but modeled per-core here).
+	L1DKB int
+	L2KB  int
+}
+
+// CPU is one logical CPU (a hardware thread).
+type CPU struct {
+	// ID is the logical CPU number as the OS sees it.
+	ID int
+	// TypeIndex indexes Machine.Types.
+	TypeIndex int
+	// PhysCore is the physical core id this thread belongs to.
+	PhysCore int
+	// SMTIndex is 0 for the first thread of a core, 1 for its sibling.
+	SMTIndex int
+}
+
+// PowerSpec holds the package-level power model constants.
+type PowerSpec struct {
+	// HasRAPL reports whether the package exposes RAPL energy counters
+	// (Intel only; the OrangePi is measured at the wall instead).
+	HasRAPL bool
+	// PL1Watts is the long-term (sustained) package power limit.
+	PL1Watts float64
+	// PL2Watts is the short-term (turbo) package power limit.
+	PL2Watts float64
+	// PL1TauSec is the time constant of the exponentially weighted power
+	// average RAPL compares against PL1.
+	PL1TauSec float64
+	// PL2BudgetJ is the energy budget above PL1 that may be spent at up to
+	// PL2 before the governor clamps to PL1 (models the turbo window).
+	PL2BudgetJ float64
+	// UncoreWatts is the constant package power outside the cores (ring,
+	// LLC, memory controller).
+	UncoreWatts float64
+	// EnergyUnitJ is the RAPL energy counter granularity in joules
+	// (2^-14 J on real Intel parts).
+	EnergyUnitJ float64
+	// ACLossWatts and ACEfficiency model the wall-power meter reading:
+	// wall = pkg/ACEfficiency + ACLossWatts.
+	ACLossWatts  float64
+	ACEfficiency float64
+	// RAPLPerfType is the dynamic perf type id of the "power" PMU
+	// (0 when HasRAPL is false).
+	RAPLPerfType uint32
+}
+
+// ThermalSpec holds the lumped RC thermal model constants for the package
+// thermal zone.
+type ThermalSpec struct {
+	// ZoneName is the thermal zone type string ("x86_pkg_temp",
+	// "soc-thermal").
+	ZoneName string
+	// ZoneIndex is the /sys/class/thermal/thermal_zoneN index.
+	ZoneIndex int
+	// AmbientC is the ambient (and initial idle) temperature.
+	AmbientC float64
+	// CapacitanceJPerC and ResistanceCPerW define the RC response:
+	// C dT/dt = P - (T - ambient)/R.
+	CapacitanceJPerC float64
+	ResistanceCPerW  float64
+	// TjMaxC is the maximum allowed junction temperature.
+	TjMaxC float64
+	// PassiveTripC is the temperature at which the governor starts passive
+	// throttling (0 disables passive throttling, as on well-cooled
+	// desktops that are power- rather than thermally-limited).
+	PassiveTripC float64
+	// ThrottleFloorMHz caps how far passive throttling may push the
+	// Performance-class cores down (per core type name).
+	ThrottleFloorMHz map[string]float64
+}
+
+// UncorePMU describes a non-core, non-RAPL PMU of the package (memory
+// controller, cache-home agents, ...). Uncore events are package-scope:
+// they are opened CPU-wide and count activity from every core.
+type UncorePMU struct {
+	// PMU is the kernel-side name and dynamic perf type.
+	PMU PMUSpec
+	// PfmName is the event-table model name.
+	PfmName string
+}
+
+// Machine is a complete description of a simulated system.
+type Machine struct {
+	// Name is a short identifier ("raptorlake", "orangepi800").
+	Name string
+	// Vendor and CPUModel are reported through /proc/cpuinfo and
+	// the hardware info API.
+	Vendor   string
+	CPUModel string
+	// Arch is "x86_64" or "aarch64".
+	Arch string
+	// Family, Model, Stepping are the CPUID-style identification values.
+	// On Intel hybrids all core types share one triple (which is exactly
+	// why family/model based preset tables break, per §V.2 of the paper).
+	Family, Model, Stepping int
+
+	// Types lists the core types present. Homogeneous machines have one.
+	Types []CoreType
+	// CPUs lists the logical CPUs in OS enumeration order.
+	CPUs []CPU
+
+	// MemoryGB is the installed memory.
+	MemoryGB float64
+	// LLCKB is the shared last-level cache size in KiB.
+	LLCKB int
+
+	// Uncore lists the package's uncore PMUs (may be empty).
+	Uncore []UncorePMU
+
+	// Power and Thermal hold the physical model constants.
+	Power   PowerSpec
+	Thermal ThermalSpec
+
+	// HasCPUCapacity reports whether /sys/.../cpu_capacity files exist
+	// (ARM arch_topology feature; absent on x86).
+	HasCPUCapacity bool
+	// HasCPUID reports whether the CPUID hybrid leaf (0x1A) is available.
+	HasCPUID bool
+}
+
+// Hybrid reports whether the machine has more than one core type.
+func (m *Machine) Hybrid() bool { return len(m.Types) > 1 }
+
+// NumCPUs returns the number of logical CPUs.
+func (m *Machine) NumCPUs() int { return len(m.CPUs) }
+
+// NumCores returns the number of physical cores.
+func (m *Machine) NumCores() int {
+	seen := map[int]bool{}
+	for _, c := range m.CPUs {
+		seen[c.PhysCore] = true
+	}
+	return len(seen)
+}
+
+// TypeOf returns the core type of logical CPU id.
+func (m *Machine) TypeOf(cpu int) *CoreType {
+	return &m.Types[m.CPUs[cpu].TypeIndex]
+}
+
+// TypeByName returns the core type with the given Name, or nil.
+func (m *Machine) TypeByName(name string) *CoreType {
+	for i := range m.Types {
+		if m.Types[i].Name == name {
+			return &m.Types[i]
+		}
+	}
+	return nil
+}
+
+// TypeByPMU returns the core type whose kernel PMU has the given name, or nil.
+func (m *Machine) TypeByPMU(pmu string) *CoreType {
+	for i := range m.Types {
+		if m.Types[i].PMU.Name == pmu {
+			return &m.Types[i]
+		}
+	}
+	return nil
+}
+
+// TypeByPerfType returns the core type whose PMU has the given dynamic perf
+// type id, or nil.
+func (m *Machine) TypeByPerfType(t uint32) *CoreType {
+	for i := range m.Types {
+		if m.Types[i].PMU.PerfType == t {
+			return &m.Types[i]
+		}
+	}
+	return nil
+}
+
+// UncoreByPerfType returns the uncore PMU with the given dynamic perf
+// type id, or nil.
+func (m *Machine) UncoreByPerfType(t uint32) *UncorePMU {
+	for i := range m.Uncore {
+		if m.Uncore[i].PMU.PerfType == t {
+			return &m.Uncore[i]
+		}
+	}
+	return nil
+}
+
+// CPUsOfType returns the logical CPU ids belonging to the named core type,
+// in ascending order.
+func (m *Machine) CPUsOfType(name string) []int {
+	var out []int
+	for _, c := range m.CPUs {
+		if m.Types[c.TypeIndex].Name == name {
+			out = append(out, c.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CPUsOfClass returns the logical CPU ids whose core type has the given
+// class.
+func (m *Machine) CPUsOfClass(class CoreClass) []int {
+	var out []int
+	for _, c := range m.CPUs {
+		if m.Types[c.TypeIndex].Class == class {
+			out = append(out, c.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SiblingOf returns the logical CPU id of the SMT sibling of cpu, or -1 if
+// the core is single-threaded.
+func (m *Machine) SiblingOf(cpu int) int {
+	pc := m.CPUs[cpu].PhysCore
+	for _, c := range m.CPUs {
+		if c.PhysCore == pc && c.ID != cpu {
+			return c.ID
+		}
+	}
+	return -1
+}
+
+// FirstCPUPerCore returns one logical CPU id per physical core (the
+// SMTIndex-0 thread), mirroring "one thread per core" HPL pinning.
+func (m *Machine) FirstCPUPerCore() []int {
+	var out []int
+	for _, c := range m.CPUs {
+		if c.SMTIndex == 0 {
+			out = append(out, c.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PeakGflops returns the theoretical peak double-precision Gflop/s of the
+// listed CPUs at their maximum frequencies, counting each physical core once.
+func (m *Machine) PeakGflops(cpus []int) float64 {
+	seen := map[int]bool{}
+	var total float64
+	for _, id := range cpus {
+		c := m.CPUs[id]
+		if seen[c.PhysCore] {
+			continue
+		}
+		seen[c.PhysCore] = true
+		t := m.Types[c.TypeIndex]
+		total += t.MaxFreqMHz * 1e6 * t.FlopsPerCycle / 1e9
+	}
+	return total
+}
+
+// Validate checks internal consistency of the machine description.
+func (m *Machine) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("hw: machine has no name")
+	}
+	if len(m.Types) == 0 {
+		return fmt.Errorf("hw: machine %q has no core types", m.Name)
+	}
+	if len(m.CPUs) == 0 {
+		return fmt.Errorf("hw: machine %q has no CPUs", m.Name)
+	}
+	seenPMU := map[string]bool{}
+	seenType := map[uint32]bool{}
+	for i, t := range m.Types {
+		if t.Name == "" || t.PMU.Name == "" || t.PfmName == "" {
+			return fmt.Errorf("hw: core type %d of %q is missing names", i, m.Name)
+		}
+		if t.PMU.PerfType < 6 {
+			return fmt.Errorf("hw: PMU %q has reserved perf type %d (<6)", t.PMU.Name, t.PMU.PerfType)
+		}
+		if seenPMU[t.PMU.Name] {
+			return fmt.Errorf("hw: duplicate PMU name %q", t.PMU.Name)
+		}
+		if seenType[t.PMU.PerfType] {
+			return fmt.Errorf("hw: duplicate perf type %d", t.PMU.PerfType)
+		}
+		seenPMU[t.PMU.Name] = true
+		seenType[t.PMU.PerfType] = true
+		if t.MinFreqMHz <= 0 || t.MaxFreqMHz < t.MinFreqMHz {
+			return fmt.Errorf("hw: core type %q has invalid frequency range [%g, %g]",
+				t.Name, t.MinFreqMHz, t.MaxFreqMHz)
+		}
+		if t.BaseFreqMHz < t.MinFreqMHz || t.BaseFreqMHz > t.MaxFreqMHz {
+			return fmt.Errorf("hw: core type %q base frequency %g outside [%g, %g]",
+				t.Name, t.BaseFreqMHz, t.MinFreqMHz, t.MaxFreqMHz)
+		}
+		if t.ThreadsPerCore < 1 || t.ThreadsPerCore > 2 {
+			return fmt.Errorf("hw: core type %q has unsupported SMT width %d", t.Name, t.ThreadsPerCore)
+		}
+		if t.FlopsPerCycle <= 0 || t.HPLEfficiency <= 0 || t.HPLEfficiency > 1 {
+			return fmt.Errorf("hw: core type %q has invalid FLOP model", t.Name)
+		}
+		if t.PMU.NumGP < 1 {
+			return fmt.Errorf("hw: PMU %q has no programmable counters", t.PMU.Name)
+		}
+	}
+	for _, u := range m.Uncore {
+		if u.PMU.Name == "" || u.PfmName == "" {
+			return fmt.Errorf("hw: uncore PMU of %q is missing names", m.Name)
+		}
+		if seenPMU[u.PMU.Name] {
+			return fmt.Errorf("hw: duplicate PMU name %q", u.PMU.Name)
+		}
+		if seenType[u.PMU.PerfType] || u.PMU.PerfType < 6 {
+			return fmt.Errorf("hw: uncore perf type %d invalid or colliding", u.PMU.PerfType)
+		}
+		seenPMU[u.PMU.Name] = true
+		seenType[u.PMU.PerfType] = true
+	}
+	if m.Power.HasRAPL {
+		if seenType[m.Power.RAPLPerfType] || m.Power.RAPLPerfType < 6 {
+			return fmt.Errorf("hw: RAPL perf type %d invalid or colliding", m.Power.RAPLPerfType)
+		}
+		if m.Power.PL1Watts <= 0 || m.Power.PL2Watts < m.Power.PL1Watts {
+			return fmt.Errorf("hw: invalid power limits PL1=%g PL2=%g", m.Power.PL1Watts, m.Power.PL2Watts)
+		}
+	}
+	if len(m.CPUs) > MaxCPUs {
+		return fmt.Errorf("hw: machine %q has %d CPUs, more than CPUSet can hold (%d)",
+			m.Name, len(m.CPUs), MaxCPUs)
+	}
+	ids := map[int]bool{}
+	threadsPerCore := map[int]int{}
+	for i, c := range m.CPUs {
+		if c.ID != i {
+			return fmt.Errorf("hw: CPU at index %d has id %d (must be dense, in order)", i, c.ID)
+		}
+		if c.TypeIndex < 0 || c.TypeIndex >= len(m.Types) {
+			return fmt.Errorf("hw: CPU %d has invalid type index %d", c.ID, c.TypeIndex)
+		}
+		if ids[c.ID] {
+			return fmt.Errorf("hw: duplicate CPU id %d", c.ID)
+		}
+		ids[c.ID] = true
+		threadsPerCore[c.PhysCore]++
+	}
+	for _, c := range m.CPUs {
+		want := m.Types[c.TypeIndex].ThreadsPerCore
+		if got := threadsPerCore[c.PhysCore]; got != want {
+			return fmt.Errorf("hw: physical core %d has %d threads, core type %q wants %d",
+				c.PhysCore, got, m.Types[c.TypeIndex].Name, want)
+		}
+	}
+	if m.Thermal.AmbientC <= 0 || m.Thermal.CapacitanceJPerC <= 0 || m.Thermal.ResistanceCPerW <= 0 {
+		return fmt.Errorf("hw: machine %q has invalid thermal constants", m.Name)
+	}
+	return nil
+}

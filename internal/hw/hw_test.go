@@ -1,0 +1,261 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, m := range []*Machine{RaptorLake(), OrangePi800(), Homogeneous()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestRaptorLakeTopology(t *testing.T) {
+	m := RaptorLake()
+	if got := m.NumCPUs(); got != 24 {
+		t.Fatalf("NumCPUs = %d, want 24", got)
+	}
+	if got := m.NumCores(); got != 16 {
+		t.Fatalf("NumCores = %d, want 16", got)
+	}
+	if !m.Hybrid() {
+		t.Fatal("RaptorLake should be hybrid")
+	}
+	p := m.CPUsOfType("P-core")
+	e := m.CPUsOfType("E-core")
+	if len(p) != 16 || len(e) != 8 {
+		t.Fatalf("got %d P threads and %d E threads, want 16 and 8", len(p), len(e))
+	}
+	// E-cores occupy logical CPUs 16-23 per the artifact appendix.
+	for i, id := range e {
+		if id != 16+i {
+			t.Errorf("E-core thread %d has id %d, want %d", i, id, 16+i)
+		}
+	}
+	// SMT siblings pair up as (2i, 2i+1) on P-cores.
+	if got := m.SiblingOf(0); got != 1 {
+		t.Errorf("SiblingOf(0) = %d, want 1", got)
+	}
+	if got := m.SiblingOf(3); got != 2 {
+		t.Errorf("SiblingOf(3) = %d, want 2", got)
+	}
+	if got := m.SiblingOf(16); got != -1 {
+		t.Errorf("SiblingOf(16) = %d, want -1 (E-cores are single threaded)", got)
+	}
+	first := m.FirstCPUPerCore()
+	if len(first) != 16 {
+		t.Fatalf("FirstCPUPerCore returned %d cpus, want 16", len(first))
+	}
+	want := []int{0, 2, 4, 6, 8, 10, 12, 14, 16, 17, 18, 19, 20, 21, 22, 23}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("FirstCPUPerCore = %v, want %v", first, want)
+		}
+	}
+}
+
+func TestOrangePiTopology(t *testing.T) {
+	m := OrangePi800()
+	if got := m.NumCPUs(); got != 6 {
+		t.Fatalf("NumCPUs = %d, want 6", got)
+	}
+	little := m.CPUsOfType("LITTLE")
+	big := m.CPUsOfType("big")
+	if len(little) != 4 || len(big) != 2 {
+		t.Fatalf("got %d LITTLE and %d big, want 4 and 2", len(little), len(big))
+	}
+	// Device-tree order: LITTLE cluster is cpu0-3, big cluster cpu4-5.
+	if little[0] != 0 || big[0] != 4 {
+		t.Fatalf("cluster order wrong: little=%v big=%v", little, big)
+	}
+	if m.TypeOf(4).Class != Performance || m.TypeOf(0).Class != Efficiency {
+		t.Fatal("core classes are swapped")
+	}
+	if !m.HasCPUCapacity {
+		t.Fatal("ARM machine must expose cpu_capacity")
+	}
+	if m.Power.HasRAPL {
+		t.Fatal("RK3399 has no RAPL")
+	}
+}
+
+func TestTypeLookups(t *testing.T) {
+	m := RaptorLake()
+	if tt := m.TypeByPMU("cpu_atom"); tt == nil || tt.Name != "E-core" {
+		t.Errorf("TypeByPMU(cpu_atom) = %v", tt)
+	}
+	if tt := m.TypeByName("P-core"); tt == nil || tt.PMU.Name != "cpu_core" {
+		t.Errorf("TypeByName(P-core) = %v", tt)
+	}
+	if tt := m.TypeByPerfType(10); tt == nil || tt.Name != "E-core" {
+		t.Errorf("TypeByPerfType(10) = %v", tt)
+	}
+	if tt := m.TypeByPMU("nonexistent"); tt != nil {
+		t.Errorf("TypeByPMU(nonexistent) = %v, want nil", tt)
+	}
+	if tt := m.TypeByPerfType(99); tt != nil {
+		t.Errorf("TypeByPerfType(99) = %v, want nil", tt)
+	}
+}
+
+func TestCPUsOfClass(t *testing.T) {
+	m := OrangePi800()
+	perf := m.CPUsOfClass(Performance)
+	eff := m.CPUsOfClass(Efficiency)
+	if len(perf) != 2 || len(eff) != 4 {
+		t.Fatalf("classes: perf=%v eff=%v", perf, eff)
+	}
+	if CoreClass(42).String() == "" {
+		t.Error("unknown class must still stringify")
+	}
+	if Performance.String() != "performance" || Efficiency.String() != "efficiency" {
+		t.Error("class strings wrong")
+	}
+}
+
+func TestPeakGflops(t *testing.T) {
+	m := RaptorLake()
+	// P peak: 8 cores * 5.1 GHz * 16 flops = 652.8; counting both SMT
+	// siblings must not double it.
+	p := m.PeakGflops(m.CPUsOfType("P-core"))
+	if p < 652 || p > 654 {
+		t.Errorf("P peak = %g, want ~652.8", p)
+	}
+	e := m.PeakGflops(m.CPUsOfType("E-core"))
+	if e < 262 || e > 263 {
+		t.Errorf("E peak = %g, want ~262.4", e)
+	}
+	all := m.PeakGflops(m.FirstCPUPerCore())
+	if diff := all - (p + e); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("all-core peak %g != P+E %g", all, p+e)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Machine)
+	}{
+		{"no name", func(m *Machine) { m.Name = "" }},
+		{"no types", func(m *Machine) { m.Types = nil }},
+		{"no cpus", func(m *Machine) { m.CPUs = nil }},
+		{"reserved perf type", func(m *Machine) { m.Types[0].PMU.PerfType = 3 }},
+		{"duplicate pmu name", func(m *Machine) { m.Types[1].PMU.Name = m.Types[0].PMU.Name }},
+		{"duplicate perf type", func(m *Machine) { m.Types[1].PMU.PerfType = m.Types[0].PMU.PerfType }},
+		{"bad freq range", func(m *Machine) { m.Types[0].MaxFreqMHz = 1 }},
+		{"base outside range", func(m *Machine) { m.Types[0].BaseFreqMHz = 99999 }},
+		{"bad smt", func(m *Machine) { m.Types[0].ThreadsPerCore = 3 }},
+		{"bad flops", func(m *Machine) { m.Types[0].FlopsPerCycle = 0 }},
+		{"bad efficiency", func(m *Machine) { m.Types[0].HPLEfficiency = 1.5 }},
+		{"no counters", func(m *Machine) { m.Types[0].PMU.NumGP = 0 }},
+		{"rapl collision", func(m *Machine) { m.Power.RAPLPerfType = m.Types[0].PMU.PerfType }},
+		{"bad power limits", func(m *Machine) { m.Power.PL2Watts = 1 }},
+		{"sparse cpu ids", func(m *Machine) { m.CPUs[3].ID = 77 }},
+		{"bad type index", func(m *Machine) { m.CPUs[0].TypeIndex = 9 }},
+		{"thread count mismatch", func(m *Machine) { m.CPUs[1].PhysCore = 99 }},
+		{"bad thermal", func(m *Machine) { m.Thermal.CapacitanceJPerC = 0 }},
+	}
+	for _, tc := range cases {
+		m := RaptorLake()
+		tc.mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken machine", tc.name)
+		}
+	}
+}
+
+// Property: every logical CPU's type lookup agrees with membership in
+// CPUsOfType, for arbitrary valid CPU indices.
+func TestTypeMembershipProperty(t *testing.T) {
+	machines := []*Machine{RaptorLake(), OrangePi800(), Homogeneous()}
+	f := func(mi uint8, cpu uint8) bool {
+		m := machines[int(mi)%len(machines)]
+		id := int(cpu) % m.NumCPUs()
+		typ := m.TypeOf(id)
+		for _, c := range m.CPUsOfType(typ.Name) {
+			if c == id {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: class partitions cover all CPUs exactly once.
+func TestClassPartitionProperty(t *testing.T) {
+	for _, m := range []*Machine{RaptorLake(), OrangePi800(), Homogeneous()} {
+		perf := m.CPUsOfClass(Performance)
+		eff := m.CPUsOfClass(Efficiency)
+		if len(perf)+len(eff) != m.NumCPUs() {
+			t.Errorf("%s: class partition covers %d of %d CPUs",
+				m.Name, len(perf)+len(eff), m.NumCPUs())
+		}
+		seen := map[int]bool{}
+		for _, id := range append(perf, eff...) {
+			if seen[id] {
+				t.Errorf("%s: CPU %d in both classes", m.Name, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestUncoreLookupsAndValidation(t *testing.T) {
+	m := RaptorLake()
+	if u := m.UncoreByPerfType(24); u == nil || u.PfmName != "adl_imc" {
+		t.Fatalf("UncoreByPerfType(24) = %+v", u)
+	}
+	if u := m.UncoreByPerfType(99); u != nil {
+		t.Fatal("unknown uncore type must be nil")
+	}
+	// Validation of broken uncore specs.
+	cases := []func(*Machine){
+		func(m *Machine) { m.Uncore[0].PfmName = "" },
+		func(m *Machine) { m.Uncore[0].PMU.Name = m.Types[0].PMU.Name },
+		func(m *Machine) { m.Uncore[0].PMU.PerfType = m.Types[0].PMU.PerfType },
+		func(m *Machine) { m.Uncore[0].PMU.PerfType = 3 },
+	}
+	for i, mutate := range cases {
+		mm := RaptorLake()
+		mutate(mm)
+		if err := mm.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted a broken uncore PMU", i)
+		}
+	}
+	// Too many CPUs for a CPUSet.
+	big := RaptorLake()
+	for i := 0; i < 50; i++ {
+		big.CPUs = append(big.CPUs, CPU{ID: 24 + i, TypeIndex: 1, PhysCore: 100 + i})
+	}
+	if err := big.Validate(); err == nil {
+		t.Error("Validate accepted more CPUs than a CPUSet can hold")
+	}
+}
+
+func TestDimensityValidatesAndLooksUp(t *testing.T) {
+	m := Dimensity9000()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tt := m.TypeByName("prime"); tt == nil || tt.PMU.Name != "armv9_cortex_x2" {
+		t.Fatalf("prime lookup: %+v", tt)
+	}
+	if got := len(m.CPUsOfClass(Performance)); got != 4 { // 3 big + 1 prime
+		t.Errorf("performance-class cpus = %d, want 4", got)
+	}
+	if m.SiblingOf(7) != -1 {
+		t.Error("prime core has no SMT sibling")
+	}
+	peak := m.PeakGflops([]int{0, 4, 7})
+	want := 4*1.8 + 8*2.85 + 8*3.05
+	if math.Abs(peak-want) > 0.01 {
+		t.Errorf("peak = %g, want %g", peak, want)
+	}
+}

@@ -1,0 +1,105 @@
+package hw
+
+// OrangePi800 returns the machine description of the paper's ARM big.LITTLE
+// system (Table IV): an Orange Pi 800 keyboard computer built around the
+// Rockchip RK3399 SoC with two Cortex-A72 "big" cores at up to 1.8 GHz and
+// four Cortex-A53 "LITTLE" cores at up to 1.4 GHz, with 4 GB of LPDDR4.
+//
+// Logical CPU enumeration follows the real RK3399 device tree: cpu0-cpu3 are
+// the LITTLE cluster, cpu4-cpu5 the big cluster.
+//
+// The thermal constants model the passively cooled keyboard case: the big
+// cores running HPL push the SoC past the 85 degC passive trip within
+// seconds, so they throttle hard while the LITTLE cluster can sustain its
+// maximum frequency — which is what makes four LITTLE cores complete HPL
+// faster than two big cores (Figures 3 and 4).
+func OrangePi800() *Machine {
+	little := CoreType{
+		Name:             "LITTLE",
+		Microarch:        "Cortex-A53",
+		PfmName:          "arm_cortex_a53",
+		Class:            Efficiency,
+		PMU:              PMUSpec{Name: "armv8_cortex_a53", PerfType: 8, NumGP: 6, NumFixed: 1},
+		MinFreqMHz:       408,
+		MaxFreqMHz:       1416,
+		BaseFreqMHz:      1416,
+		FreqStepMHz:      204, // RK3399 OPP table granularity
+		ThreadsPerCore:   1,
+		FlopsPerCycle:    4, // single 128-bit NEON pipe, in-order
+		HPLEfficiency:    0.70,
+		BaseIPC:          1.0,
+		IssueWidth:       2,
+		VecFlopsPerInstr: 4,
+		SMTThroughput:    1.0,
+		Capacity:         485, // capacity-dmips-mhz from the RK3399 device tree
+		IdleWatts:        0.03,
+		DynWattsAtMax:    0.40,
+		SpinActivity:     0.30,
+		L1DKB:            32,
+		L2KB:             512,
+	}
+	big := CoreType{
+		Name:             "big",
+		Microarch:        "Cortex-A72",
+		PfmName:          "arm_cortex_a72",
+		Class:            Performance,
+		PMU:              PMUSpec{Name: "armv8_cortex_a72", PerfType: 9, NumGP: 6, NumFixed: 1},
+		MinFreqMHz:       408,
+		MaxFreqMHz:       1800,
+		BaseFreqMHz:      1800,
+		FreqStepMHz:      204,
+		ThreadsPerCore:   1,
+		FlopsPerCycle:    8, // 2x 128-bit NEON FMA pipes, out-of-order
+		HPLEfficiency:    0.80,
+		BaseIPC:          1.8,
+		IssueWidth:       3,
+		VecFlopsPerInstr: 4,
+		SMTThroughput:    1.0,
+		Capacity:         1024,
+		IdleWatts:        0.05,
+		DynWattsAtMax:    3.0,
+		SpinActivity:     0.25,
+		L1DKB:            32,
+		L2KB:             1024,
+	}
+
+	m := &Machine{
+		Name:     "orangepi800",
+		Vendor:   "Rockchip",
+		CPUModel: "Rockchip RK3399",
+		Arch:     "aarch64",
+		Family:   8, // reported as CPU architecture 8 in /proc/cpuinfo
+		Model:    0xd08,
+		Stepping: 2,
+		Types:    []CoreType{little, big},
+		MemoryGB: 4,
+		LLCKB:    1024, // big-cluster L2 acts as the largest shared cache
+		Power: PowerSpec{
+			HasRAPL:      false,
+			UncoreWatts:  0.8, // memory controller, GPU idle, board logic
+			ACLossWatts:  2.5, // PSU and board overhead seen by the WattsUpPro
+			ACEfficiency: 0.85,
+		},
+		Thermal: ThermalSpec{
+			ZoneName:         "soc-thermal",
+			ZoneIndex:        0,
+			AmbientC:         25,
+			CapacitanceJPerC: 0.45, // bare SoC die: heats within seconds
+			ResistanceCPerW:  22.5,
+			TjMaxC:           115,
+			PassiveTripC:     85,
+			ThrottleFloorMHz: map[string]float64{"big": 408, "LITTLE": 816},
+		},
+		HasCPUCapacity: true,
+		HasCPUID:       false,
+	}
+
+	// LITTLE cluster first (cpu0-cpu3), then the big cluster (cpu4-cpu5).
+	for i := 0; i < 4; i++ {
+		m.CPUs = append(m.CPUs, CPU{ID: i, TypeIndex: 0, PhysCore: i, SMTIndex: 0})
+	}
+	for i := 0; i < 2; i++ {
+		m.CPUs = append(m.CPUs, CPU{ID: 4 + i, TypeIndex: 1, PhysCore: 4 + i, SMTIndex: 0})
+	}
+	return m
+}

@@ -1,0 +1,118 @@
+package hw
+
+// RaptorLake returns the machine description of the paper's desktop system
+// (Table I): a 13th Gen Intel Core i7-13700 with 8 P-cores (16 threads,
+// 2.10-5.10 GHz), 8 E-cores (1.50-4.10 GHz) and 32 GB of DDR5.
+//
+// Logical CPU enumeration follows the artifact appendix: P-core hardware
+// threads occupy logical CPUs 0-15 (sibling pairs (0,1), (2,3), ...) and the
+// E-cores occupy logical CPUs 16-23, which is why the paper's monitoring
+// script pins to "0,2,4,6,8,10,12,14,16-24".
+//
+// The power and thermal constants are calibrated so that the simulated
+// machine lands near the paper's headline numbers: a 65 W long-term (PL1)
+// and 219 W short-term (PL2) package power limit, and enough cooling that
+// the package never reaches its 100 degC limit (the paper notes both HPL
+// variants are power- rather than thermally-limited on this system).
+func RaptorLake() *Machine {
+	pcore := CoreType{
+		Name:             "P-core",
+		Microarch:        "RaptorCove",
+		PfmName:          "adl_glc",
+		Class:            Performance,
+		PMU:              PMUSpec{Name: "cpu_core", PerfType: 8, NumGP: 8, NumFixed: 3},
+		MinFreqMHz:       800,
+		MaxFreqMHz:       5100,
+		BaseFreqMHz:      2100,
+		FreqStepMHz:      100,
+		ThreadsPerCore:   2,
+		FlopsPerCycle:    16, // 2x 256-bit FMA pipes, double precision
+		HPLEfficiency:    0.95,
+		BaseIPC:          2.4,
+		IssueWidth:       6,
+		VecFlopsPerInstr: 8,
+		SMTThroughput:    0.62,
+		Capacity:         1024,
+		IdleWatts:        0.6,
+		DynWattsAtMax:    24.7,
+		SpinActivity:     0.18,
+		L1DKB:            48,
+		L2KB:             2048,
+	}
+	ecore := CoreType{
+		Name:             "E-core",
+		Microarch:        "Gracemont",
+		PfmName:          "adl_grt",
+		Class:            Efficiency,
+		PMU:              PMUSpec{Name: "cpu_atom", PerfType: 10, NumGP: 6, NumFixed: 3},
+		MinFreqMHz:       800,
+		MaxFreqMHz:       4100,
+		BaseFreqMHz:      1500,
+		FreqStepMHz:      100,
+		ThreadsPerCore:   1,
+		FlopsPerCycle:    8, // 2x 128-bit FMA equivalent throughput
+		HPLEfficiency:    0.97,
+		BaseIPC:          1.7,
+		IssueWidth:       5,
+		VecFlopsPerInstr: 8,
+		SMTThroughput:    1.0,
+		Capacity:         450,
+		IdleWatts:        0.3,
+		DynWattsAtMax:    12.0,
+		SpinActivity:     0.22,
+		L1DKB:            32,
+		L2KB:             1024,
+	}
+
+	m := &Machine{
+		Name:     "raptorlake",
+		Vendor:   "GenuineIntel",
+		CPUModel: "13th Gen Intel(R) Core(TM) i7-13700",
+		Arch:     "x86_64",
+		Family:   6,
+		Model:    0xB7, // Raptor Lake-S: family 6 model 183
+		Stepping: 1,
+		Types:    []CoreType{pcore, ecore},
+		Uncore: []UncorePMU{
+			{PMU: PMUSpec{Name: "uncore_imc", PerfType: 24, NumGP: 5}, PfmName: "adl_imc"},
+		},
+		MemoryGB: 32,
+		LLCKB:    30 * 1024,
+		Power: PowerSpec{
+			HasRAPL:      true,
+			PL1Watts:     65,
+			PL2Watts:     219,
+			PL1TauSec:    28,
+			PL2BudgetJ:   1600, // roughly PL2 headroom for the initial spike
+			UncoreWatts:  10,
+			EnergyUnitJ:  1.0 / 16384, // 2^-14 J, the usual RAPL unit
+			ACLossWatts:  8,
+			ACEfficiency: 0.88,
+			RAPLPerfType: 22,
+		},
+		Thermal: ThermalSpec{
+			ZoneName:         "x86_pkg_temp",
+			ZoneIndex:        9, // thermal_zone9 per the artifact appendix
+			AmbientC:         25,
+			CapacitanceJPerC: 120, // desktop tower cooler mass
+			ResistanceCPerW:  0.35,
+			TjMaxC:           100,
+			PassiveTripC:     0, // power limits dominate; no passive trip
+		},
+		HasCPUCapacity: false,
+		HasCPUID:       true,
+	}
+
+	// 8 P-cores with SMT siblings on logical CPUs (2i, 2i+1).
+	for i := 0; i < 8; i++ {
+		m.CPUs = append(m.CPUs,
+			CPU{ID: 2 * i, TypeIndex: 0, PhysCore: i, SMTIndex: 0},
+			CPU{ID: 2*i + 1, TypeIndex: 0, PhysCore: i, SMTIndex: 1})
+	}
+	// 8 single-threaded E-cores on logical CPUs 16-23.
+	for j := 0; j < 8; j++ {
+		m.CPUs = append(m.CPUs,
+			CPU{ID: 16 + j, TypeIndex: 1, PhysCore: 8 + j, SMTIndex: 0})
+	}
+	return m
+}

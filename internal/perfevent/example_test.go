@@ -1,0 +1,56 @@
+package perfevent_test
+
+import (
+	"fmt"
+
+	"hetpapi/internal/events"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/perfevent"
+)
+
+// Example demonstrates the hybrid kernel semantics of section IV.A: a
+// cpu_core event counts only while the task executes on P-cores, so
+// covering a migrating task takes one event per core type.
+func Example() {
+	m := hw.RaptorLake()
+	k := perfevent.NewKernel(m)
+
+	def := events.LookupPMU("adl_glc").Lookup("INST_RETIRED")
+	pAttr := perfevent.Attr{Type: 8, Config: events.Encode(def.Code, def.DefaultUmask().Bits)}
+	defE := events.LookupPMU("adl_grt").Lookup("INST_RETIRED")
+	eAttr := perfevent.Attr{Type: 10, Config: events.Encode(defE.Code, defE.DefaultUmask().Bits)}
+
+	pFD, _ := k.Open(pAttr, 42, -1, -1)
+	eFD, _ := k.Open(eAttr, 42, -1, -1)
+
+	// The task runs on a P-core, then migrates to an E-core.
+	k.TaskExec(42, 0, 0.001, events.Stats{Instructions: 700000})
+	k.TaskExec(42, 16, 0.002, events.Stats{Instructions: 300000})
+
+	p, _ := k.Read(pFD)
+	e, _ := k.Read(eFD)
+	fmt.Printf("P-core event: %d (ran %.0f%% of enabled time)\n",
+		p.Value, 100*p.TimeRunning/p.TimeEnabled)
+	fmt.Printf("E-core event: %d (ran %.0f%% of enabled time)\n",
+		e.Value, 100*e.TimeRunning/e.TimeEnabled)
+	fmt.Println("sum:", p.Value+e.Value)
+	// Output:
+	// P-core event: 700000 (ran 33% of enabled time)
+	// E-core event: 300000 (ran 67% of enabled time)
+	// sum: 1000000
+}
+
+// Example_groupConstraint shows the constraint behind section IV.E: perf
+// event groups cannot span hardware PMUs.
+func Example_groupConstraint() {
+	m := hw.RaptorLake()
+	k := perfevent.NewKernel(m)
+	def := events.LookupPMU("adl_glc").Lookup("INST_RETIRED")
+	leader, _ := k.Open(perfevent.Attr{Type: 8, Config: events.Encode(def.Code, 1)}, 42, -1, -1)
+
+	defE := events.LookupPMU("adl_grt").Lookup("INST_RETIRED")
+	_, err := k.Open(perfevent.Attr{Type: 10, Config: events.Encode(defE.Code, 0)}, 42, -1, leader)
+	fmt.Println("cross-PMU sibling rejected:", err != nil)
+	// Output:
+	// cross-PMU sibling rejected: true
+}

@@ -1,0 +1,744 @@
+// Package perfevent implements the Linux perf_event subsystem of the
+// simulated machines, faithfully enough that the PAPI layer above it has to
+// solve exactly the problems described in section IV of the paper:
+//
+//   - Each core type exports its own dynamic PMU type id; an event opened
+//     with one PMU's type only counts while the task runs on cores of that
+//     type (the kernel "tracks the core type and only enables event
+//     counters if they match the core currently being run on").
+//   - Event groups cannot mix PMU types: opening a sibling with a different
+//     type than its leader fails with ErrInvalid, so measuring both core
+//     types takes one group per PMU and at least one read per group.
+//   - RAPL energy events belong to a separate "power" PMU and are only
+//     valid CPU-wide, never attached to a task.
+//   - When more events are enabled than the PMU has counters, groups are
+//     time-multiplexed and reads report time_enabled/time_running for
+//     scaling.
+//   - The generic PERF_TYPE_HARDWARE ids work on hybrids via the extended
+//     config encoding (PMU type in config bits 32+), like Linux >= 5.13.
+//
+// The simulation drives the kernel through two hooks: TaskExec (a task ran
+// on a CPU for a slice, producing event quantities) and Advance (wall
+// simulated time moved; services CPU-wide and RAPL events and rotates
+// multiplexed groups).
+package perfevent
+
+import (
+	"errors"
+	"fmt"
+
+	"hetpapi/internal/events"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/power"
+)
+
+// Errors mirror the errno values perf_event_open reports.
+var (
+	// ErrInvalid corresponds to EINVAL: malformed attr, cross-PMU group,
+	// oversized group, or invalid pid/cpu combination.
+	ErrInvalid = errors.New("perfevent: invalid argument (EINVAL)")
+	// ErrNoSuchDevice corresponds to ENODEV: the attr names a PMU type
+	// that does not exist on this machine.
+	ErrNoSuchDevice = errors.New("perfevent: no such device (ENODEV)")
+	// ErrNotSupported corresponds to ENOENT: the PMU exists but does not
+	// implement the requested event config.
+	ErrNotSupported = errors.New("perfevent: event not supported (ENOENT)")
+	// ErrBadFD corresponds to EBADF.
+	ErrBadFD = errors.New("perfevent: bad file descriptor (EBADF)")
+)
+
+// PerfTypeHardware is the static generic hardware event type
+// (PERF_TYPE_HARDWARE).
+const PerfTypeHardware uint32 = 0
+
+// PerfTypeSoftware is the kernel software event type (PERF_TYPE_SOFTWARE):
+// context switches, migrations, clocks and faults, counted by the kernel's
+// scheduler hooks rather than PMU hardware.
+const PerfTypeSoftware uint32 = 1
+
+// HWConfigExtShift is the bit position of the extended PMU type inside a
+// PERF_TYPE_HARDWARE config on hybrid systems (PERF_HW_EVENT_MASK).
+const HWConfigExtShift = 32
+
+// Attr mirrors the perf_event_attr fields the simulator honours.
+type Attr struct {
+	// Type is the PMU type id: PerfTypeHardware or a dynamic id from
+	// /sys/devices/<pmu>/type.
+	Type uint32
+	// Config selects the event within the PMU (event code | umask<<8 for
+	// core PMUs, the PERF_COUNT_HW_* id plus optional extended PMU type
+	// for PerfTypeHardware).
+	Config uint64
+	// Disabled starts the event disabled; it must be enabled explicitly.
+	Disabled bool
+	// SamplePeriod, when nonzero, turns the event into a sampling event: an
+	// overflow record is emitted every SamplePeriod increments (the
+	// perf_event_open sample_period field). Only per-task hardware events
+	// may sample.
+	SamplePeriod uint64
+	// ExcludeUser / ExcludeKernel are accepted but have no effect: the
+	// simulation runs everything in one privilege domain.
+	ExcludeUser   bool
+	ExcludeKernel bool
+}
+
+// Count is one counter read: the raw value plus the time the event was
+// enabled and actually running (for multiplex scaling).
+type Count struct {
+	Value       uint64
+	TimeEnabled float64
+	TimeRunning float64
+}
+
+// Scaled returns the multiplex-scaled estimate value*enabled/running.
+func (c Count) Scaled() uint64 {
+	if c.TimeRunning <= 0 {
+		return 0
+	}
+	return uint64(float64(c.Value) * c.TimeEnabled / c.TimeRunning)
+}
+
+// Event is one open perf event.
+type Event struct {
+	fd   int
+	attr Attr
+	pid  int
+	cpu  int
+
+	pmuType uint32
+	kind    events.Kind
+	scale   float64
+	name    string
+
+	leader   *Event
+	siblings []*Event
+
+	enabled     bool
+	value       float64
+	timeEnabled float64
+	timeRunning float64
+
+	// energyBase is the RAPL accumulator snapshot at enable/reset time.
+	energyBase float64
+
+	// sampling state
+	samplePeriod uint64
+	sampleAcc    float64
+	samples      []Sample
+	lostSamples  uint64
+}
+
+// FD returns the event's descriptor.
+func (e *Event) FD() int { return e.fd }
+
+// Kind returns the architectural quantity the event counts.
+func (e *Event) Kind() events.Kind { return e.kind }
+
+// PMUType returns the resolved dynamic PMU type the event schedules on.
+func (e *Event) PMUType() uint32 { return e.pmuType }
+
+// Name returns the canonical decoded event name.
+func (e *Event) Name() string { return e.name }
+
+// group returns the event and its siblings (leader first).
+func (e *Event) group() []*Event {
+	g := []*Event{e}
+	return append(g, e.siblings...)
+}
+
+// hwGroupSize returns how many hardware counters the group occupies
+// (software members are free).
+func (e *Event) hwGroupSize() int {
+	n := 0
+	for _, ev := range e.group() {
+		if !ev.kind.Software() {
+			n++
+		}
+	}
+	return n
+}
+
+// Kernel is the perf_event subsystem of one machine.
+type Kernel struct {
+	m   *hw.Machine
+	pwr *power.Model
+
+	fds    map[int]*Event
+	nextFD int
+	// byPid and byCPU index enabled-or-not events by target for the hot
+	// TaskExec path, in fd (open) order for determinism.
+	byPid  map[int][]*Event
+	byCPU  map[int][]*Event
+	energy []*Event
+	uncore []*Event
+	// lastCPU tracks each task's previous placement for migration counts.
+	lastCPU  map[int]int
+	now      float64
+	muxTick  float64
+	syscalls int
+}
+
+// NewKernel returns the subsystem for a machine.
+func NewKernel(m *hw.Machine) *Kernel {
+	return &Kernel{
+		m:       m,
+		fds:     map[int]*Event{},
+		byPid:   map[int][]*Event{},
+		byCPU:   map[int][]*Event{},
+		lastCPU: map[int]int{},
+		nextFD:  3,
+		muxTick: 0.004, // default multiplex rotation interval
+	}
+}
+
+// AttachPower connects the RAPL energy source. Without it, opening energy
+// events fails with ErrNoSuchDevice.
+func (k *Kernel) AttachPower(p *power.Model) { k.pwr = p }
+
+// SetMuxInterval changes the multiplex rotation period (the
+// /sys/devices/<pmu>/perf_event_mux_interval_ms knob).
+func (k *Kernel) SetMuxInterval(sec float64) {
+	if sec > 0 {
+		k.muxTick = sec
+	}
+}
+
+// Machine returns the machine this kernel manages.
+func (k *Kernel) Machine() *hw.Machine { return k.m }
+
+// Syscalls returns how many syscall-equivalent operations (open, ioctl,
+// read, close) have been issued — the quantity behind the paper's
+// measurement-overhead concern (section V.5).
+func (k *Kernel) Syscalls() int { return k.syscalls }
+
+// NumOpen returns the number of open events.
+func (k *Kernel) NumOpen() int { return len(k.fds) }
+
+// resolve maps an attr to (pmu type, kind, scale, name).
+func (k *Kernel) resolve(attr Attr) (uint32, events.Kind, float64, string, error) {
+	if attr.Type == PerfTypeHardware {
+		ext := uint32(attr.Config >> HWConfigExtShift)
+		hwID := attr.Config & 0xFFFFFFFF
+		kind, scale := events.GenericKind(hwID)
+		if kind == events.KindNone {
+			return 0, 0, 0, "", fmt.Errorf("%w: unknown generic hardware event %d", ErrNotSupported, hwID)
+		}
+		var typ *hw.CoreType
+		if ext == 0 {
+			// Unextended generic event on a hybrid: the kernel resolves it
+			// against the first (boot) CPU's PMU.
+			typ = k.m.TypeOf(0)
+		} else {
+			typ = k.m.TypeByPerfType(ext)
+			if typ == nil {
+				return 0, 0, 0, "", fmt.Errorf("%w: extended type %d", ErrNoSuchDevice, ext)
+			}
+		}
+		return typ.PMU.PerfType, kind, scale, events.GenericName(hwID), nil
+	}
+	if attr.Type == PerfTypeSoftware {
+		tab := events.LookupPMU("perf")
+		kind, scale, name, ok := tab.Decode(attr.Config)
+		if !ok {
+			return 0, 0, 0, "", fmt.Errorf("%w: software event %#x", ErrNotSupported, attr.Config)
+		}
+		return PerfTypeSoftware, kind, scale, name, nil
+	}
+	if u := k.m.UncoreByPerfType(attr.Type); u != nil {
+		tab := events.LookupPMU(u.PfmName)
+		if tab == nil {
+			return 0, 0, 0, "", fmt.Errorf("%w: no event table for %s", ErrNoSuchDevice, u.PfmName)
+		}
+		kind, scale, name, ok := tab.Decode(attr.Config)
+		if !ok {
+			return 0, 0, 0, "", fmt.Errorf("%w: %s config %#x", ErrNotSupported, u.PfmName, attr.Config)
+		}
+		return attr.Type, kind, scale, name, nil
+	}
+	if k.m.Power.HasRAPL && attr.Type == k.m.Power.RAPLPerfType {
+		p := events.LookupPMU("rapl")
+		kind, scale, name, ok := p.Decode(attr.Config)
+		if !ok {
+			return 0, 0, 0, "", fmt.Errorf("%w: rapl config %#x", ErrNotSupported, attr.Config)
+		}
+		return attr.Type, kind, scale, name, nil
+	}
+	typ := k.m.TypeByPerfType(attr.Type)
+	if typ == nil {
+		return 0, 0, 0, "", fmt.Errorf("%w: pmu type %d", ErrNoSuchDevice, attr.Type)
+	}
+	p := events.LookupPMU(typ.PfmName)
+	if p == nil {
+		return 0, 0, 0, "", fmt.Errorf("%w: no event table for %s", ErrNoSuchDevice, typ.PfmName)
+	}
+	kind, scale, name, ok := p.Decode(attr.Config)
+	if !ok {
+		return 0, 0, 0, "", fmt.Errorf("%w: %s config %#x", ErrNotSupported, typ.PfmName, attr.Config)
+	}
+	return attr.Type, kind, scale, name, nil
+}
+
+// Open mirrors perf_event_open(attr, pid, cpu, group_fd, 0).
+//
+// pid >= 0 with cpu == -1 opens a per-task event that follows the task;
+// pid == -1 with cpu >= 0 opens a CPU-wide event. Energy (RAPL) events are
+// only valid CPU-wide. groupFD == -1 creates a new group leader; otherwise
+// the event joins that group and must share its PMU type and target.
+func (k *Kernel) Open(attr Attr, pid, cpu, groupFD int) (int, error) {
+	k.syscalls++
+	if pid < 0 && cpu < 0 {
+		return -1, fmt.Errorf("%w: pid and cpu both unset", ErrInvalid)
+	}
+	if pid >= 0 && cpu >= 0 {
+		// Per-task-per-cpu events exist in real perf; unsupported here.
+		return -1, fmt.Errorf("%w: per-task per-cpu events not supported", ErrInvalid)
+	}
+	if cpu >= k.m.NumCPUs() {
+		return -1, fmt.Errorf("%w: cpu %d out of range", ErrInvalid, cpu)
+	}
+	pmuType, kind, scale, name, err := k.resolve(attr)
+	if err != nil {
+		return -1, err
+	}
+	if kind.Energy() {
+		if k.pwr == nil {
+			return -1, fmt.Errorf("%w: no energy source attached", ErrNoSuchDevice)
+		}
+		if pid != -1 || cpu < 0 {
+			return -1, fmt.Errorf("%w: RAPL events must be opened CPU-wide (pid=-1)", ErrInvalid)
+		}
+	}
+	if k.m.UncoreByPerfType(attr.Type) != nil && (pid != -1 || cpu < 0) {
+		return -1, fmt.Errorf("%w: uncore events must be opened CPU-wide (pid=-1)", ErrInvalid)
+	}
+	if kind.Software() && pid < 0 {
+		return -1, fmt.Errorf("%w: software events are per-task in this kernel", ErrInvalid)
+	}
+	if kind.Software() && attr.SamplePeriod > 0 {
+		return -1, fmt.Errorf("%w: sampling software events is not supported", ErrInvalid)
+	}
+
+	if attr.SamplePeriod > 0 && (pid < 0 || kind.Energy()) {
+		return -1, fmt.Errorf("%w: sampling requires a per-task hardware event", ErrInvalid)
+	}
+
+	e := &Event{
+		attr:         attr,
+		pid:          pid,
+		cpu:          cpu,
+		pmuType:      pmuType,
+		kind:         kind,
+		scale:        scale,
+		name:         name,
+		enabled:      !attr.Disabled,
+		samplePeriod: attr.SamplePeriod,
+	}
+
+	if groupFD >= 0 {
+		leader, ok := k.fds[groupFD]
+		if !ok {
+			return -1, fmt.Errorf("%w: group fd %d", ErrBadFD, groupFD)
+		}
+		if leader.leader != nil {
+			return -1, fmt.Errorf("%w: fd %d is not a group leader", ErrInvalid, groupFD)
+		}
+		if leader.pid != pid || leader.cpu != cpu {
+			return -1, fmt.Errorf("%w: group target mismatch", ErrInvalid)
+		}
+		if leader.pmuType != pmuType && !kind.Software() {
+			// The core constraint of section IV.E: perf event groups
+			// cannot contain events from different hardware PMUs. Software
+			// events are exempt, as in the real kernel.
+			return -1, fmt.Errorf("%w: cannot add PMU type %d event to PMU type %d group",
+				ErrInvalid, pmuType, leader.pmuType)
+		}
+		if !kind.Software() {
+			if cap := k.capacityOf(pmuType); leader.hwGroupSize()+1 > cap {
+				return -1, fmt.Errorf("%w: group of %d events exceeds %d counters",
+					ErrInvalid, leader.hwGroupSize()+1, cap)
+			}
+		}
+		e.leader = leader
+		leader.siblings = append(leader.siblings, e)
+	}
+
+	if e.enabled {
+		k.snapshotEnergy(e)
+	}
+	e.fd = k.nextFD
+	k.nextFD++
+	k.fds[e.fd] = e
+	if e.pid >= 0 {
+		k.byPid[e.pid] = append(k.byPid[e.pid], e)
+	} else {
+		k.byCPU[e.cpu] = append(k.byCPU[e.cpu], e)
+	}
+	if e.kind.Energy() {
+		k.energy = append(k.energy, e)
+	}
+	if k.m.UncoreByPerfType(e.pmuType) != nil {
+		k.uncore = append(k.uncore, e)
+	}
+	return e.fd, nil
+}
+
+// capacityOf returns the simultaneous counter capacity of a PMU type.
+func (k *Kernel) capacityOf(pmuType uint32) int {
+	if t := k.m.TypeByPerfType(pmuType); t != nil {
+		return t.PMU.NumGP + t.PMU.NumFixed
+	}
+	return 8 // RAPL and friends: effectively free-running counters
+}
+
+func (k *Kernel) snapshotEnergy(e *Event) {
+	if e.kind.Energy() && k.pwr != nil {
+		e.energyBase = k.energyValue(e.kind)
+	}
+}
+
+func (k *Kernel) energyValue(kind events.Kind) float64 {
+	unit := k.m.Power.EnergyUnitJ
+	if unit <= 0 {
+		unit = 1
+	}
+	var j float64
+	switch kind {
+	case events.KindEnergyPkg:
+		j = k.pwr.EnergyJ(power.DomainPkg)
+	case events.KindEnergyCores:
+		j = k.pwr.EnergyJ(power.DomainCores)
+	case events.KindEnergyRAM:
+		j = k.pwr.EnergyJ(power.DomainRAM)
+	case events.KindEnergyPsys:
+		j = k.pwr.EnergyJ(power.DomainPsys)
+	}
+	return j / unit
+}
+
+// lookup returns the event for fd.
+func (k *Kernel) lookup(fd int) (*Event, error) {
+	e, ok := k.fds[fd]
+	if !ok {
+		return nil, fmt.Errorf("%w: fd %d", ErrBadFD, fd)
+	}
+	return e, nil
+}
+
+// Enable starts counting (PERF_EVENT_IOC_ENABLE). Enabling a group leader
+// enables its whole group, which is how callers start groups atomically.
+func (k *Kernel) Enable(fd int) error {
+	k.syscalls++
+	e, err := k.lookup(fd)
+	if err != nil {
+		return err
+	}
+	for _, ev := range e.group() {
+		if !ev.enabled {
+			ev.enabled = true
+			k.snapshotEnergy(ev)
+		}
+	}
+	return nil
+}
+
+// Disable stops counting (PERF_EVENT_IOC_DISABLE), group-wide for leaders.
+func (k *Kernel) Disable(fd int) error {
+	k.syscalls++
+	e, err := k.lookup(fd)
+	if err != nil {
+		return err
+	}
+	k.serviceEnergy(e)
+	for _, ev := range e.group() {
+		ev.enabled = false
+	}
+	return nil
+}
+
+// Reset zeroes the counter value (PERF_EVENT_IOC_RESET), group-wide for
+// leaders. Times are not reset, matching the real ioctl.
+func (k *Kernel) Reset(fd int) error {
+	k.syscalls++
+	e, err := k.lookup(fd)
+	if err != nil {
+		return err
+	}
+	for _, ev := range e.group() {
+		ev.value = 0
+		k.snapshotEnergy(ev)
+	}
+	return nil
+}
+
+// Read returns the event's count.
+func (k *Kernel) Read(fd int) (Count, error) {
+	k.syscalls++
+	e, err := k.lookup(fd)
+	if err != nil {
+		return Count{}, err
+	}
+	k.serviceEnergy(e)
+	return Count{Value: uint64(e.value), TimeEnabled: e.timeEnabled, TimeRunning: e.timeRunning}, nil
+}
+
+// ReadUser reads a counter through the rdpmc fast path: no syscall is
+// accounted. Like the real mechanism it only works for per-task hardware
+// events (CPU-wide and energy events have no user-mappable counter page).
+func (k *Kernel) ReadUser(fd int) (Count, error) {
+	e, err := k.lookup(fd)
+	if err != nil {
+		return Count{}, err
+	}
+	if e.pid < 0 || e.kind.Energy() {
+		return Count{}, fmt.Errorf("%w: rdpmc requires a per-task hardware event", ErrInvalid)
+	}
+	return Count{Value: uint64(e.value), TimeEnabled: e.timeEnabled, TimeRunning: e.timeRunning}, nil
+}
+
+// ReadGroup returns the counts of a leader and all its siblings in one
+// operation (PERF_FORMAT_GROUP): one syscall for the whole group.
+func (k *Kernel) ReadGroup(fd int) ([]Count, error) {
+	k.syscalls++
+	e, err := k.lookup(fd)
+	if err != nil {
+		return nil, err
+	}
+	if e.leader != nil {
+		return nil, fmt.Errorf("%w: fd %d is not a group leader", ErrInvalid, fd)
+	}
+	var out []Count
+	for _, ev := range e.group() {
+		k.serviceEnergy(ev)
+		out = append(out, Count{Value: uint64(ev.value), TimeEnabled: ev.timeEnabled, TimeRunning: ev.timeRunning})
+	}
+	return out, nil
+}
+
+// Close releases the event. Closing a leader promotes no one: siblings
+// keep counting individually (mirroring the kernel's behaviour closely
+// enough for our callers, which always close whole groups).
+func (k *Kernel) Close(fd int) error {
+	k.syscalls++
+	e, err := k.lookup(fd)
+	if err != nil {
+		return err
+	}
+	if e.leader != nil {
+		sib := e.leader.siblings[:0]
+		for _, s := range e.leader.siblings {
+			if s != e {
+				sib = append(sib, s)
+			}
+		}
+		e.leader.siblings = sib
+	} else {
+		for _, s := range e.siblings {
+			s.leader = nil
+		}
+		e.siblings = nil
+	}
+	if e.pid >= 0 {
+		k.byPid[e.pid] = removeEvent(k.byPid[e.pid], e)
+		if len(k.byPid[e.pid]) == 0 {
+			delete(k.byPid, e.pid)
+		}
+	} else {
+		k.byCPU[e.cpu] = removeEvent(k.byCPU[e.cpu], e)
+		if len(k.byCPU[e.cpu]) == 0 {
+			delete(k.byCPU, e.cpu)
+		}
+	}
+	if e.kind.Energy() {
+		k.energy = removeEvent(k.energy, e)
+	}
+	if k.m.UncoreByPerfType(e.pmuType) != nil {
+		k.uncore = removeEvent(k.uncore, e)
+	}
+	delete(k.fds, fd)
+	return nil
+}
+
+func removeEvent(list []*Event, e *Event) []*Event {
+	out := list[:0]
+	for _, x := range list {
+		if x != e {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// serviceEnergy folds the RAPL accumulator into an energy event's value.
+func (k *Kernel) serviceEnergy(e *Event) {
+	if !e.kind.Energy() || k.pwr == nil || !e.enabled {
+		return
+	}
+	cur := k.energyValue(e.kind)
+	e.value += cur - e.energyBase
+	e.energyBase = cur
+}
+
+// TaskExec reports that task pid executed on cpu for dt seconds producing
+// the given quantities. The kernel credits every enabled event attached to
+// the task (or CPU-wide on that cpu) whose PMU matches the core's PMU type
+// and which holds a counter under the current multiplex rotation.
+func (k *Kernel) TaskExec(pid, cpu int, dt float64, st events.Stats) {
+	coreType := k.m.TypeOf(cpu)
+	// Uncore events are package-scope: they see memory traffic from every
+	// core, whichever CPU they were nominally opened on.
+	for _, e := range k.uncore {
+		if e.enabled {
+			e.value += e.scale * events.ValueOf(st, e.kind)
+		}
+	}
+	matched := k.eventsFor(pid, cpu)
+	if len(matched) == 0 {
+		return
+	}
+	// Partition into groups per PMU type and apply multiplexing.
+	running := k.scheduledSet(matched, coreType.PMU.PerfType)
+	for _, e := range matched {
+		if e.kind.Energy() || k.m.UncoreByPerfType(e.pmuType) != nil {
+			continue
+		}
+		e.timeEnabled += dt
+		if e.kind.Software() {
+			e.timeRunning += dt
+			switch e.kind {
+			case events.KindSWCpuClock, events.KindSWTaskClock:
+				e.value += dt * 1e9
+			case events.KindSWPageFaults:
+				// Minor faults scale with the first-touch footprint; model
+				// them as a small fraction of memory activity.
+				e.value += (st.Loads + st.Stores) * 2e-6
+			}
+			continue
+		}
+		if e.pmuType != coreType.PMU.PerfType {
+			// Wrong core type: the counter stays scheduled out. Time
+			// enabled accrues (the task is running), running does not.
+			continue
+		}
+		if !running[e] {
+			continue // multiplexed out this rotation window
+		}
+		e.timeRunning += dt
+		delta := e.scale * events.ValueOf(st, e.kind)
+		e.value += delta
+		k.maybeSample(e, pid, cpu, delta)
+	}
+}
+
+// eventsFor collects enabled events targeting pid (per-task) or cpu
+// (CPU-wide), in fd order.
+func (k *Kernel) eventsFor(pid, cpu int) []*Event {
+	var out []*Event
+	for _, e := range k.byPid[pid] {
+		if e.enabled {
+			out = append(out, e)
+		}
+	}
+	for _, e := range k.byCPU[cpu] {
+		if e.enabled {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// scheduledSet applies counter-capacity multiplexing: groups of the given
+// PMU type are rotated through the available counters each mux interval.
+func (k *Kernel) scheduledSet(evs []*Event, pmuType uint32) map[*Event]bool {
+	var leaders []*Event
+	demand := 0
+	for _, e := range evs {
+		if e.pmuType != pmuType || e.kind.Energy() || e.kind.Software() {
+			continue
+		}
+		if e.leader == nil {
+			leaders = append(leaders, e)
+			demand += e.hwGroupSize()
+		}
+	}
+	running := map[*Event]bool{}
+	cap := k.capacityOf(pmuType)
+	if demand <= cap {
+		for _, l := range leaders {
+			for _, e := range l.group() {
+				running[e] = true
+			}
+		}
+		return running
+	}
+	// Rotate the starting group by the current mux window.
+	window := 0
+	if k.muxTick > 0 {
+		window = int(k.now / k.muxTick)
+	}
+	n := len(leaders)
+	used := 0
+	for i := 0; i < n; i++ {
+		l := leaders[(window+i)%n]
+		need := l.hwGroupSize()
+		if used+need > cap {
+			continue // greedy: skip groups that no longer fit
+		}
+		used += need
+		for _, e := range l.group() {
+			running[e] = true
+		}
+	}
+	return running
+}
+
+// SchedIn implements the scheduler hook: pid starts running on cpu. It
+// credits CPU-migration software events when the placement changed.
+func (k *Kernel) SchedIn(pid, cpu int, now float64) {
+	last, seen := k.lastCPU[pid]
+	k.lastCPU[pid] = cpu
+	if !seen || last == cpu {
+		return
+	}
+	for _, e := range k.byPid[pid] {
+		if e.enabled && e.kind == events.KindSWCpuMigrations {
+			e.value++
+		}
+	}
+}
+
+// SchedOut implements the scheduler hook: pid stops running on cpu. It
+// credits context-switch software events (nr_switches counts switch-outs).
+func (k *Kernel) SchedOut(pid, cpu int, now float64) {
+	for _, e := range k.byPid[pid] {
+		if e.enabled && e.kind == events.KindSWContextSwitches {
+			e.value++
+		}
+	}
+}
+
+// Advance moves the kernel clock (multiplex rotation reference) and
+// services CPU-wide energy events' enabled time.
+func (k *Kernel) Advance(now float64) {
+	dt := now - k.now
+	if dt < 0 {
+		dt = 0
+	}
+	k.now = now
+	for _, e := range k.energy {
+		if !e.enabled {
+			continue
+		}
+		e.timeEnabled += dt
+		e.timeRunning += dt
+	}
+	for _, e := range k.uncore {
+		if !e.enabled {
+			continue
+		}
+		e.timeEnabled += dt
+		e.timeRunning += dt
+	}
+}
+
+// Now returns the kernel's notion of simulated time.
+func (k *Kernel) Now() float64 { return k.now }

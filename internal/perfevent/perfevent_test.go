@@ -1,0 +1,462 @@
+package perfevent
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hetpapi/internal/events"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/power"
+)
+
+// attrFor builds an Attr for pmuName::EVENT:UMASK on machine m.
+func attrFor(t *testing.T, m *hw.Machine, pfmName, event, umask string) Attr {
+	t.Helper()
+	p := events.LookupPMU(pfmName)
+	if p == nil {
+		t.Fatalf("no PMU %q", pfmName)
+	}
+	d := p.Lookup(event)
+	if d == nil {
+		t.Fatalf("no event %s::%s", pfmName, event)
+	}
+	var bits uint64
+	if umask != "" {
+		u := d.Umask(umask)
+		if u == nil {
+			t.Fatalf("no umask %s on %s::%s", umask, pfmName, event)
+		}
+		bits = u.Bits
+	} else if u := d.DefaultUmask(); u != nil {
+		bits = u.Bits
+	}
+	var typ uint32
+	for i := range m.Types {
+		if m.Types[i].PfmName == pfmName {
+			typ = m.Types[i].PMU.PerfType
+		}
+	}
+	if typ == 0 {
+		t.Fatalf("machine has no PMU %q", pfmName)
+	}
+	return Attr{Type: typ, Config: events.Encode(d.Code, bits)}
+}
+
+func execStats(instr float64) events.Stats {
+	return events.Stats{
+		Instructions: instr,
+		Cycles:       instr / 2,
+		Branches:     instr * 0.2,
+		BranchMisses: instr * 0.01,
+		LLCRefs:      instr * 0.001,
+		LLCMisses:    instr * 0.0005,
+	}
+}
+
+func TestTaskEventCounts(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	fd, err := k.Open(attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY"), 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.TaskExec(100, 0, 0.001, execStats(1e6)) // cpu0 is a P-core
+	c, err := k.Read(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Value != 1e6 {
+		t.Fatalf("count = %d, want 1e6", c.Value)
+	}
+	if c.TimeEnabled != 0.001 || c.TimeRunning != 0.001 {
+		t.Fatalf("times = %g/%g, want 0.001/0.001", c.TimeEnabled, c.TimeRunning)
+	}
+}
+
+func TestCoreTypeGating(t *testing.T) {
+	// The heart of hybrid perf_event: a cpu_atom event does not count
+	// while the task runs on a P-core, and vice versa; their sum covers
+	// everything.
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	pFD, _ := k.Open(attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY"), 100, -1, -1)
+	eFD, _ := k.Open(attrFor(t, m, "adl_grt", "INST_RETIRED", "ANY"), 100, -1, -1)
+
+	k.TaskExec(100, 0, 0.001, execStats(800_000))  // P-core
+	k.TaskExec(100, 16, 0.002, execStats(200_000)) // E-core
+
+	p, _ := k.Read(pFD)
+	e, _ := k.Read(eFD)
+	if p.Value != 800_000 {
+		t.Errorf("P count = %d, want 800000", p.Value)
+	}
+	if e.Value != 200_000 {
+		t.Errorf("E count = %d, want 200000", e.Value)
+	}
+	if p.Value+e.Value != 1_000_000 {
+		t.Errorf("sum = %d, want exactly 1e6", p.Value+e.Value)
+	}
+	// Enabled time accrues whenever the task runs; running time only on
+	// the matching core type.
+	if math.Abs(p.TimeEnabled-0.003) > 1e-12 || math.Abs(p.TimeRunning-0.001) > 1e-12 {
+		t.Errorf("P times = %g/%g, want 0.003/0.001", p.TimeEnabled, p.TimeRunning)
+	}
+	if math.Abs(e.TimeEnabled-0.003) > 1e-12 || math.Abs(e.TimeRunning-0.002) > 1e-12 {
+		t.Errorf("E times = %g/%g, want 0.003/0.002", e.TimeEnabled, e.TimeRunning)
+	}
+}
+
+func TestCrossPMUGroupRejected(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	leader, err := k.Open(attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY"), 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = k.Open(attrFor(t, m, "adl_grt", "INST_RETIRED", "ANY"), 100, -1, leader)
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("cross-PMU sibling: err = %v, want ErrInvalid", err)
+	}
+	// Same-PMU sibling is fine.
+	if _, err := k.Open(attrFor(t, m, "adl_glc", "CPU_CLK_UNHALTED", "THREAD"), 100, -1, leader); err != nil {
+		t.Fatalf("same-PMU sibling: %v", err)
+	}
+}
+
+func TestGroupEnableDisableReadGroup(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	a1 := attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY")
+	a1.Disabled = true
+	leader, _ := k.Open(a1, 100, -1, -1)
+	a2 := attrFor(t, m, "adl_glc", "CPU_CLK_UNHALTED", "THREAD")
+	a2.Disabled = true
+	sib, _ := k.Open(a2, 100, -1, leader)
+
+	// Disabled events do not count.
+	k.TaskExec(100, 0, 0.001, execStats(1000))
+	if c, _ := k.Read(leader); c.Value != 0 {
+		t.Fatal("disabled event counted")
+	}
+
+	// Enabling the leader enables the whole group.
+	if err := k.Enable(leader); err != nil {
+		t.Fatal(err)
+	}
+	k.TaskExec(100, 0, 0.001, execStats(1000))
+	counts, err := k.ReadGroup(leader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 2 {
+		t.Fatalf("ReadGroup returned %d counts", len(counts))
+	}
+	if counts[0].Value != 1000 || counts[1].Value != 500 {
+		t.Fatalf("group counts = %d/%d, want 1000/500", counts[0].Value, counts[1].Value)
+	}
+	// ReadGroup on a non-leader fails.
+	if _, err := k.ReadGroup(sib); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("ReadGroup(sibling) err = %v", err)
+	}
+	// Disabling the leader stops the group.
+	k.Disable(leader)
+	k.TaskExec(100, 0, 0.001, execStats(1000))
+	counts, _ = k.ReadGroup(leader)
+	if counts[0].Value != 1000 {
+		t.Fatal("disabled group kept counting")
+	}
+}
+
+func TestOversizedGroupRejected(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	// E-core PMU: 6 GP + 3 fixed = 9 counters.
+	leader, _ := k.Open(attrFor(t, m, "adl_grt", "INST_RETIRED", "ANY"), 100, -1, -1)
+	added := 1
+	var lastErr error
+	for i := 0; i < 20; i++ {
+		_, lastErr = k.Open(attrFor(t, m, "adl_grt", "BR_INST_RETIRED", "ALL_BRANCHES"), 100, -1, leader)
+		if lastErr != nil {
+			break
+		}
+		added++
+	}
+	if !errors.Is(lastErr, ErrInvalid) {
+		t.Fatalf("oversized group: err = %v, want ErrInvalid", lastErr)
+	}
+	if added != 9 {
+		t.Fatalf("group accepted %d events, want exactly 9 (6 GP + 3 fixed)", added)
+	}
+}
+
+func TestMultiplexingScaling(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	k.SetMuxInterval(0.004)
+	// Open 22 standalone events on the P PMU (capacity 11): they must
+	// multiplex, and the scaled estimates should approximate the truth.
+	var fds []int
+	for i := 0; i < 22; i++ {
+		fd, err := k.Open(attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY"), 100, -1, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fds = append(fds, fd)
+	}
+	const ticks = 1000
+	for i := 0; i < ticks; i++ {
+		k.Advance(float64(i) * 0.001)
+		k.TaskExec(100, 0, 0.001, execStats(1000))
+	}
+	truth := float64(ticks * 1000)
+	for _, fd := range fds {
+		c, _ := k.Read(fd)
+		if c.TimeRunning >= c.TimeEnabled {
+			t.Fatalf("fd %d: running %g !< enabled %g (should be multiplexed)",
+				fd, c.TimeRunning, c.TimeEnabled)
+		}
+		scaled := float64(c.Scaled())
+		if math.Abs(scaled-truth)/truth > 0.10 {
+			t.Errorf("fd %d: scaled estimate %g off truth %g by >10%%", fd, scaled, truth)
+		}
+	}
+}
+
+func TestNoMultiplexWithinCapacity(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	var fds []int
+	for i := 0; i < 11; i++ { // exactly the P PMU capacity
+		fd, _ := k.Open(attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY"), 100, -1, -1)
+		fds = append(fds, fd)
+	}
+	for i := 0; i < 100; i++ {
+		k.Advance(float64(i) * 0.001)
+		k.TaskExec(100, 0, 0.001, execStats(1000))
+	}
+	for _, fd := range fds {
+		c, _ := k.Read(fd)
+		if c.TimeRunning != c.TimeEnabled {
+			t.Fatalf("within capacity, event %d multiplexed: %g != %g", fd, c.TimeRunning, c.TimeEnabled)
+		}
+		if c.Value != 100*1000 {
+			t.Fatalf("fd %d value = %d", fd, c.Value)
+		}
+	}
+}
+
+func TestRAPLEvents(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	pwr := power.New(m.Power)
+	k.AttachPower(pwr)
+
+	raplAttr := Attr{Type: m.Power.RAPLPerfType, Config: events.Encode(0x02, 0)} // ENERGY_PKG
+	// Task-attached RAPL must be rejected.
+	if _, err := k.Open(raplAttr, 100, -1, -1); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("task RAPL: err = %v, want ErrInvalid", err)
+	}
+	fd, err := k.Open(raplAttr, -1, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 55 W cores for 2 s -> 65 W package -> 130 J.
+	pwr.Step(55, 1)
+	k.Advance(1)
+	pwr.Step(55, 1)
+	k.Advance(2)
+	c, _ := k.Read(fd)
+	gotJ := float64(c.Value) * m.Power.EnergyUnitJ
+	if math.Abs(gotJ-130) > 0.1 {
+		t.Fatalf("RAPL pkg energy = %g J, want 130", gotJ)
+	}
+	if math.Abs(c.TimeEnabled-2) > 1e-9 {
+		t.Fatalf("RAPL time enabled = %g", c.TimeEnabled)
+	}
+	// Reset re-bases the counter.
+	k.Reset(fd)
+	pwr.Step(55, 1)
+	c, _ = k.Read(fd)
+	if got := float64(c.Value) * m.Power.EnergyUnitJ; math.Abs(got-65) > 0.1 {
+		t.Fatalf("after reset, energy = %g J, want 65", got)
+	}
+}
+
+func TestRAPLWithoutPowerSource(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	_, err := k.Open(Attr{Type: m.Power.RAPLPerfType, Config: events.Encode(0x02, 0)}, -1, 0, -1)
+	if !errors.Is(err, ErrNoSuchDevice) {
+		t.Fatalf("err = %v, want ErrNoSuchDevice", err)
+	}
+}
+
+func TestGenericHardwareEvents(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	// Unextended: resolves against cpu0's PMU (cpu_core).
+	plain, err := k.Open(Attr{Type: PerfTypeHardware, Config: events.HWInstructions}, 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extended with the E-core PMU type.
+	extCfg := uint64(m.TypeByName("E-core").PMU.PerfType)<<HWConfigExtShift | events.HWInstructions
+	ext, err := k.Open(Attr{Type: PerfTypeHardware, Config: extCfg}, 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.TaskExec(100, 0, 0.001, execStats(700))
+	k.TaskExec(100, 16, 0.001, execStats(300))
+	p, _ := k.Read(plain)
+	e, _ := k.Read(ext)
+	if p.Value != 700 || e.Value != 300 {
+		t.Fatalf("generic counts = %d/%d, want 700/300", p.Value, e.Value)
+	}
+	// Unknown generic id.
+	if _, err := k.Open(Attr{Type: PerfTypeHardware, Config: 99}, 100, -1, -1); !errors.Is(err, ErrNotSupported) {
+		t.Fatalf("unknown generic: %v", err)
+	}
+	// Unknown extended PMU type.
+	if _, err := k.Open(Attr{Type: PerfTypeHardware, Config: uint64(77)<<HWConfigExtShift | 1}, 100, -1, -1); !errors.Is(err, ErrNoSuchDevice) {
+		t.Fatalf("unknown ext type: %v", err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	good := attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY")
+	cases := []struct {
+		name string
+		fn   func() (int, error)
+		want error
+	}{
+		{"no target", func() (int, error) { return k.Open(good, -1, -1, -1) }, ErrInvalid},
+		{"both targets", func() (int, error) { return k.Open(good, 5, 3, -1) }, ErrInvalid},
+		{"cpu out of range", func() (int, error) { return k.Open(good, -1, 99, -1) }, ErrInvalid},
+		{"unknown pmu", func() (int, error) { return k.Open(Attr{Type: 77, Config: 1}, 100, -1, -1) }, ErrNoSuchDevice},
+		{"unknown config", func() (int, error) { return k.Open(Attr{Type: 8, Config: 0xEEEE}, 100, -1, -1) }, ErrNotSupported},
+		{"bad group fd", func() (int, error) { return k.Open(good, 100, -1, 999) }, ErrBadFD},
+	}
+	for _, tc := range cases {
+		if _, err := tc.fn(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Sibling-of-sibling: the group fd must be a leader.
+	leader, _ := k.Open(good, 100, -1, -1)
+	sib, _ := k.Open(good, 100, -1, leader)
+	if _, err := k.Open(good, 100, -1, sib); !errors.Is(err, ErrInvalid) {
+		t.Errorf("sibling as group leader: %v", err)
+	}
+	// Target mismatch with leader.
+	if _, err := k.Open(good, 200, -1, leader); !errors.Is(err, ErrInvalid) {
+		t.Errorf("pid mismatch: %v", err)
+	}
+}
+
+func TestFDLifecycle(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	good := attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY")
+	fd, _ := k.Open(good, 100, -1, -1)
+	if k.NumOpen() != 1 {
+		t.Fatal("NumOpen != 1")
+	}
+	if err := k.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if k.NumOpen() != 0 {
+		t.Fatal("NumOpen != 0 after close")
+	}
+	if _, err := k.Read(fd); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("read after close: %v", err)
+	}
+	if err := k.Close(fd); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("double close: %v", err)
+	}
+	for _, op := range []func(int) error{k.Enable, k.Disable, k.Reset} {
+		if err := op(12345); !errors.Is(err, ErrBadFD) {
+			t.Fatalf("op on bad fd: %v", err)
+		}
+	}
+}
+
+func TestCloseSiblingAndLeader(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	good := attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY")
+	leader, _ := k.Open(good, 100, -1, -1)
+	sib, _ := k.Open(good, 100, -1, leader)
+	if err := k.Close(sib); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := k.ReadGroup(leader)
+	if err != nil || len(counts) != 1 {
+		t.Fatalf("after closing sibling: %v, %d counts", err, len(counts))
+	}
+	// Closing the leader orphans (but keeps) remaining siblings.
+	sib2, _ := k.Open(good, 100, -1, leader)
+	if err := k.Close(leader); err != nil {
+		t.Fatal(err)
+	}
+	k.TaskExec(100, 0, 0.001, execStats(42))
+	c, err := k.Read(sib2)
+	if err != nil || c.Value != 42 {
+		t.Fatalf("orphaned sibling: %v, value %d", err, c.Value)
+	}
+}
+
+func TestCPUWideEvent(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	fd, err := k.Open(attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY"), -1, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.TaskExec(100, 0, 0.001, execStats(500)) // any pid on cpu0 counts
+	k.TaskExec(200, 0, 0.001, execStats(300))
+	k.TaskExec(100, 2, 0.001, execStats(999)) // other cpu: ignored
+	c, _ := k.Read(fd)
+	if c.Value != 800 {
+		t.Fatalf("cpu-wide count = %d, want 800", c.Value)
+	}
+}
+
+func TestScaledHelper(t *testing.T) {
+	c := Count{Value: 500, TimeEnabled: 1.0, TimeRunning: 0.5}
+	if c.Scaled() != 1000 {
+		t.Fatalf("Scaled = %d", c.Scaled())
+	}
+	if (Count{Value: 5}).Scaled() != 0 {
+		t.Fatal("zero running time must scale to 0")
+	}
+}
+
+func TestSyscallAccounting(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	base := k.Syscalls()
+	fd, _ := k.Open(attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY"), 100, -1, -1)
+	k.Enable(fd)
+	k.Read(fd)
+	k.Disable(fd)
+	k.Close(fd)
+	if got := k.Syscalls() - base; got != 5 {
+		t.Fatalf("syscalls = %d, want 5", got)
+	}
+}
+
+func TestEventScaleApplied(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	// BR_INST_RETIRED:COND counts a calibrated fraction (0.72) of branches.
+	fd, _ := k.Open(attrFor(t, m, "adl_glc", "BR_INST_RETIRED", "COND"), 100, -1, -1)
+	st := events.Stats{Branches: 1000}
+	k.TaskExec(100, 0, 0.001, st)
+	c, _ := k.Read(fd)
+	if c.Value != 720 {
+		t.Fatalf("COND branches = %d, want 720", c.Value)
+	}
+}

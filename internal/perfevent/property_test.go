@@ -1,0 +1,171 @@
+package perfevent
+
+// Property-based tests of the kernel invariants DESIGN.md calls out:
+// counters are non-negative and monotone while running, per-PMU counts
+// partition the total, and enabled time always bounds running time.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetpapi/internal/events"
+	"hetpapi/internal/hw"
+)
+
+// step is one randomized simulation step applied to the kernel.
+type step struct {
+	CPU     uint8
+	Instr   uint16
+	Toggle  bool // disable/enable the P event
+	ResetIt bool // reset the E event
+}
+
+func TestCounterMonotoneWhileRunningProperty(t *testing.T) {
+	m := hw.RaptorLake()
+	glc := events.LookupPMU("adl_glc").Lookup("INST_RETIRED")
+	grt := events.LookupPMU("adl_grt").Lookup("INST_RETIRED")
+
+	f := func(steps []step) bool {
+		k := NewKernel(m)
+		pFD, err := k.Open(Attr{Type: 8, Config: events.Encode(glc.Code, glc.DefaultUmask().Bits)}, 100, -1, -1)
+		if err != nil {
+			return false
+		}
+		eFD, err := k.Open(Attr{Type: 10, Config: events.Encode(grt.Code, grt.DefaultUmask().Bits)}, 100, -1, -1)
+		if err != nil {
+			return false
+		}
+		var lastP, lastE uint64
+		now := 0.0
+		var expectedTotal float64
+		var countedP, countedE float64
+		pEnabled := true
+		for _, s := range steps {
+			cpu := int(s.CPU) % m.NumCPUs()
+			instr := float64(s.Instr)
+			if s.Toggle {
+				if pEnabled {
+					k.Disable(pFD)
+				} else {
+					k.Enable(pFD)
+				}
+				pEnabled = !pEnabled
+			}
+			if s.ResetIt {
+				k.Reset(eFD)
+				lastE = 0
+			}
+			now += 0.001
+			k.Advance(now)
+			k.TaskExec(100, cpu, 0.001, events.Stats{Instructions: instr})
+			expectedTotal += instr
+			if m.TypeOf(cpu).Class == hw.Performance && pEnabled {
+				countedP += instr
+			}
+			if m.TypeOf(cpu).Class == hw.Efficiency {
+				countedE += instr
+			}
+
+			p, err1 := k.Read(pFD)
+			e, err2 := k.Read(eFD)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			// Monotone except across explicit resets.
+			if p.Value < lastP || e.Value < lastE {
+				return false
+			}
+			lastP, lastE = p.Value, e.Value
+			// Time invariants.
+			if p.TimeRunning > p.TimeEnabled+1e-12 || e.TimeRunning > e.TimeEnabled+1e-12 {
+				return false
+			}
+		}
+		// Final conservation: the P counter holds exactly the instructions
+		// executed on P cores while it was enabled.
+		p, _ := k.Read(pFD)
+		return float64(p.Value) == countedP
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any schedule of executions across CPUs, the per-PMU
+// instruction counters of a task partition the total exactly.
+func TestPartitionProperty(t *testing.T) {
+	machines := []*hw.Machine{hw.RaptorLake(), hw.OrangePi800(), hw.Dimensity9000()}
+	f := func(mi uint8, cpus []uint8) bool {
+		m := machines[int(mi)%len(machines)]
+		k := NewKernel(m)
+		var fds []int
+		for i := range m.Types {
+			tt := &m.Types[i]
+			def := events.LookupPMU(tt.PfmName).Lookup("INST_RETIRED")
+			var bits uint64
+			if u := def.DefaultUmask(); u != nil {
+				bits = u.Bits
+			}
+			fd, err := k.Open(Attr{Type: tt.PMU.PerfType, Config: events.Encode(def.Code, bits)}, 7, -1, -1)
+			if err != nil {
+				return false
+			}
+			fds = append(fds, fd)
+		}
+		var total float64
+		for i, c := range cpus {
+			cpu := int(c) % m.NumCPUs()
+			instr := float64(i%997 + 1)
+			k.TaskExec(7, cpu, 0.001, events.Stats{Instructions: instr})
+			total += instr
+		}
+		var sum uint64
+		for _, fd := range fds {
+			v, err := k.Read(fd)
+			if err != nil {
+				return false
+			}
+			sum += v.Value
+		}
+		return float64(sum) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: group reads return the same values as individual reads.
+func TestGroupReadConsistencyProperty(t *testing.T) {
+	m := hw.RaptorLake()
+	glc := events.LookupPMU("adl_glc")
+	inst := glc.Lookup("INST_RETIRED")
+	cyc := glc.Lookup("CPU_CLK_UNHALTED")
+	br := glc.Lookup("BR_INST_RETIRED")
+	f := func(execs []uint16) bool {
+		k := NewKernel(m)
+		leader, _ := k.Open(Attr{Type: 8, Config: events.Encode(inst.Code, inst.DefaultUmask().Bits)}, 9, -1, -1)
+		s1, _ := k.Open(Attr{Type: 8, Config: events.Encode(cyc.Code, cyc.DefaultUmask().Bits)}, 9, -1, leader)
+		s2, _ := k.Open(Attr{Type: 8, Config: events.Encode(br.Code, br.DefaultUmask().Bits)}, 9, -1, leader)
+		for i, e := range execs {
+			k.TaskExec(9, (i%8)*2, 0.001, events.Stats{
+				Instructions: float64(e),
+				Cycles:       float64(e) / 2,
+				Branches:     float64(e) / 5,
+			})
+		}
+		group, err := k.ReadGroup(leader)
+		if err != nil || len(group) != 3 {
+			return false
+		}
+		for i, fd := range []int{leader, s1, s2} {
+			single, err := k.Read(fd)
+			if err != nil || single.Value != group[i].Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

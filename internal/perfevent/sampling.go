@@ -1,0 +1,71 @@
+package perfevent
+
+// Statistical sampling support: an event opened with a sample period
+// records an overflow sample every SamplePeriod increments, like
+// perf_event's PERF_RECORD_SAMPLE stream. This is the measurement mode the
+// paper contrasts with PAPI calipers — the perf tool "only supports
+// gathering either aggregate (full-program) counts or else statistically
+// sampled values". On hybrid machines sampling inherits the same per-PMU
+// split as counting: a cpu_core-type sampled event only fires while the
+// task runs on P-cores, so building a complete profile takes one sampled
+// event per core type.
+
+// Sample is one overflow record.
+type Sample struct {
+	// TimeSec is the simulated time of the overflow.
+	TimeSec float64
+	// PID and CPU locate the execution that crossed the period.
+	PID int
+	CPU int
+	// PMUType is the sampling event's PMU.
+	PMUType uint32
+	// Value is the counter total at the overflow.
+	Value uint64
+	// Period is the configured sampling period.
+	Period uint64
+}
+
+// sampleRingCap bounds the per-event sample buffer, mirroring the finite
+// mmap ring of real perf_event: overflows beyond the cap are dropped and
+// counted (PERF_RECORD_LOST).
+const sampleRingCap = 65536
+
+// maybeSample emits overflow records for the value increment credited to a
+// sampling event during an execution slice.
+func (k *Kernel) maybeSample(e *Event, pid, cpu int, delta float64) {
+	if e.samplePeriod == 0 || delta <= 0 {
+		return
+	}
+	e.sampleAcc += delta
+	period := float64(e.samplePeriod)
+	for e.sampleAcc >= period {
+		e.sampleAcc -= period
+		if len(e.samples) >= sampleRingCap {
+			e.lostSamples++
+			continue
+		}
+		e.samples = append(e.samples, Sample{
+			TimeSec: k.now,
+			PID:     pid,
+			CPU:     cpu,
+			PMUType: e.pmuType,
+			Value:   uint64(e.value),
+			Period:  e.samplePeriod,
+		})
+	}
+}
+
+// ReadSamples drains an event's sample buffer, returning the records and
+// the number of samples lost to ring overflow since the last drain.
+func (k *Kernel) ReadSamples(fd int) ([]Sample, uint64, error) {
+	k.syscalls++
+	e, err := k.lookup(fd)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := e.samples
+	lost := e.lostSamples
+	e.samples = nil
+	e.lostSamples = 0
+	return out, lost, nil
+}

@@ -1,0 +1,121 @@
+package perfevent
+
+import (
+	"errors"
+	"testing"
+
+	"hetpapi/internal/events"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/power"
+)
+
+func TestSamplingEmitsEveryPeriod(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	attr := attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY")
+	attr.SamplePeriod = 1000
+	fd, err := k.Open(attr, 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 slices of 550 instructions = 5500 total -> 5 overflows.
+	for i := 0; i < 10; i++ {
+		k.Advance(float64(i) * 0.001)
+		k.TaskExec(100, 0, 0.001, events.Stats{Instructions: 550})
+	}
+	samples, lost, err := k.ReadSamples(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 0 {
+		t.Fatalf("lost = %d", lost)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("got %d samples, want 5", len(samples))
+	}
+	for i, s := range samples {
+		if s.PID != 100 || s.CPU != 0 || s.Period != 1000 {
+			t.Fatalf("sample %d = %+v", i, s)
+		}
+		if i > 0 && s.TimeSec < samples[i-1].TimeSec {
+			t.Fatal("samples out of order")
+		}
+	}
+	// Drain empties the ring.
+	samples, _, _ = k.ReadSamples(fd)
+	if len(samples) != 0 {
+		t.Fatal("ring not drained")
+	}
+}
+
+func TestSamplingGatedByCoreType(t *testing.T) {
+	// A sampled cpu_core event must not fire while the task runs on an
+	// E-core: hybrid profiles need one sampled event per PMU.
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	attr := attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY")
+	attr.SamplePeriod = 100
+	fd, _ := k.Open(attr, 100, -1, -1)
+	k.TaskExec(100, 16, 0.001, events.Stats{Instructions: 10_000}) // E-core
+	samples, _, _ := k.ReadSamples(fd)
+	if len(samples) != 0 {
+		t.Fatalf("P-PMU event sampled on an E-core: %d records", len(samples))
+	}
+	k.TaskExec(100, 2, 0.001, events.Stats{Instructions: 1000}) // P-core
+	samples, _, _ = k.ReadSamples(fd)
+	if len(samples) != 10 {
+		t.Fatalf("got %d samples, want 10", len(samples))
+	}
+	if samples[0].CPU != 2 {
+		t.Fatalf("sample CPU = %d", samples[0].CPU)
+	}
+}
+
+func TestSamplingRingOverflow(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	attr := attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY")
+	attr.SamplePeriod = 1
+	fd, _ := k.Open(attr, 100, -1, -1)
+	// One slice crediting double the ring capacity.
+	k.TaskExec(100, 0, 0.001, events.Stats{Instructions: 2 * sampleRingCap})
+	samples, lost, _ := k.ReadSamples(fd)
+	if len(samples) != sampleRingCap {
+		t.Fatalf("ring held %d, want %d", len(samples), sampleRingCap)
+	}
+	if lost != sampleRingCap {
+		t.Fatalf("lost = %d, want %d", lost, sampleRingCap)
+	}
+}
+
+func TestSamplingInvalidTargets(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	k.AttachPower(power.New(m.Power))
+	// CPU-wide sampling rejected.
+	attr := attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY")
+	attr.SamplePeriod = 100
+	if _, err := k.Open(attr, -1, 0, -1); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("cpu-wide sampling: %v", err)
+	}
+	// RAPL sampling rejected.
+	pwrAttr := Attr{Type: m.Power.RAPLPerfType, Config: events.Encode(0x02, 0), SamplePeriod: 100}
+	if _, err := k.Open(pwrAttr, -1, 0, -1); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("rapl sampling: %v", err)
+	}
+	// ReadSamples on a bad fd.
+	if _, _, err := k.ReadSamples(999); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("bad fd: %v", err)
+	}
+}
+
+func TestNonSamplingEventEmitsNothing(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	fd, _ := k.Open(attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY"), 100, -1, -1)
+	k.TaskExec(100, 0, 0.001, events.Stats{Instructions: 1e9})
+	samples, lost, err := k.ReadSamples(fd)
+	if err != nil || len(samples) != 0 || lost != 0 {
+		t.Fatalf("counting event produced samples: %d/%d/%v", len(samples), lost, err)
+	}
+}

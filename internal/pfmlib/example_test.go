@@ -1,0 +1,48 @@
+package pfmlib_test
+
+import (
+	"fmt"
+	"log"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/pfmlib"
+)
+
+// Example shows event-string resolution on a hybrid machine: qualified
+// names pick a PMU, unqualified names search every default core PMU.
+func Example() {
+	lib, err := pfmlib.New(hw.RaptorLake())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range []string{
+		"adl_grt::INST_RETIRED:ANY",  // the paper's E-core spelling
+		"MEM_UOPS_RETIRED:ALL_LOADS", // exists only on the E-core PMU
+		"TOPDOWN:SLOTS",              // exists only on the P-core PMU
+	} {
+		info, err := lib.ParseEvent(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s -> %s (perf type %d)\n", s, info.FullName, info.Attr.Type)
+	}
+	// Output:
+	// adl_grt::INST_RETIRED:ANY    -> adl_grt::INST_RETIRED:ANY (perf type 10)
+	// MEM_UOPS_RETIRED:ALL_LOADS   -> adl_grt::MEM_UOPS_RETIRED:ALL_LOADS (perf type 10)
+	// TOPDOWN:SLOTS                -> adl_glc::TOPDOWN:SLOTS (perf type 8)
+}
+
+// ExampleLibrary_DefaultPMUs shows the multiple-defaults situation of
+// section IV.D: hybrid machines report one default core PMU per type.
+func ExampleLibrary_DefaultPMUs() {
+	hybrid, _ := pfmlib.New(hw.RaptorLake())
+	fmt.Println("raptorlake:", hybrid.DefaultPMUs())
+	tri, _ := pfmlib.New(hw.Dimensity9000())
+	fmt.Println("dimensity: ", tri.DefaultPMUs())
+	plain, _ := pfmlib.New(hw.Homogeneous())
+	fmt.Println("homogeneous:", plain.DefaultPMUs())
+	// Output:
+	// raptorlake: [adl_glc adl_grt]
+	// dimensity:  [arm_cortex_a510 arm_cortex_a710 arm_cortex_x2]
+	// homogeneous: [skl]
+}

@@ -1,0 +1,46 @@
+package pfmlib
+
+import (
+	"testing"
+
+	"hetpapi/internal/hw"
+)
+
+// FuzzParseEvent checks the event-string parser never panics and that any
+// accepted string round-trips through its canonical FullName.
+func FuzzParseEvent(f *testing.F) {
+	for _, seed := range []string{
+		"adl_glc::INST_RETIRED:ANY",
+		"adl_grt::INST_RETIRED",
+		"INST_RETIRED:ANY:u",
+		"rapl::ENERGY_PKG",
+		"perf::CONTEXT_SWITCHES",
+		"::",
+		":::",
+		"a::b:c:d:e",
+		"TOPDOWN:SLOTS",
+		"adl_glc::",
+		"\x00",
+		"adl_glc::INST_RETIRED:ANY:k:u",
+	} {
+		f.Add(seed)
+	}
+	l, err := New(hw.RaptorLake())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		info, err := l.ParseEvent(s)
+		if err != nil {
+			return
+		}
+		// Accepted events must re-parse to the same encoding.
+		again, err := l.ParseEvent(info.FullName)
+		if err != nil {
+			t.Fatalf("canonical name %q of %q does not parse: %v", info.FullName, s, err)
+		}
+		if again.Attr.Type != info.Attr.Type || again.Attr.Config != info.Attr.Config {
+			t.Fatalf("round trip changed encoding: %q -> %+v vs %+v", s, info.Attr, again.Attr)
+		}
+	})
+}

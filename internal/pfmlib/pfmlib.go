@@ -1,0 +1,306 @@
+// Package pfmlib plays the role libpfm4 plays for real PAPI: it maps
+// human-readable event strings like
+//
+//	adl_glc::INST_RETIRED:ANY
+//	adl_grt::INST_RETIRED:ANY:u
+//	INST_RETIRED            (searched in the default core PMUs)
+//	rapl::ENERGY_PKG
+//
+// to the perf_event attr the kernel expects, and it reports which PMU
+// models are active on a machine — including, crucially, *multiple default
+// core PMUs* on hybrid systems. Section IV.C/IV.D of the paper describes
+// how PAPI had to grow support for exactly that: libpfm4 historically
+// reported one default core PMU, and hybrid machines have two or more.
+package pfmlib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hetpapi/internal/events"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/perfevent"
+)
+
+// Info describes one active PMU model.
+type Info struct {
+	// Name is the pfm model name ("adl_glc").
+	Name string
+	// Desc is the human-readable description.
+	Desc string
+	// PerfType is the kernel's dynamic type id for this PMU.
+	PerfType uint32
+	// NumEvents is the number of native events in the model's table.
+	NumEvents int
+	// IsCore reports whether this is a core (cycle-counting) PMU as
+	// opposed to an uncore/energy PMU.
+	IsCore bool
+	// IsDefault reports whether unqualified event names are searched in
+	// this PMU. On hybrid machines every core PMU is a default.
+	IsDefault bool
+}
+
+// EventInfo is a fully resolved event.
+type EventInfo struct {
+	// PMU is the pfm model name the event resolved against.
+	PMU string
+	// Event and Umask are the resolved parts; FullName is the canonical
+	// "pmu::EVENT:UMASK" spelling.
+	Event    string
+	Umask    string
+	FullName string
+	// Kind is the counted architectural quantity.
+	Kind events.Kind
+	// Attr is the ready-to-open perf_event encoding.
+	Attr perfevent.Attr
+}
+
+// Library resolves events for one machine.
+type Library struct {
+	m      *hw.Machine
+	pmus   []Info
+	tables map[string]*events.PMU
+	types  map[string]uint32
+}
+
+// New builds the library for a machine. It fails if a core type references
+// an event table that does not exist (mirroring "libpfm4 has no support for
+// this PMU yet", the situation the authors hit with ARM big.LITTLE).
+func New(m *hw.Machine) (*Library, error) {
+	l := &Library{
+		m:      m,
+		tables: map[string]*events.PMU{},
+		types:  map[string]uint32{},
+	}
+	for i := range m.Types {
+		t := &m.Types[i]
+		tab := events.LookupPMU(t.PfmName)
+		if tab == nil {
+			return nil, fmt.Errorf("pfmlib: no event table for PMU model %q (core type %s)",
+				t.PfmName, t.Name)
+		}
+		l.tables[t.PfmName] = tab
+		l.types[t.PfmName] = t.PMU.PerfType
+		l.pmus = append(l.pmus, Info{
+			Name:      t.PfmName,
+			Desc:      tab.Desc,
+			PerfType:  t.PMU.PerfType,
+			NumEvents: len(tab.Events),
+			IsCore:    true,
+			IsDefault: true,
+		})
+	}
+	swTab := events.LookupPMU("perf")
+	l.tables["perf"] = swTab
+	l.types["perf"] = perfevent.PerfTypeSoftware
+	l.pmus = append(l.pmus, Info{
+		Name:      "perf",
+		Desc:      swTab.Desc,
+		PerfType:  perfevent.PerfTypeSoftware,
+		NumEvents: len(swTab.Events),
+		IsCore:    false,
+		IsDefault: false,
+	})
+	for i := range m.Uncore {
+		u := &m.Uncore[i]
+		tab := events.LookupPMU(u.PfmName)
+		if tab == nil {
+			return nil, fmt.Errorf("pfmlib: no event table for uncore PMU model %q", u.PfmName)
+		}
+		l.tables[u.PfmName] = tab
+		l.types[u.PfmName] = u.PMU.PerfType
+		l.pmus = append(l.pmus, Info{
+			Name:      u.PfmName,
+			Desc:      tab.Desc,
+			PerfType:  u.PMU.PerfType,
+			NumEvents: len(tab.Events),
+			IsCore:    false,
+			IsDefault: false,
+		})
+	}
+	if m.Power.HasRAPL {
+		tab := events.LookupPMU("rapl")
+		l.tables["rapl"] = tab
+		l.types["rapl"] = m.Power.RAPLPerfType
+		l.pmus = append(l.pmus, Info{
+			Name:      "rapl",
+			Desc:      tab.Desc,
+			PerfType:  m.Power.RAPLPerfType,
+			NumEvents: len(tab.Events),
+			IsCore:    false,
+			IsDefault: false,
+		})
+	}
+	return l, nil
+}
+
+// PMUs lists the active PMU models, core PMUs first.
+func (l *Library) PMUs() []Info {
+	out := append([]Info(nil), l.pmus...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].IsCore != out[j].IsCore {
+			return out[i].IsCore
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// DefaultPMUs returns the pfm names of the default core PMUs in machine
+// declaration order (Performance-class first on the paper's machines). On
+// a hybrid machine this has more than one entry — the situation PAPI's
+// single-default assumption could not represent.
+func (l *Library) DefaultPMUs() []string {
+	var out []string
+	for i := range l.m.Types {
+		out = append(out, l.m.Types[i].PfmName)
+	}
+	return out
+}
+
+// HasPMU reports whether the machine exposes the named PMU model.
+func (l *Library) HasPMU(name string) bool {
+	_, ok := l.tables[name]
+	return ok
+}
+
+// ParseEvent resolves an event string. Accepted grammar:
+//
+//	[pmu::]EVENT[:UMASK][:mod...]
+//
+// where mod is "u" (count user) or "k" (count kernel). Without a pmu
+// qualifier the event is searched in the default core PMUs in order and
+// the first match wins.
+func (l *Library) ParseEvent(s string) (EventInfo, error) {
+	if strings.TrimSpace(s) == "" {
+		return EventInfo{}, fmt.Errorf("pfmlib: empty event string")
+	}
+	var pmuName, rest string
+	if idx := strings.Index(s, "::"); idx >= 0 {
+		pmuName, rest = s[:idx], s[idx+2:]
+		if pmuName == "" {
+			return EventInfo{}, fmt.Errorf("pfmlib: empty PMU qualifier in %q", s)
+		}
+	} else {
+		rest = s
+	}
+	if rest == "" {
+		return EventInfo{}, fmt.Errorf("pfmlib: missing event name in %q", s)
+	}
+
+	if pmuName != "" {
+		tab, ok := l.tables[pmuName]
+		if !ok {
+			return EventInfo{}, fmt.Errorf("pfmlib: unknown PMU %q in %q (active: %s)",
+				pmuName, s, strings.Join(l.activeNames(), ", "))
+		}
+		return l.resolveIn(pmuName, tab, rest, s)
+	}
+	var firstErr error
+	for _, name := range l.DefaultPMUs() {
+		info, err := l.resolveIn(name, l.tables[name], rest, s)
+		if err == nil {
+			return info, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return EventInfo{}, fmt.Errorf("pfmlib: event %q not found in any default PMU: %v", s, firstErr)
+}
+
+func (l *Library) activeNames() []string {
+	names := make([]string, 0, len(l.tables))
+	for n := range l.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (l *Library) resolveIn(pmuName string, tab *events.PMU, rest, orig string) (EventInfo, error) {
+	parts := strings.Split(rest, ":")
+	evName := parts[0]
+	def := tab.Lookup(evName)
+	if def == nil {
+		return EventInfo{}, fmt.Errorf("pfmlib: no event %q in PMU %s", evName, pmuName)
+	}
+
+	var umask *events.Umask
+	attr := perfevent.Attr{Type: l.types[pmuName]}
+	for _, part := range parts[1:] {
+		switch part {
+		case "":
+			return EventInfo{}, fmt.Errorf("pfmlib: empty qualifier in %q", orig)
+		case "u":
+			attr.ExcludeKernel = true
+		case "k":
+			attr.ExcludeUser = true
+		default:
+			u := def.Umask(part)
+			if u == nil {
+				return EventInfo{}, fmt.Errorf("pfmlib: no umask or modifier %q on %s::%s",
+					part, pmuName, evName)
+			}
+			if umask != nil {
+				return EventInfo{}, fmt.Errorf("pfmlib: multiple umasks in %q", orig)
+			}
+			umask = u
+		}
+	}
+	if umask == nil {
+		umask = def.DefaultUmask()
+	}
+
+	info := EventInfo{
+		PMU:   pmuName,
+		Event: evName,
+	}
+	var bits uint64
+	kind := def.Kind
+	if umask != nil {
+		bits = umask.Bits
+		kind = umask.Kind
+		info.Umask = umask.Name
+		info.FullName = fmt.Sprintf("%s::%s:%s", pmuName, evName, umask.Name)
+	} else {
+		info.FullName = fmt.Sprintf("%s::%s", pmuName, evName)
+	}
+	attr.Config = events.Encode(def.Code, bits)
+	info.Attr = attr
+	info.Kind = kind
+	return info, nil
+}
+
+// EventsForPMU lists the canonical event:umask names of one PMU model,
+// sorted — the papi_native_avail view.
+func (l *Library) EventsForPMU(pmuName string) ([]string, error) {
+	tab, ok := l.tables[pmuName]
+	if !ok {
+		return nil, fmt.Errorf("pfmlib: unknown PMU %q", pmuName)
+	}
+	var out []string
+	for _, d := range tab.Events {
+		if len(d.Umasks) == 0 {
+			out = append(out, fmt.Sprintf("%s::%s", pmuName, d.Name))
+			continue
+		}
+		for _, u := range d.Umasks {
+			out = append(out, fmt.Sprintf("%s::%s:%s", pmuName, d.Name, u.Name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// AllEvents lists every resolvable event on the machine, sorted.
+func (l *Library) AllEvents() []string {
+	var out []string
+	for name := range l.tables {
+		evs, _ := l.EventsForPMU(name)
+		out = append(out, evs...)
+	}
+	sort.Strings(out)
+	return out
+}

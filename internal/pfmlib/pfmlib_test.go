@@ -1,0 +1,215 @@
+package pfmlib
+
+import (
+	"strings"
+	"testing"
+
+	"hetpapi/internal/events"
+	"hetpapi/internal/hw"
+)
+
+func lib(t *testing.T, m *hw.Machine) *Library {
+	t.Helper()
+	l, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestMultipleDefaultPMUs(t *testing.T) {
+	// Section IV.D: on Raptor Lake libpfm4 must report BOTH core PMUs as
+	// defaults.
+	l := lib(t, hw.RaptorLake())
+	defaults := l.DefaultPMUs()
+	if len(defaults) != 2 || defaults[0] != "adl_glc" || defaults[1] != "adl_grt" {
+		t.Fatalf("DefaultPMUs = %v, want [adl_glc adl_grt]", defaults)
+	}
+	// Homogeneous machine: exactly one default.
+	if d := lib(t, hw.Homogeneous()).DefaultPMUs(); len(d) != 1 || d[0] != "skl" {
+		t.Fatalf("homogeneous defaults = %v", d)
+	}
+}
+
+func TestPMUListing(t *testing.T) {
+	l := lib(t, hw.RaptorLake())
+	pmus := l.PMUs()
+	if len(pmus) != 5 {
+		t.Fatalf("PMUs = %+v, want 5 (glc, grt, imc, perf, rapl)", pmus)
+	}
+	if !pmus[0].IsCore || !pmus[1].IsCore || pmus[2].IsCore || pmus[3].IsCore || pmus[4].IsCore {
+		t.Fatal("core PMUs must sort first")
+	}
+	if pmus[2].Name != "adl_imc" || pmus[2].IsDefault {
+		t.Fatalf("imc listing wrong: %+v", pmus[2])
+	}
+	if pmus[3].Name != "perf" || pmus[3].IsDefault {
+		t.Fatalf("software listing wrong: %+v", pmus[3])
+	}
+	if pmus[4].Name != "rapl" || pmus[4].IsDefault {
+		t.Fatalf("rapl listing wrong: %+v", pmus[4])
+	}
+	// ARM machine: no RAPL PMU.
+	arm := lib(t, hw.OrangePi800())
+	for _, p := range arm.PMUs() {
+		if p.Name == "rapl" {
+			t.Fatal("OrangePi must not expose rapl")
+		}
+	}
+	if !arm.HasPMU("arm_cortex_a72") || arm.HasPMU("adl_glc") {
+		t.Fatal("HasPMU wrong for ARM")
+	}
+}
+
+func TestParseQualifiedEvent(t *testing.T) {
+	l := lib(t, hw.RaptorLake())
+	info, err := l.ParseEvent("adl_glc::INST_RETIRED:ANY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.PMU != "adl_glc" || info.Event != "INST_RETIRED" || info.Umask != "ANY" {
+		t.Fatalf("parse = %+v", info)
+	}
+	if info.Kind != events.KindInstructions {
+		t.Fatalf("kind = %v", info.Kind)
+	}
+	if info.Attr.Type != 8 {
+		t.Fatalf("attr type = %d, want 8 (cpu_core)", info.Attr.Type)
+	}
+	if info.FullName != "adl_glc::INST_RETIRED:ANY" {
+		t.Fatalf("full name = %q", info.FullName)
+	}
+	// The paper's E-core spelling resolves to the cpu_atom perf type.
+	info, err = l.ParseEvent("adl_grt::INST_RETIRED:ANY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Attr.Type != 10 {
+		t.Fatalf("E attr type = %d, want 10 (cpu_atom)", info.Attr.Type)
+	}
+}
+
+func TestParseDefaultUmask(t *testing.T) {
+	l := lib(t, hw.RaptorLake())
+	info, err := l.ParseEvent("adl_glc::INST_RETIRED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Umask != "ANY" {
+		t.Fatalf("default umask = %q, want ANY", info.Umask)
+	}
+	// ARM events have no umasks at all.
+	arm := lib(t, hw.OrangePi800())
+	info, err = arm.ParseEvent("arm_cortex_a72::INST_RETIRED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Umask != "" || info.FullName != "arm_cortex_a72::INST_RETIRED" {
+		t.Fatalf("ARM event = %+v", info)
+	}
+}
+
+func TestParseUnqualifiedSearchesDefaults(t *testing.T) {
+	l := lib(t, hw.RaptorLake())
+	// INST_RETIRED exists on both defaults; first (P-core) wins.
+	info, err := l.ParseEvent("INST_RETIRED:ANY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.PMU != "adl_glc" {
+		t.Fatalf("unqualified resolved to %s, want adl_glc (first default)", info.PMU)
+	}
+	// TOPDOWN exists only on the P-core PMU.
+	if info, err := l.ParseEvent("TOPDOWN:SLOTS"); err != nil || info.PMU != "adl_glc" {
+		t.Fatalf("TOPDOWN: %+v, %v", info, err)
+	}
+	// MEM_UOPS_RETIRED exists only on the E-core PMU; search must fall
+	// through to the second default.
+	info, err = l.ParseEvent("MEM_UOPS_RETIRED:ALL_LOADS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.PMU != "adl_grt" {
+		t.Fatalf("resolved to %s, want adl_grt", info.PMU)
+	}
+	// RAPL is not a default: unqualified energy events must not resolve.
+	if _, err := l.ParseEvent("ENERGY_PKG"); err == nil {
+		t.Fatal("unqualified ENERGY_PKG must not resolve")
+	}
+	if _, err := l.ParseEvent("rapl::ENERGY_PKG"); err != nil {
+		t.Fatalf("qualified rapl event: %v", err)
+	}
+}
+
+func TestParseModifiers(t *testing.T) {
+	l := lib(t, hw.RaptorLake())
+	info, err := l.ParseEvent("adl_glc::INST_RETIRED:ANY:u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Attr.ExcludeKernel || info.Attr.ExcludeUser {
+		t.Fatalf("user modifier: %+v", info.Attr)
+	}
+	info, err = l.ParseEvent("adl_glc::INST_RETIRED:k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Attr.ExcludeUser {
+		t.Fatalf("kernel modifier: %+v", info.Attr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	l := lib(t, hw.RaptorLake())
+	for _, bad := range []string{
+		"",
+		"   ",
+		"::INST_RETIRED",
+		"adl_glc::",
+		"nosuchpmu::INST_RETIRED",
+		"adl_glc::NO_SUCH_EVENT",
+		"adl_glc::INST_RETIRED:NO_SUCH_UMASK",
+		"adl_glc::INST_RETIRED:ANY:NOP", // two umasks
+		"adl_glc::INST_RETIRED::u",      // empty qualifier
+		"NO_SUCH_EVENT_ANYWHERE",
+		"adl_grt::TOPDOWN:SLOTS", // P-only event on the E PMU
+	} {
+		if _, err := l.ParseEvent(bad); err == nil {
+			t.Errorf("ParseEvent(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestEventEnumeration(t *testing.T) {
+	l := lib(t, hw.RaptorLake())
+	evs, err := l.EventsForPMU("adl_glc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) < 30 {
+		t.Fatalf("adl_glc lists %d events, expected a rich table", len(evs))
+	}
+	for _, e := range evs {
+		if !strings.HasPrefix(e, "adl_glc::") {
+			t.Fatalf("bad listing entry %q", e)
+		}
+		if _, err := l.ParseEvent(e); err != nil {
+			t.Errorf("listed event %q does not parse back: %v", e, err)
+		}
+	}
+	all := l.AllEvents()
+	if len(all) <= len(evs) {
+		t.Fatal("AllEvents must cover more than one PMU")
+	}
+	if _, err := l.EventsForPMU("bogus"); err == nil {
+		t.Fatal("unknown PMU must error")
+	}
+}
+
+func TestNewFailsWithoutEventTable(t *testing.T) {
+	m := hw.RaptorLake()
+	m.Types[0].PfmName = "unsupported_uarch"
+	if _, err := New(m); err == nil {
+		t.Fatal("New must fail when libpfm4 lacks the PMU model (the ARM situation in IV.C)")
+	}
+}

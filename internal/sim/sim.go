@@ -1,0 +1,227 @@
+// Package sim is the discrete-time machine simulator: it wires the hardware
+// description, the scheduler, the workloads, the DVFS governor, the power
+// and thermal models, the perf_event kernel and the synthetic sysfs tree
+// into a single stepped system.
+//
+// Every tick (1 ms by default) the simulator:
+//
+//  1. lets the scheduler update task placement,
+//  2. runs each placed task on its CPU at the governor's frequency,
+//  3. feeds the produced event quantities to the perf_event kernel,
+//  4. converts per-core activity into package power, integrates RAPL
+//     energy and the thermal zone, and
+//  5. gives the governor its power/thermal feedback.
+//
+// Everything is deterministic: all randomness flows from seeds in the
+// configs, and no wall-clock time is consulted anywhere.
+package sim
+
+import (
+	"hetpapi/internal/dvfs"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/perfevent"
+	"hetpapi/internal/power"
+	"hetpapi/internal/sched"
+	"hetpapi/internal/sysfs"
+	"hetpapi/internal/thermal"
+	"hetpapi/internal/workload"
+)
+
+// Config assembles the subsystem configurations.
+type Config struct {
+	// TickSec is the simulation step (default 1 ms).
+	TickSec float64
+	// Sched configures the scheduler.
+	Sched sched.Config
+	// DVFS configures the frequency governor.
+	DVFS dvfs.Config
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		TickSec: 0.001,
+		Sched:   sched.DefaultConfig(),
+		DVFS:    dvfs.DefaultConfig(),
+	}
+}
+
+// Machine is a running simulated system.
+type Machine struct {
+	// HW is the hardware description.
+	HW *hw.Machine
+	// Sched is the scheduler.
+	Sched *sched.Scheduler
+	// Kernel is the perf_event subsystem.
+	Kernel *perfevent.Kernel
+	// Governor is the DVFS governor.
+	Governor *dvfs.Governor
+	// Power is the package power / RAPL model.
+	Power *power.Model
+	// Thermal is the package thermal zone.
+	Thermal *thermal.Model
+	// FS is the live-backed synthetic sysfs/procfs tree.
+	FS *sysfs.FS
+
+	cfg     Config
+	now     float64
+	freqMHz []float64 // per logical CPU, as of the last tick
+}
+
+// New boots a machine.
+func New(m *hw.Machine, cfg Config) *Machine {
+	if cfg.TickSec <= 0 {
+		cfg.TickSec = 0.001
+	}
+	s := &Machine{
+		HW:       m,
+		Sched:    sched.New(m, cfg.Sched),
+		Kernel:   perfevent.NewKernel(m),
+		Governor: dvfs.New(m, cfg.DVFS),
+		Power:    power.New(m.Power),
+		Thermal:  thermal.New(m.Thermal),
+		cfg:      cfg,
+		freqMHz:  make([]float64, m.NumCPUs()),
+	}
+	for i := range s.freqMHz {
+		s.freqMHz[i] = m.TypeOf(i).MinFreqMHz
+	}
+	s.Kernel.AttachPower(s.Power)
+	s.Sched.AddHook(s.Kernel)
+	s.FS = sysfs.New(m, s)
+	return s
+}
+
+// Now returns the simulated time in seconds.
+func (s *Machine) Now() float64 { return s.now }
+
+// Tick returns the simulation step in seconds.
+func (s *Machine) Tick() float64 { return s.cfg.TickSec }
+
+// Spawn schedules a task with the given affinity and returns its process.
+func (s *Machine) Spawn(t workload.Task, affinity hw.CPUSet) *sched.Process {
+	return s.Sched.Spawn(t, affinity)
+}
+
+// CurFreqMHz returns the frequency a CPU ran at during the last tick.
+func (s *Machine) CurFreqMHz(cpu int) float64 { return s.freqMHz[cpu] }
+
+// CurFreqKHz implements sysfs.Live.
+func (s *Machine) CurFreqKHz(cpu int) int { return int(s.freqMHz[cpu] * 1000) }
+
+// ZoneTempMilliC implements sysfs.Live.
+func (s *Machine) ZoneTempMilliC() int { return s.Thermal.TempMilliC() }
+
+// EnergyUJ implements sysfs.Live.
+func (s *Machine) EnergyUJ() uint64 {
+	return uint64(s.Power.EnergyJ(power.DomainPkg) * 1e6)
+}
+
+// Step advances the simulation by one tick.
+func (s *Machine) Step() {
+	dt := s.cfg.TickSec
+	s.Sched.Tick(s.now)
+
+	// Determine per-CPU occupancy to pick frequencies and SMT factors.
+	type slot struct {
+		proc   *sched.Process
+		active bool
+	}
+	slots := make([]slot, s.HW.NumCPUs())
+	for cpu := range slots {
+		p := s.Sched.RunningOn(cpu)
+		slots[cpu] = slot{proc: p, active: p != nil && p.Task.Ready()}
+	}
+
+	// Per-physical-core activity for the power model.
+	coreActivity := map[int]float64{}
+	coreFreq := map[int]float64{}
+
+	for cpu := range slots {
+		freq := s.Governor.FreqMHz(cpu, slots[cpu].active)
+		s.freqMHz[cpu] = freq
+		phys := s.HW.CPUs[cpu].PhysCore
+		if f, ok := coreFreq[phys]; !ok || freq > f {
+			coreFreq[phys] = freq
+		}
+		if !slots[cpu].active {
+			continue
+		}
+		throughput := 1.0
+		if sib := s.HW.SiblingOf(cpu); sib >= 0 && slots[sib].active {
+			throughput = s.HW.TypeOf(cpu).SMTThroughput
+		}
+		ctx := &workload.ExecContext{
+			CPU:        cpu,
+			Type:       s.HW.TypeOf(cpu),
+			FreqMHz:    freq,
+			Throughput: throughput,
+		}
+		stats, activity := slots[cpu].proc.Task.Run(ctx, dt)
+		s.Kernel.TaskExec(slots[cpu].proc.PID, cpu, dt, stats)
+		if activity > coreActivity[phys] {
+			coreActivity[phys] = activity
+		}
+	}
+
+	// Package power from per-core activity.
+	var coresW float64
+	seen := map[int]bool{}
+	for _, c := range s.HW.CPUs {
+		if seen[c.PhysCore] {
+			continue
+		}
+		seen[c.PhysCore] = true
+		t := s.HW.TypeOf(c.ID)
+		w := t.IdleWatts
+		if act := coreActivity[c.PhysCore]; act > 0 {
+			x := coreFreq[c.PhysCore] / t.MaxFreqMHz
+			w += t.DynWattsAtMax * act * x * x * x
+		}
+		coresW += w
+	}
+
+	s.Power.Step(coresW, dt)
+	s.Thermal.Step(s.Power.PkgPowerW(), dt)
+	s.Governor.Update(s.now, s.Power.PkgPowerW(), s.Power.CapW(), s.Thermal.TempC())
+	s.now += dt
+	s.Kernel.Advance(s.now)
+}
+
+// RunFor advances the simulation by the given number of seconds.
+func (s *Machine) RunFor(seconds float64) {
+	end := s.now + seconds
+	for s.now < end-1e-12 {
+		s.Step()
+	}
+}
+
+// RunUntil steps the simulation until cond returns true or maxSeconds of
+// simulated time elapse; it reports whether the condition was met.
+func (s *Machine) RunUntil(cond func() bool, maxSeconds float64) bool {
+	deadline := s.now + maxSeconds
+	for s.now < deadline {
+		if cond() {
+			return true
+		}
+		s.Step()
+	}
+	return cond()
+}
+
+// Settle idles the machine (no new work) until the thermal zone cools to
+// targetC or reaches its idle floor, mirroring the paper's protocol of
+// waiting for the package to settle at 35 degC between runs. It returns the
+// simulated seconds spent waiting.
+func (s *Machine) Settle(targetC float64) float64 {
+	start := s.now
+	floorReached := func() bool {
+		if s.Thermal.TempC() <= targetC {
+			return true
+		}
+		// Idle steady state: give up once cooling has effectively stopped.
+		return s.Thermal.TempC() <= s.Thermal.SteadyStateC(s.Power.PkgPowerW())+0.05
+	}
+	s.RunUntil(floorReached, 3600)
+	return s.now - start
+}

@@ -1,0 +1,284 @@
+package sysfs
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the heterogeneous core detection strategies that
+// section IV.B of the paper walks through. Linux has no single standard
+// interface for "what core types exist", so real tools try several of these
+// in turn; each strategy here is independently testable and has the same
+// failure modes as its real counterpart (e.g. DetectByCPUInfo cannot tell
+// Intel P- from E-cores apart because they share family/model/stepping).
+
+// Group is one detected set of CPUs that look alike under some strategy.
+type Group struct {
+	// Key identifies what made the group distinct, e.g. "pmu:cpu_core",
+	// "capacity:1024", "part:0xd08", "maxfreq:5100000".
+	Key string
+	// CPUs are the logical CPU ids in the group, sorted.
+	CPUs []int
+}
+
+// PMUInfo is one PMU directory found under sys/devices, the way the perf
+// tool scans for them.
+type PMUInfo struct {
+	// Name is the directory name ("cpu_core", "armv8_cortex_a72", "power").
+	Name string
+	// Type is the dynamic perf event type id from the "type" file.
+	Type uint32
+	// CPUs is the parsed "cpus" file (empty for uncore-style PMUs without
+	// one).
+	CPUs []int
+}
+
+// DetectPMUs scans sys/devices for PMU subdirectories containing a "type"
+// file and parses their "cpus" maps, mirroring how perf discovers PMUs.
+func DetectPMUs(fsys fs.FS) ([]PMUInfo, error) {
+	entries, err := fs.ReadDir(fsys, "sys/devices")
+	if err != nil {
+		return nil, fmt.Errorf("sysfs: scanning sys/devices: %w", err)
+	}
+	var out []PMUInfo
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		typeData, err := fs.ReadFile(fsys, "sys/devices/"+e.Name()+"/type")
+		if err != nil {
+			continue // not a PMU directory
+		}
+		t, err := strconv.ParseUint(strings.TrimSpace(string(typeData)), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sysfs: PMU %s has bad type file: %v", e.Name(), err)
+		}
+		info := PMUInfo{Name: e.Name(), Type: uint32(t)}
+		if cpusData, err := fs.ReadFile(fsys, "sys/devices/"+e.Name()+"/cpus"); err == nil {
+			cpus, err := ParseCPUList(string(cpusData))
+			if err != nil {
+				return nil, fmt.Errorf("sysfs: PMU %s has bad cpus file: %v", e.Name(), err)
+			}
+			info.CPUs = cpus
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// DetectByPMU groups CPUs by which core PMU claims them. PMUs that cover no
+// CPUs beyond cpu0 alone with other PMUs overlapping (uncore-style, like the
+// RAPL "power" PMU which lists only cpu0) are skipped when their CPU set is
+// a subset of another PMU's.
+func DetectByPMU(fsys fs.FS) ([]Group, error) {
+	pmus, err := DetectPMUs(fsys)
+	if err != nil {
+		return nil, err
+	}
+	var groups []Group
+	for _, p := range pmus {
+		if len(p.CPUs) == 0 {
+			continue
+		}
+		if subsetOfAnother(p, pmus) {
+			continue
+		}
+		groups = append(groups, Group{Key: "pmu:" + p.Name, CPUs: p.CPUs})
+	}
+	sortGroups(groups)
+	return groups, nil
+}
+
+func subsetOfAnother(p PMUInfo, all []PMUInfo) bool {
+	for _, q := range all {
+		if q.Name == p.Name || len(q.CPUs) <= len(p.CPUs) {
+			continue
+		}
+		set := map[int]bool{}
+		for _, c := range q.CPUs {
+			set[c] = true
+		}
+		covered := true
+		for _, c := range p.CPUs {
+			if !set[c] {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectByCapacity groups CPUs by their cpu_capacity value. This is the ARM
+// arch_topology route; on machines without cpu_capacity files it returns
+// ErrNotAvailable.
+func DetectByCapacity(fsys fs.FS) ([]Group, error) {
+	return groupByPerCPUFile(fsys, "cpu_capacity", "capacity:")
+}
+
+// DetectByMaxFreq groups CPUs by cpufreq/cpuinfo_max_freq. The paper notes
+// tools resort to this heuristic but it "cannot always be guaranteed to
+// work" — two distinct core types may share a maximum frequency.
+func DetectByMaxFreq(fsys fs.FS) ([]Group, error) {
+	return groupByPerCPUFile(fsys, "cpufreq/cpuinfo_max_freq", "maxfreq:")
+}
+
+// ErrNotAvailable reports that a detection strategy's inputs do not exist
+// on this machine.
+var ErrNotAvailable = fmt.Errorf("sysfs: detection input not available")
+
+func groupByPerCPUFile(fsys fs.FS, rel, keyPrefix string) ([]Group, error) {
+	cpus, err := onlineCPUs(fsys)
+	if err != nil {
+		return nil, err
+	}
+	byValue := map[string][]int{}
+	found := false
+	for _, cpu := range cpus {
+		data, err := fs.ReadFile(fsys, fmt.Sprintf("sys/devices/system/cpu/cpu%d/%s", cpu, rel))
+		if err != nil {
+			continue
+		}
+		found = true
+		v := strings.TrimSpace(string(data))
+		byValue[v] = append(byValue[v], cpu)
+	}
+	if !found {
+		return nil, ErrNotAvailable
+	}
+	var groups []Group
+	for v, ids := range byValue {
+		sort.Ints(ids)
+		groups = append(groups, Group{Key: keyPrefix + v, CPUs: ids})
+	}
+	sortGroups(groups)
+	return groups, nil
+}
+
+func onlineCPUs(fsys fs.FS) ([]int, error) {
+	data, err := fs.ReadFile(fsys, "sys/devices/system/cpu/online")
+	if err != nil {
+		return nil, fmt.Errorf("sysfs: reading online cpus: %w", err)
+	}
+	return ParseCPUList(string(data))
+}
+
+// DetectByCPUInfo groups CPUs by identification fields in proc/cpuinfo. On
+// ARM the per-CPU "CPU part" value distinguishes Cortex-A53 from Cortex-A72;
+// on x86 every CPU reports the same family/model/stepping, so the strategy
+// returns a single group — the generic failure the paper describes.
+func DetectByCPUInfo(fsys fs.FS) ([]Group, error) {
+	data, err := fs.ReadFile(fsys, "proc/cpuinfo")
+	if err != nil {
+		return nil, fmt.Errorf("sysfs: reading cpuinfo: %w", err)
+	}
+	byKey := map[string][]int{}
+	cpu := -1
+	key := ""
+	flush := func() {
+		if cpu >= 0 {
+			byKey[key] = append(byKey[key], cpu)
+		}
+	}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for sc.Scan() {
+		line := sc.Text()
+		parts := strings.SplitN(line, ":", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		field := strings.TrimSpace(parts[0])
+		value := strings.TrimSpace(parts[1])
+		switch field {
+		case "processor":
+			flush()
+			key = ""
+			if n, err := strconv.Atoi(value); err == nil {
+				cpu = n
+			} else {
+				cpu = -1
+			}
+		case "CPU part":
+			key = "part:" + value
+		case "cpu family":
+			key += "family:" + value
+		case "model":
+			key += ",model:" + value
+		case "stepping":
+			key += ",stepping:" + value
+		}
+	}
+	flush()
+	var groups []Group
+	for k, ids := range byKey {
+		sort.Ints(ids)
+		groups = append(groups, Group{Key: k, CPUs: ids})
+	}
+	sortGroups(groups)
+	return groups, nil
+}
+
+// CPUIDHybrid emulates the Intel CPUID hybrid leaf (0x1A): for a given
+// logical CPU it returns the core type byte (EAX[31:24]: 0x40 for Atom/E,
+// 0x20 for Core/P) and whether the leaf exists. ARM machines have no CPUID.
+func (f *FS) CPUIDHybrid(cpu int) (coreType uint8, ok bool) {
+	if !f.m.HasCPUID || cpu < 0 || cpu >= f.m.NumCPUs() {
+		return 0, false
+	}
+	if !f.m.Hybrid() {
+		return 0, true // leaf exists, core type field is 0 on non-hybrids
+	}
+	if f.m.TypeOf(cpu).Class == 0 { // hw.Performance
+		return 0x20, true
+	}
+	return 0x40, true
+}
+
+// DetectCoreTypes runs the strategies in decreasing order of reliability
+// (PMU scan, cpu_capacity, cpuinfo, max frequency) and returns the first
+// one that yields a usable grouping, plus the name of the strategy used.
+func DetectCoreTypes(fsys fs.FS) ([]Group, string, error) {
+	type strategy struct {
+		name string
+		fn   func(fs.FS) ([]Group, error)
+	}
+	strategies := []strategy{
+		{"pmu", DetectByPMU},
+		{"capacity", DetectByCapacity},
+		{"cpuinfo", DetectByCPUInfo},
+		{"maxfreq", DetectByMaxFreq},
+	}
+	var lastErr error
+	for _, s := range strategies {
+		groups, err := s.fn(fsys)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(groups) > 0 {
+			return groups, s.name, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("sysfs: no detection strategy produced groups")
+	}
+	return nil, "", lastErr
+}
+
+func sortGroups(groups []Group) {
+	sort.Slice(groups, func(i, j int) bool {
+		a, b := groups[i], groups[j]
+		if len(a.CPUs) > 0 && len(b.CPUs) > 0 && a.CPUs[0] != b.CPUs[0] {
+			return a.CPUs[0] < b.CPUs[0]
+		}
+		return a.Key < b.Key
+	})
+}

@@ -1,0 +1,183 @@
+package sysfs
+
+import (
+	"testing"
+
+	"hetpapi/internal/hw"
+)
+
+func groupsEqual(got []Group, want [][]int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if len(got[i].CPUs) != len(want[i]) {
+			return false
+		}
+		for j := range want[i] {
+			if got[i].CPUs[j] != want[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func ids(lo, hi int) []int {
+	var out []int
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func TestDetectPMUs(t *testing.T) {
+	f := New(hw.RaptorLake(), nil)
+	pmus, err := DetectPMUs(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pmus) != 4 {
+		t.Fatalf("found %d PMUs, want 4 (cpu_atom, cpu_core, power, uncore_imc): %+v", len(pmus), pmus)
+	}
+	byName := map[string]PMUInfo{}
+	for _, p := range pmus {
+		byName[p.Name] = p
+	}
+	if byName["cpu_core"].Type != 8 || byName["cpu_atom"].Type != 10 || byName["power"].Type != 22 {
+		t.Errorf("PMU types wrong: %+v", byName)
+	}
+	if byName["uncore_imc"].Type != 24 || len(byName["uncore_imc"].CPUs) != 0 {
+		t.Errorf("uncore PMU wrong: %+v", byName["uncore_imc"])
+	}
+	if len(byName["cpu_core"].CPUs) != 16 || len(byName["cpu_atom"].CPUs) != 8 {
+		t.Errorf("PMU cpu maps wrong: %+v", byName)
+	}
+}
+
+func TestDetectByPMURaptorLake(t *testing.T) {
+	f := New(hw.RaptorLake(), nil)
+	groups, err := DetectByPMU(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The RAPL power PMU lists only cpu0, a subset of cpu_core — it must
+	// not appear as a core type.
+	if !groupsEqual(groups, [][]int{ids(0, 15), ids(16, 23)}) {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if groups[0].Key != "pmu:cpu_core" || groups[1].Key != "pmu:cpu_atom" {
+		t.Fatalf("keys = %q, %q", groups[0].Key, groups[1].Key)
+	}
+}
+
+func TestDetectByPMUOrangePi(t *testing.T) {
+	f := New(hw.OrangePi800(), nil)
+	groups, err := DetectByPMU(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !groupsEqual(groups, [][]int{ids(0, 3), ids(4, 5)}) {
+		t.Fatalf("groups = %+v", groups)
+	}
+}
+
+func TestDetectByCapacity(t *testing.T) {
+	arm := New(hw.OrangePi800(), nil)
+	groups, err := DetectByCapacity(arm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !groupsEqual(groups, [][]int{ids(0, 3), ids(4, 5)}) {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if groups[0].Key != "capacity:485" || groups[1].Key != "capacity:1024" {
+		t.Fatalf("keys = %q, %q", groups[0].Key, groups[1].Key)
+	}
+	// The x86 machine has no cpu_capacity files at all.
+	x86 := New(hw.RaptorLake(), nil)
+	if _, err := DetectByCapacity(x86); err != ErrNotAvailable {
+		t.Fatalf("x86 capacity detection: err = %v, want ErrNotAvailable", err)
+	}
+}
+
+func TestDetectByCPUInfo(t *testing.T) {
+	// ARM: CPU part distinguishes the clusters.
+	arm := New(hw.OrangePi800(), nil)
+	groups, err := DetectByCPUInfo(arm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !groupsEqual(groups, [][]int{ids(0, 3), ids(4, 5)}) {
+		t.Fatalf("ARM groups = %+v", groups)
+	}
+	// x86: family/model/stepping are identical across P and E cores, so
+	// everything collapses into one group — the failure the paper notes.
+	x86 := New(hw.RaptorLake(), nil)
+	groups, err = DetectByCPUInfo(x86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0].CPUs) != 24 {
+		t.Fatalf("x86 cpuinfo should give one 24-cpu group, got %+v", groups)
+	}
+}
+
+func TestDetectByMaxFreq(t *testing.T) {
+	f := New(hw.RaptorLake(), nil)
+	groups, err := DetectByMaxFreq(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !groupsEqual(groups, [][]int{ids(0, 15), ids(16, 23)}) {
+		t.Fatalf("groups = %+v", groups)
+	}
+}
+
+func TestCPUIDHybrid(t *testing.T) {
+	f := New(hw.RaptorLake(), nil)
+	if ct, ok := f.CPUIDHybrid(0); !ok || ct != 0x20 {
+		t.Errorf("cpu0 CPUID = (%#x, %v), want (0x20, true)", ct, ok)
+	}
+	if ct, ok := f.CPUIDHybrid(16); !ok || ct != 0x40 {
+		t.Errorf("cpu16 CPUID = (%#x, %v), want (0x40, true)", ct, ok)
+	}
+	if _, ok := f.CPUIDHybrid(99); ok {
+		t.Error("out-of-range cpu must not have CPUID")
+	}
+	arm := New(hw.OrangePi800(), nil)
+	if _, ok := arm.CPUIDHybrid(0); ok {
+		t.Error("ARM machine must not expose CPUID")
+	}
+	homog := New(hw.Homogeneous(), nil)
+	if ct, ok := homog.CPUIDHybrid(0); !ok || ct != 0 {
+		t.Errorf("homogeneous CPUID = (%#x, %v), want (0, true)", ct, ok)
+	}
+}
+
+func TestDetectCoreTypesPrefersPMU(t *testing.T) {
+	for _, m := range []*hw.Machine{hw.RaptorLake(), hw.OrangePi800()} {
+		f := New(m, nil)
+		groups, strategy, err := DetectCoreTypes(f)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if strategy != "pmu" {
+			t.Errorf("%s: strategy = %q, want pmu", m.Name, strategy)
+		}
+		if len(groups) != 2 {
+			t.Errorf("%s: %d groups, want 2", m.Name, len(groups))
+		}
+	}
+}
+
+func TestDetectCoreTypesHomogeneous(t *testing.T) {
+	f := New(hw.Homogeneous(), nil)
+	groups, _, err := DetectCoreTypes(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("homogeneous machine detected %d groups, want 1: %+v", len(groups), groups)
+	}
+}

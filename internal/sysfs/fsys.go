@@ -1,0 +1,174 @@
+package sysfs
+
+import (
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"time"
+)
+
+// indexDirs derives the directory structure from the file map so the tree
+// can be walked with fs.WalkDir and listed with fs.ReadDir.
+func (f *FS) indexDirs() {
+	f.dirs = map[string][]string{}
+	children := map[string]map[string]bool{}
+	add := func(dir, child string) {
+		if children[dir] == nil {
+			children[dir] = map[string]bool{}
+		}
+		children[dir][child] = true
+	}
+	for name := range f.files {
+		for cur := name; cur != "."; {
+			parent := path.Dir(cur)
+			add(parent, path.Base(cur))
+			cur = parent
+		}
+	}
+	for dir, set := range children {
+		names := make([]string, 0, len(set))
+		for n := range set {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		f.dirs[dir] = names
+	}
+	if f.dirs["."] == nil {
+		f.dirs["."] = nil
+	}
+}
+
+// Open implements fs.FS.
+func (f *FS) Open(name string) (fs.File, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	if gen, ok := f.files[name]; ok {
+		return &memFile{name: path.Base(name), data: []byte(gen())}, nil
+	}
+	if entries, ok := f.dirs[name]; ok {
+		return &memDir{fsys: f, name: name, entries: entries}, nil
+	}
+	return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+}
+
+// ReadFile reads the whole content of a file as a string, with surrounding
+// whitespace trimmed — the common pattern for sysfs one-value files.
+func (f *FS) ReadFile(name string) (string, error) {
+	file, err := f.Open(name)
+	if err != nil {
+		return "", err
+	}
+	defer file.Close()
+	data, err := io.ReadAll(file)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(data)), nil
+}
+
+// Exists reports whether a file or directory is present.
+func (f *FS) Exists(name string) bool {
+	if _, ok := f.files[name]; ok {
+		return true
+	}
+	_, ok := f.dirs[name]
+	return ok
+}
+
+type memFile struct {
+	name string
+	data []byte
+	off  int
+}
+
+func (m *memFile) Stat() (fs.FileInfo, error) {
+	return fileInfo{name: m.name, size: int64(len(m.data))}, nil
+}
+
+func (m *memFile) Read(p []byte) (int, error) {
+	if m.off >= len(m.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[m.off:])
+	m.off += n
+	return n, nil
+}
+
+func (m *memFile) Close() error { return nil }
+
+type memDir struct {
+	fsys    *FS
+	name    string
+	entries []string
+	off     int
+}
+
+func (d *memDir) Stat() (fs.FileInfo, error) {
+	return fileInfo{name: path.Base(d.name), dir: true}, nil
+}
+
+func (d *memDir) Read([]byte) (int, error) {
+	return 0, &fs.PathError{Op: "read", Path: d.name, Err: fs.ErrInvalid}
+}
+
+func (d *memDir) Close() error { return nil }
+
+func (d *memDir) ReadDir(n int) ([]fs.DirEntry, error) {
+	remaining := d.entries[d.off:]
+	if n <= 0 {
+		d.off = len(d.entries)
+		return d.mkEntries(remaining), nil
+	}
+	if len(remaining) == 0 {
+		return nil, io.EOF
+	}
+	if n > len(remaining) {
+		n = len(remaining)
+	}
+	d.off += n
+	return d.mkEntries(remaining[:n]), nil
+}
+
+func (d *memDir) mkEntries(names []string) []fs.DirEntry {
+	out := make([]fs.DirEntry, 0, len(names))
+	for _, name := range names {
+		full := name
+		if d.name != "." {
+			full = d.name + "/" + name
+		}
+		if gen, ok := d.fsys.files[full]; ok {
+			out = append(out, dirEntry{fileInfo{name: name, size: int64(len(gen()))}})
+		} else {
+			out = append(out, dirEntry{fileInfo{name: name, dir: true}})
+		}
+	}
+	return out
+}
+
+type fileInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (fi fileInfo) Name() string { return fi.name }
+func (fi fileInfo) Size() int64  { return fi.size }
+func (fi fileInfo) Mode() fs.FileMode {
+	if fi.dir {
+		return fs.ModeDir | 0o555
+	}
+	return 0o444
+}
+func (fi fileInfo) ModTime() time.Time { return time.Time{} }
+func (fi fileInfo) IsDir() bool        { return fi.dir }
+func (fi fileInfo) Sys() any           { return nil }
+
+type dirEntry struct{ fi fileInfo }
+
+func (d dirEntry) Name() string               { return d.fi.name }
+func (d dirEntry) IsDir() bool                { return d.fi.dir }
+func (d dirEntry) Type() fs.FileMode          { return d.fi.Mode().Type() }
+func (d dirEntry) Info() (fs.FileInfo, error) { return d.fi, nil }

@@ -1,0 +1,34 @@
+package sysfs
+
+import (
+	"testing"
+)
+
+// FuzzParseCPUList checks the cpulist parser never panics and that any
+// accepted list round-trips through FormatCPUList.
+func FuzzParseCPUList(f *testing.F) {
+	for _, seed := range []string{
+		"0", "0-3", "0,2,4,6,8,10,12,14,16-24", "1-", "-1", ",", "0-0",
+		"99999999", "0-99999999", "3-1", " 1 , 2 ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ids, err := ParseCPUList(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseCPUList(FormatCPUList(ids))
+		if err != nil {
+			t.Fatalf("formatted list %q does not parse: %v", FormatCPUList(ids), err)
+		}
+		if len(again) != len(ids) {
+			t.Fatalf("round trip changed cardinality: %v vs %v", ids, again)
+		}
+		for i := range ids {
+			if ids[i] != again[i] {
+				t.Fatalf("round trip changed ids: %v vs %v", ids, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package sysfs
+
+import (
+	"strings"
+	"testing"
+
+	"hetpapi/internal/hw"
+)
+
+func TestTriCoreDetection(t *testing.T) {
+	f := New(hw.Dimensity9000(), nil)
+
+	// PMU scan: three core PMUs.
+	groups, err := DetectByPMU(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !groupsEqual(groups, [][]int{ids(0, 3), ids(4, 6), {7}}) {
+		t.Fatalf("pmu groups = %+v", groups)
+	}
+
+	// Capacity: the paper's 250/512/1024 triple.
+	groups, err = DetectByCapacity(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("capacity groups = %+v", groups)
+	}
+	wantKeys := []string{"capacity:250", "capacity:512", "capacity:1024"}
+	for i, g := range groups {
+		if g.Key != wantKeys[i] {
+			t.Errorf("group %d key = %q, want %q", i, g.Key, wantKeys[i])
+		}
+	}
+
+	// cpuinfo: three distinct CPU part values.
+	groups, err = DetectByCPUInfo(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("cpuinfo groups = %+v", groups)
+	}
+	info, _ := f.ReadFile("proc/cpuinfo")
+	for _, part := range []string{"0xd46", "0xd47", "0xd48"} {
+		if !strings.Contains(info, part) {
+			t.Errorf("cpuinfo missing CPU part %s", part)
+		}
+	}
+
+	// Max frequency also splits three ways on this machine.
+	groups, err = DetectByMaxFreq(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("maxfreq groups = %+v", groups)
+	}
+}

@@ -1,0 +1,167 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hetpapi/internal/hw"
+)
+
+func TestStartsAtAmbient(t *testing.T) {
+	m := New(hw.RaptorLake().Thermal)
+	if m.TempC() != 25 {
+		t.Fatalf("initial temp = %g, want ambient 25", m.TempC())
+	}
+	if m.TempMilliC() != 25000 {
+		t.Fatalf("TempMilliC = %d", m.TempMilliC())
+	}
+}
+
+func TestApproachesSteadyState(t *testing.T) {
+	m := New(hw.RaptorLake().Thermal)
+	const p = 65.0
+	want := m.SteadyStateC(p)
+	for i := 0; i < 100000; i++ {
+		m.Step(p, 0.01)
+	}
+	if math.Abs(m.TempC()-want) > 0.5 {
+		t.Fatalf("after long run temp = %g, want steady state %g", m.TempC(), want)
+	}
+}
+
+func TestRaptorLakeStaysBelowTjMaxAtPL1(t *testing.T) {
+	// Paper: neither benchmark is thermally throttled; the 65 W limit and
+	// adequate cooling keep the package below 100 degC.
+	m := New(hw.RaptorLake().Thermal)
+	if ss := m.SteadyStateC(65); ss >= 90 {
+		t.Fatalf("Raptor Lake steady state at 65 W = %g degC; cooling model too weak", ss)
+	}
+	if m.Throttling() {
+		t.Fatal("desktop must never report passive throttling")
+	}
+}
+
+func TestOrangePiBigCoresOverheat(t *testing.T) {
+	// Paper Fig 3: the big cores push the SoC past the passive trip within
+	// seconds.
+	spec := hw.OrangePi800().Thermal
+	m := New(spec)
+	const bigPower = 7.0 // two A72s flat out plus base
+	if ss := m.SteadyStateC(bigPower); ss < spec.PassiveTripC {
+		t.Fatalf("steady state %g below trip %g: big cores would never throttle", ss, spec.PassiveTripC)
+	}
+	var crossed float64 = -1
+	for sec := 0.0; sec < 120; sec += 0.1 {
+		m.Step(bigPower, 0.1)
+		if m.TempC() >= spec.PassiveTripC {
+			crossed = sec
+			break
+		}
+	}
+	if crossed < 0 {
+		t.Fatal("never crossed the trip point")
+	}
+	if crossed > 60 {
+		t.Fatalf("crossed trip after %.1f s; paper shows throttling within seconds", crossed)
+	}
+	if !m.Throttling() {
+		t.Fatal("Throttling() must report true at the trip point")
+	}
+}
+
+func TestOrangePiLittleCoresSustain(t *testing.T) {
+	// Paper Fig 4: four LITTLE cores run HPL without (much) throttling.
+	spec := hw.OrangePi800().Thermal
+	m := New(spec)
+	const littlePower = 2.4 // four A53s flat out plus base
+	if ss := m.SteadyStateC(littlePower); ss >= spec.PassiveTripC {
+		t.Fatalf("LITTLE-only steady state %g exceeds trip %g", ss, spec.PassiveTripC)
+	}
+}
+
+func TestSettleTo(t *testing.T) {
+	m := New(hw.RaptorLake().Thermal)
+	m.SetTempC(70)
+	secs := m.SettleTo(35, 8)
+	if m.TempC() > 35.01 {
+		t.Fatalf("settled at %g, want <= 35", m.TempC())
+	}
+	if secs <= 0 {
+		t.Fatal("settling must take time")
+	}
+	// Asking for a target below the idle steady state settles at the
+	// steady state instead of looping forever.
+	m.SetTempC(70)
+	m.SettleTo(0, 8)
+	if m.TempC() < m.Spec().AmbientC {
+		t.Fatal("cooled below ambient")
+	}
+}
+
+func TestClampedAtTjMax(t *testing.T) {
+	m := New(hw.OrangePi800().Thermal)
+	for i := 0; i < 10000; i++ {
+		m.Step(1000, 0.1)
+	}
+	if m.TempC() > m.Spec().TjMaxC {
+		t.Fatalf("temp %g exceeded TjMax", m.TempC())
+	}
+}
+
+func TestZeroOrNegativeDtIsNoop(t *testing.T) {
+	m := New(hw.RaptorLake().Thermal)
+	m.Step(100, 0)
+	m.Step(100, -1)
+	if m.TempC() != 25 {
+		t.Fatal("zero/negative dt must not change temperature")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	m := New(hw.RaptorLake().Thermal)
+	if s := m.String(); s != "thermal_zone9(x86_pkg_temp)=25000mC" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// Property: temperature is monotonic toward the steady state — heating when
+// below it, cooling when above — and never passes it within a step.
+func TestMonotoneTowardSteadyState(t *testing.T) {
+	spec := hw.OrangePi800().Thermal
+	f := func(p8, t8 uint8) bool {
+		p := float64(p8) / 16 // 0..16 W
+		start := spec.AmbientC + float64(t8)/4
+		if start > spec.TjMaxC {
+			start = spec.TjMaxC
+		}
+		m := New(spec)
+		m.SetTempC(start)
+		ss := m.SteadyStateC(p)
+		if ss > spec.TjMaxC {
+			ss = spec.TjMaxC
+		}
+		before := m.TempC()
+		m.Step(p, 0.05)
+		after := m.TempC()
+		if before < ss {
+			return after >= before && after <= ss+1e-9
+		}
+		return after <= before && after >= ss-1e-9 || after == spec.AmbientC
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PowerForTempC inverts SteadyStateC.
+func TestPowerTempInverse(t *testing.T) {
+	m := New(hw.RaptorLake().Thermal)
+	f := func(p8 uint8) bool {
+		p := float64(p8)
+		return math.Abs(m.PowerForTempC(m.SteadyStateC(p))-p) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

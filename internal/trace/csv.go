@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV round-trip for monitoring traces: the mon_hpl.py artifact writes one
+// raw CSV per run and process_runs.py consumes them into an averaged run.
+// The schema is one row per sample:
+//
+//	time_s, cpu0_mhz, ..., cpuN_mhz, temp_c, energy_j, power_w, wall_w
+
+// WriteCSV emits samples in the monitoring schema. ncpu fixes the column
+// count (samples with fewer frequency entries are zero-padded).
+func WriteCSV(w io.Writer, ncpu int, samples []Sample) error {
+	cw := csv.NewWriter(w)
+	header := []string{"time_s"}
+	for cpu := 0; cpu < ncpu; cpu++ {
+		header = append(header, fmt.Sprintf("cpu%d_mhz", cpu))
+	}
+	header = append(header, "temp_c", "energy_j", "power_w", "wall_w")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		row := []string{formatF(s.TimeSec)}
+		for cpu := 0; cpu < ncpu; cpu++ {
+			var f float64
+			if cpu < len(s.FreqMHz) {
+				f = s.FreqMHz[cpu]
+			}
+			row = append(row, formatF(f))
+		}
+		row = append(row, formatF(s.TempC), formatF(s.EnergyJ), formatF(s.PowerW), formatF(s.WallW))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatF(f float64) string { return strconv.FormatFloat(f, 'f', 3, 64) }
+
+// ParseCSV reads a trace written by WriteCSV (or the monhpl tool) back
+// into samples.
+func ParseCSV(r io.Reader) ([]Sample, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	header := rows[0]
+	if len(header) < 5 || header[0] != "time_s" {
+		return nil, fmt.Errorf("trace: unrecognized header %v", header)
+	}
+	ncpu := 0
+	for _, col := range header[1:] {
+		if strings.HasPrefix(col, "cpu") && strings.HasSuffix(col, "_mhz") {
+			ncpu++
+		}
+	}
+	wantCols := 1 + ncpu + 4
+	if len(header) != wantCols {
+		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(header), wantCols)
+	}
+	var out []Sample
+	for i, row := range rows[1:] {
+		if len(row) != wantCols {
+			return nil, fmt.Errorf("trace: row %d has %d columns, want %d", i+1, len(row), wantCols)
+		}
+		vals := make([]float64, len(row))
+		for j, cell := range row {
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d column %q: %v", i+1, header[j], err)
+			}
+			vals[j] = v
+		}
+		s := Sample{TimeSec: vals[0], FreqMHz: vals[1 : 1+ncpu]}
+		s.TempC = vals[1+ncpu]
+		s.EnergyJ = vals[2+ncpu]
+		s.PowerW = vals[3+ncpu]
+		s.WallW = vals[4+ncpu]
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Summary condenses a trace for reporting, the way process_runs.py's
+// outputs feed the paper's figures.
+type Summary struct {
+	// Samples and DurationSec describe the trace extent.
+	Samples     int
+	DurationSec float64
+	// MeanPowerW / PeakPowerW summarize the package power series (first
+	// sample excluded: it has no energy delta).
+	MeanPowerW float64
+	PeakPowerW float64
+	// EnergyJ is the final cumulative energy reading.
+	EnergyJ float64
+	// MaxTempC is the hottest zone sample.
+	MaxTempC float64
+	// MedianFreqMHz holds the per-CPU median frequency.
+	MedianFreqMHz []float64
+}
+
+// Summarize computes the summary of a trace.
+func Summarize(samples []Sample) Summary {
+	var sum Summary
+	sum.Samples = len(samples)
+	if len(samples) == 0 {
+		return sum
+	}
+	sum.DurationSec = samples[len(samples)-1].TimeSec - samples[0].TimeSec
+	sum.EnergyJ = samples[len(samples)-1].EnergyJ
+	ncpu := len(samples[0].FreqMHz)
+	sum.MedianFreqMHz = make([]float64, ncpu)
+	for cpu := 0; cpu < ncpu; cpu++ {
+		sum.MedianFreqMHz[cpu] = median(FreqSeries(samples, cpu))
+	}
+	power := PowerSeries(samples)
+	if len(power) > 1 {
+		power = power[1:]
+	}
+	var total float64
+	for _, p := range power {
+		total += p
+		if p > sum.PeakPowerW {
+			sum.PeakPowerW = p
+		}
+	}
+	if len(power) > 0 {
+		sum.MeanPowerW = total / float64(len(power))
+	}
+	for _, s := range samples {
+		if s.TempC > sum.MaxTempC {
+			sum.MaxTempC = s.TempC
+		}
+	}
+	return sum
+}
+
+// median avoids importing internal/stats here (trace must stay low in the
+// dependency stack for the exp package).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
