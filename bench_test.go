@@ -24,6 +24,7 @@ import (
 	"hetpapi/internal/hw"
 	"hetpapi/internal/perfevent"
 	"hetpapi/internal/pfmlib"
+	"hetpapi/internal/scenario"
 	"hetpapi/internal/sim"
 	"hetpapi/internal/sysfs"
 	"hetpapi/internal/workload"
@@ -373,6 +374,49 @@ func BenchmarkSimTick(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()
+	}
+}
+
+// BenchmarkScenarioHarness measures a full audited run of the smallest
+// reference scenario: boot, workload spawn, per-tick checking of the
+// standard invariant library, wide-event collection and digesting.
+func BenchmarkScenarioHarness(b *testing.B) {
+	var spec scenario.Spec
+	for _, s := range scenario.Reference() {
+		if s.Name == "homogeneous-powercap" {
+			spec = s
+		}
+	}
+	if spec.Name == "" {
+		b.Fatal("reference scenario homogeneous-powercap not found")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioInvariantTick isolates the per-tick cost of the
+// standard invariant checks against the raw simulator step measured by
+// BenchmarkSimTick: same machine and workload, run through the harness.
+func BenchmarkScenarioInvariantTick(b *testing.B) {
+	spec := scenario.Spec{
+		Name:    "bench-invariant-tick",
+		Machine: "raptorlake",
+		Workloads: []scenario.WorkloadSpec{{
+			Kind: scenario.WorkloadSpin, Name: "spin", Seconds: 3600,
+		}},
+		MaxSeconds: float64(b.N) * 0.001,
+	}
+	b.ResetTimer()
+	if _, err := scenario.Run(spec); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -40,6 +40,9 @@ func run(paths []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
+		if len(samples) == 0 {
+			return fmt.Errorf("%s: trace has no samples", path)
+		}
 		runs = append(runs, samples)
 		fmt.Fprintf(os.Stderr, "procruns: %s: %d samples, %.0f s\n",
 			path, len(samples), samples[len(samples)-1].TimeSec)

@@ -62,4 +62,9 @@ func TestErrors(t *testing.T) {
 	if err := run([]string{bad}); err == nil {
 		t.Error("malformed csv must fail")
 	}
+	empty := filepath.Join(dir, "empty.csv")
+	os.WriteFile(empty, []byte("time_s,cpu0_mhz,temp_c,energy_j,power_w,wall_w\n"), 0o644)
+	if err := run([]string{empty}); err == nil {
+		t.Error("header-only trace must fail, not panic")
+	}
 }

@@ -12,34 +12,37 @@ import (
 
 	"hetpapi/internal/exp"
 	"hetpapi/internal/hw"
-	"hetpapi/internal/sim"
+	"hetpapi/internal/scenario"
 	"hetpapi/internal/stats"
-	"hetpapi/internal/trace"
 	"hetpapi/internal/workload"
 )
 
 func main() {
-	// First, a live view of the collapse: run HPL on the two big cores and
-	// print the 1 Hz trace the paper's Figure 3 plots.
-	m := hw.OrangePi800()
-	s := sim.New(m, sim.DefaultConfig())
-	h, err := workload.NewHPL(workload.HPLConfig{
-		N: 8192, NB: 128, Threads: 2, Strategy: workload.OpenBLASArm(), Seed: 1,
+	// First, a live view of the collapse: run HPL on the two big cores
+	// through the scenario harness and print the 1 Hz trace the paper's
+	// Figure 3 plots. The harness audits every tick against the standard
+	// invariant set (counter monotonicity, energy conservation, DVFS
+	// envelope, thermal bounds, ...) while it drives the machine.
+	bigs := hw.OrangePi800().CPUsOfType("big")
+	res, err := scenario.Run(scenario.Spec{
+		Name:            "orangepi-big-hpl",
+		Machine:         "orangepi800",
+		Seed:            1,
+		MaxSeconds:      300,
+		SamplePeriodSec: 1,
+		Workloads: []scenario.WorkloadSpec{{
+			Kind: scenario.WorkloadHPL, Name: "hpl-big", CPUs: bigs,
+			N: 8192, NB: 128, Strategy: workload.OpenBLASArm(), Seed: 1,
+		}},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	bigs := m.CPUsOfType("big")
-	for i, task := range h.Threads() {
-		s.Spawn(task, hw.NewCPUSet(bigs[i]))
-	}
 
 	fmt.Println("HPL on the 2 big cores (watch the thermal collapse):")
 	fmt.Println("  t(s)  big MHz  LITTLE MHz  temp(C)  wall(W)")
-	rec := trace.NewRecorder(s, 1)
-	rec.RunUntil(h.Done, 300)
-	for i, smp := range rec.Samples() {
-		if i%4 != 0 && i != len(rec.Samples())-1 {
+	for i, smp := range res.Samples {
+		if i%4 != 0 && i != len(res.Samples)-1 {
 			continue // print every 4th second
 		}
 		bigMHz := stats.Mean([]float64{smp.FreqMHz[4], smp.FreqMHz[5]})
@@ -47,6 +50,8 @@ func main() {
 		fmt.Printf("  %4.0f  %7.0f  %10.0f  %7.1f  %6.2f\n",
 			smp.TimeSec, bigMHz, littleMHz, smp.TempC, smp.WallW)
 	}
+	fmt.Printf("(%.2f Gflops; every tick audited, %d invariant violations)\n",
+		res.Workloads[0].Gflops, len(res.Violations))
 
 	// Then the Figure 4 sweep: Gflops as cores are added.
 	fmt.Println("\nOrangePi HPL performance as more cores are added (Figure 4):")

@@ -13,6 +13,7 @@ import (
 	"log"
 
 	"hetpapi/internal/exp"
+	"hetpapi/internal/scenario"
 	"hetpapi/internal/workload"
 )
 
@@ -24,12 +25,36 @@ func main() {
 	cfg.N = *n
 	cfg.NB = 192
 
+	// One fully audited run first, through the scenario harness: HPL
+	// pinned one-thread-per-P-core (the SMT-0 logical CPUs), with every
+	// tick checked against the standard invariant set and the run
+	// condensed into the same behavior digest the golden regression tests
+	// pin.
 	fmt.Printf("HPL N=%d NB=%d on the simulated Raptor Lake (65 W PL1 / 219 W PL2)\n\n", cfg.N, cfg.NB)
-	res, err := exp.TableII(cfg)
+	res, err := scenario.Run(scenario.Spec{
+		Name:            "p-cores-audited",
+		Machine:         "raptorlake",
+		Seed:            cfg.Seed,
+		MaxSeconds:      4 * 3600,
+		SamplePeriodSec: 1,
+		Workloads: []scenario.WorkloadSpec{{
+			Kind: scenario.WorkloadHPL, Name: "hpl",
+			CPUs: []int{0, 2, 4, 6, 8, 10, 12, 14},
+			N:    cfg.N, NB: cfg.NB, Strategy: workload.OpenBLASx86(), Seed: cfg.Seed,
+		}},
+		VerifyDeterminism: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(res)
+	fmt.Printf("P-only audit run: %.1f Gflops in %.1f s, %.0f J, deterministic=%v, digest %s\n\n",
+		res.Workloads[0].Gflops, res.ElapsedSec, res.EnergyJ, res.DeterminismVerified, res.Digest[:12])
+
+	res2, err := exp.TableII(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res2)
 
 	fmt.Println("\nwhy: per-core-type counters from the all-core runs (Table III)")
 	t3, err := exp.TableIII(cfg)

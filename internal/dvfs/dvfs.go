@@ -62,6 +62,9 @@ type Governor struct {
 	// thermCapMHz is the per-class frequency ceiling set by the thermal
 	// loop, indexed by hw.CoreClass.
 	thermCapMHz [2]float64
+	// userCapMHz is the per-class ceiling set from outside the control
+	// loops (the scaling_max_freq mechanism); 0 means uncapped.
+	userCapMHz [2]float64
 
 	lastPowerT   float64
 	lastThermalT float64
@@ -93,6 +96,29 @@ func (g *Governor) Level() float64 { return g.level }
 // ThermalCapMHz returns the thermal frequency ceiling of a core class.
 func (g *Governor) ThermalCapMHz(class hw.CoreClass) float64 {
 	return g.thermCapMHz[class]
+}
+
+// SetUserCapMHz sets an external frequency ceiling for a core class, the
+// way writing scaling_max_freq (or a userspace power daemon) caps real
+// cpufreq policies. A cap of 0 removes the ceiling.
+func (g *Governor) SetUserCapMHz(class hw.CoreClass, mhz float64) {
+	g.userCapMHz[class] = mhz
+}
+
+// UserCapMHz returns the external frequency ceiling of a core class
+// (0 when uncapped).
+func (g *Governor) UserCapMHz(class hw.CoreClass) float64 {
+	return g.userCapMHz[class]
+}
+
+// CapMHz returns the effective frequency ceiling of a core class: the
+// tighter of the thermal and user caps.
+func (g *Governor) CapMHz(class hw.CoreClass) float64 {
+	cap := g.thermCapMHz[class]
+	if u := g.userCapMHz[class]; u > 0 && u < cap {
+		cap = u
+	}
+	return cap
 }
 
 // Update advances the control loops to simulated time nowSec given the
@@ -211,7 +237,7 @@ func (g *Governor) floorMHz(class hw.CoreClass) float64 {
 // under the current control state, quantized down to the type's OPP step.
 func (g *Governor) TargetMHz(t *hw.CoreType) float64 {
 	f := t.MinFreqMHz + g.level*(t.MaxFreqMHz-t.MinFreqMHz)
-	if cap := g.thermCapMHz[t.Class]; f > cap {
+	if cap := g.CapMHz(t.Class); f > cap {
 		f = cap
 	}
 	if t.FreqStepMHz > 0 {

@@ -11,9 +11,8 @@ import (
 	"fmt"
 	"strings"
 
-	"hetpapi/internal/events"
 	"hetpapi/internal/hw"
-	"hetpapi/internal/perfevent"
+	"hetpapi/internal/scenario"
 	"hetpapi/internal/sim"
 	"hetpapi/internal/trace"
 	"hetpapi/internal/workload"
@@ -98,21 +97,9 @@ func cpusFor(m *hw.Machine, sel CoreSelection) []int {
 	}
 }
 
-// TypeCounters holds system-wide counter totals for one core type.
-type TypeCounters struct {
-	Instructions float64
-	Cycles       float64
-	LLCRefs      float64
-	LLCMisses    float64
-}
-
-// MissRate returns LLC misses / references (0 when idle).
-func (c TypeCounters) MissRate() float64 {
-	if c.LLCRefs == 0 {
-		return 0
-	}
-	return c.LLCMisses / c.LLCRefs
-}
+// TypeCounters holds system-wide counter totals for one core type. It is
+// the scenario harness's type; the alias keeps the historical exp API.
+type TypeCounters = scenario.TypeCounters
 
 // HPLRun is one measured HPL execution.
 type HPLRun struct {
@@ -128,100 +115,6 @@ type HPLRun struct {
 	EnergyJ float64
 }
 
-// openWide opens system-wide INST_RETIRED, cycles and LLC ref/miss events
-// on every CPU (what "perf stat -a" does) and returns a closure that
-// collects them per core type plus one that closes the descriptors.
-func openWide(s *sim.Machine) (collect func() map[string]TypeCounters, closeAll func(), err error) {
-	type wideEvent struct {
-		fd       int
-		typeName string
-		kind     events.Kind
-	}
-	var open []wideEvent
-	m := s.HW
-	for cpu := 0; cpu < m.NumCPUs(); cpu++ {
-		t := m.TypeOf(cpu)
-		tab := events.LookupPMU(t.PfmName)
-		for _, spec := range []struct {
-			event string
-			umask string
-			kind  events.Kind
-		}{
-			{"INST_RETIRED", "", events.KindInstructions},
-			{cyclesEventFor(t.PfmName), "", events.KindCycles},
-			{"LONGEST_LAT_CACHE", "REFERENCE", events.KindLLCRefs},
-			{"LONGEST_LAT_CACHE", "MISS", events.KindLLCMisses},
-		} {
-			def := tab.Lookup(spec.event)
-			if def == nil {
-				// ARM: LLC events are the L2D pair.
-				switch spec.kind {
-				case events.KindLLCRefs:
-					def = tab.Lookup("L2D_CACHE")
-				case events.KindLLCMisses:
-					def = tab.Lookup("L2D_CACHE_REFILL")
-				}
-				if def == nil {
-					continue
-				}
-			}
-			var bits uint64
-			if spec.umask != "" {
-				if u := def.Umask(spec.umask); u != nil {
-					bits = u.Bits
-				}
-			} else if u := def.DefaultUmask(); u != nil {
-				bits = u.Bits
-			}
-			fd, err := s.Kernel.Open(perfevent.Attr{
-				Type:   t.PMU.PerfType,
-				Config: events.Encode(def.Code, bits),
-			}, -1, cpu, -1)
-			if err != nil {
-				return nil, nil, fmt.Errorf("exp: opening system-wide %s on cpu%d: %w", spec.event, cpu, err)
-			}
-			open = append(open, wideEvent{fd: fd, typeName: t.Name, kind: spec.kind})
-		}
-	}
-	collect = func() map[string]TypeCounters {
-		out := map[string]TypeCounters{}
-		for _, we := range open {
-			c, err := s.Kernel.Read(we.fd)
-			if err != nil {
-				continue
-			}
-			tc := out[we.typeName]
-			switch we.kind {
-			case events.KindInstructions:
-				tc.Instructions += float64(c.Value)
-			case events.KindCycles:
-				tc.Cycles += float64(c.Value)
-			case events.KindLLCRefs:
-				tc.LLCRefs += float64(c.Value)
-			case events.KindLLCMisses:
-				tc.LLCMisses += float64(c.Value)
-			}
-			out[we.typeName] = tc
-		}
-		return out
-	}
-	closeAll = func() {
-		for _, we := range open {
-			s.Kernel.Close(we.fd)
-		}
-	}
-	return collect, closeAll, nil
-}
-
-func cyclesEventFor(pfmName string) string {
-	switch pfmName {
-	case "arm_cortex_a53", "arm_cortex_a72":
-		return "CPU_CYCLES"
-	default:
-		return "CPU_CLK_UNHALTED"
-	}
-}
-
 // RunHPL executes one monitored HPL run on a fresh machine.
 func RunHPL(m *hw.Machine, strategy workload.Strategy, cpus []int, n, nb int, seed int64) (HPLRun, error) {
 	simCfg := sim.DefaultConfig()
@@ -231,45 +124,31 @@ func RunHPL(m *hw.Machine, strategy workload.Strategy, cpus []int, n, nb int, se
 }
 
 // runHPLOn executes one monitored HPL run on an already-booted machine
-// (which may be warm from a previous run).
+// (which may be warm from a previous run), through the scenario harness:
+// the paper's 1 Hz monitoring and system-wide counters, with the full
+// standard invariant set audited on every tick.
 func runHPLOn(s *sim.Machine, strategy workload.Strategy, cpus []int, n, nb int, seed int64) (HPLRun, error) {
-	h, err := workload.NewHPL(workload.HPLConfig{
-		N: n, NB: nb, Threads: len(cpus), Strategy: strategy, Seed: seed,
+	res, err := scenario.RunOn(s, scenario.Spec{
+		Name:            fmt.Sprintf("hpl-n%d", n),
+		SamplePeriodSec: 1.0,
+		MaxSeconds:      4 * 3600,
+		Workloads: []scenario.WorkloadSpec{{
+			Kind: scenario.WorkloadHPL, Name: "hpl", CPUs: cpus,
+			N: n, NB: nb, Strategy: strategy, Seed: seed,
+		}},
 	})
 	if err != nil {
 		return HPLRun{}, err
 	}
-	collect, closeWide, err := openWide(s)
-	if err != nil {
-		return HPLRun{}, err
-	}
-	defer closeWide()
-	before := collect()
-	for i, task := range h.Threads() {
-		s.Spawn(task, hw.NewCPUSet(cpus[i]))
-	}
-	startEnergy := s.Power.EnergyJ(0)
-	start := s.Now()
-	rec := trace.NewRecorder(s, 1.0)
-	if !rec.RunUntil(h.Done, 4*3600) {
+	if !res.Completed {
 		return HPLRun{}, fmt.Errorf("exp: HPL(N=%d) did not finish in 4 simulated hours", n)
 	}
-	elapsed := s.Now() - start
-	byType := collect()
-	for name, b := range before {
-		tc := byType[name]
-		tc.Instructions -= b.Instructions
-		tc.Cycles -= b.Cycles
-		tc.LLCRefs -= b.LLCRefs
-		tc.LLCMisses -= b.LLCMisses
-		byType[name] = tc
-	}
 	return HPLRun{
-		Gflops:     h.Gflops(elapsed),
-		ElapsedSec: elapsed,
-		Samples:    rec.Samples(),
-		ByType:     byType,
-		EnergyJ:    s.Power.EnergyJ(0) - startEnergy,
+		Gflops:     res.Workloads[0].Gflops,
+		ElapsedSec: res.Workloads[0].ElapsedSec,
+		Samples:    res.Samples,
+		ByType:     res.ByType,
+		EnergyJ:    res.EnergyJ,
 	}, nil
 }
 

@@ -22,6 +22,23 @@ func FuzzParseEvent(f *testing.F) {
 		"adl_glc::",
 		"\x00",
 		"adl_glc::INST_RETIRED:ANY:k:u",
+		// ARM PMU spellings (the OrangePi / Dimensity event tables).
+		"arm_cortex_a53::CPU_CYCLES",
+		"arm_cortex_a72::L2D_CACHE_REFILL",
+		"armv9_cortex_x2::INST_RETIRED",
+		// Qualifier and case torture.
+		"adl_glc::inst_retired:any",
+		"ADL_GLC::INST_RETIRED",
+		"adl_glc::INST_RETIRED:ANY:ANY",
+		"adl_glc::INST_RETIRED::",
+		"adl_glc:INST_RETIRED",
+		"rapl::ENERGY_PKG:u",
+		"perf::CONTEXT_SWITCHES:k",
+		"LONGEST_LAT_CACHE:MISS",
+		"LONGEST_LAT_CACHE:REFERENCE:u:k",
+		"=", "a=b", "adl_glc::INST_RETIRED:umask=3",
+		"adl_glc\xff::INST_RETIRED",
+		"::INST_RETIRED",
 	} {
 		f.Add(seed)
 	}

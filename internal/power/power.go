@@ -53,6 +53,19 @@ func New(spec hw.PowerSpec) *Model {
 // Spec returns the constants the model runs on.
 func (m *Model) Spec() hw.PowerSpec { return m.spec }
 
+// SetLimits changes the PL1/PL2 power limits at runtime, the operation a
+// write to the RAPL constraint_*_power_limit_uw sysfs files performs.
+// Lowering PL1 is the "power cap" fault scenario harnesses inject. The
+// remaining turbo budget is clamped into the (unchanged) budget size so a
+// cap change never manufactures turbo headroom.
+func (m *Model) SetLimits(pl1W, pl2W float64) {
+	m.spec.PL1Watts = pl1W
+	m.spec.PL2Watts = pl2W
+	if m.pl2Budget > m.spec.PL2BudgetJ {
+		m.pl2Budget = m.spec.PL2BudgetJ
+	}
+}
+
 // Step accounts coresW watts of core power plus the constant uncore power
 // over dtSec seconds.
 func (m *Model) Step(coresW, dtSec float64) {

@@ -1,0 +1,58 @@
+package scenario_test
+
+import (
+	"fmt"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/scenario"
+)
+
+// Example runs a minimal scenario: a two-second spin pinned to cpu0 of the
+// homogeneous machine, under the full standard invariant set.
+func Example() {
+	res, err := scenario.Run(scenario.Spec{
+		Name:            "example-spin",
+		Machine:         "homogeneous",
+		Seed:            1,
+		MaxSeconds:      5,
+		SamplePeriodSec: 0.5,
+		Workloads: []scenario.WorkloadSpec{
+			{Kind: scenario.WorkloadSpin, Name: "spin", CPUs: []int{0}, Seconds: 2},
+		},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("completed=%v violations=%d\n", res.Completed, len(res.Violations))
+	fmt.Printf("spin done=%v after %.1fs\n", res.Workloads[0].Done, res.Workloads[0].ElapsedSec)
+	// Output:
+	// completed=true violations=0
+	// spin done=true after 2.0s
+}
+
+// Example_injection shows mid-run event injection: a frequency cap dropped
+// on the Performance-class cores one second into the run.
+func Example_injection() {
+	res, err := scenario.Run(scenario.Spec{
+		Name:            "example-cap",
+		Machine:         "homogeneous",
+		Seed:            1,
+		MaxSeconds:      4,
+		SamplePeriodSec: 0.5,
+		Workloads: []scenario.WorkloadSpec{
+			{Kind: scenario.WorkloadSpin, Name: "spin", CPUs: []int{0}, Seconds: 3},
+		},
+		Injects: []scenario.Inject{
+			{AtSec: 1, Kind: scenario.InjectFreqCap, Class: hw.Performance, MHz: 1200},
+		},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	last := res.Samples[len(res.Samples)-1]
+	fmt.Printf("cpu0 ends at %.0f MHz under the 1200 MHz cap\n", last.FreqMHz[0])
+	// Output:
+	// cpu0 ends at 1200 MHz under the 1200 MHz cap
+}

@@ -1,0 +1,53 @@
+package scenario_test
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"hetpapi/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden scenario files under testdata/golden")
+
+// TestGoldenTraces is the behavior-drift tripwire: each reference scenario
+// must reproduce its committed digest exactly. Any change to sim, sched,
+// dvfs, power, thermal, perfevent or the workload models that alters
+// observable behavior fails here; after verifying the change is
+// intentional, regenerate with
+//
+//	go test ./internal/scenario -update
+func TestGoldenTraces(t *testing.T) {
+	for _, spec := range scenario.Reference() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if !*update {
+				t.Parallel()
+			}
+			res, err := scenario.Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := scenario.GoldenOf(res)
+			path := scenario.GoldenPath("testdata/golden", spec.Name)
+			if *update {
+				if err := scenario.SaveGolden(path, got); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (digest %s)", path, got.Digest[:12])
+				return
+			}
+			want, err := scenario.LoadGolden(path)
+			if err != nil {
+				if os.IsNotExist(err) {
+					t.Fatalf("no golden file for %q; run `go test ./internal/scenario -update` and commit %s", spec.Name, path)
+				}
+				t.Fatal(err)
+			}
+			if diff := want.Diff(got); diff != "" {
+				t.Errorf("behavior drifted from %s:\n%s"+
+					"if intentional, regenerate with `go test ./internal/scenario -update`", path, diff)
+			}
+		})
+	}
+}

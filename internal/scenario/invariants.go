@@ -1,0 +1,300 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/power"
+	"hetpapi/internal/sched"
+	"hetpapi/internal/sim"
+)
+
+// Context is the state an invariant checks against. The harness maintains
+// it across a run; invariants may keep private per-run state of their own
+// (instances returned by Standard() are therefore single-use).
+type Context struct {
+	// Sim is the running machine, in a consistent post-tick state.
+	Sim *sim.Machine
+	// Spec is the scenario being run.
+	Spec *Spec
+	// StartSec is the machine time at which the run began (non-zero on
+	// warm machines).
+	StartSec float64
+	// PrevNowSec is the machine time after the previous tick's checks.
+	PrevNowSec float64
+	// StartEnergyJ is the package energy at the start of the run.
+	StartEnergyJ float64
+	// PowerIntegralJ is the harness-side ∫ P_pkg dt over the run so far.
+	PowerIntegralJ float64
+	// Wide are the per-CPU own-PMU counters; Foreign are the
+	// mismatched-PMU probes that must never count.
+	Wide    []WideEvent
+	Foreign []WideEvent
+	// Procs are the processes the harness spawned.
+	Procs []*sched.Process
+}
+
+// Invariant is a machine property checked on every tick and at end of run.
+// Check runs after each tick; Final runs once after the last tick. Either
+// may be a no-op.
+type Invariant interface {
+	// Name identifies the invariant in violation reports.
+	Name() string
+	// Check asserts the invariant against the post-tick state.
+	Check(c *Context) error
+	// Final asserts end-of-run properties.
+	Final(c *Context) error
+}
+
+// Standard returns a fresh instance of every standard invariant:
+//
+//   - time-monotonic: simulated time advances by exactly one tick per step
+//   - counter-monotonic: perf counters and RAPL energy never decrease
+//   - energy-conservation: RAPL package energy equals ∫ P dt
+//   - core-type-isolation: events of one core type's PMU never count on
+//     CPUs of another type (hybrid machines)
+//   - sched-affinity: no process ever runs on a CPU outside its mask
+//   - freq-envelope: every CPU frequency stays inside its DVFS policy
+//     envelope and under the thermal/user caps
+//   - thermal-bounds: the zone stays within [ambient, TjMax]
+//   - power-sanity: package power stays within the machine's physical
+//     range and below the wall-meter reading
+//
+// Instances hold per-run state; build a new set for every run.
+func Standard() []Invariant {
+	return []Invariant{
+		&timeMonotonic{},
+		&counterMonotonic{},
+		&energyConservation{},
+		&coreTypeIsolation{},
+		&schedAffinity{},
+		&freqEnvelope{},
+		&thermalBounds{},
+		&powerSanity{},
+	}
+}
+
+// timeMonotonic asserts the clock advances by exactly one tick per step:
+// any drift means wall-clock time or a second time base leaked into the
+// simulation.
+type timeMonotonic struct{}
+
+func (timeMonotonic) Name() string { return "time-monotonic" }
+
+func (timeMonotonic) Check(c *Context) error {
+	now, tick := c.Sim.Now(), c.Sim.Tick()
+	if now <= c.PrevNowSec {
+		return fmt.Errorf("time went backwards: %.9f -> %.9f", c.PrevNowSec, now)
+	}
+	if d := now - c.PrevNowSec; math.Abs(d-tick) > tick*1e-6 {
+		return fmt.Errorf("step advanced %.9fs, want one tick (%.9fs)", d, tick)
+	}
+	return nil
+}
+
+func (timeMonotonic) Final(*Context) error { return nil }
+
+// counterMonotonic asserts no perf counter and no RAPL energy domain ever
+// decreases — the validation Röhl et al. apply to real hardware events,
+// here applied to every simulated one.
+type counterMonotonic struct {
+	prevCounters map[int]uint64
+	prevEnergy   [4]float64
+}
+
+func (counterMonotonic) Name() string { return "counter-monotonic" }
+
+func (m *counterMonotonic) Check(c *Context) error {
+	if m.prevCounters == nil {
+		m.prevCounters = map[int]uint64{}
+	}
+	for _, set := range [2][]WideEvent{c.Wide, c.Foreign} {
+		for _, we := range set {
+			count, err := c.Sim.Kernel.Read(we.FD)
+			if err != nil {
+				return fmt.Errorf("reading fd %d (cpu%d %s %v): %v", we.FD, we.CPU, we.TypeName, we.Kind, err)
+			}
+			if prev, ok := m.prevCounters[we.FD]; ok && count.Value < prev {
+				return fmt.Errorf("cpu%d %s %v counter decreased: %d -> %d",
+					we.CPU, we.TypeName, we.Kind, prev, count.Value)
+			}
+			m.prevCounters[we.FD] = count.Value
+		}
+	}
+	for i, d := range []power.Domain{power.DomainPkg, power.DomainCores, power.DomainRAM, power.DomainPsys} {
+		e := c.Sim.Power.EnergyJ(d)
+		if e < m.prevEnergy[i] {
+			return fmt.Errorf("energy domain %d decreased: %.6f -> %.6f J", int(d), m.prevEnergy[i], e)
+		}
+		m.prevEnergy[i] = e
+	}
+	return nil
+}
+
+func (*counterMonotonic) Final(*Context) error { return nil }
+
+// energyConservation asserts the package energy counter equals the time
+// integral of package power over the run, within float bookkeeping
+// tolerance — energy cannot appear or vanish between the power model and
+// the RAPL counter.
+type energyConservation struct{}
+
+func (energyConservation) Name() string { return "energy-conservation" }
+
+func (i energyConservation) Check(c *Context) error { return i.verify(c) }
+func (i energyConservation) Final(c *Context) error { return i.verify(c) }
+
+func (energyConservation) verify(c *Context) error {
+	got := c.Sim.Power.EnergyJ(power.DomainPkg) - c.StartEnergyJ
+	want := c.PowerIntegralJ
+	tol := 1e-6 * math.Max(1, math.Abs(want))
+	if math.Abs(got-want) > tol {
+		return fmt.Errorf("RAPL pkg energy %.9f J != ∫P·dt %.9f J (|Δ|=%.3g > tol %.3g)",
+			got, want, math.Abs(got-want), tol)
+	}
+	return nil
+}
+
+// coreTypeIsolation asserts the paper's central hybrid semantic: an event
+// programmed on one core type's PMU never counts work executed on another
+// core type. The harness opens a foreign-PMU instruction counter on every
+// CPU of a hybrid machine; all of them must stay at zero forever.
+type coreTypeIsolation struct{}
+
+func (coreTypeIsolation) Name() string { return "core-type-isolation" }
+
+func (i coreTypeIsolation) Check(c *Context) error { return i.verify(c) }
+func (i coreTypeIsolation) Final(c *Context) error { return i.verify(c) }
+
+func (coreTypeIsolation) verify(c *Context) error {
+	for _, we := range c.Foreign {
+		count, err := c.Sim.Kernel.Read(we.FD)
+		if err != nil {
+			return fmt.Errorf("reading foreign probe fd %d: %v", we.FD, err)
+		}
+		if count.Value != 0 {
+			return fmt.Errorf("PMU of core type %q counted %d instructions on cpu%d (type %q)",
+				we.TypeName, count.Value, we.CPU, c.Sim.HW.TypeOf(we.CPU).Name)
+		}
+	}
+	return nil
+}
+
+// schedAffinity asserts no process is ever placed on a CPU outside its
+// affinity mask — the taskset contract every pinned experiment relies on.
+type schedAffinity struct{}
+
+func (schedAffinity) Name() string { return "sched-affinity" }
+
+func (schedAffinity) Check(c *Context) error {
+	for _, p := range c.Procs {
+		if cpu := p.CPU(); cpu >= 0 && !p.Affinity().Has(cpu) {
+			return fmt.Errorf("pid %d running on cpu%d outside affinity %v", p.PID, cpu, p.Affinity())
+		}
+	}
+	return nil
+}
+
+func (schedAffinity) Final(*Context) error { return nil }
+
+// freqEnvelope asserts every CPU's frequency stays inside its core type's
+// [min, max] range and at or under the effective (thermal ∧ user) cap.
+// Each tick's frequencies are chosen before the governor's end-of-tick
+// update, so the comparison allows the looser of the current and
+// previous-tick caps (the control loop's inherent one-tick lag), plus
+// half an OPP step for quantization rounding.
+type freqEnvelope struct {
+	prevCap [2]float64 // by hw.CoreClass; 0 = not yet observed
+}
+
+func (freqEnvelope) Name() string { return "freq-envelope" }
+
+func (fe *freqEnvelope) Check(c *Context) error {
+	m := c.Sim.HW
+	var capNow [2]float64
+	for _, class := range []hw.CoreClass{hw.Performance, hw.Efficiency} {
+		capNow[class] = c.Sim.Governor.CapMHz(class)
+		if fe.prevCap[class] == 0 {
+			fe.prevCap[class] = capNow[class]
+		}
+	}
+	defer func() { fe.prevCap = capNow }()
+	for cpu := 0; cpu < m.NumCPUs(); cpu++ {
+		t := m.TypeOf(cpu)
+		f := c.Sim.CurFreqMHz(cpu)
+		if f < t.MinFreqMHz-1e-9 || f > t.MaxFreqMHz+1e-9 {
+			return fmt.Errorf("cpu%d at %.1f MHz outside [%g, %g]", cpu, f, t.MinFreqMHz, t.MaxFreqMHz)
+		}
+		cap := math.Max(capNow[t.Class], fe.prevCap[t.Class])
+		slack := t.FreqStepMHz/2 + 1e-9
+		if cap > 0 && f > cap+slack {
+			return fmt.Errorf("cpu%d at %.1f MHz above the %.1f MHz %s-class cap",
+				cpu, f, cap, t.Class)
+		}
+	}
+	return nil
+}
+
+func (*freqEnvelope) Final(*Context) error { return nil }
+
+// thermalBounds asserts the zone temperature stays physical: never below
+// ambient, never above TjMax.
+type thermalBounds struct{}
+
+func (thermalBounds) Name() string { return "thermal-bounds" }
+
+func (thermalBounds) Check(c *Context) error {
+	spec := c.Sim.HW.Thermal
+	t := c.Sim.Thermal.TempC()
+	if t < spec.AmbientC-1e-6 {
+		return fmt.Errorf("zone at %.3f C, below ambient %.3f C", t, spec.AmbientC)
+	}
+	if t > spec.TjMaxC+1e-6 {
+		return fmt.Errorf("zone at %.3f C, above TjMax %.3f C", t, spec.TjMaxC)
+	}
+	return nil
+}
+
+func (thermalBounds) Final(*Context) error { return nil }
+
+// powerSanity asserts the package power stays within the machine's
+// physical range — at least the constant uncore draw, at most uncore plus
+// every core's worst-case idle+dynamic power — and that the AC-side wall
+// reading never drops below the package (a PSU cannot be a source).
+type powerSanity struct {
+	maxW float64 // lazily computed physical ceiling
+}
+
+func (powerSanity) Name() string { return "power-sanity" }
+
+func (ps *powerSanity) Check(c *Context) error {
+	m := c.Sim.HW
+	if ps.maxW == 0 {
+		ps.maxW = m.Power.UncoreWatts
+		seen := map[int]bool{}
+		for _, cpu := range m.CPUs {
+			if seen[cpu.PhysCore] {
+				continue
+			}
+			seen[cpu.PhysCore] = true
+			t := m.TypeOf(cpu.ID)
+			ps.maxW += t.IdleWatts + t.DynWattsAtMax
+		}
+	}
+	pkg := c.Sim.Power.PkgPowerW()
+	if pkg < m.Power.UncoreWatts-1e-9 {
+		return fmt.Errorf("package power %.3f W below the %.3f W uncore floor", pkg, m.Power.UncoreWatts)
+	}
+	if pkg > ps.maxW+1e-9 {
+		return fmt.Errorf("package power %.3f W above the %.3f W physical ceiling", pkg, ps.maxW)
+	}
+	if eff := m.Power.ACEfficiency; eff > 0 && eff <= 1 {
+		if wall := c.Sim.Power.WallPowerW(); wall < pkg-1e-9 {
+			return fmt.Errorf("wall power %.3f W below package power %.3f W", wall, pkg)
+		}
+	}
+	return nil
+}
+
+func (*powerSanity) Final(*Context) error { return nil }

@@ -1,0 +1,191 @@
+package scenario
+
+// White-box tests that each standard invariant actually detects the
+// violation it exists for. The machines are healthy, so the tests corrupt
+// the invariant's view (its private state, or the hardware spec it reads
+// its bounds from) and assert the check fires.
+
+import (
+	"strings"
+	"testing"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/sched"
+	"hetpapi/internal/sim"
+	"hetpapi/internal/workload"
+)
+
+func bootFor(t *testing.T, machine string) *sim.Machine {
+	t.Helper()
+	s, err := Boot(Spec{Name: "invariant-test", Machine: machine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func wantViolation(t *testing.T, err error, substr string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("invariant passed, want violation containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("violation %q does not contain %q", err, substr)
+	}
+}
+
+func TestTimeMonotonicDetectsDrift(t *testing.T) {
+	s := bootFor(t, "homogeneous")
+	s.Step()
+	inv := &timeMonotonic{}
+	ctx := &Context{Sim: s, PrevNowSec: s.Now() - s.Tick()}
+	if err := inv.Check(ctx); err != nil {
+		t.Fatalf("one-tick advance flagged: %v", err)
+	}
+	ctx.PrevNowSec = s.Now()
+	wantViolation(t, inv.Check(ctx), "backwards")
+	ctx.PrevNowSec = s.Now() - 2*s.Tick()
+	wantViolation(t, inv.Check(ctx), "want one tick")
+}
+
+func TestCounterMonotonicDetectsDecrease(t *testing.T) {
+	s := bootFor(t, "homogeneous")
+	ws, err := openWide(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.close(s)
+	ctx := &Context{Sim: s, Wide: ws.events}
+	inv := &counterMonotonic{}
+	if err := inv.Check(ctx); err != nil {
+		t.Fatalf("clean machine flagged: %v", err)
+	}
+	// Pretend the first counter had already reached an enormous value.
+	inv.prevCounters[ws.events[0].FD] = 1 << 60
+	wantViolation(t, inv.Check(ctx), "decreased")
+}
+
+func TestEnergyConservationDetectsLeak(t *testing.T) {
+	s := bootFor(t, "homogeneous")
+	s.RunFor(0.05) // accrue real package energy
+	inv := energyConservation{}
+	// Harness that never integrated power: the RAPL counter moved, the
+	// integral did not.
+	ctx := &Context{Sim: s, StartEnergyJ: 0, PowerIntegralJ: 0}
+	wantViolation(t, inv.Check(ctx), "J !=")
+	// A consistent view passes.
+	ctx.StartEnergyJ = s.Power.EnergyJ(0)
+	if err := inv.Check(ctx); err != nil {
+		t.Fatalf("consistent view flagged: %v", err)
+	}
+}
+
+func TestCoreTypeIsolationDetectsCrossCount(t *testing.T) {
+	s := bootFor(t, "homogeneous")
+	ws, err := openWide(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.close(s)
+	s.Spawn(workload.NewInstructionLoop("loop", 1e6, 100), hw.NewCPUSet(0))
+	s.RunFor(0.05)
+	inv := coreTypeIsolation{}
+	// Misfile cpu0's own (counting) instruction event as a foreign probe:
+	// the invariant must reject any nonzero "foreign" count.
+	ctx := &Context{Sim: s, Foreign: ws.events[:1]}
+	wantViolation(t, inv.Check(ctx), "counted")
+}
+
+func TestSchedAffinityDetectsEscape(t *testing.T) {
+	s := bootFor(t, "homogeneous")
+	p := s.Spawn(workload.NewSpin("spin", 10), hw.NewCPUSet(0))
+	s.RunFor(0.01)
+	if p.CPU() != 0 {
+		t.Fatalf("spin on cpu%d, want cpu0", p.CPU())
+	}
+	// Shrink the mask out from under the running process; until the next
+	// scheduler pass it is on a CPU outside its affinity.
+	if err := s.Sched.SetAffinity(p.PID, hw.NewCPUSet(1)); err != nil {
+		t.Fatal(err)
+	}
+	inv := schedAffinity{}
+	ctx := &Context{Sim: s, Procs: []*sched.Process{p}}
+	wantViolation(t, inv.Check(ctx), "outside affinity")
+	// The scheduler's next pass repairs the placement.
+	s.RunFor(0.01)
+	if err := inv.Check(ctx); err != nil {
+		t.Fatalf("post-enforcement state flagged: %v", err)
+	}
+}
+
+func TestFreqEnvelopeDetectsCapBreach(t *testing.T) {
+	s := bootFor(t, "homogeneous")
+	fe := &freqEnvelope{}
+	ctx := &Context{Sim: s}
+	if err := fe.Check(ctx); err != nil {
+		t.Fatalf("boot state flagged: %v", err)
+	}
+	// A cap far below the running frequency: the first check after the
+	// drop is forgiven (one-tick control-loop lag), the next is not.
+	s.Governor.SetUserCapMHz(hw.Performance, 100)
+	if err := fe.Check(ctx); err != nil {
+		t.Fatalf("lag tick flagged: %v", err)
+	}
+	wantViolation(t, fe.Check(ctx), "above the")
+}
+
+func TestThermalBoundsDetectsExcursion(t *testing.T) {
+	s := bootFor(t, "homogeneous")
+	inv := thermalBounds{}
+	ctx := &Context{Sim: s}
+	if err := inv.Check(ctx); err != nil {
+		t.Fatalf("boot state flagged: %v", err)
+	}
+	saved := s.HW.Thermal
+	s.HW.Thermal.TjMaxC = s.Thermal.TempC() - 5
+	wantViolation(t, inv.Check(ctx), "above TjMax")
+	s.HW.Thermal = saved
+	s.HW.Thermal.AmbientC = s.Thermal.TempC() + 5
+	wantViolation(t, inv.Check(ctx), "below ambient")
+}
+
+func TestPowerSanityDetectsImpossiblePower(t *testing.T) {
+	s := bootFor(t, "homogeneous")
+	s.RunFor(0.01)
+	inv := &powerSanity{}
+	ctx := &Context{Sim: s}
+	if err := inv.Check(ctx); err != nil {
+		t.Fatalf("idle machine flagged: %v", err)
+	}
+	// Raise the claimed uncore floor above what the model produces.
+	s.HW.Power.UncoreWatts = 1e6
+	wantViolation(t, inv.Check(ctx), "uncore floor")
+}
+
+func TestStandardReturnsFreshInstances(t *testing.T) {
+	a, b := Standard(), Standard()
+	if len(a) < 6 {
+		t.Fatalf("Standard() returned %d invariants, want at least 6", len(a))
+	}
+	// The stateful invariants must not share state across calls (empty
+	// structs may legitimately alias, so only check one that holds state).
+	var ca, cb *counterMonotonic
+	for i := range a {
+		if m, ok := a[i].(*counterMonotonic); ok {
+			ca = m
+		}
+		if m, ok := b[i].(*counterMonotonic); ok {
+			cb = m
+		}
+	}
+	if ca == nil || cb == nil || ca == cb {
+		t.Fatalf("Standard() must return fresh counter-monotonic instances (got %p, %p)", ca, cb)
+	}
+	names := map[string]bool{}
+	for _, inv := range a {
+		if names[inv.Name()] {
+			t.Fatalf("duplicate invariant name %q", inv.Name())
+		}
+		names[inv.Name()] = true
+	}
+}

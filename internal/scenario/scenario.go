@@ -1,0 +1,763 @@
+// Package scenario is the declarative end-to-end harness for the simulated
+// machines: a Spec names a machine model, a workload mix, scheduler/DVFS
+// configuration, injected events (task migration, power caps, frequency
+// caps, thermal ramps) and a set of invariant assertions; Run boots the
+// machine, drives it under the paper's 1 Hz monitoring methodology and
+// machine-checks every invariant on every tick and at end of run.
+//
+// The package exists so that correctness checking is written once: the
+// experiment drivers in internal/exp, the examples and the regression
+// tests all execute through the same harness, and every run — whether it
+// regenerates a paper table or smoke-tests a refactor — is continuously
+// audited for counter monotonicity, energy conservation, per-core-type
+// event validity, affinity, DVFS envelopes and physical power/thermal
+// bounds. Reference scenarios (scenarios.go) additionally pin golden trace
+// digests under testdata/, so any behavioral drift in sim, sched, dvfs,
+// power, thermal or perfevent fails `go test ./internal/scenario`.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"hetpapi/internal/dvfs"
+	"hetpapi/internal/events"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/perfevent"
+	"hetpapi/internal/sched"
+	"hetpapi/internal/sim"
+	"hetpapi/internal/trace"
+	"hetpapi/internal/workload"
+)
+
+// Machines maps the spec-addressable machine model names to their
+// constructors. All presets of internal/hw are registered.
+var Machines = map[string]func() *hw.Machine{
+	"raptorlake":    hw.RaptorLake,
+	"orangepi800":   hw.OrangePi800,
+	"dimensity9000": hw.Dimensity9000,
+	"homogeneous":   hw.Homogeneous,
+}
+
+// WorkloadKind selects a workload model.
+type WorkloadKind string
+
+// The workload kinds a spec can request.
+const (
+	// WorkloadHPL is the blocked-LU linpack model; one thread per entry
+	// of CPUs, each pinned to its CPU.
+	WorkloadHPL WorkloadKind = "hpl"
+	// WorkloadLoop is a fixed instruction loop (the papi_hybrid test
+	// program shape).
+	WorkloadLoop WorkloadKind = "loop"
+	// WorkloadSpin is a fixed-duration spin-wait.
+	WorkloadSpin WorkloadKind = "spin"
+	// WorkloadStream is the LLC-hostile memory streamer.
+	WorkloadStream WorkloadKind = "stream"
+)
+
+// WorkloadSpec declares one workload of a scenario. Unused parameter
+// fields for the chosen Kind are ignored.
+type WorkloadSpec struct {
+	// Kind selects the workload model.
+	Kind WorkloadKind
+	// Name labels the workload in results (defaults to the kind).
+	Name string
+	// CPUs is the affinity pin list; empty means all CPUs. HPL spawns one
+	// thread per listed CPU and requires a non-empty list.
+	CPUs []int
+	// StartSec delays the spawn into the run.
+	StartSec float64
+
+	// N, NB, Strategy and Seed parameterize WorkloadHPL.
+	N, NB    int
+	Strategy workload.Strategy
+	Seed     int64
+
+	// InstrPerRep and Reps parameterize WorkloadLoop.
+	InstrPerRep float64
+	Reps        int
+
+	// Seconds parameterizes WorkloadSpin.
+	Seconds float64
+
+	// Instructions and LLCMissRate parameterize WorkloadStream.
+	Instructions float64
+	LLCMissRate  float64
+}
+
+func (w *WorkloadSpec) label(i int) string {
+	if w.Name != "" {
+		return w.Name
+	}
+	return fmt.Sprintf("%s-%d", w.Kind, i)
+}
+
+// InjectKind selects a fault/event injection.
+type InjectKind string
+
+// The injections a spec can schedule.
+const (
+	// InjectMigrate rewrites the affinity of workload index Workload to
+	// CPUs (the sched_setaffinity operation mid-run).
+	InjectMigrate InjectKind = "migrate"
+	// InjectPowerLimit rewrites the RAPL PL1/PL2 limits to PL1W/PL2W.
+	InjectPowerLimit InjectKind = "power-limit"
+	// InjectFreqCap sets the user frequency ceiling of core class Class
+	// to MHz (0 removes it).
+	InjectFreqCap InjectKind = "freq-cap"
+	// InjectHeat dumps HeatJ joules into the thermal zone.
+	InjectHeat InjectKind = "heat"
+)
+
+// Inject is one scheduled event of a scenario, applied at the first tick
+// boundary at or after AtSec.
+type Inject struct {
+	AtSec float64
+	Kind  InjectKind
+
+	// Workload and CPUs parameterize InjectMigrate.
+	Workload int
+	CPUs     []int
+	// PL1W and PL2W parameterize InjectPowerLimit.
+	PL1W, PL2W float64
+	// Class and MHz parameterize InjectFreqCap.
+	Class hw.CoreClass
+	MHz   float64
+	// HeatJ parameterizes InjectHeat.
+	HeatJ float64
+}
+
+// Spec declares a complete scenario.
+type Spec struct {
+	// Name identifies the scenario in results and golden files.
+	Name string
+	// Machine names a model in Machines; MachineFn, when set, overrides
+	// the registry (used to run perturbed machine variants).
+	Machine   string
+	MachineFn func() *hw.Machine
+
+	// TickSec overrides the simulation step (0 = sim default 1 ms).
+	TickSec float64
+	// SamplePeriodSec is the monitoring cadence (0 = the paper's 1 Hz).
+	SamplePeriodSec float64
+	// MaxSeconds bounds the run in simulated time (0 = 60 s). The run
+	// ends earlier once every workload has finished.
+	MaxSeconds float64
+	// Seed seeds the scheduler perturbation RNG.
+	Seed int64
+	// Sched and DVFS override the subsystem configs (nil = defaults).
+	// The seed in Sched, if set, takes precedence over Seed.
+	Sched *sched.Config
+	DVFS  *dvfs.Config
+
+	// Workloads is the workload mix.
+	Workloads []WorkloadSpec
+	// Injects are the scheduled events, applied in AtSec order.
+	Injects []Inject
+	// Invariants are checked every tick and at end of run; nil means
+	// Standard(). Use a non-nil empty slice to disable checking.
+	Invariants []Invariant
+	// VerifyDeterminism makes Run execute the scenario twice on fresh
+	// machines and fail unless both runs digest identically. Ignored by
+	// RunOn (a warm machine is not reproducible from the spec alone).
+	VerifyDeterminism bool
+}
+
+// TypeCounters holds system-wide counter totals for one core type, the
+// per-PMU split a "perf stat -a" run reports on a hybrid machine.
+type TypeCounters struct {
+	Instructions float64
+	Cycles       float64
+	LLCRefs      float64
+	LLCMisses    float64
+}
+
+// MissRate returns LLC misses / references (0 when idle).
+func (c TypeCounters) MissRate() float64 {
+	if c.LLCRefs == 0 {
+		return 0
+	}
+	return c.LLCMisses / c.LLCRefs
+}
+
+// WorkloadResult reports one workload's outcome.
+type WorkloadResult struct {
+	// Name and Kind echo the spec.
+	Name string
+	Kind WorkloadKind
+	// Done reports whether the workload finished within MaxSeconds.
+	Done bool
+	// ElapsedSec is spawn-to-finish (or spawn-to-end-of-run) time.
+	ElapsedSec float64
+	// Gflops is the HPL figure of merit (HPL workloads that finished).
+	Gflops float64
+}
+
+// Violation is one invariant failure.
+type Violation struct {
+	// AtSec is the simulated time of the failure (-1 for end-of-run
+	// checks).
+	AtSec float64
+	// Invariant is the failing invariant's name.
+	Invariant string
+	// Detail is the failure description.
+	Detail string
+}
+
+func (v Violation) String() string {
+	if v.AtSec < 0 {
+		return fmt.Sprintf("[final] %s: %s", v.Invariant, v.Detail)
+	}
+	return fmt.Sprintf("[t=%.3fs] %s: %s", v.AtSec, v.Invariant, v.Detail)
+}
+
+// Result is the outcome of a scenario run.
+type Result struct {
+	// Name and MachineName echo the resolved spec.
+	Name        string
+	MachineName string
+	// Completed reports whether every workload finished within
+	// MaxSeconds.
+	Completed bool
+	// ElapsedSec is the simulated duration of the run.
+	ElapsedSec float64
+	// Samples is the monitoring trace.
+	Samples []trace.Sample
+	// Summary condenses the trace.
+	Summary trace.Summary
+	// ByType holds the per-core-type system-wide counter deltas.
+	ByType map[string]TypeCounters
+	// Workloads holds per-workload outcomes, in spec order.
+	Workloads []WorkloadResult
+	// EnergyJ is the package energy consumed over the run.
+	EnergyJ float64
+	// Digest is the stable hash of the run's observable behavior (trace,
+	// counters, workload outcomes); see Result.computeDigest.
+	Digest string
+	// Violations lists every invariant failure (at most one per
+	// invariant; checking stops for an invariant once it has failed).
+	Violations []Violation
+	// DeterminismVerified reports that VerifyDeterminism ran and passed.
+	DeterminismVerified bool
+}
+
+// computeDigest hashes everything a golden trace pins: the full monitoring
+// trace (via the canonical CSV rendering), the per-type counters, the
+// workload outcomes and the energy total. Counter values are rounded to
+// integers and scalars fixed to millidigits so the digest is a property of
+// machine behavior, not float formatting.
+func (r *Result) computeDigest(ncpu int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "trace %s\n", trace.DigestSamples(ncpu, r.Samples))
+	names := make([]string, 0, len(r.ByType))
+	for name := range r.ByType {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := r.ByType[name]
+		fmt.Fprintf(h, "type %s %.0f %.0f %.0f %.0f\n",
+			name, c.Instructions, c.Cycles, c.LLCRefs, c.LLCMisses)
+	}
+	for _, w := range r.Workloads {
+		fmt.Fprintf(h, "workload %s %s done=%v elapsed=%.3f gflops=%.3f\n",
+			w.Name, w.Kind, w.Done, w.ElapsedSec, w.Gflops)
+	}
+	fmt.Fprintf(h, "energy %.3f\n", r.EnergyJ)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Err returns a single error summarizing the run's violations, or nil.
+func (r *Result) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %q: %d invariant violation(s):", r.Name, len(r.Violations))
+	for _, v := range r.Violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Run boots a fresh machine from the spec and executes the scenario. The
+// returned error is non-nil when the spec is invalid, a workload cannot be
+// built, or any invariant was violated; the Result is returned alongside
+// the error whenever the run itself happened.
+func Run(spec Spec) (*Result, error) {
+	res, err := runFresh(spec)
+	if err != nil {
+		return res, err
+	}
+	if spec.VerifyDeterminism {
+		again, err := runFresh(spec)
+		if err != nil {
+			return res, fmt.Errorf("scenario %q: determinism re-run: %w", spec.Name, err)
+		}
+		if again.Digest != res.Digest {
+			return res, fmt.Errorf("scenario %q: nondeterministic: digest %s vs %s on identical specs",
+				spec.Name, res.Digest[:12], again.Digest[:12])
+		}
+		res.DeterminismVerified = true
+	}
+	return res, res.Err()
+}
+
+func runFresh(spec Spec) (*Result, error) {
+	s, err := Boot(spec)
+	if err != nil {
+		return nil, err
+	}
+	return runOn(s, spec)
+}
+
+// Boot builds and boots the spec's machine without running the scenario,
+// for callers that want to interleave harness runs with direct machine
+// control (the settle-between-runs protocol).
+func Boot(spec Spec) (*sim.Machine, error) {
+	mk := spec.MachineFn
+	if mk == nil {
+		var ok bool
+		mk, ok = Machines[spec.Machine]
+		if !ok {
+			return nil, fmt.Errorf("scenario %q: unknown machine %q", spec.Name, spec.Machine)
+		}
+	}
+	m := mk()
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+	cfg := sim.DefaultConfig()
+	if spec.TickSec > 0 {
+		cfg.TickSec = spec.TickSec
+	}
+	if spec.Sched != nil {
+		cfg.Sched = *spec.Sched
+	}
+	if spec.Sched == nil || spec.Sched.Seed == 0 {
+		cfg.Sched.Seed = spec.Seed
+	}
+	if spec.DVFS != nil {
+		cfg.DVFS = *spec.DVFS
+	}
+	return sim.New(m, cfg), nil
+}
+
+// RunOn executes the scenario on an already-booted (possibly warm)
+// machine. The spec's Machine/TickSec/Sched/DVFS fields are ignored — the
+// machine's own configuration governs — and VerifyDeterminism is not
+// supported because the starting state is not reproducible from the spec.
+func RunOn(s *sim.Machine, spec Spec) (*Result, error) {
+	res, err := runOn(s, spec)
+	if err != nil {
+		return res, err
+	}
+	return res, res.Err()
+}
+
+// spawnedWorkload tracks one WorkloadSpec's live state during a run.
+type spawnedWorkload struct {
+	spec  *WorkloadSpec
+	hpl   *workload.HPL
+	tasks []workload.Task
+	procs []*sched.Process
+
+	spawned   bool
+	startedAt float64
+	doneAt    float64
+}
+
+func (sw *spawnedWorkload) done() bool {
+	if !sw.spawned {
+		return false
+	}
+	if sw.hpl != nil {
+		return sw.hpl.Done()
+	}
+	for _, t := range sw.tasks {
+		if !t.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// build constructs the workload's tasks (without spawning them).
+func (sw *spawnedWorkload) build(m *hw.Machine, label string) error {
+	w := sw.spec
+	switch w.Kind {
+	case WorkloadHPL:
+		if len(w.CPUs) == 0 {
+			return fmt.Errorf("workload %s: HPL needs an explicit CPU list", label)
+		}
+		strat := w.Strategy
+		if strat.Name == "" {
+			strat = workload.OpenBLASx86()
+		}
+		h, err := workload.NewHPL(workload.HPLConfig{
+			N: w.N, NB: w.NB, Threads: len(w.CPUs), Strategy: strat, Seed: w.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("workload %s: %w", label, err)
+		}
+		sw.hpl = h
+		sw.tasks = h.Threads()
+	case WorkloadLoop:
+		sw.tasks = []workload.Task{workload.NewInstructionLoop(label, w.InstrPerRep, w.Reps)}
+	case WorkloadSpin:
+		sw.tasks = []workload.Task{workload.NewSpin(label, w.Seconds)}
+	case WorkloadStream:
+		sw.tasks = []workload.Task{workload.NewStream(label, w.Instructions, w.LLCMissRate, w.Seed)}
+	default:
+		return fmt.Errorf("workload %s: unknown kind %q", label, w.Kind)
+	}
+	for _, cpu := range w.CPUs {
+		if cpu < 0 || cpu >= m.NumCPUs() {
+			return fmt.Errorf("workload %s: cpu %d out of range (machine has %d)", label, cpu, m.NumCPUs())
+		}
+	}
+	return nil
+}
+
+func (sw *spawnedWorkload) spawn(s *sim.Machine, now float64) {
+	w := sw.spec
+	for i, task := range sw.tasks {
+		var aff hw.CPUSet
+		switch {
+		case len(w.CPUs) == 0:
+			aff = hw.AllCPUs(s.HW)
+		case sw.hpl != nil:
+			aff = hw.NewCPUSet(w.CPUs[i]) // one HPL thread per listed CPU
+		default:
+			aff = hw.NewCPUSet(w.CPUs...)
+		}
+		sw.procs = append(sw.procs, s.Spawn(task, aff))
+	}
+	sw.spawned = true
+	sw.startedAt = now
+	sw.doneAt = -1
+}
+
+func runOn(s *sim.Machine, spec Spec) (*Result, error) {
+	maxSec := spec.MaxSeconds
+	if maxSec <= 0 {
+		maxSec = 60
+	}
+	period := spec.SamplePeriodSec
+	if period <= 0 {
+		period = 1
+	}
+	invariants := spec.Invariants
+	if invariants == nil {
+		invariants = Standard()
+	}
+
+	workloads := make([]*spawnedWorkload, len(spec.Workloads))
+	for i := range spec.Workloads {
+		workloads[i] = &spawnedWorkload{spec: &spec.Workloads[i]}
+		if err := workloads[i].build(s.HW, spec.Workloads[i].label(i)); err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+		}
+	}
+	for _, inj := range spec.Injects {
+		if inj.Kind == InjectMigrate && (inj.Workload < 0 || inj.Workload >= len(workloads)) {
+			return nil, fmt.Errorf("scenario %q: migrate inject targets workload %d of %d",
+				spec.Name, inj.Workload, len(workloads))
+		}
+	}
+	injects := append([]Inject(nil), spec.Injects...)
+	sort.SliceStable(injects, func(i, j int) bool { return injects[i].AtSec < injects[j].AtSec })
+
+	wide, err := openWide(s)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+	defer wide.close(s)
+
+	start := s.Now()
+	ctx := &Context{
+		Sim:          s,
+		Spec:         &spec,
+		StartSec:     start,
+		PrevNowSec:   start,
+		StartEnergyJ: s.Power.EnergyJ(0),
+		Wide:         wide.events,
+		Foreign:      wide.foreign,
+	}
+
+	res := &Result{Name: spec.Name, MachineName: s.HW.Name}
+	failed := map[string]bool{}
+	report := func(atSec float64, inv Invariant, err error) {
+		if err == nil || failed[inv.Name()] {
+			return
+		}
+		failed[inv.Name()] = true
+		res.Violations = append(res.Violations, Violation{
+			AtSec: atSec, Invariant: inv.Name(), Detail: err.Error(),
+		})
+	}
+
+	// Spawn the t=0 workloads before the recorder takes its first sample.
+	for _, sw := range workloads {
+		if sw.spec.StartSec <= 0 {
+			sw.spawn(s, s.Now())
+		}
+	}
+	for _, sw := range workloads {
+		ctx.Procs = append(ctx.Procs, sw.procs...)
+	}
+
+	nextInject := 0
+	remove := s.AddStepHook(func(s *sim.Machine) {
+		now := s.Now() - start
+		// Per-tick invariant checks run first, against the tick that just
+		// completed. The integral accumulates the same P*dt terms the
+		// power model integrates, making energy conservation an exact
+		// bookkeeping identity to check against.
+		ctx.PowerIntegralJ += s.Power.PkgPowerW() * s.Tick()
+		for _, inv := range invariants {
+			if !failed[inv.Name()] {
+				report(now, inv, inv.Check(ctx))
+			}
+		}
+		ctx.PrevNowSec = s.Now()
+		// Injections and delayed spawns apply after the checks: they
+		// configure the NEXT tick (the scheduler enforces new affinity
+		// masks and the governor applies new caps at its next pass, so
+		// checking this tick against them would be a false positive).
+		for nextInject < len(injects) && injects[nextInject].AtSec <= now {
+			apply(s, workloads, injects[nextInject])
+			nextInject++
+		}
+		for _, sw := range workloads {
+			if !sw.spawned && sw.spec.StartSec <= now {
+				sw.spawn(s, s.Now())
+				ctx.Procs = append(ctx.Procs, sw.procs...)
+			}
+			if sw.spawned && sw.doneAt < 0 && sw.done() {
+				sw.doneAt = s.Now()
+			}
+		}
+	})
+	defer remove()
+
+	allDone := func() bool {
+		for _, sw := range workloads {
+			if !sw.done() {
+				return false
+			}
+		}
+		return len(workloads) > 0
+	}
+	rec := trace.NewRecorder(s, period)
+	res.Completed = rec.RunUntil(allDone, maxSec)
+	res.ElapsedSec = s.Now() - start
+	res.Samples = rec.Samples()
+	res.Summary = trace.Summarize(res.Samples)
+	res.EnergyJ = s.Power.EnergyJ(0) - ctx.StartEnergyJ
+	res.ByType = wide.collect(s)
+
+	for i, sw := range workloads {
+		wr := WorkloadResult{Name: sw.spec.label(i), Kind: sw.spec.Kind, Done: sw.done()}
+		if sw.spawned {
+			end := sw.doneAt
+			if end < 0 {
+				end = s.Now()
+			}
+			wr.ElapsedSec = end - sw.startedAt
+			if sw.hpl != nil && wr.Done && wr.ElapsedSec > 0 {
+				wr.Gflops = sw.hpl.Gflops(wr.ElapsedSec)
+			}
+		}
+		res.Workloads = append(res.Workloads, wr)
+	}
+
+	for _, inv := range invariants {
+		if !failed[inv.Name()] {
+			report(-1, inv, inv.Final(ctx))
+		}
+	}
+	res.Digest = res.computeDigest(s.HW.NumCPUs())
+	return res, nil
+}
+
+// apply executes one injection.
+func apply(s *sim.Machine, workloads []*spawnedWorkload, inj Inject) {
+	switch inj.Kind {
+	case InjectMigrate:
+		set := hw.NewCPUSet(inj.CPUs...)
+		for _, p := range workloads[inj.Workload].procs {
+			// Ignore per-process errors: a finished (reaped) pid is not a
+			// scenario failure.
+			_ = s.Sched.SetAffinity(p.PID, set)
+		}
+	case InjectPowerLimit:
+		s.Power.SetLimits(inj.PL1W, inj.PL2W)
+	case InjectFreqCap:
+		s.Governor.SetUserCapMHz(inj.Class, inj.MHz)
+	case InjectHeat:
+		s.Thermal.AddHeatJ(inj.HeatJ)
+	}
+}
+
+// WideEvent is one system-wide counter the harness keeps open for
+// monitoring and invariant checking.
+type WideEvent struct {
+	// FD is the perf_event descriptor.
+	FD int
+	// CPU is the CPU the event was opened on.
+	CPU int
+	// TypeName is the core type that owns the event's PMU.
+	TypeName string
+	// Kind is the architectural quantity counted.
+	Kind events.Kind
+}
+
+type wideSet struct {
+	events  []WideEvent
+	foreign []WideEvent
+	base    map[int]float64 // fd -> value at open (warm machines)
+}
+
+// wideEventSpecs returns the per-PMU (event, umask, kind) triples openWide
+// programs, resolving the per-architecture naming differences.
+func wideEventSpecs(tab *events.PMU) [](struct {
+	name  string
+	umask string
+	kind  events.Kind
+}) {
+	type spec = struct {
+		name  string
+		umask string
+		kind  events.Kind
+	}
+	var out []spec
+	out = append(out, spec{"INST_RETIRED", "", events.KindInstructions})
+	if tab.Lookup("CPU_CLK_UNHALTED") != nil {
+		out = append(out, spec{"CPU_CLK_UNHALTED", "", events.KindCycles})
+	} else {
+		out = append(out, spec{"CPU_CYCLES", "", events.KindCycles})
+	}
+	switch {
+	case tab.Lookup("LONGEST_LAT_CACHE") != nil:
+		out = append(out, spec{"LONGEST_LAT_CACHE", "REFERENCE", events.KindLLCRefs},
+			spec{"LONGEST_LAT_CACHE", "MISS", events.KindLLCMisses})
+	case tab.Lookup("L3D_CACHE") != nil:
+		out = append(out, spec{"L3D_CACHE", "", events.KindLLCRefs},
+			spec{"L3D_CACHE_REFILL", "", events.KindLLCMisses})
+	default:
+		out = append(out, spec{"L2D_CACHE", "", events.KindLLCRefs},
+			spec{"L2D_CACHE_REFILL", "", events.KindLLCMisses})
+	}
+	return out
+}
+
+// openWide opens the harness's system-wide counters: on every CPU the four
+// "perf stat -a" events of the CPU's own PMU, plus — on hybrid machines —
+// one foreign-PMU instruction counter per other core type, which the
+// core-type-isolation invariant asserts never counts.
+func openWide(s *sim.Machine) (*wideSet, error) {
+	ws := &wideSet{base: map[int]float64{}}
+	m := s.HW
+	for cpu := 0; cpu < m.NumCPUs(); cpu++ {
+		t := m.TypeOf(cpu)
+		tab := events.LookupPMU(t.PfmName)
+		if tab == nil {
+			return nil, fmt.Errorf("no event table for PMU %q", t.PfmName)
+		}
+		for _, spec := range wideEventSpecs(tab) {
+			def := tab.Lookup(spec.name)
+			if def == nil {
+				return nil, fmt.Errorf("PMU %q has no %s event", t.PfmName, spec.name)
+			}
+			var bits uint64
+			if spec.umask != "" {
+				if u := def.Umask(spec.umask); u != nil {
+					bits = u.Bits
+				}
+			} else if u := def.DefaultUmask(); u != nil {
+				bits = u.Bits
+			}
+			fd, err := s.Kernel.Open(perfevent.Attr{
+				Type:   t.PMU.PerfType,
+				Config: events.Encode(def.Code, bits),
+			}, -1, cpu, -1)
+			if err != nil {
+				return nil, fmt.Errorf("opening system-wide %s on cpu%d: %w", spec.name, cpu, err)
+			}
+			ws.events = append(ws.events, WideEvent{FD: fd, CPU: cpu, TypeName: t.Name, Kind: spec.kind})
+		}
+		// Foreign-PMU probes: this CPU must never feed other types' PMUs.
+		for i := range m.Types {
+			ft := &m.Types[i]
+			if ft.Name == t.Name {
+				continue
+			}
+			ftab := events.LookupPMU(ft.PfmName)
+			if ftab == nil {
+				continue
+			}
+			def := ftab.Lookup("INST_RETIRED")
+			if def == nil {
+				continue
+			}
+			var bits uint64
+			if u := def.DefaultUmask(); u != nil {
+				bits = u.Bits
+			}
+			fd, err := s.Kernel.Open(perfevent.Attr{
+				Type:   ft.PMU.PerfType,
+				Config: events.Encode(def.Code, bits),
+			}, -1, cpu, -1)
+			if err != nil {
+				return nil, fmt.Errorf("opening foreign probe %s/%s on cpu%d: %w", ft.PfmName, "INST_RETIRED", cpu, err)
+			}
+			ws.foreign = append(ws.foreign, WideEvent{FD: fd, CPU: cpu, TypeName: ft.Name, Kind: events.KindInstructions})
+		}
+	}
+	for _, we := range append(append([]WideEvent(nil), ws.events...), ws.foreign...) {
+		c, err := s.Kernel.Read(we.FD)
+		if err == nil {
+			ws.base[we.FD] = float64(c.Value)
+		}
+	}
+	return ws, nil
+}
+
+func (ws *wideSet) collect(s *sim.Machine) map[string]TypeCounters {
+	out := map[string]TypeCounters{}
+	for _, we := range ws.events {
+		c, err := s.Kernel.Read(we.FD)
+		if err != nil {
+			continue
+		}
+		v := float64(c.Value) - ws.base[we.FD]
+		tc := out[we.TypeName]
+		switch we.Kind {
+		case events.KindInstructions:
+			tc.Instructions += v
+		case events.KindCycles:
+			tc.Cycles += v
+		case events.KindLLCRefs:
+			tc.LLCRefs += v
+		case events.KindLLCMisses:
+			tc.LLCMisses += v
+		}
+		out[we.TypeName] = tc
+	}
+	return out
+}
+
+func (ws *wideSet) close(s *sim.Machine) {
+	for _, we := range ws.events {
+		s.Kernel.Close(we.FD)
+	}
+	for _, we := range ws.foreign {
+		s.Kernel.Close(we.FD)
+	}
+}

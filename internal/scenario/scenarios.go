@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"hetpapi/internal/hw"
+	"hetpapi/internal/workload"
+)
+
+// Reference returns the standard golden-trace scenarios: one per machine
+// model, each exercising the subsystems that model's paper results hinge
+// on. Their digests are committed under testdata/golden/ and re-checked by
+// `go test ./internal/scenario`; regenerate after intentional behavior
+// changes with `go test ./internal/scenario -update`.
+//
+// The problem sizes are deliberately small — each scenario simulates a few
+// seconds to a couple of minutes of machine time so the whole suite stays
+// inside an ordinary test run.
+func Reference() []Spec {
+	return []Spec{
+		{
+			// The paper's desktop: HPL pinned one-thread-per-P-core
+			// (logical CPUs 0,2,..,14 are the SMT-0 threads of the eight
+			// P-cores), exercising sim+sched+dvfs+power under the
+			// 65 W / 219 W RAPL machinery.
+			Name:            "raptorlake-hpl-pcores",
+			Machine:         "raptorlake",
+			Seed:            11,
+			MaxSeconds:      120,
+			SamplePeriodSec: 0.25,
+			Workloads: []WorkloadSpec{{
+				Kind:     WorkloadHPL,
+				Name:     "hpl",
+				CPUs:     []int{0, 2, 4, 6, 8, 10, 12, 14},
+				N:        16384,
+				NB:       192,
+				Strategy: workload.OpenBLASx86(),
+				Seed:     1,
+			}},
+		},
+		{
+			// The passively cooled board: HPL on the two A72 big cores
+			// with an injected heat spike, driving the step_wise thermal
+			// throttle that produces the paper's Figure 3 collapse.
+			Name:            "orangepi-thermal-throttle",
+			Machine:         "orangepi800",
+			Seed:            5,
+			MaxSeconds:      300,
+			SamplePeriodSec: 0.25,
+			Workloads: []WorkloadSpec{{
+				Kind:     WorkloadHPL,
+				Name:     "hpl-big",
+				CPUs:     []int{4, 5},
+				N:        8192,
+				NB:       128,
+				Strategy: workload.OpenBLASArm(),
+				Seed:     1,
+			}},
+			Injects: []Inject{
+				{AtSec: 2, Kind: InjectHeat, HeatJ: 40},
+			},
+		},
+		{
+			// The tri-gear phone SoC: a migrating instruction loop plus a
+			// pinned memory streamer, with a mid-run frequency cap on the
+			// Performance-class cores and a forced migration — the
+			// injection paths under a three-PMU topology.
+			Name:            "dimensity-mixed-injects",
+			Machine:         "dimensity9000",
+			Seed:            23,
+			MaxSeconds:      12,
+			SamplePeriodSec: 0.5,
+			Workloads: []WorkloadSpec{
+				{Kind: WorkloadLoop, Name: "loop", InstrPerRep: 1e6, Reps: 20000},
+				{Kind: WorkloadStream, Name: "stream", CPUs: []int{0, 1, 2, 3}, Instructions: 4e9, LLCMissRate: 0.4, Seed: 9},
+				{Kind: WorkloadSpin, Name: "late-spin", Seconds: 2, StartSec: 3, CPUs: []int{7}},
+			},
+			Injects: []Inject{
+				{AtSec: 1, Kind: InjectFreqCap, Class: hw.Performance, MHz: 1800},
+				{AtSec: 1.5, Kind: InjectMigrate, Workload: 1, CPUs: []int{2, 3}},
+				{AtSec: 3, Kind: InjectFreqCap, Class: hw.Performance, MHz: 0},
+			},
+		},
+		{
+			// The homogeneous baseline: SMT contention plus a mid-run
+			// power-limit drop on a single-PMU machine.
+			Name:            "homogeneous-powercap",
+			Machine:         "homogeneous",
+			Seed:            3,
+			MaxSeconds:      10,
+			SamplePeriodSec: 0.5,
+			Workloads: []WorkloadSpec{
+				{Kind: WorkloadLoop, Name: "loop-a", CPUs: []int{0, 1}, InstrPerRep: 1e6, Reps: 30000},
+				{Kind: WorkloadSpin, Name: "spin", CPUs: []int{2}, Seconds: 6},
+			},
+			Injects: []Inject{
+				{AtSec: 2, Kind: InjectPowerLimit, PL1W: 35, PL2W: 60},
+			},
+		},
+	}
+}

@@ -1,0 +1,24 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/sim"
+	"hetpapi/internal/workload"
+)
+
+// Example boots the homogeneous machine, pins an instruction loop to
+// cpu0 and steps the simulation until it finishes.
+func Example() {
+	m := hw.Homogeneous()
+	s := sim.New(m, sim.DefaultConfig())
+	loop := workload.NewInstructionLoop("demo", 1e6, 100)
+	s.Spawn(loop, hw.NewCPUSet(0))
+	done := s.RunUntil(loop.Done, 10)
+	fmt.Printf("done=%v retired=%.0f\n", done, loop.TotalInstructions())
+	fmt.Printf("warmer than ambient: %v\n", s.Thermal.TempC() > m.Thermal.AmbientC)
+	// Output:
+	// done=true retired=100000000
+	// warmer than ambient: true
+}

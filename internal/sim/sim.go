@@ -63,10 +63,18 @@ type Machine struct {
 	// FS is the live-backed synthetic sysfs/procfs tree.
 	FS *sysfs.FS
 
-	cfg     Config
-	now     float64
-	freqMHz []float64 // per logical CPU, as of the last tick
+	cfg       Config
+	now       float64
+	freqMHz   []float64 // per logical CPU, as of the last tick
+	stepHooks []StepHook
 }
+
+// StepHook observes the machine after each completed tick. Hooks run in
+// registration order with the machine in a consistent post-tick state
+// (Now() already advanced); they are how external harnesses check
+// invariants, inject faults and schedule work without owning the step
+// loop.
+type StepHook func(*Machine)
 
 // New boots a machine.
 func New(m *hw.Machine, cfg Config) *Machine {
@@ -90,6 +98,16 @@ func New(m *hw.Machine, cfg Config) *Machine {
 	s.Sched.AddHook(s.Kernel)
 	s.FS = sysfs.New(m, s)
 	return s
+}
+
+// AddStepHook registers a hook called at the end of every Step and returns
+// a function that unregisters it. Harnesses that attach to a machine for
+// one run of many (the settle-between-runs protocol reuses a warm machine)
+// must remove their hooks when done.
+func (s *Machine) AddStepHook(h StepHook) (remove func()) {
+	s.stepHooks = append(s.stepHooks, h)
+	idx := len(s.stepHooks) - 1
+	return func() { s.stepHooks[idx] = nil }
 }
 
 // Now returns the simulated time in seconds.
@@ -186,6 +204,11 @@ func (s *Machine) Step() {
 	s.Governor.Update(s.now, s.Power.PkgPowerW(), s.Power.CapW(), s.Thermal.TempC())
 	s.now += dt
 	s.Kernel.Advance(s.now)
+	for _, h := range s.stepHooks {
+		if h != nil {
+			h(s)
+		}
+	}
 }
 
 // RunFor advances the simulation by the given number of seconds.

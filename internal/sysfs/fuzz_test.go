@@ -1,7 +1,11 @@
 package sysfs
 
 import (
+	"io/fs"
+	"strings"
 	"testing"
+
+	"hetpapi/internal/hw"
 )
 
 // FuzzParseCPUList checks the cpulist parser never panics and that any
@@ -28,6 +32,61 @@ func FuzzParseCPUList(f *testing.F) {
 		for i := range ids {
 			if ids[i] != again[i] {
 				t.Fatalf("round trip changed ids: %v vs %v", ids, again)
+			}
+		}
+	})
+}
+
+// FuzzFSPaths throws arbitrary path strings at the synthetic tree's
+// accessors on every machine model: none may panic, and the three entry
+// points (Open, ReadFile, Exists) must agree about what exists.
+func FuzzFSPaths(f *testing.F) {
+	for _, seed := range []string{
+		"sys/devices/cpu_core/type",
+		"sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq",
+		"sys/devices/system/cpu/cpu23/topology/core_cpus_list",
+		"sys/class/thermal/thermal_zone9/temp",
+		"sys/class/powercap/intel-rapl:0/energy_uj",
+		"proc/cpuinfo",
+		"sys/devices/system/cpu",
+		"", ".", "/", "//", "..", "../etc/passwd",
+		"/sys/devices/cpu_core/type", // leading slash is not fs-rooted
+		"sys/devices/system/cpu/cpu99999/cpufreq/scaling_cur_freq",
+		"sys\x00devices", "sys/devices/system/cpu/", "SYS/DEVICES",
+		strings.Repeat("a/", 100) + "b",
+	} {
+		f.Add(seed)
+	}
+	trees := []*FS{
+		New(hw.RaptorLake(), nil),
+		New(hw.OrangePi800(), nil),
+		New(hw.Dimensity9000(), nil),
+		New(hw.Homogeneous(), nil),
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		for _, tree := range trees {
+			content, rfErr := tree.ReadFile(name)
+			file, openErr := tree.Open(name)
+			if file != nil {
+				file.Close()
+			}
+			exists := tree.Exists(name)
+			if rfErr == nil {
+				if !exists {
+					t.Fatalf("ReadFile(%q) succeeded but Exists is false", name)
+				}
+				if openErr != nil {
+					t.Fatalf("ReadFile(%q) succeeded but Open failed: %v", name, openErr)
+				}
+				if !fs.ValidPath(name) {
+					t.Fatalf("ReadFile accepted invalid fs path %q", name)
+				}
+				if strings.TrimSpace(content) != content {
+					t.Fatalf("ReadFile(%q) returned untrimmed content %q", name, content)
+				}
+			}
+			if openErr == nil && !exists {
+				t.Fatalf("Open(%q) succeeded but Exists is false", name)
 			}
 		}
 	})

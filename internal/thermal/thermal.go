@@ -45,6 +45,21 @@ func (m *Model) TempMilliC() int { return int(m.tempC * 1000) }
 // state, mirroring the paper's wait-for-35-degC protocol).
 func (m *Model) SetTempC(t float64) { m.tempC = t }
 
+// AddHeatJ dumps an instantaneous amount of heat into the zone's
+// capacitance, clamped to the [ambient, TjMax] band the model operates in.
+// Scenario harnesses use it to model external thermal events (a blocked
+// fan, sun on the enclosure) and drive the passive-trip machinery without
+// waiting for the workload to warm the package.
+func (m *Model) AddHeatJ(j float64) {
+	m.tempC += j / m.spec.CapacitanceJPerC
+	if m.tempC < m.spec.AmbientC {
+		m.tempC = m.spec.AmbientC
+	}
+	if m.tempC > m.spec.TjMaxC {
+		m.tempC = m.spec.TjMaxC
+	}
+}
+
 // Step advances the model by dtSec seconds with the given package power.
 // The integration is split into sub-steps when dt is large relative to the
 // RC time constant so the explicit Euler update stays stable.

@@ -61,16 +61,20 @@ func ParseCSV(r io.Reader) ([]Sample, error) {
 	if len(header) < 5 || header[0] != "time_s" {
 		return nil, fmt.Errorf("trace: unrecognized header %v", header)
 	}
-	ncpu := 0
-	for _, col := range header[1:] {
-		if strings.HasPrefix(col, "cpu") && strings.HasSuffix(col, "_mhz") {
-			ncpu++
+	// The schema is positional: exactly cpu0_mhz..cpuN-1_mhz in order,
+	// then the four fixed columns. Reject anything else rather than guess.
+	ncpu := len(header) - 5
+	for i := 0; i < ncpu; i++ {
+		if want := fmt.Sprintf("cpu%d_mhz", i); header[1+i] != want {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", 1+i, header[1+i], want)
+		}
+	}
+	for i, want := range []string{"temp_c", "energy_j", "power_w", "wall_w"} {
+		if got := header[1+ncpu+i]; got != want {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", 1+ncpu+i, got, want)
 		}
 	}
 	wantCols := 1 + ncpu + 4
-	if len(header) != wantCols {
-		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(header), wantCols)
-	}
 	var out []Sample
 	for i, row := range rows[1:] {
 		if len(row) != wantCols {

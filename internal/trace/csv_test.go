@@ -57,11 +57,99 @@ func TestParseCSVErrors(t *testing.T) {
 		"time_s,cpu0_mhz,temp_c,energy_j,power_w\n", // missing wall_w
 		"time_s,cpu0_mhz,temp_c,energy_j,power_w,wall_w\n1,2,3\n",
 		"time_s,cpu0_mhz,temp_c,energy_j,power_w,wall_w\nx,2,3,4,5,6\n",
+		// Strict header validation: the schema is positional.
+		"time_s,cpu1_mhz,cpu0_mhz,temp_c,energy_j,power_w,wall_w\n1,2,3,4,5,6,7\n", // out of order
+		"time_s,cpu0_mhz,cpu2_mhz,temp_c,energy_j,power_w,wall_w\n1,2,3,4,5,6,7\n", // gap in numbering
+		"time_s,cpu0_mhz,energy_j,temp_c,power_w,wall_w\n1,2,3,4,5,6\n",            // swapped fixed columns
+		"time_s,cpu0_mhz,temp_c,energy_j,power_w,wall_w,extra\n1,2,3,4,5,6,7\n",    // trailing junk column
+		"time_s,freq_mhz,temp_c,energy_j,power_w,wall_w\n1,2,3,4,5,6\n",            // non-schema cpu column
 	}
 	for _, c := range cases {
 		if _, err := ParseCSV(strings.NewReader(c)); err == nil {
 			t.Errorf("ParseCSV accepted %q", c)
 		}
+	}
+}
+
+func TestCSVZeroSamples(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatalf("header-only trace rejected: %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("parsed %d samples from an empty trace", len(out))
+	}
+}
+
+// TestCSVNonFinite pins the serialization of non-finite values: a recorder
+// bug that produces NaN or Inf must survive the round trip verbatim (so it
+// is visible downstream) rather than being silently laundered into zeros.
+func TestCSVNonFinite(t *testing.T) {
+	in := []Sample{{
+		TimeSec: 0,
+		FreqMHz: []float64{math.NaN(), math.Inf(1)},
+		TempC:   math.Inf(-1),
+		EnergyJ: 1,
+		PowerW:  math.NaN(),
+		WallW:   2,
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, 2, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out[0]
+	if !math.IsNaN(s.FreqMHz[0]) || !math.IsInf(s.FreqMHz[1], 1) {
+		t.Errorf("freqs round-tripped to %v", s.FreqMHz)
+	}
+	if !math.IsInf(s.TempC, -1) || !math.IsNaN(s.PowerW) {
+		t.Errorf("temp/power round-tripped to %v/%v", s.TempC, s.PowerW)
+	}
+	if s.EnergyJ != 1 || s.WallW != 2 {
+		t.Errorf("finite fields corrupted: %+v", s)
+	}
+}
+
+// TestCSVRaggedFreq pins WriteCSV's handling of samples whose FreqMHz
+// length disagrees with ncpu: short samples are zero-padded, long ones
+// truncated, and either way the file stays rectangular and parseable.
+func TestCSVRaggedFreq(t *testing.T) {
+	in := []Sample{
+		{TimeSec: 0, FreqMHz: []float64{1000}},             // shorter than ncpu
+		{TimeSec: 1, FreqMHz: []float64{1100, 1200, 1300}}, // longer than ncpu
+		{TimeSec: 2, FreqMHz: nil},                         // no frequencies at all
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, 2, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d samples, want 3", len(out))
+	}
+	for i, s := range out {
+		if len(s.FreqMHz) != 2 {
+			t.Fatalf("sample %d has %d cpu columns, want 2", i, len(s.FreqMHz))
+		}
+	}
+	if out[0].FreqMHz[0] != 1000 || out[0].FreqMHz[1] != 0 {
+		t.Errorf("short sample not zero-padded: %v", out[0].FreqMHz)
+	}
+	if out[1].FreqMHz[0] != 1100 || out[1].FreqMHz[1] != 1200 {
+		t.Errorf("long sample not truncated to ncpu: %v", out[1].FreqMHz)
+	}
+	if out[2].FreqMHz[0] != 0 || out[2].FreqMHz[1] != 0 {
+		t.Errorf("nil freq sample not zero-filled: %v", out[2].FreqMHz)
 	}
 }
 

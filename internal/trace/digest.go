@@ -1,0 +1,20 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// DigestSamples returns a stable hex digest of a trace: the SHA-256 of the
+// samples rendered through the canonical CSV schema at ncpu columns. Two
+// traces digest equal exactly when WriteCSV would emit identical bytes
+// (values compare at the schema's millidigit precision), which makes the
+// digest the unit of golden-trace regression testing and determinism
+// checks: any behavioral drift in the frequency, thermal, energy or power
+// series changes it.
+func DigestSamples(ncpu int, samples []Sample) string {
+	h := sha256.New()
+	// sha256.Write never fails; WriteCSV only propagates writer errors.
+	_ = WriteCSV(h, ncpu, samples)
+	return hex.EncodeToString(h.Sum(nil))
+}
