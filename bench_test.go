@@ -15,7 +15,10 @@ package hetpapi
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"hetpapi/internal/core"
@@ -27,6 +30,7 @@ import (
 	"hetpapi/internal/scenario"
 	"hetpapi/internal/sim"
 	"hetpapi/internal/sysfs"
+	"hetpapi/internal/telemetry"
 	"hetpapi/internal/workload"
 )
 
@@ -520,6 +524,101 @@ func BenchmarkAblationSchedulerPreference(b *testing.B) {
 			fmt.Print(res)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry serving-layer benchmarks: the first entries of the perf
+// trajectory for the internal/telemetry store behind hetpapid.
+
+// BenchmarkTelemetryIngest measures parallel samples/sec into the sharded
+// store, 1 shard vs 8, each writer goroutine feeding its own series (the
+// daemon's one-collector-per-machine shape).
+func BenchmarkTelemetryIngest(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			st := telemetry.NewStore(telemetry.Config{Capacity: 4096, Shards: shards})
+			var writer atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				k := telemetry.Key{Machine: "m", Series: fmt.Sprintf("s%d", writer.Add(1))}
+				t := 0.0
+				for pb.Next() {
+					st.Append(k, t, t)
+					t++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkTelemetryAggregate measures the streaming aggregate read path
+// (the /query?agg=1 hot core) against a full series.
+func BenchmarkTelemetryAggregate(b *testing.B) {
+	st := telemetry.NewStore(telemetry.Config{Capacity: 4096})
+	k := telemetry.Key{Machine: "m", Series: "power_w"}
+	for i := 0; i < 10000; i++ {
+		st.Append(k, float64(i), float64(i%97))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := st.Aggregate(k); !ok {
+			b.Fatal("series missing")
+		}
+	}
+}
+
+// BenchmarkTelemetryQueryUnderLoad measures /query HTTP latency while
+// writer goroutines keep ingesting — the daemon's live-read contention
+// case.
+func BenchmarkTelemetryQueryUnderLoad(b *testing.B) {
+	st := telemetry.NewStore(telemetry.Config{Capacity: 4096, Shards: 8})
+	srv := telemetry.NewServer(st, 0)
+	for cpu := 0; cpu < 8; cpu++ {
+		k := telemetry.Key{Machine: "m", Series: telemetry.CounterSeriesName(cpu, "P-core", "instructions")}
+		for i := 0; i < 4096; i++ {
+			st.Append(k, float64(i), float64(i))
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			k := telemetry.Key{Machine: "m", Series: telemetry.CounterSeriesName(w, "P-core", "instructions")}
+			t := 4096.0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					st.Append(k, t, t)
+					t++
+				}
+			}
+		}(w)
+	}
+	url := ts.URL + "/query?machine=m&series=" + telemetry.CounterSeriesName(0, "P-core", "instructions") + "&agg=1"
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Get(url)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if resp.StatusCode != 200 {
+				b.Errorf("status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	writers.Wait()
 }
 
 // BenchmarkEnergyTable measures energy-to-solution for every Table II

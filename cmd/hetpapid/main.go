@@ -1,0 +1,198 @@
+// Command hetpapid is the telemetry collector daemon: it runs one or more
+// reference scenarios concurrently (one collector goroutine per simulated
+// machine), streams every tick's hybrid counters, power, energy,
+// frequency and temperature into the sharded time-series store, and
+// serves live queries over HTTP while collection is hot:
+//
+//	GET /health            liveness + store totals
+//	GET /machines          per-machine collector status and self-overhead
+//	GET /series?machine=M  series inventory
+//	GET /query?machine=M&series=power_w&agg=1
+//	GET /query?machine=M&kind=instructions&by=type
+//	GET /metrics           Prometheus-style text exposition
+//
+// Usage:
+//
+//	hetpapid [-addr :8080] [-scenarios all|name,name,...] [-loop]
+//	         [-capacity N] [-downsample K] [-shards S] [-every T]
+//	         [-request-timeout D]
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight scenario
+// runs are stopped at the next tick boundary via the harness's external
+// stop, and the HTTP server drains before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"hetpapi/internal/scenario"
+	"hetpapi/internal/telemetry"
+)
+
+type config struct {
+	addr       string
+	scenarios  string
+	capacity   int
+	downsample int
+	shards     int
+	every      int
+	loop       bool
+	reqTimeout time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "HTTP listen address")
+	flag.StringVar(&cfg.scenarios, "scenarios", "all",
+		"comma-separated reference scenario names to collect, or \"all\"")
+	flag.IntVar(&cfg.capacity, "capacity", 4096, "per-series ring capacity (stored points)")
+	flag.IntVar(&cfg.downsample, "downsample", 4, "raw samples averaged per stored point")
+	flag.IntVar(&cfg.shards, "shards", 8, "store lock shards")
+	flag.IntVar(&cfg.every, "every", 1, "sample every N simulator ticks")
+	flag.BoolVar(&cfg.loop, "loop", true, "restart scenarios when they finish")
+	flag.DurationVar(&cfg.reqTimeout, "request-timeout", 5*time.Second, "per-request handler timeout")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "hetpapid:", err)
+		os.Exit(1)
+	}
+}
+
+// resolveSpecs maps the -scenarios flag to reference specs.
+func resolveSpecs(names string) ([]scenario.Spec, error) {
+	all := scenario.Reference()
+	if names == "all" {
+		return all, nil
+	}
+	byName := map[string]scenario.Spec{}
+	for _, spec := range all {
+		byName[spec.Name] = spec
+	}
+	var out []scenario.Spec
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		spec, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q (known: %s)", name, strings.Join(knownNames(all), ", "))
+		}
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no scenarios selected")
+	}
+	return out, nil
+}
+
+func knownNames(specs []scenario.Spec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// run starts the collectors and the HTTP server and blocks until ctx is
+// cancelled (or the listener fails). When ready is non-nil it receives
+// the bound listen address once serving, which lets tests use ":0".
+func run(ctx context.Context, cfg config, logw io.Writer, ready chan<- string) error {
+	specs, err := resolveSpecs(cfg.scenarios)
+	if err != nil {
+		return err
+	}
+	store := telemetry.NewStore(telemetry.Config{
+		Capacity:   cfg.capacity,
+		Downsample: cfg.downsample,
+		Shards:     cfg.shards,
+	})
+	api := telemetry.NewServer(store, cfg.reqTimeout)
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "hetpapid: listening on %s, collecting %s (loop=%v)\n",
+		ln.Addr(), strings.Join(knownNames(specs), ", "), cfg.loop)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	runCtx, cancelRuns := context.WithCancel(ctx)
+	defer cancelRuns()
+	var wg sync.WaitGroup
+	for _, spec := range specs {
+		col := telemetry.NewCollector(store, spec.Name, cfg.every)
+		api.Register(spec.Name, spec.Name, spec.Machine, col)
+		wg.Add(1)
+		go func(spec scenario.Spec) {
+			defer wg.Done()
+			collect(runCtx, api, col, spec, cfg.loop, logw)
+		}(spec)
+	}
+
+	httpSrv := &http.Server{Handler: api.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		// Stop in-flight runs at their next tick boundary, then drain
+		// the HTTP server.
+		cancelRuns()
+		wg.Wait()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		<-serveErr // always http.ErrServerClosed after Shutdown
+		fmt.Fprintln(logw, "hetpapid: shut down cleanly")
+		return nil
+	case err := <-serveErr:
+		cancelRuns()
+		wg.Wait()
+		return err
+	}
+}
+
+// collect is one machine's collection goroutine: it runs the scenario
+// (repeatedly in loop mode) with the telemetry hook attached, until the
+// context stops it.
+func collect(ctx context.Context, api *telemetry.Server, col *telemetry.Collector,
+	spec scenario.Spec, loop bool, logw io.Writer) {
+	for {
+		run := spec
+		run.StepHooks = []scenario.StepHook{col.Hook()}
+		run.Stop = func() bool { return ctx.Err() != nil }
+		api.SetRunning(spec.Name, true)
+		res, err := scenario.Run(run)
+		api.SetRunning(spec.Name, false)
+		if err != nil {
+			fmt.Fprintf(logw, "hetpapid: scenario %s: %v\n", spec.Name, err)
+		} else if res.Stopped {
+			fmt.Fprintf(logw, "hetpapid: scenario %s: stopped after %.1fs simulated\n",
+				spec.Name, res.ElapsedSec)
+		}
+		if ctx.Err() != nil || !loop || err != nil {
+			return
+		}
+		col.NextRun()
+	}
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"hetpapi/internal/telemetry"
+	"hetpapi/internal/telemetry/client"
+)
+
+func TestResolveSpecs(t *testing.T) {
+	all, err := resolveSpecs("all")
+	if err != nil || len(all) < 4 {
+		t.Fatalf("all -> %d specs, err %v", len(all), err)
+	}
+	two, err := resolveSpecs("homogeneous-powercap, dimensity-mixed-injects")
+	if err != nil || len(two) != 2 || two[0].Name != "homogeneous-powercap" {
+		t.Fatalf("pair -> %+v err %v", two, err)
+	}
+	if _, err := resolveSpecs("no-such-scenario"); err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("unknown scenario err = %v", err)
+	}
+	if _, err := resolveSpecs(" , "); err == nil {
+		t.Fatal("empty selection must error")
+	}
+}
+
+// TestDaemonLiveQueries boots the daemon on two concurrent machines in
+// loop mode, queries /query and /metrics while collection is hot, checks
+// the self-overhead gauge is reporting, then shuts down gracefully.
+func TestDaemonLiveQueries(t *testing.T) {
+	cfg := config{
+		addr:       "127.0.0.1:0",
+		scenarios:  "homogeneous-powercap,dimensity-mixed-injects",
+		capacity:   2048,
+		downsample: 1,
+		shards:     8,
+		every:      1,
+		loop:       true, // keep collection hot for the whole test
+		reqTimeout: 5 * time.Second,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, testWriter{t}, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	c := client.New("http://" + addr)
+	rctx := context.Background()
+
+	if h, err := c.Health(rctx); err != nil || h.Status != "ok" || h.Machines != 2 {
+		t.Fatalf("health %+v err %v", h, err)
+	}
+
+	// Wait for both collectors to have ingested ticks.
+	deadline := time.Now().Add(15 * time.Second)
+	var machines []telemetry.MachineInfo
+	for time.Now().Before(deadline) {
+		ms, err := c.Machines(rctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) == 2 && ms[0].Ticks > 0 && ms[1].Ticks > 0 {
+			machines = ms
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if machines == nil {
+		t.Fatal("collectors never reported ticks")
+	}
+	for _, m := range machines {
+		if m.OverheadPerTickSec <= 0 {
+			t.Errorf("machine %s reports no per-tick ingestion overhead: %+v", m.Name, m)
+		}
+		if m.OverheadRatio <= 0 || m.OverheadRatio > 1 {
+			t.Errorf("machine %s overhead ratio %g outside (0,1]", m.Name, m.OverheadRatio)
+		}
+	}
+
+	// Live series query on the hybrid machine while its run is hot.
+	q, err := c.Query(rctx, telemetry.QueryRequest{
+		Machine: "dimensity-mixed-injects", Series: "power_w", Agg: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Points) == 0 || q.Aggregate == nil || q.Aggregate.Count == 0 {
+		t.Fatalf("live power query empty: %+v", q)
+	}
+
+	// Per-core-type counter aggregation: the Dimensity has three core
+	// types, and each eventually counts instructions (the prime core only
+	// gets work once the scenario's late-spin workload starts at t=3s
+	// simulated, so poll).
+	var g *telemetry.QueryResponse
+	allCounting := false
+	for time.Now().Before(deadline) && !allCounting {
+		g, err = c.Query(rctx, telemetry.QueryRequest{
+			Machine: "dimensity-mixed-injects", Kind: "instructions", By: "type",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		allCounting = len(g.Groups) == 3
+		for _, grp := range g.Groups {
+			allCounting = allCounting && grp.LastSum > 0
+		}
+		if !allCounting {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if !allCounting {
+		t.Fatalf("core-type groups never all counted instructions: %+v", g.Groups)
+	}
+
+	text, err := c.Metrics(rctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`hetpapi_pkg_power_watts{machine="homogeneous-powercap"}`,
+		`hetpapi_counter_total{machine="dimensity-mixed-injects"`,
+		"# TYPE hetpapid_overhead_per_tick_seconds gauge",
+		`hetpapid_ticks_total{machine="dimensity-mixed-injects"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if _, err := c.Health(rctx); err == nil {
+		t.Fatal("daemon still serving after shutdown")
+	}
+}
+
+// testWriter routes daemon logs into the test log.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Log(strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}

@@ -1,0 +1,111 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"hetpapi/internal/scenario"
+)
+
+// orderInvariant records when its per-tick Check fires, interleaved with
+// the spec hooks, to pin the audit-before-hooks ordering.
+type orderInvariant struct {
+	log *[]string
+}
+
+func (orderInvariant) Name() string                    { return "order-probe" }
+func (o orderInvariant) Check(*scenario.Context) error { *o.log = append(*o.log, "inv"); return nil }
+func (orderInvariant) Final(*scenario.Context) error   { return nil }
+
+func tinySpec(name string) scenario.Spec {
+	return scenario.Spec{
+		Name:    name,
+		Machine: "homogeneous",
+		TickSec: 0.01,
+		Workloads: []scenario.WorkloadSpec{
+			{Kind: scenario.WorkloadSpin, Name: "spin", Seconds: 0.1, CPUs: []int{0}},
+		},
+	}
+}
+
+// TestStepHooksFireInOrder registers two spec hooks next to the invariant
+// audit and checks that every tick runs audit -> hook A -> hook B.
+func TestStepHooksFireInOrder(t *testing.T) {
+	var log []string
+	spec := tinySpec("hooks-order")
+	spec.Invariants = []scenario.Invariant{orderInvariant{log: &log}}
+	spec.StepHooks = []scenario.StepHook{
+		func(c *scenario.Context) {
+			if c.Sim == nil || c.Spec == nil {
+				t.Error("hook received incomplete context")
+			}
+			log = append(log, "a")
+		},
+		func(*scenario.Context) { log = append(log, "b") },
+	}
+	res, err := scenario.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("tiny spin scenario did not complete")
+	}
+	if len(log) == 0 || len(log)%3 != 0 {
+		t.Fatalf("log has %d entries, want a non-zero multiple of 3", len(log))
+	}
+	for i := 0; i < len(log); i += 3 {
+		if log[i] != "inv" || log[i+1] != "a" || log[i+2] != "b" {
+			t.Fatalf("tick %d fired %v, want [inv a b]", i/3, log[i:i+3])
+		}
+	}
+}
+
+// TestStepHooksPreserveAudit checks that registering hooks leaves the
+// run's observable behavior (digest) identical to a hook-free run: hooks
+// are observers, not participants.
+func TestStepHooksPreserveAudit(t *testing.T) {
+	plain := tinySpec("hooks-digest")
+	base, err := scenario.Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := 0
+	hooked := tinySpec("hooks-digest")
+	hooked.StepHooks = []scenario.StepHook{func(*scenario.Context) { ticks++ }}
+	got, err := scenario.Run(hooked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticks == 0 {
+		t.Fatal("hook never fired")
+	}
+	if got.Digest != base.Digest {
+		t.Fatalf("digest changed with observer hook: %s vs %s", got.Digest[:12], base.Digest[:12])
+	}
+	if len(got.Violations) != 0 {
+		t.Fatalf("violations with observer hook: %v", got.Violations)
+	}
+}
+
+// TestSpecStopEndsRunEarly checks the external-stop path a daemon uses
+// for graceful shutdown of an in-flight scenario.
+func TestSpecStopEndsRunEarly(t *testing.T) {
+	spec := tinySpec("hooks-stop")
+	spec.Workloads[0].Seconds = 30
+	spec.MaxSeconds = 60
+	ticks := 0
+	spec.StepHooks = []scenario.StepHook{func(*scenario.Context) { ticks++ }}
+	spec.Stop = func() bool { return ticks >= 10 }
+	res, err := scenario.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("Stopped not set")
+	}
+	if res.Completed {
+		t.Fatal("Completed must be false when stopped before workloads finish")
+	}
+	if res.ElapsedSec > 1 {
+		t.Fatalf("run kept going for %.2fs after stop", res.ElapsedSec)
+	}
+}

@@ -161,6 +161,18 @@ type Spec struct {
 	// Invariants are checked every tick and at end of run; nil means
 	// Standard(). Use a non-nil empty slice to disable checking.
 	Invariants []Invariant
+	// StepHooks are observer callbacks fired after every completed tick,
+	// in slice order, after the invariant audit for that tick (so hooks
+	// see an already-checked machine state) and before injections and
+	// delayed spawns reconfigure the next tick. Multiple harness layers
+	// (telemetry collection, custom probes) register here side by side
+	// with the audit; hooks must observe only and never step the machine.
+	StepHooks []StepHook
+	// Stop, when non-nil, is polled once per tick boundary; the run ends
+	// early when it returns true (Result.Stopped is set and Completed is
+	// false unless every workload had already finished). It is how a
+	// long-running service cancels an in-flight scenario on shutdown.
+	Stop func() bool
 	// VerifyDeterminism makes Run execute the scenario twice on fresh
 	// machines and fail unless both runs digest identically. Ignored by
 	// RunOn (a warm machine is not reproducible from the spec alone).
@@ -238,6 +250,8 @@ type Result struct {
 	// Digest is the stable hash of the run's observable behavior (trace,
 	// counters, workload outcomes); see Result.computeDigest.
 	Digest string
+	// Stopped reports that Spec.Stop ended the run early.
+	Stopped bool
 	// Violations lists every invariant failure (at most one per
 	// invariant; checking stops for an invariant once it has failed).
 	Violations []Violation
@@ -284,6 +298,12 @@ func (r *Result) Err() error {
 	}
 	return fmt.Errorf("%s", b.String())
 }
+
+// StepHook observes a scenario run after each completed tick, with the
+// same post-tick Context the invariants check. The harness calls every
+// registered hook once per tick, after the invariant audit and before the
+// tick's injections and delayed spawns are applied.
+type StepHook func(*Context)
 
 // Run boots a fresh machine from the spec and executes the scenario. The
 // returned error is non-nil when the spec is invalid, a workload cannot be
@@ -512,24 +532,29 @@ func runOn(s *sim.Machine, spec Spec) (*Result, error) {
 		ctx.Procs = append(ctx.Procs, sw.procs...)
 	}
 
-	nextInject := 0
-	remove := s.AddStepHook(func(s *sim.Machine) {
-		now := s.Now() - start
-		// Per-tick invariant checks run first, against the tick that just
-		// completed. The integral accumulates the same P*dt terms the
-		// power model integrates, making energy conservation an exact
-		// bookkeeping identity to check against.
-		ctx.PowerIntegralJ += s.Power.PkgPowerW() * s.Tick()
+	// The per-tick work is a fixed pipeline of hooks sharing one Context:
+	// the invariant audit first (against the tick that just completed),
+	// then every spec-registered observer (telemetry collectors, probes)
+	// in order, then the control hook that applies injections and delayed
+	// spawns — those configure the NEXT tick (the scheduler enforces new
+	// affinity masks and the governor applies new caps at its next pass,
+	// so checking or sampling this tick against them would be wrong).
+	audit := func(ctx *Context) {
+		now := ctx.Sim.Now() - start
+		// The integral accumulates the same P*dt terms the power model
+		// integrates, making energy conservation an exact bookkeeping
+		// identity to check against.
+		ctx.PowerIntegralJ += ctx.Sim.Power.PkgPowerW() * ctx.Sim.Tick()
 		for _, inv := range invariants {
 			if !failed[inv.Name()] {
 				report(now, inv, inv.Check(ctx))
 			}
 		}
-		ctx.PrevNowSec = s.Now()
-		// Injections and delayed spawns apply after the checks: they
-		// configure the NEXT tick (the scheduler enforces new affinity
-		// masks and the governor applies new caps at its next pass, so
-		// checking this tick against them would be a false positive).
+		ctx.PrevNowSec = ctx.Sim.Now()
+	}
+	nextInject := 0
+	control := func(ctx *Context) {
+		s, now := ctx.Sim, ctx.Sim.Now()-start
 		for nextInject < len(injects) && injects[nextInject].AtSec <= now {
 			apply(s, workloads, injects[nextInject])
 			nextInject++
@@ -543,6 +568,15 @@ func runOn(s *sim.Machine, spec Spec) (*Result, error) {
 				sw.doneAt = s.Now()
 			}
 		}
+	}
+	hooks := make([]StepHook, 0, len(spec.StepHooks)+2)
+	hooks = append(hooks, audit)
+	hooks = append(hooks, spec.StepHooks...)
+	hooks = append(hooks, control)
+	remove := s.AddStepHook(func(*sim.Machine) {
+		for _, h := range hooks {
+			h(ctx)
+		}
 	})
 	defer remove()
 
@@ -554,8 +588,15 @@ func runOn(s *sim.Machine, spec Spec) (*Result, error) {
 		}
 		return len(workloads) > 0
 	}
+	cond := func() bool {
+		if spec.Stop != nil && spec.Stop() {
+			res.Stopped = true
+			return true
+		}
+		return allDone()
+	}
 	rec := trace.NewRecorder(s, period)
-	res.Completed = rec.RunUntil(allDone, maxSec)
+	res.Completed = rec.RunUntil(cond, maxSec) && allDone()
 	res.ElapsedSec = s.Now() - start
 	res.Samples = rec.Samples()
 	res.Summary = trace.Summarize(res.Samples)

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.Abs(a-b) <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// TestWelfordMatchesBatch checks the streaming accumulator against the
+// batch Mean/Stddev/Min/Max on random series.
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*100 + 50
+			w.Add(xs[i])
+		}
+		if w.N() != int64(n) {
+			t.Fatalf("n=%d: N()=%d", n, w.N())
+		}
+		if !almostEq(w.Mean(), Mean(xs), 1e-9) {
+			t.Errorf("n=%d: mean %g vs batch %g", n, w.Mean(), Mean(xs))
+		}
+		if !almostEq(w.Stddev(), Stddev(xs), 1e-9) {
+			t.Errorf("n=%d: stddev %g vs batch %g", n, w.Stddev(), Stddev(xs))
+		}
+		if w.Min() != Min(xs) || w.Max() != Max(xs) {
+			t.Errorf("n=%d: min/max %g/%g vs batch %g/%g", n, w.Min(), w.Max(), Min(xs), Max(xs))
+		}
+		if w.Last() != xs[n-1] {
+			t.Errorf("n=%d: last %g vs %g", n, w.Last(), xs[n-1])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		if !almostEq(w.Sum(), sum, 1e-9) {
+			t.Errorf("n=%d: sum %g vs %g", n, w.Sum(), sum)
+		}
+	}
+}
+
+// TestWelfordZeroValue checks the zero value is usable and empty-safe.
+func TestWelfordZeroValue(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Stddev() != 0 || w.Min() != 0 || w.Max() != 0 || w.N() != 0 {
+		t.Fatal("zero-value Welford must report zeros")
+	}
+	w.Add(5)
+	if w.Stddev() != 0 {
+		t.Fatalf("single sample stddev = %g, want 0", w.Stddev())
+	}
+}
+
+// TestWelfordMerge checks the parallel combine against one accumulator
+// that saw the concatenated stream.
+func TestWelfordMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, split := range []struct{ a, b int }{{0, 10}, {10, 0}, {1, 1}, {7, 93}, {500, 500}} {
+		xs := make([]float64, split.a+split.b)
+		var all, left, right Welford
+		for i := range xs {
+			xs[i] = rng.ExpFloat64() * 10
+			all.Add(xs[i])
+			if i < split.a {
+				left.Add(xs[i])
+			} else {
+				right.Add(xs[i])
+			}
+		}
+		left.Merge(right)
+		if left.N() != all.N() {
+			t.Fatalf("split %v: merged N %d vs %d", split, left.N(), all.N())
+		}
+		if !almostEq(left.Mean(), all.Mean(), 1e-9) || !almostEq(left.Stddev(), all.Stddev(), 1e-9) {
+			t.Errorf("split %v: merged mean/stddev %g/%g vs %g/%g",
+				split, left.Mean(), left.Stddev(), all.Mean(), all.Stddev())
+		}
+		if left.Min() != all.Min() || left.Max() != all.Max() {
+			t.Errorf("split %v: merged min/max differ", split)
+		}
+	}
+}
+
+// TestRingQuantileMatchesBatch checks that window percentiles are exactly
+// the batch Percentile over the last K samples.
+func TestRingQuantileMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const cap = 64
+	r := NewRingQuantile(cap)
+	var all []float64
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 1000
+		r.Add(x)
+		all = append(all, x)
+		if i%37 != 0 {
+			continue
+		}
+		window := all
+		if len(window) > cap {
+			window = window[len(window)-cap:]
+		}
+		if r.N() != len(window) {
+			t.Fatalf("i=%d: window fill %d, want %d", i, r.N(), len(window))
+		}
+		for _, p := range []float64{0, 5, 50, 95, 99, 100} {
+			got, want := r.Quantile(p), Percentile(window, p)
+			if got != want {
+				t.Errorf("i=%d p%g: %g vs batch %g", i, p, got, want)
+			}
+		}
+	}
+}
+
+// TestRingQuantileWindowOrder checks eviction order and the raw-window
+// accessor.
+func TestRingQuantileWindowOrder(t *testing.T) {
+	r := NewRingQuantile(3)
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		r.Add(x)
+	}
+	w := r.Window()
+	if len(w) != 3 || w[0] != 3 || w[1] != 4 || w[2] != 5 {
+		t.Fatalf("window = %v, want [3 4 5]", w)
+	}
+}
+
+// TestRingQuantileDuplicates exercises eviction with repeated values,
+// where removal must drop exactly one copy from the sorted view.
+func TestRingQuantileDuplicates(t *testing.T) {
+	r := NewRingQuantile(4)
+	for _, x := range []float64{2, 2, 2, 1, 2, 2} {
+		r.Add(x)
+	}
+	// Window is [1 2 2 2] after evicting two of the leading 2s.
+	if got := r.Quantile(0); got != 1 {
+		t.Fatalf("min quantile = %g, want 1", got)
+	}
+	if got := r.Quantile(100); got != 2 {
+		t.Fatalf("max quantile = %g, want 2", got)
+	}
+	if got, want := r.Quantile(50), Percentile([]float64{1, 2, 2, 2}, 50); got != want {
+		t.Fatalf("p50 = %g, want %g", got, want)
+	}
+}
+
+func TestRingQuantileEmptyAndTiny(t *testing.T) {
+	r := NewRingQuantile(0) // clamped to 1
+	if r.Quantile(50) != 0 {
+		t.Fatal("empty quantile must be 0")
+	}
+	r.Add(42)
+	r.Add(43) // evicts 42 in the size-1 window
+	if r.Quantile(50) != 43 || r.N() != 1 {
+		t.Fatalf("size-1 window: p50=%g n=%d", r.Quantile(50), r.N())
+	}
+}

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetpapi/internal/power"
+	"hetpapi/internal/scenario"
+	"hetpapi/internal/trace"
+)
+
+// Collector bridges one scenario run (one simulated machine) into the
+// store: its Hook samples the post-tick machine state — per-CPU frequency
+// under the trace CSV column names, package power/energy/temperature, and
+// every system-wide counter the harness keeps open as one series per
+// core/event/PMU — and its gauges account for the collector's own cost,
+// wall-clock time spent ingesting versus the whole run loop, per Diamond
+// et al.'s warning that a monitoring service must measure itself.
+//
+// A Collector belongs to one collection goroutine: the hook is called
+// from the scenario run loop only. The gauge accessors are safe to call
+// concurrently from HTTP handlers.
+type Collector struct {
+	store   *Store
+	machine string
+	every   int64
+
+	ticks    atomic.Int64
+	runs     atomic.Int64
+	ingestNs atomic.Int64
+	spanNs   atomic.Int64
+	simNs    atomic.Int64 // simulated time covered, in ns for atomicity
+
+	startOnce sync.Once
+	startWall time.Time
+
+	// Run-loop state, touched only from the hook goroutine.
+	baseSec  float64 // time-axis offset accumulated over completed runs
+	lastSec  float64 // last relative sim time seen this run
+	colNames []string
+	fdNames  map[int]string
+}
+
+// NewCollector builds a collector feeding the store under the given
+// machine id, sampling every everyTicks simulator ticks (minimum 1; the
+// overhead gauges still count every tick).
+func NewCollector(store *Store, machine string, everyTicks int) *Collector {
+	if everyTicks < 1 {
+		everyTicks = 1
+	}
+	return &Collector{
+		store:   store,
+		machine: machine,
+		every:   int64(everyTicks),
+		fdNames: map[int]string{},
+	}
+}
+
+// Machine returns the machine id series are filed under.
+func (c *Collector) Machine() string { return c.machine }
+
+// Hook returns the scenario step hook that performs ingestion. Register
+// it in Spec.StepHooks.
+func (c *Collector) Hook() scenario.StepHook {
+	return func(ctx *scenario.Context) {
+		start := time.Now()
+		c.startOnce.Do(func() { c.startWall = start })
+		n := c.ticks.Add(1)
+		now := ctx.Sim.Now() - ctx.StartSec
+		c.lastSec = now
+		c.simNs.Store(int64((c.baseSec + now) * 1e9))
+		if (n-1)%c.every == 0 {
+			c.sample(ctx, c.baseSec+now)
+		}
+		c.ingestNs.Add(int64(time.Since(start)))
+		c.spanNs.Store(int64(time.Since(c.startWall)))
+	}
+}
+
+func (c *Collector) sample(ctx *scenario.Context, t float64) {
+	s := ctx.Sim
+	ncpu := s.HW.NumCPUs()
+	if c.colNames == nil {
+		c.colNames = trace.ColumnNames(ncpu)
+	}
+	for cpu := 0; cpu < ncpu; cpu++ {
+		c.store.Append(Key{c.machine, c.colNames[1+cpu]}, t, s.CurFreqMHz(cpu))
+	}
+	c.store.Append(Key{c.machine, "temp_c"}, t, s.Thermal.TempC())
+	c.store.Append(Key{c.machine, "energy_j"}, t, s.Power.EnergyJ(power.DomainPkg))
+	c.store.Append(Key{c.machine, "power_w"}, t, s.Power.PkgPowerW())
+	c.store.Append(Key{c.machine, "wall_w"}, t, s.Power.WallPowerW())
+	for _, we := range ctx.Wide {
+		count, err := s.Kernel.Read(we.FD)
+		if err != nil {
+			continue
+		}
+		name, ok := c.fdNames[we.FD]
+		if !ok {
+			name = CounterSeriesName(we.CPU, we.TypeName, we.Kind.String())
+			c.fdNames[we.FD] = name
+		}
+		c.store.Append(Key{c.machine, name}, t, float64(count.Value))
+	}
+}
+
+// NextRun rolls the collector over to a fresh scenario run: the time axis
+// keeps advancing monotonically (the new run's t=0 lands after the last
+// sample) and the run counter increments. Call between loop iterations,
+// from the collection goroutine.
+func (c *Collector) NextRun() {
+	c.baseSec += c.lastSec
+	c.lastSec = 0
+	// Wide-event fds are per-run; forget the name cache.
+	c.fdNames = map[int]string{}
+	c.runs.Add(1)
+}
+
+// Ticks returns the number of simulator ticks observed.
+func (c *Collector) Ticks() int64 { return c.ticks.Load() }
+
+// Runs returns the number of completed scenario runs.
+func (c *Collector) Runs() int64 { return c.runs.Load() }
+
+// SimSec returns the simulated time covered across all runs.
+func (c *Collector) SimSec() float64 { return float64(c.simNs.Load()) / 1e9 }
+
+// IngestSec returns the wall-clock time spent inside the hook.
+func (c *Collector) IngestSec() float64 { return float64(c.ingestNs.Load()) / 1e9 }
+
+// WallSec returns the wall-clock span from the first hook invocation to
+// the most recent one — the run loop's duration, simulation included.
+func (c *Collector) WallSec() float64 { return float64(c.spanNs.Load()) / 1e9 }
+
+// OverheadPerTickSec returns the mean wall-clock ingestion cost per
+// simulator tick.
+func (c *Collector) OverheadPerTickSec() float64 {
+	n := c.ticks.Load()
+	if n == 0 {
+		return 0
+	}
+	return c.IngestSec() / float64(n)
+}
+
+// OverheadRatio returns ingestion wall time as a fraction of the whole
+// run loop's wall time (0 when nothing has run; NaN-free).
+func (c *Collector) OverheadRatio() float64 {
+	span := c.WallSec()
+	if span <= 0 {
+		return 0
+	}
+	r := c.IngestSec() / span
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return 0
+	}
+	return r
+}
+
+// Info assembles the MachineInfo gauges (scenario/model/running are the
+// registry's to fill).
+func (c *Collector) Info() MachineInfo {
+	return MachineInfo{
+		Name:               c.machine,
+		Runs:               c.runs.Load(),
+		Ticks:              c.ticks.Load(),
+		SimSec:             c.SimSec(),
+		IngestSec:          c.IngestSec(),
+		WallSec:            c.WallSec(),
+		OverheadPerTickSec: c.OverheadPerTickSec(),
+		OverheadRatio:      c.OverheadRatio(),
+	}
+}

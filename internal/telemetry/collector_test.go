@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"hetpapi/internal/scenario"
+)
+
+func collectorSpec() scenario.Spec {
+	return scenario.Spec{
+		Name:    "collector-test",
+		Machine: "homogeneous",
+		TickSec: 0.01,
+		Workloads: []scenario.WorkloadSpec{
+			{Kind: scenario.WorkloadSpin, Name: "spin", Seconds: 0.2, CPUs: []int{0}},
+		},
+	}
+}
+
+// TestCollectorIngestsScenario runs a small scenario with the collector
+// hook attached and checks the store fills with the expected series
+// shapes: per-CPU frequency under the trace column names, the machine
+// scalars, and one counter series per CPU/core-type/kind.
+func TestCollectorIngestsScenario(t *testing.T) {
+	store := NewStore(Config{Capacity: 1024})
+	col := NewCollector(store, "mach", 1)
+	spec := collectorSpec()
+	spec.StepHooks = []scenario.StepHook{col.Hook()}
+	res, err := scenario.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("scenario did not complete")
+	}
+	if col.Ticks() == 0 {
+		t.Fatal("collector saw no ticks")
+	}
+
+	names := store.SeriesOf("mach")
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{"cpu0_mhz", "temp_c", "energy_j", "power_w", "wall_w"} {
+		if !have[want] {
+			t.Errorf("missing series %q (have %v)", want, names)
+		}
+	}
+	counters := 0
+	for _, n := range names {
+		if _, _, _, ok := parseCounterSeries(n); ok {
+			counters++
+		}
+	}
+	if counters == 0 {
+		t.Fatalf("no counter series ingested; have %v", names)
+	}
+
+	// Counters are cumulative: the instruction series must be monotonic
+	// and end positive on the busy CPU.
+	pts, ok := store.Snapshot(Key{"mach", CounterSeriesName(0, "core", "instructions")})
+	if !ok {
+		// Core type name depends on the machine model; find any
+		// instructions series instead.
+		for _, n := range names {
+			if strings.HasSuffix(n, "/instructions") {
+				pts, _ = store.Snapshot(Key{"mach", n})
+				break
+			}
+		}
+	}
+	if len(pts) == 0 {
+		t.Fatal("no instruction counter points")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value || pts[i].TimeSec <= pts[i-1].TimeSec {
+			t.Fatalf("instruction series not monotonic at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+
+	// Self-overhead gauges must be live.
+	if col.IngestSec() <= 0 || col.OverheadPerTickSec() <= 0 {
+		t.Fatalf("overhead gauges dead: ingest=%g per-tick=%g", col.IngestSec(), col.OverheadPerTickSec())
+	}
+	if r := col.OverheadRatio(); r <= 0 || r > 1 {
+		t.Fatalf("overhead ratio %g outside (0,1]", r)
+	}
+	if col.SimSec() <= 0 {
+		t.Fatalf("sim coverage %g", col.SimSec())
+	}
+}
+
+// TestCollectorNextRunKeepsTimeMonotonic checks loop-mode rollover: the
+// second run's samples land after the first run's on the same time axis.
+func TestCollectorNextRunKeepsTimeMonotonic(t *testing.T) {
+	store := NewStore(Config{Capacity: 4096})
+	col := NewCollector(store, "mach", 1)
+	for run := 0; run < 2; run++ {
+		spec := collectorSpec()
+		spec.StepHooks = []scenario.StepHook{col.Hook()}
+		if _, err := scenario.Run(spec); err != nil {
+			t.Fatal(err)
+		}
+		col.NextRun()
+	}
+	if col.Runs() != 2 {
+		t.Fatalf("runs = %d", col.Runs())
+	}
+	pts, _ := store.Snapshot(Key{"mach", "power_w"})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TimeSec <= pts[i-1].TimeSec {
+			t.Fatalf("time axis not monotonic across runs at %d: %g -> %g",
+				i, pts[i-1].TimeSec, pts[i].TimeSec)
+		}
+	}
+}
+
+// TestCollectorEveryTicks checks tick subsampling: every=4 stores a
+// quarter of the samples but counts every tick in the gauges.
+func TestCollectorEveryTicks(t *testing.T) {
+	dense := NewStore(Config{})
+	sparse := NewStore(Config{})
+	for _, c := range []struct {
+		store *Store
+		every int
+	}{{dense, 1}, {sparse, 4}} {
+		col := NewCollector(c.store, "mach", c.every)
+		spec := collectorSpec()
+		spec.StepHooks = []scenario.StepHook{col.Hook()}
+		if _, err := scenario.Run(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := dense.Len(Key{"mach", "power_w"})
+	s := sparse.Len(Key{"mach", "power_w"})
+	if s == 0 || d < 3*s {
+		t.Fatalf("subsampling ineffective: dense=%d sparse=%d", d, s)
+	}
+}

@@ -1,0 +1,310 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the HTTP face of the store: the hetpapid daemon mounts its
+// Handler, and tests drive it through httptest. Endpoints:
+//
+//	GET /health            liveness + store totals
+//	GET /machines          collector registry with self-overhead gauges
+//	GET /series?machine=M  series inventory of one machine
+//	GET /query?machine=M&series=S[&from=F][&to=T][&agg=1]
+//	GET /query?machine=M&kind=K&by=type
+//	GET /metrics           Prometheus-style text exposition
+//
+// Every response body is JSON except /metrics. Errors carry an APIError
+// body. All handlers serve from copy-on-read store snapshots, so they
+// never block ingestion beyond a shard's brief read lock.
+type Server struct {
+	store   *Store
+	timeout time.Duration
+	start   time.Time
+
+	mu       sync.RWMutex
+	machines map[string]*machineEntry
+}
+
+type machineEntry struct {
+	scenarioName string
+	model        string
+	col          *Collector
+	running      atomic.Bool
+}
+
+// NewServer wraps a store. requestTimeout bounds each request's handler
+// time (0 disables the limit).
+func NewServer(store *Store, requestTimeout time.Duration) *Server {
+	return &Server{
+		store:    store,
+		timeout:  requestTimeout,
+		start:    time.Now(),
+		machines: map[string]*machineEntry{},
+	}
+}
+
+// Register announces a machine (one collector goroutine) to the API.
+func (s *Server) Register(machine, scenarioName, model string, col *Collector) {
+	s.mu.Lock()
+	s.machines[machine] = &machineEntry{scenarioName: scenarioName, model: model, col: col}
+	s.mu.Unlock()
+}
+
+// SetRunning flips a machine's in-flight flag.
+func (s *Server) SetRunning(machine string, running bool) {
+	s.mu.RLock()
+	e := s.machines[machine]
+	s.mu.RUnlock()
+	if e != nil {
+		e.running.Store(running)
+	}
+}
+
+// Handler returns the routed (and, when configured, per-request
+// timeout-wrapped) HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/health", s.handleHealth)
+	mux.HandleFunc("/machines", s.handleMachines)
+	mux.HandleFunc("/series", s.handleSeries)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.timeout <= 0 {
+		return mux
+	}
+	return http.TimeoutHandler(mux, s.timeout, `{"status":503,"error":"request timed out"}`)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, APIError{Status: code, Error: fmt.Sprintf(format, args...)})
+}
+
+// knownMachine reports whether a machine id is registered or present in
+// the store (stores fed outside a daemon have no registry entries).
+func (s *Server) knownMachine(name string) bool {
+	s.mu.RLock()
+	_, ok := s.machines[name]
+	s.mu.RUnlock()
+	if ok {
+		return true
+	}
+	return len(s.store.SeriesOf(name)) > 0
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	nm := len(s.machines)
+	s.mu.RUnlock()
+	if n := len(s.store.Machines()); n > nm {
+		nm = n
+	}
+	writeJSON(w, http.StatusOK, HealthInfo{
+		Status:    "ok",
+		UptimeSec: time.Since(s.start).Seconds(),
+		Machines:  nm,
+		Series:    s.store.NumSeries(),
+	})
+}
+
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.machines))
+	for name := range s.machines {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]MachineInfo, 0, len(names))
+	for _, name := range names {
+		s.mu.RLock()
+		e := s.machines[name]
+		s.mu.RUnlock()
+		info := e.col.Info()
+		info.Name = name
+		info.Scenario = e.scenarioName
+		info.Model = e.model
+		info.Running = e.running.Load()
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	machine := r.URL.Query().Get("machine")
+	if machine == "" {
+		writeError(w, http.StatusBadRequest, "missing machine parameter")
+		return
+	}
+	if !s.knownMachine(machine) {
+		writeError(w, http.StatusNotFound, "unknown machine %q", machine)
+		return
+	}
+	names := s.store.SeriesOf(machine)
+	out := make([]SeriesInfo, 0, len(names))
+	for _, name := range names {
+		k := Key{machine, name}
+		agg, _ := s.store.Aggregate(k)
+		out = append(out, SeriesInfo{Name: name, Points: s.store.Len(k), Agg: agg})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// parseBound parses an optional float query parameter, defaulting to -1
+// (open bound).
+func parseBound(q string) (float64, error) {
+	if q == "" {
+		return -1, nil
+	}
+	return strconv.ParseFloat(q, 64)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	machine := q.Get("machine")
+	if machine == "" {
+		writeError(w, http.StatusBadRequest, "missing machine parameter")
+		return
+	}
+	if !s.knownMachine(machine) {
+		writeError(w, http.StatusNotFound, "unknown machine %q", machine)
+		return
+	}
+	series, kind := q.Get("series"), q.Get("kind")
+	switch {
+	case series == "" && kind == "":
+		writeError(w, http.StatusBadRequest, "need series= or kind= parameter")
+		return
+	case series != "" && kind != "":
+		writeError(w, http.StatusBadRequest, "series= and kind= are mutually exclusive")
+		return
+	}
+	if kind != "" {
+		if by := q.Get("by"); by != "" && by != "type" {
+			writeError(w, http.StatusBadRequest, "unsupported by=%q (only by=type)", by)
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Machine: machine,
+			Groups:  s.store.TypeAggregates(machine, kind),
+		})
+		return
+	}
+	from, err := parseBound(q.Get("from"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad from parameter: %v", err)
+		return
+	}
+	to, err := parseBound(q.Get("to"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad to parameter: %v", err)
+		return
+	}
+	key := Key{machine, series}
+	pts, ok := s.store.Range(key, from, to)
+	if !ok {
+		writeError(w, http.StatusNotFound, "machine %q has no series %q", machine, series)
+		return
+	}
+	resp := QueryResponse{Machine: machine, Series: series, Points: pts}
+	if v := q.Get("agg"); v == "1" || v == "true" {
+		agg, _ := s.store.Aggregate(key)
+		resp.Aggregate = &agg
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// metricFamily accumulates one exposition family's sample lines.
+type metricFamily struct {
+	name, help, kind string
+	lines            []string
+}
+
+func (f *metricFamily) add(labels string, v float64) {
+	f.lines = append(f.lines, fmt.Sprintf("%s{%s} %g", f.name, labels, v))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	freq := &metricFamily{name: "hetpapi_cpu_frequency_mhz", help: "Per-CPU frequency during the last tick.", kind: "gauge"}
+	temp := &metricFamily{name: "hetpapi_pkg_temperature_celsius", help: "Package thermal zone temperature.", kind: "gauge"}
+	pwr := &metricFamily{name: "hetpapi_pkg_power_watts", help: "Package power over the last tick.", kind: "gauge"}
+	wall := &metricFamily{name: "hetpapi_wall_power_watts", help: "AC-side wall meter power.", kind: "gauge"}
+	energy := &metricFamily{name: "hetpapi_pkg_energy_joules_total", help: "Cumulative RAPL package energy.", kind: "counter"}
+	ctr := &metricFamily{name: "hetpapi_counter_total", help: "System-wide perf counter value per CPU, core type and event kind.", kind: "counter"}
+	ticks := &metricFamily{name: "hetpapid_ticks_total", help: "Simulator ticks observed by the collector.", kind: "counter"}
+	runs := &metricFamily{name: "hetpapid_runs_total", help: "Completed scenario runs.", kind: "counter"}
+	ingest := &metricFamily{name: "hetpapid_ingest_seconds_total", help: "Wall-clock seconds spent in telemetry ingestion.", kind: "counter"}
+	ovhTick := &metricFamily{name: "hetpapid_overhead_per_tick_seconds", help: "Mean ingestion wall time per simulator tick.", kind: "gauge"}
+	ovhRatio := &metricFamily{name: "hetpapid_overhead_ratio", help: "Ingestion wall time as a fraction of the run loop wall time.", kind: "gauge"}
+
+	for _, machine := range s.store.Machines() {
+		ml := fmt.Sprintf("machine=%q", machine)
+		for _, name := range s.store.SeriesOf(machine) {
+			agg, ok := s.store.Aggregate(Key{machine, name})
+			if !ok {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(name, "cpu") && strings.HasSuffix(name, "_mhz"):
+				cpu := strings.TrimSuffix(strings.TrimPrefix(name, "cpu"), "_mhz")
+				freq.add(fmt.Sprintf("%s,cpu=%q", ml, cpu), agg.Last)
+			case name == "temp_c":
+				temp.add(ml, agg.Last)
+			case name == "power_w":
+				pwr.add(ml, agg.Last)
+			case name == "wall_w":
+				wall.add(ml, agg.Last)
+			case name == "energy_j":
+				energy.add(ml, agg.Last)
+			default:
+				if cpu, typeName, kind, ok := parseCounterSeries(name); ok {
+					ctr.add(fmt.Sprintf("%s,cpu=%q,type=%q,kind=%q", ml, cpu, typeName, kind), agg.Last)
+				}
+			}
+		}
+	}
+
+	s.mu.RLock()
+	names := make([]string, 0, len(s.machines))
+	for name := range s.machines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := s.machines[name]
+		ml := fmt.Sprintf("machine=%q", name)
+		ticks.add(ml, float64(e.col.Ticks()))
+		runs.add(ml, float64(e.col.Runs()))
+		ingest.add(ml, e.col.IngestSec())
+		ovhTick.add(ml, e.col.OverheadPerTickSec())
+		ovhRatio.add(ml, e.col.OverheadRatio())
+	}
+	s.mu.RUnlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, f := range []*metricFamily{freq, temp, pwr, wall, energy, ctr, ticks, runs, ingest, ovhTick, ovhRatio} {
+		if len(f.lines) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for _, line := range f.lines {
+			fmt.Fprintln(w, line)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package telemetry_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hetpapi/internal/telemetry"
+	"hetpapi/internal/telemetry/client"
+)
+
+// seededServer builds a store with known contents and a server with one
+// registered machine.
+func seededServer(t *testing.T, timeout time.Duration) (*telemetry.Store, *telemetry.Server) {
+	t.Helper()
+	st := telemetry.NewStore(telemetry.Config{Capacity: 64})
+	for i := 0; i < 10; i++ {
+		ti := float64(i)
+		st.Append(telemetry.Key{Machine: "mach", Series: "power_w"}, ti, 40+ti)
+		st.Append(telemetry.Key{Machine: "mach", Series: telemetry.CounterSeriesName(0, "P-core", "instructions")}, ti, 1000*ti)
+		st.Append(telemetry.Key{Machine: "mach", Series: telemetry.CounterSeriesName(1, "E-core", "instructions")}, ti, 100*ti)
+	}
+	srv := telemetry.NewServer(st, timeout)
+	srv.Register("mach", "seed-scenario", "homogeneous", telemetry.NewCollector(st, "mach", 1))
+	return st, srv
+}
+
+func TestHandlersTable(t *testing.T) {
+	_, srv := seededServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name       string
+		path       string
+		wantStatus int
+		check      func(t *testing.T, body []byte)
+	}{
+		{"health ok", "/health", 200, func(t *testing.T, body []byte) {
+			var h telemetry.HealthInfo
+			if err := json.Unmarshal(body, &h); err != nil || h.Status != "ok" || h.Series != 3 {
+				t.Fatalf("health = %s (err %v)", body, err)
+			}
+		}},
+		{"machines ok", "/machines", 200, func(t *testing.T, body []byte) {
+			var ms []telemetry.MachineInfo
+			if err := json.Unmarshal(body, &ms); err != nil || len(ms) != 1 {
+				t.Fatalf("machines = %s (err %v)", body, err)
+			}
+			if ms[0].Name != "mach" || ms[0].Scenario != "seed-scenario" || ms[0].Model != "homogeneous" {
+				t.Fatalf("machine entry %+v", ms[0])
+			}
+		}},
+		{"series missing machine", "/series", 400, nil},
+		{"series unknown machine", "/series?machine=nope", 404, nil},
+		{"series ok", "/series?machine=mach", 200, func(t *testing.T, body []byte) {
+			var ss []telemetry.SeriesInfo
+			if err := json.Unmarshal(body, &ss); err != nil || len(ss) != 3 {
+				t.Fatalf("series = %s (err %v)", body, err)
+			}
+			if ss[len(ss)-1].Name != "power_w" || ss[len(ss)-1].Agg.Count != 10 {
+				t.Fatalf("series entries %+v", ss)
+			}
+		}},
+		{"query missing machine", "/query", 400, nil},
+		{"query unknown machine", "/query?machine=nope&series=power_w", 404, nil},
+		{"query no series or kind", "/query?machine=mach", 400, nil},
+		{"query series and kind", "/query?machine=mach&series=power_w&kind=instructions", 400, nil},
+		{"query malformed from", "/query?machine=mach&series=power_w&from=abc", 400, nil},
+		{"query malformed to", "/query?machine=mach&series=power_w&to=1e", 400, nil},
+		{"query bad grouping", "/query?machine=mach&kind=instructions&by=cpu", 400, nil},
+		{"query unknown series", "/query?machine=mach&series=nope", 404, nil},
+		{"query empty range", "/query?machine=mach&series=power_w&from=100&to=200", 200, func(t *testing.T, body []byte) {
+			var q telemetry.QueryResponse
+			if err := json.Unmarshal(body, &q); err != nil || len(q.Points) != 0 {
+				t.Fatalf("empty range = %s (err %v)", body, err)
+			}
+		}},
+		{"query range slice", "/query?machine=mach&series=power_w&from=2&to=4", 200, func(t *testing.T, body []byte) {
+			var q telemetry.QueryResponse
+			if err := json.Unmarshal(body, &q); err != nil || len(q.Points) != 3 {
+				t.Fatalf("range = %s (err %v)", body, err)
+			}
+			if q.Points[0].Value != 42 || q.Points[2].Value != 44 {
+				t.Fatalf("range points %+v", q.Points)
+			}
+		}},
+		{"query with aggregate", "/query?machine=mach&series=power_w&agg=1", 200, func(t *testing.T, body []byte) {
+			var q telemetry.QueryResponse
+			if err := json.Unmarshal(body, &q); err != nil || q.Aggregate == nil {
+				t.Fatalf("agg query = %s (err %v)", body, err)
+			}
+			if q.Aggregate.Count != 10 || q.Aggregate.Min != 40 || q.Aggregate.Max != 49 {
+				t.Fatalf("aggregate %+v", q.Aggregate)
+			}
+		}},
+		{"query by type", "/query?machine=mach&kind=instructions&by=type", 200, func(t *testing.T, body []byte) {
+			var q telemetry.QueryResponse
+			if err := json.Unmarshal(body, &q); err != nil || len(q.Groups) != 2 {
+				t.Fatalf("by-type = %s (err %v)", body, err)
+			}
+			if q.Groups[0].Type != "E-core" || q.Groups[1].Type != "P-core" {
+				t.Fatalf("groups %+v", q.Groups)
+			}
+			if q.Groups[1].LastSum != 9000 {
+				t.Fatalf("P-core LastSum = %g", q.Groups[1].LastSum)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Get(ts.URL + tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, body)
+			}
+			if resp.StatusCode != 200 {
+				var e telemetry.APIError
+				if err := json.Unmarshal(body, &e); err != nil || e.Status != tc.wantStatus || e.Error == "" {
+					t.Fatalf("error body %s not a valid APIError (err %v)", body, err)
+				}
+			}
+			if tc.check != nil {
+				tc.check(t, body)
+			}
+		})
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, srv := seededServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	text, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE hetpapi_pkg_power_watts gauge",
+		`hetpapi_pkg_power_watts{machine="mach"} 49`,
+		`hetpapi_counter_total{machine="mach",cpu="0",type="P-core",kind="instructions"} 9000`,
+		"# TYPE hetpapid_ticks_total counter",
+		`hetpapid_overhead_ratio{machine="mach"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestClientRoundTrip drives every client method against the server.
+func TestClientRoundTrip(t *testing.T) {
+	_, srv := seededServer(t, time.Second)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	if h, err := c.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("health %+v err %v", h, err)
+	}
+	if ms, err := c.Machines(ctx); err != nil || len(ms) != 1 {
+		t.Fatalf("machines %+v err %v", ms, err)
+	}
+	if ss, err := c.Series(ctx, "mach"); err != nil || len(ss) != 3 {
+		t.Fatalf("series %+v err %v", ss, err)
+	}
+	q, err := c.Query(ctx, telemetry.QueryRequest{Machine: "mach", Series: "power_w", Agg: true})
+	if err != nil || len(q.Points) != 10 || q.Aggregate == nil {
+		t.Fatalf("query %+v err %v", q, err)
+	}
+	if _, err := c.Query(ctx, telemetry.QueryRequest{Machine: "ghost", Series: "power_w"}); err == nil {
+		t.Fatal("unknown machine must error")
+	} else if !strings.Contains(err.Error(), "404") {
+		t.Fatalf("error %v does not surface the status", err)
+	}
+}
+
+// TestRequestTimeout checks the per-request timeout wrapper returns 503
+// once the deadline passes.
+func TestRequestTimeout(t *testing.T) {
+	_, srv := seededServer(t, time.Nanosecond)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	sawTimeout := false
+	for i := 0; i < 20 && !sawTimeout; i++ {
+		resp, err := http.Get(ts.URL + "/health")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		sawTimeout = resp.StatusCode == http.StatusServiceUnavailable
+	}
+	if !sawTimeout {
+		t.Fatal("1ns request timeout never produced a 503")
+	}
+}
+
+// TestShutdownMidRequest drains a real HTTP server while /query traffic
+// is in flight: requests either succeed or fail cleanly, and Shutdown
+// returns.
+func TestShutdownMidRequest(t *testing.T) {
+	st, srv := seededServer(t, 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st.Append(telemetry.Key{Machine: "mach", Series: "power_w"}, 0, 1)
+				resp, err := http.Get(base + "/query?machine=mach&series=power_w")
+				if err != nil {
+					return // connection refused after shutdown: expected
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let requests flow
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if _, err := http.Get(base + "/health"); err == nil {
+		t.Fatal("server still serving after shutdown")
+	}
+}
+
+// TestConcurrentWritersAndQueryReaders is the HTTP-level race check:
+// collector-style writers append while /query and /metrics readers pull,
+// all under -race in CI.
+func TestConcurrentWritersAndQueryReaders(t *testing.T) {
+	st, srv := seededServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				st.Append(telemetry.Key{Machine: "mach", Series: "power_w"}, float64(i), float64(i))
+				st.Append(telemetry.Key{Machine: "mach", Series: fmt.Sprintf("cpu%d/P-core/cycles", w)}, float64(i), float64(i))
+			}
+		}(w)
+	}
+	c := client.New(ts.URL)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < 50; i++ {
+				if _, err := c.Query(ctx, telemetry.QueryRequest{Machine: "mach", Series: "power_w", Agg: true}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Query(ctx, telemetry.QueryRequest{Machine: "mach", Kind: "cycles", By: "type"}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Metrics(ctx); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,364 @@
+// Package telemetry is the live-monitoring layer over the simulated
+// machines: a sharded, concurrency-safe time-series store that ingests
+// per-tick samples from scenario step hooks (one series per core, event
+// and PMU, plus machine-level power, energy, frequency and temperature),
+// holds them in fixed-capacity ring buffers with configurable
+// downsampling, and answers snapshot/range/aggregate queries without
+// blocking ingestion.
+//
+// Layout: series are partitioned across shards by an FNV-1a hash of their
+// key, so concurrent collectors (one goroutine per simulated machine)
+// contend only when they hash to the same shard. The write path takes one
+// shard's write lock for O(1) work per sample; the read path takes the
+// shard's read lock only long enough to copy points out ("copy-on-read"),
+// so queries never hold a lock while marshalling or aggregating.
+//
+// Aggregates are streaming: every series maintains a Welford
+// mean/variance over its whole lifetime and a RingQuantile window for
+// p50/p95/p99 (internal/stats), so aggregate queries are O(1) lookups —
+// no re-sorting of the series on query, the cost model Diamond et al.'s
+// RAPL-overhead study demands of a collector that must account for its
+// own sampling cost.
+package telemetry
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"hetpapi/internal/stats"
+)
+
+// Key addresses one series: a machine id (the daemon uses the scenario
+// name) and a series name ("cpu0_mhz", "power_w", "cpu3/P-core/cycles").
+type Key struct {
+	Machine string
+	Series  string
+}
+
+func (k Key) String() string { return k.Machine + "/" + k.Series }
+
+// Config sizes the store.
+type Config struct {
+	// Capacity is the per-series ring capacity in stored points
+	// (default 4096). The percentile window has the same size.
+	Capacity int
+	// Downsample is the number of raw samples averaged into one stored
+	// point (default 1 = store raw). Streaming aggregates always see the
+	// raw values; downsampling only bounds what Snapshot/Range return.
+	Downsample int
+	// Shards is the number of lock shards (default 8).
+	Shards int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 4096
+	}
+	if c.Downsample <= 0 {
+		c.Downsample = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	return c
+}
+
+// series is one ring-buffered signal plus its streaming aggregates.
+// Guarded by its shard's mutex.
+type series struct {
+	ring []Point // fixed capacity, time-ordered
+	head int     // next write slot
+	n    int     // fill
+	agg  stats.Welford
+	win  *stats.RingQuantile
+
+	// Downsample accumulator: accN raw samples pending, summing accSum.
+	accN   int
+	accSum float64
+}
+
+func (s *series) push(p Point) {
+	s.ring[s.head] = p
+	s.head = (s.head + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+}
+
+// points returns a fresh time-ordered copy of the ring.
+func (s *series) points() []Point {
+	out := make([]Point, 0, s.n)
+	start := s.head - s.n
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.ring[(start+i+len(s.ring))%len(s.ring)])
+	}
+	return out
+}
+
+type shard struct {
+	mu     sync.RWMutex
+	series map[Key]*series
+}
+
+// Store is the sharded time-series store.
+type Store struct {
+	cfg    Config
+	shards []*shard
+}
+
+// NewStore builds a store with the given (defaulted) configuration.
+func NewStore(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	st := &Store{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range st.shards {
+		st.shards[i] = &shard{series: map[Key]*series{}}
+	}
+	return st
+}
+
+// Config returns the effective (defaulted) configuration.
+func (st *Store) Config() Config { return st.cfg }
+
+func (st *Store) shardOf(k Key) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(k.Machine))
+	h.Write([]byte{0})
+	h.Write([]byte(k.Series))
+	return st.shards[h.Sum32()%uint32(len(st.shards))]
+}
+
+// Append ingests one raw sample into the keyed series, creating it on
+// first use. Safe for concurrent use with other appends and queries.
+func (st *Store) Append(k Key, timeSec, value float64) {
+	sh := st.shardOf(k)
+	sh.mu.Lock()
+	s := sh.series[k]
+	if s == nil {
+		s = &series{
+			ring: make([]Point, st.cfg.Capacity),
+			win:  stats.NewRingQuantile(st.cfg.Capacity),
+		}
+		sh.series[k] = s
+	}
+	s.agg.Add(value)
+	s.win.Add(value)
+	s.accSum += value
+	s.accN++
+	if s.accN >= st.cfg.Downsample {
+		s.push(Point{TimeSec: timeSec, Value: s.accSum / float64(s.accN)})
+		s.accN, s.accSum = 0, 0
+	}
+	sh.mu.Unlock()
+}
+
+// Len returns the number of stored (post-downsample) points of a series,
+// 0 when absent.
+func (st *Store) Len(k Key) int {
+	sh := st.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s := sh.series[k]; s != nil {
+		return s.n
+	}
+	return 0
+}
+
+// Snapshot returns a copy of every stored point of a series, oldest
+// first, and whether the series exists.
+func (st *Store) Snapshot(k Key) ([]Point, bool) {
+	sh := st.shardOf(k)
+	sh.mu.RLock()
+	s := sh.series[k]
+	if s == nil {
+		sh.mu.RUnlock()
+		return nil, false
+	}
+	pts := s.points()
+	sh.mu.RUnlock()
+	return pts, true
+}
+
+// Range returns the stored points with FromSec <= TimeSec <= ToSec. A
+// negative bound is open. The bool reports series existence (an empty
+// range on an existing series is ([], true)).
+func (st *Store) Range(k Key, fromSec, toSec float64) ([]Point, bool) {
+	pts, ok := st.Snapshot(k)
+	if !ok {
+		return nil, false
+	}
+	out := pts[:0]
+	for _, p := range pts {
+		if fromSec >= 0 && p.TimeSec < fromSec {
+			continue
+		}
+		if toSec >= 0 && p.TimeSec > toSec {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out, true
+}
+
+// Aggregate returns the streaming aggregate of a series: lifetime
+// count/sum/mean/stddev/min/max/last from the Welford accumulator and
+// windowed p50/p95/p99 over the last Capacity raw samples.
+func (st *Store) Aggregate(k Key) (Aggregate, bool) {
+	sh := st.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.series[k]
+	if s == nil {
+		return Aggregate{}, false
+	}
+	return aggregateOf(&s.agg, s.win), true
+}
+
+func aggregateOf(w *stats.Welford, win *stats.RingQuantile) Aggregate {
+	return Aggregate{
+		Count:  w.N(),
+		Sum:    w.Sum(),
+		Mean:   w.Mean(),
+		Stddev: w.Stddev(),
+		Min:    w.Min(),
+		Max:    w.Max(),
+		Last:   w.Last(),
+		P50:    win.Quantile(50),
+		P95:    win.Quantile(95),
+		P99:    win.Quantile(99),
+	}
+}
+
+// Keys returns every series key, sorted by machine then series name.
+func (st *Store) Keys() []Key {
+	var out []Key
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		for k := range sh.series {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Machine != out[j].Machine {
+			return out[i].Machine < out[j].Machine
+		}
+		return out[i].Series < out[j].Series
+	})
+	return out
+}
+
+// Machines returns the distinct machine ids present, sorted.
+func (st *Store) Machines() []string {
+	seen := map[string]bool{}
+	for _, k := range st.Keys() {
+		seen[k.Machine] = true
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeriesOf returns the sorted series names of one machine.
+func (st *Store) SeriesOf(machine string) []string {
+	var out []string
+	for _, k := range st.Keys() {
+		if k.Machine == machine {
+			out = append(out, k.Series)
+		}
+	}
+	return out
+}
+
+// NumSeries returns the total series count.
+func (st *Store) NumSeries() int {
+	n := 0
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		n += len(sh.series)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// CounterSeriesName is the naming convention for per-core counter series:
+// cpu<N>/<core-type>/<kind>, e.g. "cpu3/P-core/instructions".
+func CounterSeriesName(cpu int, typeName, kind string) string {
+	return fmt.Sprintf("cpu%d/%s/%s", cpu, typeName, kind)
+}
+
+// parseCounterSeries splits a counter series name into its parts.
+func parseCounterSeries(name string) (cpu, typeName, kind string, ok bool) {
+	parts := strings.Split(name, "/")
+	if len(parts) != 3 || !strings.HasPrefix(parts[0], "cpu") {
+		return "", "", "", false
+	}
+	return strings.TrimPrefix(parts[0], "cpu"), parts[1], parts[2], true
+}
+
+// TypeAggregates groups one machine's counter series of the given kind
+// ("instructions", "cycles", "llc-refs", "llc-misses") by core type and
+// returns one merged aggregate per type: Welford accumulators are merged
+// exactly (the per-core-type mean/stddev of the per-sample values),
+// LastSum is the sum of each member's last value (the system-wide per-type
+// counter total, since the series carry cumulative counts), and
+// percentiles are computed over the members' combined recent windows.
+func (st *Store) TypeAggregates(machine, kind string) []TypeAggregate {
+	type group struct {
+		n       int
+		w       stats.Welford
+		window  []float64
+		lastSum float64
+	}
+	groups := map[string]*group{}
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		for k, s := range sh.series {
+			if k.Machine != machine {
+				continue
+			}
+			_, typeName, kd, ok := parseCounterSeries(k.Series)
+			if !ok || kd != kind {
+				continue
+			}
+			g := groups[typeName]
+			if g == nil {
+				g = &group{}
+				groups[typeName] = g
+			}
+			g.n++
+			g.w.Merge(s.agg)
+			g.window = append(g.window, s.win.Window()...)
+			g.lastSum += s.agg.Last()
+		}
+		sh.mu.RUnlock()
+	}
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]TypeAggregate, 0, len(names))
+	for _, name := range names {
+		g := groups[name]
+		agg := Aggregate{
+			Count:  g.w.N(),
+			Sum:    g.w.Sum(),
+			Mean:   g.w.Mean(),
+			Stddev: g.w.Stddev(),
+			Min:    g.w.Min(),
+			Max:    g.w.Max(),
+			Last:   g.w.Last(),
+			P50:    stats.Percentile(g.window, 50),
+			P95:    stats.Percentile(g.window, 95),
+			P99:    stats.Percentile(g.window, 99),
+		}
+		out = append(out, TypeAggregate{Type: name, Series: g.n, LastSum: g.lastSum, Agg: agg})
+	}
+	return out
+}

@@ -14,15 +14,24 @@ import (
 //
 //	time_s, cpu0_mhz, ..., cpuN_mhz, temp_c, energy_j, power_w, wall_w
 
+// ColumnNames returns the canonical schema columns for an ncpu-CPU trace,
+// in file order: time_s, cpu0_mhz..cpuN_mhz, temp_c, energy_j, power_w,
+// wall_w. The CSV writer, the parser's header validation and the telemetry
+// series naming all derive from this one list.
+func ColumnNames(ncpu int) []string {
+	cols := make([]string, 0, ncpu+5)
+	cols = append(cols, "time_s")
+	for cpu := 0; cpu < ncpu; cpu++ {
+		cols = append(cols, fmt.Sprintf("cpu%d_mhz", cpu))
+	}
+	return append(cols, "temp_c", "energy_j", "power_w", "wall_w")
+}
+
 // WriteCSV emits samples in the monitoring schema. ncpu fixes the column
 // count (samples with fewer frequency entries are zero-padded).
 func WriteCSV(w io.Writer, ncpu int, samples []Sample) error {
 	cw := csv.NewWriter(w)
-	header := []string{"time_s"}
-	for cpu := 0; cpu < ncpu; cpu++ {
-		header = append(header, fmt.Sprintf("cpu%d_mhz", cpu))
-	}
-	header = append(header, "temp_c", "energy_j", "power_w", "wall_w")
+	header := ColumnNames(ncpu)
 	if err := cw.Write(header); err != nil {
 		return err
 	}

@@ -1,0 +1,34 @@
+package trace
+
+// Series export: explode a recorded trace into named per-column series so
+// downstream consumers (the telemetry store, plotting, ad-hoc analysis)
+// can address individual signals by the same names the CSV schema uses,
+// instead of re-deriving column positions.
+
+// Series explodes samples into named value series keyed by the ColumnNames
+// schema: "time_s", "cpu<N>_mhz" per CPU, "temp_c", "energy_j", "power_w"
+// and "wall_w". ncpu fixes the frequency columns (samples with fewer
+// entries are zero-padded, matching WriteCSV). Every series has exactly
+// len(samples) entries.
+func Series(ncpu int, samples []Sample) map[string][]float64 {
+	cols := ColumnNames(ncpu)
+	out := make(map[string][]float64, len(cols))
+	for _, c := range cols {
+		out[c] = make([]float64, 0, len(samples))
+	}
+	for _, s := range samples {
+		out["time_s"] = append(out["time_s"], s.TimeSec)
+		for cpu := 0; cpu < ncpu; cpu++ {
+			var f float64
+			if cpu < len(s.FreqMHz) {
+				f = s.FreqMHz[cpu]
+			}
+			out[cols[1+cpu]] = append(out[cols[1+cpu]], f)
+		}
+		out["temp_c"] = append(out["temp_c"], s.TempC)
+		out["energy_j"] = append(out["energy_j"], s.EnergyJ)
+		out["power_w"] = append(out["power_w"], s.PowerW)
+		out["wall_w"] = append(out["wall_w"], s.WallW)
+	}
+	return out
+}

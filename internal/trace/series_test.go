@@ -1,0 +1,50 @@
+package trace
+
+import "testing"
+
+func TestColumnNames(t *testing.T) {
+	got := ColumnNames(2)
+	want := []string{"time_s", "cpu0_mhz", "cpu1_mhz", "temp_c", "energy_j", "power_w", "wall_w"}
+	if len(got) != len(want) {
+		t.Fatalf("ColumnNames(2) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("column %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSeriesExport(t *testing.T) {
+	samples := []Sample{
+		{TimeSec: 0, FreqMHz: []float64{1000, 2000}, TempC: 40, EnergyJ: 0, PowerW: 5, WallW: 8},
+		{TimeSec: 1, FreqMHz: []float64{1100}, TempC: 41, EnergyJ: 6, PowerW: 6, WallW: 9},
+	}
+	s := Series(2, samples)
+	if len(s) != 7 {
+		t.Fatalf("got %d series, want 7", len(s))
+	}
+	for name, vs := range s {
+		if len(vs) != len(samples) {
+			t.Fatalf("series %q has %d entries, want %d", name, len(vs), len(samples))
+		}
+	}
+	if s["cpu0_mhz"][1] != 1100 || s["cpu1_mhz"][1] != 0 {
+		t.Fatalf("frequency padding wrong: cpu0=%v cpu1=%v", s["cpu0_mhz"], s["cpu1_mhz"])
+	}
+	if s["time_s"][1] != 1 || s["temp_c"][0] != 40 || s["power_w"][1] != 6 || s["wall_w"][0] != 8 || s["energy_j"][1] != 6 {
+		t.Fatalf("scalar series wrong: %v", s)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := Series(1, nil)
+	if len(s) != 6 {
+		t.Fatalf("got %d series, want 6", len(s))
+	}
+	for name, vs := range s {
+		if len(vs) != 0 {
+			t.Fatalf("series %q not empty", name)
+		}
+	}
+}
