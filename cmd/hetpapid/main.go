@@ -9,7 +9,13 @@
 //	GET /series?machine=M  series inventory
 //	GET /query?machine=M&series=power_w&agg=1
 //	GET /query?machine=M&kind=instructions&by=type
+//	GET /degradations      latest probe degradation tallies per machine
 //	GET /metrics           Prometheus-style text exposition
+//
+// Fault scenarios (reference scenarios carrying a Measure probe) also
+// stream the probe's degradation-aware values and graceful-degradation
+// tallies as measure/* and degradation/* series, surfaced by the
+// /degradations view.
 //
 // Usage:
 //

@@ -61,6 +61,9 @@ type EventSet struct {
 	leaderType map[int]uint32
 
 	startedAt float64
+
+	// deg is the graceful-degradation state (see degrade.go).
+	deg degrade
 }
 
 // CreateEventSet returns an empty, unattached EventSet.
@@ -256,13 +259,14 @@ func (es *EventSet) componentKeys() []componentKey {
 	return out
 }
 
-// Start opens the perf events and begins counting (PAPI_start).
+// startOnce opens the perf events and begins counting: one attempt of
+// Start (degrade.go), with no retry or fallback logic.
 //
 // This is where the multi-PMU machinery lives: the natives are partitioned
 // by perf PMU type, each partition becomes one perf event group (or one
 // group per event under multiplexing), and every group is enabled. Only
 // one EventSet may be running per component at a time.
-func (es *EventSet) Start() error {
+func (es *EventSet) startOnce() error {
 	if es.state == stateRunning {
 		return ErrIsRunning
 	}
@@ -315,7 +319,7 @@ func (es *EventSet) Start() error {
 				pid, cpuTarget = -1, 0
 			}
 			groupFD := -1
-			if !es.multiplex && !cpuWide && n.PMU != "perf" {
+			if !es.muxActive() && !cpuWide && n.PMU != "perf" {
 				if lfd, ok := leaderOf[attr.Type]; ok {
 					groupFD = lfd
 				}
@@ -325,7 +329,7 @@ func (es *EventSet) Start() error {
 				return fail(fmt.Errorf("core: opening %s: %w", n.FullName, err))
 			}
 			if groupFD == -1 {
-				if !es.multiplex && !cpuWide && n.PMU != "perf" {
+				if !es.muxActive() && !cpuWide && n.PMU != "perf" {
 					leaderOf[attr.Type] = fd
 				}
 				es.leaders = append(es.leaders, fd)
@@ -434,7 +438,7 @@ func (es *EventSet) collect(fast bool) ([]uint64, error) {
 		for i, fd := range e.fds {
 			c := counts[fd]
 			v := c.Value
-			if es.multiplex {
+			if es.muxActive() {
 				v = c.Scaled()
 			}
 			sum += e.signOf(i) * float64(v)
@@ -482,6 +486,14 @@ func (es *EventSet) Reset() error {
 			return err
 		}
 	}
+	// Zeroed counters invalidate the monotonic floors, carries and
+	// count snapshots (times are not reset by the ioctl, so the stale
+	// snapshots stay).
+	for i := range es.deg.lastFinal {
+		es.deg.lastFinal[i] = 0
+	}
+	es.deg.carry = map[int]float64{}
+	es.deg.lastCounts = map[int]perfevent.Count{}
 	return nil
 }
 

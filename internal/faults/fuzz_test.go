@@ -1,0 +1,216 @@
+package faults_test
+
+// Property and fuzz coverage for the fault-plan layer. The external test
+// package lets these tests drive whole scenario runs (scenario imports
+// perfevent imports faults), so FuzzFaultPlan can assert the strongest
+// property the harness offers: a randomly generated fault schedule,
+// applied to a fully audited scenario with a measurement probe attached,
+// never makes any of the ten standard invariants fire — faults degrade
+// measurements, they never corrupt them — and the same seed always
+// produces byte-identical fault traces and run digests.
+
+import (
+	"reflect"
+	"testing"
+
+	"hetpapi/internal/faults"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/scenario"
+)
+
+// fuzzProfile bounds random plans to the homogeneous machine: watchdog
+// and budget faults on its single core PMU, hotplug on CPUs the fuzz
+// workload is not pinned to, everything inside the run's horizon.
+func fuzzProfile(maxEvents int) faults.Profile {
+	m := hw.Homogeneous()
+	return faults.Profile{
+		HorizonSec: 1.0,
+		PMUs:       []uint32{m.Types[0].PMU.PerfType},
+		CPUs:       []int{1, 2},
+		MaxEvents:  maxEvents,
+	}
+}
+
+// fuzzSpec is a short audited scenario with a measurement probe whose
+// kernel gets the plan attached at the first tick. The workload is pinned
+// away from the hotplugged CPUs so random plans can never starve it.
+func fuzzSpec(plan *faults.Plan) scenario.Spec {
+	attached := false
+	return scenario.Spec{
+		Name:            "fault-fuzz",
+		Machine:         "homogeneous",
+		Seed:            1,
+		MaxSeconds:      1.5,
+		SamplePeriodSec: 0.1,
+		Workloads: []scenario.WorkloadSpec{
+			{Kind: scenario.WorkloadSpin, Name: "spin", Seconds: 0.8, CPUs: []int{0, 3}},
+		},
+		Measure: &scenario.MeasureSpec{
+			Workload: 0,
+			Events:   []string{"PAPI_TOT_INS", "PAPI_TOT_CYC"},
+		},
+		StepHooks: []scenario.StepHook{func(ctx *scenario.Context) {
+			if !attached {
+				ctx.Sim.Kernel.AttachFaults(plan)
+				attached = true
+			}
+		}},
+	}
+}
+
+// FuzzFaultPlan generates a random fault schedule per input, checks its
+// structural properties, then runs it twice through the audited scenario
+// harness: zero invariant violations both times, and byte-identical
+// fault traces and digests across the two runs.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(int64(1), uint8(4))
+	f.Add(int64(7), uint8(8))
+	f.Add(int64(42), uint8(1))
+	f.Add(int64(-3), uint8(12))
+	f.Fuzz(func(t *testing.T, seed int64, maxEvents uint8) {
+		profile := fuzzProfile(int(maxEvents%12) + 1)
+		plan := faults.Random(seed, profile)
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("random plan invalid: %v", err)
+		}
+		evs := plan.Events()
+		for i := 1; i < len(evs); i++ {
+			if evs[i].AtSec < evs[i-1].AtSec {
+				t.Fatalf("plan not sorted at %d: %v after %v", i, evs[i], evs[i-1])
+			}
+		}
+		assertPlanHeals(t, evs)
+		if again := faults.Random(seed, profile); !reflect.DeepEqual(evs, again.Events()) {
+			t.Fatalf("same seed produced different schedules:\n%v\n%v", evs, again.Events())
+		}
+
+		run := func() (*scenario.Result, *faults.Plan) {
+			p := faults.Random(seed, profile)
+			res, err := scenario.Run(fuzzSpec(p))
+			if err != nil {
+				t.Fatalf("scenario run: %v", err)
+			}
+			return res, p
+		}
+		res1, p1 := run()
+		res2, p2 := run()
+		for _, v := range res1.Violations {
+			t.Errorf("invariant fired under fault plan (seed %d): %s: %s", seed, v.Invariant, v.Detail)
+		}
+		if t1, t2 := p1.TraceString(), p2.TraceString(); t1 != t2 {
+			t.Errorf("fault traces differ across identical runs:\n--- run 1\n%s\n--- run 2\n%s", t1, t2)
+		}
+		if res1.Digest != res2.Digest {
+			t.Errorf("digests differ across identical runs: %s vs %s", res1.Digest, res2.Digest)
+		}
+	})
+}
+
+// assertPlanHeals replays the schedule against shadow state and checks
+// every hold-type fault is paired with its release, so random plans never
+// leave a machine degraded forever.
+func assertPlanHeals(t *testing.T, evs []faults.Event) {
+	t.Helper()
+	watchdog := map[uint32]bool{}
+	offline := map[int]bool{}
+	budget := map[uint32]int{}
+	ringCap := 0
+	for _, e := range evs {
+		switch e.Kind {
+		case faults.KindWatchdogHold:
+			watchdog[e.PMU] = true
+		case faults.KindWatchdogRelease:
+			delete(watchdog, e.PMU)
+		case faults.KindHotplugOff:
+			offline[e.CPU] = true
+		case faults.KindHotplugOn:
+			delete(offline, e.CPU)
+		case faults.KindCounterBudget:
+			if e.Cap == 0 {
+				delete(budget, e.PMU)
+			} else {
+				budget[e.PMU] = e.Cap
+			}
+		case faults.KindRingCap:
+			ringCap = e.Cap
+		}
+	}
+	if len(watchdog) != 0 || len(offline) != 0 || len(budget) != 0 || ringCap != 0 {
+		t.Fatalf("plan does not heal: watchdog=%v offline=%v budget=%v ringCap=%d\nschedule: %v",
+			watchdog, offline, budget, ringCap, evs)
+	}
+}
+
+func TestRandomPlanDeterministicAcrossSeeds(t *testing.T) {
+	profile := fuzzProfile(8)
+	for seed := int64(0); seed < 25; seed++ {
+		a := faults.Random(seed, profile)
+		b := faults.Random(seed, profile)
+		if !reflect.DeepEqual(a.Events(), b.Events()) {
+			t.Fatalf("seed %d: schedules differ", seed)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestPlanPendingConsumesInOrder(t *testing.T) {
+	p := faults.NewPlan(
+		faults.Event{AtSec: 0.3, Kind: faults.KindRingCap, Cap: 8},
+		faults.Event{AtSec: 0.1, Kind: faults.KindWatchdogHold, PMU: 6},
+		faults.Event{AtSec: 0.2, Kind: faults.KindWatchdogRelease, PMU: 6},
+	)
+	if got := p.Pending(0.05); len(got) != 0 {
+		t.Fatalf("nothing due yet, got %v", got)
+	}
+	if got := p.Pending(0.25); len(got) != 2 ||
+		got[0].Kind != faults.KindWatchdogHold || got[1].Kind != faults.KindWatchdogRelease {
+		t.Fatalf("due at 0.25: %v", got)
+	}
+	if p.Done() {
+		t.Fatal("plan done with one event left")
+	}
+	if got := p.Pending(1.0); len(got) != 1 || got[0].Kind != faults.KindRingCap {
+		t.Fatalf("final batch: %v", got)
+	}
+	if !p.Done() {
+		t.Fatal("plan not done after consuming everything")
+	}
+	trace1 := p.TraceString()
+	if trace1 == "" {
+		t.Fatal("empty trace after consumption")
+	}
+	p.Reset()
+	if p.Done() || p.TraceString() != "" {
+		t.Fatal("Reset did not rewind the plan")
+	}
+	p.Pending(1.0)
+	if p.TraceString() != trace1 {
+		t.Fatalf("replayed trace differs:\n%s\nvs\n%s", p.TraceString(), trace1)
+	}
+}
+
+func TestPlanValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   faults.Event
+	}{
+		{"negative time", faults.Event{AtSec: -1, Kind: faults.KindRingCap}},
+		{"unknown kind", faults.Event{AtSec: 0, Kind: faults.Kind("explode")}},
+		{"negative cap", faults.Event{AtSec: 0, Kind: faults.KindCounterBudget, Cap: -2}},
+		{"negative cpu", faults.Event{AtSec: 0, Kind: faults.KindHotplugOff, CPU: -1}},
+	}
+	for _, tc := range cases {
+		if err := faults.NewPlan(tc.ev).Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.ev)
+		}
+	}
+	var nilPlan *faults.Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan must validate: %v", err)
+	}
+	if !nilPlan.Done() {
+		t.Error("nil plan must be done")
+	}
+}

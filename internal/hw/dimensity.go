@@ -14,7 +14,7 @@ func Dimensity9000() *Machine {
 		Microarch:        "Cortex-A510",
 		PfmName:          "arm_cortex_a510",
 		Class:            Efficiency,
-		PMU:              PMUSpec{Name: "armv9_cortex_a510", PerfType: 8, NumGP: 6, NumFixed: 1},
+		PMU:              PMUSpec{Name: "armv9_cortex_a510", PerfType: 8, NumGP: 6, NumFixed: 1, FixedEvents: []string{"cycles"}},
 		MinFreqMHz:       500,
 		MaxFreqMHz:       1800,
 		BaseFreqMHz:      1800,
@@ -38,7 +38,7 @@ func Dimensity9000() *Machine {
 		Microarch:        "Cortex-A710",
 		PfmName:          "arm_cortex_a710",
 		Class:            Performance,
-		PMU:              PMUSpec{Name: "armv9_cortex_a710", PerfType: 9, NumGP: 6, NumFixed: 1},
+		PMU:              PMUSpec{Name: "armv9_cortex_a710", PerfType: 9, NumGP: 6, NumFixed: 1, FixedEvents: []string{"cycles"}},
 		MinFreqMHz:       600,
 		MaxFreqMHz:       2850,
 		BaseFreqMHz:      2850,
@@ -62,7 +62,7 @@ func Dimensity9000() *Machine {
 		Microarch:        "Cortex-X2",
 		PfmName:          "arm_cortex_x2",
 		Class:            Performance,
-		PMU:              PMUSpec{Name: "armv9_cortex_x2", PerfType: 10, NumGP: 6, NumFixed: 1},
+		PMU:              PMUSpec{Name: "armv9_cortex_x2", PerfType: 10, NumGP: 6, NumFixed: 1, FixedEvents: []string{"cycles"}},
 		MinFreqMHz:       700,
 		MaxFreqMHz:       3050,
 		BaseFreqMHz:      3050,

@@ -11,7 +11,7 @@ func Homogeneous() *Machine {
 		Microarch:        "Skylake",
 		PfmName:          "skl",
 		Class:            Performance,
-		PMU:              PMUSpec{Name: "cpu", PerfType: 6, NumGP: 4, NumFixed: 3},
+		PMU:              PMUSpec{Name: "cpu", PerfType: 6, NumGP: 4, NumFixed: 3, FixedEvents: []string{"instructions", "cycles", "ref-cycles"}},
 		MinFreqMHz:       800,
 		MaxFreqMHz:       4200,
 		BaseFreqMHz:      3600,

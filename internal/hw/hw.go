@@ -53,6 +53,24 @@ type PMUSpec struct {
 	// NumFixed is the number of fixed-function counters (instructions,
 	// cycles, ref-cycles on Intel).
 	NumFixed int
+	// FixedEvents names the quantity each fixed-function counter serves,
+	// in counter order ("instructions", "cycles", "ref-cycles" on Intel
+	// cores, just "cycles" for the dedicated ARM cycle counter). The NMI
+	// watchdog pins the PMU's fixed cycles counter when one exists;
+	// otherwise it consumes a general-purpose counter, which is why a
+	// watchdog reservation degrades different core types differently.
+	FixedEvents []string
+}
+
+// HasFixed reports whether one of the PMU's fixed-function counters
+// serves the named quantity.
+func (p *PMUSpec) HasFixed(event string) bool {
+	for _, e := range p.FixedEvents {
+		if e == event {
+			return true
+		}
+	}
+	return false
 }
 
 // CoreType describes one kind of core in a hybrid processor, including its
@@ -413,6 +431,10 @@ func (m *Machine) Validate() error {
 		}
 		if t.PMU.NumGP < 1 {
 			return fmt.Errorf("hw: PMU %q has no programmable counters", t.PMU.Name)
+		}
+		if len(t.PMU.FixedEvents) > t.PMU.NumFixed {
+			return fmt.Errorf("hw: PMU %q names %d fixed events but has %d fixed counters",
+				t.PMU.Name, len(t.PMU.FixedEvents), t.PMU.NumFixed)
 		}
 	}
 	for _, u := range m.Uncore {

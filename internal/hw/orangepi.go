@@ -19,7 +19,7 @@ func OrangePi800() *Machine {
 		Microarch:        "Cortex-A53",
 		PfmName:          "arm_cortex_a53",
 		Class:            Efficiency,
-		PMU:              PMUSpec{Name: "armv8_cortex_a53", PerfType: 8, NumGP: 6, NumFixed: 1},
+		PMU:              PMUSpec{Name: "armv8_cortex_a53", PerfType: 8, NumGP: 6, NumFixed: 1, FixedEvents: []string{"cycles"}},
 		MinFreqMHz:       408,
 		MaxFreqMHz:       1416,
 		BaseFreqMHz:      1416,
@@ -43,7 +43,7 @@ func OrangePi800() *Machine {
 		Microarch:        "Cortex-A72",
 		PfmName:          "arm_cortex_a72",
 		Class:            Performance,
-		PMU:              PMUSpec{Name: "armv8_cortex_a72", PerfType: 9, NumGP: 6, NumFixed: 1},
+		PMU:              PMUSpec{Name: "armv8_cortex_a72", PerfType: 9, NumGP: 6, NumFixed: 1, FixedEvents: []string{"cycles"}},
 		MinFreqMHz:       408,
 		MaxFreqMHz:       1800,
 		BaseFreqMHz:      1800,

@@ -20,7 +20,7 @@ func RaptorLake() *Machine {
 		Microarch:        "RaptorCove",
 		PfmName:          "adl_glc",
 		Class:            Performance,
-		PMU:              PMUSpec{Name: "cpu_core", PerfType: 8, NumGP: 8, NumFixed: 3},
+		PMU:              PMUSpec{Name: "cpu_core", PerfType: 8, NumGP: 8, NumFixed: 3, FixedEvents: []string{"instructions", "cycles", "ref-cycles"}},
 		MinFreqMHz:       800,
 		MaxFreqMHz:       5100,
 		BaseFreqMHz:      2100,
@@ -44,7 +44,7 @@ func RaptorLake() *Machine {
 		Microarch:        "Gracemont",
 		PfmName:          "adl_grt",
 		Class:            Efficiency,
-		PMU:              PMUSpec{Name: "cpu_atom", PerfType: 10, NumGP: 6, NumFixed: 3},
+		PMU:              PMUSpec{Name: "cpu_atom", PerfType: 10, NumGP: 6, NumFixed: 3, FixedEvents: []string{"instructions", "cycles", "ref-cycles"}},
 		MinFreqMHz:       800,
 		MaxFreqMHz:       4100,
 		BaseFreqMHz:      1500,

@@ -1,0 +1,528 @@
+package perfevent
+
+// Conformance suite for the simulated perf_event substrate: every errno
+// class perf_event_open and the fd ioctls can report, exercised the way
+// section IV of the paper describes real hybrid kernels behaving —
+// including the fault-injected paths (NMI watchdog reservations, CPU
+// hotplug, counter budgets, sampling ring pressure) that the core layer's
+// graceful degradation has to survive. The tests are organized per errno
+// so the suite reads as a specification of the substrate's error model.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hetpapi/internal/events"
+	"hetpapi/internal/faults"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/power"
+)
+
+// glcType / grtType return RaptorLake's P-core and E-core dynamic PMU
+// types.
+func glcType(m *hw.Machine) uint32 { return m.TypeByName("P-core").PMU.PerfType }
+func grtType(m *hw.Machine) uint32 { return m.TypeByName("E-core").PMU.PerfType }
+
+// cyclesAttr is a fixed-counter cycles event on the given PMU type.
+func cyclesAttr(pmuType uint32) Attr {
+	// CPU_CLK_UNHALTED:THREAD is code 0x3C umask 0 on both Intel core
+	// PMUs; the ARM tables use different codes, so conformance tests
+	// that need cycles on ARM go through the generic encoding instead.
+	return Attr{Type: pmuType, Config: events.Encode(0x3C, 0)}
+}
+
+func instrAttr(t *testing.T, m *hw.Machine, pfm string) Attr {
+	t.Helper()
+	return attrFor(t, m, pfm, "INST_RETIRED", "ANY")
+}
+
+// TestConformanceEINVAL locks down every EINVAL path of Open.
+func TestConformanceEINVAL(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	k.AttachPower(power.New(m.Power))
+	good := instrAttr(t, m, "adl_glc")
+	leader, err := k.Open(good, 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sib, err := k.Open(good, 100, -1, leader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swAttr := Attr{Type: PerfTypeSoftware, Config: 0} // cpu-clock
+
+	cases := []struct {
+		name string
+		open func() (int, error)
+	}{
+		{"no target", func() (int, error) { return k.Open(good, -1, -1, -1) }},
+		{"both pid and cpu", func() (int, error) { return k.Open(good, 7, 3, -1) }},
+		{"cpu out of range", func() (int, error) { return k.Open(good, -1, 999, -1) }},
+		{"cross-PMU group", func() (int, error) { return k.Open(instrAttr(t, m, "adl_grt"), 100, -1, leader) }},
+		{"sibling as group fd", func() (int, error) { return k.Open(good, 100, -1, sib) }},
+		{"group target mismatch", func() (int, error) { return k.Open(good, 200, -1, leader) }},
+		{"task-attached RAPL", func() (int, error) {
+			return k.Open(Attr{Type: m.Power.RAPLPerfType, Config: events.Encode(0x02, 0)}, 100, -1, -1)
+		}},
+		{"cpu-wide software event", func() (int, error) { return k.Open(swAttr, -1, 0, -1) }},
+		{"sampled software event", func() (int, error) {
+			a := swAttr
+			a.SamplePeriod = 100
+			return k.Open(a, 100, -1, -1)
+		}},
+		{"cpu-wide sampling", func() (int, error) {
+			a := good
+			a.SamplePeriod = 100
+			return k.Open(a, -1, 0, -1)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if fd, err := tc.open(); !errors.Is(err, ErrInvalid) {
+				t.Fatalf("fd=%d err=%v, want ErrInvalid", fd, err)
+			}
+		})
+	}
+}
+
+// TestConformanceENOENTHybrid locks down the hybrid asymmetry the paper
+// calls out: an event config that exists on one core type's PMU but not
+// the other's opens on the first and fails with ENOENT on the second —
+// the PMU device exists, the event does not.
+func TestConformanceENOENTHybrid(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	// TOPDOWN (0xA4) slot accounting is a Golden Cove feature missing
+	// from Gracemont.
+	topdown := events.Encode(0xA4, 0x01)
+	fd, err := k.Open(Attr{Type: glcType(m), Config: topdown}, 100, -1, -1)
+	if err != nil {
+		t.Fatalf("TOPDOWN on P-core PMU: %v", err)
+	}
+	if name := mustEvent(t, k, fd).Name(); name == "" {
+		t.Fatal("resolved event has no name")
+	}
+	if _, err := k.Open(Attr{Type: grtType(m), Config: topdown}, 100, -1, -1); !errors.Is(err, ErrNotSupported) {
+		t.Fatalf("TOPDOWN on E-core PMU: err=%v, want ErrNotSupported (ENOENT)", err)
+	}
+	// Unknown configs on existing PMUs are ENOENT everywhere; unknown
+	// PMU types and unknown extended types are ENODEV.
+	if _, err := k.Open(Attr{Type: glcType(m), Config: events.Encode(0xEE, 0xEE)}, 100, -1, -1); !errors.Is(err, ErrNotSupported) {
+		t.Fatalf("unknown config: %v", err)
+	}
+	if _, err := k.Open(Attr{Type: 777, Config: 0}, 100, -1, -1); !errors.Is(err, ErrNoSuchDevice) {
+		t.Fatalf("unknown pmu type: %v", err)
+	}
+	if _, err := k.Open(Attr{Type: PerfTypeHardware,
+		Config: uint64(777)<<HWConfigExtShift | events.HWInstructions}, 100, -1, -1); !errors.Is(err, ErrNoSuchDevice) {
+		t.Fatalf("unknown extended type: %v", err)
+	}
+}
+
+func mustEvent(t *testing.T, k *Kernel, fd int) *Event {
+	t.Helper()
+	e, err := k.lookup(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestConformanceEBUSYWatchdog locks down the NMI-watchdog contract: while
+// the watchdog holds the fixed cycles counter of a PMU, new cycles events
+// on that PMU fail with EBUSY (through both the native and the generic
+// encodings), other events still open, and releasing the counter makes
+// cycles schedulable again.
+func TestConformanceEBUSYWatchdog(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	k.SetWatchdog(glcType(m), true)
+
+	if _, err := k.Open(cyclesAttr(glcType(m)), 100, -1, -1); !errors.Is(err, ErrBusy) {
+		t.Fatalf("native cycles under watchdog: %v, want ErrBusy", err)
+	}
+	// The generic encoding resolves to the boot CPU's PMU (the P PMU) and
+	// must hit the same reservation.
+	if _, err := k.Open(Attr{Type: PerfTypeHardware, Config: events.HWCPUCycles}, 100, -1, -1); !errors.Is(err, ErrBusy) {
+		t.Fatalf("generic cycles under watchdog: %v, want ErrBusy", err)
+	}
+	// Non-cycles events on the held PMU and cycles on the other PMU are
+	// unaffected.
+	if _, err := k.Open(instrAttr(t, m, "adl_glc"), 100, -1, -1); err != nil {
+		t.Fatalf("instructions under watchdog: %v", err)
+	}
+	if _, err := k.Open(cyclesAttr(grtType(m)), 100, -1, -1); err != nil {
+		t.Fatalf("E-core cycles while P watchdog held: %v", err)
+	}
+
+	k.SetWatchdog(glcType(m), false)
+	if _, err := k.Open(cyclesAttr(glcType(m)), 100, -1, -1); err != nil {
+		t.Fatalf("cycles after release: %v", err)
+	}
+}
+
+// TestConformanceWatchdogDeschedulesGroup locks down the scheduling side
+// of the reservation: a running group containing a cycles event stops
+// accruing time_running while the watchdog holds the fixed counter (reads
+// keep succeeding — degradation, not failure), and resumes after release.
+func TestConformanceWatchdogDeschedulesGroup(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	leader, err := k.Open(instrAttr(t, m, "adl_glc"), 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Open(cyclesAttr(glcType(m)), 100, -1, leader); err != nil {
+		t.Fatal(err)
+	}
+
+	k.TaskExec(100, 0, 0.010, execStats(10_000))
+	before, err := k.Read(leader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k.SetWatchdog(glcType(m), true)
+	k.TaskExec(100, 0, 0.010, execStats(10_000))
+	held, err := k.Read(leader)
+	if err != nil {
+		t.Fatalf("read while descheduled must succeed: %v", err)
+	}
+	if held.Value != before.Value {
+		t.Errorf("descheduled group counted: %d -> %d", before.Value, held.Value)
+	}
+	if held.TimeRunning != before.TimeRunning {
+		t.Errorf("time_running advanced while descheduled: %g -> %g", before.TimeRunning, held.TimeRunning)
+	}
+	if held.TimeEnabled <= before.TimeEnabled {
+		t.Errorf("time_enabled must keep accruing: %g -> %g", before.TimeEnabled, held.TimeEnabled)
+	}
+
+	k.SetWatchdog(glcType(m), false)
+	k.TaskExec(100, 0, 0.010, execStats(10_000))
+	after, _ := k.Read(leader)
+	if after.Value <= held.Value || after.TimeRunning <= held.TimeRunning {
+		t.Errorf("group did not resume after release: %+v -> %+v", held, after)
+	}
+}
+
+// TestConformanceENOSPCBudget locks down the counter-budget contract:
+// groups that fit the PMU's physical inventory but not its currently
+// schedulable capacity fail with ENOSPC (distinct from the EINVAL an
+// over-physical group gets), and clearing the budget restores the
+// inventory.
+func TestConformanceENOSPCBudget(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	good := instrAttr(t, m, "adl_glc")
+
+	k.SetCounterBudget(glcType(m), 2)
+	leader, err := k.Open(good, 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Open(good, 100, -1, leader); err != nil {
+		t.Fatalf("second group member within budget: %v", err)
+	}
+	if _, err := k.Open(good, 100, -1, leader); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("third member over budget: %v, want ErrNoSpace", err)
+	}
+	// Standalone opens still succeed under a tight budget — they
+	// multiplex instead (measured in TestConformanceScaledAccuracy).
+	if _, err := k.Open(good, 100, -1, -1); err != nil {
+		t.Fatalf("standalone open under budget: %v", err)
+	}
+
+	k.SetCounterBudget(glcType(m), 0)
+	if _, err := k.Open(good, 100, -1, leader); err != nil {
+		t.Fatalf("after budget cleared: %v", err)
+	}
+	// The physical ceiling still applies and is EINVAL, not ENOSPC.
+	var lastErr error
+	for i := 0; i < 20 && lastErr == nil; i++ {
+		_, lastErr = k.Open(good, 100, -1, leader)
+	}
+	if !errors.Is(lastErr, ErrInvalid) {
+		t.Fatalf("over-physical group: %v, want ErrInvalid", lastErr)
+	}
+}
+
+// TestConformanceENODEVHotplug locks down the hotplug contract: taking a
+// CPU offline invalidates its CPU-wide descriptors permanently (ENODEV on
+// every op except Close), rejects new opens, leaves per-task events
+// alone, and bringing the CPU back allows new opens without reviving the
+// dead descriptors.
+func TestConformanceENODEVHotplug(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	attr := instrAttr(t, m, "adl_glc")
+	wideFD, err := k.Open(attr, -1, 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskFD, err := k.Open(attr, 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k.SetCPUOnline(2, false)
+	if k.IsOnline(2) {
+		t.Fatal("cpu2 still online")
+	}
+	if _, err := k.Read(wideFD); !errors.Is(err, ErrNoSuchDevice) {
+		t.Fatalf("read dead fd: %v, want ErrNoSuchDevice", err)
+	}
+	for name, op := range map[string]func(int) error{
+		"enable": k.Enable, "disable": k.Disable, "reset": k.Reset,
+	} {
+		if err := op(wideFD); !errors.Is(err, ErrNoSuchDevice) {
+			t.Errorf("%s dead fd: %v, want ErrNoSuchDevice", name, err)
+		}
+	}
+	if _, err := k.Open(attr, -1, 2, -1); !errors.Is(err, ErrNoSuchDevice) {
+		t.Fatalf("open on offline cpu: %v, want ErrNoSuchDevice", err)
+	}
+	// The task event keeps working: the scheduler just stops placing work
+	// on the dead CPU.
+	k.TaskExec(100, 0, 0.001, execStats(1234))
+	if c, err := k.Read(taskFD); err != nil || c.Value != 1234 {
+		t.Fatalf("task event after hotplug: %v, value %d", err, c.Value)
+	}
+
+	k.SetCPUOnline(2, true)
+	// Dead stays dead; a fresh open on the revived CPU works.
+	if _, err := k.Read(wideFD); !errors.Is(err, ErrNoSuchDevice) {
+		t.Fatalf("dead fd after re-online: %v, want ErrNoSuchDevice", err)
+	}
+	fd2, err := k.Open(attr, -1, 2, -1)
+	if err != nil {
+		t.Fatalf("reopen on revived cpu: %v", err)
+	}
+	if fd2 == wideFD {
+		t.Fatal("kernel reused a dead descriptor")
+	}
+	// Close succeeds on dead descriptors — that is how owners clean up.
+	if err := k.Close(wideFD); err != nil {
+		t.Fatalf("close dead fd: %v", err)
+	}
+}
+
+// TestConformanceEBADF locks down descriptor-validity errors across the
+// whole fd surface, including the sampling reader.
+func TestConformanceEBADF(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	fd, _ := k.Open(instrAttr(t, m, "adl_glc"), 100, -1, -1)
+	if err := k.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	ops := map[string]func() error{
+		"read":         func() error { _, err := k.Read(fd); return err },
+		"read-user":    func() error { _, err := k.ReadUser(fd); return err },
+		"read-group":   func() error { _, err := k.ReadGroup(fd); return err },
+		"read-samples": func() error { _, _, err := k.ReadSamples(fd); return err },
+		"shadow":       func() error { _, err := k.ShadowValue(fd); return err },
+		"enable":       func() error { return k.Enable(fd) },
+		"disable":      func() error { return k.Disable(fd) },
+		"reset":        func() error { return k.Reset(fd) },
+		"close":        func() error { return k.Close(fd) },
+	}
+	for name, op := range ops {
+		if err := op(); !errors.Is(err, ErrBadFD) {
+			t.Errorf("%s on closed fd: %v, want ErrBadFD", name, err)
+		}
+	}
+	if _, err := k.Open(instrAttr(t, m, "adl_glc"), 100, -1, 9999); !errors.Is(err, ErrBadFD) {
+		t.Errorf("open with bad group fd: %v, want ErrBadFD", err)
+	}
+}
+
+// TestConformanceRingPressure locks down the sampling ring cap: capped
+// rings drop overflow records and count them as lost, and clearing the
+// cap restores the default capacity.
+func TestConformanceRingPressure(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	attr := instrAttr(t, m, "adl_glc")
+	attr.SamplePeriod = 100
+	fd, err := k.Open(attr, 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetSampleRingCap(4)
+	k.TaskExec(100, 0, 0.001, execStats(2000)) // 20 overflows into a 4-slot ring
+	got, lost, err := k.ReadSamples(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("ring held %d samples, want cap 4", len(got))
+	}
+	if lost != 16 {
+		t.Fatalf("lost = %d, want 16", lost)
+	}
+	k.SetSampleRingCap(0)
+	k.TaskExec(100, 0, 0.001, execStats(2000))
+	got, lost, _ = k.ReadSamples(fd)
+	if len(got) != 20 || lost != 0 {
+		t.Fatalf("after cap cleared: %d samples, %d lost, want 20/0", len(got), lost)
+	}
+}
+
+// TestConformanceScaledAccuracy bounds the error of
+// time_enabled/time_running scaling against the shadow oracle — the count
+// a dedicated counter would have held — while a counter budget forces
+// heavy multiplexing.
+func TestConformanceScaledAccuracy(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	k.SetMuxInterval(0.004)
+	k.SetCounterBudget(glcType(m), 2)
+	var fds []int
+	for i := 0; i < 8; i++ {
+		fd, err := k.Open(instrAttr(t, m, "adl_glc"), 100, -1, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fds = append(fds, fd)
+	}
+	for i := 0; i < 1000; i++ {
+		k.Advance(float64(i) * 0.001)
+		k.TaskExec(100, 0, 0.001, execStats(1000))
+	}
+	for _, fd := range fds {
+		c, err := k.Read(fd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.TimeRunning >= c.TimeEnabled {
+			t.Fatalf("fd %d not multiplexed under budget: running %g enabled %g", fd, c.TimeRunning, c.TimeEnabled)
+		}
+		shadow, err := k.ShadowValue(fd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shadow <= 0 {
+			t.Fatalf("fd %d shadow oracle empty", fd)
+		}
+		if rel := math.Abs(float64(c.Scaled())-shadow) / shadow; rel > 0.10 {
+			t.Errorf("fd %d scaled estimate off oracle by %.1f%% (scaled %d, oracle %g)",
+				fd, rel*100, c.Scaled(), shadow)
+		}
+		if float64(c.Value) > shadow {
+			t.Errorf("fd %d raw %d exceeds oracle %g", fd, c.Value, shadow)
+		}
+	}
+}
+
+// TestConformanceFaultPlanDriven locks down the plan door into the fault
+// state: transitions attached via AttachFaults apply at their scheduled
+// times as the kernel clock advances, the observable errno behavior
+// matches the direct-setter door, and the applied-transition trace is
+// exactly the schedule in order.
+func TestConformanceFaultPlanDriven(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	plan := faults.NewPlan(
+		faults.Event{AtSec: 0.010, Kind: faults.KindWatchdogHold, PMU: glcType(m)},
+		faults.Event{AtSec: 0.030, Kind: faults.KindHotplugOff, CPU: 4},
+		faults.Event{AtSec: 0.050, Kind: faults.KindWatchdogRelease, PMU: glcType(m)},
+		faults.Event{AtSec: 0.070, Kind: faults.KindHotplugOn, CPU: 4},
+	)
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	k.AttachFaults(plan)
+
+	wideFD, err := k.Open(instrAttr(t, m, "adl_glc"), -1, 4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k.Advance(0.020) // watchdog hold due
+	if !k.WatchdogHeld(glcType(m)) {
+		t.Fatal("watchdog hold not applied by Advance")
+	}
+	if _, err := k.Open(cyclesAttr(glcType(m)), 100, -1, -1); !errors.Is(err, ErrBusy) {
+		t.Fatalf("cycles during plan hold: %v, want ErrBusy", err)
+	}
+
+	k.Advance(0.040) // hotplug-off due
+	if _, err := k.Read(wideFD); !errors.Is(err, ErrNoSuchDevice) {
+		t.Fatalf("read after plan hotplug-off: %v, want ErrNoSuchDevice", err)
+	}
+
+	// A syscall boundary (not just Advance) also polls the plan: jump the
+	// clock past the release and observe Open applying it.
+	k.now = 0.060
+	if _, err := k.Open(cyclesAttr(glcType(m)), 100, -1, -1); err != nil {
+		t.Fatalf("cycles after plan release: %v", err)
+	}
+
+	k.Advance(0.080)
+	if !plan.Done() {
+		t.Fatal("plan not fully consumed")
+	}
+	want := []string{
+		"t=0.010000 watchdog-hold pmu=8",
+		"t=0.030000 hotplug-off cpu=4",
+		"t=0.050000 watchdog-release pmu=8",
+		"t=0.070000 hotplug-on cpu=4",
+	}
+	got := plan.Trace()
+	if len(got) != len(want) {
+		t.Fatalf("trace length %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("trace[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestConformanceAllMachinesErrnoModel sweeps the errno model across
+// every machine preset: unknown PMU type is ENODEV, unknown config on a
+// real PMU is ENOENT, watchdog holds on fixed-cycles PMUs are EBUSY for
+// generic cycles events targeted at that PMU.
+func TestConformanceAllMachinesErrnoModel(t *testing.T) {
+	machines := map[string]*hw.Machine{
+		"raptorlake":  hw.RaptorLake(),
+		"orangepi":    hw.OrangePi800(),
+		"dimensity":   hw.Dimensity9000(),
+		"homogeneous": hw.Homogeneous(),
+	}
+	for name, m := range machines {
+		t.Run(name, func(t *testing.T) {
+			k := NewKernel(m)
+			if _, err := k.Open(Attr{Type: 12345, Config: 0}, 100, -1, -1); !errors.Is(err, ErrNoSuchDevice) {
+				t.Errorf("unknown pmu: %v, want ErrNoSuchDevice", err)
+			}
+			for i := range m.Types {
+				typ := &m.Types[i]
+				pt := typ.PMU.PerfType
+				if _, err := k.Open(Attr{Type: pt, Config: events.Encode(0xFF, 0xFF)}, 100, -1, -1); !errors.Is(err, ErrNotSupported) {
+					t.Errorf("%s unknown config: %v, want ErrNotSupported", typ.Name, err)
+				}
+				if !typ.PMU.HasFixed("cycles") {
+					continue
+				}
+				k.SetWatchdog(pt, true)
+				cfg := uint64(pt)<<HWConfigExtShift | events.HWCPUCycles
+				if _, err := k.Open(Attr{Type: PerfTypeHardware, Config: cfg}, 100, -1, -1); !errors.Is(err, ErrBusy) {
+					t.Errorf("%s cycles under watchdog: %v, want ErrBusy", typ.Name, err)
+				}
+				k.SetWatchdog(pt, false)
+				if fd, err := k.Open(Attr{Type: PerfTypeHardware, Config: cfg}, 100, -1, -1); err != nil {
+					t.Errorf("%s cycles after release: %v", typ.Name, err)
+				} else {
+					k.Close(fd)
+				}
+			}
+			if leaked := k.NumOpen(); leaked != 0 {
+				t.Errorf("%d descriptors leaked", leaked)
+			}
+		})
+	}
+}

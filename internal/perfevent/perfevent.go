@@ -45,6 +45,14 @@ var (
 	ErrNotSupported = errors.New("perfevent: event not supported (ENOENT)")
 	// ErrBadFD corresponds to EBADF.
 	ErrBadFD = errors.New("perfevent: bad file descriptor (EBADF)")
+	// ErrNoSpace corresponds to ENOSPC: the PMU's schedulable counter
+	// budget is exhausted (physically, or because other users of the PMU
+	// hold counters).
+	ErrNoSpace = errors.New("perfevent: no space on PMU (ENOSPC)")
+	// ErrBusy corresponds to EBUSY: the requested counter is reserved
+	// by another kernel user (the NMI watchdog pinning the fixed cycles
+	// counter).
+	ErrBusy = errors.New("perfevent: counter busy (EBUSY)")
 )
 
 // PerfTypeHardware is the static generic hardware event type
@@ -118,6 +126,13 @@ type Event struct {
 	timeEnabled float64
 	timeRunning float64
 
+	// dead marks a descriptor invalidated by its CPU going offline:
+	// every further operation except Close returns ErrNoSuchDevice.
+	dead bool
+	// shadow is the simulator-only oracle counter: what a dedicated,
+	// never-multiplexed counter would have counted (see ShadowValue).
+	shadow float64
+
 	// energyBase is the RAPL accumulator snapshot at enable/reset time.
 	energyBase float64
 
@@ -176,6 +191,13 @@ type Kernel struct {
 	now      float64
 	muxTick  float64
 	syscalls int
+
+	// faults holds the injected fault state (see faults.go). Zero value
+	// means no faults and changes nothing about kernel behavior.
+	faults kernelFaults
+	// OnHotplug, when set, observes every CPU hotplug transition; the
+	// simulator uses it to forward hotplug to the scheduler.
+	OnHotplug func(cpu int, online bool)
 }
 
 // NewKernel returns the subsystem for a machine.
@@ -286,6 +308,7 @@ func (k *Kernel) resolve(attr Attr) (uint32, events.Kind, float64, string, error
 // the event joins that group and must share its PMU type and target.
 func (k *Kernel) Open(attr Attr, pid, cpu, groupFD int) (int, error) {
 	k.syscalls++
+	k.pollFaults()
 	if pid < 0 && cpu < 0 {
 		return -1, fmt.Errorf("%w: pid and cpu both unset", ErrInvalid)
 	}
@@ -296,9 +319,20 @@ func (k *Kernel) Open(attr Attr, pid, cpu, groupFD int) (int, error) {
 	if cpu >= k.m.NumCPUs() {
 		return -1, fmt.Errorf("%w: cpu %d out of range", ErrInvalid, cpu)
 	}
+	if cpu >= 0 && !k.IsOnline(cpu) {
+		return -1, fmt.Errorf("%w: cpu %d is offline", ErrNoSuchDevice, cpu)
+	}
 	pmuType, kind, scale, name, err := k.resolve(attr)
 	if err != nil {
 		return -1, err
+	}
+	if kind == events.KindCycles && k.cyclesBlocked(pmuType) {
+		return -1, fmt.Errorf("%w: fixed cycles counter of pmu %d is held by the NMI watchdog",
+			ErrBusy, pmuType)
+	}
+	if !kind.Software() && !kind.Energy() && k.m.TypeByPerfType(pmuType) != nil &&
+		k.effectiveCapacity(pmuType) < 1 {
+		return -1, fmt.Errorf("%w: pmu %d has no schedulable counters", ErrNoSpace, pmuType)
 	}
 	if kind.Energy() {
 		if k.pwr == nil {
@@ -342,6 +376,9 @@ func (k *Kernel) Open(attr Attr, pid, cpu, groupFD int) (int, error) {
 		if leader.leader != nil {
 			return -1, fmt.Errorf("%w: fd %d is not a group leader", ErrInvalid, groupFD)
 		}
+		if err := checkAlive(leader); err != nil {
+			return -1, err
+		}
 		if leader.pid != pid || leader.cpu != cpu {
 			return -1, fmt.Errorf("%w: group target mismatch", ErrInvalid)
 		}
@@ -356,6 +393,12 @@ func (k *Kernel) Open(attr Attr, pid, cpu, groupFD int) (int, error) {
 			if cap := k.capacityOf(pmuType); leader.hwGroupSize()+1 > cap {
 				return -1, fmt.Errorf("%w: group of %d events exceeds %d counters",
 					ErrInvalid, leader.hwGroupSize()+1, cap)
+			}
+			if eff := k.effectiveCapacity(pmuType); leader.hwGroupSize()+1 > eff {
+				// The group fits the physical inventory but not the
+				// currently schedulable one: other users hold counters.
+				return -1, fmt.Errorf("%w: group of %d events exceeds %d schedulable counters",
+					ErrNoSpace, leader.hwGroupSize()+1, eff)
 			}
 		}
 		e.leader = leader
@@ -428,8 +471,12 @@ func (k *Kernel) lookup(fd int) (*Event, error) {
 // enables its whole group, which is how callers start groups atomically.
 func (k *Kernel) Enable(fd int) error {
 	k.syscalls++
+	k.pollFaults()
 	e, err := k.lookup(fd)
 	if err != nil {
+		return err
+	}
+	if err := checkAlive(e); err != nil {
 		return err
 	}
 	for _, ev := range e.group() {
@@ -444,8 +491,12 @@ func (k *Kernel) Enable(fd int) error {
 // Disable stops counting (PERF_EVENT_IOC_DISABLE), group-wide for leaders.
 func (k *Kernel) Disable(fd int) error {
 	k.syscalls++
+	k.pollFaults()
 	e, err := k.lookup(fd)
 	if err != nil {
+		return err
+	}
+	if err := checkAlive(e); err != nil {
 		return err
 	}
 	k.serviceEnergy(e)
@@ -459,8 +510,12 @@ func (k *Kernel) Disable(fd int) error {
 // leaders. Times are not reset, matching the real ioctl.
 func (k *Kernel) Reset(fd int) error {
 	k.syscalls++
+	k.pollFaults()
 	e, err := k.lookup(fd)
 	if err != nil {
+		return err
+	}
+	if err := checkAlive(e); err != nil {
 		return err
 	}
 	for _, ev := range e.group() {
@@ -473,8 +528,12 @@ func (k *Kernel) Reset(fd int) error {
 // Read returns the event's count.
 func (k *Kernel) Read(fd int) (Count, error) {
 	k.syscalls++
+	k.pollFaults()
 	e, err := k.lookup(fd)
 	if err != nil {
+		return Count{}, err
+	}
+	if err := checkAlive(e); err != nil {
 		return Count{}, err
 	}
 	k.serviceEnergy(e)
@@ -489,6 +548,9 @@ func (k *Kernel) ReadUser(fd int) (Count, error) {
 	if err != nil {
 		return Count{}, err
 	}
+	if err := checkAlive(e); err != nil {
+		return Count{}, err
+	}
 	if e.pid < 0 || e.kind.Energy() {
 		return Count{}, fmt.Errorf("%w: rdpmc requires a per-task hardware event", ErrInvalid)
 	}
@@ -499,8 +561,12 @@ func (k *Kernel) ReadUser(fd int) (Count, error) {
 // operation (PERF_FORMAT_GROUP): one syscall for the whole group.
 func (k *Kernel) ReadGroup(fd int) ([]Count, error) {
 	k.syscalls++
+	k.pollFaults()
 	e, err := k.lookup(fd)
 	if err != nil {
+		return nil, err
+	}
+	if err := checkAlive(e); err != nil {
 		return nil, err
 	}
 	if e.leader != nil {
@@ -519,6 +585,7 @@ func (k *Kernel) ReadGroup(fd int) ([]Count, error) {
 // enough for our callers, which always close whole groups).
 func (k *Kernel) Close(fd int) error {
 	k.syscalls++
+	k.pollFaults()
 	e, err := k.lookup(fd)
 	if err != nil {
 		return err
@@ -570,7 +637,7 @@ func removeEvent(list []*Event, e *Event) []*Event {
 
 // serviceEnergy folds the RAPL accumulator into an energy event's value.
 func (k *Kernel) serviceEnergy(e *Event) {
-	if !e.kind.Energy() || k.pwr == nil || !e.enabled {
+	if !e.kind.Energy() || k.pwr == nil || !e.enabled || e.dead {
 		return
 	}
 	cur := k.energyValue(e.kind)
@@ -587,7 +654,7 @@ func (k *Kernel) TaskExec(pid, cpu int, dt float64, st events.Stats) {
 	// Uncore events are package-scope: they see memory traffic from every
 	// core, whichever CPU they were nominally opened on.
 	for _, e := range k.uncore {
-		if e.enabled {
+		if e.enabled && !e.dead {
 			e.value += e.scale * events.ValueOf(st, e.kind)
 		}
 	}
@@ -619,11 +686,14 @@ func (k *Kernel) TaskExec(pid, cpu int, dt float64, st events.Stats) {
 			// enabled accrues (the task is running), running does not.
 			continue
 		}
+		delta := e.scale * events.ValueOf(st, e.kind)
+		// The shadow oracle counts as if the event held a dedicated
+		// counter, unaffected by rotation or watchdog reservations.
+		e.shadow += delta
 		if !running[e] {
 			continue // multiplexed out this rotation window
 		}
 		e.timeRunning += dt
-		delta := e.scale * events.ValueOf(st, e.kind)
 		e.value += delta
 		k.maybeSample(e, pid, cpu, delta)
 	}
@@ -639,7 +709,7 @@ func (k *Kernel) eventsFor(pid, cpu int) []*Event {
 		}
 	}
 	for _, e := range k.byCPU[cpu] {
-		if e.enabled {
+		if e.enabled && !e.dead {
 			out = append(out, e)
 		}
 	}
@@ -651,17 +721,24 @@ func (k *Kernel) eventsFor(pid, cpu int) []*Event {
 func (k *Kernel) scheduledSet(evs []*Event, pmuType uint32) map[*Event]bool {
 	var leaders []*Event
 	demand := 0
+	blocked := k.cyclesBlocked(pmuType)
 	for _, e := range evs {
 		if e.pmuType != pmuType || e.kind.Energy() || e.kind.Software() {
 			continue
 		}
 		if e.leader == nil {
+			if blocked && groupHasCycles(e) {
+				// The watchdog pins the fixed cycles counter; groups
+				// schedule all-or-nothing, so any group containing a
+				// cycles event stalls (time_running stops accruing).
+				continue
+			}
 			leaders = append(leaders, e)
 			demand += e.hwGroupSize()
 		}
 	}
 	running := map[*Event]bool{}
-	cap := k.capacityOf(pmuType)
+	cap := k.effectiveCapacity(pmuType)
 	if demand <= cap {
 		for _, l := range leaders {
 			for _, e := range l.group() {
@@ -724,15 +801,16 @@ func (k *Kernel) Advance(now float64) {
 		dt = 0
 	}
 	k.now = now
+	k.pollFaults()
 	for _, e := range k.energy {
-		if !e.enabled {
+		if !e.enabled || e.dead {
 			continue
 		}
 		e.timeEnabled += dt
 		e.timeRunning += dt
 	}
 	for _, e := range k.uncore {
-		if !e.enabled {
+		if !e.enabled || e.dead {
 			continue
 		}
 		e.timeEnabled += dt

@@ -38,9 +38,13 @@ func (k *Kernel) maybeSample(e *Event, pid, cpu int, delta float64) {
 	}
 	e.sampleAcc += delta
 	period := float64(e.samplePeriod)
+	ringCap := sampleRingCap
+	if k.faults.ringCap > 0 {
+		ringCap = k.faults.ringCap
+	}
 	for e.sampleAcc >= period {
 		e.sampleAcc -= period
-		if len(e.samples) >= sampleRingCap {
+		if len(e.samples) >= ringCap {
 			e.lostSamples++
 			continue
 		}
@@ -59,6 +63,7 @@ func (k *Kernel) maybeSample(e *Event, pid, cpu int, delta float64) {
 // the number of samples lost to ring overflow since the last drain.
 func (k *Kernel) ReadSamples(fd int) ([]Sample, uint64, error) {
 	k.syscalls++
+	k.pollFaults()
 	e, err := k.lookup(fd)
 	if err != nil {
 		return nil, 0, err

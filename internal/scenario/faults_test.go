@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+)
+
+// faultSpecs returns the reference scenarios that carry a Measure probe —
+// the fault-injection scenarios this file sweeps.
+func faultSpecs(t *testing.T) []Spec {
+	t.Helper()
+	var out []Spec
+	for _, spec := range Reference() {
+		if spec.Measure != nil {
+			out = append(out, spec)
+		}
+	}
+	if len(out) < 2 {
+		t.Fatalf("expected at least 2 fault scenarios with Measure probes, got %d", len(out))
+	}
+	return out
+}
+
+// TestFaultScenarioSeedSweep re-runs every fault scenario under 16
+// scheduler seeds and asserts the degradation contract holds regardless of
+// placement noise: zero invariant violations (which subsumes "every probe
+// read completed" and "values stayed monotonic and bounded", checked every
+// tick by reads-monotonic and scale-bounded), final values present for
+// every requested event with a consistent error bound, and a degradation
+// report attached.
+func TestFaultScenarioSeedSweep(t *testing.T) {
+	seeds := int64(16)
+	if testing.Short() {
+		seeds = 4
+	}
+	for _, base := range faultSpecs(t) {
+		for seed := int64(1); seed <= seeds; seed++ {
+			spec := base
+			spec.Seed = seed
+			t.Run(fmt.Sprintf("%s/seed%d", base.Name, seed), func(t *testing.T) {
+				t.Parallel()
+				res, err := Run(spec)
+				if err != nil {
+					t.Fatalf("run failed: %v", err)
+				}
+				if !res.Completed {
+					t.Errorf("workloads did not finish within %.0fs (elapsed %.3fs)",
+						spec.MaxSeconds, res.ElapsedSec)
+				}
+				if got, want := len(res.MeasureFinal), len(spec.Measure.Events); got != want {
+					t.Fatalf("MeasureFinal has %d values, want %d", got, want)
+				}
+				for i, v := range res.MeasureFinal {
+					if v.Final == 0 {
+						t.Errorf("event %d (%s) counted nothing", i, spec.Measure.Events[i])
+					}
+					if v.ErrorBound != v.Scaled-v.Raw {
+						t.Errorf("event %d (%s): ErrorBound %d != Scaled-Raw %d",
+							i, spec.Measure.Events[i], v.ErrorBound, v.Scaled-v.Raw)
+					}
+				}
+				if res.Degradations == nil {
+					t.Fatal("no degradation report on a fault scenario")
+				}
+			})
+		}
+	}
+}
+
+// TestWatchdogStealDegradesScaled pins the behavioral shape of the
+// watchdog scenario under its reference seed: the steal window stalls the
+// probe's cycles group, so the final PAPI_TOT_CYC value must carry a
+// nonzero error bound while PAPI_TOT_INS keeps counting cleanly.
+func TestWatchdogStealDegradesScaled(t *testing.T) {
+	for _, spec := range faultSpecs(t) {
+		if spec.Name != "raptorlake-watchdog-steal" {
+			continue
+		}
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cyc := res.MeasureFinal[1]
+		if cyc.ErrorBound == 0 {
+			t.Errorf("PAPI_TOT_CYC survived the steal window without extrapolating: %+v", cyc)
+		}
+		if cyc.Scaled <= cyc.Raw {
+			t.Errorf("PAPI_TOT_CYC not scaled: raw %d scaled %d", cyc.Raw, cyc.Scaled)
+		}
+		if res.Degradations.DegradedReads == 0 {
+			t.Errorf("no degraded reads tallied: %+v", *res.Degradations)
+		}
+		return
+	}
+	t.Fatal("raptorlake-watchdog-steal not in Reference()")
+}
+
+// TestHotplugScenarioDefersStart pins the biglittle scenario's EBUSY path:
+// the t=0 counter steal covers the probe's StartSec, so Start must defer
+// at least once and then recover after the release.
+func TestHotplugScenarioDefersStart(t *testing.T) {
+	for _, spec := range faultSpecs(t) {
+		if spec.Name != "biglittle-hotplug" {
+			continue
+		}
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degradations.DeferredStarts == 0 {
+			t.Errorf("probe start was never deferred by the counter steal: %+v", *res.Degradations)
+		}
+		for i, v := range res.MeasureFinal {
+			if v.Final == 0 {
+				t.Errorf("event %d (%s) counted nothing after deferred start", i, spec.Measure.Events[i])
+			}
+		}
+		return
+	}
+	t.Fatal("biglittle-hotplug not in Reference()")
+}

@@ -1,10 +1,12 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"hetpapi/internal/hw"
+	"hetpapi/internal/perfevent"
 	"hetpapi/internal/power"
 	"hetpapi/internal/sched"
 	"hetpapi/internal/sim"
@@ -33,6 +35,10 @@ type Context struct {
 	Foreign []WideEvent
 	// Procs are the processes the harness spawned.
 	Procs []*sched.Process
+	// Measure is the PAPI-probe state when the spec has one (nil
+	// otherwise); the reads-monotonic and scale-bounded invariants audit
+	// it every tick.
+	Measure *MeasureState
 }
 
 // Invariant is a machine property checked on every tick and at end of run.
@@ -60,6 +66,12 @@ type Invariant interface {
 //   - thermal-bounds: the zone stays within [ambient, TjMax]
 //   - power-sanity: package power stays within the machine's physical
 //     range and below the wall-meter reading
+//   - reads-monotonic: the measurement probe's reported values never
+//     decrease and its reads never fail, no matter how degraded the
+//     substrate is (no-op without a Measure spec)
+//   - scale-bounded: every probe value's scaled estimate respects its
+//     declared error bound (Raw <= Final, ErrorBound = Scaled - Raw,
+//     ScaleFactor >= 1; no-op without a Measure spec)
 //
 // Instances hold per-run state; build a new set for every run.
 func Standard() []Invariant {
@@ -72,6 +84,8 @@ func Standard() []Invariant {
 		&freqEnvelope{},
 		&thermalBounds{},
 		&powerSanity{},
+		&readsMonotonic{},
+		&scaleBounded{},
 	}
 }
 
@@ -111,8 +125,17 @@ func (m *counterMonotonic) Check(c *Context) error {
 	}
 	for _, set := range [2][]WideEvent{c.Wide, c.Foreign} {
 		for _, we := range set {
+			if we.Dead {
+				continue
+			}
 			count, err := c.Sim.Kernel.Read(we.FD)
 			if err != nil {
+				// A fault plan can offline a CPU without going through
+				// the harness's hotplug bookkeeping; a dead descriptor
+				// is degradation, not a monotonicity violation.
+				if errors.Is(err, perfevent.ErrNoSuchDevice) {
+					continue
+				}
 				return fmt.Errorf("reading fd %d (cpu%d %s %v): %v", we.FD, we.CPU, we.TypeName, we.Kind, err)
 			}
 			if prev, ok := m.prevCounters[we.FD]; ok && count.Value < prev {
@@ -169,8 +192,14 @@ func (i coreTypeIsolation) Final(c *Context) error { return i.verify(c) }
 
 func (coreTypeIsolation) verify(c *Context) error {
 	for _, we := range c.Foreign {
+		if we.Dead {
+			continue
+		}
 		count, err := c.Sim.Kernel.Read(we.FD)
 		if err != nil {
+			if errors.Is(err, perfevent.ErrNoSuchDevice) {
+				continue // hotplugged away by a fault plan
+			}
 			return fmt.Errorf("reading foreign probe fd %d: %v", we.FD, err)
 		}
 		if count.Value != 0 {
@@ -298,3 +327,77 @@ func (ps *powerSanity) Check(c *Context) error {
 }
 
 func (*powerSanity) Final(*Context) error { return nil }
+
+// readsMonotonic asserts the measurement probe never goes dark or
+// backwards while the substrate degrades: every ReadValues/StopValues
+// completes, and each event's reported Final value never decreases over
+// the run — the core contract of the graceful-degradation ladder.
+type readsMonotonic struct {
+	prev []uint64
+}
+
+func (readsMonotonic) Name() string { return "reads-monotonic" }
+
+func (m *readsMonotonic) Check(c *Context) error { return m.verify(c) }
+func (m *readsMonotonic) Final(c *Context) error { return m.verify(c) }
+
+func (m *readsMonotonic) verify(c *Context) error {
+	if c.Measure == nil {
+		return nil
+	}
+	if c.Measure.ReadErrs > 0 {
+		return fmt.Errorf("measure probe failed %d read(s): a degraded eventset must keep answering", c.Measure.ReadErrs)
+	}
+	vals := c.Measure.LastValues
+	if m.prev == nil && len(vals) > 0 {
+		m.prev = make([]uint64, len(vals))
+	}
+	for i, v := range vals {
+		if v.Final < m.prev[i] {
+			return fmt.Errorf("measure event %d (%s) went backwards: %d -> %d",
+				i, c.Measure.Names[i], m.prev[i], v.Final)
+		}
+		m.prev[i] = v.Final
+	}
+	return nil
+}
+
+// scaleBounded asserts every probe reading's scaled estimate stays inside
+// its declared error bound: the count is reported as lying in
+// [Raw, Scaled], so Raw <= Scaled, ErrorBound must equal the interval
+// width, the extrapolation factor can never be below 1, the reported
+// Final never undershoots the hardware-observed Raw, and a counter cannot
+// have run longer than it was enabled.
+type scaleBounded struct{}
+
+func (scaleBounded) Name() string { return "scale-bounded" }
+
+func (i scaleBounded) Check(c *Context) error { return i.verify(c) }
+func (i scaleBounded) Final(c *Context) error { return i.verify(c) }
+
+func (scaleBounded) verify(c *Context) error {
+	if c.Measure == nil {
+		return nil
+	}
+	for i, v := range c.Measure.LastValues {
+		name := c.Measure.Names[i]
+		if v.Raw > v.Scaled {
+			return fmt.Errorf("measure event %d (%s): raw %d above scaled estimate %d", i, name, v.Raw, v.Scaled)
+		}
+		if v.ErrorBound != v.Scaled-v.Raw {
+			return fmt.Errorf("measure event %d (%s): error bound %d != scaled-raw %d",
+				i, name, v.ErrorBound, v.Scaled-v.Raw)
+		}
+		if v.ScaleFactor < 1 {
+			return fmt.Errorf("measure event %d (%s): scale factor %g < 1", i, name, v.ScaleFactor)
+		}
+		if v.Final < v.Raw {
+			return fmt.Errorf("measure event %d (%s): final %d below raw %d", i, name, v.Final, v.Raw)
+		}
+		if v.TimeRunning > v.TimeEnabled+1e-9 {
+			return fmt.Errorf("measure event %d (%s): ran %.9fs but only enabled %.9fs",
+				i, name, v.TimeRunning, v.TimeEnabled)
+		}
+	}
+	return nil
+}

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 
+	"hetpapi/internal/core"
 	"hetpapi/internal/dvfs"
 	"hetpapi/internal/events"
 	"hetpapi/internal/hw"
@@ -111,6 +112,25 @@ const (
 	InjectFreqCap InjectKind = "freq-cap"
 	// InjectHeat dumps HeatJ joules into the thermal zone.
 	InjectHeat InjectKind = "heat"
+	// InjectCounterSteal models the NMI watchdog (or another kernel-side
+	// consumer) grabbing a counter on every PMU of core class Class: new
+	// cycles events fail with EBUSY on PMUs with a fixed cycles counter,
+	// and already-running groups containing cycles stop being scheduled.
+	// DurSec > 0 schedules the matching release automatically.
+	InjectCounterSteal InjectKind = "counter-steal"
+	// InjectHotplugOff takes CPU offline: its CPU-wide perf descriptors
+	// die with ENODEV and its running task is evicted.
+	InjectHotplugOff InjectKind = "hotplug-off"
+	// InjectHotplugOn brings CPU back online (descriptors killed by a
+	// previous offline stay dead; the harness reopens its own).
+	InjectHotplugOn InjectKind = "hotplug-on"
+	// InjectBufferPressure caps every sampling ring buffer at Cap
+	// records, forcing overflow records to be dropped and counted lost.
+	InjectBufferPressure InjectKind = "buffer-pressure"
+
+	// injectCounterRelease is the internal event a DurSec-bounded
+	// counter-steal expands into.
+	injectCounterRelease InjectKind = "counter-release"
 )
 
 // Inject is one scheduled event of a scenario, applied at the first tick
@@ -124,11 +144,19 @@ type Inject struct {
 	CPUs     []int
 	// PL1W and PL2W parameterize InjectPowerLimit.
 	PL1W, PL2W float64
-	// Class and MHz parameterize InjectFreqCap.
+	// Class and MHz parameterize InjectFreqCap; Class also selects the
+	// PMUs of InjectCounterSteal.
 	Class hw.CoreClass
 	MHz   float64
 	// HeatJ parameterizes InjectHeat.
 	HeatJ float64
+	// DurSec bounds an InjectCounterSteal: the counter is released
+	// DurSec after AtSec (0 = held for the rest of the run).
+	DurSec float64
+	// CPU parameterizes InjectHotplugOff/InjectHotplugOn.
+	CPU int
+	// Cap parameterizes InjectBufferPressure (records per ring).
+	Cap int
 }
 
 // Spec declares a complete scenario.
@@ -158,6 +186,11 @@ type Spec struct {
 	Workloads []WorkloadSpec
 	// Injects are the scheduled events, applied in AtSec order.
 	Injects []Inject
+	// Measure, when non-nil, attaches a PAPI-style EventSet probe to one
+	// workload; its readings are audited every tick by the
+	// reads-monotonic and scale-bounded invariants and its final values
+	// and degradation report land in the Result (and the golden digest).
+	Measure *MeasureSpec
 	// Invariants are checked every tick and at end of run; nil means
 	// Standard(). Use a non-nil empty slice to disable checking.
 	Invariants []Invariant
@@ -247,6 +280,12 @@ type Result struct {
 	Workloads []WorkloadResult
 	// EnergyJ is the package energy consumed over the run.
 	EnergyJ float64
+	// MeasureFinal holds the probe's final degradation-aware values, in
+	// Spec.Measure.Events order (nil without a Measure spec).
+	MeasureFinal []core.Value
+	// Degradations is the probe's degradation report (nil without a
+	// Measure spec).
+	Degradations *core.DegradationReport
 	// Digest is the stable hash of the run's observable behavior (trace,
 	// counters, workload outcomes); see Result.computeDigest.
 	Digest string
@@ -282,6 +321,16 @@ func (r *Result) computeDigest(ncpu int) string {
 			w.Name, w.Kind, w.Done, w.ElapsedSec, w.Gflops)
 	}
 	fmt.Fprintf(h, "energy %.3f\n", r.EnergyJ)
+	if r.Degradations != nil {
+		for i, v := range r.MeasureFinal {
+			fmt.Fprintf(h, "measure %d final=%d raw=%d scaled=%d stale=%v degraded=%v\n",
+				i, v.Final, v.Raw, v.Scaled, v.Stale, v.Degraded)
+		}
+		d := r.Degradations
+		fmt.Fprintf(h, "degradations busy=%d deferred=%d mux=%d rebuilds=%d stale=%d clamps=%d\n",
+			d.BusyRetries, d.DeferredStarts, d.MultiplexFallback, d.HotplugRebuilds,
+			d.StaleReads, d.MonotonicClamps)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -485,12 +534,28 @@ func runOn(s *sim.Machine, spec Spec) (*Result, error) {
 		}
 	}
 	for _, inj := range spec.Injects {
-		if inj.Kind == InjectMigrate && (inj.Workload < 0 || inj.Workload >= len(workloads)) {
-			return nil, fmt.Errorf("scenario %q: migrate inject targets workload %d of %d",
-				spec.Name, inj.Workload, len(workloads))
+		switch inj.Kind {
+		case InjectMigrate:
+			if inj.Workload < 0 || inj.Workload >= len(workloads) {
+				return nil, fmt.Errorf("scenario %q: migrate inject targets workload %d of %d",
+					spec.Name, inj.Workload, len(workloads))
+			}
+		case InjectHotplugOff, InjectHotplugOn:
+			if inj.CPU < 0 || inj.CPU >= s.HW.NumCPUs() {
+				return nil, fmt.Errorf("scenario %q: %s inject targets cpu %d (machine has %d)",
+					spec.Name, inj.Kind, inj.CPU, s.HW.NumCPUs())
+			}
 		}
 	}
 	injects := append([]Inject(nil), spec.Injects...)
+	// A bounded counter-steal expands into its own release event.
+	for _, inj := range spec.Injects {
+		if inj.Kind == InjectCounterSteal && inj.DurSec > 0 {
+			injects = append(injects, Inject{
+				AtSec: inj.AtSec + inj.DurSec, Kind: injectCounterRelease, Class: inj.Class,
+			})
+		}
+	}
 	sort.SliceStable(injects, func(i, j int) bool { return injects[i].AtSec < injects[j].AtSec })
 
 	wide, err := openWide(s)
@@ -508,6 +573,16 @@ func runOn(s *sim.Machine, spec Spec) (*Result, error) {
 		StartEnergyJ: s.Power.EnergyJ(0),
 		Wide:         wide.events,
 		Foreign:      wide.foreign,
+	}
+
+	var probe *measureProbe
+	if spec.Measure != nil {
+		probe, err = newMeasureProbe(s, spec.Measure, len(workloads))
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+		}
+		ctx.Measure = &probe.state
+		defer probe.cleanup()
 	}
 
 	res := &Result{Name: spec.Name, MachineName: s.HW.Name}
@@ -533,12 +608,14 @@ func runOn(s *sim.Machine, spec Spec) (*Result, error) {
 	}
 
 	// The per-tick work is a fixed pipeline of hooks sharing one Context:
-	// the invariant audit first (against the tick that just completed),
-	// then every spec-registered observer (telemetry collectors, probes)
-	// in order, then the control hook that applies injections and delayed
-	// spawns — those configure the NEXT tick (the scheduler enforces new
-	// affinity masks and the governor applies new caps at its next pass,
-	// so checking or sampling this tick against them would be wrong).
+	// the measurement probe first (so the audit and every observer see
+	// this tick's fresh reading), then the invariant audit (against the
+	// tick that just completed), then every spec-registered observer
+	// (telemetry collectors, probes) in order, then the control hook that
+	// applies injections and delayed spawns — those configure the NEXT
+	// tick (the scheduler enforces new affinity masks and the governor
+	// applies new caps at its next pass, so checking or sampling this
+	// tick against them would be wrong).
 	audit := func(ctx *Context) {
 		now := ctx.Sim.Now() - start
 		// The integral accumulates the same P*dt terms the power model
@@ -556,7 +633,7 @@ func runOn(s *sim.Machine, spec Spec) (*Result, error) {
 	control := func(ctx *Context) {
 		s, now := ctx.Sim, ctx.Sim.Now()-start
 		for nextInject < len(injects) && injects[nextInject].AtSec <= now {
-			apply(s, workloads, injects[nextInject])
+			apply(s, workloads, wide, injects[nextInject])
 			nextInject++
 		}
 		for _, sw := range workloads {
@@ -569,7 +646,12 @@ func runOn(s *sim.Machine, spec Spec) (*Result, error) {
 			}
 		}
 	}
-	hooks := make([]StepHook, 0, len(spec.StepHooks)+2)
+	hooks := make([]StepHook, 0, len(spec.StepHooks)+3)
+	if probe != nil {
+		hooks = append(hooks, func(ctx *Context) {
+			probe.step(ctx.Sim.Now()-start, workloads[spec.Measure.Workload])
+		})
+	}
 	hooks = append(hooks, audit)
 	hooks = append(hooks, spec.StepHooks...)
 	hooks = append(hooks, control)
@@ -618,6 +700,12 @@ func runOn(s *sim.Machine, spec Spec) (*Result, error) {
 		res.Workloads = append(res.Workloads, wr)
 	}
 
+	if probe != nil {
+		res.MeasureFinal = probe.finish()
+		rep := probe.state.Set.Degradations()
+		res.Degradations = &rep
+	}
+
 	for _, inv := range invariants {
 		if !failed[inv.Name()] {
 			report(-1, inv, inv.Final(ctx))
@@ -628,7 +716,7 @@ func runOn(s *sim.Machine, spec Spec) (*Result, error) {
 }
 
 // apply executes one injection.
-func apply(s *sim.Machine, workloads []*spawnedWorkload, inj Inject) {
+func apply(s *sim.Machine, workloads []*spawnedWorkload, wide *wideSet, inj Inject) {
 	switch inj.Kind {
 	case InjectMigrate:
 		set := hw.NewCPUSet(inj.CPUs...)
@@ -643,13 +731,43 @@ func apply(s *sim.Machine, workloads []*spawnedWorkload, inj Inject) {
 		s.Governor.SetUserCapMHz(inj.Class, inj.MHz)
 	case InjectHeat:
 		s.Thermal.AddHeatJ(inj.HeatJ)
+	case InjectCounterSteal:
+		for _, pt := range pmuTypesOfClass(s.HW, inj.Class) {
+			s.Kernel.SetWatchdog(pt, true)
+		}
+	case injectCounterRelease:
+		for _, pt := range pmuTypesOfClass(s.HW, inj.Class) {
+			s.Kernel.SetWatchdog(pt, false)
+		}
+	case InjectHotplugOff:
+		// Snapshot the harness's own counters on that CPU before the
+		// kernel kills them, so collected totals survive the offline.
+		wide.offlineCPU(s, inj.CPU)
+		s.SetCPUOnline(inj.CPU, false)
+	case InjectHotplugOn:
+		s.SetCPUOnline(inj.CPU, true)
+		wide.reopenCPU(s, inj.CPU)
+	case InjectBufferPressure:
+		s.Kernel.SetSampleRingCap(inj.Cap)
 	}
+}
+
+// pmuTypesOfClass returns the kernel PMU types of every core type of the
+// given class.
+func pmuTypesOfClass(m *hw.Machine, class hw.CoreClass) []uint32 {
+	var out []uint32
+	for i := range m.Types {
+		if m.Types[i].Class == class {
+			out = append(out, m.Types[i].PMU.PerfType)
+		}
+	}
+	return out
 }
 
 // WideEvent is one system-wide counter the harness keeps open for
 // monitoring and invariant checking.
 type WideEvent struct {
-	// FD is the perf_event descriptor.
+	// FD is the perf_event descriptor (-1 while Dead).
 	FD int
 	// CPU is the CPU the event was opened on.
 	CPU int
@@ -657,6 +775,12 @@ type WideEvent struct {
 	TypeName string
 	// Kind is the architectural quantity counted.
 	Kind events.Kind
+	// Dead marks an event whose CPU was hotplugged off; its accumulated
+	// delta is preserved harness-side and monitoring hooks must skip it.
+	Dead bool
+
+	attr  perfevent.Attr // for reopening after hotplug-on
+	carry float64        // delta accumulated by dead predecessors
 }
 
 type wideSet struct {
@@ -724,14 +848,15 @@ func openWide(s *sim.Machine) (*wideSet, error) {
 			} else if u := def.DefaultUmask(); u != nil {
 				bits = u.Bits
 			}
-			fd, err := s.Kernel.Open(perfevent.Attr{
+			attr := perfevent.Attr{
 				Type:   t.PMU.PerfType,
 				Config: events.Encode(def.Code, bits),
-			}, -1, cpu, -1)
+			}
+			fd, err := s.Kernel.Open(attr, -1, cpu, -1)
 			if err != nil {
 				return nil, fmt.Errorf("opening system-wide %s on cpu%d: %w", spec.name, cpu, err)
 			}
-			ws.events = append(ws.events, WideEvent{FD: fd, CPU: cpu, TypeName: t.Name, Kind: spec.kind})
+			ws.events = append(ws.events, WideEvent{FD: fd, CPU: cpu, TypeName: t.Name, Kind: spec.kind, attr: attr})
 		}
 		// Foreign-PMU probes: this CPU must never feed other types' PMUs.
 		for i := range m.Types {
@@ -751,14 +876,15 @@ func openWide(s *sim.Machine) (*wideSet, error) {
 			if u := def.DefaultUmask(); u != nil {
 				bits = u.Bits
 			}
-			fd, err := s.Kernel.Open(perfevent.Attr{
+			attr := perfevent.Attr{
 				Type:   ft.PMU.PerfType,
 				Config: events.Encode(def.Code, bits),
-			}, -1, cpu, -1)
+			}
+			fd, err := s.Kernel.Open(attr, -1, cpu, -1)
 			if err != nil {
 				return nil, fmt.Errorf("opening foreign probe %s/%s on cpu%d: %w", ft.PfmName, "INST_RETIRED", cpu, err)
 			}
-			ws.foreign = append(ws.foreign, WideEvent{FD: fd, CPU: cpu, TypeName: ft.Name, Kind: events.KindInstructions})
+			ws.foreign = append(ws.foreign, WideEvent{FD: fd, CPU: cpu, TypeName: ft.Name, Kind: events.KindInstructions, attr: attr})
 		}
 	}
 	for _, we := range append(append([]WideEvent(nil), ws.events...), ws.foreign...) {
@@ -770,14 +896,59 @@ func openWide(s *sim.Machine) (*wideSet, error) {
 	return ws, nil
 }
 
+// offlineCPU folds the current delta of every harness event on cpu into
+// its carry and marks it dead, closing the descriptor. Must run before the
+// kernel offlines the CPU (dead descriptors no longer read).
+func (ws *wideSet) offlineCPU(s *sim.Machine, cpu int) {
+	for _, set := range [2][]WideEvent{ws.events, ws.foreign} {
+		for i := range set {
+			we := &set[i]
+			if we.CPU != cpu || we.Dead {
+				continue
+			}
+			if c, err := s.Kernel.Read(we.FD); err == nil {
+				we.carry += float64(c.Value) - ws.base[we.FD]
+			}
+			s.Kernel.Close(we.FD)
+			delete(ws.base, we.FD)
+			we.FD, we.Dead = -1, true
+		}
+	}
+}
+
+// reopenCPU reopens the dead harness events of a re-onlined CPU; their
+// carry keeps earlier counts. A failed reopen leaves the event dead.
+func (ws *wideSet) reopenCPU(s *sim.Machine, cpu int) {
+	for _, set := range [2][]WideEvent{ws.events, ws.foreign} {
+		for i := range set {
+			we := &set[i]
+			if we.CPU != cpu || !we.Dead {
+				continue
+			}
+			fd, err := s.Kernel.Open(we.attr, -1, cpu, -1)
+			if err != nil {
+				continue
+			}
+			we.FD, we.Dead = fd, false
+			ws.base[fd] = 0
+			if c, err := s.Kernel.Read(fd); err == nil {
+				ws.base[fd] = float64(c.Value)
+			}
+		}
+	}
+}
+
 func (ws *wideSet) collect(s *sim.Machine) map[string]TypeCounters {
 	out := map[string]TypeCounters{}
 	for _, we := range ws.events {
-		c, err := s.Kernel.Read(we.FD)
-		if err != nil {
-			continue
+		v := we.carry
+		if !we.Dead {
+			// A read can still fail if a fault plan offlined the CPU
+			// behind the harness's back; the carry is all we have then.
+			if c, err := s.Kernel.Read(we.FD); err == nil {
+				v += float64(c.Value) - ws.base[we.FD]
+			}
 		}
-		v := float64(c.Value) - ws.base[we.FD]
 		tc := out[we.TypeName]
 		switch we.Kind {
 		case events.KindInstructions:
@@ -796,9 +967,13 @@ func (ws *wideSet) collect(s *sim.Machine) map[string]TypeCounters {
 
 func (ws *wideSet) close(s *sim.Machine) {
 	for _, we := range ws.events {
-		s.Kernel.Close(we.FD)
+		if we.FD >= 0 {
+			s.Kernel.Close(we.FD)
+		}
 	}
 	for _, we := range ws.foreign {
-		s.Kernel.Close(we.FD)
+		if we.FD >= 0 {
+			s.Kernel.Close(we.FD)
+		}
 	}
 }

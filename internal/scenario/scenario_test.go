@@ -239,9 +239,15 @@ func TestInjectMigrateMovesWork(t *testing.T) {
 // regression test: a one-watt change to a power-model constant must
 // produce a different behavior digest for the same scenario.
 func TestPerturbedMachineChangesDigest(t *testing.T) {
-	spec := scenario.Reference()[3] // homogeneous-powercap
+	var spec scenario.Spec
+	for _, ref := range scenario.Reference() {
+		if ref.Name == "homogeneous-powercap" {
+			spec = ref
+			break
+		}
+	}
 	if spec.Machine != "homogeneous" {
-		t.Fatalf("reference order changed; got %s", spec.Name)
+		t.Fatalf("homogeneous-powercap not found in Reference()")
 	}
 	base, err := scenario.Run(spec)
 	if err != nil {

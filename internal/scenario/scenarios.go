@@ -80,6 +80,65 @@ func Reference() []Spec {
 			},
 		},
 		{
+			// Fault scenario: mid-run NMI-watchdog counter steal on the
+			// P-core PMU while a multiplexed PAPI probe measures a pinned
+			// HPL run. The probe's cycles group deschedules during the
+			// steal window, so its readings must show the time-scaled
+			// estimate with a nonzero error bound — and stay monotonic —
+			// until the release.
+			Name:            "raptorlake-watchdog-steal",
+			Machine:         "raptorlake",
+			Seed:            7,
+			MaxSeconds:      60,
+			SamplePeriodSec: 0.25,
+			Workloads: []WorkloadSpec{{
+				Kind:     WorkloadHPL,
+				Name:     "hpl",
+				CPUs:     []int{0, 2, 4, 6},
+				N:        12288,
+				NB:       128,
+				Strategy: workload.OpenBLASx86(),
+				Seed:     1,
+			}},
+			Measure: &MeasureSpec{
+				Workload:  0,
+				Events:    []string{"PAPI_TOT_INS", "PAPI_TOT_CYC"},
+				Multiplex: true,
+			},
+			Injects: []Inject{
+				{AtSec: 1.5, Kind: InjectCounterSteal, Class: hw.Performance, DurSec: 2},
+			},
+		},
+		{
+			// Fault scenario: the big.LITTLE board under CPU hotplug. A
+			// counter steal on the LITTLE PMU covers the probe's start, so
+			// the first Start attempts defer with EBUSY until the release;
+			// mid-run one A53 is hotplugged off (killing the harness's
+			// CPU-wide descriptors there) and later brought back.
+			Name:            "biglittle-hotplug",
+			Machine:         "orangepi800",
+			Seed:            13,
+			MaxSeconds:      15,
+			SamplePeriodSec: 0.25,
+			Workloads: []WorkloadSpec{{
+				Kind:        WorkloadLoop,
+				Name:        "little-loop",
+				CPUs:        []int{0, 1, 2, 3},
+				InstrPerRep: 1e6,
+				Reps:        6000,
+			}},
+			Measure: &MeasureSpec{
+				Workload: 0,
+				Events:   []string{"PAPI_TOT_INS", "PAPI_TOT_CYC"},
+				StartSec: 0.1,
+			},
+			Injects: []Inject{
+				{AtSec: 0, Kind: InjectCounterSteal, Class: hw.Efficiency, DurSec: 0.5},
+				{AtSec: 2, Kind: InjectHotplugOff, CPU: 1},
+				{AtSec: 3.5, Kind: InjectHotplugOn, CPU: 1},
+			},
+		},
+		{
 			// The homogeneous baseline: SMT contention plus a mid-run
 			// power-limit drop on a single-PMU machine.
 			Name:            "homogeneous-powercap",

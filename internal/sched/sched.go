@@ -88,6 +88,7 @@ type Scheduler struct {
 
 	procs       []*Process
 	byCPU       []*Process
+	offline     []bool
 	nextPID     int
 	lastBalance float64
 	hooks       []Hook
@@ -109,8 +110,31 @@ func New(m *hw.Machine, cfg Config) *Scheduler {
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		byCPU:   make([]*Process, m.NumCPUs()),
+		offline: make([]bool, m.NumCPUs()),
 		nextPID: 1000, // init-ish pids, for flavor
 	}
+}
+
+// SetOnline changes a CPU's hotplug state as seen by the scheduler: an
+// offline CPU's occupant is evicted immediately and no process is placed
+// there until the CPU comes back. Affinity masks are left alone — a task
+// whose mask only covers offline CPUs simply waits, like a real task
+// bound to a hotplugged-off CPU.
+func (s *Scheduler) SetOnline(cpu int, online bool, now float64) {
+	if cpu < 0 || cpu >= len(s.offline) {
+		return
+	}
+	s.offline[cpu] = !online
+	if !online {
+		if p := s.byCPU[cpu]; p != nil {
+			s.evict(p, now)
+		}
+	}
+}
+
+// Online reports whether the CPU is online for scheduling.
+func (s *Scheduler) Online(cpu int) bool {
+	return cpu >= 0 && cpu < len(s.offline) && !s.offline[cpu]
 }
 
 // AddHook registers a context-switch observer.
@@ -184,7 +208,7 @@ func (s *Scheduler) reap(now float64) {
 
 func (s *Scheduler) enforceAffinity(now float64) {
 	for _, p := range s.procs {
-		if p.cpu >= 0 && !p.affinity.Has(p.cpu) {
+		if p.cpu >= 0 && (!p.affinity.Has(p.cpu) || s.offline[p.cpu]) {
 			s.evict(p, now)
 		}
 	}
@@ -235,7 +259,7 @@ func (s *Scheduler) place(now float64) {
 func (s *Scheduler) pickCPU(mask hw.CPUSet) int {
 	best, bestScore := -1, -1
 	for _, cpu := range mask.IDs() {
-		if cpu >= len(s.byCPU) || s.byCPU[cpu] != nil {
+		if cpu >= len(s.byCPU) || s.byCPU[cpu] != nil || s.offline[cpu] {
 			continue
 		}
 		score := 0
@@ -310,7 +334,7 @@ func (s *Scheduler) balance(now float64) {
 
 func (s *Scheduler) pickCPUOfClass(mask hw.CPUSet, class hw.CoreClass) int {
 	for _, cpu := range mask.IDs() {
-		if cpu < len(s.byCPU) && s.byCPU[cpu] == nil && s.m.TypeOf(cpu).Class == class {
+		if cpu < len(s.byCPU) && s.byCPU[cpu] == nil && !s.offline[cpu] && s.m.TypeOf(cpu).Class == class {
 			return cpu
 		}
 	}

@@ -96,8 +96,21 @@ func New(m *hw.Machine, cfg Config) *Machine {
 	}
 	s.Kernel.AttachPower(s.Power)
 	s.Sched.AddHook(s.Kernel)
+	// Hotplug flows kernel-first so plan-driven faults reach the
+	// scheduler too: whichever door sets a CPU's state, the kernel's
+	// callback keeps the scheduler's view in sync.
+	s.Kernel.OnHotplug = func(cpu int, online bool) {
+		s.Sched.SetOnline(cpu, online, s.now)
+	}
 	s.FS = sysfs.New(m, s)
 	return s
+}
+
+// SetCPUOnline hotplugs a CPU: offlining invalidates CPU-wide perf
+// events opened on it and evicts its running task; onlining makes it
+// schedulable again (dead perf descriptors stay dead).
+func (s *Machine) SetCPUOnline(cpu int, online bool) {
+	s.Kernel.SetCPUOnline(cpu, online)
 }
 
 // AddStepHook registers a hook called at the end of every Step and returns

@@ -143,6 +143,28 @@ type QueryResponse struct {
 	Groups []TypeAggregate `json:"groups,omitempty"`
 }
 
+// MeasureValueInfo is one probe event's latest reading in the
+// /degradations payload.
+type MeasureValueInfo struct {
+	Event      string  `json:"event"`
+	Final      float64 `json:"final"`
+	ErrorBound float64 `json:"error_bound"`
+}
+
+// DegradationInfo is one machine's entry of the /degradations payload:
+// the latest graceful-degradation tallies and per-event probe readings,
+// assembled from the degradation/* and measure/* series the collector
+// exports. Machines without a measurement probe are omitted.
+type DegradationInfo struct {
+	Machine string `json:"machine"`
+	// Counters maps tally names (busy_retries, deferred_starts,
+	// multiplex_fallback, hotplug_rebuilds, stale_reads, degraded_reads)
+	// to their latest values.
+	Counters map[string]float64 `json:"counters"`
+	// Events holds the probe's latest per-event values.
+	Events []MeasureValueInfo `json:"events,omitempty"`
+}
+
 // APIError is the JSON error body every non-200 endpoint response
 // carries.
 type APIError struct {

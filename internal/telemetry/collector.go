@@ -67,15 +67,19 @@ func (c *Collector) Hook() scenario.StepHook {
 	return func(ctx *scenario.Context) {
 		start := time.Now()
 		c.startOnce.Do(func() { c.startWall = start })
-		n := c.ticks.Add(1)
+		n := c.ticks.Load()
 		now := ctx.Sim.Now() - ctx.StartSec
 		c.lastSec = now
 		c.simNs.Store(int64((c.baseSec + now) * 1e9))
-		if (n-1)%c.every == 0 {
+		if n%c.every == 0 {
 			c.sample(ctx, c.baseSec+now)
 		}
 		c.ingestNs.Add(int64(time.Since(start)))
 		c.spanNs.Store(int64(time.Since(c.startWall)))
+		// Publish the tick count last: observers that see Ticks > 0 are
+		// then guaranteed a non-zero wall span and ingest time, so the
+		// overhead gauges never read as zero mid-tick.
+		c.ticks.Add(1)
 	}
 }
 
@@ -93,6 +97,9 @@ func (c *Collector) sample(ctx *scenario.Context, t float64) {
 	c.store.Append(Key{c.machine, "power_w"}, t, s.Power.PkgPowerW())
 	c.store.Append(Key{c.machine, "wall_w"}, t, s.Power.WallPowerW())
 	for _, we := range ctx.Wide {
+		if we.Dead {
+			continue // CPU hotplugged off; the series resumes on reopen
+		}
 		count, err := s.Kernel.Read(we.FD)
 		if err != nil {
 			continue
@@ -103,6 +110,26 @@ func (c *Collector) sample(ctx *scenario.Context, t float64) {
 			c.fdNames[we.FD] = name
 		}
 		c.store.Append(Key{c.machine, name}, t, float64(count.Value))
+	}
+	if m := ctx.Measure; m != nil && len(m.LastValues) > 0 {
+		for i, v := range m.LastValues {
+			c.store.Append(Key{c.machine, MeasureSeriesName(m.Names[i], "final")}, t, float64(v.Final))
+			c.store.Append(Key{c.machine, MeasureSeriesName(m.Names[i], "error_bound")}, t, float64(v.ErrorBound))
+		}
+		r := m.Set.Degradations()
+		for _, g := range [...]struct {
+			name string
+			v    int
+		}{
+			{"busy_retries", r.BusyRetries},
+			{"deferred_starts", r.DeferredStarts},
+			{"multiplex_fallback", r.MultiplexFallback},
+			{"hotplug_rebuilds", r.HotplugRebuilds},
+			{"stale_reads", r.StaleReads},
+			{"degraded_reads", r.DegradedReads},
+		} {
+			c.store.Append(Key{c.machine, DegradationSeriesName(g.name)}, t, float64(g.v))
+		}
 	}
 }
 

@@ -92,6 +92,56 @@ func TestCollectorIngestsScenario(t *testing.T) {
 	}
 }
 
+// TestCollectorExportsMeasureSeries attaches a measurement probe to the
+// scenario and checks the collector streams the probe's per-event values
+// as measure/<event>/<field> series and the graceful-degradation tallies
+// as degradation/<counter> series.
+func TestCollectorExportsMeasureSeries(t *testing.T) {
+	store := NewStore(Config{Capacity: 1024})
+	col := NewCollector(store, "mach", 1)
+	spec := collectorSpec()
+	spec.Measure = &scenario.MeasureSpec{
+		Workload: 0,
+		Events:   []string{"PAPI_TOT_INS", "PAPI_TOT_CYC"},
+	}
+	spec.StepHooks = []scenario.StepHook{col.Hook()}
+	res, err := scenario.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("scenario did not complete")
+	}
+	for _, ev := range spec.Measure.Events {
+		for _, field := range []string{"final", "error_bound"} {
+			k := Key{"mach", MeasureSeriesName(ev, field)}
+			pts, ok := store.Snapshot(k)
+			if !ok || len(pts) == 0 {
+				t.Fatalf("missing measure series %s (have %v)", k, store.SeriesOf("mach"))
+			}
+			if field == "final" {
+				if last := pts[len(pts)-1].Value; last <= 0 {
+					t.Errorf("%s final value %g not positive", ev, last)
+				}
+				for i := 1; i < len(pts); i++ {
+					if pts[i].Value < pts[i-1].Value {
+						t.Errorf("%s final series not monotonic at %d: %g -> %g",
+							ev, i, pts[i-1].Value, pts[i].Value)
+					}
+				}
+			}
+		}
+	}
+	for _, ctr := range []string{
+		"busy_retries", "deferred_starts", "multiplex_fallback",
+		"hotplug_rebuilds", "stale_reads", "degraded_reads",
+	} {
+		if _, ok := store.Snapshot(Key{"mach", DegradationSeriesName(ctr)}); !ok {
+			t.Errorf("missing degradation series %q", ctr)
+		}
+	}
+}
+
 // TestCollectorNextRunKeepsTimeMonotonic checks loop-mode rollover: the
 // second run's samples land after the first run's on the same time axis.
 func TestCollectorNextRunKeepsTimeMonotonic(t *testing.T) {

@@ -20,6 +20,7 @@ import (
 //	GET /series?machine=M  series inventory of one machine
 //	GET /query?machine=M&series=S[&from=F][&to=T][&agg=1]
 //	GET /query?machine=M&kind=K&by=type
+//	GET /degradations[?machine=M]  latest probe degradation tallies
 //	GET /metrics           Prometheus-style text exposition
 //
 // Every response body is JSON except /metrics. Errors carry an APIError
@@ -77,6 +78,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/machines", s.handleMachines)
 	mux.HandleFunc("/series", s.handleSeries)
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/degradations", s.handleDegradations)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.timeout <= 0 {
 		return mux
@@ -230,6 +232,61 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleDegradations reports, per machine carrying a measurement probe,
+// the latest graceful-degradation tallies and probe readings — the
+// operational view of how hard the perf substrate is pushing back. An
+// optional machine= parameter restricts the listing.
+func (s *Server) handleDegradations(w http.ResponseWriter, r *http.Request) {
+	filter := r.URL.Query().Get("machine")
+	if filter != "" && !s.knownMachine(filter) {
+		writeError(w, http.StatusNotFound, "unknown machine %q", filter)
+		return
+	}
+	out := []DegradationInfo{}
+	for _, machine := range s.store.Machines() {
+		if filter != "" && machine != filter {
+			continue
+		}
+		info := DegradationInfo{Machine: machine, Counters: map[string]float64{}}
+		finals := map[string]float64{}
+		bounds := map[string]float64{}
+		var events []string
+		for _, name := range s.store.SeriesOf(machine) {
+			agg, ok := s.store.Aggregate(Key{machine, name})
+			if !ok {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(name, "degradation/"):
+				info.Counters[strings.TrimPrefix(name, "degradation/")] = agg.Last
+			case strings.HasPrefix(name, "measure/"):
+				parts := strings.Split(name, "/")
+				if len(parts) != 3 {
+					continue
+				}
+				switch parts[2] {
+				case "final":
+					finals[parts[1]] = agg.Last
+					events = append(events, parts[1])
+				case "error_bound":
+					bounds[parts[1]] = agg.Last
+				}
+			}
+		}
+		if len(info.Counters) == 0 && len(events) == 0 {
+			continue // no probe on this machine
+		}
+		sort.Strings(events)
+		for _, ev := range events {
+			info.Events = append(info.Events, MeasureValueInfo{
+				Event: ev, Final: finals[ev], ErrorBound: bounds[ev],
+			})
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // metricFamily accumulates one exposition family's sample lines.
 type metricFamily struct {
 	name, help, kind string
@@ -247,6 +304,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	wall := &metricFamily{name: "hetpapi_wall_power_watts", help: "AC-side wall meter power.", kind: "gauge"}
 	energy := &metricFamily{name: "hetpapi_pkg_energy_joules_total", help: "Cumulative RAPL package energy.", kind: "counter"}
 	ctr := &metricFamily{name: "hetpapi_counter_total", help: "System-wide perf counter value per CPU, core type and event kind.", kind: "counter"}
+	degr := &metricFamily{name: "hetpapi_degradation_total", help: "Graceful-degradation actions performed by the measurement probe, by action.", kind: "counter"}
 	ticks := &metricFamily{name: "hetpapid_ticks_total", help: "Simulator ticks observed by the collector.", kind: "counter"}
 	runs := &metricFamily{name: "hetpapid_runs_total", help: "Completed scenario runs.", kind: "counter"}
 	ingest := &metricFamily{name: "hetpapid_ingest_seconds_total", help: "Wall-clock seconds spent in telemetry ingestion.", kind: "counter"}
@@ -272,6 +330,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				wall.add(ml, agg.Last)
 			case name == "energy_j":
 				energy.add(ml, agg.Last)
+			case strings.HasPrefix(name, "degradation/"):
+				degr.add(fmt.Sprintf("%s,action=%q", ml, strings.TrimPrefix(name, "degradation/")), agg.Last)
 			default:
 				if cpu, typeName, kind, ok := parseCounterSeries(name); ok {
 					ctr.add(fmt.Sprintf("%s,cpu=%q,type=%q,kind=%q", ml, cpu, typeName, kind), agg.Last)
@@ -298,7 +358,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	for _, f := range []*metricFamily{freq, temp, pwr, wall, energy, ctr, ticks, runs, ingest, ovhTick, ovhRatio} {
+	for _, f := range []*metricFamily{freq, temp, pwr, wall, energy, ctr, degr, ticks, runs, ingest, ovhTick, ovhRatio} {
 		if len(f.lines) == 0 {
 			continue
 		}

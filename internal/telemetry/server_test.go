@@ -139,6 +139,74 @@ func TestHandlersTable(t *testing.T) {
 	}
 }
 
+// TestDegradationsEndpoint seeds measure/* and degradation/* series for
+// one of two machines and checks /degradations reports only the probed
+// machine, with latest tallies and per-event readings, and that the
+// tallies surface in /metrics as hetpapi_degradation_total.
+func TestDegradationsEndpoint(t *testing.T) {
+	st := telemetry.NewStore(telemetry.Config{Capacity: 64})
+	for i := 0; i < 5; i++ {
+		ti := float64(i)
+		st.Append(telemetry.Key{Machine: "plain", Series: "power_w"}, ti, 40+ti)
+		st.Append(telemetry.Key{Machine: "probed", Series: "power_w"}, ti, 50+ti)
+		st.Append(telemetry.Key{Machine: "probed",
+			Series: telemetry.MeasureSeriesName("PAPI_TOT_INS", "final")}, ti, 1000*ti)
+		st.Append(telemetry.Key{Machine: "probed",
+			Series: telemetry.MeasureSeriesName("PAPI_TOT_INS", "error_bound")}, ti, 10*ti)
+		st.Append(telemetry.Key{Machine: "probed",
+			Series: telemetry.DegradationSeriesName("busy_retries")}, ti, ti)
+	}
+	srv := telemetry.NewServer(st, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/degradations")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var infos []telemetry.DegradationInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatalf("unmarshal %s: %v", body, err)
+	}
+	if len(infos) != 1 || infos[0].Machine != "probed" {
+		t.Fatalf("want only the probed machine, got %+v", infos)
+	}
+	if infos[0].Counters["busy_retries"] != 4 {
+		t.Errorf("busy_retries = %g, want latest value 4", infos[0].Counters["busy_retries"])
+	}
+	if len(infos[0].Events) != 1 || infos[0].Events[0].Event != "PAPI_TOT_INS" ||
+		infos[0].Events[0].Final != 4000 || infos[0].Events[0].ErrorBound != 40 {
+		t.Errorf("events %+v", infos[0].Events)
+	}
+
+	if code, body := get("/degradations?machine=probed"); code != 200 {
+		t.Fatalf("machine filter status %d: %s", code, body)
+	}
+	if code, _ := get("/degradations?machine=plain"); code != 200 {
+		t.Fatalf("unprobed machine filter must still be 200 (empty list), got %d", code)
+	}
+	if code, _ := get("/degradations?machine=nope"); code != 404 {
+		t.Fatalf("unknown machine must 404, got %d", code)
+	}
+
+	_, metrics := get("/metrics")
+	if !strings.Contains(string(metrics),
+		`hetpapi_degradation_total{machine="probed",action="busy_retries"} 4`) {
+		t.Errorf("metrics missing degradation family:\n%s", metrics)
+	}
+}
+
 func TestMetricsExposition(t *testing.T) {
 	_, srv := seededServer(t, 0)
 	ts := httptest.NewServer(srv.Handler())

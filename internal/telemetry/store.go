@@ -292,6 +292,19 @@ func CounterSeriesName(cpu int, typeName, kind string) string {
 	return fmt.Sprintf("cpu%d/%s/%s", cpu, typeName, kind)
 }
 
+// MeasureSeriesName is the naming convention for the PAPI-probe value
+// series of a fault scenario: measure/<event>/<field>, e.g.
+// "measure/PAPI_TOT_CYC/final".
+func MeasureSeriesName(event, field string) string {
+	return fmt.Sprintf("measure/%s/%s", event, field)
+}
+
+// DegradationSeriesName is the naming convention for the probe's
+// degradation tallies, e.g. "degradation/busy_retries".
+func DegradationSeriesName(counter string) string {
+	return "degradation/" + counter
+}
+
 // parseCounterSeries splits a counter series name into its parts.
 func parseCounterSeries(name string) (cpu, typeName, kind string, ok bool) {
 	parts := strings.Split(name, "/")

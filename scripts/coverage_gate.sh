@@ -1,0 +1,18 @@
+#!/bin/sh
+# Coverage gate for the measurement substrate. Fails if the combined
+# statement coverage of internal/perfevent (simulated kernel + fault
+# injection) and internal/core (degradation ladder) drops below the
+# baseline recorded in scripts/coverage_baseline.txt. Update the baseline
+# deliberately, in the same commit that justifies the change.
+set -eu
+cd "$(dirname "$0")/.."
+baseline=$(cat scripts/coverage_baseline.txt)
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+go test -coverprofile="$profile" ./internal/perfevent ./internal/core
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+awk -v t="$total" -v b="$baseline" 'BEGIN {
+  printf "substrate coverage: %.1f%% (baseline %.1f%%)\n", t, b
+  if (t + 0.0001 < b) { print "coverage gate FAILED"; exit 1 }
+  print "coverage gate OK"
+}'
