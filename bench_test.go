@@ -15,6 +15,7 @@ package hetpapi
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"hetpapi/internal/pfmlib"
 	"hetpapi/internal/scenario"
 	"hetpapi/internal/sim"
+	"hetpapi/internal/spantrace"
 	"hetpapi/internal/sysfs"
 	"hetpapi/internal/telemetry"
 	"hetpapi/internal/workload"
@@ -635,4 +637,168 @@ func BenchmarkEnergyTable(b *testing.B) {
 			fmt.Print(res)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Span-trace benchmarks: the recorder's self-overhead contract. The
+// tick benchmarks measure the same machine+workload under four tracing
+// states; the acceptance bar is that an attached-but-disabled recorder
+// adds < 5% to the baseline tick cost (every instrumentation site is a
+// nil check plus one atomic load).
+
+// traceTickRig is the monitoring-loop rig the tick benchmarks share:
+// Raptor Lake running a pinned spin task with a started hybrid (two
+// perf-group) EventSet. One "tick" is a simulator step plus an EventSet
+// read — the per-sample work of the paper's monitoring loops, touching
+// the sched-hook, syscall and read-quality instrumentation sites.
+func traceTickRig(b *testing.B) (*sim.Machine, *core.EventSet) {
+	b.Helper()
+	rig := newRig(b, multiPMUNames, false)
+	return rig.s, rig.es
+}
+
+// tickNs times b.N step+read ticks and returns the mean ns/tick.
+func tickNs(b *testing.B, s *sim.Machine, es *core.EventSet) float64 {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+		if _, err := es.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	return float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+}
+
+// BenchmarkSpantraceTick measures per-tick monitoring cost across
+// tracing states:
+//
+//	baseline   no recorder ever attached
+//	disabled   recorder attached, Enable never called
+//	enabled    recorder attached and recording
+//	exporting  recording, plus a Perfetto JSON export every 1024 ticks
+//
+// The disabled/baseline and enabled/disabled ratios are reported as
+// benchmark metrics (acceptance: disabled adds < 5%), the measured
+// costs are folded into the recorder's self-overhead report
+// (Overhead().TickCostRatio), and the report prints once at the end.
+func BenchmarkSpantraceTick(b *testing.B) {
+	var baselineNs, disabledNs, enabledNs float64
+	var enabledOvh spantrace.OverheadReport
+	b.Run("baseline", func(b *testing.B) {
+		s, es := traceTickRig(b)
+		baselineNs = tickNs(b, s, es)
+	})
+	b.Run("disabled", func(b *testing.B) {
+		s, es := traceTickRig(b)
+		s.SetTracer(spantrace.New(spantrace.Config{}))
+		disabledNs = tickNs(b, s, es)
+		if baselineNs > 0 {
+			b.ReportMetric(disabledNs/baselineNs, "x-baseline")
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		s, es := traceTickRig(b)
+		rec := spantrace.New(spantrace.Config{})
+		rec.Enable()
+		s.SetTracer(rec)
+		enabledNs = tickNs(b, s, es)
+		rec.RecordTickCost(disabledNs, enabledNs)
+		enabledOvh = rec.Overhead()
+		if enabledOvh.TickCostRatio > 0 {
+			b.ReportMetric(enabledOvh.TickCostRatio, "x-disabled")
+		}
+	})
+	b.Run("exporting", func(b *testing.B) {
+		s, es := traceTickRig(b)
+		rec := spantrace.New(spantrace.Config{})
+		rec.Enable()
+		s.SetTracer(rec)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+			if _, err := es.Read(); err != nil {
+				b.Fatal(err)
+			}
+			if i%1024 == 1023 {
+				if err := spantrace.WriteJSON(io.Discard, rec.Snapshot()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		if printHeader(b, "spantrace-ovh", "Span-trace recorder self-overhead", "") {
+			fmt.Printf("tick ns: baseline %.0f, disabled %.0f, enabled %.0f\n",
+				baselineNs, disabledNs, enabledNs)
+			fmt.Printf("disabled/baseline %.3f (acceptance: < 1.05), enabled/disabled %.3f\n",
+				disabledNs/baselineNs, enabledOvh.TickCostRatio)
+			fmt.Printf("enabled run emitted %d, retained %d, dropped %d, %d bytes retained\n",
+				enabledOvh.SpansEmitted, enabledOvh.SpansRetained,
+				enabledOvh.SpansDropped, enabledOvh.BytesRetained)
+		}
+	})
+}
+
+// BenchmarkSpantraceDisabledSite isolates one instrumentation site's
+// fast path: the Enabled gate on nil and disabled recorders.
+func BenchmarkSpantraceDisabledSite(b *testing.B) {
+	b.Run("nil", func(b *testing.B) {
+		var rec *spantrace.Recorder
+		for i := 0; i < b.N; i++ {
+			if rec.Enabled() {
+				b.Fatal("nil recorder enabled")
+			}
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		rec := spantrace.New(spantrace.Config{})
+		for i := 0; i < b.N; i++ {
+			if rec.Enabled() {
+				b.Fatal("recorder enabled")
+			}
+		}
+	})
+}
+
+// BenchmarkSpantraceEmit measures the enabled emit path, including the
+// steady-state ring-wraparound case (capacity far below b.N, so every
+// push evicts the oldest event).
+func BenchmarkSpantraceEmit(b *testing.B) {
+	b.Run("instant", func(b *testing.B) {
+		rec := spantrace.New(spantrace.Config{TrackCapacity: 1 << 16})
+		rec.Enable()
+		trk := rec.Track("bench")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec.Instant(trk, "sys.read", "syscall", float64(i), spantrace.Int("fd", 3))
+		}
+	})
+	b.Run("wraparound", func(b *testing.B) {
+		rec := spantrace.New(spantrace.Config{TrackCapacity: 64})
+		rec.Enable()
+		trk := rec.Track("bench")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec.Instant(trk, "sys.read", "syscall", float64(i), spantrace.Int("fd", 3))
+		}
+		b.StopTimer()
+		if st := rec.Stats(); b.N > 64 && st.Dropped == 0 {
+			b.Fatal("expected wrap drops")
+		}
+	})
+	b.Run("span-args", func(b *testing.B) {
+		rec := spantrace.New(spantrace.Config{TrackCapacity: 1 << 16})
+		rec.Enable()
+		trk := rec.Track("bench")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec.Span(trk, "hpl", "exec", float64(i), 0.001,
+				spantrace.Int("pid", 1000),
+				spantrace.Str("core_type", "P-core"),
+				spantrace.Str("class", "performance"))
+		}
+	})
 }

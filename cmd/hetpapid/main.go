@@ -10,6 +10,7 @@
 //	GET /query?machine=M&series=power_w&agg=1
 //	GET /query?machine=M&kind=instructions&by=type
 //	GET /degradations      latest probe degradation tallies per machine
+//	GET /trace?machine=M   live span trace as Perfetto JSON
 //	GET /metrics           Prometheus-style text exposition
 //
 // Fault scenarios (reference scenarios carrying a Measure probe) also
@@ -21,7 +22,14 @@
 //
 //	hetpapid [-addr :8080] [-scenarios all|name,name,...] [-loop]
 //	         [-capacity N] [-downsample K] [-shards S] [-every T]
-//	         [-request-timeout D]
+//	         [-request-timeout D] [-trace-capacity N]
+//
+// Every machine also records a cross-layer span trace (scheduler exec
+// spans and migrations, perf_event syscalls, fault and degradation
+// events) into fixed rings; /trace?machine=M serves the current buffer
+// as Chrome trace-event JSON for ui.perfetto.dev, and /metrics exports
+// the hetpapid_spans_* recorder counters. -trace-capacity 0 turns the
+// recorder off.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight scenario
 // runs are stopped at the next tick boundary via the harness's external
@@ -44,6 +52,7 @@ import (
 	"time"
 
 	"hetpapi/internal/scenario"
+	"hetpapi/internal/spantrace"
 	"hetpapi/internal/telemetry"
 )
 
@@ -56,6 +65,7 @@ type config struct {
 	every      int
 	loop       bool
 	reqTimeout time.Duration
+	traceCap   int
 }
 
 func main() {
@@ -69,6 +79,8 @@ func main() {
 	flag.IntVar(&cfg.every, "every", 1, "sample every N simulator ticks")
 	flag.BoolVar(&cfg.loop, "loop", true, "restart scenarios when they finish")
 	flag.DurationVar(&cfg.reqTimeout, "request-timeout", 5*time.Second, "per-request handler timeout")
+	flag.IntVar(&cfg.traceCap, "trace-capacity", spantrace.DefaultTrackCapacity,
+		"span-trace ring capacity per track, served at /trace (0 disables tracing)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -146,10 +158,16 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready chan<- string) e
 	for _, spec := range specs {
 		col := telemetry.NewCollector(store, spec.Name, cfg.every)
 		api.Register(spec.Name, spec.Name, spec.Machine, col)
+		var rec *spantrace.Recorder
+		if cfg.traceCap > 0 {
+			rec = spantrace.New(spantrace.Config{TrackCapacity: cfg.traceCap})
+			rec.Enable()
+			api.AttachTracer(spec.Name, rec)
+		}
 		wg.Add(1)
 		go func(spec scenario.Spec) {
 			defer wg.Done()
-			collect(runCtx, api, col, spec, cfg.loop, logw)
+			collect(runCtx, api, col, rec, spec, cfg.loop, logw)
 		}(spec)
 	}
 
@@ -179,14 +197,17 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready chan<- string) e
 }
 
 // collect is one machine's collection goroutine: it runs the scenario
-// (repeatedly in loop mode) with the telemetry hook attached, until the
-// context stops it.
+// (repeatedly in loop mode) with the telemetry hook and, when tracing
+// is on, the machine's span recorder attached, until the context stops
+// it. In loop mode each run records into the same rings — the rings
+// drop oldest, so /trace always serves the most recent window.
 func collect(ctx context.Context, api *telemetry.Server, col *telemetry.Collector,
-	spec scenario.Spec, loop bool, logw io.Writer) {
+	rec *spantrace.Recorder, spec scenario.Spec, loop bool, logw io.Writer) {
 	for {
 		run := spec
 		run.StepHooks = []scenario.StepHook{col.Hook()}
 		run.Stop = func() bool { return ctx.Err() != nil }
+		run.Tracer = rec
 		api.SetRunning(spec.Name, true)
 		res, err := scenario.Run(run)
 		api.SetRunning(spec.Name, false)

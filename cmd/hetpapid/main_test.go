@@ -101,10 +101,13 @@ func TestDaemonLiveQueries(t *testing.T) {
 	// Per-core-type counter aggregation: the Dimensity has three core
 	// types, and each eventually counts instructions (the prime core only
 	// gets work once the scenario's late-spin workload starts at t=3s
-	// simulated, so poll).
+	// simulated, so poll). This wait gets its own generous deadline: under
+	// the race detector the simulation can need tens of wall seconds to
+	// reach t=3s, well past whatever the tick wait above left over.
+	typeDeadline := time.Now().Add(90 * time.Second)
 	var g *telemetry.QueryResponse
 	allCounting := false
-	for time.Now().Before(deadline) && !allCounting {
+	for time.Now().Before(typeDeadline) && !allCounting {
 		g, err = c.Query(rctx, telemetry.QueryRequest{
 			Machine: "dimensity-mixed-injects", Kind: "instructions", By: "type",
 		})

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListNamesEveryReferenceScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"raptorlake-hpl-pcores", "biglittle-hotplug", "homogeneous-powercap"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"bogus"},
+		{"record"},
+		{"record", "-scenario", "no-such-scenario"},
+		{"analyze"},
+		{"analyze", "/no/such/file.json"},
+		{"diff", "only-one.json"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+		}
+	}
+}
+
+// TestRecordAnalyzeDiffRoundTrip drives the full CLI workflow on a
+// shortened fault scenario: record twice (different lengths), check the
+// exported file is a valid trace document, then analyze and diff.
+func TestRecordAnalyzeDiffRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	short := filepath.Join(dir, "short.json")
+	long := filepath.Join(dir, "long.json")
+
+	var out bytes.Buffer
+	// -capacity large enough that the per-tick probe-read flood on the
+	// kernel track does not wrap away the t=0 open syscalls.
+	if err := run([]string{"record", "-scenario", "biglittle-hotplug",
+		"-max-seconds", "5", "-capacity", "65536", "-o", short}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "recorded biglittle-hotplug") ||
+		!strings.Contains(out.String(), "wrote "+short) {
+		t.Fatalf("record output:\n%s", out.String())
+	}
+	if err := run([]string{"record", "-scenario", "biglittle-hotplug",
+		"-max-seconds", "6", "-o", long}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("exported file is not a trace document: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("exported trace is empty")
+	}
+
+	out.Reset()
+	if err := run([]string{"analyze", short}, &out); err != nil {
+		t.Fatal(err)
+	}
+	rep := out.String()
+	// The hotplug scenario runs a loop on the LITTLE cores with a PAPI
+	// probe under counter-steal and hotplug faults: the analyzer must
+	// attribute exec time, profile syscalls and surface the faults.
+	for _, want := range []string{
+		"per-core-type attribution", "LITTLE",
+		"syscall latency", "open", "read",
+		"fault transitions", "hotplug-off",
+		"critical path",
+		"recorder self-overhead",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, rep)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"diff", short, long}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "duration:") {
+		t.Fatalf("diff output:\n%s", out.String())
+	}
+}
+
+func TestRecordWithAnalyzeFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	if err := run([]string{"record", "-scenario", "homogeneous-powercap",
+		"-max-seconds", "3", "-analyze", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "per-core-type attribution") {
+		t.Fatalf("-analyze did not print a report:\n%s", out.String())
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"hetpapi/internal/pfmlib"
 	"hetpapi/internal/sim"
+	"hetpapi/internal/spantrace"
 	"hetpapi/internal/sysfs"
 )
 
@@ -79,6 +80,11 @@ type Library struct {
 	active map[componentKey]*EventSet
 
 	sets int // id counter
+
+	// traceRec / papiTrk cache the machine's span recorder and the
+	// "papi" track id (see trace.go).
+	traceRec *spantrace.Recorder
+	papiTrk  int
 }
 
 // Init initializes the library against a simulated machine.

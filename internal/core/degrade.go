@@ -137,6 +137,10 @@ type degrade struct {
 	// lastValues is the most recent successful result, served (flagged
 	// stale) when the substrate cannot answer.
 	lastValues []Value
+	// lastReadDegraded is trace-only bookkeeping: the degradation
+	// quality of the previous read, so quality *transitions* emit
+	// instants instead of every read.
+	lastReadDegraded bool
 }
 
 func (d *degrade) record(at float64, kind, detail string) {
@@ -175,6 +179,14 @@ func (es *EventSet) muxActive() bool { return es.multiplex || es.deg.fallbackMux
 // that survive the ladder (including EBUSY past the retry budget) are
 // returned; a failed Start leaves the set stopped and restartable.
 func (es *EventSet) Start() error {
+	from := es.lib.sys.Now()
+	err := es.startLadder()
+	es.traceStartSpan(from, err)
+	return err
+}
+
+// startLadder is the Start retry/fallback loop (see Start).
+func (es *EventSet) startLadder() error {
 	wait, spent := 1, 0
 	for {
 		err := es.startOnce()
@@ -185,7 +197,7 @@ func (es *EventSet) Start() error {
 		case errors.Is(err, perfevent.ErrNoSpace) && !es.muxActive():
 			es.deg.fallbackMux = true
 			es.deg.report.MultiplexFallback++
-			es.deg.record(es.lib.sys.Now(), "multiplex-fallback",
+			es.recordDegradation(es.lib.sys.Now(), "multiplex-fallback",
 				fmt.Sprintf("ENOSPC opening eventset %d: splitting into per-event groups", es.id))
 		case errors.Is(err, perfevent.ErrBusy):
 			budget := es.deg.retryTicks
@@ -194,13 +206,13 @@ func (es *EventSet) Start() error {
 			}
 			if budget < 0 || spent+wait > budget {
 				es.deg.report.DeferredStarts++
-				es.deg.record(es.lib.sys.Now(), "deferred-start",
+				es.recordDegradation(es.lib.sys.Now(), "deferred-start",
 					fmt.Sprintf("EBUSY after %d backoff ticks: deferring start of eventset %d", spent, es.id))
 				return err
 			}
 			es.deg.report.BusyRetries++
 			es.deg.report.RetryTicks += wait
-			es.deg.record(es.lib.sys.Now(), "busy-retry",
+			es.recordDegradation(es.lib.sys.Now(), "busy-retry",
 				fmt.Sprintf("EBUSY opening eventset %d: backing off %d ticks", es.id, wait))
 			for i := 0; i < wait; i++ {
 				es.lib.sys.Step()
@@ -263,6 +275,7 @@ func (es *EventSet) StopValues() ([]Value, error) {
 			delete(es.lib.active, key)
 		}
 	}
+	es.traceStopInstant()
 	return vals, nil
 }
 
@@ -306,7 +319,7 @@ func (es *EventSet) readAll() (map[int]perfevent.Count, error) {
 func (es *EventSet) serveStale(why string) []Value {
 	es.deg.report.StaleReads++
 	es.deg.report.DegradedReads++
-	es.deg.record(es.lib.sys.Now(), "stale-serve", why)
+	es.recordDegradation(es.lib.sys.Now(), "stale-serve", why)
 	out := append([]Value(nil), es.deg.lastValues...)
 	for i := range out {
 		out[i].Stale = true
@@ -378,7 +391,7 @@ func (es *EventSet) rebuildDead() bool {
 		delete(es.leaderType, leader)
 		es.leaders[li] = newLeader
 		es.deg.report.HotplugRebuilds++
-		es.deg.record(es.lib.sys.Now(), "hotplug-rebuild",
+		es.recordDegradation(es.lib.sys.Now(), "hotplug-rebuild",
 			fmt.Sprintf("group fd %d died with its CPU: rebuilt on cpu%d as fd %d", leader, newCPU, newLeader))
 		rebuilt = true
 	}
@@ -489,6 +502,7 @@ func (es *EventSet) buildValues(counts map[int]perfevent.Count) []Value {
 	if degraded || anyStale || anyClamp {
 		es.deg.report.DegradedReads++
 	}
+	es.traceReadQuality(degraded || anyStale || anyClamp)
 	es.deg.lastValues = append([]Value(nil), out...)
 	return out
 }

@@ -472,6 +472,7 @@ func (es *EventSet) Stop() ([]uint64, error) {
 			delete(es.lib.active, k)
 		}
 	}
+	es.traceStopInstant()
 	return vals, nil
 }
 

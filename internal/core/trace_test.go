@@ -1,0 +1,362 @@
+package core
+
+// Tests for the PAPI-layer span-trace instrumentation: the papi.start
+// span whose duration is the setup cost in sim time, the papi.stop
+// instant, degrade.<kind> instants mirroring every ladder action, and
+// the papi.read.degraded/clean transition instants (emitted on quality
+// flips, not per read).
+
+import (
+	"testing"
+
+	"hetpapi/internal/faults"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/sim"
+	"hetpapi/internal/spantrace"
+	"hetpapi/internal/workload"
+)
+
+// tracedSim returns a RaptorLake sim with an enabled recorder attached
+// to the whole stack.
+func tracedSim(t *testing.T) (*sim.Machine, *spantrace.Recorder) {
+	t.Helper()
+	s := newSim(hw.RaptorLake())
+	rec := spantrace.New(spantrace.Config{TrackCapacity: 1 << 14})
+	rec.Enable()
+	s.SetTracer(rec)
+	return s, rec
+}
+
+// papiEvents returns the events on the "papi" track, in snapshot order.
+func papiEvents(rec *spantrace.Recorder) []spantrace.Event {
+	snap := rec.Snapshot()
+	var out []spantrace.Event
+	for _, ev := range snap.Events {
+		if snap.TrackNames[ev.Track] == "papi" {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func countNamed(evs []spantrace.Event, name string) int {
+	n := 0
+	for _, ev := range evs {
+		if ev.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+func firstNamed(t *testing.T, evs []spantrace.Event, name string) spantrace.Event {
+	t.Helper()
+	for _, ev := range evs {
+		if ev.Name == name {
+			return ev
+		}
+	}
+	t.Fatalf("no %q event on the papi track: %+v", name, evs)
+	return spantrace.Event{}
+}
+
+// TestStartStopTraceEvents pins the clean lifecycle: one papi.start
+// span (err=ok, group count in args) and one papi.stop instant.
+func TestStartStopTraceEvents(t *testing.T) {
+	s, rec := tracedSim(t)
+	l := initLib(t, s, Options{})
+
+	loop := workload.NewInstructionLoop("traced", 1e9, 2000)
+	p := s.Spawn(loop, hw.AllCPUs(s.HW))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	if err := es.AddNamed("adl_glc::INST_RETIRED:ANY"); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.AddNamed("adl_grt::INST_RETIRED:ANY"); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(0.1)
+	if _, err := es.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := papiEvents(rec)
+	start := firstNamed(t, evs, "papi.start")
+	if start.Phase != spantrace.PhaseSpan {
+		t.Fatalf("papi.start phase = %v, want span", start.Phase)
+	}
+	var groups float64
+	var errStr string
+	for _, a := range start.Args {
+		switch a.Key {
+		case "groups":
+			groups = a.FVal
+		case "err":
+			errStr = a.SVal
+		}
+	}
+	if groups != 2 {
+		t.Fatalf("papi.start groups arg = %v, want 2 (one per PMU)", groups)
+	}
+	if errStr != "ok" {
+		t.Fatalf("papi.start err arg = %q, want ok", errStr)
+	}
+	stop := firstNamed(t, evs, "papi.stop")
+	if stop.Phase != spantrace.PhaseInstant {
+		t.Fatalf("papi.stop phase = %v, want instant", stop.Phase)
+	}
+	if stop.StartSec < start.StartSec+start.DurSec {
+		t.Fatalf("papi.stop at %v before papi.start span end %v",
+			stop.StartSec, start.StartSec+start.DurSec)
+	}
+}
+
+// TestBusyRetryTraceSpan drives rung 1 under a transient watchdog hold
+// and checks the start span covers the backoff (nonzero duration in
+// sim time) and each retry emits a degrade.busy-retry instant.
+func TestBusyRetryTraceSpan(t *testing.T) {
+	s, rec := tracedSim(t)
+	l := initLib(t, s, Options{})
+	pmu := s.HW.Types[0].PMU.PerfType
+
+	s.Kernel.SetWatchdog(pmu, true)
+	s.Kernel.AttachFaults(faults.NewPlan(faults.Event{
+		AtSec: s.Now() + 3*s.Tick(), Kind: faults.KindWatchdogRelease, PMU: pmu,
+	}))
+
+	loop := workload.NewInstructionLoop("busy", 1e9, 2000)
+	p := s.Spawn(loop, hw.AllCPUs(s.HW))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	if err := es.AddNamed("adl_glc::CPU_CLK_UNHALTED:THREAD"); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer es.Cleanup()
+
+	evs := papiEvents(rec)
+	start := firstNamed(t, evs, "papi.start")
+	if start.DurSec <= 0 {
+		t.Fatalf("papi.start span duration = %v, want > 0 (EBUSY backoff burns ticks)", start.DurSec)
+	}
+	retries := countNamed(evs, "degrade.busy-retry")
+	if retries == 0 {
+		t.Fatal("no degrade.busy-retry instants despite the watchdog hold")
+	}
+	if got := es.Degradations().BusyRetries; retries != got {
+		t.Fatalf("degrade.busy-retry instants = %d, DegradationReport says %d", retries, got)
+	}
+	// The instants carry the running tallies.
+	ev := firstNamed(t, evs, "degrade.busy-retry")
+	found := false
+	for _, a := range ev.Args {
+		if a.Key == "busy_retries" && a.IsNum && a.FVal >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("degrade.busy-retry missing busy_retries tally: %+v", ev.Args)
+	}
+	es.StopValues()
+}
+
+// TestDeferredStartTraceInstant: with retry disabled the EBUSY start
+// surfaces as a failed papi.start span plus a degrade.deferred-start
+// instant.
+func TestDeferredStartTraceInstant(t *testing.T) {
+	s, rec := tracedSim(t)
+	l := initLib(t, s, Options{})
+	pmu := s.HW.Types[0].PMU.PerfType
+	s.Kernel.SetWatchdog(pmu, true)
+
+	loop := workload.NewInstructionLoop("deferred", 1e9, 2000)
+	p := s.Spawn(loop, hw.AllCPUs(s.HW))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	es.AddNamed("adl_glc::CPU_CLK_UNHALTED:THREAD")
+	es.SetStartRetry(-1)
+	if err := es.Start(); err == nil {
+		t.Fatal("Start succeeded under a held watchdog with retry disabled")
+	}
+
+	evs := papiEvents(rec)
+	if countNamed(evs, "degrade.deferred-start") != 1 {
+		t.Fatalf("want 1 degrade.deferred-start instant: %+v", evs)
+	}
+	start := firstNamed(t, evs, "papi.start")
+	for _, a := range start.Args {
+		if a.Key == "err" && a.SVal == "ok" {
+			t.Fatal("failed papi.start span annotated err=ok")
+		}
+	}
+	s.Kernel.SetWatchdog(pmu, false)
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	es.StopValues()
+	es.Cleanup()
+}
+
+// TestMultiplexFallbackTraceInstant drives rung 2 and checks the
+// degrade.multiplex-fallback instant plus the read-quality transition
+// pair: degraded while multiplexed, and nothing emitted per read.
+func TestMultiplexFallbackTraceInstant(t *testing.T) {
+	s, rec := tracedSim(t)
+	l := initLib(t, s, Options{})
+	pmu := s.HW.Types[0].PMU.PerfType
+	s.Kernel.SetCounterBudget(pmu, 2)
+
+	loop := workload.NewInstructionLoop("squeezed", 1e9, 2000)
+	p := s.Spawn(loop, hw.NewCPUSet(s.HW.CPUsOfClass(hw.Performance)...))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	for _, n := range []string{
+		"adl_glc::INST_RETIRED:ANY",
+		"adl_glc::CPU_CLK_UNHALTED:THREAD_P",
+		"adl_glc::BR_INST_RETIRED:ALL_BRANCHES",
+		"adl_glc::MEM_INST_RETIRED:ALL_LOADS",
+	} {
+		if err := es.AddNamed(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if evs := papiEvents(rec); countNamed(evs, "degrade.multiplex-fallback") != 1 {
+		t.Fatalf("want 1 degrade.multiplex-fallback instant: %+v", evs)
+	}
+
+	s.RunFor(0.5)
+	for i := 0; i < 5; i++ {
+		if _, err := es.ReadValues(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := papiEvents(rec)
+	// Five degraded reads, ONE transition instant: quality is edge- not
+	// level-triggered, so a per-tick probe cannot flood the ring.
+	if n := countNamed(evs, "papi.read.degraded"); n != 1 {
+		t.Fatalf("papi.read.degraded instants = %d, want exactly 1", n)
+	}
+	es.StopValues()
+	es.Cleanup()
+}
+
+// TestReadQualityRecoversClean pins the full transition cycle: degraded
+// under a watchdog steal, then one papi.read.clean when reads recover
+// after the release.
+func TestReadQualityRecoversClean(t *testing.T) {
+	s, rec := tracedSim(t)
+	l := initLib(t, s, Options{})
+	pmu := s.HW.Types[0].PMU.PerfType
+
+	loop := workload.NewInstructionLoop("steal", 1e9, 4000)
+	p := s.Spawn(loop, hw.NewCPUSet(s.HW.CPUsOfClass(hw.Performance)...))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	if err := es.AddNamed("adl_glc::CPU_CLK_UNHALTED:THREAD"); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(0.1)
+	if _, err := es.ReadValues(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Steal the cycles counter: the group deschedules, reads degrade.
+	s.Kernel.SetWatchdog(pmu, true)
+	s.RunFor(0.1)
+	vals, err := es.ReadValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals[0].Degraded {
+		t.Skipf("read not degraded under watchdog hold: %+v", vals[0])
+	}
+	s.Kernel.SetWatchdog(pmu, false)
+	s.RunFor(0.1)
+	if _, err := es.ReadValues(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := papiEvents(rec)
+	if countNamed(evs, "papi.read.degraded") != 1 {
+		t.Fatalf("want 1 papi.read.degraded: %+v", evs)
+	}
+	if countNamed(evs, "papi.read.clean") != 1 {
+		t.Fatalf("want 1 papi.read.clean after release: %+v", evs)
+	}
+	deg := firstNamed(t, evs, "papi.read.degraded")
+	clean := firstNamed(t, evs, "papi.read.clean")
+	if clean.StartSec <= deg.StartSec {
+		t.Fatalf("clean at %v not after degraded at %v", clean.StartSec, deg.StartSec)
+	}
+	es.StopValues()
+	es.Cleanup()
+}
+
+// TestHotplugRebuildTraceInstant drives rung 3 and checks the
+// degrade.hotplug-rebuild instant fires when the RAPL descriptor is
+// rebuilt on a surviving CPU.
+func TestHotplugRebuildTraceInstant(t *testing.T) {
+	s, rec := tracedSim(t)
+	l := initLib(t, s, Options{})
+
+	loop := workload.NewInstructionLoop("hotplugged", 1e9, 2000)
+	p := s.Spawn(loop, hw.AllCPUs(s.HW))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	if err := es.AddNamed("rapl::ENERGY_PKG"); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(0.2)
+	s.SetCPUOnline(0, false)
+	s.RunFor(0.2)
+	if _, err := es.ReadValues(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countNamed(papiEvents(rec), "degrade.hotplug-rebuild"); n != 1 {
+		t.Fatalf("degrade.hotplug-rebuild instants = %d, want 1", n)
+	}
+	s.SetCPUOnline(0, true)
+	es.StopValues()
+	es.Cleanup()
+}
+
+// TestTraceDisabledEmitsNothing pins the guard: with the recorder
+// disabled (or detached) the whole lifecycle emits zero papi events.
+func TestTraceDisabledEmitsNothing(t *testing.T) {
+	s, rec := tracedSim(t)
+	rec.Disable()
+	l := initLib(t, s, Options{})
+
+	loop := workload.NewInstructionLoop("silent", 1e9, 2000)
+	p := s.Spawn(loop, hw.AllCPUs(s.HW))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	if err := es.AddNamed("adl_glc::INST_RETIRED:ANY"); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(0.05)
+	if _, err := es.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if evs := papiEvents(rec); len(evs) != 0 {
+		t.Fatalf("disabled recorder captured %d papi events: %+v", len(evs), evs)
+	}
+}

@@ -39,6 +39,8 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+
+	"hetpapi/internal/spantrace"
 )
 
 // Kind identifies a fault transition.
@@ -91,6 +93,27 @@ func (e Event) String() string {
 	default:
 		return fmt.Sprintf("t=%.6f %s cap=%d", e.AtSec, e.Kind, e.Cap)
 	}
+}
+
+// TraceArgs renders the transition as span-trace annotations for the
+// kernel's fault instrumentation: the kind, the scheduled time, and the
+// kind-specific target (pmu/cpu/cap).
+func (e Event) TraceArgs() []spantrace.Arg {
+	args := []spantrace.Arg{
+		spantrace.Str("kind", string(e.Kind)),
+		spantrace.Num("scheduled_at", e.AtSec),
+	}
+	switch e.Kind {
+	case KindWatchdogHold, KindWatchdogRelease:
+		args = append(args, spantrace.Int("pmu", int(e.PMU)))
+	case KindHotplugOff, KindHotplugOn:
+		args = append(args, spantrace.Int("cpu", e.CPU))
+	case KindCounterBudget:
+		args = append(args, spantrace.Int("pmu", int(e.PMU)), spantrace.Int("cap", e.Cap))
+	default:
+		args = append(args, spantrace.Int("cap", e.Cap))
+	}
+	return args
 }
 
 // Plan is a deterministic fault schedule. The zero value is an empty

@@ -15,6 +15,7 @@ import (
 
 	"hetpapi/internal/events"
 	"hetpapi/internal/faults"
+	"hetpapi/internal/spantrace"
 )
 
 // kernelFaults is the live fault state of one kernel.
@@ -44,6 +45,9 @@ func (k *Kernel) pollFaults() {
 }
 
 func (k *Kernel) applyFault(ev faults.Event) {
+	if k.tracer.Enabled() {
+		k.traceFault("fault.plan", ev.TraceArgs()...)
+	}
 	switch ev.Kind {
 	case faults.KindWatchdogHold:
 		k.SetWatchdog(ev.PMU, true)
@@ -70,10 +74,18 @@ func (k *Kernel) SetWatchdog(pmuType uint32, held bool) {
 	if k.faults.watchdog == nil {
 		k.faults.watchdog = map[uint32]bool{}
 	}
+	changed := k.faults.watchdog[pmuType] != held
 	if held {
 		k.faults.watchdog[pmuType] = true
 	} else {
 		delete(k.faults.watchdog, pmuType)
+	}
+	if changed && k.tracer.Enabled() {
+		name := "fault.watchdog-hold"
+		if !held {
+			name = "fault.watchdog-release"
+		}
+		k.traceFault(name, spantrace.Int("pmu", int(pmuType)))
 	}
 }
 
@@ -89,10 +101,16 @@ func (k *Kernel) SetCounterBudget(pmuType uint32, cap int) {
 	if k.faults.budget == nil {
 		k.faults.budget = map[uint32]int{}
 	}
+	old := k.faults.budget[pmuType]
 	if cap <= 0 {
+		cap = 0
 		delete(k.faults.budget, pmuType)
 	} else {
 		k.faults.budget[pmuType] = cap
+	}
+	if old != cap && k.tracer.Enabled() {
+		k.traceFault("fault.counter-budget",
+			spantrace.Int("pmu", int(pmuType)), spantrace.Int("cap", cap))
 	}
 }
 
@@ -102,6 +120,9 @@ func (k *Kernel) SetCounterBudget(pmuType uint32, cap int) {
 func (k *Kernel) SetSampleRingCap(n int) {
 	if n < 0 {
 		n = 0
+	}
+	if n != k.faults.ringCap && k.tracer.Enabled() {
+		k.traceFault("fault.ring-cap", spantrace.Int("cap", n))
 	}
 	k.faults.ringCap = n
 }
@@ -125,13 +146,22 @@ func (k *Kernel) SetCPUOnline(cpu int, online bool) {
 	if was == online {
 		return
 	}
+	dead := 0
 	if online {
 		delete(k.faults.offline, cpu)
 	} else {
 		k.faults.offline[cpu] = true
 		for _, e := range k.byCPU[cpu] {
 			e.dead = true
+			dead++
 		}
+	}
+	if k.tracer.Enabled() {
+		name := "fault.hotplug-on"
+		if !online {
+			name = "fault.hotplug-off"
+		}
+		k.traceFault(name, spantrace.Int("cpu", cpu), spantrace.Int("dead_fds", dead))
 	}
 	if k.OnHotplug != nil {
 		k.OnHotplug(cpu, online)

@@ -26,10 +26,12 @@ package perfevent
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"hetpapi/internal/events"
 	"hetpapi/internal/hw"
 	"hetpapi/internal/power"
+	"hetpapi/internal/spantrace"
 )
 
 // Errors mirror the errno values perf_event_open reports.
@@ -195,6 +197,11 @@ type Kernel struct {
 	// faults holds the injected fault state (see faults.go). Zero value
 	// means no faults and changes nothing about kernel behavior.
 	faults kernelFaults
+	// tracer, when attached and enabled, records syscall and fault
+	// instants (see trace.go). nil costs one pointer check per site.
+	tracer    *spantrace.Recorder
+	trkKernel int
+	trkFaults int
 	// OnHotplug, when set, observes every CPU hotplug transition; the
 	// simulator uses it to forward hotplug to the scheduler.
 	OnHotplug func(cpu int, online bool)
@@ -306,8 +313,11 @@ func (k *Kernel) resolve(attr Attr) (uint32, events.Kind, float64, string, error
 // pid == -1 with cpu >= 0 opens a CPU-wide event. Energy (RAPL) events are
 // only valid CPU-wide. groupFD == -1 creates a new group leader; otherwise
 // the event joins that group and must share its PMU type and target.
-func (k *Kernel) Open(attr Attr, pid, cpu, groupFD int) (int, error) {
+func (k *Kernel) Open(attr Attr, pid, cpu, groupFD int) (fd int, err error) {
 	k.syscalls++
+	if k.tracer.Enabled() {
+		defer k.traceSys("open", time.Now(), &fd, &err)
+	}
 	k.pollFaults()
 	if pid < 0 && cpu < 0 {
 		return -1, fmt.Errorf("%w: pid and cpu both unset", ErrInvalid)
@@ -469,8 +479,11 @@ func (k *Kernel) lookup(fd int) (*Event, error) {
 
 // Enable starts counting (PERF_EVENT_IOC_ENABLE). Enabling a group leader
 // enables its whole group, which is how callers start groups atomically.
-func (k *Kernel) Enable(fd int) error {
+func (k *Kernel) Enable(fd int) (err error) {
 	k.syscalls++
+	if k.tracer.Enabled() {
+		defer k.traceSys("enable", time.Now(), &fd, &err)
+	}
 	k.pollFaults()
 	e, err := k.lookup(fd)
 	if err != nil {
@@ -489,8 +502,11 @@ func (k *Kernel) Enable(fd int) error {
 }
 
 // Disable stops counting (PERF_EVENT_IOC_DISABLE), group-wide for leaders.
-func (k *Kernel) Disable(fd int) error {
+func (k *Kernel) Disable(fd int) (err error) {
 	k.syscalls++
+	if k.tracer.Enabled() {
+		defer k.traceSys("disable", time.Now(), &fd, &err)
+	}
 	k.pollFaults()
 	e, err := k.lookup(fd)
 	if err != nil {
@@ -508,8 +524,11 @@ func (k *Kernel) Disable(fd int) error {
 
 // Reset zeroes the counter value (PERF_EVENT_IOC_RESET), group-wide for
 // leaders. Times are not reset, matching the real ioctl.
-func (k *Kernel) Reset(fd int) error {
+func (k *Kernel) Reset(fd int) (err error) {
 	k.syscalls++
+	if k.tracer.Enabled() {
+		defer k.traceSys("reset", time.Now(), &fd, &err)
+	}
 	k.pollFaults()
 	e, err := k.lookup(fd)
 	if err != nil {
@@ -526,8 +545,11 @@ func (k *Kernel) Reset(fd int) error {
 }
 
 // Read returns the event's count.
-func (k *Kernel) Read(fd int) (Count, error) {
+func (k *Kernel) Read(fd int) (c Count, err error) {
 	k.syscalls++
+	if k.tracer.Enabled() {
+		defer k.traceSys("read", time.Now(), &fd, &err)
+	}
 	k.pollFaults()
 	e, err := k.lookup(fd)
 	if err != nil {
@@ -559,8 +581,11 @@ func (k *Kernel) ReadUser(fd int) (Count, error) {
 
 // ReadGroup returns the counts of a leader and all its siblings in one
 // operation (PERF_FORMAT_GROUP): one syscall for the whole group.
-func (k *Kernel) ReadGroup(fd int) ([]Count, error) {
+func (k *Kernel) ReadGroup(fd int) (out []Count, err error) {
 	k.syscalls++
+	if k.tracer.Enabled() {
+		defer k.traceSys("read-group", time.Now(), &fd, &err)
+	}
 	k.pollFaults()
 	e, err := k.lookup(fd)
 	if err != nil {
@@ -572,7 +597,6 @@ func (k *Kernel) ReadGroup(fd int) ([]Count, error) {
 	if e.leader != nil {
 		return nil, fmt.Errorf("%w: fd %d is not a group leader", ErrInvalid, fd)
 	}
-	var out []Count
 	for _, ev := range e.group() {
 		k.serviceEnergy(ev)
 		out = append(out, Count{Value: uint64(ev.value), TimeEnabled: ev.timeEnabled, TimeRunning: ev.timeRunning})
@@ -583,8 +607,11 @@ func (k *Kernel) ReadGroup(fd int) ([]Count, error) {
 // Close releases the event. Closing a leader promotes no one: siblings
 // keep counting individually (mirroring the kernel's behaviour closely
 // enough for our callers, which always close whole groups).
-func (k *Kernel) Close(fd int) error {
+func (k *Kernel) Close(fd int) (err error) {
 	k.syscalls++
+	if k.tracer.Enabled() {
+		defer k.traceSys("close", time.Now(), &fd, &err)
+	}
 	k.pollFaults()
 	e, err := k.lookup(fd)
 	if err != nil {

@@ -1,0 +1,78 @@
+package perfevent
+
+// Span-trace instrumentation for the simulated kernel. Two event
+// families are emitted:
+//
+//   - "sys.*" instants on the "kernel" track, one per syscall-shaped
+//     operation (open, enable, disable, reset, read, read-group,
+//     close), annotated with the fd, the errno name of the result and
+//     the wall-clock service time in nanoseconds. The rdpmc fast path
+//     (ReadUser) deliberately emits nothing, mirroring how it costs no
+//     kernel entry. Wall time travels only as an annotation: the trace
+//     timeline itself stays on the deterministic sim clock.
+//   - "fault.*" instants on the "faults" track, one per effective fault
+//     state transition, whichever door it arrived through (an attached
+//     faults.Plan or the direct setters the scenario harness calls).
+//     Plan-driven transitions additionally emit a "fault.plan" instant
+//     carrying the scheduled event, so a trace distinguishes planned
+//     faults from harness injections.
+//
+// Every site is gated on Recorder.Enabled(), a nil check plus one
+// atomic load, so a detached or disabled recorder costs a few
+// nanoseconds per syscall.
+
+import (
+	"errors"
+	"time"
+
+	"hetpapi/internal/spantrace"
+)
+
+// SetTracer attaches (or with nil, detaches) the span recorder. The
+// simulator's Machine.SetTracer forwards here; standalone kernels (unit
+// tests, conformance suites) may call it directly.
+func (k *Kernel) SetTracer(r *spantrace.Recorder) {
+	k.tracer = r
+	if r != nil {
+		k.trkKernel = r.Track("kernel")
+		k.trkFaults = r.Track("faults")
+	}
+}
+
+// ErrnoName maps the kernel's error values to their errno spelling
+// ("ok" for nil), for trace annotations and reports.
+func ErrnoName(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrInvalid):
+		return "EINVAL"
+	case errors.Is(err, ErrNoSuchDevice):
+		return "ENODEV"
+	case errors.Is(err, ErrNotSupported):
+		return "ENOENT"
+	case errors.Is(err, ErrBadFD):
+		return "EBADF"
+	case errors.Is(err, ErrNoSpace):
+		return "ENOSPC"
+	case errors.Is(err, ErrBusy):
+		return "EBUSY"
+	default:
+		return "EIO"
+	}
+}
+
+// traceSys records one syscall instant. It is invoked via defer from
+// the syscall entry points so it observes the final fd and error
+// (named return values) and the full wall-clock service time.
+func (k *Kernel) traceSys(op string, t0 time.Time, fdp *int, errp *error) {
+	k.tracer.Instant(k.trkKernel, "sys."+op, "syscall", k.now,
+		spantrace.Int("fd", *fdp),
+		spantrace.Str("err", ErrnoName(*errp)),
+		spantrace.Num("wall_ns", float64(time.Since(t0).Nanoseconds())))
+}
+
+// traceFault records one fault-state transition instant.
+func (k *Kernel) traceFault(name string, args ...spantrace.Arg) {
+	k.tracer.Instant(k.trkFaults, name, "fault", k.now, args...)
+}

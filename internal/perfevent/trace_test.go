@@ -1,0 +1,280 @@
+package perfevent
+
+// Tests for the kernel's span-trace instrumentation: one sys.* instant
+// per syscall-shaped entry point with the errno spelling and service
+// time, one fault.* instant per effective fault transition (through
+// both the setter door and the plan door), and nothing at all once the
+// recorder is detached or disabled.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hetpapi/internal/faults"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/spantrace"
+)
+
+// tracedKernel returns a RaptorLake kernel with an enabled recorder
+// attached.
+func tracedKernel(t *testing.T) (*Kernel, *spantrace.Recorder) {
+	t.Helper()
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	rec := spantrace.New(spantrace.Config{TrackCapacity: 1024})
+	rec.Enable()
+	k.SetTracer(rec)
+	return k, rec
+}
+
+// eventsOn returns the events on the named track, in snapshot order.
+func eventsOn(snap *spantrace.Snapshot, track string) []spantrace.Event {
+	var out []spantrace.Event
+	for _, ev := range snap.Events {
+		if snap.TrackNames[ev.Track] == track {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func argStr(ev spantrace.Event, key string) (string, bool) {
+	for _, a := range ev.Args {
+		if a.Key == key && !a.IsNum {
+			return a.SVal, true
+		}
+	}
+	return "", false
+}
+
+func argNum(ev spantrace.Event, key string) (float64, bool) {
+	for _, a := range ev.Args {
+		if a.Key == key && a.IsNum {
+			return a.FVal, true
+		}
+	}
+	return 0, false
+}
+
+func TestErrnoName(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, "ok"},
+		{ErrInvalid, "EINVAL"},
+		{ErrNoSuchDevice, "ENODEV"},
+		{ErrNotSupported, "ENOENT"},
+		{ErrBadFD, "EBADF"},
+		{ErrNoSpace, "ENOSPC"},
+		{ErrBusy, "EBUSY"},
+		{fmt.Errorf("group: %w", ErrBusy), "EBUSY"}, // wrapped errors unwrap
+		{errors.New("unmapped"), "EIO"},
+	}
+	for _, tc := range cases {
+		if got := ErrnoName(tc.err); got != tc.want {
+			t.Errorf("ErrnoName(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestSyscallTraceInstants drives one full descriptor lifecycle plus a
+// failing op and checks the kernel track records each entry point with
+// its fd, errno name and a plausible service time.
+func TestSyscallTraceInstants(t *testing.T) {
+	k, rec := tracedKernel(t)
+	attr := instrAttr(t, k.m, "adl_glc")
+
+	fd, err := k.Open(attr, 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		op  string
+		err error
+	}{
+		{"enable", k.Enable(fd)},
+		{"read", func() error { _, e := k.Read(fd); return e }()},
+		{"read-group", func() error { _, e := k.ReadGroup(fd); return e }()},
+		{"reset", k.Reset(fd)},
+		{"disable", k.Disable(fd)},
+		{"close", k.Close(fd)},
+	}
+	for _, s := range steps {
+		if s.err != nil {
+			t.Fatalf("%s: %v", s.op, s.err)
+		}
+	}
+	// One failing op, to pin the errno annotation.
+	if _, err := k.Read(9999); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("read on bogus fd: %v, want ErrBadFD", err)
+	}
+
+	got := eventsOn(rec.Snapshot(), "kernel")
+	wantNames := []string{
+		"sys.open", "sys.enable", "sys.read", "sys.read-group",
+		"sys.reset", "sys.disable", "sys.close", "sys.read",
+	}
+	if len(got) != len(wantNames) {
+		t.Fatalf("kernel track has %d events, want %d: %+v", len(got), len(wantNames), got)
+	}
+	for i, ev := range got {
+		if ev.Name != wantNames[i] {
+			t.Fatalf("event %d = %q, want %q", i, ev.Name, wantNames[i])
+		}
+		if ev.Cat != "syscall" {
+			t.Fatalf("event %q cat = %q, want syscall", ev.Name, ev.Cat)
+		}
+		wantErr := "ok"
+		if i == len(got)-1 {
+			wantErr = "EBADF"
+		}
+		if e, _ := argStr(ev, "err"); e != wantErr {
+			t.Fatalf("event %d (%s) err = %q, want %q", i, ev.Name, e, wantErr)
+		}
+		if ns, ok := argNum(ev, "wall_ns"); !ok || ns < 0 {
+			t.Fatalf("event %q wall_ns = %v ok=%v", ev.Name, ns, ok)
+		}
+	}
+	// The successful ops all annotate the same fd.
+	if v, _ := argNum(got[0], "fd"); int(v) != fd {
+		t.Fatalf("sys.open fd = %v, want %d", v, fd)
+	}
+	// The rdpmc fast path must stay silent: no kernel entry, no instant.
+	before := len(eventsOn(rec.Snapshot(), "kernel"))
+	fd2, err := k.Open(attr, 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.ReadUser(fd2); err != nil {
+		t.Fatal(err)
+	}
+	after := len(eventsOn(rec.Snapshot(), "kernel"))
+	if after != before+1 { // just the sys.open
+		t.Fatalf("ReadUser emitted %d extra events, want 0", after-before-1)
+	}
+}
+
+// TestSetTracerDetach pins that detaching the recorder silences every
+// site without disturbing the kernel.
+func TestSetTracerDetach(t *testing.T) {
+	k, rec := tracedKernel(t)
+	k.SetTracer(nil)
+	if _, err := k.Open(instrAttr(t, k.m, "adl_glc"), 100, -1, -1); err != nil {
+		t.Fatal(err)
+	}
+	k.SetWatchdog(glcType(k.m), true)
+	snap := rec.Snapshot()
+	if len(snap.Events) != 0 {
+		t.Fatalf("detached recorder captured %d events: %+v", len(snap.Events), snap.Events)
+	}
+}
+
+// TestFaultSetterInstants checks every direct fault setter emits one
+// instant per effective transition and stays silent on no-ops.
+func TestFaultSetterInstants(t *testing.T) {
+	k, rec := tracedKernel(t)
+	pmu := glcType(k.m)
+
+	k.SetWatchdog(pmu, true)
+	k.SetWatchdog(pmu, true) // no state change, no event
+	k.SetWatchdog(pmu, false)
+
+	k.SetCounterBudget(pmu, 2)
+	k.SetCounterBudget(pmu, 2) // no change
+	k.SetCounterBudget(pmu, 0) // restore
+
+	k.SetSampleRingCap(16)
+	k.SetSampleRingCap(16) // no change
+	k.SetSampleRingCap(-1) // clamped to 0 = restore
+
+	k.SetCPUOnline(1, false)
+	k.SetCPUOnline(1, false) // no change
+	k.SetCPUOnline(1, true)
+	k.SetCPUOnline(999, false) // out of range: ignored entirely
+
+	want := []string{
+		"fault.watchdog-hold", "fault.watchdog-release",
+		"fault.counter-budget", "fault.counter-budget",
+		"fault.ring-cap", "fault.ring-cap",
+		"fault.hotplug-off", "fault.hotplug-on",
+	}
+	got := eventsOn(rec.Snapshot(), "faults")
+	if len(got) != len(want) {
+		t.Fatalf("faults track has %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i, ev := range got {
+		if ev.Name != want[i] {
+			t.Fatalf("event %d = %q, want %q", i, ev.Name, want[i])
+		}
+		if ev.Cat != "fault" {
+			t.Fatalf("event %q cat = %q, want fault", ev.Name, ev.Cat)
+		}
+	}
+	if cpu, _ := argNum(got[6], "cpu"); int(cpu) != 1 {
+		t.Fatalf("hotplug-off cpu = %v, want 1", cpu)
+	}
+}
+
+// TestOnlineCPUs pins the hotplug bookkeeping the trace rides on.
+func TestOnlineCPUs(t *testing.T) {
+	k, _ := tracedKernel(t)
+	all := k.m.NumCPUs()
+	if got := k.OnlineCPUs(); len(got) != all {
+		t.Fatalf("OnlineCPUs = %d CPUs, want %d", len(got), all)
+	}
+	k.SetCPUOnline(3, false)
+	got := k.OnlineCPUs()
+	if len(got) != all-1 {
+		t.Fatalf("after offlining cpu3: %d CPUs, want %d", len(got), all-1)
+	}
+	for _, c := range got {
+		if c == 3 {
+			t.Fatal("cpu3 still listed online")
+		}
+	}
+	if k.IsOnline(3) {
+		t.Fatal("IsOnline(3) = true after offline")
+	}
+	k.SetCPUOnline(3, true)
+	if got := k.OnlineCPUs(); len(got) != all || !k.IsOnline(3) {
+		t.Fatalf("after re-onlining: %d CPUs, IsOnline=%v", len(got), k.IsOnline(3))
+	}
+}
+
+// TestFaultPlanTrace drives transitions through the plan door and
+// checks each applied event emits a fault.plan instant ahead of the
+// effective-state instant.
+func TestFaultPlanTrace(t *testing.T) {
+	k, rec := tracedKernel(t)
+	pmu := glcType(k.m)
+	k.AttachFaults(faults.NewPlan(
+		faults.Event{AtSec: 0.5, Kind: faults.KindWatchdogHold, PMU: pmu},
+		faults.Event{AtSec: 1.0, Kind: faults.KindWatchdogRelease, PMU: pmu},
+		faults.Event{AtSec: 1.5, Kind: faults.KindRingCap, Cap: 8},
+		faults.Event{AtSec: 2.0, Kind: faults.KindCounterBudget, PMU: pmu, Cap: 3},
+		faults.Event{AtSec: 2.5, Kind: faults.KindHotplugOff, CPU: 2},
+		faults.Event{AtSec: 3.0, Kind: faults.KindHotplugOn, CPU: 2},
+	))
+	for _, now := range []float64{0.6, 1.1, 1.6, 2.1, 2.6, 3.1} {
+		k.Advance(now)
+	}
+	got := eventsOn(rec.Snapshot(), "faults")
+	want := []string{
+		"fault.plan", "fault.watchdog-hold",
+		"fault.plan", "fault.watchdog-release",
+		"fault.plan", "fault.ring-cap",
+		"fault.plan", "fault.counter-budget",
+		"fault.plan", "fault.hotplug-off",
+		"fault.plan", "fault.hotplug-on",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("faults track has %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i, ev := range got {
+		if ev.Name != want[i] {
+			t.Fatalf("event %d = %q, want %q", i, ev.Name, want[i])
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"hetpapi/internal/perfevent"
 	"hetpapi/internal/sched"
 	"hetpapi/internal/sim"
+	"hetpapi/internal/spantrace"
 	"hetpapi/internal/trace"
 	"hetpapi/internal/workload"
 )
@@ -201,6 +202,13 @@ type Spec struct {
 	// (telemetry collection, custom probes) register here side by side
 	// with the audit; hooks must observe only and never step the machine.
 	StepHooks []StepHook
+	// Tracer, when non-nil, attaches the span recorder to the whole
+	// machine stack for the run: the harness begins a per-run trace
+	// context, emits run/inject/workload events on the "scenario"
+	// track, and every layer below (core, perfevent, sim) records onto
+	// its own tracks. Enable the recorder before Run; disabled or nil
+	// recorders cost a few nanoseconds per instrumentation site.
+	Tracer *spantrace.Recorder
 	// Stop, when non-nil, is polled once per tick boundary; the run ends
 	// early when it returns true (Result.Stopped is set and Completed is
 	// false unless every workload had already finished). It is how a
@@ -558,6 +566,10 @@ func runOn(s *sim.Machine, spec Spec) (*Result, error) {
 	}
 	sort.SliceStable(injects, func(i, j int) bool { return injects[i].AtSec < injects[j].AtSec })
 
+	// Attach tracing before the first syscall so the harness's own
+	// system-wide opens land in the trace too.
+	rt := beginRunTrace(s, &spec)
+
 	wide, err := openWide(s)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
@@ -598,9 +610,10 @@ func runOn(s *sim.Machine, spec Spec) (*Result, error) {
 	}
 
 	// Spawn the t=0 workloads before the recorder takes its first sample.
-	for _, sw := range workloads {
+	for i, sw := range workloads {
 		if sw.spec.StartSec <= 0 {
 			sw.spawn(s, s.Now())
+			rt.workload("workload.spawn", sw.spec.label(i), s.Now())
 		}
 	}
 	for _, sw := range workloads {
@@ -636,13 +649,15 @@ func runOn(s *sim.Machine, spec Spec) (*Result, error) {
 			apply(s, workloads, wide, injects[nextInject])
 			nextInject++
 		}
-		for _, sw := range workloads {
+		for i, sw := range workloads {
 			if !sw.spawned && sw.spec.StartSec <= now {
 				sw.spawn(s, s.Now())
 				ctx.Procs = append(ctx.Procs, sw.procs...)
+				rt.workload("workload.spawn", sw.spec.label(i), s.Now())
 			}
 			if sw.spawned && sw.doneAt < 0 && sw.done() {
 				sw.doneAt = s.Now()
+				rt.workload("workload.done", sw.spec.label(i), s.Now())
 			}
 		}
 	}
@@ -712,11 +727,13 @@ func runOn(s *sim.Machine, spec Spec) (*Result, error) {
 		}
 	}
 	res.Digest = res.computeDigest(s.HW.NumCPUs())
+	rt.end(s, res, start)
 	return res, nil
 }
 
 // apply executes one injection.
 func apply(s *sim.Machine, workloads []*spawnedWorkload, wide *wideSet, inj Inject) {
+	traceInject(s, inj)
 	switch inj.Kind {
 	case InjectMigrate:
 		set := hw.NewCPUSet(inj.CPUs...)

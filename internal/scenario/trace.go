@@ -1,0 +1,97 @@
+package scenario
+
+// Span-trace instrumentation for the harness layer. A run with
+// Spec.Tracer set attaches the recorder to the machine stack-wide
+// (sim exec spans and migrations, perfevent syscalls and faults, core
+// degradation ladder) and adds the "scenario" track on top: a
+// trace-context per run, a "run" span covering the whole scenario,
+// "inject.*" instants for every applied injection and
+// "workload.spawn"/"workload.done" instants for workload lifecycle.
+// The context ID begun here is what ties the layers together: every
+// event any layer emits while this run drives the machine carries it.
+
+import (
+	"hetpapi/internal/sim"
+	"hetpapi/internal/spantrace"
+)
+
+// runTracer is the per-run tracing state of runOn.
+type runTracer struct {
+	rec *spantrace.Recorder
+	trk int
+	ctx uint64
+}
+
+// beginRunTrace attaches the spec's recorder to the machine and opens
+// the run's trace context. Returns nil when the spec carries no tracer.
+func beginRunTrace(s *sim.Machine, spec *Spec) *runTracer {
+	if spec.Tracer == nil {
+		return nil
+	}
+	rec := spec.Tracer
+	s.SetTracer(rec)
+	rt := &runTracer{rec: rec, trk: rec.Track("scenario")}
+	rt.ctx = rec.BeginContext(spec.Name)
+	rec.Instant(rt.trk, "run.start", "scenario", s.Now(),
+		spantrace.Str("scenario", spec.Name),
+		spantrace.Str("machine", s.HW.Name),
+		spantrace.Int("seed", int(spec.Seed)))
+	return rt
+}
+
+// end closes the run: open exec spans are flushed so the trace shows
+// still-running tasks up to the end of the run, and the run-level span
+// is emitted on the scenario track.
+func (rt *runTracer) end(s *sim.Machine, res *Result, startSec float64) {
+	if rt == nil {
+		return
+	}
+	s.FlushTrace()
+	completed := "false"
+	if res.Completed {
+		completed = "true"
+	}
+	rt.rec.Span(rt.trk, "run "+res.Name, "scenario", startSec, s.Now()-startSec,
+		spantrace.Str("scenario", res.Name),
+		spantrace.Str("machine", res.MachineName),
+		spantrace.Str("completed", completed),
+		spantrace.Int("violations", len(res.Violations)))
+}
+
+// workload emits a workload lifecycle instant.
+func (rt *runTracer) workload(event, label string, atSec float64) {
+	if rt == nil || !rt.rec.Enabled() {
+		return
+	}
+	rt.rec.Instant(rt.trk, event, "workload", atSec, spantrace.Str("workload", label))
+}
+
+// traceInject mirrors an applied injection as an instant on the
+// scenario track, with the kind-specific parameters as args. It runs
+// inside apply, so it also covers injections applied by harnesses that
+// drive apply through RunOn on a pre-attached machine.
+func traceInject(s *sim.Machine, inj Inject) {
+	r := s.Tracer()
+	if !r.Enabled() {
+		return
+	}
+	args := []spantrace.Arg{spantrace.Num("scheduled_at", inj.AtSec)}
+	switch inj.Kind {
+	case InjectMigrate:
+		args = append(args, spantrace.Int("workload", inj.Workload),
+			spantrace.Int("ncpus", len(inj.CPUs)))
+	case InjectPowerLimit:
+		args = append(args, spantrace.Num("pl1_w", inj.PL1W), spantrace.Num("pl2_w", inj.PL2W))
+	case InjectFreqCap:
+		args = append(args, spantrace.Str("class", inj.Class.String()), spantrace.Num("mhz", inj.MHz))
+	case InjectHeat:
+		args = append(args, spantrace.Num("heat_j", inj.HeatJ))
+	case InjectCounterSteal, injectCounterRelease:
+		args = append(args, spantrace.Str("class", inj.Class.String()))
+	case InjectHotplugOff, InjectHotplugOn:
+		args = append(args, spantrace.Int("cpu", inj.CPU))
+	case InjectBufferPressure:
+		args = append(args, spantrace.Int("cap", inj.Cap))
+	}
+	r.Instant(r.Track("scenario"), "inject."+string(inj.Kind), "inject", s.Now(), args...)
+}

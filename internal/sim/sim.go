@@ -22,6 +22,7 @@ import (
 	"hetpapi/internal/perfevent"
 	"hetpapi/internal/power"
 	"hetpapi/internal/sched"
+	"hetpapi/internal/spantrace"
 	"hetpapi/internal/sysfs"
 	"hetpapi/internal/thermal"
 	"hetpapi/internal/workload"
@@ -67,6 +68,9 @@ type Machine struct {
 	now       float64
 	freqMHz   []float64 // per logical CPU, as of the last tick
 	stepHooks []StepHook
+
+	tracer *spantrace.Recorder
+	trk    *traceState
 }
 
 // StepHook observes the machine after each completed tick. Hooks run in

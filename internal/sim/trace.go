@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+
+	"hetpapi/internal/spantrace"
+)
+
+// Span-trace instrumentation for the simulator layer. The machine owns
+// the recorder reference and feeds it three kinds of events:
+//
+//   - exec spans: one complete span per contiguous stretch a process
+//     runs on a CPU, opened at SchedIn and closed at SchedOut, on that
+//     CPU's track, labelled with the task name and core type;
+//   - migration instants on the "sched" track whenever a pid's CPU
+//     changes, the cross-PMU moments the paper's lost-counter stories
+//     hinge on;
+//   - context-switch accounting rides in the exec spans themselves.
+//
+// The sched hook adapter is registered once per machine (the scheduler
+// has no hook removal) and dereferences the machine's tracer field on
+// every call, so the recorder can be attached, replaced or detached on
+// a warm machine between scenario runs.
+
+// traceState is per-machine bookkeeping for open exec spans.
+type traceState struct {
+	cpuTrk   []int          // per-CPU track ids
+	schedTrk int            // migration/instant track
+	lastCPU  map[int]int    // pid -> last CPU (migration detection)
+	open     []execOpen     // per-CPU currently-open exec span
+	labels   map[int]string // pid -> task name
+}
+
+type execOpen struct {
+	pid   int
+	since float64
+	open  bool
+}
+
+// SetTracer attaches (or with nil, detaches) a span recorder. Tracks
+// for each CPU (named with the core type), the scheduler, the kernel
+// and the fault layer are registered eagerly so track ids are stable;
+// the perfevent kernel is handed the same recorder for syscall and
+// fault events. Enablement is controlled on the recorder itself.
+func (s *Machine) SetTracer(r *spantrace.Recorder) {
+	if s.trk == nil {
+		// First attachment ever: install the sched adapter. It stays
+		// registered for the machine's lifetime and is inert whenever
+		// the tracer is nil or disabled.
+		s.Sched.AddHook(&traceHook{s: s})
+	}
+	s.tracer = nil // quiesce the adapter while rebuilding state
+	if r == nil {
+		s.trk = &traceState{lastCPU: map[int]int{}, labels: map[int]string{},
+			open: make([]execOpen, s.HW.NumCPUs())}
+		s.Kernel.SetTracer(nil)
+		return
+	}
+	st := &traceState{
+		cpuTrk:   make([]int, s.HW.NumCPUs()),
+		schedTrk: r.Track("sched"),
+		lastCPU:  map[int]int{},
+		open:     make([]execOpen, s.HW.NumCPUs()),
+		labels:   map[int]string{},
+	}
+	for cpu := range st.cpuTrk {
+		st.cpuTrk[cpu] = r.Track(fmt.Sprintf("cpu%d %s", cpu, s.HW.TypeOf(cpu).Name))
+	}
+	s.trk = st
+	s.Kernel.SetTracer(r)
+	s.tracer = r
+}
+
+// Tracer returns the attached recorder (nil when tracing is detached).
+// Layers above the simulator (core, scenario) reach the recorder
+// through here so one attachment covers the whole stack.
+func (s *Machine) Tracer() *spantrace.Recorder { return s.tracer }
+
+// FlushTrace closes every open exec span at the current sim time and
+// immediately reopens it, so a snapshot taken now includes the work of
+// still-running tasks. Call before exporting.
+func (s *Machine) FlushTrace() {
+	r := s.tracer
+	if !r.Enabled() || s.trk == nil {
+		return
+	}
+	for cpu := range s.trk.open {
+		sp := &s.trk.open[cpu]
+		if !sp.open {
+			continue
+		}
+		s.emitExec(cpu, sp.pid, sp.since, s.now)
+		sp.since = s.now
+	}
+}
+
+func (s *Machine) emitExec(cpu, pid int, since, until float64) {
+	name := s.trk.labels[pid]
+	if name == "" {
+		name = fmt.Sprintf("pid %d", pid)
+	}
+	s.tracer.Span(s.trk.cpuTrk[cpu], name, "exec", since, until-since,
+		spantrace.Int("pid", pid),
+		spantrace.Str("core_type", s.HW.TypeOf(cpu).Name),
+		spantrace.Str("class", s.HW.TypeOf(cpu).Class.String()))
+}
+
+// traceHook adapts the scheduler's context-switch hook to exec spans
+// and migration instants.
+type traceHook struct{ s *Machine }
+
+func (h *traceHook) SchedIn(pid, cpu int, now float64) {
+	s := h.s
+	r := s.tracer
+	if !r.Enabled() {
+		return
+	}
+	t := s.trk
+	if p := s.Sched.RunningOn(cpu); p != nil {
+		t.labels[pid] = p.Task.Name()
+	}
+	t.open[cpu] = execOpen{pid: pid, since: now, open: true}
+	if last, ok := t.lastCPU[pid]; ok && last != cpu {
+		r.Instant(t.schedTrk, "migrate", "sched", now,
+			spantrace.Int("pid", pid),
+			spantrace.Int("from", last),
+			spantrace.Int("to", cpu),
+			spantrace.Str("task", t.labels[pid]),
+			spantrace.Str("from_type", s.HW.TypeOf(last).Name),
+			spantrace.Str("to_type", s.HW.TypeOf(cpu).Name))
+	}
+	t.lastCPU[pid] = cpu
+}
+
+func (h *traceHook) SchedOut(pid, cpu int, now float64) {
+	s := h.s
+	if !s.tracer.Enabled() {
+		return
+	}
+	sp := &s.trk.open[cpu]
+	if sp.open && sp.pid == pid {
+		s.emitExec(cpu, pid, sp.since, now)
+		sp.open = false
+	}
+}

@@ -1,0 +1,144 @@
+// Chrome trace-event / Perfetto JSON export. The output is the JSON
+// object form of the trace-event format ({"traceEvents": [...]}), which
+// ui.perfetto.dev and chrome://tracing both open directly. Each recorder
+// track becomes one thread row (pid 1, tid = track id + 1), named via
+// "M" metadata events; spans are "X" complete events and instants are
+// "i" events with thread scope. Timestamps are microseconds of simulated
+// time. Recorder stats and the context-ID name table ride in the
+// "otherData" envelope key, which trace viewers ignore.
+package spantrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// tracePID is the single synthetic process all tracks live under.
+const tracePID = 1
+
+// JSONEvent is one trace-event entry as exported; it is exported so the
+// analyzer can unmarshal traces without re-declaring the wire format.
+type JSONEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds, "X" only
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"` // instant scope, "t" = thread
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// JSONTrace is the top-level exported document.
+type JSONTrace struct {
+	TraceEvents     []JSONEvent    `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       *JSONOtherData `json:"otherData,omitempty"`
+}
+
+// JSONOtherData carries recorder-level data that viewers ignore but the
+// analyzer and tests consume.
+type JSONOtherData struct {
+	Tool     string            `json:"tool"`
+	Contexts map[string]string `json:"contexts,omitempty"` // ctx id -> name
+	Dropped  map[string]uint64 `json:"dropped,omitempty"`  // track -> wrap drops
+	Overhead OverheadReport    `json:"overhead"`
+}
+
+// ArgsMap converts an event's arg list to the exported args object,
+// adding the trace-context tag.
+func (e *Event) ArgsMap(contexts map[uint64]string) map[string]any {
+	if len(e.Args) == 0 && e.Ctx == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(e.Args)+2)
+	for _, a := range e.Args {
+		switch {
+		case !a.IsNum:
+			m[a.Key] = a.SVal
+		case math.IsNaN(a.FVal) || math.IsInf(a.FVal, 0):
+			// JSON has no NaN/Inf; keep the value as text rather than
+			// poisoning the whole document.
+			m[a.Key] = fmt.Sprint(a.FVal)
+		default:
+			m[a.Key] = a.FVal
+		}
+	}
+	if e.Ctx != 0 {
+		m["ctx"] = e.Ctx
+		if name, ok := contexts[e.Ctx]; ok {
+			m["ctx_name"] = name
+		}
+	}
+	return m
+}
+
+// ExportJSON converts a snapshot into the trace-event document.
+func ExportJSON(snap *Snapshot) *JSONTrace {
+	doc := &JSONTrace{
+		// Pre-size: one metadata event per track plus one per event.
+		TraceEvents:     make([]JSONEvent, 0, len(snap.TrackNames)+1+len(snap.Events)),
+		DisplayTimeUnit: "ms",
+		OtherData: &JSONOtherData{
+			Tool:     "hetpapitrace",
+			Overhead: snap.Overhead,
+		},
+	}
+	if len(snap.Contexts) > 0 {
+		doc.OtherData.Contexts = make(map[string]string, len(snap.Contexts))
+		for id, name := range snap.Contexts {
+			doc.OtherData.Contexts[fmt.Sprint(id)] = name
+		}
+	}
+	if len(snap.Dropped) > 0 {
+		doc.OtherData.Dropped = snap.Dropped
+	}
+	doc.TraceEvents = append(doc.TraceEvents, JSONEvent{
+		Name: "process_name", Ph: "M", PID: tracePID, TID: 0,
+		Args: map[string]any{"name": "hetpapi"},
+	})
+	for i, name := range snap.TrackNames {
+		doc.TraceEvents = append(doc.TraceEvents, JSONEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: i + 1,
+			Args: map[string]any{"name": name},
+		})
+	}
+	// snap.Events is sorted by (StartSec, ID), so per-(pid,tid)
+	// timestamps come out monotonically non-decreasing.
+	for i := range snap.Events {
+		ev := &snap.Events[i]
+		je := JSONEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   ev.Phase.String(),
+			Ts:   ev.StartSec * 1e6,
+			PID:  tracePID,
+			TID:  ev.Track + 1,
+			ID:   fmt.Sprint(ev.ID),
+			Args: ev.ArgsMap(snap.Contexts),
+		}
+		switch ev.Phase {
+		case PhaseSpan:
+			je.Dur = ev.DurSec * 1e6
+		case PhaseInstant:
+			je.S = "t"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, je)
+	}
+	return doc
+}
+
+// WriteJSON exports the snapshot as Perfetto-loadable JSON to w.
+func WriteJSON(w io.Writer, snap *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(ExportJSON(snap)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,125 @@
+// Fuzz target for the Perfetto exporter round trip. Lives in package
+// spantrace_test so it can drive the analyzer's parser over the
+// exported bytes without an import cycle.
+package spantrace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+
+	"hetpapi/internal/spantrace"
+	"hetpapi/internal/spantrace/analyze"
+)
+
+// FuzzSpanExport decodes arbitrary bytes into a stream of recorder
+// operations (spans, instants, context switches, resets — including
+// NaN/Inf timestamps and out-of-range track ids) and asserts the
+// exporter's contract: the output is valid JSON, per-track timestamps
+// are monotonically non-decreasing, event IDs are unique, and the
+// analyzer parses the document back without error.
+func FuzzSpanExport(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{0xFF, 0x00, 0x7F, 0x80, 0x01, 0x40, 0x20, 0x10, 0x08, 0x04})
+	// A float payload that decodes to NaN under Float64frombits.
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xF8, 0x7F, 2, 3, 4})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec := spantrace.New(spantrace.Config{TrackCapacity: 64})
+		rec.Enable()
+		// A couple of fixed tracks so small inputs still hit the rings.
+		rec.Track("t0")
+		rec.Track("t1")
+
+		// Interpret the input as an op stream: 1 op byte + up to 17
+		// payload bytes per step.
+		for len(data) > 0 {
+			op := data[0]
+			data = data[1:]
+			ts := takeFloat(&data)
+			switch op % 7 {
+			case 0:
+				rec.Instant(int(op/7)%4, name(op), "cat", ts)
+			case 1:
+				rec.Span(int(op/7)%4, name(op), "cat", ts, takeFloat(&data),
+					spantrace.Int("k", int(op)), spantrace.Str("s", name(op)))
+			case 2:
+				rec.Track(name(op))
+			case 3:
+				rec.BeginContext(name(op))
+			case 4:
+				rec.SetContext(uint64(op))
+			case 5:
+				// Out-of-range tracks must be rejected, not exported.
+				rec.Instant(int(op)+100, name(op), "cat", ts)
+			case 6:
+				if op == 6 {
+					rec.Reset()
+				} else {
+					rec.Span(0, name(op), "cat", ts, math.NaN())
+				}
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := spantrace.WriteJSON(&buf, rec.Snapshot()); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("export is not valid JSON: %q", buf.String())
+		}
+
+		var doc spantrace.JSONTrace
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("export does not round-trip through the wire types: %v", err)
+		}
+		lastTs := map[[2]int]float64{}
+		seen := map[string]bool{}
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "M" {
+				continue
+			}
+			if math.IsNaN(ev.Ts) || math.IsInf(ev.Ts, 0) {
+				t.Fatalf("non-finite exported timestamp: %+v", ev)
+			}
+			key := [2]int{ev.PID, ev.TID}
+			if prev, ok := lastTs[key]; ok && ev.Ts < prev {
+				t.Fatalf("track (%d,%d) timestamp regressed: %v after %v", ev.PID, ev.TID, ev.Ts, prev)
+			}
+			lastTs[key] = ev.Ts
+			if ev.ID != "" {
+				if seen[ev.ID] {
+					t.Fatalf("duplicate event id %q", ev.ID)
+				}
+				seen[ev.ID] = true
+			}
+		}
+
+		if _, err := analyze.Parse(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("analyzer rejects the export: %v", err)
+		}
+	})
+}
+
+// takeFloat consumes 8 bytes as a float64 (any bit pattern, so NaN and
+// Inf are reachable); short inputs yield small finite values.
+func takeFloat(data *[]byte) float64 {
+	d := *data
+	if len(d) < 8 {
+		if len(d) == 0 {
+			return 0
+		}
+		v := float64(d[0])
+		*data = d[1:]
+		return v
+	}
+	bits := uint64(d[0]) | uint64(d[1])<<8 | uint64(d[2])<<16 | uint64(d[3])<<24 |
+		uint64(d[4])<<32 | uint64(d[5])<<40 | uint64(d[6])<<48 | uint64(d[7])<<56
+	*data = d[8:]
+	return math.Float64frombits(bits)
+}
+
+func name(op byte) string { return fmt.Sprintf("ev%d", op%11) }

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hetpapi/internal/spantrace"
 )
 
 // Server is the HTTP face of the store: the hetpapid daemon mounts its
@@ -40,6 +42,17 @@ type machineEntry struct {
 	model        string
 	col          *Collector
 	running      atomic.Bool
+
+	// tracer is the machine's span recorder (nil when the daemon runs
+	// without tracing); /trace serves its live buffer.
+	tracerMu sync.Mutex
+	tracer   *spantrace.Recorder
+}
+
+func (e *machineEntry) recorder() *spantrace.Recorder {
+	e.tracerMu.Lock()
+	defer e.tracerMu.Unlock()
+	return e.tracer
 }
 
 // NewServer wraps a store. requestTimeout bounds each request's handler
@@ -58,6 +71,20 @@ func (s *Server) Register(machine, scenarioName, model string, col *Collector) {
 	s.mu.Lock()
 	s.machines[machine] = &machineEntry{scenarioName: scenarioName, model: model, col: col}
 	s.mu.Unlock()
+}
+
+// AttachTracer hands a machine's span recorder to the API; /trace
+// serves its buffer and /metrics exports its span counters. A nil
+// recorder detaches.
+func (s *Server) AttachTracer(machine string, rec *spantrace.Recorder) {
+	s.mu.RLock()
+	e := s.machines[machine]
+	s.mu.RUnlock()
+	if e != nil {
+		e.tracerMu.Lock()
+		e.tracer = rec
+		e.tracerMu.Unlock()
+	}
 }
 
 // SetRunning flips a machine's in-flight flag.
@@ -79,6 +106,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/series", s.handleSeries)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/degradations", s.handleDegradations)
+	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.timeout <= 0 {
 		return mux
@@ -287,6 +315,36 @@ func (s *Server) handleDegradations(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleTrace serves a machine's live span-trace buffer as Chrome
+// trace-event / Perfetto JSON — download and open in ui.perfetto.dev.
+// The snapshot is copy-on-read; recording continues while it streams.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	machine := r.URL.Query().Get("machine")
+	if machine == "" {
+		writeError(w, http.StatusBadRequest, "missing machine parameter")
+		return
+	}
+	s.mu.RLock()
+	e := s.machines[machine]
+	s.mu.RUnlock()
+	if e == nil {
+		writeError(w, http.StatusNotFound, "unknown machine %q", machine)
+		return
+	}
+	rec := e.recorder()
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "machine %q has no span recorder (tracing disabled)", machine)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("inline; filename=%q", machine+"-trace.json"))
+	if err := spantrace.WriteJSON(w, rec.Snapshot()); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
 // metricFamily accumulates one exposition family's sample lines.
 type metricFamily struct {
 	name, help, kind string
@@ -310,6 +368,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	ingest := &metricFamily{name: "hetpapid_ingest_seconds_total", help: "Wall-clock seconds spent in telemetry ingestion.", kind: "counter"}
 	ovhTick := &metricFamily{name: "hetpapid_overhead_per_tick_seconds", help: "Mean ingestion wall time per simulator tick.", kind: "gauge"}
 	ovhRatio := &metricFamily{name: "hetpapid_overhead_ratio", help: "Ingestion wall time as a fraction of the run loop wall time.", kind: "gauge"}
+	spEmit := &metricFamily{name: "hetpapid_spans_emitted_total", help: "Span-trace events accepted by the machine's recorder.", kind: "counter"}
+	spKeep := &metricFamily{name: "hetpapid_spans_retained", help: "Span-trace events currently held in the recorder's rings.", kind: "gauge"}
+	spDrop := &metricFamily{name: "hetpapid_spans_dropped_total", help: "Span-trace events dropped by ring wraparound or rejected as malformed.", kind: "counter"}
 
 	for _, machine := range s.store.Machines() {
 		ml := fmt.Sprintf("machine=%q", machine)
@@ -354,11 +415,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ingest.add(ml, e.col.IngestSec())
 		ovhTick.add(ml, e.col.OverheadPerTickSec())
 		ovhRatio.add(ml, e.col.OverheadRatio())
+		if rec := e.recorder(); rec != nil {
+			st := rec.Stats()
+			spEmit.add(ml, float64(st.Emitted))
+			spKeep.add(ml, float64(st.Retained))
+			spDrop.add(ml, float64(st.Dropped))
+		}
 	}
 	s.mu.RUnlock()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	for _, f := range []*metricFamily{freq, temp, pwr, wall, energy, ctr, degr, ticks, runs, ingest, ovhTick, ovhRatio} {
+	for _, f := range []*metricFamily{freq, temp, pwr, wall, energy, ctr, degr, ticks, runs, ingest, ovhTick, ovhRatio, spEmit, spKeep, spDrop} {
 		if len(f.lines) == 0 {
 			continue
 		}

@@ -1,0 +1,128 @@
+package telemetry_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hetpapi/internal/spantrace"
+)
+
+func TestTraceEndpoint(t *testing.T) {
+	_, srv := seededServer(t, 0)
+	rec := spantrace.New(spantrace.Config{TrackCapacity: 32})
+	rec.Enable()
+	trk := rec.Track("kernel")
+	rec.BeginContext("seed-scenario")
+	rec.Instant(trk, "sys.open", "syscall", 0.5, spantrace.Err(nil))
+	rec.Span(trk, "papi.start", "papi", 0.5, 0.1)
+	srv.AttachTracer("mach", rec)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/trace?machine=mach")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc spantrace.JSONTrace
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("body is not a trace document: %v", err)
+	}
+	var names []string
+	for _, ev := range doc.TraceEvents {
+		names = append(names, ev.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"sys.open", "papi.start", "thread_name"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q in %s", want, joined)
+		}
+	}
+	if doc.OtherData == nil || doc.OtherData.Contexts["1"] != "seed-scenario" {
+		t.Errorf("otherData = %+v", doc.OtherData)
+	}
+}
+
+func TestTraceEndpointErrors(t *testing.T) {
+	_, srv := seededServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		path string
+		code int
+	}{
+		{"/trace", http.StatusBadRequest},            // no machine
+		{"/trace?machine=nope", http.StatusNotFound}, // unknown machine
+		{"/trace?machine=mach", http.StatusNotFound}, // no recorder attached
+	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.path, resp.StatusCode, tc.code)
+		}
+	}
+}
+
+func TestMetricsSpanCounters(t *testing.T) {
+	_, srv := seededServer(t, 0)
+	rec := spantrace.New(spantrace.Config{TrackCapacity: 2})
+	rec.Enable()
+	trk := rec.Track("kernel")
+	for i := 0; i < 5; i++ {
+		rec.Instant(trk, "e", "c", float64(i))
+	}
+	srv.AttachTracer("mach", rec)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		`hetpapid_spans_emitted_total{machine="mach"} 5`,
+		`hetpapid_spans_retained{machine="mach"} 2`,
+		`hetpapid_spans_dropped_total{machine="mach"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMetricsWithoutTracerOmitsSpanFamilies(t *testing.T) {
+	_, srv := seededServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(body), "hetpapid_spans_") {
+		t.Error("span families exported without an attached recorder")
+	}
+}
