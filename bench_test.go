@@ -28,6 +28,7 @@ import (
 	"hetpapi/internal/hw"
 	"hetpapi/internal/perfevent"
 	"hetpapi/internal/pfmlib"
+	"hetpapi/internal/profile"
 	"hetpapi/internal/scenario"
 	"hetpapi/internal/sim"
 	"hetpapi/internal/spantrace"
@@ -205,6 +206,7 @@ type benchRig struct {
 	lib  *core.Library
 	es   *core.EventSet
 	spin *workload.Spin
+	pid  int
 }
 
 func newRig(b *testing.B, names []string, multiplex bool) *benchRig {
@@ -234,7 +236,7 @@ func newRig(b *testing.B, names []string, multiplex bool) *benchRig {
 		b.Fatal(err)
 	}
 	s.RunFor(0.05)
-	return &benchRig{s: s, lib: lib, es: es, spin: spin}
+	return &benchRig{s: s, lib: lib, es: es, spin: spin, pid: p.PID}
 }
 
 var singlePMUNames = []string{
@@ -737,6 +739,72 @@ func BenchmarkSpantraceTick(b *testing.B) {
 				enabledOvh.SpansDropped, enabledOvh.BytesRetained)
 		}
 	})
+}
+
+// BenchmarkProfilerTick measures per-tick monitoring cost with the
+// statistical profiler attached, against the same baseline rig as
+// BenchmarkSpantraceTick:
+//
+//	baseline   no profiler
+//	enabled    collector attached to the spin pid, default drain cadence
+//
+// The enabled/baseline ratio is reported as a benchmark metric
+// (acceptance: < 1.10), the measured costs are folded into the
+// collector's self-overhead report (Overhead().TickCostRatio), and the
+// report prints once at the end.
+func BenchmarkProfilerTick(b *testing.B) {
+	var baselineNs, enabledNs float64
+	var ovh profile.OverheadReport
+	b.Run("baseline", func(b *testing.B) {
+		s, es := traceTickRig(b)
+		baselineNs = tickNs(b, s, es)
+	})
+	b.Run("enabled", func(b *testing.B) {
+		rig := newRig(b, multiPMUNames, false)
+		col := profile.NewCollector(rig.s, profile.Config{})
+		defer col.Close()
+		remove := rig.s.AddStepHook(col.SimHook())
+		defer remove()
+		col.Attach(rig.pid)
+		enabledNs = tickNs(b, rig.s, rig.es)
+		col.RecordTickCost(baselineNs, enabledNs)
+		ovh = col.Overhead()
+		if ovh.TickCostRatio > 0 {
+			b.ReportMetric(ovh.TickCostRatio, "x-baseline")
+		}
+	})
+	// Print after both sub-benchmarks settle so the report reflects the
+	// final timed runs, not the N=1 warm-up.
+	if baselineNs > 0 && enabledNs > 0 &&
+		printHeader(b, "profiler-ovh", "Statistical profiler self-overhead", "") {
+		fmt.Printf("tick ns: baseline %.0f, profiled %.0f, ratio %.3f (acceptance: < 1.10)\n",
+			baselineNs, enabledNs, enabledNs/baselineNs)
+		fmt.Println(ovh.String())
+	}
+}
+
+// BenchmarkProfilerDrain isolates the periodic ring-drain cost: 16 rings
+// on a 16-thread HPL, one Drain per iteration after a simulator step
+// feeds the rings.
+func BenchmarkProfilerDrain(b *testing.B) {
+	s := sim.New(hw.RaptorLake(), sim.DefaultConfig())
+	h, err := workload.NewHPL(workload.HPLConfig{
+		N: 57024, NB: 192, Threads: 16, Strategy: workload.IntelMKL(), Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := profile.NewCollector(s, profile.Config{})
+	defer col.Close()
+	for i, task := range h.Threads() {
+		p := s.Spawn(task, hw.NewCPUSet(hw.RaptorLake().FirstCPUPerCore()[i]))
+		col.Attach(p.PID)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+		col.Drain()
+	}
 }
 
 // BenchmarkSpantraceDisabledSite isolates one instrumentation site's

@@ -11,6 +11,7 @@
 //	GET /query?machine=M&kind=instructions&by=type
 //	GET /degradations      latest probe degradation tallies per machine
 //	GET /trace?machine=M   live span trace as Perfetto JSON
+//	GET /profile?machine=M statistical profile as gzipped pprof proto
 //	GET /metrics           Prometheus-style text exposition
 //
 // Fault scenarios (reference scenarios carrying a Measure probe) also
@@ -23,6 +24,7 @@
 //	hetpapid [-addr :8080] [-scenarios all|name,name,...] [-loop]
 //	         [-capacity N] [-downsample K] [-shards S] [-every T]
 //	         [-request-timeout D] [-trace-capacity N]
+//	         [-profile] [-profile-period N]
 //
 // Every machine also records a cross-layer span trace (scheduler exec
 // spans and migrations, perf_event syscalls, fault and degradation
@@ -30,6 +32,16 @@
 // as Chrome trace-event JSON for ui.perfetto.dev, and /metrics exports
 // the hetpapid_spans_* recorder counters. -trace-capacity 0 turns the
 // recorder off.
+//
+// With -profile (the default), every machine additionally runs the
+// per-core-type statistical profiler: one sampled cycles event per
+// core-type PMU per workload task, drained into a period-weighted
+// profile with explicit lost-sample error bounds. /profile?machine=M
+// serves the last completed run's profile as a gzipped pprof
+// profile.proto for `go tool pprof`, /metrics exports the
+// hetpapiprof_samples_{emitted,lost}_total counters, and the cumulative
+// counters stream into the store as profile/emitted and profile/lost
+// series.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight scenario
 // runs are stopped at the next tick boundary via the harness's external
@@ -51,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"hetpapi/internal/profile"
 	"hetpapi/internal/scenario"
 	"hetpapi/internal/spantrace"
 	"hetpapi/internal/telemetry"
@@ -66,6 +79,8 @@ type config struct {
 	loop       bool
 	reqTimeout time.Duration
 	traceCap   int
+	profile    bool
+	profPeriod uint64
 }
 
 func main() {
@@ -81,6 +96,10 @@ func main() {
 	flag.DurationVar(&cfg.reqTimeout, "request-timeout", 5*time.Second, "per-request handler timeout")
 	flag.IntVar(&cfg.traceCap, "trace-capacity", spantrace.DefaultTrackCapacity,
 		"span-trace ring capacity per track, served at /trace (0 disables tracing)")
+	flag.BoolVar(&cfg.profile, "profile", true,
+		"attach the per-core-type statistical profiler, served at /profile")
+	flag.Uint64Var(&cfg.profPeriod, "profile-period", 0,
+		"profiler sampling period in cycles (0 = default)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -164,10 +183,15 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready chan<- string) e
 			rec.Enable()
 			api.AttachTracer(spec.Name, rec)
 		}
+		var pcol *profile.Collector
+		if cfg.profile {
+			pcol = profile.NewCollector(nil, profile.Config{Period: cfg.profPeriod})
+			api.AttachProfiler(spec.Name, pcol)
+		}
 		wg.Add(1)
 		go func(spec scenario.Spec) {
 			defer wg.Done()
-			collect(runCtx, api, col, rec, spec, cfg.loop, logw)
+			collect(runCtx, api, col, rec, pcol, store, spec, cfg, logw)
 		}(spec)
 	}
 
@@ -197,15 +221,39 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready chan<- string) e
 }
 
 // collect is one machine's collection goroutine: it runs the scenario
-// (repeatedly in loop mode) with the telemetry hook and, when tracing
-// is on, the machine's span recorder attached, until the context stops
-// it. In loop mode each run records into the same rings — the rings
-// drop oldest, so /trace always serves the most recent window.
+// (repeatedly in loop mode) with the telemetry hook and, when enabled,
+// the machine's span recorder and statistical profiler attached, until
+// the context stops it. In loop mode each run records into the same
+// rings — the rings drop oldest, so /trace always serves the most
+// recent window, while the profiler archives each finished run
+// (/profile serves the last complete one). The profiler's cumulative
+// sample counters also stream into the store as profile/* series at the
+// telemetry cadence.
 func collect(ctx context.Context, api *telemetry.Server, col *telemetry.Collector,
-	rec *spantrace.Recorder, spec scenario.Spec, loop bool, logw io.Writer) {
+	rec *spantrace.Recorder, pcol *profile.Collector, store *telemetry.Store,
+	spec scenario.Spec, cfg config, logw io.Writer) {
+	every := cfg.every
+	if every <= 0 {
+		every = 1
+	}
+	var profTicks int
 	for {
 		run := spec
 		run.StepHooks = []scenario.StepHook{col.Hook()}
+		if pcol != nil {
+			run.StepHooks = append(run.StepHooks, pcol.Hook(),
+				func(c *scenario.Context) {
+					profTicks++
+					if profTicks%every != 0 {
+						return
+					}
+					t := c.Sim.Now()
+					store.Append(telemetry.Key{Machine: spec.Name, Series: "profile/emitted"},
+						t, float64(pcol.EmittedTotal()))
+					store.Append(telemetry.Key{Machine: spec.Name, Series: "profile/lost"},
+						t, float64(pcol.LostTotal()))
+				})
+		}
 		run.Stop = func() bool { return ctx.Err() != nil }
 		run.Tracer = rec
 		api.SetRunning(spec.Name, true)
@@ -217,7 +265,7 @@ func collect(ctx context.Context, api *telemetry.Server, col *telemetry.Collecto
 			fmt.Fprintf(logw, "hetpapid: scenario %s: stopped after %.1fs simulated\n",
 				spec.Name, res.ElapsedSec)
 		}
-		if ctx.Err() != nil || !loop || err != nil {
+		if ctx.Err() != nil || !cfg.loop || err != nil {
 			return
 		}
 		col.NextRun()

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
 
+	"hetpapi/internal/profile"
 	"hetpapi/internal/telemetry"
 	"hetpapi/internal/telemetry/client"
 )
@@ -40,6 +44,7 @@ func TestDaemonLiveQueries(t *testing.T) {
 		every:      1,
 		loop:       true, // keep collection hot for the whole test
 		reqTimeout: 5 * time.Second,
+		profile:    true,
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	ready := make(chan string, 1)
@@ -135,10 +140,40 @@ func TestDaemonLiveQueries(t *testing.T) {
 		`hetpapi_counter_total{machine="dimensity-mixed-injects"`,
 		"# TYPE hetpapid_overhead_per_tick_seconds gauge",
 		`hetpapid_ticks_total{machine="dimensity-mixed-injects"}`,
+		`hetpapiprof_samples_emitted_total{machine="dimensity-mixed-injects"}`,
+		`hetpapiprof_samples_lost_total{machine="homogeneous-powercap"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+
+	// The profiler endpoint serves a decodable pprof profile with samples
+	// from the hybrid machine, and its counters stream as profile/* series.
+	resp, err := http.Get("http://" + addr + "/profile?machine=dimensity-mixed-injects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("profile fetch: status %d, err %v", resp.StatusCode, err)
+	}
+	d, err := profile.DecodePprof(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("served profile does not decode: %v", err)
+	}
+	if len(d.SampleTypes) != 3 {
+		t.Fatalf("served profile sample types: %+v", d.SampleTypes)
+	}
+	pq, err := c.Query(rctx, telemetry.QueryRequest{
+		Machine: "dimensity-mixed-injects", Series: "profile/emitted", Agg: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pq.Points) == 0 || pq.Aggregate == nil || pq.Aggregate.Last == 0 {
+		t.Fatalf("profile/emitted series empty: %+v", pq)
 	}
 
 	cancel()

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetpapi/internal/profile"
+)
+
+func TestListNamesEveryReferenceScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"raptorlake-hpl-pcores", "biglittle-hotplug", "homogeneous-powercap"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"bogus"},
+		{"record"},
+		{"record", "-scenario", "no-such-scenario"},
+		{"report"},
+		{"report", "/no/such/profile.pb.gz"},
+		{"diff", "only-one.pb.gz"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+		}
+	}
+}
+
+// TestRecordReportDiffRoundTrip drives the full workflow: record two
+// shortened runs, verify the written file decodes as a valid pprof
+// profile, re-render it with report and diff the pair.
+func TestRecordReportDiffRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	short := filepath.Join(dir, "short.pb.gz")
+	long := filepath.Join(dir, "long.pb.gz")
+	folded := filepath.Join(dir, "short.folded")
+
+	var out bytes.Buffer
+	if err := run([]string{"record", "-scenario", "raptorlake-hpl-pcores",
+		"-max-seconds", "3", "-o", short, "-folded", folded}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "profiled raptorlake-hpl-pcores") ||
+		!strings.Contains(s, "wrote "+short) ||
+		!strings.Contains(s, "P-core:") ||
+		!strings.Contains(s, "error bound") ||
+		!strings.Contains(s, "profiler overhead:") {
+		t.Fatalf("record output:\n%s", s)
+	}
+	if err := run([]string{"record", "-scenario", "raptorlake-hpl-pcores",
+		"-max-seconds", "4", "-o", long}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The written file is a decodable pprof profile with samples.
+	f, err := os.Open(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := profile.DecodePprof(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Samples) == 0 || len(d.SampleTypes) != 3 {
+		t.Fatalf("exported profile: %d samples, %d types", len(d.Samples), len(d.SampleTypes))
+	}
+
+	// The folded export has "frames weight" lines.
+	fb, err := os.ReadFile(folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(fb)), "\n") {
+		if !strings.Contains(line, ";") || !strings.Contains(line, " ") {
+			t.Fatalf("malformed folded line %q", line)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"report", "-top", "3", short}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "P-core:") || !strings.Contains(out.String(), "error bound") {
+		t.Fatalf("report output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"diff", short, long}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "core type") ||
+		!strings.Contains(out.String(), "delta") ||
+		!strings.Contains(out.String(), "combined error bound") {
+		t.Fatalf("diff output:\n%s", out.String())
+	}
+}

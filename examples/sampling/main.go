@@ -1,9 +1,22 @@
-// sampling builds a statistical execution profile of a migrating workload
+// sampling builds a statistical execution profile of a phased workload
 // on the simulated hybrid machine — the measurement mode the paper
-// contrasts with PAPI calipers. On a hybrid CPU one sampled event per core
-// PMU is required (a cpu_core sample stream never fires on E-cores);
-// merging the two streams yields a timeline of which core type executed
-// the program when.
+// contrasts with PAPI calipers. On a hybrid CPU one sampled event per
+// core PMU is required (a cpu_core sample stream never fires on
+// E-cores); the profile.Collector opens one ring per core-type PMU per
+// task and attributes every overflow to (core type, phase, CPU, DVFS
+// frequency), so the merged profile answers "which core type ran which
+// phase of the program, and for how long".
+//
+// The example ends with a P-vs-E flamegraph walkthrough: it writes the
+// profile as folded stacks (sampling.folded) and as a gzipped pprof
+// profile.proto (sampling.pb.gz). Turn them into pictures with:
+//
+//	flamegraph.pl sampling.folded > sampling.svg
+//	go tool pprof -http=:8080 sampling.pb.gz
+//
+// In the flamegraph every root frame is a core type: the P-core tower
+// splits into the workload's phases while the E-core tower shows what
+// ran beside it — exactly the split a single-PMU profiler would miss.
 //
 // Run with: go run ./examples/sampling
 package main
@@ -11,88 +24,82 @@ package main
 import (
 	"fmt"
 	"log"
-	"strings"
+	"os"
 
-	"hetpapi/internal/core"
 	"hetpapi/internal/hw"
+	"hetpapi/internal/profile"
 	"hetpapi/internal/sim"
 	"hetpapi/internal/workload"
 )
 
 func main() {
 	cfg := sim.DefaultConfig()
-	cfg.TickSec = 0.0001
-	cfg.Sched.MigrateToEffProb = 0.10
-	cfg.Sched.MigrateToPerfProb = 0.18
-	cfg.Sched.BalancePeriodSec = 0.001
 	cfg.Sched.Seed = 12
 	machine := sim.New(hw.RaptorLake(), cfg)
-	papi, err := core.Init(machine, core.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
 
-	loop := workload.NewInstructionLoop("profiled", 1e6, 5000)
-	proc := machine.Spawn(loop, hw.AllCPUs(machine.HW))
+	// A phased app pinned to a P-core and a background loop pinned to an
+	// E-core: the profile must attribute them to different PMUs, and the
+	// app's samples to its current phase at each overflow.
+	app := workload.NewSequence("app",
+		workload.NewInstructionLoop("init", 1e6, 400),
+		workload.NewInstructionLoop("compute", 1e6, 2600),
+		workload.NewInstructionLoop("reduce", 1e6, 600),
+	)
+	bg := workload.NewInstructionLoop("background", 1e6, 1800)
+	p1 := machine.Spawn(app, hw.NewCPUSet(0))
+	p2 := machine.Spawn(bg, hw.NewCPUSet(16))
 
-	es := papi.CreateEventSet()
-	must(es.Attach(proc.PID))
-	must(es.AddPreset(core.PresetTotIns)) // expands to one native per PMU
-	must(es.SetSamplePeriod(0, 2_000_000))
-	must(es.Start())
-	if !machine.RunUntil(loop.Done, 60) {
-		log.Fatal("workload did not finish")
-	}
-	samples, lost, err := es.Samples()
-	if err != nil {
-		log.Fatal(err)
-	}
-	vals, _ := es.Stop()
-	defer es.Cleanup()
+	col := profile.NewCollector(machine, profile.Config{Period: 1_000_000})
+	col.Attach(p1.PID)
+	col.Attach(p2.PID)
+	removeHook := machine.AddStepHook(col.SimHook())
+	defer removeHook()
 
-	pType := machine.HW.TypeByName("P-core").PMU.PerfType
-	fmt.Printf("profiled %d instructions; %d samples (period 2M), %d lost\n\n",
-		vals[0], len(samples), lost)
-
-	// Timeline: bucket samples into 20 equal time slices, render P vs E
-	// occupancy per slice.
-	if len(samples) == 0 {
-		log.Fatal("no samples")
+	if !machine.RunUntil(func() bool { return app.Done() && bg.Done() }, 60) {
+		log.Fatal("workloads did not finish")
 	}
-	end := samples[len(samples)-1].TimeSec
-	const buckets = 20
-	var p, e [buckets]int
-	for _, smp := range samples {
-		b := int(smp.TimeSec / end * buckets)
-		if b >= buckets {
-			b = buckets - 1
-		}
-		if smp.PMUType == pType {
-			p[b]++
-		} else {
-			e[b]++
+	prof := col.Finish()
+	col.Close()
+
+	fmt.Printf("profiled %.2fs: %d samples (period %d cycles), %d lost, error bound ±%.1f%%\n\n",
+		prof.DurationSec, prof.Emitted, prof.Period, prof.Lost, 100*prof.ErrorBound())
+
+	// Core-type shares from frequency-converted busy time — the hybrid
+	// answer a cycles total alone cannot give.
+	shares := prof.Shares()
+	for _, ct := range prof.CoreTypes() {
+		fmt.Printf("%-8s %5.1f%% of busy time\n", ct, 100*shares[ct])
+		for _, row := range prof.Top(4, ct) {
+			phase := row.Key.Phase
+			if phase == "" {
+				phase = "(no phase)"
+			}
+			fmt.Printf("  %-12s cpu%-3d %6d samples %8.1f ms busy\n",
+				phase, row.Key.CPU, row.Samples, row.BusySec*1e3)
 		}
 	}
-	fmt.Println("execution timeline (each row is 1/20 of the run; # = P-core samples, . = E-core):")
-	for b := 0; b < buckets; b++ {
-		total := p[b] + e[b]
-		if total == 0 {
-			continue
+	fmt.Printf("\nphase shares: ")
+	for phase, share := range prof.PhaseShares() {
+		if phase == "" {
+			phase = "(no phase)"
 		}
-		const width = 60
-		pw := p[b] * width / total
-		fmt.Printf("  t%2d |%s%s| P %3d  E %3d\n",
-			b, strings.Repeat("#", pw), strings.Repeat(".", width-pw), p[b], e[b])
+		fmt.Printf("%s %.1f%%  ", phase, 100*share)
 	}
+	fmt.Println()
 
-	var pTotal, eTotal int
-	for b := range p {
-		pTotal += p[b]
-		eTotal += e[b]
-	}
-	fmt.Printf("\ncore-type residency by samples: P %.1f%%, E %.1f%%\n",
-		100*float64(pTotal)/float64(pTotal+eTotal),
-		100*float64(eTotal)/float64(pTotal+eTotal))
+	// Export both flamegraph inputs.
+	folded, err := os.Create("sampling.folded")
+	must(err)
+	must(profile.WriteFolded(folded, prof))
+	must(folded.Close())
+	pb, err := os.Create("sampling.pb.gz")
+	must(err)
+	must(profile.WritePprof(pb, prof))
+	must(pb.Close())
+
+	fmt.Println("\nwrote sampling.folded and sampling.pb.gz; next steps:")
+	fmt.Println("  flamegraph.pl sampling.folded > sampling.svg   # P and E towers side by side")
+	fmt.Println("  go tool pprof -top sampling.pb.gz              # busy-seconds ranked frames")
 	fmt.Println("(a single-PMU profiler would silently miss every E-core sample)")
 }
 

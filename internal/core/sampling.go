@@ -25,6 +25,10 @@ func (es *EventSet) SetSamplePeriod(index int, period uint64) error {
 	if period == 0 {
 		return fmt.Errorf("%w: zero sample period", ErrInvalid)
 	}
+	if period < perfevent.MinSamplePeriod {
+		return fmt.Errorf("%w: sample period %d below minimum %d",
+			ErrInvalid, period, perfevent.MinSamplePeriod)
+	}
 	for _, n := range es.entries[index].natives {
 		if es.lib.cpuWide(n.PMU) {
 			return fmt.Errorf("%w: cannot sample CPU-wide event %s", ErrInvalid, n.FullName)

@@ -73,22 +73,25 @@ func TestSetSamplePeriodValidation(t *testing.T) {
 	es.AddNamed("adl_glc::INST_RETIRED:ANY")
 	es.AddNamed("rapl::ENERGY_PKG")
 
-	if err := es.SetSamplePeriod(5, 100); !errors.Is(err, ErrInvalid) {
+	if err := es.SetSamplePeriod(5, 1000); !errors.Is(err, ErrInvalid) {
 		t.Errorf("out of range index: %v", err)
 	}
 	if err := es.SetSamplePeriod(0, 0); !errors.Is(err, ErrInvalid) {
 		t.Errorf("zero period: %v", err)
 	}
-	if err := es.SetSamplePeriod(1, 100); !errors.Is(err, ErrInvalid) {
+	if err := es.SetSamplePeriod(0, 999); !errors.Is(err, ErrInvalid) {
+		t.Errorf("period below kernel minimum: %v", err)
+	}
+	if err := es.SetSamplePeriod(1, 1000); !errors.Is(err, ErrInvalid) {
 		t.Errorf("sampling a RAPL event: %v", err)
 	}
-	if err := es.SetSamplePeriod(0, 100); err != nil {
+	if err := es.SetSamplePeriod(0, 1000); err != nil {
 		t.Fatal(err)
 	}
 	if err := es.Start(); err != nil {
 		t.Fatal(err)
 	}
-	if err := es.SetSamplePeriod(0, 100); !errors.Is(err, ErrIsRunning) {
+	if err := es.SetSamplePeriod(0, 1000); !errors.Is(err, ErrIsRunning) {
 		t.Errorf("set period while running: %v", err)
 	}
 	es.Stop()
@@ -97,4 +100,55 @@ func TestSetSamplePeriodValidation(t *testing.T) {
 	if _, _, err := es.Samples(); !errors.Is(err, ErrNotRunning) {
 		t.Errorf("samples after cleanup: %v", err)
 	}
+}
+
+func TestSamplesRequiresRunningSet(t *testing.T) {
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	es := l.CreateEventSet()
+	es.Attach(100)
+	if err := es.AddPreset(PresetTotIns); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.SetSamplePeriod(0, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := es.Samples(); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("Samples before Start: %v, want ErrNotRunning", err)
+	}
+}
+
+func TestSamplesSkipsUnsampledEvents(t *testing.T) {
+	// A set mixing a sampled and a counting-only event: Samples drains
+	// only the sampled one's rings.
+	s := newSim(hw.RaptorLake())
+	l := initLib(t, s, Options{})
+	loop := workload.NewInstructionLoop("w", 1e6, 100)
+	p := s.Spawn(loop, hw.AllCPUs(s.HW))
+	es := l.CreateEventSet()
+	es.Attach(p.PID)
+	if err := es.AddPreset(PresetTotIns); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.AddPreset(PresetTotCyc); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.SetSamplePeriod(0, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RunUntil(loop.Done, 10) {
+		t.Fatal("workload did not finish")
+	}
+	samples, _, err := es.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("sampled event produced nothing")
+	}
+	es.Stop()
+	es.Cleanup()
 }

@@ -346,13 +346,13 @@ func TestConformanceRingPressure(t *testing.T) {
 	m := hw.RaptorLake()
 	k := NewKernel(m)
 	attr := instrAttr(t, m, "adl_glc")
-	attr.SamplePeriod = 100
+	attr.SamplePeriod = 1000
 	fd, err := k.Open(attr, 100, -1, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	k.SetSampleRingCap(4)
-	k.TaskExec(100, 0, 0.001, execStats(2000)) // 20 overflows into a 4-slot ring
+	k.TaskExec(100, 0, 0.001, execStats(20_000)) // 20 overflows into a 4-slot ring
 	got, lost, err := k.ReadSamples(fd)
 	if err != nil {
 		t.Fatal(err)
@@ -364,10 +364,58 @@ func TestConformanceRingPressure(t *testing.T) {
 		t.Fatalf("lost = %d, want 16", lost)
 	}
 	k.SetSampleRingCap(0)
-	k.TaskExec(100, 0, 0.001, execStats(2000))
+	k.TaskExec(100, 0, 0.001, execStats(20_000))
 	got, lost, _ = k.ReadSamples(fd)
 	if len(got) != 20 || lost != 0 {
 		t.Fatalf("after cap cleared: %d samples, %d lost, want 20/0", len(got), lost)
+	}
+}
+
+// TestConformanceSampledSetHotplug drives CPU hotplug through a mixed
+// event set: the CPU-wide counting descriptor dies with ENODEV, and a
+// CPU-wide sampled open is rejected outright (sampling is per-task only),
+// while the per-task sampled descriptor keeps its pre-fault records and
+// keeps emitting once the task runs elsewhere — the profiler's per-task
+// rings survive hotplug faults.
+func TestConformanceSampledSetHotplug(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	sampled := instrAttr(t, m, "adl_glc")
+	sampled.SamplePeriod = 1000
+	if _, err := k.Open(sampled, -1, 2, -1); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("cpu-wide sampled open: %v, want ErrInvalid", err)
+	}
+	wideFD, err := k.Open(instrAttr(t, m, "adl_glc"), -1, 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskFD, err := k.Open(sampled, 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.TaskExec(100, 2, 0.001, execStats(5000)) // 5 overflows into the task ring
+	k.SetCPUOnline(2, false)
+	if _, err := k.Read(wideFD); !errors.Is(err, ErrNoSuchDevice) {
+		t.Fatalf("read dead wide fd: %v, want ErrNoSuchDevice", err)
+	}
+	// The task descriptor still drains its pre-fault records...
+	got, lost, err := k.ReadSamples(taskFD)
+	if err != nil || len(got) != 5 || lost != 0 {
+		t.Fatalf("task ring after hotplug: %d samples, %d lost, err %v", len(got), lost, err)
+	}
+	// ...and keeps sampling when the scheduler places the task elsewhere.
+	k.TaskExec(100, 0, 0.001, execStats(3000))
+	got, _, err = k.ReadSamples(taskFD)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("task ring post-migration: %d samples, err %v", len(got), err)
+	}
+	if got[0].CPU != 0 || got[0].CoreType != "P-core" {
+		t.Fatalf("post-migration sample attribution: %+v", got[0])
+	}
+	// Re-onlining does not resurrect the wide descriptor.
+	k.SetCPUOnline(2, true)
+	if _, err := k.Read(wideFD); !errors.Is(err, ErrNoSuchDevice) {
+		t.Fatalf("dead wide fd after re-online: %v, want ErrNoSuchDevice", err)
 	}
 }
 
@@ -524,5 +572,57 @@ func TestConformanceAllMachinesErrnoModel(t *testing.T) {
 				t.Errorf("%d descriptors leaked", leaked)
 			}
 		})
+	}
+}
+
+// TestConformanceWatchdogSparesOtherGroups locks down scheduling
+// selectivity under the watchdog reservation: with the fixed cycles
+// counter held, a group containing cycles stalls, but an independent
+// non-cycles group on the same PMU — and events on the other PMU —
+// keep counting through the same task executions.
+func TestConformanceWatchdogSparesOtherGroups(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	leader, err := k.Open(instrAttr(t, m, "adl_glc"), 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Open(cyclesAttr(glcType(m)), 100, -1, leader); err != nil {
+		t.Fatal(err)
+	}
+	lone, err := k.Open(instrAttr(t, m, "adl_glc"), 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := k.Open(instrAttr(t, m, "adl_grt"), 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k.SetWatchdog(glcType(m), true)
+	k.TaskExec(100, 0, 0.010, execStats(10_000))
+
+	held, err := k.Read(leader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held.Value != 0 || held.TimeRunning != 0 {
+		t.Errorf("cycles group counted under watchdog: %+v", held)
+	}
+	alive, err := k.Read(lone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alive.Value == 0 || alive.TimeRunning == 0 {
+		t.Errorf("independent group stalled with the cycles group: %+v", alive)
+	}
+	// The E PMU's event simply never matches a P-core execution; it must
+	// stay untouched rather than stall.
+	idle, err := k.Read(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle.Value != 0 || idle.TimeRunning != 0 {
+		t.Errorf("wrong-PMU event accrued on a P-core slice: %+v", idle)
 	}
 }

@@ -84,7 +84,8 @@ type Attr struct {
 	// SamplePeriod, when nonzero, turns the event into a sampling event: an
 	// overflow record is emitted every SamplePeriod increments (the
 	// perf_event_open sample_period field). Only per-task hardware events
-	// may sample.
+	// may sample, and the period must be at least MinSamplePeriod (the
+	// simulator's analogue of the perf_event_max_sample_rate throttle).
 	SamplePeriod uint64
 	// ExcludeUser / ExcludeKernel are accepted but have no effect: the
 	// simulation runs everything in one privilege domain.
@@ -143,6 +144,10 @@ type Event struct {
 	sampleAcc    float64
 	samples      []Sample
 	lostSamples  uint64
+	// drainRingCap is the ring capacity in effect at the previous
+	// ReadSamples drain (0 = never drained); a change between drains
+	// makes the next drain return a defensive copy.
+	drainRingCap int
 }
 
 // FD returns the event's descriptor.
@@ -193,6 +198,11 @@ type Kernel struct {
 	now      float64
 	muxTick  float64
 	syscalls int
+	// evScratch backs eventsFor's result between TaskExec calls — the
+	// kernel runs on the sim goroutine and the match list never outlives
+	// one call, so reusing the array keeps the per-tick hot path
+	// allocation-free.
+	evScratch []*Event
 
 	// faults holds the injected fault state (see faults.go). Zero value
 	// means no faults and changes nothing about kernel behavior.
@@ -205,6 +215,13 @@ type Kernel struct {
 	// OnHotplug, when set, observes every CPU hotplug transition; the
 	// simulator uses it to forward hotplug to the scheduler.
 	OnHotplug func(cpu int, online bool)
+	// OnSampleContext, when set, supplies per-overflow attribution context
+	// for sampling events: the workload phase executing and the CPU's
+	// DVFS frequency at overflow time. The simulator installs it so every
+	// Sample carries (core type, phase, frequency) — the enrichment a
+	// real PERF_RECORD_SAMPLE gets from unwinding and side-band records.
+	// It is consulted at most once per execution slice.
+	OnSampleContext func(pid, cpu int) (phase string, freqMHz float64)
 }
 
 // NewKernel returns the subsystem for a machine.
@@ -364,6 +381,13 @@ func (k *Kernel) Open(attr Attr, pid, cpu, groupFD int) (fd int, err error) {
 
 	if attr.SamplePeriod > 0 && (pid < 0 || kind.Energy()) {
 		return -1, fmt.Errorf("%w: sampling requires a per-task hardware event", ErrInvalid)
+	}
+	if attr.SamplePeriod > 0 && attr.SamplePeriod < MinSamplePeriod {
+		// Mirrors the kernel's perf_event_max_sample_rate throttle: a
+		// tiny period would emit one overflow record per handful of
+		// counter increments and overwhelm the sampling path.
+		return -1, fmt.Errorf("%w: sample period %d below minimum %d",
+			ErrInvalid, attr.SamplePeriod, MinSamplePeriod)
 	}
 
 	e := &Event{
@@ -717,7 +741,7 @@ func (k *Kernel) TaskExec(pid, cpu int, dt float64, st events.Stats) {
 		// The shadow oracle counts as if the event held a dedicated
 		// counter, unaffected by rotation or watchdog reservations.
 		e.shadow += delta
-		if !running[e] {
+		if running != nil && !running[e] {
 			continue // multiplexed out this rotation window
 		}
 		e.timeRunning += dt
@@ -727,9 +751,10 @@ func (k *Kernel) TaskExec(pid, cpu int, dt float64, st events.Stats) {
 }
 
 // eventsFor collects enabled events targeting pid (per-task) or cpu
-// (CPU-wide), in fd order.
+// (CPU-wide), in fd order. The returned slice aliases a kernel scratch
+// buffer and is only valid until the next call.
 func (k *Kernel) eventsFor(pid, cpu int) []*Event {
-	var out []*Event
+	out := k.evScratch[:0]
 	for _, e := range k.byPid[pid] {
 		if e.enabled {
 			out = append(out, e)
@@ -740,14 +765,18 @@ func (k *Kernel) eventsFor(pid, cpu int) []*Event {
 			out = append(out, e)
 		}
 	}
+	k.evScratch = out
 	return out
 }
 
 // scheduledSet applies counter-capacity multiplexing: groups of the given
 // PMU type are rotated through the available counters each mux interval.
+// A nil result means every eligible event is scheduled — the common
+// uncontended case, kept allocation-free because this runs once per task
+// per tick.
 func (k *Kernel) scheduledSet(evs []*Event, pmuType uint32) map[*Event]bool {
-	var leaders []*Event
 	demand := 0
+	stalled := false
 	blocked := k.cyclesBlocked(pmuType)
 	for _, e := range evs {
 		if e.pmuType != pmuType || e.kind.Energy() || e.kind.Software() {
@@ -758,14 +787,26 @@ func (k *Kernel) scheduledSet(evs []*Event, pmuType uint32) map[*Event]bool {
 				// The watchdog pins the fixed cycles counter; groups
 				// schedule all-or-nothing, so any group containing a
 				// cycles event stalls (time_running stops accruing).
+				stalled = true
 				continue
 			}
-			leaders = append(leaders, e)
 			demand += e.hwGroupSize()
 		}
 	}
-	running := map[*Event]bool{}
 	cap := k.effectiveCapacity(pmuType)
+	if demand <= cap && !stalled {
+		return nil
+	}
+	var leaders []*Event
+	for _, e := range evs {
+		if e.pmuType != pmuType || e.kind.Energy() || e.kind.Software() {
+			continue
+		}
+		if e.leader == nil && !(blocked && groupHasCycles(e)) {
+			leaders = append(leaders, e)
+		}
+	}
+	running := map[*Event]bool{}
 	if demand <= cap {
 		for _, l := range leaders {
 			for _, e := range l.group() {

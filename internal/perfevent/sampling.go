@@ -23,12 +23,44 @@ type Sample struct {
 	Value uint64
 	// Period is the configured sampling period.
 	Period uint64
+
+	// CoreType names the core type of CPU at overflow time — the
+	// attribution axis of a hybrid profile. Always set by the kernel.
+	CoreType string
+	// Phase is the workload phase executing at overflow time, supplied by
+	// the simulator through Kernel.OnSampleContext ("" when the task has
+	// no phases or no context provider is installed).
+	Phase string
+	// FreqMHz is the CPU's DVFS frequency at overflow time, supplied by
+	// the same context provider (0 when none is installed). Profilers use
+	// it to convert cycle-weighted samples into busy time.
+	FreqMHz float64
 }
 
 // sampleRingCap bounds the per-event sample buffer, mirroring the finite
 // mmap ring of real perf_event: overflows beyond the cap are dropped and
 // counted (PERF_RECORD_LOST).
 const sampleRingCap = 65536
+
+// MinSamplePeriod is the smallest accepted Attr.SamplePeriod. The real
+// kernel throttles sampling through perf_event_max_sample_rate rather than
+// a static floor, but the effect is the same: a tiny period against a fast
+// counter is rejected before it can melt the machine. Here the hazard is
+// literal — maybeSample loops once per overflow, so a period of 1 against
+// a slice crediting millions of events would spin millions of iterations.
+// Open rejects smaller periods with ErrInvalid.
+const MinSamplePeriod = 1000
+
+// sampleCtx resolves the per-overflow attribution context once per
+// execution slice: the core type from the kernel's own topology, and the
+// phase/frequency from the simulator's context provider when installed.
+func (k *Kernel) sampleCtx(pid, cpu int) (coreType, phase string, freqMHz float64) {
+	coreType = k.m.TypeOf(cpu).Name
+	if k.OnSampleContext != nil {
+		phase, freqMHz = k.OnSampleContext(pid, cpu)
+	}
+	return coreType, phase, freqMHz
+}
 
 // maybeSample emits overflow records for the value increment credited to a
 // sampling event during an execution slice.
@@ -38,29 +70,56 @@ func (k *Kernel) maybeSample(e *Event, pid, cpu int, delta float64) {
 	}
 	e.sampleAcc += delta
 	period := float64(e.samplePeriod)
-	ringCap := sampleRingCap
-	if k.faults.ringCap > 0 {
-		ringCap = k.faults.ringCap
-	}
+	ringCap := k.curRingCap()
+	var coreType, phase string
+	var freqMHz float64
+	ctxDone := false
 	for e.sampleAcc >= period {
 		e.sampleAcc -= period
 		if len(e.samples) >= ringCap {
 			e.lostSamples++
 			continue
 		}
+		if !ctxDone {
+			// Resolve the context lazily and once: all overflows of one
+			// slice share (pid, cpu, phase, freq).
+			coreType, phase, freqMHz = k.sampleCtx(pid, cpu)
+			ctxDone = true
+		}
 		e.samples = append(e.samples, Sample{
-			TimeSec: k.now,
-			PID:     pid,
-			CPU:     cpu,
-			PMUType: e.pmuType,
-			Value:   uint64(e.value),
-			Period:  e.samplePeriod,
+			TimeSec:  k.now,
+			PID:      pid,
+			CPU:      cpu,
+			PMUType:  e.pmuType,
+			Value:    uint64(e.value),
+			Period:   e.samplePeriod,
+			CoreType: coreType,
+			Phase:    phase,
+			FreqMHz:  freqMHz,
 		})
 	}
 }
 
+// curRingCap returns the ring capacity currently in effect.
+func (k *Kernel) curRingCap() int {
+	if k.faults.ringCap > 0 {
+		return k.faults.ringCap
+	}
+	return sampleRingCap
+}
+
 // ReadSamples drains an event's sample buffer, returning the records and
 // the number of samples lost to ring overflow since the last drain.
+// Descriptors invalidated by CPU hotplug return ErrNoSuchDevice (per-task
+// sampling events survive hotplug — they follow the task — so in practice
+// this concerns only descriptors a caller mismanages).
+//
+// The returned slice normally hands over the ring's backing array (the
+// kernel starts a fresh ring afterwards). When the ring capacity changed
+// since the previous drain — a buffer-pressure fault shrank or restored
+// the cap mid-stream — the drain returns an exactly-sized defensive copy
+// instead, so no later kernel-side append can alias memory the caller
+// already owns.
 func (k *Kernel) ReadSamples(fd int) ([]Sample, uint64, error) {
 	k.syscalls++
 	k.pollFaults()
@@ -68,9 +127,29 @@ func (k *Kernel) ReadSamples(fd int) ([]Sample, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	if err := checkAlive(e); err != nil {
+		return nil, 0, err
+	}
 	out := e.samples
 	lost := e.lostSamples
-	e.samples = nil
+	cur := k.curRingCap()
+	if e.drainRingCap != 0 && cur != e.drainRingCap && len(out) > 0 {
+		out = append(make([]Sample, 0, len(out)), out...)
+	}
+	e.drainRingCap = cur
+	// Ownership of the drained records transfers to the caller, so the
+	// ring needs a fresh backing array — sized by the drain just taken,
+	// which on a steady cadence is exactly next window's demand. Sizing
+	// here turns the per-overflow append into a plain store instead of a
+	// grow-copy sequence every window (the profiler's hot path).
+	if n := len(out); n > 0 {
+		if n > cur {
+			n = cur
+		}
+		e.samples = make([]Sample, 0, n)
+	} else {
+		e.samples = nil
+	}
 	e.lostSamples = 0
 	return out, lost, nil
 }

@@ -54,14 +54,14 @@ func TestSamplingGatedByCoreType(t *testing.T) {
 	m := hw.RaptorLake()
 	k := NewKernel(m)
 	attr := attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY")
-	attr.SamplePeriod = 100
+	attr.SamplePeriod = 1000
 	fd, _ := k.Open(attr, 100, -1, -1)
-	k.TaskExec(100, 16, 0.001, events.Stats{Instructions: 10_000}) // E-core
+	k.TaskExec(100, 16, 0.001, events.Stats{Instructions: 100_000}) // E-core
 	samples, _, _ := k.ReadSamples(fd)
 	if len(samples) != 0 {
 		t.Fatalf("P-PMU event sampled on an E-core: %d records", len(samples))
 	}
-	k.TaskExec(100, 2, 0.001, events.Stats{Instructions: 1000}) // P-core
+	k.TaskExec(100, 2, 0.001, events.Stats{Instructions: 10_000}) // P-core
 	samples, _, _ = k.ReadSamples(fd)
 	if len(samples) != 10 {
 		t.Fatalf("got %d samples, want 10", len(samples))
@@ -75,16 +75,81 @@ func TestSamplingRingOverflow(t *testing.T) {
 	m := hw.RaptorLake()
 	k := NewKernel(m)
 	attr := attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY")
-	attr.SamplePeriod = 1
+	attr.SamplePeriod = MinSamplePeriod
 	fd, _ := k.Open(attr, 100, -1, -1)
-	// One slice crediting double the ring capacity.
-	k.TaskExec(100, 0, 0.001, events.Stats{Instructions: 2 * sampleRingCap})
+	// Shrink the ring so a single slice overflows it: 64 overflows into a
+	// 32-slot ring keeps 32 and loses 32.
+	k.SetSampleRingCap(32)
+	k.TaskExec(100, 0, 0.001, events.Stats{Instructions: 64 * MinSamplePeriod})
 	samples, lost, _ := k.ReadSamples(fd)
-	if len(samples) != sampleRingCap {
-		t.Fatalf("ring held %d, want %d", len(samples), sampleRingCap)
+	if len(samples) != 32 {
+		t.Fatalf("ring held %d, want 32", len(samples))
 	}
-	if lost != sampleRingCap {
-		t.Fatalf("lost = %d, want %d", lost, sampleRingCap)
+	if lost != 32 {
+		t.Fatalf("lost = %d, want 32", lost)
+	}
+}
+
+func TestSamplingMinPeriodEnforced(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	attr := attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY")
+	attr.SamplePeriod = MinSamplePeriod - 1
+	if _, err := k.Open(attr, 100, -1, -1); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("period below floor accepted: %v", err)
+	}
+	attr.SamplePeriod = MinSamplePeriod
+	if _, err := k.Open(attr, 100, -1, -1); err != nil {
+		t.Fatalf("period at floor rejected: %v", err)
+	}
+}
+
+func TestReadSamplesDefensiveCopyOnCapChange(t *testing.T) {
+	// When the ring cap changes between drains (a buffer-pressure fault
+	// shrank or restored it), the drain must hand back a copy so later
+	// kernel-side appends cannot alias the caller's slice.
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	attr := attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY")
+	attr.SamplePeriod = MinSamplePeriod
+	fd, _ := k.Open(attr, 100, -1, -1)
+
+	exec := func(overflows int) {
+		k.TaskExec(100, 0, 0.001, events.Stats{Instructions: float64(overflows) * MinSamplePeriod})
+	}
+
+	exec(4)
+	first, _, err := k.ReadSamples(fd)
+	if err != nil || len(first) != 4 {
+		t.Fatalf("first drain: %d samples, err %v", len(first), err)
+	}
+
+	// Shrink the cap mid-stream; the next drain crosses a cap boundary.
+	k.SetSampleRingCap(8)
+	exec(3)
+	second, _, err := k.ReadSamples(fd)
+	if err != nil || len(second) != 3 {
+		t.Fatalf("second drain: %d samples, err %v", len(second), err)
+	}
+	if cap(second) != len(second) {
+		t.Fatalf("cap-change drain not exactly sized: len %d cap %d", len(second), cap(second))
+	}
+	snapshot := append([]Sample(nil), second...)
+
+	// New overflows appended after the drain must not mutate the slice the
+	// caller already holds.
+	exec(5)
+	for i := range second {
+		if second[i] != snapshot[i] {
+			t.Fatalf("drained sample %d mutated by later append", i)
+		}
+	}
+
+	// A steady cap drains without copying again (backing array handover).
+	exec(2)
+	third, _, err := k.ReadSamples(fd)
+	if err != nil || len(third) != 5+2 {
+		t.Fatalf("third drain: %d samples, err %v", len(third), err)
 	}
 }
 
@@ -94,12 +159,12 @@ func TestSamplingInvalidTargets(t *testing.T) {
 	k.AttachPower(power.New(m.Power))
 	// CPU-wide sampling rejected.
 	attr := attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY")
-	attr.SamplePeriod = 100
+	attr.SamplePeriod = 1000
 	if _, err := k.Open(attr, -1, 0, -1); !errors.Is(err, ErrInvalid) {
 		t.Fatalf("cpu-wide sampling: %v", err)
 	}
 	// RAPL sampling rejected.
-	pwrAttr := Attr{Type: m.Power.RAPLPerfType, Config: events.Encode(0x02, 0), SamplePeriod: 100}
+	pwrAttr := Attr{Type: m.Power.RAPLPerfType, Config: events.Encode(0x02, 0), SamplePeriod: 1000}
 	if _, err := k.Open(pwrAttr, -1, 0, -1); !errors.Is(err, ErrInvalid) {
 		t.Fatalf("rapl sampling: %v", err)
 	}
@@ -117,5 +182,77 @@ func TestNonSamplingEventEmitsNothing(t *testing.T) {
 	samples, lost, err := k.ReadSamples(fd)
 	if err != nil || len(samples) != 0 || lost != 0 {
 		t.Fatalf("counting event produced samples: %d/%d/%v", len(samples), lost, err)
+	}
+}
+
+// TestSamplingContextProvider covers the OnSampleContext hook: when the
+// simulator installs a context provider, every overflow record carries
+// the provider's phase and frequency alongside the kernel's own
+// core-type attribution.
+func TestSamplingContextProvider(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	var askedPID, askedCPU int
+	k.OnSampleContext = func(pid, cpu int) (string, float64) {
+		askedPID, askedCPU = pid, cpu
+		return "solve", 4200
+	}
+	attr := instrAttr(t, m, "adl_glc")
+	attr.SamplePeriod = MinSamplePeriod
+	fd, err := k.Open(attr, 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.TaskExec(100, 2, 0.001, execStats(3*MinSamplePeriod))
+	samples, _, err := k.ReadSamples(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+	if askedPID != 100 || askedCPU != 2 {
+		t.Fatalf("provider asked about (%d, %d), want (100, 2)", askedPID, askedCPU)
+	}
+	for _, s := range samples {
+		if s.Phase != "solve" || s.FreqMHz != 4200 {
+			t.Fatalf("sample context %q/%g, want solve/4200", s.Phase, s.FreqMHz)
+		}
+		if s.CoreType != "P-core" || s.CPU != 2 {
+			t.Fatalf("sample attribution %+v", s)
+		}
+	}
+}
+
+// TestSamplingRingShrinkMidStream covers a buffer-pressure shrink landing
+// between fills: samples already buffered beyond the new cap still drain
+// in full (the kernel never discards retained records retroactively),
+// while the next window enforces the shrunken cap.
+func TestSamplingRingShrinkMidStream(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	attr := instrAttr(t, m, "adl_glc")
+	attr.SamplePeriod = MinSamplePeriod
+	fd, err := k.Open(attr, 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.TaskExec(100, 0, 0.001, execStats(5*MinSamplePeriod))
+	k.SetSampleRingCap(2)
+	samples, lost, err := k.ReadSamples(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 || lost != 0 {
+		t.Fatalf("pre-shrink records: %d retained %d lost, want 5/0", len(samples), lost)
+	}
+	// The next window runs under the shrunken cap: 4 overflows, 2 kept.
+	k.TaskExec(100, 0, 0.001, execStats(4*MinSamplePeriod))
+	samples, lost, err = k.ReadSamples(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 || lost != 2 {
+		t.Fatalf("post-shrink window: %d retained %d lost, want 2/2", len(samples), lost)
 	}
 }

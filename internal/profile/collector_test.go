@@ -1,0 +1,169 @@
+package profile
+
+import (
+	"testing"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/sim"
+	"hetpapi/internal/workload"
+)
+
+// TestCollectorAttributesPhasesAndCoreTypes drives a phased workload on a
+// hybrid machine directly (no scenario harness) and checks the full
+// attribution chain: per-core-type PMU split, workload phase at overflow,
+// and frequency-converted busy time.
+func TestCollectorAttributesPhasesAndCoreTypes(t *testing.T) {
+	s := sim.New(hw.RaptorLake(), sim.DefaultConfig())
+	seq := workload.NewSequence("app",
+		workload.NewInstructionLoop("init", 1e6, 300),
+		workload.NewInstructionLoop("compute", 1e6, 2000),
+	)
+	// Pin to one P-core; a second process pinned to an E-core proves the
+	// per-PMU split.
+	p1 := s.Spawn(seq, hw.NewCPUSet(0))
+	eLoop := workload.NewInstructionLoop("e-loop", 1e6, 1500)
+	p2 := s.Spawn(eLoop, hw.NewCPUSet(16))
+
+	col := NewCollector(s, Config{Period: 1_000_000, DrainEveryTicks: 8})
+	col.Attach(p1.PID)
+	col.Attach(p2.PID)
+	remove := s.AddStepHook(col.SimHook())
+	defer remove()
+
+	if !s.RunUntil(func() bool { return seq.Done() && eLoop.Done() }, 30) {
+		t.Fatal("workloads did not finish")
+	}
+	prof := col.Finish()
+	col.Close()
+
+	if !prof.Complete() {
+		t.Fatalf("missing PMUs: %v", prof.MissingPMUs)
+	}
+	if prof.Emitted == 0 || prof.Lost != 0 {
+		t.Fatalf("emitted/lost = %d/%d", prof.Emitted, prof.Lost)
+	}
+	if prof.DurationSec <= 0 {
+		t.Fatalf("duration = %g", prof.DurationSec)
+	}
+
+	phases := map[string]bool{}
+	types := map[string]bool{}
+	for k, b := range prof.Buckets {
+		phases[k.Phase] = true
+		types[k.CoreType] = true
+		if b.BusySec <= 0 {
+			t.Fatalf("bucket %+v has no busy time (freq context missing?)", k)
+		}
+		switch k.CoreType {
+		case "P-core":
+			if k.CPU != 0 {
+				t.Fatalf("P-core sample on cpu %d, want 0", k.CPU)
+			}
+			// "" is legal at the end-of-sequence boundary: the overflow
+			// context is resolved after the slice ran, and the final
+			// slice leaves the sequence with no current phase — the same
+			// skid real overflow interrupts exhibit.
+			if k.Phase != "init" && k.Phase != "compute" && k.Phase != "" {
+				t.Fatalf("P-core sample carries phase %q", k.Phase)
+			}
+		case "E-core":
+			if k.CPU != 16 {
+				t.Fatalf("E-core sample on cpu %d, want 16", k.CPU)
+			}
+			if k.Phase != "" {
+				t.Fatalf("unphased task carries phase %q", k.Phase)
+			}
+		default:
+			t.Fatalf("unknown core type %q", k.CoreType)
+		}
+	}
+	if !types["P-core"] || !types["E-core"] {
+		t.Fatalf("core types = %v, want both PMUs", types)
+	}
+	if !phases["init"] || !phases["compute"] {
+		t.Fatalf("phases = %v, want init and compute", phases)
+	}
+
+	// The sequence ran both phases to completion with equal per-rep work:
+	// the compute phase must carry more weight than init (2000 vs 300
+	// reps) — gross-attribution sanity, not an exact ratio (DVFS ramps).
+	ph := prof.PhaseShares()
+	if ph["compute"] <= ph["init"] {
+		t.Fatalf("phase shares = %v, want compute > init", ph)
+	}
+
+	ovh := col.Overhead()
+	if ovh.Ticks == 0 || ovh.Drains == 0 {
+		t.Fatalf("overhead report empty: %+v", ovh)
+	}
+	if ovh.SamplesPerSimSec <= 0 {
+		t.Fatalf("samples/sec = %g", ovh.SamplesPerSimSec)
+	}
+	if ovh.LostRatio != 0 {
+		t.Fatalf("lost ratio = %g", ovh.LostRatio)
+	}
+	if ovh.String() == "" {
+		t.Fatal("empty overhead string")
+	}
+}
+
+// TestCollectorBusyTimeTracksWallTime pins one always-busy task to one
+// CPU and checks the frequency conversion: scaled busy time must land
+// near the task's elapsed run time.
+func TestCollectorBusyTimeTracksWallTime(t *testing.T) {
+	s := sim.New(hw.RaptorLake(), sim.DefaultConfig())
+	spin := workload.NewSpin("spin", 2.0)
+	p := s.Spawn(spin, hw.NewCPUSet(4))
+	col := NewCollector(s, Config{Period: 1_000_000, DrainEveryTicks: 4})
+	col.Attach(p.PID)
+	remove := s.AddStepHook(col.SimHook())
+	defer remove()
+	if !s.RunUntil(spin.Done, 10) {
+		t.Fatal("spin did not finish")
+	}
+	prof := col.Finish()
+	busy := prof.TotalBusySec()
+	// 2 s of pinned spinning; the estimate may miss up to one period per
+	// ring plus startup ticks, well inside 5%.
+	if busy < 1.9 || busy > 2.1 {
+		t.Fatalf("estimated busy %gs, want ~2s", busy)
+	}
+	bound := prof.ErrorBound()
+	if bound <= 0 || bound > 0.1 {
+		t.Fatalf("clean-run bound = %g", bound)
+	}
+}
+
+// TestCollectorMissingPMUDegrades opens against a machine whose P-core
+// cycles counter is watchdog-held: the profiler must degrade to a
+// partial profile instead of failing.
+func TestCollectorMissingPMUDegrades(t *testing.T) {
+	s := sim.New(hw.RaptorLake(), sim.DefaultConfig())
+	var pType uint32
+	for i := range s.HW.Types {
+		if s.HW.Types[i].Name == "P-core" {
+			pType = s.HW.Types[i].PMU.PerfType
+		}
+	}
+	s.Kernel.SetWatchdog(pType, true)
+	loop := workload.NewInstructionLoop("w", 1e6, 200)
+	p := s.Spawn(loop, hw.NewCPUSet(16)) // E-core
+	col := NewCollector(s, Config{Period: 1_000_000, DrainEveryTicks: 4})
+	col.Attach(p.PID)
+	remove := s.AddStepHook(col.SimHook())
+	defer remove()
+	if !s.RunUntil(loop.Done, 10) {
+		t.Fatal("loop did not finish")
+	}
+	prof := col.Finish()
+	if prof.Complete() {
+		t.Fatal("profile claims completeness with a held PMU")
+	}
+	if len(prof.MissingPMUs) != 1 || prof.MissingPMUs[0] != "P-core" {
+		t.Fatalf("missing PMUs = %v", prof.MissingPMUs)
+	}
+	// The E-core stream still profiles.
+	if prof.Emitted == 0 {
+		t.Fatal("no samples from the remaining PMU")
+	}
+}

@@ -1,0 +1,32 @@
+package profile
+
+// Folded flamegraph export: one line per bucket in the collapsed-stack
+// format flamegraph.pl and speedscope consume — semicolon-joined frames
+// root-first, a space, and the integer weight. The stack is the profile's
+// attribution hierarchy (core type; phase; cpu), so the flamegraph's
+// first split is the paper's P-vs-E divide.
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteFolded writes the profile as folded stacks, deterministically
+// ordered. Weights are the scaled event counts (cycles), so frame widths
+// compare busy work across core types even when frequencies differ.
+func WriteFolded(w io.Writer, p *Profile) error {
+	for _, k := range p.sortedKeys() {
+		b := p.Buckets[k]
+		stack := ""
+		for i, f := range k.frames() {
+			if i > 0 {
+				stack += ";"
+			}
+			stack += f
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", stack, clampWeight(b.Weight)); err != nil {
+			return fmt.Errorf("folded export: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Fuzz target for the pprof exporter round trip: arbitrary bucket
+// contents — including non-finite weights and busy times — must always
+// encode to a valid gzipped profile.proto that the independent minimal
+// decoder parses back with finite, clamped values.
+package profile
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// takeF64 consumes 8 bytes as a float64 (any bit pattern, so NaN and Inf
+// appear naturally), defaulting to 0 when the input runs dry.
+func takeF64(data *[]byte) float64 {
+	if len(*data) < 8 {
+		return 0
+	}
+	var bits uint64
+	for i := 0; i < 8; i++ {
+		bits = bits<<8 | uint64((*data)[i])
+	}
+	*data = (*data)[8:]
+	return math.Float64frombits(bits)
+}
+
+func FuzzProfileExport(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	// A payload decoding to NaN weight.
+	f.Add(bytes.Repeat([]byte{0xFF}, 40))
+	f.Add([]byte("P-core\x00compute\x00with realistic strings after"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := New("cycles", 1_000_000)
+		p.DurationSec = takeF64(&data)
+		p.Rings = int(uint8(len(data)))
+		// Decode the remaining bytes into buckets: 2 name bytes + 1 cpu
+		// byte + 2 floats each.
+		names := []string{"", "P-core", "E-core", "big", "little", "LP-E-core", "phase-a", "x"}
+		for len(data) >= 3 {
+			ct := names[1+int(data[0])%(len(names)-1)] // core type never ""
+			ph := names[int(data[1])%len(names)]
+			cpu := int(data[2]) // kernel CPU ids are non-negative
+			data = data[3:]
+			k := Key{CoreType: ct, Phase: ph, CPU: cpu}
+			b := p.Buckets[k]
+			if b == nil {
+				b = &Bucket{}
+				p.Buckets[k] = b
+			}
+			b.Samples++
+			b.Weight += takeF64(&data)
+			b.BusySec += takeF64(&data)
+			p.Emitted++
+		}
+		p.Lost = uint64(len(p.Buckets)) * 3
+
+		var buf bytes.Buffer
+		if err := WritePprof(&buf, p); err != nil {
+			t.Fatalf("export failed: %v", err)
+		}
+		out := buf.Bytes()
+		if len(out) < 2 || out[0] != 0x1f || out[1] != 0x8b {
+			t.Fatal("output is not gzipped")
+		}
+		d, err := DecodePprof(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("exported profile does not decode: %v", err)
+		}
+		if len(d.SampleTypes) != 3 {
+			t.Fatalf("sample types: %+v", d.SampleTypes)
+		}
+		if len(d.Samples) != len(p.Buckets) {
+			t.Fatalf("decoded %d samples, want %d buckets", len(d.Samples), len(p.Buckets))
+		}
+		for _, s := range d.Samples {
+			if len(s.Values) != 3 {
+				t.Fatalf("values: %v", s.Values)
+			}
+			for _, v := range s.Values {
+				if v < 0 {
+					t.Fatalf("negative encoded value %d", v)
+				}
+			}
+			if len(s.Stack) == 0 || len(s.Stack) > 3 {
+				t.Fatalf("stack: %v", s.Stack)
+			}
+		}
+		// The folded export must hold one well-formed line per bucket.
+		var folded bytes.Buffer
+		if err := WriteFolded(&folded, p); err != nil {
+			t.Fatalf("folded export failed: %v", err)
+		}
+		if got := bytes.Count(folded.Bytes(), []byte("\n")); got != len(p.Buckets) {
+			t.Fatalf("folded lines %d, want %d", got, len(p.Buckets))
+		}
+		// Full round trip: the reconstructed profile matches the bucket
+		// census and recovers the loss accounting from the comments.
+		q, err := FromDecoded(d)
+		if err != nil {
+			t.Fatalf("FromDecoded failed: %v", err)
+		}
+		if len(q.Buckets) != len(p.Buckets) || q.Lost != p.Lost {
+			t.Fatalf("round trip: %d buckets lost %d, want %d/%d",
+				len(q.Buckets), q.Lost, len(p.Buckets), p.Lost)
+		}
+		if b := q.ErrorBound(); math.IsNaN(b) || b < 0 || b > 1 {
+			t.Fatalf("round-tripped bound %g outside [0,1]", b)
+		}
+	})
+}

@@ -1,0 +1,240 @@
+package profile
+
+// pprof profile.proto export, encoded from scratch. The pprof wire format
+// is an ordinary protobuf message (github.com/google/pprof/proto/profile.proto);
+// the subset a statistical profile needs is small enough to hand-roll with
+// a varint encoder:
+//
+//	Profile:  sample_type=1 ValueType*, sample=2 Sample*, location=4
+//	          Location*, function=5 Function*, string_table=6 string*,
+//	          duration_nanos=10, period_type=11 ValueType, period=12
+//	ValueType: type=1 (string index), unit=2 (string index)
+//	Sample:   location_id=1 uint64* (leaf first), value=2 int64*,
+//	          label=3 Label*
+//	Label:    key=1, str=2, num=3, num_unit=4 (string indices / int64)
+//	Location: id=1, line=4 Line*
+//	Line:     function_id=1
+//	Function: id=1, name=2 (string index)
+//
+// Every bucket becomes one Sample with the synthetic stack core type →
+// phase → cpu (leaf last in the flamegraph sense, so leaf-first location
+// order starts at the cpu frame), three values (sample count, scaled
+// event weight, estimated busy nanoseconds) and string labels for
+// machine-readable filtering. The output is gzipped, as `go tool pprof`
+// expects.
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// protobuf wire types.
+const (
+	wireVarint = 0
+	wireBytes  = 2
+)
+
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *protoBuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+// uint emits a varint field, skipping proto3 zero defaults.
+func (p *protoBuf) uint(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, wireVarint)
+	p.varint(v)
+}
+
+// int emits a non-negative int64 varint field.
+func (p *protoBuf) int(field int, v int64) {
+	if v < 0 {
+		v = 0
+	}
+	p.uint(field, uint64(v))
+}
+
+func (p *protoBuf) bytes(field int, b []byte) {
+	p.tag(field, wireBytes)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *protoBuf) str(field int, s string) { p.bytes(field, []byte(s)) }
+
+// strTable interns strings into the profile.proto string table; index 0
+// is the mandatory empty string.
+type strTable struct {
+	idx  map[string]int64
+	list []string
+}
+
+func newStrTable() *strTable {
+	return &strTable{idx: map[string]int64{"": 0}, list: []string{""}}
+}
+
+func (t *strTable) id(s string) int64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := int64(len(t.list))
+	t.idx[s] = i
+	t.list = append(t.list, s)
+	return i
+}
+
+func valueType(strs *strTable, typ, unit string) []byte {
+	var b protoBuf
+	b.int(1, strs.id(typ))
+	b.int(2, strs.id(unit))
+	return b.b
+}
+
+func label(strs *strTable, key, str string, num int64, numUnit string) []byte {
+	var b protoBuf
+	b.int(1, strs.id(key))
+	if str != "" {
+		b.int(2, strs.id(str))
+	} else {
+		b.int(3, num)
+		if numUnit != "" {
+			b.int(4, strs.id(numUnit))
+		}
+	}
+	return b.b
+}
+
+// clampNanos converts seconds to int64 nanoseconds, guarding non-finite
+// input (fuzzed profiles) so the encoding never emits garbage.
+func clampNanos(sec float64) int64 {
+	ns := sec * 1e9
+	if math.IsNaN(ns) || ns < 0 {
+		return 0
+	}
+	if ns > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(ns)
+}
+
+// clampWeight rounds a scaled weight to int64, guarding non-finite input.
+func clampWeight(w float64) int64 {
+	if math.IsNaN(w) || w < 0 {
+		return 0
+	}
+	if w > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(math.Round(w))
+}
+
+// encodeProto serializes the profile as uncompressed profile.proto bytes.
+func (p *Profile) encodeProto() []byte {
+	strs := newStrTable()
+	var out protoBuf
+
+	event := p.Event
+	if event == "" {
+		event = "events"
+	}
+	// sample_type: count of retained records, the scaled event weight and
+	// the frequency-converted busy time.
+	out.bytes(1, valueType(strs, "samples", "count"))
+	out.bytes(1, valueType(strs, event, "count"))
+	out.bytes(1, valueType(strs, "time", "nanoseconds"))
+
+	// One synthetic function+location per distinct frame name.
+	locID := map[string]uint64{}
+	var locOrder []string
+	locOf := func(frame string) uint64 {
+		if id, ok := locID[frame]; ok {
+			return id
+		}
+		id := uint64(len(locOrder) + 1)
+		locID[frame] = id
+		locOrder = append(locOrder, frame)
+		return id
+	}
+
+	for _, k := range p.sortedKeys() {
+		b := p.Buckets[k]
+		frames := k.frames()
+		var smp protoBuf
+		// location_id is leaf-first: reverse the root-first frame order.
+		for i := len(frames) - 1; i >= 0; i-- {
+			smp.uint(1, locOf(frames[i]))
+		}
+		var vals protoBuf
+		vals.varint(uint64(b.Samples))
+		vals.varint(uint64(clampWeight(b.Weight)))
+		vals.varint(uint64(clampNanos(b.BusySec)))
+		smp.bytes(2, vals.b)
+		smp.bytes(3, label(strs, "core_type", k.CoreType, 0, ""))
+		if k.Phase != "" {
+			smp.bytes(3, label(strs, "phase", k.Phase, 0, ""))
+		}
+		smp.bytes(3, label(strs, "cpu", "", int64(k.CPU), ""))
+		out.bytes(2, smp.b)
+	}
+
+	for i, frame := range locOrder {
+		id := uint64(i + 1)
+		var fn protoBuf
+		fn.uint(1, id)
+		fn.int(2, strs.id(frame))
+		out.bytes(5, fn.b)
+		var line protoBuf
+		line.uint(1, id)
+		var loc protoBuf
+		loc.uint(1, id)
+		loc.bytes(4, line.b)
+		out.bytes(4, loc.b)
+	}
+
+	// Comments (field 13, string indices) carry the statistical metadata
+	// profile.proto has no slot for — the lost-sample accounting behind
+	// the error bound — so a written profile round-trips it. `go tool
+	// pprof -comments` shows them. Intern before the table serializes.
+	comments := []int64{strs.id(fmt.Sprintf(
+		"hetpapiprof: emitted=%d lost=%d rings=%d", p.Emitted, p.Lost, p.Rings))}
+	if len(p.MissingPMUs) > 0 {
+		comments = append(comments,
+			strs.id("hetpapiprof: missing-pmus="+strings.Join(p.MissingPMUs, ",")))
+	}
+
+	for _, s := range strs.list {
+		out.str(6, s)
+	}
+	out.int(10, clampNanos(p.DurationSec))
+	out.bytes(11, valueType(strs, event, "count"))
+	out.int(12, int64(p.Period))
+	for _, c := range comments {
+		out.int(13, c)
+	}
+	return out.b
+}
+
+// WritePprof writes the profile as a gzipped profile.proto stream, the
+// format `go tool pprof` opens directly.
+func WritePprof(w io.Writer, p *Profile) error {
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(p.encodeProto()); err != nil {
+		return fmt.Errorf("pprof export: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("pprof export: %w", err)
+	}
+	return nil
+}

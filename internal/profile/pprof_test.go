@@ -1,0 +1,198 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func testProfile() *Profile {
+	p := New("cycles", 2_000_000)
+	p.Rings = 2
+	p.DurationSec = 1.5
+	p.AddRing(mkSamples(40, "P-core", "compute", 0, 2_000_000, 4000), 0)
+	p.AddRing(mkSamples(10, "P-core", "init", 2, 2_000_000, 4000), 2)
+	p.AddRing(mkSamples(20, "E-core", "compute", 16, 2_000_000, 3000), 0)
+	return p
+}
+
+func TestPprofRoundTrip(t *testing.T) {
+	p := testProfile()
+	var buf bytes.Buffer
+	if err := WritePprof(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	// Gzip magic.
+	if b := buf.Bytes(); len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+		t.Fatal("output is not gzipped")
+	}
+	d, err := DecodePprof(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.SampleTypes) != 3 {
+		t.Fatalf("sample types = %+v", d.SampleTypes)
+	}
+	if d.SampleTypes[0] != (DecodedValueType{"samples", "count"}) ||
+		d.SampleTypes[1] != (DecodedValueType{"cycles", "count"}) ||
+		d.SampleTypes[2] != (DecodedValueType{"time", "nanoseconds"}) {
+		t.Fatalf("sample types = %+v", d.SampleTypes)
+	}
+	if d.Period != 2_000_000 || d.PeriodType.Type != "cycles" {
+		t.Fatalf("period = %d %+v", d.Period, d.PeriodType)
+	}
+	if d.DurationNanos != 1_500_000_000 {
+		t.Fatalf("duration = %d", d.DurationNanos)
+	}
+	if len(d.Samples) != len(p.Buckets) {
+		t.Fatalf("got %d samples, want %d buckets", len(d.Samples), len(p.Buckets))
+	}
+	// Each decoded sample's stack is leaf-first; reverse to the bucket key.
+	seen := map[Key]bool{}
+	for _, s := range d.Samples {
+		if len(s.Stack) != 3 {
+			t.Fatalf("stack %v, want 3 frames", s.Stack)
+		}
+		var cpu int
+		var ct, phase string
+		for _, lb := range s.Labels {
+			switch lb.Key {
+			case "core_type":
+				ct = lb.Str
+			case "phase":
+				phase = lb.Str
+			case "cpu":
+				cpu = int(lb.Num)
+			}
+		}
+		if s.Stack[2] != ct || s.Stack[1] != phase {
+			t.Fatalf("stack %v does not match labels (%s, %s)", s.Stack, ct, phase)
+		}
+		k := Key{CoreType: ct, Phase: phase, CPU: cpu}
+		b := p.Buckets[k]
+		if b == nil {
+			t.Fatalf("decoded sample for unknown bucket %+v", k)
+		}
+		if len(s.Values) != 3 {
+			t.Fatalf("values = %v", s.Values)
+		}
+		if s.Values[0] != int64(b.Samples) {
+			t.Fatalf("bucket %+v: count %d, want %d", k, s.Values[0], b.Samples)
+		}
+		if s.Values[1] != clampWeight(b.Weight) {
+			t.Fatalf("bucket %+v: weight %d, want %d", k, s.Values[1], clampWeight(b.Weight))
+		}
+		if s.Values[2] != clampNanos(b.BusySec) {
+			t.Fatalf("bucket %+v: nanos %d, want %d", k, s.Values[2], clampNanos(b.BusySec))
+		}
+		seen[k] = true
+	}
+	if len(seen) != len(p.Buckets) {
+		t.Fatalf("decoded %d distinct buckets, want %d", len(seen), len(p.Buckets))
+	}
+}
+
+func TestFromDecodedRecoversProfile(t *testing.T) {
+	p := testProfile()
+	p.MissingPMUs = []string{"LP-E-core"}
+	var buf bytes.Buffer
+	if err := WritePprof(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodePprof(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := FromDecoded(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Emitted != p.Emitted || q.Lost != p.Lost || q.Rings != p.Rings {
+		t.Fatalf("accounting: got %d/%d/%d, want %d/%d/%d",
+			q.Emitted, q.Lost, q.Rings, p.Emitted, p.Lost, p.Rings)
+	}
+	if len(q.MissingPMUs) != 1 || q.MissingPMUs[0] != "LP-E-core" {
+		t.Fatalf("missing PMUs = %v", q.MissingPMUs)
+	}
+	if q.Event != p.Event || q.Period != p.Period {
+		t.Fatalf("event/period = %s/%d", q.Event, q.Period)
+	}
+	if len(q.Buckets) != len(p.Buckets) {
+		t.Fatalf("buckets = %d, want %d", len(q.Buckets), len(p.Buckets))
+	}
+	for k, b := range p.Buckets {
+		qb := q.Buckets[k]
+		if qb == nil {
+			t.Fatalf("bucket %+v lost in round trip", k)
+		}
+		if qb.Samples != b.Samples {
+			t.Fatalf("bucket %+v samples %d, want %d", k, qb.Samples, b.Samples)
+		}
+		if math.Abs(qb.Weight-b.Weight) > 1 {
+			t.Fatalf("bucket %+v weight %g, want %g", k, qb.Weight, b.Weight)
+		}
+		if math.Abs(qb.BusySec-b.BusySec) > 1e-9 {
+			t.Fatalf("bucket %+v busy %g, want %g", k, qb.BusySec, b.BusySec)
+		}
+	}
+	// The bound is a pure function of the recovered accounting.
+	if math.Abs(q.ErrorBound()-p.ErrorBound()) > 1e-12 {
+		t.Fatalf("bound %g, want %g", q.ErrorBound(), p.ErrorBound())
+	}
+}
+
+func TestPprofDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WritePprof(&a, testProfile()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePprof(&b, testProfile()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("pprof export is not deterministic")
+	}
+}
+
+func TestPprofEmptyProfile(t *testing.T) {
+	p := New("cycles", 2_000_000)
+	var buf bytes.Buffer
+	if err := WritePprof(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodePprof(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Samples) != 0 || len(d.SampleTypes) != 3 {
+		t.Fatalf("empty profile decoded as %+v", d)
+	}
+}
+
+func TestClampGuards(t *testing.T) {
+	if clampNanos(math.NaN()) != 0 || clampNanos(-1) != 0 {
+		t.Fatal("clampNanos does not guard")
+	}
+	if clampNanos(math.Inf(1)) != math.MaxInt64 {
+		t.Fatal("clampNanos inf")
+	}
+	if clampWeight(math.NaN()) != 0 || clampWeight(math.Inf(1)) != math.MaxInt64 {
+		t.Fatal("clampWeight does not guard")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodePprof(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated varint inside a valid gzip stream.
+	if _, err := decodeProfile([]byte{0x08, 0x80}); err == nil {
+		t.Fatal("truncated varint accepted")
+	}
+	// String table missing the leading empty string.
+	var b protoBuf
+	b.str(6, "oops")
+	if _, err := decodeProfile(b.b); err == nil {
+		t.Fatal("bad string table accepted")
+	}
+}

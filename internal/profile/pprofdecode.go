@@ -1,0 +1,403 @@
+package profile
+
+// Minimal profile.proto decoder, the verification half of the hand-rolled
+// exporter: tests (and the fuzz harness) gunzip an exported profile,
+// decode it with this independent parser and check that the samples,
+// stacks and string table round-trip. It is not a general protobuf
+// implementation — just enough wire-format walking for the fields the
+// exporter emits, with the strictness a verifier needs (truncated varints,
+// overrunning lengths and unknown wire types are errors).
+
+import (
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DecodedValueType is a decoded ValueType message.
+type DecodedValueType struct {
+	Type, Unit string
+}
+
+// DecodedLabel is a decoded Sample label.
+type DecodedLabel struct {
+	Key string
+	Str string
+	Num int64
+}
+
+// DecodedSample is a decoded Sample with location ids resolved to frame
+// names (leaf first, as encoded).
+type DecodedSample struct {
+	Stack  []string
+	Values []int64
+	Labels []DecodedLabel
+}
+
+// DecodedProfile is the decoder's view of a profile.proto stream.
+type DecodedProfile struct {
+	SampleTypes   []DecodedValueType
+	Samples       []DecodedSample
+	Strings       []string
+	DurationNanos int64
+	PeriodType    DecodedValueType
+	Period        int64
+	// Comments are the profile's comment strings (the exporter stashes
+	// lost-sample metadata here).
+	Comments []string
+	// Locations maps location id to frame name (via its function).
+	Locations map[uint64]string
+}
+
+type reader struct {
+	b   []byte
+	pos int
+}
+
+var errTruncated = errors.New("pprof decode: truncated message")
+
+func (r *reader) varint() (uint64, error) {
+	var v uint64
+	for shift := 0; shift < 64; shift += 7 {
+		if r.pos >= len(r.b) {
+			return 0, errTruncated
+		}
+		c := r.b[r.pos]
+		r.pos++
+		v |= uint64(c&0x7F) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, errors.New("pprof decode: varint overflow")
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)-r.pos) {
+		return nil, errTruncated
+	}
+	out := r.b[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return out, nil
+}
+
+// field reads one tagged field, returning its number and either a varint
+// value or a bytes payload.
+func (r *reader) field() (num int, v uint64, payload []byte, err error) {
+	tag, err := r.varint()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	num, wire := int(tag>>3), int(tag&7)
+	if num == 0 {
+		return 0, 0, nil, errors.New("pprof decode: field number 0")
+	}
+	switch wire {
+	case wireVarint:
+		v, err = r.varint()
+		return num, v, nil, err
+	case wireBytes:
+		payload, err = r.bytes()
+		return num, 0, payload, err
+	default:
+		return 0, 0, nil, fmt.Errorf("pprof decode: unsupported wire type %d", wire)
+	}
+}
+
+func decodeValueType(b []byte, strs []string) (DecodedValueType, error) {
+	var vt DecodedValueType
+	r := &reader{b: b}
+	for r.pos < len(r.b) {
+		num, v, _, err := r.field()
+		if err != nil {
+			return vt, err
+		}
+		s, err := strAt(strs, v)
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case 1:
+			vt.Type = s
+		case 2:
+			vt.Unit = s
+		}
+	}
+	return vt, nil
+}
+
+func strAt(strs []string, idx uint64) (string, error) {
+	if idx >= uint64(len(strs)) {
+		return "", fmt.Errorf("pprof decode: string index %d out of table (%d entries)", idx, len(strs))
+	}
+	return strs[idx], nil
+}
+
+// packedOrOne appends either a packed payload's varints or a single
+// varint value to dst.
+func packedOrOne(dst []uint64, v uint64, payload []byte) ([]uint64, error) {
+	if payload == nil {
+		return append(dst, v), nil
+	}
+	r := &reader{b: payload}
+	for r.pos < len(r.b) {
+		x, err := r.varint()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, x)
+	}
+	return dst, nil
+}
+
+type rawSample struct {
+	locIDs []uint64
+	values []int64
+	labels [][]byte
+}
+
+// DecodePprof gunzips and decodes an exported profile.
+func DecodePprof(r io.Reader) (*DecodedProfile, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("pprof decode: %w", err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		return nil, fmt.Errorf("pprof decode: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return nil, fmt.Errorf("pprof decode: %w", err)
+	}
+	return decodeProfile(raw)
+}
+
+func decodeProfile(raw []byte) (*DecodedProfile, error) {
+	p := &DecodedProfile{Locations: map[uint64]string{}}
+	var sampleTypes, samples, locations, functions [][]byte
+	var periodType []byte
+	var commentIdx []uint64
+	rd := &reader{b: raw}
+	for rd.pos < len(rd.b) {
+		num, v, payload, err := rd.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1:
+			sampleTypes = append(sampleTypes, payload)
+		case 2:
+			samples = append(samples, payload)
+		case 4:
+			locations = append(locations, payload)
+		case 5:
+			functions = append(functions, payload)
+		case 6:
+			p.Strings = append(p.Strings, string(payload))
+		case 10:
+			p.DurationNanos = int64(v)
+		case 11:
+			periodType = payload
+		case 12:
+			p.Period = int64(v)
+		case 13:
+			commentIdx = append(commentIdx, v)
+		}
+	}
+	if len(p.Strings) == 0 || p.Strings[0] != "" {
+		return nil, errors.New("pprof decode: string table must start with the empty string")
+	}
+	for _, idx := range commentIdx {
+		s, err := strAt(p.Strings, idx)
+		if err != nil {
+			return nil, err
+		}
+		p.Comments = append(p.Comments, s)
+	}
+
+	for _, b := range sampleTypes {
+		vt, err := decodeValueType(b, p.Strings)
+		if err != nil {
+			return nil, err
+		}
+		p.SampleTypes = append(p.SampleTypes, vt)
+	}
+	if periodType != nil {
+		vt, err := decodeValueType(periodType, p.Strings)
+		if err != nil {
+			return nil, err
+		}
+		p.PeriodType = vt
+	}
+
+	funcName := map[uint64]string{}
+	for _, b := range functions {
+		r := &reader{b: b}
+		var id uint64
+		var name string
+		for r.pos < len(r.b) {
+			num, v, _, err := r.field()
+			if err != nil {
+				return nil, err
+			}
+			switch num {
+			case 1:
+				id = v
+			case 2:
+				s, err := strAt(p.Strings, v)
+				if err != nil {
+					return nil, err
+				}
+				name = s
+			}
+		}
+		funcName[id] = name
+	}
+	for _, b := range locations {
+		r := &reader{b: b}
+		var id, fnID uint64
+		for r.pos < len(r.b) {
+			num, v, payload, err := r.field()
+			if err != nil {
+				return nil, err
+			}
+			switch num {
+			case 1:
+				id = v
+			case 4:
+				lr := &reader{b: payload}
+				for lr.pos < len(lr.b) {
+					lnum, lv, _, err := lr.field()
+					if err != nil {
+						return nil, err
+					}
+					if lnum == 1 {
+						fnID = lv
+					}
+				}
+			}
+		}
+		name, ok := funcName[fnID]
+		if !ok {
+			return nil, fmt.Errorf("pprof decode: location %d references unknown function %d", id, fnID)
+		}
+		p.Locations[id] = name
+	}
+
+	for _, b := range samples {
+		rs := rawSample{}
+		r := &reader{b: b}
+		for r.pos < len(r.b) {
+			num, v, payload, err := r.field()
+			if err != nil {
+				return nil, err
+			}
+			switch num {
+			case 1:
+				if rs.locIDs, err = packedOrOne(rs.locIDs, v, payload); err != nil {
+					return nil, err
+				}
+			case 2:
+				var vals []uint64
+				if vals, err = packedOrOne(nil, v, payload); err != nil {
+					return nil, err
+				}
+				for _, x := range vals {
+					rs.values = append(rs.values, int64(x))
+				}
+			case 3:
+				rs.labels = append(rs.labels, payload)
+			}
+		}
+		ds := DecodedSample{Values: rs.values}
+		for _, id := range rs.locIDs {
+			name, ok := p.Locations[id]
+			if !ok {
+				return nil, fmt.Errorf("pprof decode: sample references unknown location %d", id)
+			}
+			ds.Stack = append(ds.Stack, name)
+		}
+		for _, lb := range rs.labels {
+			lab := DecodedLabel{}
+			lr := &reader{b: lb}
+			for lr.pos < len(lr.b) {
+				num, v, _, err := lr.field()
+				if err != nil {
+					return nil, err
+				}
+				switch num {
+				case 1:
+					if lab.Key, err = strAt(p.Strings, v); err != nil {
+						return nil, err
+					}
+				case 2:
+					if lab.Str, err = strAt(p.Strings, v); err != nil {
+						return nil, err
+					}
+				case 3:
+					lab.Num = int64(v)
+				}
+			}
+			ds.Labels = append(ds.Labels, lab)
+		}
+		p.Samples = append(p.Samples, ds)
+	}
+	return p, nil
+}
+
+// FromDecoded reconstructs a Profile from a decoded export: buckets from
+// the sample labels and values, and the lost-sample accounting from the
+// exporter's comment strings — so a .pb.gz written by WritePprof reports
+// and diffs with the same error bound as the live profile.
+func FromDecoded(d *DecodedProfile) (*Profile, error) {
+	p := New(d.PeriodType.Type, uint64(d.Period))
+	p.DurationSec = float64(d.DurationNanos) / 1e9
+	var emitted uint64
+	for i, s := range d.Samples {
+		if len(s.Values) != 3 {
+			return nil, fmt.Errorf("pprof decode: sample %d has %d values, want 3", i, len(s.Values))
+		}
+		k := Key{CPU: -1}
+		for _, lb := range s.Labels {
+			switch lb.Key {
+			case "core_type":
+				k.CoreType = lb.Str
+			case "phase":
+				k.Phase = lb.Str
+			case "cpu":
+				k.CPU = int(lb.Num)
+			}
+		}
+		if k.CoreType == "" {
+			return nil, fmt.Errorf("pprof decode: sample %d has no core_type label", i)
+		}
+		b := p.Buckets[k]
+		if b == nil {
+			b = &Bucket{}
+			p.Buckets[k] = b
+		}
+		b.Samples += int(s.Values[0])
+		b.Weight += float64(s.Values[1])
+		b.BusySec += float64(s.Values[2]) / 1e9
+		emitted += uint64(s.Values[0])
+	}
+	p.Emitted = emitted
+	for _, c := range d.Comments {
+		if rest, ok := strings.CutPrefix(c, "hetpapiprof: missing-pmus="); ok {
+			p.MissingPMUs = strings.Split(rest, ",")
+			continue
+		}
+		var e, l uint64
+		var r int
+		if _, err := fmt.Sscanf(c, "hetpapiprof: emitted=%d lost=%d rings=%d", &e, &l, &r); err == nil {
+			p.Emitted, p.Lost, p.Rings = e, l, r
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,318 @@
+// Package profile is the hybrid-aware statistical profiler: it aggregates
+// the perf_event substrate's overflow samples into period-weighted profiles
+// attributed along the axes that matter on a heterogeneous machine — core
+// type first (the paper's per-PMU split: a cpu_core sampled event only
+// fires while the task runs on P-cores), then workload phase and CPU, with
+// the DVFS frequency at overflow converting cycle weight into busy time.
+//
+// A Profile carries an explicit error bound, in the spirit of the
+// multiplexing ladder's scaled estimates: lost samples (finite rings) are
+// corrected by scaling each surviving ring's weight by 1 + lost/retained,
+// and the residual uncertainty — the lost fraction itself, the binomial
+// sampling error, and up to one period of unsampled accumulation per ring
+// — is reported rather than hidden. Export goes two ways: gzipped pprof
+// profile.proto (pprof.go) and folded flamegraph stacks (folded.go).
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hetpapi/internal/perfevent"
+)
+
+// Key is one attribution bucket's identity: where (core type, CPU) and
+// what (workload phase) a sample landed on.
+type Key struct {
+	// CoreType is the sample's core type name (the per-PMU axis).
+	CoreType string
+	// Phase is the workload phase at overflow time ("" when the sampled
+	// task has no distinguishable phases).
+	Phase string
+	// CPU is the logical CPU of the overflow.
+	CPU int
+}
+
+// Bucket accumulates the samples of one Key.
+type Bucket struct {
+	// Samples is the number of retained overflow records.
+	Samples int
+	// Weight is the period-weighted event count, lost-sample scaled: each
+	// record contributes its sampling period times its ring's scale
+	// factor, so Weight estimates the true event count the bucket's
+	// execution retired.
+	Weight float64
+	// BusySec estimates the busy time behind Weight, converting each
+	// record's period through its overflow-time frequency (cycles/Hz).
+	// Zero when the sampled event's weight has no time interpretation.
+	BusySec float64
+}
+
+// Profile is an aggregated statistical profile.
+type Profile struct {
+	// Event names the sampled event (e.g. "cycles").
+	Event string
+	// Period is the configured sampling period in event units.
+	Period uint64
+	// DurationSec is the simulated time the profile covers.
+	DurationSec float64
+	// Buckets maps attribution keys to their accumulated weight.
+	Buckets map[Key]*Bucket
+	// Emitted and Lost count retained and ring-dropped overflow records
+	// across every contributing ring drain.
+	Emitted uint64
+	Lost    uint64
+	// Rings is the number of distinct sample rings (per-task, per-PMU
+	// descriptors) feeding the profile; each ring may hold up to one
+	// period of not-yet-overflowed accumulation, which the error bound
+	// accounts for.
+	Rings int
+	// MissingPMUs lists core types whose sampled event could not be
+	// opened (e.g. a watchdog-held cycles counter); their execution is
+	// invisible to the profile and Complete reports false.
+	MissingPMUs []string
+}
+
+// New returns an empty profile for the given sampled event and period.
+func New(event string, period uint64) *Profile {
+	return &Profile{Event: event, Period: period, Buckets: map[Key]*Bucket{}}
+}
+
+// AddRing folds one ring drain into the profile, applying the lost-sample
+// scaling correction: the ring dropped lost records while retaining
+// len(samples), so every surviving record stands for 1 + lost/retained
+// overflows of identical attribution (ring drops are bursty but the
+// bucket mix within one drain window is the best available estimate).
+// A drain that lost everything (retained 0) contributes only to the loss
+// accounting — there is nothing to scale — and widens the error bound.
+func (p *Profile) AddRing(samples []perfevent.Sample, lost uint64) {
+	p.Lost += lost
+	if len(samples) == 0 {
+		return
+	}
+	p.Emitted += uint64(len(samples))
+	scale := 1.0
+	if lost > 0 {
+		scale = 1 + float64(lost)/float64(len(samples))
+	}
+	// Overflows of one execution slice share their attribution, so drained
+	// records arrive in key runs; caching the last bucket skips the map's
+	// string hashing for every record after the first of a run.
+	var lastKey Key
+	var lastB *Bucket
+	for i := range samples {
+		s := &samples[i]
+		k := Key{CoreType: s.CoreType, Phase: s.Phase, CPU: s.CPU}
+		b := lastB
+		if b == nil || k != lastKey {
+			b = p.Buckets[k]
+			if b == nil {
+				b = &Bucket{}
+				p.Buckets[k] = b
+			}
+			lastKey, lastB = k, b
+		}
+		b.Samples++
+		w := float64(s.Period) * scale
+		b.Weight += w
+		if s.FreqMHz > 0 {
+			b.BusySec += float64(s.Period) / (s.FreqMHz * 1e6) * scale
+		}
+	}
+}
+
+// TotalWeight returns the scaled event-count total.
+func (p *Profile) TotalWeight() float64 {
+	var t float64
+	for _, b := range p.Buckets {
+		t += b.Weight
+	}
+	return t
+}
+
+// TotalBusySec returns the scaled busy-time total.
+func (p *Profile) TotalBusySec() float64 {
+	var t float64
+	for _, b := range p.Buckets {
+		t += b.BusySec
+	}
+	return t
+}
+
+// Complete reports whether every core-type PMU contributed (no sampled
+// event failed to open).
+func (p *Profile) Complete() bool { return len(p.MissingPMUs) == 0 }
+
+// Shares returns each core type's share of the profile's busy time (or of
+// its weight, when the samples carried no frequency), summing to 1 over
+// the observed types. An empty profile returns an empty map.
+func (p *Profile) Shares() map[string]float64 {
+	busy := map[string]float64{}
+	weight := map[string]float64{}
+	var busyTotal, weightTotal float64
+	for k, b := range p.Buckets {
+		busy[k.CoreType] += b.BusySec
+		weight[k.CoreType] += b.Weight
+		busyTotal += b.BusySec
+		weightTotal += b.Weight
+	}
+	out := map[string]float64{}
+	switch {
+	case busyTotal > 0:
+		for ct, v := range busy {
+			out[ct] = v / busyTotal
+		}
+	case weightTotal > 0:
+		for ct, v := range weight {
+			out[ct] = v / weightTotal
+		}
+	}
+	return out
+}
+
+// PhaseShares returns each phase's share of busy time (falling back to
+// weight), keyed by phase name.
+func (p *Profile) PhaseShares() map[string]float64 {
+	busy := map[string]float64{}
+	weight := map[string]float64{}
+	var busyTotal, weightTotal float64
+	for k, b := range p.Buckets {
+		busy[k.Phase] += b.BusySec
+		weight[k.Phase] += b.Weight
+		busyTotal += b.BusySec
+		weightTotal += b.Weight
+	}
+	out := map[string]float64{}
+	switch {
+	case busyTotal > 0:
+		for ph, v := range busy {
+			out[ph] = v / busyTotal
+		}
+	case weightTotal > 0:
+		for ph, v := range weight {
+			out[ph] = v / weightTotal
+		}
+	}
+	return out
+}
+
+// ErrorBound returns the profile's attribution uncertainty as a fraction
+// of total weight: any per-core-type share derived from the profile is
+// accurate to within this bound. It is the sum of
+//
+//   - the lost fraction: dropped records whose attribution the scaling
+//     correction can only estimate from the surviving mix;
+//   - a 3-sigma binomial term for the statistical sampling error of a
+//     share estimated from Emitted records (sigma <= 1/(2*sqrt(N)));
+//   - the per-ring period residual: each ring holds up to one period of
+//     accumulation that never overflowed;
+//   - a 2% floor for the systematic estimation error of converting
+//     period-weighted cycles through overflow-time frequency (frequency
+//     transitions and partial final slices land inside one period).
+//
+// A profile with no retained samples has no usable attribution: bound 1.
+func (p *Profile) ErrorBound() float64 {
+	if p.Emitted == 0 {
+		return 1
+	}
+	total := float64(p.Emitted + p.Lost)
+	lostFrac := float64(p.Lost) / total
+	stat := 3.0 / (2 * math.Sqrt(float64(p.Emitted)))
+	residual := float64(p.Rings) / float64(p.Emitted)
+	bound := lostFrac + stat + residual + 0.02
+	if bound > 1 {
+		return 1
+	}
+	return bound
+}
+
+// Row is one bucket with its key, for sorted reporting.
+type Row struct {
+	Key
+	Bucket
+}
+
+// Top returns the n heaviest buckets (all when n <= 0), optionally
+// restricted to one core type (""), sorted by busy time then weight
+// descending with the key as tiebreaker for determinism.
+func (p *Profile) Top(n int, coreType string) []Row {
+	rows := make([]Row, 0, len(p.Buckets))
+	for k, b := range p.Buckets {
+		if coreType != "" && k.CoreType != coreType {
+			continue
+		}
+		rows = append(rows, Row{Key: k, Bucket: *b})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].BusySec != rows[j].BusySec {
+			return rows[i].BusySec > rows[j].BusySec
+		}
+		if rows[i].Weight != rows[j].Weight {
+			return rows[i].Weight > rows[j].Weight
+		}
+		return rows[i].Key.less(rows[j].Key)
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// CoreTypes returns the profile's core types, sorted.
+func (p *Profile) CoreTypes() []string {
+	seen := map[string]bool{}
+	for k := range p.Buckets {
+		seen[k.CoreType] = true
+	}
+	out := make([]string, 0, len(seen))
+	for ct := range seen {
+		out = append(out, ct)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (k Key) less(o Key) bool {
+	if k.CoreType != o.CoreType {
+		return k.CoreType < o.CoreType
+	}
+	if k.Phase != o.Phase {
+		return k.Phase < o.Phase
+	}
+	return k.CPU < o.CPU
+}
+
+// sortedKeys returns every bucket key in deterministic order.
+func (p *Profile) sortedKeys() []Key {
+	keys := make([]Key, 0, len(p.Buckets))
+	for k := range p.Buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	return keys
+}
+
+// Clone returns a deep copy (buckets included).
+func (p *Profile) Clone() *Profile {
+	out := *p
+	out.Buckets = make(map[Key]*Bucket, len(p.Buckets))
+	for k, b := range p.Buckets {
+		cp := *b
+		out.Buckets[k] = &cp
+	}
+	out.MissingPMUs = append([]string(nil), p.MissingPMUs...)
+	return &out
+}
+
+// frames renders a key as its flamegraph stack, root first: core type,
+// then phase (omitted when empty), then the CPU leaf.
+func (k Key) frames() []string {
+	out := make([]string, 0, 3)
+	out = append(out, k.CoreType)
+	if k.Phase != "" {
+		out = append(out, k.Phase)
+	}
+	out = append(out, fmt.Sprintf("cpu%d", k.CPU))
+	return out
+}

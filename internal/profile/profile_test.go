@@ -1,0 +1,167 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"hetpapi/internal/perfevent"
+)
+
+// mkSamples builds n samples with identical attribution.
+func mkSamples(n int, coreType, phase string, cpu int, period uint64, freqMHz float64) []perfevent.Sample {
+	out := make([]perfevent.Sample, n)
+	for i := range out {
+		out[i] = perfevent.Sample{
+			TimeSec: float64(i) * 0.001, CPU: cpu, CoreType: coreType,
+			Phase: phase, Period: period, FreqMHz: freqMHz,
+		}
+	}
+	return out
+}
+
+func TestAddRingScalesLostWeight(t *testing.T) {
+	p := New("cycles", 1000)
+	p.Rings = 1
+	// 50 retained, 50 lost: each survivor stands for 2 overflows.
+	p.AddRing(mkSamples(50, "P-core", "", 0, 1000, 1000), 50)
+	b := p.Buckets[Key{CoreType: "P-core", CPU: 0}]
+	if b == nil {
+		t.Fatal("no bucket")
+	}
+	if b.Samples != 50 {
+		t.Fatalf("samples = %d", b.Samples)
+	}
+	// Scaled weight = 50 * 1000 * (1 + 50/50) = 100000 — the true count.
+	if b.Weight != 100_000 {
+		t.Fatalf("weight = %g, want 100000", b.Weight)
+	}
+	// Busy = 100000 cycles at 1000 MHz = 100 us.
+	if math.Abs(b.BusySec-1e-4) > 1e-12 {
+		t.Fatalf("busy = %g, want 1e-4", b.BusySec)
+	}
+	if p.Emitted != 50 || p.Lost != 50 {
+		t.Fatalf("emitted/lost = %d/%d", p.Emitted, p.Lost)
+	}
+}
+
+func TestAddRingAllLost(t *testing.T) {
+	p := New("cycles", 1000)
+	p.AddRing(nil, 30)
+	if p.Lost != 30 || p.Emitted != 0 || len(p.Buckets) != 0 {
+		t.Fatalf("all-lost drain mishandled: %+v", p)
+	}
+	if p.ErrorBound() != 1 {
+		t.Fatalf("bound with no retained samples = %g, want 1", p.ErrorBound())
+	}
+}
+
+func TestSharesAndPhaseShares(t *testing.T) {
+	p := New("cycles", 1000)
+	p.Rings = 2
+	// P-core: 3x the busy time of E-core (same freq, 3x samples).
+	p.AddRing(mkSamples(300, "P-core", "compute", 0, 1000, 2000), 0)
+	p.AddRing(mkSamples(100, "E-core", "init", 16, 1000, 2000), 0)
+	shares := p.Shares()
+	if math.Abs(shares["P-core"]-0.75) > 1e-9 || math.Abs(shares["E-core"]-0.25) > 1e-9 {
+		t.Fatalf("shares = %v", shares)
+	}
+	ph := p.PhaseShares()
+	if math.Abs(ph["compute"]-0.75) > 1e-9 || math.Abs(ph["init"]-0.25) > 1e-9 {
+		t.Fatalf("phase shares = %v", ph)
+	}
+}
+
+func TestSharesWeightFallbackWithoutFreq(t *testing.T) {
+	// Samples with no frequency context (no OnSampleContext provider):
+	// shares fall back to raw weight.
+	p := New("cycles", 1000)
+	p.AddRing(mkSamples(60, "big", "", 4, 1000, 0), 0)
+	p.AddRing(mkSamples(40, "little", "", 0, 1000, 0), 0)
+	if p.TotalBusySec() != 0 {
+		t.Fatalf("busy should be 0 without freq, got %g", p.TotalBusySec())
+	}
+	shares := p.Shares()
+	if math.Abs(shares["big"]-0.6) > 1e-9 {
+		t.Fatalf("weight-fallback shares = %v", shares)
+	}
+}
+
+func TestErrorBoundWidensWithLoss(t *testing.T) {
+	clean := New("cycles", 1000)
+	clean.Rings = 1
+	clean.AddRing(mkSamples(10_000, "P-core", "", 0, 1000, 3000), 0)
+
+	lossy := New("cycles", 1000)
+	lossy.Rings = 1
+	lossy.AddRing(mkSamples(10_000, "P-core", "", 0, 1000, 3000), 5_000)
+
+	cb, lb := clean.ErrorBound(), lossy.ErrorBound()
+	if cb >= lb {
+		t.Fatalf("bound did not widen with loss: clean %g, lossy %g", cb, lb)
+	}
+	// The lossy bound must include the lost fraction (1/3 of overflows).
+	if lb < 1.0/3 {
+		t.Fatalf("lossy bound %g below lost fraction", lb)
+	}
+	if cb <= 0 || cb >= 0.1 {
+		t.Fatalf("clean bound %g outside plausible range", cb)
+	}
+}
+
+func TestErrorBoundCapsAtOne(t *testing.T) {
+	p := New("cycles", 1000)
+	p.Rings = 5
+	p.AddRing(mkSamples(1, "P-core", "", 0, 1000, 0), 1_000_000)
+	if p.ErrorBound() != 1 {
+		t.Fatalf("bound = %g, want capped at 1", p.ErrorBound())
+	}
+}
+
+func TestTopSortsAndFilters(t *testing.T) {
+	p := New("cycles", 1000)
+	p.AddRing(mkSamples(300, "P-core", "a", 0, 1000, 2000), 0)
+	p.AddRing(mkSamples(100, "P-core", "b", 2, 1000, 2000), 0)
+	p.AddRing(mkSamples(200, "E-core", "a", 16, 1000, 2000), 0)
+	all := p.Top(0, "")
+	if len(all) != 3 || all[0].CPU != 0 || all[1].CPU != 16 || all[2].CPU != 2 {
+		t.Fatalf("top order wrong: %+v", all)
+	}
+	ponly := p.Top(1, "P-core")
+	if len(ponly) != 1 || ponly[0].Phase != "a" {
+		t.Fatalf("filtered top wrong: %+v", ponly)
+	}
+	if got := p.CoreTypes(); len(got) != 2 || got[0] != "E-core" || got[1] != "P-core" {
+		t.Fatalf("core types = %v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := New("cycles", 1000)
+	p.AddRing(mkSamples(10, "P-core", "", 0, 1000, 1000), 0)
+	q := p.Clone()
+	q.Buckets[Key{CoreType: "P-core", CPU: 0}].Weight = 0
+	if p.Buckets[Key{CoreType: "P-core", CPU: 0}].Weight == 0 {
+		t.Fatal("clone shares bucket storage")
+	}
+}
+
+func TestWriteFoldedFormat(t *testing.T) {
+	p := New("cycles", 1000)
+	p.AddRing(mkSamples(2, "P-core", "compute", 3, 1000, 0), 0)
+	p.AddRing(mkSamples(1, "E-core", "", 16, 1000, 0), 0)
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	want := "E-core;cpu16 1000\nP-core;compute;cpu3 2000\n"
+	if buf.String() != want {
+		t.Fatalf("folded output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !strings.Contains(line, " ") {
+			t.Fatalf("malformed folded line %q", line)
+		}
+	}
+}

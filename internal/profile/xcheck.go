@@ -1,0 +1,85 @@
+package profile
+
+// Cross-check against the span-trace analyzer: the profiler and the span
+// recorder observe the same machine through independent mechanisms —
+// statistical overflow sampling at the PMU versus exact scheduler
+// exec-span bookkeeping — so their per-core-type busy attributions must
+// agree within the profiler's reported error bound. The agreement is a
+// tested invariant over the reference scenarios: if either layer drifts
+// (a lost-sample accounting bug, a span attribution bug), the two stop
+// matching and the bound makes the tolerance explicit instead of a magic
+// epsilon.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hetpapi/internal/spantrace/analyze"
+)
+
+// AttributionDelta compares one core type's busy share between the two
+// observability layers.
+type AttributionDelta struct {
+	CoreType string
+	// SampledShare is the profiler's busy-time share.
+	SampledShare float64
+	// TraceShare is the span-trace analyzer's exec-time share.
+	TraceShare float64
+	// Delta is the absolute difference.
+	Delta float64
+}
+
+func (d AttributionDelta) String() string {
+	return fmt.Sprintf("%s: sampled %.4f vs trace %.4f (delta %.4f)",
+		d.CoreType, d.SampledShare, d.TraceShare, d.Delta)
+}
+
+// CrossCheck compares the profile's per-core-type busy shares with the
+// span-trace report's, returning one delta per core type observed by
+// either layer plus the profile's error bound.
+func CrossCheck(p *Profile, rep *analyze.Report) ([]AttributionDelta, float64) {
+	sampled := p.Shares()
+	seen := map[string]bool{}
+	for ct := range sampled {
+		seen[ct] = true
+	}
+	for ct := range rep.ByCoreType {
+		seen[ct] = true
+	}
+	types := make([]string, 0, len(seen))
+	for ct := range seen {
+		types = append(types, ct)
+	}
+	sort.Strings(types)
+	out := make([]AttributionDelta, 0, len(types))
+	for _, ct := range types {
+		d := AttributionDelta{CoreType: ct, SampledShare: sampled[ct]}
+		if t := rep.ByCoreType[ct]; t != nil {
+			d.TraceShare = t.Share
+		}
+		d.Delta = d.SampledShare - d.TraceShare
+		if d.Delta < 0 {
+			d.Delta = -d.Delta
+		}
+		out = append(out, d)
+	}
+	return out, p.ErrorBound()
+}
+
+// Agree returns nil when every core type's delta is within the profile's
+// error bound, and otherwise an error naming the disagreeing types.
+func Agree(p *Profile, rep *analyze.Report) error {
+	deltas, bound := CrossCheck(p, rep)
+	var bad []string
+	for _, d := range deltas {
+		if d.Delta > bound {
+			bad = append(bad, d.String())
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("sampled vs span-trace attribution disagree beyond bound %.4f:\n  %s",
+		bound, strings.Join(bad, "\n  "))
+}

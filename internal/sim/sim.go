@@ -106,6 +106,19 @@ func New(m *hw.Machine, cfg Config) *Machine {
 	s.Kernel.OnHotplug = func(cpu int, online bool) {
 		s.Sched.SetOnline(cpu, online, s.now)
 	}
+	// Overflow-time attribution context for sampling events: the workload
+	// phase executing on the CPU (when the task distinguishes phases) and
+	// the DVFS frequency the tick is running at. Step sets freqMHz[cpu]
+	// before calling TaskExec, so the value is current at overflow time.
+	s.Kernel.OnSampleContext = func(pid, cpu int) (string, float64) {
+		phase := ""
+		if p := s.Sched.RunningOn(cpu); p != nil && p.PID == pid {
+			if ph, ok := p.Task.(workload.Phased); ok {
+				phase = ph.PhaseName()
+			}
+		}
+		return phase, s.freqMHz[cpu]
+	}
 	s.FS = sysfs.New(m, s)
 	return s
 }

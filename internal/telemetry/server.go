@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hetpapi/internal/profile"
 	"hetpapi/internal/spantrace"
 )
 
@@ -23,6 +24,8 @@ import (
 //	GET /query?machine=M&series=S[&from=F][&to=T][&agg=1]
 //	GET /query?machine=M&kind=K&by=type
 //	GET /degradations[?machine=M]  latest probe degradation tallies
+//	GET /trace?machine=M   live span trace as Perfetto JSON
+//	GET /profile?machine=M statistical profile as gzipped pprof proto
 //	GET /metrics           Prometheus-style text exposition
 //
 // Every response body is JSON except /metrics. Errors carry an APIError
@@ -47,12 +50,23 @@ type machineEntry struct {
 	// without tracing); /trace serves its live buffer.
 	tracerMu sync.Mutex
 	tracer   *spantrace.Recorder
+
+	// prof is the machine's statistical profiler (nil when the daemon
+	// runs without profiling); /profile serves its pprof export.
+	profMu sync.Mutex
+	prof   *profile.Collector
 }
 
 func (e *machineEntry) recorder() *spantrace.Recorder {
 	e.tracerMu.Lock()
 	defer e.tracerMu.Unlock()
 	return e.tracer
+}
+
+func (e *machineEntry) profiler() *profile.Collector {
+	e.profMu.Lock()
+	defer e.profMu.Unlock()
+	return e.prof
 }
 
 // NewServer wraps a store. requestTimeout bounds each request's handler
@@ -87,6 +101,20 @@ func (s *Server) AttachTracer(machine string, rec *spantrace.Recorder) {
 	}
 }
 
+// AttachProfiler hands a machine's statistical profiler to the API;
+// /profile serves its pprof export and /metrics exports its sample
+// counters. A nil collector detaches.
+func (s *Server) AttachProfiler(machine string, col *profile.Collector) {
+	s.mu.RLock()
+	e := s.machines[machine]
+	s.mu.RUnlock()
+	if e != nil {
+		e.profMu.Lock()
+		e.prof = col
+		e.profMu.Unlock()
+	}
+}
+
 // SetRunning flips a machine's in-flight flag.
 func (s *Server) SetRunning(machine string, running bool) {
 	s.mu.RLock()
@@ -107,6 +135,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/degradations", s.handleDegradations)
 	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.timeout <= 0 {
 		return mux
@@ -345,6 +374,41 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleProfile serves a machine's statistical profile as a gzipped
+// pprof profile.proto — fetch and open with `go tool pprof`. The last
+// completed run's profile is preferred; before the first run finishes,
+// the live in-progress snapshot is served instead.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	machine := r.URL.Query().Get("machine")
+	if machine == "" {
+		writeError(w, http.StatusBadRequest, "missing machine parameter")
+		return
+	}
+	s.mu.RLock()
+	e := s.machines[machine]
+	s.mu.RUnlock()
+	if e == nil {
+		writeError(w, http.StatusNotFound, "unknown machine %q", machine)
+		return
+	}
+	col := e.profiler()
+	if col == nil {
+		writeError(w, http.StatusNotFound, "machine %q has no profiler (profiling disabled)", machine)
+		return
+	}
+	prof := col.LastRun()
+	if prof == nil {
+		prof = col.Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", machine+"-profile.pb.gz"))
+	if err := profile.WritePprof(w, prof); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
 // metricFamily accumulates one exposition family's sample lines.
 type metricFamily struct {
 	name, help, kind string
@@ -371,6 +435,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	spEmit := &metricFamily{name: "hetpapid_spans_emitted_total", help: "Span-trace events accepted by the machine's recorder.", kind: "counter"}
 	spKeep := &metricFamily{name: "hetpapid_spans_retained", help: "Span-trace events currently held in the recorder's rings.", kind: "gauge"}
 	spDrop := &metricFamily{name: "hetpapid_spans_dropped_total", help: "Span-trace events dropped by ring wraparound or rejected as malformed.", kind: "counter"}
+	pfEmit := &metricFamily{name: "hetpapiprof_samples_emitted_total", help: "Overflow sample records retained by the machine's statistical profiler.", kind: "counter"}
+	pfLost := &metricFamily{name: "hetpapiprof_samples_lost_total", help: "Overflow sample records dropped by ring pressure before a drain.", kind: "counter"}
 
 	for _, machine := range s.store.Machines() {
 		ml := fmt.Sprintf("machine=%q", machine)
@@ -421,11 +487,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			spKeep.add(ml, float64(st.Retained))
 			spDrop.add(ml, float64(st.Dropped))
 		}
+		if col := e.profiler(); col != nil {
+			pfEmit.add(ml, float64(col.EmittedTotal()))
+			pfLost.add(ml, float64(col.LostTotal()))
+		}
 	}
 	s.mu.RUnlock()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	for _, f := range []*metricFamily{freq, temp, pwr, wall, energy, ctr, degr, ticks, runs, ingest, ovhTick, ovhRatio, spEmit, spKeep, spDrop} {
+	for _, f := range []*metricFamily{freq, temp, pwr, wall, energy, ctr, degr, ticks, runs, ingest, ovhTick, ovhRatio, spEmit, spKeep, spDrop, pfEmit, pfLost} {
 		if len(f.lines) == 0 {
 			continue
 		}

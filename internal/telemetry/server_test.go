@@ -1,6 +1,7 @@
 package telemetry_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"hetpapi/internal/profile"
 	"hetpapi/internal/telemetry"
 	"hetpapi/internal/telemetry/client"
 )
@@ -367,4 +369,66 @@ func TestConcurrentWritersAndQueryReaders(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestProfileEndpoint covers the /profile handler: parameter validation,
+// the no-profiler 404, and a successful fetch that round-trips through
+// the pprof decoder.
+func TestProfileEndpoint(t *testing.T) {
+	_, srv := seededServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, _ := get("/profile"); code != 400 {
+		t.Fatalf("missing machine must 400, got %d", code)
+	}
+	if code, _ := get("/profile?machine=nope"); code != 404 {
+		t.Fatalf("unknown machine must 404, got %d", code)
+	}
+	if code, _ := get("/profile?machine=mach"); code != 404 {
+		t.Fatalf("machine without profiler must 404, got %d", code)
+	}
+
+	srv.AttachProfiler("mach", profile.NewCollector(nil, profile.Config{}))
+	code, body := get("/profile?machine=mach")
+	if code != 200 {
+		t.Fatalf("profile fetch: status %d", code)
+	}
+	d, err := profile.DecodePprof(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("served profile does not decode: %v", err)
+	}
+	if len(d.SampleTypes) != 3 {
+		t.Fatalf("served profile sample types: %+v", d.SampleTypes)
+	}
+
+	_, metrics := get("/metrics")
+	for _, want := range []string{
+		"# TYPE hetpapiprof_samples_emitted_total counter",
+		`hetpapiprof_samples_emitted_total{machine="mach"} 0`,
+		`hetpapiprof_samples_lost_total{machine="mach"} 0`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Detach: the endpoint goes back to 404.
+	srv.AttachProfiler("mach", nil)
+	if code, _ := get("/profile?machine=mach"); code != 404 {
+		t.Fatalf("detached profiler must 404, got %d", code)
+	}
 }

@@ -41,6 +41,15 @@ func (s *Sequence) Phase() Task {
 	return s.tasks[s.idx]
 }
 
+// PhaseName implements Phased: the name of the currently executing phase
+// task ("" once the sequence has finished).
+func (s *Sequence) PhaseName() string {
+	if cur := s.Phase(); cur != nil {
+		return cur.Name()
+	}
+	return ""
+}
+
 // Run implements Task, delegating to the current phase and advancing when
 // it completes. A slice that straddles a phase boundary is split.
 func (s *Sequence) Run(ctx *ExecContext, dt float64) (events.Stats, float64) {

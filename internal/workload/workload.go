@@ -50,6 +50,16 @@ type Task interface {
 	Run(ctx *ExecContext, dt float64) (events.Stats, float64)
 }
 
+// Phased is implemented by tasks with distinguishable internal phases
+// (notably Sequence). Profilers use it to attribute samples to the phase
+// executing at overflow time, the way PAPI regions label a caliper.
+type Phased interface {
+	Task
+	// PhaseName returns the name of the phase currently executing, or ""
+	// when no phase is active.
+	PhaseName() string
+}
+
 // Profile parameterizes synthetic instruction-stream statistics.
 type Profile struct {
 	// BranchFrac is the fraction of instructions that are branches;
