@@ -870,3 +870,99 @@ func BenchmarkSpantraceEmit(b *testing.B) {
 		}
 	})
 }
+
+// simThroughputCase builds one machine+workload configuration for
+// BenchmarkSimThroughput. rebuild reports whether the current machine's
+// workload has run out and a fresh one is needed to stay in steady state.
+type simThroughputCase struct {
+	name    string
+	build   func(forceTick bool) *sim.Machine
+	rebuild func(*sim.Machine) bool
+}
+
+func simThroughputCases() []simThroughputCase {
+	buildHPL := func(forceTick bool) *sim.Machine {
+		cfg := sim.DefaultConfig()
+		cfg.ForceTickLoop = forceTick
+		s := sim.New(hw.RaptorLake(), cfg)
+		h, err := workload.NewHPL(workload.HPLConfig{
+			N: 57024, NB: 192, Threads: 16, Strategy: workload.IntelMKL(), Seed: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		for i, task := range h.Threads() {
+			s.Spawn(task, hw.NewCPUSet(hw.RaptorLake().FirstCPUPerCore()[i]))
+		}
+		return s
+	}
+	idle := func(mk func() *hw.Machine) func(bool) *sim.Machine {
+		return func(forceTick bool) *sim.Machine {
+			cfg := sim.DefaultConfig()
+			cfg.ForceTickLoop = forceTick
+			s := sim.New(mk(), cfg)
+			// Start warm so the settle span does real cooling work.
+			s.Thermal.SetTempC(s.Thermal.Spec().AmbientC + 20)
+			return s
+		}
+	}
+	return []simThroughputCase{
+		{
+			// The reference busy case: full 16-thread HPL on the hybrid
+			// Raptor Lake, every tick doing per-CPU work. This is the
+			// ratio the BENCH trajectory gates on.
+			name:  "hpl-pcores",
+			build: buildHPL,
+			rebuild: func(s *sim.Machine) bool {
+				return s.Sched.Quiescent() // HPL finished and was reaped
+			},
+		},
+		{
+			// The settle protocol: an idle Raptor Lake cooling between
+			// runs — the span the event core batches hardest.
+			name:    "settle-idle",
+			build:   idle(hw.RaptorLake),
+			rebuild: func(*sim.Machine) bool { return false },
+		},
+		{
+			// The big.LITTLE board idle: small core count, idle-heavy.
+			name:    "biglittle-idle",
+			build:   idle(hw.OrangePi800),
+			rebuild: func(*sim.Machine) bool { return false },
+		},
+	}
+}
+
+// BenchmarkSimThroughput is the headline simulator benchmark: simulated
+// seconds advanced per wall-clock second (the "sim-s/wall-s" metric),
+// reported for the event-driven core and the legacy tick loop on each
+// reference shape. BENCH_6.json commits the trajectory; the event/tick
+// ratio on hpl-pcores is the ≥5x gate TestBenchTrajectory enforces
+// against the recorded figures.
+func BenchmarkSimThroughput(b *testing.B) {
+	for _, tc := range simThroughputCases() {
+		for _, mode := range []struct {
+			name      string
+			forceTick bool
+		}{{"event", false}, {"tick", true}} {
+			b.Run(tc.name+"/"+mode.name, func(b *testing.B) {
+				s := tc.build(mode.forceTick)
+				tick := s.Tick()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if tc.rebuild(s) {
+						b.StopTimer()
+						s = tc.build(mode.forceTick)
+						b.StartTimer()
+					}
+					s.Step()
+				}
+				b.StopTimer()
+				if wall := b.Elapsed().Seconds(); wall > 0 {
+					b.ReportMetric(float64(b.N)*tick/wall, "sim-s/wall-s")
+				}
+			})
+		}
+	}
+}

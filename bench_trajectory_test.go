@@ -1,0 +1,92 @@
+package hetpapi
+
+// TestBenchTrajectory validates the committed BENCH_*.json trajectory:
+// each file must parse, carry the fields the next PR's comparison needs,
+// and its recorded figures must satisfy its own gate (for BENCH_6: the
+// event core at least min_speedup times the legacy tick loop on the
+// reference HPL case, and no slower than the seed repo's tick figure).
+// The test checks the *recorded* numbers, not a live benchmark run, so
+// CI stays deterministic on noisy shared runners; the CI bench-smoke
+// step separately runs BenchmarkSimThroughput to prove the benchmark
+// itself still executes.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type benchCase struct {
+	EventSimPerWall float64 `json:"event_sim_s_per_wall_s"`
+	TickSimPerWall  float64 `json:"tick_sim_s_per_wall_s"`
+	Speedup         float64 `json:"speedup"`
+}
+
+type benchFile struct {
+	ID           string `json:"id"`
+	Benchmark    string `json:"benchmark"`
+	Metric       string `json:"metric"`
+	SeedBaseline struct {
+		SimPerWall float64 `json:"sim_s_per_wall_s"`
+	} `json:"seed_baseline"`
+	Cases map[string]benchCase `json:"cases"`
+	Gate  struct {
+		Case       string  `json:"case"`
+		MinSpeedup float64 `json:"min_speedup"`
+	} `json:"gate"`
+}
+
+func TestBenchTrajectory(t *testing.T) {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no BENCH_*.json trajectory files committed")
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var bf benchFile
+			if err := json.Unmarshal(raw, &bf); err != nil {
+				t.Fatalf("%s does not parse: %v", path, err)
+			}
+			if bf.ID == "" || bf.Benchmark == "" || bf.Metric == "" {
+				t.Fatalf("%s missing id/benchmark/metric", path)
+			}
+			if len(bf.Cases) == 0 {
+				t.Fatalf("%s has no cases", path)
+			}
+			for name, c := range bf.Cases {
+				if c.EventSimPerWall <= 0 || c.TickSimPerWall <= 0 {
+					t.Errorf("case %s: non-positive throughput figures %+v", name, c)
+					continue
+				}
+				ratio := c.EventSimPerWall / c.TickSimPerWall
+				if c.Speedup > 0 && (ratio < c.Speedup*0.98 || ratio > c.Speedup*1.02) {
+					t.Errorf("case %s: recorded speedup %.2f inconsistent with event/tick = %.2f",
+						name, c.Speedup, ratio)
+				}
+			}
+			if bf.Gate.Case != "" {
+				c, ok := bf.Cases[bf.Gate.Case]
+				if !ok {
+					t.Fatalf("gate case %q not in cases", bf.Gate.Case)
+				}
+				if ratio := c.EventSimPerWall / c.TickSimPerWall; ratio < bf.Gate.MinSpeedup {
+					t.Errorf("gate: %s event/tick = %.2fx, below the committed %.1fx floor",
+						bf.Gate.Case, ratio, bf.Gate.MinSpeedup)
+				}
+				if seed := bf.SeedBaseline.SimPerWall; seed > 0 && c.EventSimPerWall < seed {
+					t.Errorf("gate: event throughput %.1f sim-s/wall-s regressed below the seed tick-loop figure %.1f",
+						c.EventSimPerWall, seed)
+				}
+			}
+		})
+	}
+}

@@ -36,6 +36,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -219,6 +220,17 @@ func (p *Plan) Pending(now float64) []Event {
 
 // Done reports whether every scheduled event has been consumed.
 func (p *Plan) Done() bool { return p == nil || p.next >= len(p.events) }
+
+// NextAt returns the trigger time of the earliest not-yet-applied event,
+// or +Inf when the plan is exhausted (or nil). Event-driven kernels use
+// it to know how far they may advance before the next Pending call can
+// return anything.
+func (p *Plan) NextAt() float64 {
+	if p == nil || p.next >= len(p.events) {
+		return math.Inf(1)
+	}
+	return p.events[p.next].AtSec
+}
 
 // Trace returns the log of applied transitions, one canonical line per
 // event, in application order. Two runs of the same plan against the

@@ -1,0 +1,41 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNextAt(t *testing.T) {
+	var nilPlan *Plan
+	if got := nilPlan.NextAt(); !math.IsInf(got, 1) {
+		t.Fatalf("nil plan NextAt = %v, want +Inf", got)
+	}
+	if got := NewPlan().NextAt(); !math.IsInf(got, 1) {
+		t.Fatalf("empty plan NextAt = %v, want +Inf", got)
+	}
+
+	p := NewPlan(
+		Event{AtSec: 0.5, Kind: KindRingCap, Cap: 8},
+		Event{AtSec: 0.2, Kind: KindHotplugOff, CPU: 1},
+		Event{AtSec: 0.9, Kind: KindHotplugOn, CPU: 1},
+	)
+	if got := p.NextAt(); got != 0.2 {
+		t.Fatalf("NextAt = %v, want 0.2 (earliest after sort)", got)
+	}
+	// Consuming events moves the horizon to the next pending one.
+	if evs := p.Pending(0.5); len(evs) != 2 {
+		t.Fatalf("Pending(0.5) returned %d events, want 2", len(evs))
+	}
+	if got := p.NextAt(); got != 0.9 {
+		t.Fatalf("NextAt after consuming two = %v, want 0.9", got)
+	}
+	p.Pending(1)
+	if got := p.NextAt(); !math.IsInf(got, 1) {
+		t.Fatalf("NextAt on drained plan = %v, want +Inf", got)
+	}
+	// Reset rewinds the horizon with the schedule.
+	p.Reset()
+	if got := p.NextAt(); got != 0.2 {
+		t.Fatalf("NextAt after Reset = %v, want 0.2", got)
+	}
+}

@@ -1,0 +1,103 @@
+package perfevent
+
+// NextDeadline is the kernel's contribution to the simulator's event
+// horizon: the earliest future time at which the kernel itself will do
+// non-linear work (rotate a multiplex window or apply a fault-plan
+// transition). These tests pin the arithmetic the event core relies on.
+
+import (
+	"math"
+	"testing"
+
+	"hetpapi/internal/faults"
+	"hetpapi/internal/hw"
+)
+
+func TestNextDeadlineIdleKernel(t *testing.T) {
+	k := NewKernel(hw.RaptorLake())
+	if got := k.NextDeadline(0); !math.IsInf(got, 1) {
+		t.Fatalf("idle kernel NextDeadline = %v, want +Inf", got)
+	}
+	k.Advance(1.5)
+	if got := k.NextDeadline(1.5); !math.IsInf(got, 1) {
+		t.Fatalf("idle kernel NextDeadline after advance = %v, want +Inf", got)
+	}
+}
+
+func TestNextDeadlineMuxBoundary(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	fd, err := k.Open(attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY"), 100, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a countable event open, the deadline is the next multiplex
+	// rotation boundary (default tick 4 ms).
+	if got := k.NextDeadline(0); got != 0.004 {
+		t.Fatalf("NextDeadline(0) = %v, want 0.004", got)
+	}
+	if got := k.NextDeadline(0.0055); got != 0.008 {
+		t.Fatalf("NextDeadline(0.0055) = %v, want 0.008", got)
+	}
+	// Exactly on a boundary the deadline is the following window.
+	if got := k.NextDeadline(0.008); got != 0.012 {
+		t.Fatalf("NextDeadline(0.008) = %v, want 0.012", got)
+	}
+
+	// A disabled event imposes no rotation deadline.
+	if err := k.Disable(fd); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.NextDeadline(0); !math.IsInf(got, 1) {
+		t.Fatalf("NextDeadline with only a disabled event = %v, want +Inf", got)
+	}
+	if err := k.Enable(fd); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.NextDeadline(0); got != 0.004 {
+		t.Fatalf("NextDeadline after re-enable = %v, want 0.004", got)
+	}
+	// Closing the last event removes the deadline again.
+	if err := k.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.NextDeadline(0); !math.IsInf(got, 1) {
+		t.Fatalf("NextDeadline after close = %v, want +Inf", got)
+	}
+}
+
+func TestNextDeadlineFaultPlan(t *testing.T) {
+	m := hw.RaptorLake()
+	k := NewKernel(m)
+	k.AttachFaults(faults.NewPlan(
+		faults.Event{AtSec: 0.010, Kind: faults.KindRingCap, Cap: 64},
+		faults.Event{AtSec: 0.020, Kind: faults.KindRingCap, Cap: 0},
+	))
+
+	// No events open: the plan alone sets the horizon.
+	if got := k.NextDeadline(0); got != 0.010 {
+		t.Fatalf("NextDeadline(0) = %v, want 0.010 (first fault)", got)
+	}
+
+	// With an event open, the earlier of mux boundary and fault wins.
+	if _, err := k.Open(attrFor(t, m, "adl_glc", "INST_RETIRED", "ANY"), 100, -1, -1); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.NextDeadline(0); got != 0.004 {
+		t.Fatalf("NextDeadline(0) = %v, want 0.004 (mux before fault)", got)
+	}
+	if got := k.NextDeadline(0.009); got != 0.010 {
+		t.Fatalf("NextDeadline(0.009) = %v, want 0.010 (fault before mux)", got)
+	}
+
+	// A fault already due is clamped to now, never the past.
+	if got := k.NextDeadline(0.011); got != 0.011 {
+		t.Fatalf("NextDeadline(0.011) = %v, want 0.011 (overdue fault clamps to now)", got)
+	}
+
+	// Consuming the plan removes its deadlines.
+	k.Advance(0.025)
+	if got := k.NextDeadline(0.025); got != 0.028 {
+		t.Fatalf("NextDeadline after plan drained = %v, want 0.028 (mux only)", got)
+	}
+}

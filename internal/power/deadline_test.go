@@ -1,0 +1,80 @@
+package power
+
+// NextCapChangeSec feeds the simulator's event horizon with the PL2->PL1
+// flip estimate; these tests pin the drain arithmetic and the no-change
+// cases.
+
+import (
+	"math"
+	"testing"
+
+	"hetpapi/internal/hw"
+)
+
+func capSpec() hw.PowerSpec {
+	return hw.PowerSpec{
+		PL1Watts:   65,
+		PL2Watts:   150,
+		PL2BudgetJ: 100,
+		PL1TauSec:  1,
+	}
+}
+
+func TestNextCapChangeDraining(t *testing.T) {
+	m := New(capSpec())
+	// Draw 115 W package (uncore 0): drains 50 W above PL1, so the 100 J
+	// budget lasts 2 s.
+	m.Step(115, 0.001)
+	got := m.NextCapChangeSec()
+	want := m.TurboBudgetJ() / 50
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("NextCapChangeSec = %v, want %v", got, want)
+	}
+	if m.CapW() != 150 {
+		t.Fatalf("CapW = %v, want PL2 while budget lasts", m.CapW())
+	}
+}
+
+func TestNextCapChangeNoChangePending(t *testing.T) {
+	m := New(capSpec())
+	// Below PL1 with a full budget: the budget refills, the cap is
+	// already PL2, nothing flips.
+	m.Step(40, 0.001)
+	if got := m.NextCapChangeSec(); !math.IsInf(got, 1) {
+		t.Fatalf("below PL1 with budget: NextCapChangeSec = %v, want +Inf", got)
+	}
+
+	// No RAPL limits at all: never a flip.
+	free := New(hw.PowerSpec{})
+	free.Step(100, 0.001)
+	if got := free.NextCapChangeSec(); !math.IsInf(got, 1) {
+		t.Fatalf("no limits: NextCapChangeSec = %v, want +Inf", got)
+	}
+}
+
+func TestNextCapChangeRefillFlip(t *testing.T) {
+	m := New(capSpec())
+	// Burn the whole budget: 150 W for 2 s drains 85 W * 2 s = 170 J > 100 J.
+	m.Step(150, 2)
+	if m.TurboBudgetJ() != 0 {
+		t.Fatalf("budget = %v, want 0 after overdraw", m.TurboBudgetJ())
+	}
+	if m.CapW() != 65 {
+		t.Fatalf("CapW = %v, want PL1 with empty budget", m.CapW())
+	}
+	// Still hot: empty budget, still draining -> no flip pending.
+	if got := m.NextCapChangeSec(); !math.IsInf(got, 1) {
+		t.Fatalf("empty budget still draining: NextCapChangeSec = %v, want +Inf", got)
+	}
+	// Raise PL1 above the current draw (a cap-fault heals): the empty
+	// budget now refills, so the cap restores on the very next step —
+	// the estimate is immediate.
+	m.SetLimits(200, 250)
+	if got := m.NextCapChangeSec(); got != 0 {
+		t.Fatalf("empty budget about to refill: NextCapChangeSec = %v, want 0", got)
+	}
+	m.Step(150, 0.001)
+	if m.CapW() != 250 {
+		t.Fatalf("CapW = %v, want PL2 after refill began", m.CapW())
+	}
+}

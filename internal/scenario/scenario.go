@@ -182,6 +182,11 @@ type Spec struct {
 	// The seed in Sched, if set, takes precedence over Seed.
 	Sched *sched.Config
 	DVFS  *dvfs.Config
+	// ForceTickLoop boots the machine on the legacy fixed-tick step loop
+	// instead of the event-driven core. Only the differential
+	// equivalence suite should set this; it exists for one PR while the
+	// two cores are proven identical.
+	ForceTickLoop bool
 
 	// Workloads is the workload mix.
 	Workloads []WorkloadSpec
@@ -422,6 +427,7 @@ func Boot(spec Spec) (*sim.Machine, error) {
 	if spec.DVFS != nil {
 		cfg.DVFS = *spec.DVFS
 	}
+	cfg.ForceTickLoop = spec.ForceTickLoop
 	return sim.New(m, cfg), nil
 }
 

@@ -92,6 +92,7 @@ type Scheduler struct {
 	nextPID     int
 	lastBalance float64
 	hooks       []Hook
+	gen         uint64
 
 	migrations      int
 	contextSwitches int
@@ -125,6 +126,7 @@ func (s *Scheduler) SetOnline(cpu int, online bool, now float64) {
 		return
 	}
 	s.offline[cpu] = !online
+	s.gen++
 	if !online {
 		if p := s.byCPU[cpu]; p != nil {
 			s.evict(p, now)
@@ -146,6 +148,7 @@ func (s *Scheduler) Spawn(t workload.Task, affinity hw.CPUSet) *Process {
 	p := &Process{PID: s.nextPID, Task: t, affinity: affinity, cpu: -1}
 	s.nextPID++
 	s.procs = append(s.procs, p)
+	s.gen++
 	return p
 }
 
@@ -159,6 +162,7 @@ func (s *Scheduler) SetAffinity(pid int, set hw.CPUSet) error {
 	for _, p := range s.procs {
 		if p.PID == pid {
 			p.affinity = set
+			s.gen++
 			return nil
 		}
 	}
@@ -174,6 +178,33 @@ func (s *Scheduler) Processes() []*Process {
 
 // RunningOn returns the process currently placed on cpu, or nil.
 func (s *Scheduler) RunningOn(cpu int) *Process { return s.byCPU[cpu] }
+
+// Gen returns a generation counter bumped by every placement-relevant
+// mutation: spawns, affinity changes, hotplug state changes, assignments,
+// evictions and reaps. A caller that cached a view of the scheduler's
+// state may keep it as long as Gen is unchanged; the simulator's event
+// core uses this to detect when an idle span ends.
+func (s *Scheduler) Gen() uint64 { return s.gen }
+
+// NextBalanceSec returns the simulated time of the next load-balance
+// deadline. Tick runs the balance pass at the first tick at or after it.
+func (s *Scheduler) NextBalanceSec() float64 {
+	return s.lastBalance + s.cfg.BalancePeriodSec
+}
+
+// Quiescent reports whether a Tick would leave the scheduler's state
+// untouched apart from the balance clock: no process is placed, wants CPU
+// time, or is finished and waiting to be reaped. Task readiness can only
+// change while a task runs or through an external mutation (which bumps
+// Gen), so a quiescent scheduler stays quiescent until Gen changes.
+func (s *Scheduler) Quiescent() bool {
+	for _, p := range s.procs {
+		if p.cpu >= 0 || p.Task.Ready() || p.Task.Done() {
+			return false
+		}
+	}
+	return true
+}
 
 // Migrations returns the number of cross-CPU migrations so far.
 func (s *Scheduler) Migrations() int { return s.migrations }
@@ -199,6 +230,7 @@ func (s *Scheduler) reap(now float64) {
 	for _, p := range s.procs {
 		if p.Task.Done() {
 			s.evict(p, now)
+			s.gen++
 			continue
 		}
 		kept = append(kept, p)
@@ -223,6 +255,7 @@ func (s *Scheduler) evict(p *Process, now float64) {
 	}
 	s.byCPU[p.cpu] = nil
 	p.cpu = -1
+	s.gen++
 }
 
 func (s *Scheduler) assign(p *Process, cpu int, now float64) {
@@ -237,6 +270,7 @@ func (s *Scheduler) assign(p *Process, cpu int, now float64) {
 	p.placedAt = now
 	s.byCPU[cpu] = p
 	s.contextSwitches++
+	s.gen++
 	for _, h := range s.hooks {
 		h.SchedIn(p.PID, cpu, now)
 	}

@@ -21,9 +21,15 @@ import (
 // finish time.
 func traceDigest(t *testing.T, seed int64) (string, float64) {
 	t.Helper()
+	return traceDigestCore(t, seed, false)
+}
+
+func traceDigestCore(t *testing.T, seed int64, forceTick bool) (string, float64) {
+	t.Helper()
 	m := hw.RaptorLake()
 	cfg := sim.DefaultConfig()
 	cfg.Sched.Seed = seed
+	cfg.ForceTickLoop = forceTick
 	s := sim.New(m, cfg)
 	loop := workload.NewInstructionLoop("roam", 1e6, 4000)
 	s.Spawn(loop, hw.AllCPUs(m))
@@ -34,14 +40,47 @@ func traceDigest(t *testing.T, seed int64) (string, float64) {
 	return trace.DigestSamples(m.NumCPUs(), rec.Samples()), s.Now()
 }
 
+// sweepSeeds is the 16-seed sweep both determinism tests below run: a
+// spread of small, adjacent, bit-pattern and large seeds so neither the
+// RNG seeding nor the event core's span caching can hide behind one
+// lucky value.
+var sweepSeeds = []int64{
+	1, 2, 3, 4, 5, 17, 42, 255, 256, 4096, 65537,
+	1 << 20, 1 << 31, 1<<31 + 1, 1 << 40, 1<<62 - 1,
+}
+
 func TestSeedSweepReproducible(t *testing.T) {
-	for _, seed := range []int64{1, 2, 3, 17, 1 << 40} {
-		d1, t1 := traceDigest(t, seed)
-		d2, t2 := traceDigest(t, seed)
-		if d1 != d2 || t1 != t2 {
-			t.Errorf("seed %d: two runs diverged (digest %s vs %s, time %g vs %g)",
-				seed, d1[:12], d2[:12], t1, t2)
-		}
+	for _, seed := range sweepSeeds {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			d1, t1 := traceDigest(t, seed)
+			d2, t2 := traceDigest(t, seed)
+			if d1 != d2 || t1 != t2 {
+				t.Errorf("seed %d: two runs diverged (digest %s vs %s, time %g vs %g)",
+					seed, d1[:12], d2[:12], t1, t2)
+			}
+		})
+	}
+}
+
+// TestSeedSweepTickEventAgree crosses the determinism sweep with the
+// differential suite: for every seed the event core must land on the
+// exact digest of the legacy tick loop, so seed-dependent schedules
+// cannot open a behavioral gap the reference scenarios happen not to
+// cover.
+func TestSeedSweepTickEventAgree(t *testing.T) {
+	for _, seed := range sweepSeeds {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			dTick, tTick := traceDigestCore(t, seed, true)
+			dEvent, tEvent := traceDigestCore(t, seed, false)
+			if dTick != dEvent || tTick != tEvent {
+				t.Errorf("seed %d: tick loop and event core diverged (digest %s vs %s, time %g vs %g)",
+					seed, dTick[:12], dEvent[:12], tTick, tEvent)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,129 @@
+// Differential tick-vs-event equivalence suite: every reference scenario
+// runs once on the legacy fixed-tick loop (Config.ForceTickLoop) and once
+// on the event-driven core, and every observable artifact — the golden
+// digest, the full monitoring trace CSV, the per-type counter totals, the
+// measurement values and the degradation report — must match byte for
+// byte. This is the contract that lets the legacy loop be deleted next
+// PR.
+package sim_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hetpapi/internal/scenario"
+	"hetpapi/internal/trace"
+)
+
+// runBoth executes one reference spec on both cores and returns
+// (tickResult, eventResult).
+func runBoth(t *testing.T, spec scenario.Spec) (*scenario.Result, *scenario.Result) {
+	t.Helper()
+	tickSpec := spec
+	tickSpec.ForceTickLoop = true
+	tickRes, err := scenario.Run(tickSpec)
+	if err != nil {
+		t.Fatalf("tick-loop run: %v", err)
+	}
+	eventSpec := spec
+	eventSpec.ForceTickLoop = false
+	eventRes, err := scenario.Run(eventSpec)
+	if err != nil {
+		t.Fatalf("event-core run: %v", err)
+	}
+	return tickRes, eventRes
+}
+
+func numCPUs(t *testing.T, spec scenario.Spec) int {
+	t.Helper()
+	mk := spec.MachineFn
+	if mk == nil {
+		var ok bool
+		mk, ok = scenario.Machines[spec.Machine]
+		if !ok {
+			t.Fatalf("unknown machine %q", spec.Machine)
+		}
+	}
+	return mk().NumCPUs()
+}
+
+func TestTickEventEquivalence(t *testing.T) {
+	for _, spec := range scenario.Reference() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			tickRes, eventRes := runBoth(t, spec)
+			ncpu := numCPUs(t, spec)
+
+			if tickRes.Digest != eventRes.Digest {
+				t.Errorf("digest diverged:\n tick  %s\n event %s",
+					tickRes.Digest, eventRes.Digest)
+			}
+
+			var tickCSV, eventCSV bytes.Buffer
+			if err := trace.WriteCSV(&tickCSV, ncpu, tickRes.Samples); err != nil {
+				t.Fatalf("tick CSV: %v", err)
+			}
+			if err := trace.WriteCSV(&eventCSV, ncpu, eventRes.Samples); err != nil {
+				t.Fatalf("event CSV: %v", err)
+			}
+			if !bytes.Equal(tickCSV.Bytes(), eventCSV.Bytes()) {
+				t.Errorf("trace CSV diverged (%d vs %d bytes)",
+					tickCSV.Len(), eventCSV.Len())
+			}
+
+			if !reflect.DeepEqual(tickRes.ByType, eventRes.ByType) {
+				t.Errorf("per-type counters diverged:\n tick  %+v\n event %+v",
+					tickRes.ByType, eventRes.ByType)
+			}
+			if !reflect.DeepEqual(tickRes.MeasureFinal, eventRes.MeasureFinal) {
+				t.Errorf("measured values diverged:\n tick  %+v\n event %+v",
+					tickRes.MeasureFinal, eventRes.MeasureFinal)
+			}
+			if !reflect.DeepEqual(tickRes.Degradations, eventRes.Degradations) {
+				t.Errorf("degradation report diverged:\n tick  %+v\n event %+v",
+					tickRes.Degradations, eventRes.Degradations)
+			}
+			if tickRes.EnergyJ != eventRes.EnergyJ {
+				t.Errorf("energy diverged: tick %v event %v",
+					tickRes.EnergyJ, eventRes.EnergyJ)
+			}
+			if !reflect.DeepEqual(tickRes.Workloads, eventRes.Workloads) {
+				t.Errorf("workload outcomes diverged:\n tick  %+v\n event %+v",
+					tickRes.Workloads, eventRes.Workloads)
+			}
+			if tickRes.Completed != eventRes.Completed ||
+				tickRes.ElapsedSec != eventRes.ElapsedSec {
+				t.Errorf("run shape diverged: tick (done=%v t=%v) event (done=%v t=%v)",
+					tickRes.Completed, tickRes.ElapsedSec,
+					eventRes.Completed, eventRes.ElapsedSec)
+			}
+		})
+	}
+}
+
+// TestSettleEquivalence pins the idle fast path against the legacy loop on
+// a warm machine: Settle spends millions of quiescent ticks, exactly the
+// span the event core batches, so temperature, energy and elapsed time
+// must still land on identical values.
+func TestSettleEquivalence(t *testing.T) {
+	spec := scenario.Reference()[0] // raptorlake HPL: heats the package
+	results := map[bool][]float64{}
+	for _, forceTick := range []bool{true, false} {
+		s := spec
+		s.ForceTickLoop = forceTick
+		m, err := scenario.Boot(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Thermal.SetTempC(55)
+		waited := m.Settle(36)
+		results[forceTick] = []float64{
+			waited, m.Now(), m.Thermal.TempC(), m.Power.EnergyJ(0),
+		}
+	}
+	if !reflect.DeepEqual(results[true], results[false]) {
+		t.Errorf("settle diverged:\n tick  %v\n event %v", results[true], results[false])
+	}
+}

@@ -1,0 +1,169 @@
+// The discrete-event core's queue: a binary min-heap of machine-level
+// events keyed on simulated time. The queue holds the deadlines the step
+// loop would otherwise have to poll every tick — scheduler rebalance
+// points, DVFS power/thermal control boundaries, perf_event multiplex
+// rotations and sampling-service points, fault-plan trigger times — plus
+// one-shot callbacks registered with Machine.ScheduleAt (task
+// phase-changes and completions external harnesses know about).
+//
+// Ordering contract: pops are non-decreasing in time, and events with
+// equal timestamps pop in FIFO order (each schedule call, including a
+// re-arm, takes a fresh sequence number). Cancel and re-arm are O(log n)
+// and safe at any time, including for events currently queued.
+package sim
+
+// eventKind classifies a machine-level event.
+type eventKind uint8
+
+const (
+	// evNone marks an event struct not bound to a role yet.
+	evNone eventKind = iota
+	// evSchedBalance is the scheduler's next load-balance deadline.
+	evSchedBalance
+	// evDVFSDeadline is the governor's next control boundary (the
+	// earlier of its power and thermal loop periods).
+	evDVFSDeadline
+	// evKernelDeadline is the perf_event kernel's next obligation: a
+	// multiplex rotation boundary, a sampling-service point, or a
+	// fault-plan trigger (see perfevent.Kernel.NextDeadline).
+	evKernelDeadline
+	// evPowerCap is the estimated PL2<->PL1 cap flip of the power model.
+	evPowerCap
+	// evThermalSettle is the estimated time the thermal zone comes
+	// within its settle band of steady state.
+	evThermalSettle
+	// evOneShot is a user callback registered with Machine.ScheduleAt.
+	evOneShot
+)
+
+// event is one queue entry. The machine's recurring events are fields of
+// Machine and re-armed in place; one-shots are allocated by ScheduleAt.
+type event struct {
+	at   float64
+	kind eventKind
+	fn   func(*Machine) // evOneShot callback, nil otherwise
+
+	seq uint64
+	pos int // heap index, or -1 when not queued
+}
+
+// eventQueue is the min-heap. The zero value is an empty queue.
+type eventQueue struct {
+	heap []*event
+	seq  uint64
+}
+
+// Len returns the number of queued events.
+func (q *eventQueue) Len() int { return len(q.heap) }
+
+// peek returns the earliest event without removing it, or nil.
+func (q *eventQueue) peek() *event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+// schedule arms e at time at, re-arming in place if e is already queued.
+// A re-arm counts as a fresh insertion for FIFO purposes.
+func (q *eventQueue) schedule(e *event, at float64) {
+	e.at = at
+	q.seq++
+	e.seq = q.seq
+	if e.pos >= 0 && e.pos < len(q.heap) && q.heap[e.pos] == e {
+		// Already queued: restore heap order around the new key. The new
+		// sequence number only grows, so an unchanged time sinks below
+		// equal-time peers, preserving FIFO among them.
+		if !q.siftUp(e.pos) {
+			q.siftDown(e.pos)
+		}
+		return
+	}
+	e.pos = len(q.heap)
+	q.heap = append(q.heap, e)
+	q.siftUp(e.pos)
+}
+
+// cancel removes e from the queue, reporting whether it was queued.
+func (q *eventQueue) cancel(e *event) bool {
+	i := e.pos
+	if i < 0 || i >= len(q.heap) || q.heap[i] != e {
+		e.pos = -1
+		return false
+	}
+	q.removeAt(i)
+	e.pos = -1
+	return true
+}
+
+// pop removes and returns the earliest event, or nil on an empty queue.
+func (q *eventQueue) pop() *event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	e := q.heap[0]
+	q.removeAt(0)
+	e.pos = -1
+	return e
+}
+
+func (q *eventQueue) removeAt(i int) {
+	last := len(q.heap) - 1
+	q.swap(i, last)
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if i < last {
+		if !q.siftUp(i) {
+			q.siftDown(i)
+		}
+	}
+}
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].pos = i
+	q.heap[j].pos = j
+}
+
+// siftUp restores heap order upward from i, reporting whether i moved.
+func (q *eventQueue) siftUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// siftDown restores heap order downward from i.
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		child := left
+		if right := left + 1; right < n && q.less(right, left) {
+			child = right
+		}
+		if !q.less(child, i) {
+			return
+		}
+		q.swap(i, child)
+		i = child
+	}
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEventQueuePopNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var q eventQueue
+	const n = 500
+	for i := 0; i < n; i++ {
+		q.schedule(&event{kind: evOneShot, pos: -1}, rng.Float64()*10)
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d, want %d", q.Len(), n)
+	}
+	last := math.Inf(-1)
+	for q.Len() > 0 {
+		e := q.pop()
+		if e.at < last {
+			t.Fatalf("pop went backwards: %v after %v", e.at, last)
+		}
+		if e.pos != -1 {
+			t.Fatalf("popped event still has pos %d", e.pos)
+		}
+		last = e.at
+	}
+	if e := q.peek(); e != nil {
+		t.Fatalf("peek on empty queue = %+v", e)
+	}
+	if e := q.pop(); e != nil {
+		t.Fatalf("pop on empty queue = %+v", e)
+	}
+}
+
+func TestEventQueueFIFOAmongEqualTimes(t *testing.T) {
+	var q eventQueue
+	// Interleave two timestamps; within each, insertion order must hold.
+	inserted := map[*event]int{}
+	for i := 0; i < 100; i++ {
+		e := &event{kind: evOneShot, pos: -1}
+		q.schedule(e, float64(i%2))
+		inserted[e] = i
+	}
+	popped := 0
+	lastAt := -1.0
+	lastIns := -1
+	for q.Len() > 0 {
+		e := q.pop()
+		if e.at != lastAt {
+			lastAt = e.at
+			lastIns = -1
+		}
+		if inserted[e] <= lastIns {
+			t.Fatalf("FIFO violated at t=%v: insertion %d popped after %d",
+				e.at, inserted[e], lastIns)
+		}
+		lastIns = inserted[e]
+		popped++
+	}
+	if popped != 100 {
+		t.Fatalf("popped %d events, want 100", popped)
+	}
+}
+
+func TestEventQueueCancelAndRearm(t *testing.T) {
+	var q eventQueue
+	events := make([]*event, 20)
+	for i := range events {
+		events[i] = &event{kind: evOneShot, pos: -1}
+		q.schedule(events[i], float64(i))
+	}
+	// Cancel the middle half; double-cancel must be a safe no-op.
+	for i := 5; i < 15; i++ {
+		if !q.cancel(events[i]) {
+			t.Fatalf("cancel of queued event %d returned false", i)
+		}
+		if q.cancel(events[i]) {
+			t.Fatalf("second cancel of event %d returned true", i)
+		}
+	}
+	// Re-arm a cancelled event and an in-queue event to new times.
+	q.schedule(events[7], 2.5)  // was cancelled: push back
+	q.schedule(events[2], 30)   // in queue: move later
+	q.schedule(events[19], 0.5) // in queue: move earlier
+
+	want := []float64{0, 0.5, 1, 2.5, 3, 4, 15, 16, 17, 18, 30}
+	var got []float64
+	for q.Len() > 0 {
+		got = append(got, q.pop().at)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("popped times %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped times %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEventQueueRearmKeepsHeapConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q eventQueue
+	live := make([]*event, 64)
+	for i := range live {
+		live[i] = &event{kind: evOneShot, pos: -1}
+		q.schedule(live[i], rng.Float64()*100)
+	}
+	for step := 0; step < 2000; step++ {
+		e := live[rng.Intn(len(live))]
+		switch rng.Intn(3) {
+		case 0:
+			q.schedule(e, rng.Float64()*100) // re-arm (queued or not)
+		case 1:
+			q.cancel(e)
+		case 2:
+			if e.pos < 0 {
+				q.schedule(e, rng.Float64()*100)
+			}
+		}
+		checkHeapInvariants(t, &q)
+	}
+}
+
+// checkHeapInvariants verifies the heap ordering property and that every
+// element's cached position index is accurate.
+func checkHeapInvariants(t *testing.T, q *eventQueue) {
+	t.Helper()
+	for i, e := range q.heap {
+		if e.pos != i {
+			t.Fatalf("heap[%d].pos = %d", i, e.pos)
+		}
+		if parent := (i - 1) / 2; i > 0 && q.less(i, parent) {
+			t.Fatalf("heap order violated at %d: (%v,%v) < parent (%v,%v)",
+				i, e.at, e.seq, q.heap[parent].at, q.heap[parent].seq)
+		}
+	}
+}
+
+// FuzzEventQueue drives the queue with an arbitrary operation tape and
+// checks the heap invariants after every operation plus full drain order
+// at the end. Each byte pair is (op, operand): schedule, cancel or pop
+// against a fixed pool of events.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 2, 0, 1, 1, 0, 3})
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 0, 0, 2, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		var q eventQueue
+		pool := make([]*event, 16)
+		for i := range pool {
+			pool[i] = &event{kind: evOneShot, pos: -1}
+		}
+		queued := map[*event]bool{}
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i]%3, tape[i+1]
+			e := pool[int(arg)%len(pool)]
+			switch op {
+			case 0:
+				q.schedule(e, float64(arg%32)/4)
+				queued[e] = true
+			case 1:
+				if got, want := q.cancel(e), queued[e]; got != want {
+					t.Fatalf("cancel returned %v for queued=%v", got, want)
+				}
+				delete(queued, e)
+			case 2:
+				if e := q.pop(); e != nil {
+					delete(queued, e)
+				}
+			}
+			if q.Len() != len(queued) {
+				t.Fatalf("Len = %d, model says %d", q.Len(), len(queued))
+			}
+			checkHeapInvariants(t, &q)
+		}
+		// Drain: non-decreasing by (at, seq).
+		lastAt, lastSeq := math.Inf(-1), uint64(0)
+		var drained []float64
+		for q.Len() > 0 {
+			e := q.pop()
+			if e.at < lastAt || (e.at == lastAt && e.seq <= lastSeq && lastSeq != 0) {
+				t.Fatalf("drain order violated: (%v,%d) after (%v,%d)",
+					e.at, e.seq, lastAt, lastSeq)
+			}
+			lastAt, lastSeq = e.at, e.seq
+			drained = append(drained, e.at)
+		}
+		if !sort.Float64sAreSorted(drained) {
+			t.Fatalf("drained times not sorted: %v", drained)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package sim
+
+// Regression tests for the StepHook registry. The original
+// implementation nil'ed the removed slot and never compacted, so every
+// attach/detach cycle (one per scenario run on a warm machine) grew the
+// slice forever and dispatch kept scanning dead slots.
+
+import (
+	"testing"
+
+	"hetpapi/internal/hw"
+)
+
+func newIdleMachine() *Machine {
+	return New(hw.RaptorLake(), DefaultConfig())
+}
+
+func TestStepHookAddRemoveAddDoesNotLeak(t *testing.T) {
+	s := newIdleMachine()
+	for i := 0; i < 1000; i++ {
+		fired := false
+		remove := s.AddStepHook(func(*Machine) { fired = true })
+		s.Step()
+		if !fired {
+			t.Fatalf("cycle %d: hook did not fire", i)
+		}
+		remove()
+		remove() // idempotent
+	}
+	if n := len(s.stepHooks); n != 0 {
+		t.Fatalf("after 1000 attach/detach cycles, %d hook slots remain", n)
+	}
+	if c := cap(s.stepHooks); c > 16 {
+		t.Fatalf("hook slice capacity grew to %d; removal is not compacting", c)
+	}
+}
+
+func TestStepHookInterleavedRemovalKeepsOrder(t *testing.T) {
+	s := newIdleMachine()
+	var order []string
+	add := func(name string) func() {
+		return s.AddStepHook(func(*Machine) { order = append(order, name) })
+	}
+	removeA := add("a")
+	removeB := add("b")
+	add("c")
+	removeB()
+	add("d")
+
+	order = nil
+	s.Step()
+	if got := join(order); got != "a,c,d" {
+		t.Fatalf("after removing b: fired %q, want %q", got, "a,c,d")
+	}
+
+	removeA()
+	add("e")
+	order = nil
+	s.Step()
+	if got := join(order); got != "c,d,e" {
+		t.Fatalf("after removing a, adding e: fired %q, want %q", got, "c,d,e")
+	}
+}
+
+func TestStepHookAddedDuringDispatchRunsNextTick(t *testing.T) {
+	s := newIdleMachine()
+	added := false
+	lateFired := 0
+	s.AddStepHook(func(m *Machine) {
+		if !added {
+			added = true
+			m.AddStepHook(func(*Machine) { lateFired++ })
+		}
+	})
+	s.Step()
+	if lateFired != 0 {
+		t.Fatalf("hook added during dispatch ran in the same tick (lateFired=%d)", lateFired)
+	}
+	s.Step()
+	if lateFired != 1 {
+		t.Fatalf("hook added during dispatch did not run next tick (lateFired=%d)", lateFired)
+	}
+}
+
+func TestStepHookRemovedDuringDispatchIsSkipped(t *testing.T) {
+	s := newIdleMachine()
+	var fired []string
+	var removeB func()
+	s.AddStepHook(func(*Machine) {
+		fired = append(fired, "a")
+		removeB()
+	})
+	removeB = s.AddStepHook(func(*Machine) { fired = append(fired, "b") })
+	s.AddStepHook(func(*Machine) { fired = append(fired, "c") })
+
+	s.Step()
+	if got := join(fired); got != "a,c" {
+		t.Fatalf("tick 1 fired %q, want %q (b removed mid-dispatch)", got, "a,c")
+	}
+	if n := len(s.stepHooks); n != 2 {
+		t.Fatalf("mid-dispatch removal left %d slots, want 2 after compaction", n)
+	}
+	fired = nil
+	s.Step()
+	if got := join(fired); got != "a,c" {
+		t.Fatalf("tick 2 fired %q, want %q", got, "a,c")
+	}
+}
+
+func TestStepHookSelfRemovalDuringDispatch(t *testing.T) {
+	s := newIdleMachine()
+	count := 0
+	var remove func()
+	remove = s.AddStepHook(func(*Machine) {
+		count++
+		remove()
+	})
+	s.Step()
+	s.Step()
+	if count != 1 {
+		t.Fatalf("self-removing hook fired %d times, want 1", count)
+	}
+	if n := len(s.stepHooks); n != 0 {
+		t.Fatalf("self-removal left %d slots", n)
+	}
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
+}

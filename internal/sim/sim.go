@@ -1,9 +1,17 @@
-// Package sim is the discrete-time machine simulator: it wires the hardware
-// description, the scheduler, the workloads, the DVFS governor, the power
-// and thermal models, the perf_event kernel and the synthetic sysfs tree
-// into a single stepped system.
+// Package sim is the discrete-event machine simulator: it wires the
+// hardware description, the scheduler, the workloads, the DVFS governor,
+// the power and thermal models, the perf_event kernel and the synthetic
+// sysfs tree into a single stepped system.
 //
-// Every tick (1 ms by default) the simulator:
+// Time advances in fixed ticks (1 ms by default) and every observable
+// boundary — StepHooks, monitoring samples, scheduler decisions — sits on
+// a tick, but the core is event-driven: a min-heap of machine-level
+// events (eventq.go) holds the scheduler's next rebalance point, the DVFS
+// governor's control deadlines, the perf_event kernel's multiplex /
+// sampling / fault-plan obligations, the power model's cap-flip estimate,
+// the thermal settle horizon and any ScheduleAt one-shots. On a busy tick
+// (some task placed, ready or unreaped) the simulator does the full
+// per-CPU work:
 //
 //  1. lets the scheduler update task placement,
 //  2. runs each placed task on its CPU at the governor's frequency,
@@ -12,12 +20,25 @@
 //     energy and the thermal zone, and
 //  5. gives the governor its power/thermal feedback.
 //
+// On an idle tick (scheduler quiescent, no event due) only the work that
+// can change state runs: power and thermal integration, the kernel clock,
+// and the hooks. Subsystem calls that would provably be no-ops — per-CPU
+// scanning, scheduler ticks between rebalance deadlines, governor updates
+// between control boundaries — are skipped, and the skipped calls are
+// exactly the ones the event queue proves have no deadline due. Both
+// paths produce byte-identical observable state to the legacy fixed-tick
+// loop (kept behind Config.ForceTickLoop for one PR); the differential
+// suite in equivalence_test.go and the golden scenario digests pin this.
+//
 // Everything is deterministic: all randomness flows from seeds in the
 // configs, and no wall-clock time is consulted anywhere.
 package sim
 
 import (
+	"math"
+
 	"hetpapi/internal/dvfs"
+	"hetpapi/internal/events"
 	"hetpapi/internal/hw"
 	"hetpapi/internal/perfevent"
 	"hetpapi/internal/power"
@@ -28,6 +49,14 @@ import (
 	"hetpapi/internal/workload"
 )
 
+// timeEps absorbs the floating-point drift of summing ticks when
+// comparing simulated times against event deadlines.
+const timeEps = 1e-12
+
+// thermalSettleBandC is how close to steady state the thermal zone must
+// be for the advisory settle event to be considered reached.
+const thermalSettleBandC = 0.05
+
 // Config assembles the subsystem configurations.
 type Config struct {
 	// TickSec is the simulation step (default 1 ms).
@@ -36,6 +65,11 @@ type Config struct {
 	Sched sched.Config
 	// DVFS configures the frequency governor.
 	DVFS dvfs.Config
+	// ForceTickLoop runs the legacy fixed-tick step loop instead of the
+	// event-driven core. Escape hatch kept for one PR while the
+	// differential equivalence suite proves the two produce identical
+	// behavior; do not build on it.
+	ForceTickLoop bool
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -64,10 +98,51 @@ type Machine struct {
 	// FS is the live-backed synthetic sysfs/procfs tree.
 	FS *sysfs.FS
 
-	cfg       Config
-	now       float64
-	freqMHz   []float64 // per logical CPU, as of the last tick
-	stepHooks []StepHook
+	cfg     Config
+	now     float64
+	freqMHz []float64 // per logical CPU, as of the last tick
+
+	stepHooks  []*hookEntry
+	inHooks    bool
+	hooksDirty bool
+
+	// Event core state. The recurring events below are re-armed in
+	// place; the queue additionally holds ScheduleAt one-shots.
+	eq         eventQueue
+	dueScratch []*event
+	evBalance  event
+	evDVFS     event
+	evKernel   event
+	evPowerCap event
+	evThermal  event
+	// Span cache: the scheduler's generation counter at the last span
+	// refresh, and whether the machine was quiescent then. Valid until
+	// the generation changes.
+	spanValid bool
+	spanIdle  bool
+	schedGen  uint64
+
+	// Immutable per-CPU topology caches (hot-path versions of the
+	// hw.Machine lookups, resolved once at boot).
+	cpuType    []*hw.CoreType
+	cpuTypeIdx []int
+	cpuSib     []int
+	cpuMin     []float64
+	physOf     []int // logical CPU -> dense physical-core index
+	physType   []*hw.CoreType
+	nPhys      int
+	idleCoresW float64 // core power of a fully idle tick (constant)
+
+	// Per-tick scratch reused by the busy path so steady-state ticks
+	// allocate nothing.
+	slotProc     []*sched.Process
+	slotActive   []bool
+	coreAct      []float64 // per dense physical core
+	coreFreq     []float64
+	tgtFreq      []float64 // per core-type target frequency memo
+	tgtValid     []bool
+	execCtx      workload.ExecContext
+	statsScratch events.Stats
 
 	tracer *spantrace.Recorder
 	trk    *traceState
@@ -77,8 +152,16 @@ type Machine struct {
 // registration order with the machine in a consistent post-tick state
 // (Now() already advanced); they are how external harnesses check
 // invariants, inject faults and schedule work without owning the step
-// loop.
+// loop. Hooks fire at every tick boundary on both the event core and the
+// legacy tick loop.
 type StepHook func(*Machine)
+
+// hookEntry is one registered StepHook. Removal nils h; the slice is
+// compacted immediately, or after the in-flight dispatch completes when
+// a hook removes itself (or a peer) mid-dispatch.
+type hookEntry struct {
+	h StepHook
+}
 
 // New boots a machine.
 func New(m *hw.Machine, cfg Config) *Machine {
@@ -95,8 +178,9 @@ func New(m *hw.Machine, cfg Config) *Machine {
 		cfg:      cfg,
 		freqMHz:  make([]float64, m.NumCPUs()),
 	}
+	s.buildTopologyCaches()
 	for i := range s.freqMHz {
-		s.freqMHz[i] = m.TypeOf(i).MinFreqMHz
+		s.freqMHz[i] = s.cpuMin[i]
 	}
 	s.Kernel.AttachPower(s.Power)
 	s.Sched.AddHook(s.Kernel)
@@ -120,7 +204,58 @@ func New(m *hw.Machine, cfg Config) *Machine {
 		return phase, s.freqMHz[cpu]
 	}
 	s.FS = sysfs.New(m, s)
+	s.evBalance.kind = evSchedBalance
+	s.evDVFS.kind = evDVFSDeadline
+	s.evKernel.kind = evKernelDeadline
+	s.evPowerCap.kind = evPowerCap
+	s.evThermal.kind = evThermalSettle
+	for _, e := range []*event{&s.evBalance, &s.evDVFS, &s.evKernel, &s.evPowerCap, &s.evThermal} {
+		e.pos = -1
+	}
+	if !cfg.ForceTickLoop {
+		s.armBalanceEvent()
+		s.armDVFSEvent()
+	}
 	return s
+}
+
+// buildTopologyCaches resolves the per-CPU lookups the hot step path
+// needs into flat slices: core types, SMT siblings, minimum OPPs, and a
+// dense physical-core index in first-CPU order — the same order the
+// legacy loop discovered physical cores in, so power summation keeps the
+// exact floating-point sequence.
+func (s *Machine) buildTopologyCaches() {
+	m := s.HW
+	ncpu := m.NumCPUs()
+	s.cpuType = make([]*hw.CoreType, ncpu)
+	s.cpuTypeIdx = make([]int, ncpu)
+	s.cpuSib = make([]int, ncpu)
+	s.cpuMin = make([]float64, ncpu)
+	s.physOf = make([]int, ncpu)
+	physIndex := map[int]int{}
+	for cpu := 0; cpu < ncpu; cpu++ {
+		t := m.TypeOf(cpu)
+		s.cpuType[cpu] = t
+		s.cpuTypeIdx[cpu] = m.CPUs[cpu].TypeIndex
+		s.cpuSib[cpu] = m.SiblingOf(cpu)
+		s.cpuMin[cpu] = t.MinFreqMHz
+		phys := m.CPUs[cpu].PhysCore
+		idx, ok := physIndex[phys]
+		if !ok {
+			idx = len(physIndex)
+			physIndex[phys] = idx
+			s.physType = append(s.physType, t)
+			s.idleCoresW += t.IdleWatts
+		}
+		s.physOf[cpu] = idx
+	}
+	s.nPhys = len(physIndex)
+	s.slotProc = make([]*sched.Process, ncpu)
+	s.slotActive = make([]bool, ncpu)
+	s.coreAct = make([]float64, s.nPhys)
+	s.coreFreq = make([]float64, s.nPhys)
+	s.tgtFreq = make([]float64, len(m.Types))
+	s.tgtValid = make([]bool, len(m.Types))
 }
 
 // SetCPUOnline hotplugs a CPU: offlining invalidates CPU-wide perf
@@ -133,11 +268,59 @@ func (s *Machine) SetCPUOnline(cpu int, online bool) {
 // AddStepHook registers a hook called at the end of every Step and returns
 // a function that unregisters it. Harnesses that attach to a machine for
 // one run of many (the settle-between-runs protocol reuses a warm machine)
-// must remove their hooks when done.
+// must remove their hooks when done. Removal compacts the hook list, so
+// attach/detach cycles do not grow it; the remove function is idempotent
+// and safe to call from inside a hook dispatch.
 func (s *Machine) AddStepHook(h StepHook) (remove func()) {
-	s.stepHooks = append(s.stepHooks, h)
-	idx := len(s.stepHooks) - 1
-	return func() { s.stepHooks[idx] = nil }
+	e := &hookEntry{h: h}
+	s.stepHooks = append(s.stepHooks, e)
+	return func() { s.removeStepHook(e) }
+}
+
+func (s *Machine) removeStepHook(e *hookEntry) {
+	if e.h == nil {
+		return
+	}
+	e.h = nil
+	if s.inHooks {
+		s.hooksDirty = true // compact after the in-flight dispatch
+		return
+	}
+	s.compactHooks()
+}
+
+func (s *Machine) compactHooks() {
+	kept := s.stepHooks[:0]
+	for _, e := range s.stepHooks {
+		if e.h != nil {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(s.stepHooks); i++ {
+		s.stepHooks[i] = nil
+	}
+	s.stepHooks = kept
+	s.hooksDirty = false
+}
+
+// fireHooks dispatches the post-tick hooks in registration order. Hooks
+// registered during dispatch run from the next tick on; hooks removed
+// during dispatch are skipped if not yet reached.
+func (s *Machine) fireHooks() {
+	if len(s.stepHooks) == 0 {
+		return
+	}
+	hooks := s.stepHooks
+	s.inHooks = true
+	for _, e := range hooks {
+		if h := e.h; h != nil {
+			h(s)
+		}
+	}
+	s.inHooks = false
+	if s.hooksDirty {
+		s.compactHooks()
+	}
 }
 
 // Now returns the simulated time in seconds.
@@ -165,8 +348,313 @@ func (s *Machine) EnergyUJ() uint64 {
 	return uint64(s.Power.EnergyJ(power.DomainPkg) * 1e6)
 }
 
+// ScheduleAt registers fn to run once at the end of the first tick whose
+// boundary reaches at (a time already passed fires at the end of the next
+// tick). The callback runs after all subsystem updates for the tick and
+// before the StepHooks, with callbacks at equal times firing in
+// registration order. It returns a cancel function (idempotent; a no-op
+// once the callback has fired). This is the door through which harnesses
+// and tasks register future phase changes and completions with the event
+// core; it also works on ForceTickLoop machines.
+func (s *Machine) ScheduleAt(at float64, fn func(*Machine)) (cancel func()) {
+	e := &event{kind: evOneShot, fn: fn, pos: -1}
+	s.eq.schedule(e, at)
+	return func() { s.eq.cancel(e) }
+}
+
+// HasPendingEvents reports whether any machine-level event is queued. On
+// an event-core machine the recurring subsystem deadlines (rebalance,
+// DVFS) are always armed, so this is false only on ForceTickLoop
+// machines with no ScheduleAt one-shots outstanding.
+func (s *Machine) HasPendingEvents() bool { return s.eq.Len() > 0 }
+
+// PeekNextEventTime returns the simulated time of the earliest queued
+// event, or +Inf when the queue is empty. The next Step at or past this
+// time processes the event; Steps strictly before it cannot observe any
+// machine-initiated state change beyond the continuous power/thermal
+// integration.
+func (s *Machine) PeekNextEventTime() float64 {
+	if e := s.eq.peek(); e != nil {
+		return e.at
+	}
+	return math.Inf(1)
+}
+
+// ProcessNextEvent advances the simulation tick by tick until the event
+// that was earliest in the queue has been processed (at least one tick is
+// always taken), and returns the new simulated time. Together with
+// HasPendingEvents and PeekNextEventTime it decomposes the run loop for
+// external drivers that interleave several machines on a shared clock;
+// hooks still fire at every intervening tick boundary.
+func (s *Machine) ProcessNextEvent() float64 {
+	target := s.PeekNextEventTime()
+	s.Step()
+	for s.now < target-timeEps {
+		s.Step()
+	}
+	return s.now
+}
+
 // Step advances the simulation by one tick.
 func (s *Machine) Step() {
+	if s.cfg.ForceTickLoop {
+		s.stepLegacy()
+		return
+	}
+	s.stepEvent()
+}
+
+// stepEvent is the event-core tick: collect the events due in this tick,
+// then run either the idle path (scheduler quiescent, skipping work the
+// queue proves is not due) or the full busy path.
+func (s *Machine) stepEvent() {
+	if !s.spanValid || s.Sched.Gen() != s.schedGen {
+		s.refreshSpan()
+	}
+	dt := s.cfg.TickSec
+	due := s.dueScratch[:0]
+	limit := s.now + dt + timeEps
+	for s.eq.Len() > 0 && s.eq.peek().at <= limit {
+		due = append(due, s.eq.pop())
+	}
+	s.dueScratch = due
+	if s.spanIdle {
+		s.idleTick(due, dt)
+	} else {
+		s.busyTick(due, dt)
+	}
+}
+
+// refreshSpan recomputes the span mode after a scheduler mutation (or on
+// the first event-core tick) and refreshes the advisory deadlines. On
+// entry to an idle span it publishes the frequencies every legacy tick
+// would recompute: idle CPUs sit at their minimum OPP for the whole span.
+func (s *Machine) refreshSpan() {
+	s.schedGen = s.Sched.Gen()
+	s.spanValid = true
+	idle := s.Sched.Quiescent()
+	if idle {
+		copy(s.freqMHz, s.cpuMin)
+	}
+	s.spanIdle = idle
+	s.armKernelEvent()
+	s.armPowerEvent()
+	s.armThermalEvent()
+}
+
+// idleTick advances one tick with the scheduler quiescent. Only the
+// continuous integrators run unconditionally; the scheduler and governor
+// run exactly when their queued deadlines come due, which reproduces the
+// legacy loop bit for bit because the skipped calls were no-ops (their
+// own boundary comparisons, re-run on the due tick, gate all mutation).
+func (s *Machine) idleTick(due []*event, dt float64) {
+	now := s.now
+	for _, e := range due {
+		if e.kind == evSchedBalance {
+			s.Sched.Tick(now)
+			s.armBalanceEvent()
+		}
+	}
+	s.Power.Step(s.idleCoresW, dt)
+	s.Thermal.Step(s.Power.PkgPowerW(), dt)
+	for _, e := range due {
+		if e.kind == evDVFSDeadline {
+			s.Governor.Update(now, s.Power.PkgPowerW(), s.Power.CapW(), s.Thermal.TempC())
+			s.armDVFSEvent()
+		}
+	}
+	s.now = now + dt
+	s.Kernel.Advance(s.now)
+	s.finishTick(due)
+}
+
+// busyTick is the full per-CPU tick, the alloc-free rewrite of the
+// legacy loop: same subsystem call order, same floating-point operation
+// sequence, with the per-tick maps and heap allocations replaced by the
+// machine's persistent scratch.
+func (s *Machine) busyTick(due []*event, dt float64) {
+	now := s.now
+	s.Sched.Tick(now)
+	for _, e := range due {
+		if e.kind == evSchedBalance {
+			s.armBalanceEvent()
+		}
+	}
+
+	// Determine per-CPU occupancy to pick frequencies and SMT factors.
+	ncpu := len(s.slotProc)
+	for cpu := 0; cpu < ncpu; cpu++ {
+		p := s.Sched.RunningOn(cpu)
+		s.slotProc[cpu] = p
+		s.slotActive[cpu] = p != nil && p.Task.Ready()
+	}
+	for i := 0; i < s.nPhys; i++ {
+		s.coreAct[i] = 0
+		s.coreFreq[i] = 0
+	}
+	for i := range s.tgtValid {
+		s.tgtValid[i] = false
+	}
+
+	kernelLive := s.Kernel.NumOpen() > 0
+	for cpu := 0; cpu < ncpu; cpu++ {
+		active := s.slotActive[cpu]
+		var freq float64
+		if !active {
+			freq = s.cpuMin[cpu]
+		} else {
+			// The busy target depends only on the core type and the
+			// governor state, which is constant within a tick: memoize
+			// per type so each quantization runs once per tick.
+			ti := s.cpuTypeIdx[cpu]
+			if !s.tgtValid[ti] {
+				s.tgtFreq[ti] = s.Governor.TargetMHz(s.cpuType[cpu])
+				s.tgtValid[ti] = true
+			}
+			freq = s.tgtFreq[ti]
+		}
+		s.freqMHz[cpu] = freq
+		phys := s.physOf[cpu]
+		if freq > s.coreFreq[phys] {
+			s.coreFreq[phys] = freq
+		}
+		if !active {
+			continue
+		}
+		throughput := 1.0
+		if sib := s.cpuSib[cpu]; sib >= 0 && s.slotActive[sib] {
+			throughput = s.cpuType[cpu].SMTThroughput
+		}
+		s.execCtx = workload.ExecContext{
+			CPU:        cpu,
+			Type:       s.cpuType[cpu],
+			FreqMHz:    freq,
+			Throughput: throughput,
+		}
+		task := s.slotProc[cpu].Task
+		var activity float64
+		if sr, ok := task.(workload.StatsRunner); ok {
+			activity = sr.RunStats(&s.execCtx, dt, &s.statsScratch)
+		} else {
+			s.statsScratch, activity = task.Run(&s.execCtx, dt)
+		}
+		if kernelLive {
+			s.Kernel.TaskExec(s.slotProc[cpu].PID, cpu, dt, s.statsScratch)
+		}
+		if activity > s.coreAct[phys] {
+			s.coreAct[phys] = activity
+		}
+	}
+
+	// Package power from per-core activity, summed in the legacy
+	// first-CPU-per-physical-core order.
+	var coresW float64
+	for i := 0; i < s.nPhys; i++ {
+		t := s.physType[i]
+		w := t.IdleWatts
+		if act := s.coreAct[i]; act > 0 {
+			x := s.coreFreq[i] / t.MaxFreqMHz
+			w += t.DynWattsAtMax * act * x * x * x
+		}
+		coresW += w
+	}
+
+	s.Power.Step(coresW, dt)
+	s.Thermal.Step(s.Power.PkgPowerW(), dt)
+	s.Governor.Update(now, s.Power.PkgPowerW(), s.Power.CapW(), s.Thermal.TempC())
+	for _, e := range due {
+		if e.kind == evDVFSDeadline {
+			s.armDVFSEvent()
+		}
+	}
+	s.now = now + dt
+	s.Kernel.Advance(s.now)
+	s.finishTick(due)
+}
+
+// finishTick handles the end-of-tick event roles shared by both paths:
+// re-arming the advisory deadlines that came due, firing one-shot
+// callbacks, then dispatching the StepHooks.
+func (s *Machine) finishTick(due []*event) {
+	for _, e := range due {
+		switch e.kind {
+		case evKernelDeadline:
+			s.armKernelEvent()
+		case evPowerCap:
+			s.armPowerEvent()
+		case evThermalSettle:
+			s.armThermalEvent()
+		case evOneShot:
+			if e.fn != nil {
+				e.fn(s)
+			}
+		}
+	}
+	s.fireHooks()
+}
+
+// clampFuture keeps a re-armed deadline at least one tick ahead so a
+// conservatively early event (fired before its subsystem's own boundary
+// comparison passed) retries next tick instead of spinning in this one.
+func (s *Machine) clampFuture(at float64) float64 {
+	if min := s.now + s.cfg.TickSec; at < min {
+		return min
+	}
+	return at
+}
+
+func (s *Machine) armBalanceEvent() {
+	s.eq.schedule(&s.evBalance, s.clampFuture(s.Sched.NextBalanceSec()))
+}
+
+func (s *Machine) armDVFSEvent() {
+	s.eq.schedule(&s.evDVFS, s.clampFuture(s.Governor.NextUpdateSec()))
+}
+
+func (s *Machine) armKernelEvent() {
+	at := s.Kernel.NextDeadline(s.now)
+	if math.IsInf(at, 1) {
+		s.eq.cancel(&s.evKernel)
+		return
+	}
+	s.eq.schedule(&s.evKernel, s.clampFuture(at))
+}
+
+func (s *Machine) armPowerEvent() {
+	eta := s.Power.NextCapChangeSec()
+	if math.IsInf(eta, 1) {
+		s.eq.cancel(&s.evPowerCap)
+		return
+	}
+	s.eq.schedule(&s.evPowerCap, s.clampFuture(s.now+eta))
+}
+
+func (s *Machine) armThermalEvent() {
+	p := s.Power.PkgPowerW()
+	ss := s.Thermal.SteadyStateC(p)
+	t := s.Thermal.TempC()
+	var target float64
+	switch {
+	case t > ss+thermalSettleBandC:
+		target = ss + thermalSettleBandC
+	case t < ss-thermalSettleBandC:
+		target = ss - thermalSettleBandC
+	default:
+		s.eq.cancel(&s.evThermal)
+		return
+	}
+	eta := s.Thermal.TimeToReachSec(target, p)
+	if math.IsInf(eta, 1) {
+		s.eq.cancel(&s.evThermal)
+		return
+	}
+	s.eq.schedule(&s.evThermal, s.clampFuture(s.now+eta))
+}
+
+// stepLegacy is the original fixed-tick step, kept verbatim behind
+// Config.ForceTickLoop as the reference implementation the differential
+// equivalence suite compares the event core against.
+func (s *Machine) stepLegacy() {
 	dt := s.cfg.TickSec
 	s.Sched.Tick(s.now)
 
@@ -234,17 +722,23 @@ func (s *Machine) Step() {
 	s.Governor.Update(s.now, s.Power.PkgPowerW(), s.Power.CapW(), s.Thermal.TempC())
 	s.now += dt
 	s.Kernel.Advance(s.now)
-	for _, h := range s.stepHooks {
-		if h != nil {
-			h(s)
+	// The legacy loop never arms recurring events, but ScheduleAt
+	// one-shots still fire at their tick boundary.
+	if s.eq.Len() > 0 {
+		for s.eq.Len() > 0 && s.eq.peek().at <= s.now+timeEps {
+			e := s.eq.pop()
+			if e.kind == evOneShot && e.fn != nil {
+				e.fn(s)
+			}
 		}
 	}
+	s.fireHooks()
 }
 
 // RunFor advances the simulation by the given number of seconds.
 func (s *Machine) RunFor(seconds float64) {
 	end := s.now + seconds
-	for s.now < end-1e-12 {
+	for s.now < end-timeEps {
 		s.Step()
 	}
 }

@@ -1,0 +1,80 @@
+package thermal
+
+// TimeToReachSec is the closed-form first-order ETA the simulator's
+// thermal-settle advisory event uses. It must agree with the tick
+// integrator (within integration error) and return the documented
+// sentinels at the asymptote edges.
+
+import (
+	"math"
+	"testing"
+
+	"hetpapi/internal/hw"
+)
+
+func rcSpec() hw.ThermalSpec {
+	return hw.ThermalSpec{
+		AmbientC:         25,
+		TjMaxC:           100,
+		ResistanceCPerW:  0.5,
+		CapacitanceJPerC: 40,
+	}
+}
+
+func TestTimeToReachMatchesIntegrator(t *testing.T) {
+	const powerW = 60 // steady state 25 + 30 = 55 C
+	analytic := New(rcSpec())
+	analytic.SetTempC(30)
+	eta := analytic.TimeToReachSec(50, powerW)
+	if eta <= 0 || math.IsInf(eta, 0) {
+		t.Fatalf("ETA = %v, want finite positive", eta)
+	}
+
+	stepped := New(rcSpec())
+	stepped.SetTempC(30)
+	const h = 0.001
+	var elapsed float64
+	for stepped.TempC() < 50 {
+		stepped.Step(powerW, h)
+		elapsed += h
+		if elapsed > 1000 {
+			t.Fatal("integrator never reached 50 C")
+		}
+	}
+	if math.Abs(elapsed-eta) > 0.05*eta {
+		t.Fatalf("integrator took %.3f s, closed form says %.3f s", elapsed, eta)
+	}
+}
+
+func TestTimeToReachAlreadyMet(t *testing.T) {
+	m := New(rcSpec())
+	m.SetTempC(60)
+	// Cooling toward 55 C steady state: a target above the current
+	// temperature (in the approach direction) is already satisfied.
+	if got := m.TimeToReachSec(65, 60); got != 0 {
+		t.Fatalf("target already passed: ETA = %v, want 0", got)
+	}
+	// Warming: target below current temperature is already satisfied.
+	m.SetTempC(40)
+	if got := m.TimeToReachSec(35, 60); got != 0 {
+		t.Fatalf("target already passed warming: ETA = %v, want 0", got)
+	}
+}
+
+func TestTimeToReachUnreachable(t *testing.T) {
+	m := New(rcSpec())
+	m.SetTempC(30)
+	// Steady state at 60 W is 55 C; anything at or beyond it is never
+	// reached by the exponential approach.
+	if got := m.TimeToReachSec(55, 60); !math.IsInf(got, 1) {
+		t.Fatalf("target at asymptote: ETA = %v, want +Inf", got)
+	}
+	if got := m.TimeToReachSec(70, 60); !math.IsInf(got, 1) {
+		t.Fatalf("target beyond asymptote: ETA = %v, want +Inf", got)
+	}
+	// Already at steady state: no motion at all.
+	m.SetTempC(55)
+	if got := m.TimeToReachSec(50, 60); !math.IsInf(got, 1) {
+		t.Fatalf("at asymptote: ETA = %v, want +Inf", got)
+	}
+}

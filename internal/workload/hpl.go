@@ -275,9 +275,19 @@ func (t *HPLThread) Done() bool { return t.h.done }
 // what skews the per-core-type instruction balance on hybrid-oblivious
 // builds (Table III).
 func (t *HPLThread) Run(ctx *ExecContext, dt float64) (events.Stats, float64) {
+	var st events.Stats
+	activity := t.RunStats(ctx, dt, &st)
+	return st, activity
+}
+
+// RunStats implements StatsRunner: identical to Run, but writes the event
+// bundle into out instead of returning the 19-field struct by value —
+// the simulator's hot loop calls this form to avoid the copies.
+func (t *HPLThread) RunStats(ctx *ExecContext, dt float64, out *events.Stats) float64 {
 	h := t.h
+	*out = events.Stats{}
 	if h.done || dt <= 0 || ctx.FreqMHz <= 0 {
-		return events.Stats{}, 0
+		return 0
 	}
 	class := ctx.Type.Class
 	eff := ctx.Type.HPLEfficiency * h.cfg.Strategy.effFor(class)
@@ -318,19 +328,19 @@ func (t *HPLThread) Run(ctx *ExecContext, dt float64) (events.Stats, float64) {
 	}
 	spinFrac := 1 - workFrac
 
-	var st events.Stats
 	if worked > 0 {
-		st = t.workStats(ctx, worked, dt*workFrac)
+		t.workStatsInto(ctx, worked, dt*workFrac, out)
 	}
 	if spinFrac > 1e-12 {
-		st.Add(SpinStats(ctx, dt*spinFrac))
+		out.Add(SpinStats(ctx, dt*spinFrac))
 	}
-	activity := workFrac*h.cfg.Strategy.workActivityFor(class) + spinFrac*ctx.Type.SpinActivity
-	return st, activity
+	return workFrac*h.cfg.Strategy.workActivityFor(class) + spinFrac*ctx.Type.SpinActivity
 }
 
-// workStats converts retired flops into the full event bundle.
-func (t *HPLThread) workStats(ctx *ExecContext, flops, dt float64) events.Stats {
+// workStatsInto converts retired flops into the full event bundle,
+// written field by field into out (assumed zeroed) so the hot loop never
+// copies the struct.
+func (t *HPLThread) workStatsInto(ctx *ExecContext, flops, dt float64, out *events.Stats) {
 	typ := ctx.Type
 	class := typ.Class
 	fpInstr := flops / typ.VecFlopsPerInstr // one packed FMA retires VecFlopsPerInstr flops
@@ -349,26 +359,24 @@ func (t *HPLThread) workStats(ctx *ExecContext, flops, dt float64) events.Stats 
 	llcMiss := llcRefs * t.h.cfg.Strategy.LLCMissFrac[class] * (0.98 + 0.04*t.rng.Float64())
 
 	branches := instr * 0.04
-	return events.Stats{
-		Cycles:       cycles,
-		RefCycles:    typ.BaseFreqMHz * 1e6 * dt,
-		Instructions: instr,
-		Branches:     branches,
-		BranchMisses: branches * 0.005,
-		Loads:        loads,
-		Stores:       stores,
-		L1DRefs:      l1,
-		L1DMisses:    l1m,
-		L2Refs:       l2,
-		L2Misses:     l2m,
-		LLCRefs:      llcRefs,
-		LLCMisses:    llcMiss,
-		FP256D:       vec256(typ, fpInstr),
-		FP128D:       vec128(typ, fpInstr),
-		StallCycles:  cycles * 0.12,
-		Slots:        cycles * typ.IssueWidth,
-		Flops:        flops,
-	}
+	out.Cycles = cycles
+	out.RefCycles = typ.BaseFreqMHz * 1e6 * dt
+	out.Instructions = instr
+	out.Branches = branches
+	out.BranchMisses = branches * 0.005
+	out.Loads = loads
+	out.Stores = stores
+	out.L1DRefs = l1
+	out.L1DMisses = l1m
+	out.L2Refs = l2
+	out.L2Misses = l2m
+	out.LLCRefs = llcRefs
+	out.LLCMisses = llcMiss
+	out.FP256D = vec256(typ, fpInstr)
+	out.FP128D = vec128(typ, fpInstr)
+	out.StallCycles = cycles * 0.12
+	out.Slots = cycles * typ.IssueWidth
+	out.Flops = flops
 }
 
 func vec256(t *hw.CoreType, fpInstr float64) float64 {

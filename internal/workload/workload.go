@@ -140,6 +140,14 @@ func Synth(t *hw.CoreType, instr, cycles, dt float64, p Profile) events.Stats {
 	}
 }
 
+// StatsRunner is an optional Task fast path: RunStats behaves exactly
+// like Run but writes the event bundle into out (fully overwriting it)
+// instead of returning the 19-field struct by value. The simulator's hot
+// loop prefers this form; Run must stay equivalent for everything else.
+type StatsRunner interface {
+	RunStats(ctx *ExecContext, dtSec float64, out *events.Stats) float64
+}
+
 // SpinStats returns the quantities of spin-waiting for dt seconds.
 func SpinStats(ctx *ExecContext, dt float64) events.Stats {
 	cycles := ctx.CyclesIn(dt) * ctx.Throughput
