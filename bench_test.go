@@ -14,6 +14,7 @@ package hetpapi
 // simulated machine time; the printed tables appear once.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -23,6 +24,7 @@ import (
 	"testing"
 
 	"hetpapi/internal/core"
+	"hetpapi/internal/fleet"
 	"hetpapi/internal/events"
 	"hetpapi/internal/exp"
 	"hetpapi/internal/hw"
@@ -876,15 +878,13 @@ func BenchmarkSpantraceEmit(b *testing.B) {
 // workload has run out and a fresh one is needed to stay in steady state.
 type simThroughputCase struct {
 	name    string
-	build   func(forceTick bool) *sim.Machine
+	build   func() *sim.Machine
 	rebuild func(*sim.Machine) bool
 }
 
 func simThroughputCases() []simThroughputCase {
-	buildHPL := func(forceTick bool) *sim.Machine {
-		cfg := sim.DefaultConfig()
-		cfg.ForceTickLoop = forceTick
-		s := sim.New(hw.RaptorLake(), cfg)
+	buildHPL := func() *sim.Machine {
+		s := sim.New(hw.RaptorLake(), sim.DefaultConfig())
 		h, err := workload.NewHPL(workload.HPLConfig{
 			N: 57024, NB: 192, Threads: 16, Strategy: workload.IntelMKL(), Seed: 1,
 		})
@@ -896,11 +896,9 @@ func simThroughputCases() []simThroughputCase {
 		}
 		return s
 	}
-	idle := func(mk func() *hw.Machine) func(bool) *sim.Machine {
-		return func(forceTick bool) *sim.Machine {
-			cfg := sim.DefaultConfig()
-			cfg.ForceTickLoop = forceTick
-			s := sim.New(mk(), cfg)
+	idle := func(mk func() *hw.Machine) func() *sim.Machine {
+		return func() *sim.Machine {
+			s := sim.New(mk(), sim.DefaultConfig())
 			// Start warm so the settle span does real cooling work.
 			s.Thermal.SetTempC(s.Thermal.Spec().AmbientC + 20)
 			return s
@@ -933,36 +931,70 @@ func simThroughputCases() []simThroughputCase {
 	}
 }
 
-// BenchmarkSimThroughput is the headline simulator benchmark: simulated
-// seconds advanced per wall-clock second (the "sim-s/wall-s" metric),
-// reported for the event-driven core and the legacy tick loop on each
-// reference shape. BENCH_6.json commits the trajectory; the event/tick
-// ratio on hpl-pcores is the ≥5x gate TestBenchTrajectory enforces
-// against the recorded figures.
+// BenchmarkFleetThroughput is the headline fleet benchmark behind
+// BENCH_7.json: total simulated machine-seconds completed per
+// wall-clock second when a whole generated fleet — default template
+// mix, staggered cold-starts, chaos plans on a quarter of the machines
+// — runs on the bounded worker pool. Each iteration generates and runs
+// a fresh fleet with a distinct seed so steady-state throughput, not a
+// warmed cache, is what's measured.
+func BenchmarkFleetThroughput(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("machines=%d", n), func(b *testing.B) {
+			var simSec float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := fleet.Generate(fleet.GenConfig{
+					Machines:   n,
+					Seed:       int64(i) + 1,
+					StaggerSec: 0.5,
+					Chaos:      &fleet.ChaosConfig{IncidentRate: 0.25},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := fleet.Run(context.Background(), f, fleet.RunConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Completed != n {
+					b.Fatalf("%d/%d machines completed", rep.Completed, n)
+				}
+				simSec += rep.MachineSimSec
+			}
+			b.StopTimer()
+			if wall := b.Elapsed().Seconds(); wall > 0 {
+				b.ReportMetric(simSec/wall, "machine-sim-s/wall-s")
+			}
+		})
+	}
+}
+
+// BenchmarkSimThroughput is the headline single-machine simulator
+// benchmark: simulated seconds advanced per wall-clock second (the
+// "sim-s/wall-s" metric) on each reference shape. BENCH_6.json commits
+// the event-vs-legacy-tick trajectory recorded before the tick loop was
+// deleted; the recorded figures remain the gate TestBenchTrajectory
+// enforces.
 func BenchmarkSimThroughput(b *testing.B) {
 	for _, tc := range simThroughputCases() {
-		for _, mode := range []struct {
-			name      string
-			forceTick bool
-		}{{"event", false}, {"tick", true}} {
-			b.Run(tc.name+"/"+mode.name, func(b *testing.B) {
-				s := tc.build(mode.forceTick)
-				tick := s.Tick()
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if tc.rebuild(s) {
-						b.StopTimer()
-						s = tc.build(mode.forceTick)
-						b.StartTimer()
-					}
-					s.Step()
+		b.Run(tc.name+"/event", func(b *testing.B) {
+			s := tc.build()
+			tick := s.Tick()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if tc.rebuild(s) {
+					b.StopTimer()
+					s = tc.build()
+					b.StartTimer()
 				}
-				b.StopTimer()
-				if wall := b.Elapsed().Seconds(); wall > 0 {
-					b.ReportMetric(float64(b.N)*tick/wall, "sim-s/wall-s")
-				}
-			})
-		}
+				s.Step()
+			}
+			b.StopTimer()
+			if wall := b.Elapsed().Seconds(); wall > 0 {
+				b.ReportMetric(float64(b.N)*tick/wall, "sim-s/wall-s")
+			}
+		})
 	}
 }

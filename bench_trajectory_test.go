@@ -2,13 +2,20 @@ package hetpapi
 
 // TestBenchTrajectory validates the committed BENCH_*.json trajectory:
 // each file must parse, carry the fields the next PR's comparison needs,
-// and its recorded figures must satisfy its own gate (for BENCH_6: the
-// event core at least min_speedup times the legacy tick loop on the
-// reference HPL case, and no slower than the seed repo's tick figure).
+// and its recorded figures must satisfy its own gate. Two case schemas
+// exist in the trajectory:
+//
+//   - single-machine (BENCH_6): event_sim_s_per_wall_s vs
+//     tick_sim_s_per_wall_s per case, gated on min_speedup (the event
+//     core against the deleted legacy tick loop) and the seed baseline.
+//   - fleet (BENCH_7): machine_sim_s_per_wall_s per case (summed
+//     simulated machine-seconds per wall second across the whole fleet
+//     run), gated on min_throughput.
+//
 // The test checks the *recorded* numbers, not a live benchmark run, so
 // CI stays deterministic on noisy shared runners; the CI bench-smoke
-// step separately runs BenchmarkSimThroughput to prove the benchmark
-// itself still executes.
+// steps separately run BenchmarkSimThroughput and a small
+// BenchmarkFleetThroughput to prove the benchmarks still execute.
 
 import (
 	"encoding/json"
@@ -18,9 +25,21 @@ import (
 )
 
 type benchCase struct {
+	// Single-machine schema.
 	EventSimPerWall float64 `json:"event_sim_s_per_wall_s"`
 	TickSimPerWall  float64 `json:"tick_sim_s_per_wall_s"`
 	Speedup         float64 `json:"speedup"`
+	// Fleet schema.
+	Machines          int     `json:"machines"`
+	MachineSimPerWall float64 `json:"machine_sim_s_per_wall_s"`
+}
+
+// throughput returns the case's headline figure under either schema.
+func (c benchCase) throughput() float64 {
+	if c.MachineSimPerWall > 0 {
+		return c.MachineSimPerWall
+	}
+	return c.EventSimPerWall
 }
 
 type benchFile struct {
@@ -32,8 +51,9 @@ type benchFile struct {
 	} `json:"seed_baseline"`
 	Cases map[string]benchCase `json:"cases"`
 	Gate  struct {
-		Case       string  `json:"case"`
-		MinSpeedup float64 `json:"min_speedup"`
+		Case          string  `json:"case"`
+		MinSpeedup    float64 `json:"min_speedup"`
+		MinThroughput float64 `json:"min_throughput"`
 	} `json:"gate"`
 }
 
@@ -63,14 +83,20 @@ func TestBenchTrajectory(t *testing.T) {
 				t.Fatalf("%s has no cases", path)
 			}
 			for name, c := range bf.Cases {
-				if c.EventSimPerWall <= 0 || c.TickSimPerWall <= 0 {
-					t.Errorf("case %s: non-positive throughput figures %+v", name, c)
-					continue
-				}
-				ratio := c.EventSimPerWall / c.TickSimPerWall
-				if c.Speedup > 0 && (ratio < c.Speedup*0.98 || ratio > c.Speedup*1.02) {
-					t.Errorf("case %s: recorded speedup %.2f inconsistent with event/tick = %.2f",
-						name, c.Speedup, ratio)
+				switch {
+				case c.MachineSimPerWall > 0:
+					// Fleet schema: the case must record its fleet size.
+					if c.Machines <= 0 {
+						t.Errorf("case %s: fleet throughput without a machine count: %+v", name, c)
+					}
+				case c.EventSimPerWall > 0 && c.TickSimPerWall > 0:
+					ratio := c.EventSimPerWall / c.TickSimPerWall
+					if c.Speedup > 0 && (ratio < c.Speedup*0.98 || ratio > c.Speedup*1.02) {
+						t.Errorf("case %s: recorded speedup %.2f inconsistent with event/tick = %.2f",
+							name, c.Speedup, ratio)
+					}
+				default:
+					t.Errorf("case %s: neither schema's figures are positive: %+v", name, c)
 				}
 			}
 			if bf.Gate.Case != "" {
@@ -78,13 +104,22 @@ func TestBenchTrajectory(t *testing.T) {
 				if !ok {
 					t.Fatalf("gate case %q not in cases", bf.Gate.Case)
 				}
-				if ratio := c.EventSimPerWall / c.TickSimPerWall; ratio < bf.Gate.MinSpeedup {
-					t.Errorf("gate: %s event/tick = %.2fx, below the committed %.1fx floor",
-						bf.Gate.Case, ratio, bf.Gate.MinSpeedup)
+				if bf.Gate.MinSpeedup > 0 {
+					if c.TickSimPerWall <= 0 {
+						t.Fatalf("gate: min_speedup on a case without a tick figure: %+v", c)
+					}
+					if ratio := c.EventSimPerWall / c.TickSimPerWall; ratio < bf.Gate.MinSpeedup {
+						t.Errorf("gate: %s event/tick = %.2fx, below the committed %.1fx floor",
+							bf.Gate.Case, ratio, bf.Gate.MinSpeedup)
+					}
 				}
-				if seed := bf.SeedBaseline.SimPerWall; seed > 0 && c.EventSimPerWall < seed {
-					t.Errorf("gate: event throughput %.1f sim-s/wall-s regressed below the seed tick-loop figure %.1f",
-						c.EventSimPerWall, seed)
+				if bf.Gate.MinThroughput > 0 && c.throughput() < bf.Gate.MinThroughput {
+					t.Errorf("gate: %s throughput %.1f below the committed %.1f floor",
+						bf.Gate.Case, c.throughput(), bf.Gate.MinThroughput)
+				}
+				if seed := bf.SeedBaseline.SimPerWall; seed > 0 && c.throughput() < seed {
+					t.Errorf("gate: throughput %.1f regressed below the seed baseline %.1f",
+						c.throughput(), seed)
 				}
 			}
 		})

@@ -12,6 +12,7 @@
 //	GET /degradations      latest probe degradation tallies per machine
 //	GET /trace?machine=M   live span trace as Perfetto JSON
 //	GET /profile?machine=M statistical profile as gzipped pprof proto
+//	GET /fleet             latest fleet roll-up report (with -fleet N)
 //	GET /metrics           Prometheus-style text exposition
 //
 // Fault scenarios (reference scenarios carrying a Measure probe) also
@@ -25,6 +26,15 @@
 //	         [-capacity N] [-downsample K] [-shards S] [-every T]
 //	         [-request-timeout D] [-trace-capacity N]
 //	         [-profile] [-profile-period N]
+//	         [-fleet N] [-fleet-seed S] [-fleet-stagger W]
+//	         [-fleet-chaos R] [-fleet-workers P]
+//
+// With -fleet N the daemon additionally runs an N-machine simulated
+// fleet (default template mix, seed-derived chaos plans on a -fleet-chaos
+// fraction of machines) on a bounded worker pool and serves the roll-up
+// report — per-core-type aggregates across machines, the incident
+// ledger, and the fleet digest — at /fleet. In loop mode each rerun
+// advances the fleet seed by one.
 //
 // Every machine also records a cross-layer span trace (scheduler exec
 // spans and migrations, perf_event syscalls, fault and degradation
@@ -63,6 +73,7 @@ import (
 	"syscall"
 	"time"
 
+	"hetpapi/internal/fleet"
 	"hetpapi/internal/profile"
 	"hetpapi/internal/scenario"
 	"hetpapi/internal/spantrace"
@@ -81,6 +92,12 @@ type config struct {
 	traceCap   int
 	profile    bool
 	profPeriod uint64
+
+	fleetN       int
+	fleetSeed    int64
+	fleetStagger float64
+	fleetChaos   float64
+	fleetWorkers int
 }
 
 func main() {
@@ -100,6 +117,12 @@ func main() {
 		"attach the per-core-type statistical profiler, served at /profile")
 	flag.Uint64Var(&cfg.profPeriod, "profile-period", 0,
 		"profiler sampling period in cycles (0 = default)")
+	flag.IntVar(&cfg.fleetN, "fleet", 0,
+		"also run an N-machine fleet (default template mix) and serve its roll-up at /fleet (0 disables)")
+	flag.Int64Var(&cfg.fleetSeed, "fleet-seed", 1, "fleet seed (reruns derive follow-up seeds from it in loop mode)")
+	flag.Float64Var(&cfg.fleetStagger, "fleet-stagger", 0.5, "fleet cold-start stagger window (simulated seconds)")
+	flag.Float64Var(&cfg.fleetChaos, "fleet-chaos", 0.25, "fraction of fleet machines that draw a chaos fault plan")
+	flag.IntVar(&cfg.fleetWorkers, "fleet-workers", 0, "fleet worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -195,6 +218,14 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready chan<- string) e
 		}(spec)
 	}
 
+	if cfg.fleetN > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			collectFleet(runCtx, api, cfg, logw)
+		}()
+	}
+
 	httpSrv := &http.Server{Handler: api.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -217,6 +248,42 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready chan<- string) e
 		cancelRuns()
 		wg.Wait()
 		return err
+	}
+}
+
+// collectFleet runs the daemon's fleet in its own goroutine: generate
+// an N-machine fleet from the default template mix, run it on the
+// bounded pool, and publish the roll-up at /fleet. In loop mode each
+// rerun advances the seed by one so consecutive reports cover fresh —
+// but still fully reproducible — fleets.
+func collectFleet(ctx context.Context, api *telemetry.Server, cfg config, logw io.Writer) {
+	gen := fleet.GenConfig{
+		Machines:   cfg.fleetN,
+		StaggerSec: cfg.fleetStagger,
+	}
+	if cfg.fleetChaos > 0 {
+		gen.Chaos = &fleet.ChaosConfig{IncidentRate: cfg.fleetChaos}
+	}
+	for run := 0; ctx.Err() == nil; run++ {
+		gen.Seed = cfg.fleetSeed + int64(run)
+		f, err := fleet.Generate(gen)
+		if err != nil {
+			fmt.Fprintf(logw, "hetpapid: fleet: %v\n", err)
+			return
+		}
+		api.SetFleetRunning(true)
+		rep, err := fleet.Run(ctx, f, fleet.RunConfig{Workers: cfg.fleetWorkers})
+		api.SetFleetRunning(false)
+		if err != nil {
+			fmt.Fprintf(logw, "hetpapid: fleet: %v\n", err)
+			return
+		}
+		api.SetFleetReport(rep)
+		fmt.Fprintf(logw, "hetpapid: fleet seed=%d: %d machines, %d completed, %d incidents, digest %s\n",
+			rep.Seed, rep.Machines, rep.Completed, len(rep.Incidents), rep.Digest[:12])
+		if !cfg.loop {
+			return
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
@@ -196,4 +197,79 @@ type testWriter struct{ t *testing.T }
 func (w testWriter) Write(p []byte) (int, error) {
 	w.t.Log(strings.TrimRight(string(p), "\n"))
 	return len(p), nil
+}
+
+// TestDaemonFleetEndpoint boots the daemon with a small fleet enabled
+// (no scenario loop) and polls /fleet until the first roll-up lands:
+// the report must cover every machine and carry the fleet digest.
+func TestDaemonFleetEndpoint(t *testing.T) {
+	cfg := config{
+		addr:         "127.0.0.1:0",
+		scenarios:    "homogeneous-powercap",
+		capacity:     256,
+		downsample:   1,
+		shards:       2,
+		every:        1,
+		loop:         false,
+		reqTimeout:   5 * time.Second,
+		fleetN:       8,
+		fleetSeed:    7,
+		fleetStagger: 0.3,
+		fleetChaos:   0.5,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, testWriter{t}, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	var info telemetry.FleetInfo
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/fleet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == 200 {
+			if err := json.Unmarshal(body, &info); err != nil {
+				t.Fatalf("bad /fleet body %s: %v", body, err)
+			}
+			if info.Report != nil {
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if info.Report == nil {
+		t.Fatal("no fleet report appeared at /fleet")
+	}
+	if info.Report.Machines != 8 || info.Report.Seed != 7 || len(info.Report.Digest) != 64 {
+		t.Fatalf("fleet report %+v", info.Report)
+	}
+	if info.Report.Completed+info.Report.Stopped+info.Report.Skipped != 8 {
+		t.Fatalf("fleet outcomes do not cover all machines: %+v", info.Report)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
 }

@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"hetpapi/internal/scenario"
+)
+
+// FuzzFleetGen drives the generator with arbitrary sizes, seeds,
+// weights and chaos/stagger knobs: Generate must never panic, and every
+// accepted config must yield exactly N machines whose per-template
+// counts sum to N, with unique ids and a regeneration-identical fleet.
+func FuzzFleetGen(f *testing.F) {
+	f.Add(10, int64(1), 1, 1, 0.5, 0.25)
+	f.Add(1, int64(42), 7, 0, 0.0, 0.0)
+	f.Add(1000, int64(-3), 100, 1, 2.0, 1.0)
+	f.Add(3, int64(1<<50), -5, 3, -1.0, 1.5)
+	f.Fuzz(func(t *testing.T, n int, seed int64, w1, w2 int, stagger, rate float64) {
+		if n > 2000 {
+			n %= 2000 // bound generation work, not the input space
+		}
+		cfg := GenConfig{
+			Machines: n,
+			Seed:     seed,
+			Templates: []Template{
+				{Name: "a", Weight: w1, Spec: scenario.Spec{
+					Machine: "homogeneous", MaxSeconds: 1,
+					Workloads: []scenario.WorkloadSpec{{Kind: scenario.WorkloadSpin, CPUs: []int{0}, Seconds: 0.1}},
+				}},
+				{Name: "b", Weight: w2, Spec: scenario.Spec{
+					Machine: "raptorlake", MaxSeconds: 1,
+					Workloads: []scenario.WorkloadSpec{{Kind: scenario.WorkloadLoop, CPUs: []int{0}, InstrPerRep: 1e6, Reps: 10}},
+				}},
+			},
+			StaggerSec: stagger,
+			Chaos:      &ChaosConfig{IncidentRate: rate, MaxEvents: 4},
+		}
+		fl, err := Generate(cfg)
+		if err != nil {
+			// Invalid configs (bad weights, counts, rates, windows) must
+			// be rejected, never half-generated.
+			if fl != nil {
+				t.Fatalf("Generate returned both a fleet and error %v", err)
+			}
+			return
+		}
+		if len(fl.Machines) != n {
+			t.Fatalf("asked for %d machines, got %d", n, len(fl.Machines))
+		}
+		sum := 0
+		for _, c := range fl.Counts {
+			if c < 0 {
+				t.Fatalf("negative template count in %v", fl.Counts)
+			}
+			sum += c
+		}
+		if sum != n {
+			t.Fatalf("counts %v sum to %d, want %d", fl.Counts, sum, n)
+		}
+		seen := make(map[string]bool, n)
+		for _, ms := range fl.Machines {
+			if seen[ms.ID] {
+				t.Fatalf("duplicate machine id %s", ms.ID)
+			}
+			seen[ms.ID] = true
+			if stagger > 0 && (ms.StartOffsetSec < 0 || ms.StartOffsetSec >= stagger) {
+				t.Fatalf("offset %v outside [0,%v)", ms.StartOffsetSec, stagger)
+			}
+		}
+		again, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("second Generate failed: %v", err)
+		}
+		if !reflect.DeepEqual(fl.Machines, again.Machines) {
+			t.Fatal("regeneration with the identical config produced a different fleet")
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"hetpapi/internal/scenario"
+	"hetpapi/internal/sched"
+)
+
+// testTemplates is a deliberately small mix (sub-second workloads) so
+// fleet tests stay fast under -race.
+func testTemplates() []Template {
+	return []Template{
+		{
+			Name:   "tiny-loop",
+			Weight: 3,
+			Spec: scenario.Spec{
+				Machine:         "homogeneous",
+				MaxSeconds:      2,
+				SamplePeriodSec: 0.25,
+				Workloads: []scenario.WorkloadSpec{{
+					Kind: scenario.WorkloadLoop, Name: "loop", CPUs: []int{0, 1},
+					InstrPerRep: 1e6, Reps: 400,
+				}},
+			},
+		},
+		{
+			Name:   "hybrid-measure",
+			Weight: 2,
+			Spec: scenario.Spec{
+				Machine:         "orangepi800",
+				MaxSeconds:      2,
+				SamplePeriodSec: 0.25,
+				Workloads: []scenario.WorkloadSpec{{
+					Kind: scenario.WorkloadLoop, Name: "little", CPUs: []int{0, 1},
+					InstrPerRep: 1e6, Reps: 300,
+				}},
+				Measure: &scenario.MeasureSpec{
+					Workload: 0,
+					Events:   []string{"PAPI_TOT_INS", "PAPI_TOT_CYC"},
+				},
+			},
+		},
+	}
+}
+
+func TestApportionSumsAndProportions(t *testing.T) {
+	tpls := testTemplates() // weights 3:2
+	for _, n := range []int{1, 2, 5, 7, 100, 999, 1000} {
+		counts := apportion(n, tpls)
+		sum := 0
+		for _, c := range counts {
+			sum += c
+		}
+		if sum != n {
+			t.Fatalf("n=%d: counts %v sum to %d", n, counts, sum)
+		}
+	}
+	counts := apportion(1000, tpls)
+	if counts[0] != 600 || counts[1] != 400 {
+		t.Fatalf("3:2 over 1000 machines gave %v, want [600 400]", counts)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{
+		Machines:   64,
+		Seed:       1234,
+		Templates:  testTemplates(),
+		StaggerSec: 0.5,
+		Chaos:      &ChaosConfig{IncidentRate: 0.4, MaxEvents: 4},
+	}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Machines, b.Machines) || !reflect.DeepEqual(a.Counts, b.Counts) {
+		t.Fatal("two Generate calls with one config produced different fleets")
+	}
+
+	seen := map[string]bool{}
+	seeds := map[int64]int{}
+	chaos := 0
+	for i, ms := range a.Machines {
+		if seen[ms.ID] {
+			t.Fatalf("duplicate machine id %s", ms.ID)
+		}
+		seen[ms.ID] = true
+		if ms.Index != i {
+			t.Fatalf("machine %s has index %d at position %d", ms.ID, ms.Index, i)
+		}
+		seeds[ms.Seed]++
+		if ms.StartOffsetSec < 0 || ms.StartOffsetSec >= cfg.StaggerSec {
+			t.Fatalf("machine %s offset %v outside [0,%v)", ms.ID, ms.StartOffsetSec, cfg.StaggerSec)
+		}
+		if ms.Spec.Seed != ms.Seed {
+			t.Fatalf("machine %s spec seed %d != derived seed %d", ms.ID, ms.Spec.Seed, ms.Seed)
+		}
+		if ms.ChaosProfile != nil {
+			chaos++
+			if ms.ChaosProfile.HorizonSec <= 0 {
+				t.Fatalf("machine %s chaos horizon %v", ms.ID, ms.ChaosProfile.HorizonSec)
+			}
+		}
+	}
+	if len(seeds) < 60 {
+		t.Fatalf("only %d distinct scheduler seeds across 64 machines", len(seeds))
+	}
+	if chaos == 0 || chaos == cfg.Machines {
+		t.Fatalf("chaos gate selected %d of %d machines at rate %.1f; expected a strict subset",
+			chaos, cfg.Machines, cfg.Chaos.IncidentRate)
+	}
+}
+
+// TestGenerateSeedSensitivity: different fleet seeds must change the
+// derived population, not just relabel it.
+func TestGenerateSeedSensitivity(t *testing.T) {
+	mk := func(seed int64) *Fleet {
+		f, err := Generate(GenConfig{Machines: 16, Seed: seed, Templates: testTemplates(), StaggerSec: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a, b := mk(1), mk(2)
+	same := 0
+	for i := range a.Machines {
+		if a.Machines[i].Seed == b.Machines[i].Seed {
+			same++
+		}
+	}
+	if same == len(a.Machines) {
+		t.Fatal("fleet seed is ignored: all per-machine seeds identical across fleet seeds 1 and 2")
+	}
+}
+
+func TestGenerateStaggerShiftsWorkloads(t *testing.T) {
+	f, err := Generate(GenConfig{Machines: 8, Seed: 7, Templates: testTemplates(), StaggerSec: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := false
+	for _, ms := range f.Machines {
+		for _, w := range ms.Spec.Workloads {
+			if w.StartSec != ms.StartOffsetSec {
+				t.Fatalf("machine %s workload starts at %v, offset is %v", ms.ID, w.StartSec, ms.StartOffsetSec)
+			}
+			if w.StartSec > 0 {
+				shifted = true
+			}
+		}
+		if ms.Spec.MaxSeconds != testTemplates()[0].Spec.MaxSeconds+ms.StartOffsetSec {
+			t.Fatalf("machine %s MaxSeconds %v not extended by offset %v", ms.ID, ms.Spec.MaxSeconds, ms.StartOffsetSec)
+		}
+	}
+	if !shifted {
+		t.Fatal("no machine drew a non-zero cold-start offset in a 1 s window")
+	}
+}
+
+func TestGenerateRejectsBadConfigs(t *testing.T) {
+	base := testTemplates()
+	cases := []struct {
+		name string
+		cfg  GenConfig
+	}{
+		{"zero machines", GenConfig{Machines: 0, Templates: base}},
+		{"empty templates", GenConfig{Machines: 4, Templates: []Template{}}},
+		{"zero weight", GenConfig{Machines: 4, Templates: []Template{{Name: "w0", Weight: 0, Spec: base[0].Spec}}}},
+		{"unknown machine", GenConfig{Machines: 4, Templates: []Template{{Name: "bad", Weight: 1,
+			Spec: scenario.Spec{Machine: "nonesuch", Workloads: base[0].Spec.Workloads}}}}},
+		{"no workloads", GenConfig{Machines: 4, Templates: []Template{{Name: "idle", Weight: 1,
+			Spec: scenario.Spec{Machine: "homogeneous"}}}}},
+		{"pinned sched seed", GenConfig{Machines: 4, Templates: []Template{func() Template {
+			tpl := base[0]
+			tpl.Spec = tpl.Spec.Clone()
+			tpl.Spec.Sched = &sched.Config{Seed: 9}
+			return tpl
+		}()}}},
+		{"stateful hooks", GenConfig{Machines: 4, Templates: []Template{func() Template {
+			tpl := base[0]
+			tpl.Spec = tpl.Spec.Clone()
+			tpl.Spec.StepHooks = []scenario.StepHook{func(*scenario.Context) {}}
+			return tpl
+		}()}}},
+		{"bad chaos rate", GenConfig{Machines: 4, Templates: base, Chaos: &ChaosConfig{IncidentRate: 1.5}}},
+		{"negative stagger", GenConfig{Machines: 4, Templates: base, StaggerSec: -1}},
+	}
+	for _, tc := range cases {
+		if _, err := Generate(tc.cfg); err == nil {
+			t.Errorf("%s: Generate accepted an invalid config", tc.name)
+		}
+	}
+}
+
+func TestDefaultTemplatesGenerate(t *testing.T) {
+	f, err := Generate(GenConfig{Machines: 9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights 4:3:2 over 9 machines apportion exactly.
+	if f.Counts[0] != 4 || f.Counts[1] != 3 || f.Counts[2] != 2 {
+		t.Fatalf("default mix over 9 machines gave %v, want [4 3 2]", f.Counts)
+	}
+}

@@ -1,0 +1,226 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"hetpapi/internal/hw"
+)
+
+func genTestFleet(t *testing.T, n int, seed int64) *Fleet {
+	t.Helper()
+	f, err := Generate(GenConfig{
+		Machines:   n,
+		Seed:       seed,
+		Templates:  testTemplates(),
+		StaggerSec: 0.4,
+		Chaos:      &ChaosConfig{IncidentRate: 0.4, MaxEvents: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func reportJSON(t *testing.T, r *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFleetDeterminismSweep is the load-bearing fleet property: the
+// same seed must produce the byte-identical JSON report across repeated
+// runs at different worker counts. Three runs (workers 1, 4 and
+// GOMAXPROCS) over a chaos-enabled mixed-template fleet.
+func TestFleetDeterminismSweep(t *testing.T) {
+	const n = 18
+	var golden []byte
+	for i, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		f := genTestFleet(t, n, 77)
+		rep, err := Run(context.Background(), f, RunConfig{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Completed != n {
+			t.Fatalf("run %d (workers=%d): %d/%d machines completed; incidents: %+v",
+				i, workers, rep.Completed, n, rep.Incidents)
+		}
+		js := reportJSON(t, rep)
+		if golden == nil {
+			golden = js
+			continue
+		}
+		if !bytes.Equal(js, golden) {
+			t.Fatalf("run %d (workers=%d) diverged from the first report", i, workers)
+		}
+	}
+}
+
+// TestFleetRerunSameFleet: one generated Fleet value must be safely
+// runnable multiple times (the per-run Stop/StepHooks must not
+// accumulate on the stored specs).
+func TestFleetRerunSameFleet(t *testing.T) {
+	f := genTestFleet(t, 6, 5)
+	a, err := Run(context.Background(), f, RunConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), f, RunConfig{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("re-running the same fleet diverged: %s vs %s", a.Digest[:12], b.Digest[:12])
+	}
+	for i := range f.Machines {
+		if f.Machines[i].Spec.Stop != nil || len(f.Machines[i].Spec.StepHooks) != 0 {
+			t.Fatalf("machine %s spec accumulated per-run hooks", f.Machines[i].ID)
+		}
+	}
+}
+
+// TestFleetPanicIsolation: a machine whose simulation panics must be
+// recorded as an incident without taking down the pool or the sibling
+// machines.
+func TestFleetPanicIsolation(t *testing.T) {
+	good := testTemplates()[0].Spec.Clone()
+	good.Name = "good"
+	bomb := good.Clone()
+	bomb.Name = "bomb"
+	bomb.MachineFn = func() *hw.Machine { panic("synthetic machine fault") }
+	f := &Fleet{Machines: []MachineSpec{
+		{ID: "m0000", Index: 0, Template: "good", Spec: good},
+		{ID: "m0001", Index: 1, Template: "bomb", Spec: bomb},
+		{ID: "m0002", Index: 2, Template: "good", Spec: good},
+	}}
+	rep, err := Run(context.Background(), f, RunConfig{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Panics != 1 || rep.Completed != 2 {
+		t.Fatalf("panics=%d completed=%d, want 1 and 2", rep.Panics, rep.Completed)
+	}
+	found := false
+	for _, inc := range rep.Incidents {
+		if inc.Kind == "panic" && inc.Machine == "m0001" {
+			found = true
+			if inc.Detail != "synthetic machine fault" {
+				t.Fatalf("panic detail %q", inc.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no panic incident in ledger: %+v", rep.Incidents)
+	}
+}
+
+// TestFleetCancellation: cancelling the context mid-run stops in-flight
+// machines and skips unstarted ones, and Run still returns the partial
+// report.
+func TestFleetCancellation(t *testing.T) {
+	f := genTestFleet(t, 12, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	rep, err := Run(ctx, f, RunConfig{
+		Workers: 2,
+		OnMachine: func(MachineResult) {
+			ran++
+			if ran == 2 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped == 0 {
+		t.Fatalf("no machines skipped after early cancel: completed=%d stopped=%d skipped=%d",
+			rep.Completed, rep.Stopped, rep.Skipped)
+	}
+	if rep.Completed+rep.Stopped+rep.Skipped+rep.Panics+rep.Errors != 12 {
+		t.Fatalf("outcome counts do not cover the fleet: %+v", rep)
+	}
+}
+
+// TestFleetRollupFigures sanity-checks the aggregates: every completed
+// machine contributes instructions on its core types, the measured
+// templates surface degradation tallies as plain counters, and the
+// compact form drops only the per-machine array.
+func TestFleetRollupFigures(t *testing.T) {
+	f := genTestFleet(t, 10, 21)
+	rep, err := Run(context.Background(), f, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MachineSimSec <= 0 || rep.EnergyJ <= 0 {
+		t.Fatalf("empty roll-up: sim=%v energy=%v", rep.MachineSimSec, rep.EnergyJ)
+	}
+	// The homogeneous template exposes "core"; the big.LITTLE one
+	// exposes "LITTLE" and "big".
+	for _, typ := range []string{"core", "LITTLE", "big"} {
+		ins, ok := rep.ByType[typ]["instructions"]
+		if !ok || ins.N == 0 {
+			t.Fatalf("no instruction aggregate for core type %q: %+v", typ, rep.ByType)
+		}
+		if ins.Min > ins.P50 || ins.P50 > ins.Max {
+			t.Fatalf("%s quantiles out of order: %+v", typ, ins)
+		}
+	}
+	if len(rep.Results) != 10 {
+		t.Fatalf("results array has %d entries", len(rep.Results))
+	}
+	c := rep.Compact()
+	if c.Results != nil || c.Digest != rep.Digest {
+		t.Fatal("Compact changed more than the results array")
+	}
+	if rep.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+// TestFleetChaosFeedsLedger: with chaos at rate 1 every machine draws a
+// plan, and applied fault transitions appear in the incident ledger.
+func TestFleetChaosFeedsLedger(t *testing.T) {
+	f, err := Generate(GenConfig{
+		Machines:  6,
+		Seed:      13,
+		Templates: testTemplates(),
+		Chaos:     &ChaosConfig{IncidentRate: 1, MaxEvents: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := func() int {
+		n := 0
+		for _, ms := range f.Machines {
+			if ms.ChaosProfile != nil {
+				n++
+			}
+		}
+		return n
+	}(); got != 6 {
+		t.Fatalf("rate-1 chaos armed %d/6 machines", got)
+	}
+	rep, err := Run(context.Background(), f, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := 0
+	for _, inc := range rep.Incidents {
+		if inc.Kind == "fault" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("no fault transitions reached the incident ledger under rate-1 chaos")
+	}
+	if rep.Completed != 6 {
+		t.Fatalf("healing chaos plans should not stop completion: %d/6 completed, incidents %+v",
+			rep.Completed, rep.Incidents)
+	}
+}

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"hetpapi/internal/dvfs"
+	"hetpapi/internal/sched"
+)
+
+// TestSpecCloneSharesNothingMutable is the aliasing audit behind the
+// fleet generator: one template Spec expanded into many machines must not
+// leak writes between them through shared backing arrays. Clone a spec,
+// mutate every slice and pointee of the clone, and verify the original
+// is untouched.
+func TestSpecCloneSharesNothingMutable(t *testing.T) {
+	orig := Spec{
+		Name:    "template",
+		Machine: "raptorlake",
+		Seed:    7,
+		Workloads: []WorkloadSpec{
+			{Kind: WorkloadLoop, Name: "loop", CPUs: []int{0, 2, 4}, InstrPerRep: 1e6, Reps: 100},
+			{Kind: WorkloadSpin, Name: "spin", CPUs: []int{1}, Seconds: 0.5},
+		},
+		Injects: []Inject{
+			{AtSec: 1, Kind: InjectMigrate, Workload: 0, CPUs: []int{6, 8}},
+		},
+		Measure:   &MeasureSpec{Workload: 0, Events: []string{"PAPI_TOT_INS"}},
+		Sched:     &sched.Config{Seed: 3},
+		DVFS:      &dvfs.Config{},
+		StepHooks: []StepHook{func(*Context) {}},
+	}
+	snapshot := orig.Clone() // reference copy to diff against
+
+	c := orig.Clone()
+	c.Name = "mutant"
+	c.Workloads[0].CPUs[0] = 99
+	c.Workloads[1].Name = "renamed"
+	c.Workloads = append(c.Workloads, WorkloadSpec{Kind: WorkloadSpin})
+	c.Injects[0].CPUs[1] = 99
+	c.Injects = append(c.Injects, Inject{Kind: InjectHeat})
+	c.Measure.Events[0] = "PAPI_TOT_CYC"
+	c.Measure.Workload = 1
+	c.Sched.Seed = 99
+	c.DVFS.UpStep = 1
+	c.StepHooks = append(c.StepHooks, func(*Context) {})
+
+	if orig.Name != snapshot.Name ||
+		!reflect.DeepEqual(orig.Workloads, snapshot.Workloads) ||
+		!reflect.DeepEqual(orig.Injects, snapshot.Injects) ||
+		!reflect.DeepEqual(orig.Measure, snapshot.Measure) ||
+		!reflect.DeepEqual(orig.Sched, snapshot.Sched) ||
+		!reflect.DeepEqual(orig.DVFS, snapshot.DVFS) ||
+		len(orig.StepHooks) != len(snapshot.StepHooks) {
+		t.Fatalf("mutating a clone changed the original:\norig %+v\nwant %+v", orig, snapshot)
+	}
+}
+
+// TestSpecCloneRunsIndependently reruns one cloned template on two fresh
+// machines mutated differently mid-flight (a migrate inject on one only)
+// and checks the unmutated clone reproduces the template digest.
+func TestSpecCloneRunsIndependently(t *testing.T) {
+	template := Spec{
+		Name:            "clone-independence",
+		Machine:         "homogeneous",
+		Seed:            5,
+		MaxSeconds:      2,
+		SamplePeriodSec: 0.25,
+		Workloads: []WorkloadSpec{
+			{Kind: WorkloadLoop, Name: "loop", CPUs: []int{0, 1}, InstrPerRep: 1e6, Reps: 2000},
+		},
+	}
+	base, err := Run(template.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	perturbed := template.Clone()
+	perturbed.Injects = append(perturbed.Injects, Inject{
+		AtSec: 0.5, Kind: InjectMigrate, Workload: 0, CPUs: []int{2, 3},
+	})
+	perturbed.Workloads[0].CPUs[0] = 2
+	if _, err := Run(perturbed); err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := Run(template.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Digest != base.Digest {
+		t.Fatalf("perturbing one clone changed its sibling: %s vs %s",
+			again.Digest[:12], base.Digest[:12])
+	}
+	if len(template.Injects) != 0 || template.Workloads[0].CPUs[0] != 0 {
+		t.Fatalf("template itself was mutated: %+v", template)
+	}
+}

@@ -182,11 +182,6 @@ type Spec struct {
 	// The seed in Sched, if set, takes precedence over Seed.
 	Sched *sched.Config
 	DVFS  *dvfs.Config
-	// ForceTickLoop boots the machine on the legacy fixed-tick step loop
-	// instead of the event-driven core. Only the differential
-	// equivalence suite should set this; it exists for one PR while the
-	// two cores are proven identical.
-	ForceTickLoop bool
 
 	// Workloads is the workload mix.
 	Workloads []WorkloadSpec
@@ -223,6 +218,56 @@ type Spec struct {
 	// machines and fail unless both runs digest identically. Ignored by
 	// RunOn (a warm machine is not reproducible from the spec alone).
 	VerifyDeterminism bool
+}
+
+// Clone returns a deep copy of the spec that shares no mutable slices
+// with the original: Workloads (including each workload's CPU pin list),
+// Injects (including their CPU lists), StepHooks, Invariants and the
+// Measure spec all get fresh backing arrays. Harnesses that expand one
+// template Spec into many machines (the fleet generator) clone per
+// machine, so appending a StepHook or rewriting a CPU list on one
+// machine can never alias into another running on a different worker.
+//
+// Two reference-typed fields are copied by reference and need care when
+// a template fans out: Invariant instances hold per-run state (leave
+// Invariants nil so every run builds a fresh Standard() set), and
+// Tracer/Stop/MachineFn closures are shared as-is.
+func (s Spec) Clone() Spec {
+	out := s
+	if s.Workloads != nil {
+		out.Workloads = make([]WorkloadSpec, len(s.Workloads))
+		for i, w := range s.Workloads {
+			out.Workloads[i] = w
+			out.Workloads[i].CPUs = append([]int(nil), w.CPUs...)
+		}
+	}
+	if s.Injects != nil {
+		out.Injects = make([]Inject, len(s.Injects))
+		for i, inj := range s.Injects {
+			out.Injects[i] = inj
+			out.Injects[i].CPUs = append([]int(nil), inj.CPUs...)
+		}
+	}
+	if s.StepHooks != nil {
+		out.StepHooks = append([]StepHook(nil), s.StepHooks...)
+	}
+	if s.Invariants != nil {
+		out.Invariants = append([]Invariant(nil), s.Invariants...)
+	}
+	if s.Measure != nil {
+		m := *s.Measure
+		m.Events = append([]string(nil), s.Measure.Events...)
+		out.Measure = &m
+	}
+	if s.Sched != nil {
+		c := *s.Sched
+		out.Sched = &c
+	}
+	if s.DVFS != nil {
+		c := *s.DVFS
+		out.DVFS = &c
+	}
+	return out
 }
 
 // TypeCounters holds system-wide counter totals for one core type, the
@@ -427,7 +472,6 @@ func Boot(spec Spec) (*sim.Machine, error) {
 	if spec.DVFS != nil {
 		cfg.DVFS = *spec.DVFS
 	}
-	cfg.ForceTickLoop = spec.ForceTickLoop
 	return sim.New(m, cfg), nil
 }
 

@@ -25,10 +25,11 @@
 // and the hooks. Subsystem calls that would provably be no-ops — per-CPU
 // scanning, scheduler ticks between rebalance deadlines, governor updates
 // between control boundaries — are skipped, and the skipped calls are
-// exactly the ones the event queue proves have no deadline due. Both
-// paths produce byte-identical observable state to the legacy fixed-tick
-// loop (kept behind Config.ForceTickLoop for one PR); the differential
-// suite in equivalence_test.go and the golden scenario digests pin this.
+// exactly the ones the event queue proves have no deadline due. The
+// golden scenario digests pin the observable behavior of both paths;
+// they were proven byte-identical to the original fixed-tick reference
+// loop by the differential equivalence suite before that loop was
+// deleted.
 //
 // Everything is deterministic: all randomness flows from seeds in the
 // configs, and no wall-clock time is consulted anywhere.
@@ -65,11 +66,6 @@ type Config struct {
 	Sched sched.Config
 	// DVFS configures the frequency governor.
 	DVFS dvfs.Config
-	// ForceTickLoop runs the legacy fixed-tick step loop instead of the
-	// event-driven core. Escape hatch kept for one PR while the
-	// differential equivalence suite proves the two produce identical
-	// behavior; do not build on it.
-	ForceTickLoop bool
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -152,8 +148,7 @@ type Machine struct {
 // registration order with the machine in a consistent post-tick state
 // (Now() already advanced); they are how external harnesses check
 // invariants, inject faults and schedule work without owning the step
-// loop. Hooks fire at every tick boundary on both the event core and the
-// legacy tick loop.
+// loop. Hooks fire at every tick boundary.
 type StepHook func(*Machine)
 
 // hookEntry is one registered StepHook. Removal nils h; the slice is
@@ -212,10 +207,8 @@ func New(m *hw.Machine, cfg Config) *Machine {
 	for _, e := range []*event{&s.evBalance, &s.evDVFS, &s.evKernel, &s.evPowerCap, &s.evThermal} {
 		e.pos = -1
 	}
-	if !cfg.ForceTickLoop {
-		s.armBalanceEvent()
-		s.armDVFSEvent()
-	}
+	s.armBalanceEvent()
+	s.armDVFSEvent()
 	return s
 }
 
@@ -355,17 +348,16 @@ func (s *Machine) EnergyUJ() uint64 {
 // registration order. It returns a cancel function (idempotent; a no-op
 // once the callback has fired). This is the door through which harnesses
 // and tasks register future phase changes and completions with the event
-// core; it also works on ForceTickLoop machines.
+// core.
 func (s *Machine) ScheduleAt(at float64, fn func(*Machine)) (cancel func()) {
 	e := &event{kind: evOneShot, fn: fn, pos: -1}
 	s.eq.schedule(e, at)
 	return func() { s.eq.cancel(e) }
 }
 
-// HasPendingEvents reports whether any machine-level event is queued. On
-// an event-core machine the recurring subsystem deadlines (rebalance,
-// DVFS) are always armed, so this is false only on ForceTickLoop
-// machines with no ScheduleAt one-shots outstanding.
+// HasPendingEvents reports whether any machine-level event is queued.
+// The recurring subsystem deadlines (rebalance, DVFS) are always armed,
+// so this is true for the whole life of a machine.
 func (s *Machine) HasPendingEvents() bool { return s.eq.Len() > 0 }
 
 // PeekNextEventTime returns the simulated time of the earliest queued
@@ -396,13 +388,7 @@ func (s *Machine) ProcessNextEvent() float64 {
 }
 
 // Step advances the simulation by one tick.
-func (s *Machine) Step() {
-	if s.cfg.ForceTickLoop {
-		s.stepLegacy()
-		return
-	}
-	s.stepEvent()
-}
+func (s *Machine) Step() { s.stepEvent() }
 
 // stepEvent is the event-core tick: collect the events due in this tick,
 // then run either the idle path (scheduler quiescent, skipping work the
@@ -649,90 +635,6 @@ func (s *Machine) armThermalEvent() {
 		return
 	}
 	s.eq.schedule(&s.evThermal, s.clampFuture(s.now+eta))
-}
-
-// stepLegacy is the original fixed-tick step, kept verbatim behind
-// Config.ForceTickLoop as the reference implementation the differential
-// equivalence suite compares the event core against.
-func (s *Machine) stepLegacy() {
-	dt := s.cfg.TickSec
-	s.Sched.Tick(s.now)
-
-	// Determine per-CPU occupancy to pick frequencies and SMT factors.
-	type slot struct {
-		proc   *sched.Process
-		active bool
-	}
-	slots := make([]slot, s.HW.NumCPUs())
-	for cpu := range slots {
-		p := s.Sched.RunningOn(cpu)
-		slots[cpu] = slot{proc: p, active: p != nil && p.Task.Ready()}
-	}
-
-	// Per-physical-core activity for the power model.
-	coreActivity := map[int]float64{}
-	coreFreq := map[int]float64{}
-
-	for cpu := range slots {
-		freq := s.Governor.FreqMHz(cpu, slots[cpu].active)
-		s.freqMHz[cpu] = freq
-		phys := s.HW.CPUs[cpu].PhysCore
-		if f, ok := coreFreq[phys]; !ok || freq > f {
-			coreFreq[phys] = freq
-		}
-		if !slots[cpu].active {
-			continue
-		}
-		throughput := 1.0
-		if sib := s.HW.SiblingOf(cpu); sib >= 0 && slots[sib].active {
-			throughput = s.HW.TypeOf(cpu).SMTThroughput
-		}
-		ctx := &workload.ExecContext{
-			CPU:        cpu,
-			Type:       s.HW.TypeOf(cpu),
-			FreqMHz:    freq,
-			Throughput: throughput,
-		}
-		stats, activity := slots[cpu].proc.Task.Run(ctx, dt)
-		s.Kernel.TaskExec(slots[cpu].proc.PID, cpu, dt, stats)
-		if activity > coreActivity[phys] {
-			coreActivity[phys] = activity
-		}
-	}
-
-	// Package power from per-core activity.
-	var coresW float64
-	seen := map[int]bool{}
-	for _, c := range s.HW.CPUs {
-		if seen[c.PhysCore] {
-			continue
-		}
-		seen[c.PhysCore] = true
-		t := s.HW.TypeOf(c.ID)
-		w := t.IdleWatts
-		if act := coreActivity[c.PhysCore]; act > 0 {
-			x := coreFreq[c.PhysCore] / t.MaxFreqMHz
-			w += t.DynWattsAtMax * act * x * x * x
-		}
-		coresW += w
-	}
-
-	s.Power.Step(coresW, dt)
-	s.Thermal.Step(s.Power.PkgPowerW(), dt)
-	s.Governor.Update(s.now, s.Power.PkgPowerW(), s.Power.CapW(), s.Thermal.TempC())
-	s.now += dt
-	s.Kernel.Advance(s.now)
-	// The legacy loop never arms recurring events, but ScheduleAt
-	// one-shots still fire at their tick boundary.
-	if s.eq.Len() > 0 {
-		for s.eq.Len() > 0 && s.eq.peek().at <= s.now+timeEps {
-			e := s.eq.pop()
-			if e.kind == evOneShot && e.fn != nil {
-				e.fn(s)
-			}
-		}
-	}
-	s.fireHooks()
 }
 
 // RunFor advances the simulation by the given number of seconds.

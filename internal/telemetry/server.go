@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hetpapi/internal/fleet"
 	"hetpapi/internal/profile"
 	"hetpapi/internal/spantrace"
 )
@@ -38,6 +39,13 @@ type Server struct {
 
 	mu       sync.RWMutex
 	machines map[string]*machineEntry
+
+	// fleet is the latest fleet roll-up report (nil until the daemon's
+	// first fleet run completes); /fleet serves it. fleetRunning flags
+	// an in-flight fleet run.
+	fleetMu      sync.RWMutex
+	fleet        *fleet.Report
+	fleetRunning bool
 }
 
 type machineEntry struct {
@@ -125,11 +133,28 @@ func (s *Server) SetRunning(machine string, running bool) {
 	}
 }
 
+// SetFleetReport publishes a fleet roll-up for /fleet to serve,
+// replacing any previous one.
+func (s *Server) SetFleetReport(r *fleet.Report) {
+	s.fleetMu.Lock()
+	s.fleet = r
+	s.fleetMu.Unlock()
+}
+
+// SetFleetRunning flips the in-flight flag /fleet reports alongside the
+// latest roll-up.
+func (s *Server) SetFleetRunning(running bool) {
+	s.fleetMu.Lock()
+	s.fleetRunning = running
+	s.fleetMu.Unlock()
+}
+
 // Handler returns the routed (and, when configured, per-request
 // timeout-wrapped) HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/health", s.handleHealth)
+	mux.HandleFunc("/fleet", s.handleFleet)
 	mux.HandleFunc("/machines", s.handleMachines)
 	mux.HandleFunc("/series", s.handleSeries)
 	mux.HandleFunc("/query", s.handleQuery)
@@ -342,6 +367,37 @@ func (s *Server) handleDegradations(w http.ResponseWriter, r *http.Request) {
 		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// FleetInfo is the /fleet response body: the latest fleet roll-up plus
+// the in-flight flag.
+type FleetInfo struct {
+	Running bool          `json:"running"`
+	Report  *fleet.Report `json:"report"`
+}
+
+// handleFleet serves the latest fleet roll-up report. The per-machine
+// results array is omitted unless results=1 is passed; the roll-up
+// aggregates, incident ledger and digest are always included. 404 until
+// the first fleet run has completed (the running flag in the error-free
+// path tells pollers one is underway).
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	s.fleetMu.RLock()
+	rep, running := s.fleet, s.fleetRunning
+	s.fleetMu.RUnlock()
+	if rep == nil {
+		if running {
+			writeJSON(w, http.StatusOK, FleetInfo{Running: true})
+			return
+		}
+		writeError(w, http.StatusNotFound, "no fleet report (daemon running without -fleet, or first run still pending)")
+		return
+	}
+	q := r.URL.Query().Get("results")
+	if q != "1" && q != "true" {
+		rep = rep.Compact()
+	}
+	writeJSON(w, http.StatusOK, FleetInfo{Running: running, Report: rep})
 }
 
 // handleTrace serves a machine's live span-trace buffer as Chrome

@@ -14,7 +14,9 @@ import (
 	"testing"
 	"time"
 
+	"hetpapi/internal/fleet"
 	"hetpapi/internal/profile"
+	"hetpapi/internal/scenario"
 	"hetpapi/internal/telemetry"
 	"hetpapi/internal/telemetry/client"
 )
@@ -430,5 +432,80 @@ func TestProfileEndpoint(t *testing.T) {
 	srv.AttachProfiler("mach", nil)
 	if code, _ := get("/profile?machine=mach"); code != 404 {
 		t.Fatalf("detached profiler must 404, got %d", code)
+	}
+}
+
+// TestFleetEndpoint: /fleet 404s before any report, reports the
+// in-flight flag while a run is hot, then serves the published roll-up
+// — compact by default, per-machine results with results=1.
+func TestFleetEndpoint(t *testing.T) {
+	_, srv := seededServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, _ := get("/fleet"); code != 404 {
+		t.Fatalf("no report must 404, got %d", code)
+	}
+	srv.SetFleetRunning(true)
+	if code, body := get("/fleet"); code != 200 || !strings.Contains(string(body), `"running": true`) {
+		t.Fatalf("pending run: status %d body %s", code, body)
+	}
+
+	f, err := fleet.Generate(fleet.GenConfig{
+		Machines: 3,
+		Seed:     11,
+		Templates: []fleet.Template{{Name: "spin", Weight: 1, Spec: scenario.Spec{
+			Machine: "homogeneous", MaxSeconds: 1, SamplePeriodSec: 0.25,
+			Workloads: []scenario.WorkloadSpec{{
+				Kind: scenario.WorkloadSpin, CPUs: []int{0}, Seconds: 0.2,
+			}},
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fleet.Run(context.Background(), f, fleet.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetFleetReport(rep)
+	srv.SetFleetRunning(false)
+
+	code, body := get("/fleet")
+	if code != 200 {
+		t.Fatalf("fleet fetch: status %d", code)
+	}
+	var info telemetry.FleetInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Running || info.Report == nil || info.Report.Machines != 3 ||
+		info.Report.Completed != 3 || info.Report.Digest != rep.Digest {
+		t.Fatalf("fleet body %s", body)
+	}
+	if len(info.Report.Results) != 0 {
+		t.Fatal("default /fleet response must omit per-machine results")
+	}
+
+	_, body = get("/fleet?results=1")
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Report.Results) != 3 {
+		t.Fatalf("results=1 returned %d machine results", len(info.Report.Results))
 	}
 }
