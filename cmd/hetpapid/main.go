@@ -13,6 +13,7 @@
 //	GET /trace?machine=M   live span trace as Perfetto JSON
 //	GET /profile?machine=M statistical profile as gzipped pprof proto
 //	GET /fleet             latest fleet roll-up report (with -fleet N)
+//	GET /validate          startup counter-accuracy scorecard
 //	GET /metrics           Prometheus-style text exposition
 //
 // Fault scenarios (reference scenarios carrying a Measure probe) also
@@ -25,7 +26,7 @@
 //	hetpapid [-addr :8080] [-scenarios all|name,name,...] [-loop]
 //	         [-capacity N] [-downsample K] [-shards S] [-every T]
 //	         [-request-timeout D] [-trace-capacity N]
-//	         [-profile] [-profile-period N]
+//	         [-profile] [-profile-period N] [-validate]
 //	         [-fleet N] [-fleet-seed S] [-fleet-stagger W]
 //	         [-fleet-chaos R] [-fleet-workers P]
 //
@@ -78,6 +79,7 @@ import (
 	"hetpapi/internal/scenario"
 	"hetpapi/internal/spantrace"
 	"hetpapi/internal/telemetry"
+	"hetpapi/internal/validate"
 )
 
 type config struct {
@@ -92,6 +94,7 @@ type config struct {
 	traceCap   int
 	profile    bool
 	profPeriod uint64
+	validate   bool
 
 	fleetN       int
 	fleetSeed    int64
@@ -117,6 +120,8 @@ func main() {
 		"attach the per-core-type statistical profiler, served at /profile")
 	flag.Uint64Var(&cfg.profPeriod, "profile-period", 0,
 		"profiler sampling period in cycles (0 = default)")
+	flag.BoolVar(&cfg.validate, "validate", true,
+		"run the counter-accuracy validation suite at startup and serve the scorecard at /validate")
 	flag.IntVar(&cfg.fleetN, "fleet", 0,
 		"also run an N-machine fleet (default template mix) and serve its roll-up at /fleet (0 disables)")
 	flag.Int64Var(&cfg.fleetSeed, "fleet-seed", 1, "fleet seed (reruns derive follow-up seeds from it in loop mode)")
@@ -223,6 +228,25 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready chan<- string) e
 		go func() {
 			defer wg.Done()
 			collectFleet(runCtx, api, cfg, logw)
+		}()
+	}
+
+	if cfg.validate {
+		// Startup attestation: run the closed-form oracle suite over
+		// every standard model and publish the accuracy scorecard at
+		// /validate. Runs off the serving path — the endpoint 404s until
+		// the suite (tens of milliseconds) completes.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			card, err := validate.BuildScorecard(validate.StandardSources())
+			if err != nil {
+				fmt.Fprintf(logw, "hetpapid: startup validation failed: %v\n", err)
+				return
+			}
+			api.SetScorecard(card)
+			fmt.Fprintf(logw, "hetpapid: validation scorecard: %d rows, %d failed, worst clean rel err %s (digest %s)\n",
+				card.Summary.Rows, card.Summary.Failed, card.Summary.MaxCleanRel, card.Digest[:12])
 		}()
 	}
 

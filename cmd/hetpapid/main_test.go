@@ -13,6 +13,7 @@ import (
 	"hetpapi/internal/profile"
 	"hetpapi/internal/telemetry"
 	"hetpapi/internal/telemetry/client"
+	"hetpapi/internal/validate"
 )
 
 func TestResolveSpecs(t *testing.T) {
@@ -261,6 +262,76 @@ func TestDaemonFleetEndpoint(t *testing.T) {
 	}
 	if info.Report.Completed+info.Report.Stopped+info.Report.Skipped != 8 {
 		t.Fatalf("fleet outcomes do not cover all machines: %+v", info.Report)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestDaemonValidateEndpoint: a daemon started with -validate must
+// publish a passing all-model scorecard at /validate shortly after
+// startup.
+func TestDaemonValidateEndpoint(t *testing.T) {
+	cfg := config{
+		addr:       "127.0.0.1:0",
+		scenarios:  "homogeneous-powercap",
+		capacity:   256,
+		downsample: 1,
+		shards:     2,
+		every:      1,
+		loop:       false,
+		reqTimeout: 5 * time.Second,
+		validate:   true,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, testWriter{t}, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	var card validate.Scorecard
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/validate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == 200 {
+			if err := json.Unmarshal(body, &card); err != nil {
+				t.Fatalf("bad /validate body %s: %v", body, err)
+			}
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if card.Summary.Rows == 0 {
+		t.Fatal("no scorecard appeared at /validate")
+	}
+	if card.Summary.Failed != 0 {
+		t.Fatalf("startup scorecard has %d failing rows", card.Summary.Failed)
+	}
+	if len(card.Models) != 4 || len(card.Digest) != 64 {
+		t.Fatalf("scorecard models %v digest %q", card.Models, card.Digest)
 	}
 
 	cancel()

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGatePasses(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"run", "-model", "raptorlake", "-max-rel-err", "0.02"}, &out); err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"MODEL", "instructions", "0 failed", "digest: "} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunUnknownModel(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"run", "-model", "pentium4"}, &out); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+// TestScorecardMatchesCommittedGolden: the CLI artifact must be the same
+// bytes as the golden committed by the internal/validate test suite.
+func TestScorecardMatchesCommittedGolden(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"scorecard", "-model", "orangepi800", "-o", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "scorecard_orangepi800.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "internal", "validate", "testdata", "scorecard_orangepi800.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("CLI scorecard differs from the committed golden artifact")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	golden := filepath.Join("..", "..", "internal", "validate", "testdata", "scorecard_raptorlake.golden.json")
+	var out bytes.Buffer
+	if err := run([]string{"diff", golden, golden}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "identical") {
+		t.Errorf("identical diff not reported: %s", out.String())
+	}
+
+	// A doctored copy must show up as a changed row.
+	b, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := bytes.Replace(b, []byte(`"observed": "`), []byte(`"observed": "9`), 1)
+	path := filepath.Join(t.TempDir(), "doctored.json")
+	if err := os.WriteFile(path, doctored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run([]string{"diff", golden, path}, &out)
+	if err == nil {
+		t.Error("diff of differing scorecards should exit non-zero")
+	}
+	if !strings.Contains(out.String(), "~ ") || !strings.Contains(out.String(), "rows changed") {
+		t.Errorf("doctored diff not detected:\n%s", out.String())
+	}
+}
+
+func TestCalibrateConverges(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"calibrate", "-model", "orangepi800", "-seed", "7"}, &out); err != nil {
+		t.Fatalf("calibrate failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "converged true") {
+		t.Errorf("convergence not reported:\n%s", out.String())
+	}
+}

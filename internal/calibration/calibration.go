@@ -1,0 +1,397 @@
+// Package calibration fits machine-model parameters to published
+// performance targets. The validation suite (internal/validate) answers
+// "does the stack measure a known machine correctly?"; this package
+// answers the inverse question a modeler faces when standing up a new
+// platform: given published figures — sustained Gflops, package energy,
+// cycle counts at a pinned operating point — which model constants
+// reproduce them? The fitting loop adjusts one core type's calibratable
+// parameters (BaseIPC, LLC miss penalty, HPL efficiency, dynamic power)
+// by re-running the oracle workloads through the full stack on a cloned
+// machine until every observable lands within tolerance of its target.
+package calibration
+
+import (
+	"fmt"
+	"math"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/scenario"
+	"hetpapi/internal/validate"
+	"hetpapi/internal/workload"
+)
+
+// Params is the calibratable subset of one core type's model constants —
+// the knobs a modeler cannot read off a datasheet and must fit.
+type Params struct {
+	TypeName string `json:"type"`
+	// BaseIPC governs scalar retirement (loop cycles).
+	BaseIPC float64 `json:"base_ipc"`
+	// LLCMissPenaltyCycles governs the exposed DRAM latency (stride cycles).
+	LLCMissPenaltyCycles float64 `json:"llc_miss_penalty_cycles"`
+	// HPLEfficiency governs sustained DGEMM throughput (Gflops).
+	HPLEfficiency float64 `json:"hpl_efficiency"`
+	// DynWattsAtMax governs the active power draw (spin energy).
+	DynWattsAtMax float64 `json:"dyn_watts_at_max"`
+}
+
+// ParamsOf extracts the calibratable parameters of a core type.
+func ParamsOf(t *hw.CoreType) Params {
+	return Params{
+		TypeName:             t.Name,
+		BaseIPC:              t.BaseIPC,
+		LLCMissPenaltyCycles: t.LLCMissPenaltyCycles,
+		HPLEfficiency:        t.HPLEfficiency,
+		DynWattsAtMax:        t.DynWattsAtMax,
+	}
+}
+
+func applyParams(t *hw.CoreType, p Params) {
+	t.BaseIPC = p.BaseIPC
+	t.LLCMissPenaltyCycles = p.LLCMissPenaltyCycles
+	t.HPLEfficiency = p.HPLEfficiency
+	t.DynWattsAtMax = p.DynWattsAtMax
+}
+
+// Observables are the measured figures one core type is fitted against.
+// Each maps to exactly one parameter (in fitting order): loop cycles to
+// BaseIPC, stride cycles to the LLC miss penalty, Gflops to the HPL
+// efficiency, spin energy to the dynamic power coefficient.
+type Observables struct {
+	LoopCycles   float64 `json:"loop_cycles"`
+	StrideCycles float64 `json:"stride_cycles"`
+	Gflops       float64 `json:"gflops"`
+	SpinEnergyJ  float64 `json:"spin_energy_j"`
+}
+
+// TypeTargets freezes one core type's target figures together with the
+// exact workload geometry they were measured under. The geometry must be
+// frozen here: the oracle case builder sizes workloads from the machine's
+// own constants, so rebuilding cases from a candidate machine would move
+// the goalposts with every parameter update.
+type TypeTargets struct {
+	TypeName string
+	// Loop, Stride and Spin are the frozen oracle cases; the fit swaps
+	// their Machine for each candidate before running.
+	Loop   validate.Case
+	Stride validate.Case
+	Spin   validate.Case
+	// HPLCPU is the pinned CPU of the single-threaded HPL run.
+	HPLCPU int
+	// Target holds the published (reference-measured) figures.
+	Target Observables
+}
+
+// TargetSet is the full target table for one machine model.
+type TargetSet struct {
+	Model string
+	Types []TypeTargets
+}
+
+// strategyFor picks the HPL tuning strategy matching the model's ISA.
+func strategyFor(model string) workload.Strategy {
+	switch model {
+	case "orangepi800", "dimensity9000":
+		return workload.OpenBLASArm()
+	default:
+		return workload.OpenBLASx86()
+	}
+}
+
+// hplSpec builds the small pinned single-core HPL scenario whose Gflops
+// figure calibrates HPLEfficiency. MachineFn overrides the registry so
+// the same geometry runs against reference and candidate machines.
+func hplSpec(model, typeName string, cpu int, mk func() *hw.Machine) scenario.Spec {
+	return scenario.Spec{
+		Name:            fmt.Sprintf("calibrate-hpl-%s-%s", model, typeName),
+		Machine:         model,
+		MachineFn:       mk,
+		Seed:            17,
+		MaxSeconds:      240,
+		SamplePeriodSec: 0.5,
+		Workloads: []scenario.WorkloadSpec{{
+			Kind:     scenario.WorkloadHPL,
+			Name:     "hpl",
+			CPUs:     []int{cpu},
+			N:        2048,
+			NB:       128,
+			Strategy: strategyFor(model),
+			Seed:     1,
+		}},
+	}
+}
+
+// runCase runs a frozen oracle case against a candidate machine and
+// returns the clean counter/energy observables.
+func runCase(c validate.Case, m *hw.Machine) (*validate.RunResult, error) {
+	c.Machine = m.Clone()
+	return validate.Run(&c, validate.ModeClean)
+}
+
+// observe measures every target figure of one core type on a candidate.
+func observe(model string, tt *TypeTargets, cand *hw.Machine) (Observables, error) {
+	var obs Observables
+	res, err := runCase(tt.Loop, cand)
+	if err != nil {
+		return obs, err
+	}
+	obs.LoopCycles = float64(res.Events[validate.EvCycles].Final)
+	if res, err = runCase(tt.Stride, cand); err != nil {
+		return obs, err
+	}
+	obs.StrideCycles = float64(res.Events[validate.EvCycles].Final)
+	if res, err = runCase(tt.Spin, cand); err != nil {
+		return obs, err
+	}
+	obs.SpinEnergyJ = res.EnergyJ
+	sres, err := scenario.Run(hplSpec(model, tt.TypeName, tt.HPLCPU, func() *hw.Machine { return cand.Clone() }))
+	if err != nil {
+		return obs, err
+	}
+	if !sres.Completed {
+		return obs, fmt.Errorf("calibration HPL on %s/%s did not complete", model, tt.TypeName)
+	}
+	obs.Gflops = sres.Workloads[0].Gflops
+	return obs, nil
+}
+
+// MeasureTargets runs the oracle workloads on a pristine reference
+// machine and freezes the results as the model's published targets.
+func MeasureTargets(model string, mk func() *hw.Machine) (*TargetSet, error) {
+	m := mk()
+	set := &TargetSet{Model: model}
+	cases := validate.Cases(model, m)
+	for ti := range m.Types {
+		tt := TypeTargets{TypeName: m.Types[ti].Name}
+		found := 0
+		for _, c := range cases {
+			if c.TypeIdx != ti {
+				continue
+			}
+			switch c.Workload {
+			case validate.WorkLoop:
+				tt.Loop = c
+			case validate.WorkStride:
+				tt.Stride = c
+			case validate.WorkSpin:
+				tt.Spin = c
+			}
+			tt.HPLCPU = c.CPU
+			found++
+		}
+		if found < 3 {
+			continue // core type with no CPUs
+		}
+		obs, err := observe(model, &tt, m)
+		if err != nil {
+			return nil, fmt.Errorf("measuring targets for %s/%s: %w", model, tt.TypeName, err)
+		}
+		tt.Target = obs
+		set.Types = append(set.Types, tt)
+	}
+	if len(set.Types) == 0 {
+		return nil, fmt.Errorf("model %s has no calibratable core types", model)
+	}
+	return set, nil
+}
+
+// Options tunes the fitting loop.
+type Options struct {
+	// MaxIters bounds the coordinate-descent sweeps per core type
+	// (default 8).
+	MaxIters int
+	// TolRel is the relative tolerance every observable must meet
+	// (default 0.01).
+	TolRel float64
+}
+
+func (o *Options) defaults() {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 8
+	}
+	if o.TolRel <= 0 {
+		o.TolRel = 0.01
+	}
+}
+
+// TypeReport is the fit outcome for one core type.
+type TypeReport struct {
+	TypeName string  `json:"type"`
+	Initial  Params  `json:"initial"`
+	Fitted   Params  `json:"fitted"`
+	Iters    int     `json:"iters"`
+	Residual float64 `json:"residual"`
+	// Final holds the observables at the fitted parameters.
+	Final     Observables `json:"final"`
+	Target    Observables `json:"target"`
+	Converged bool        `json:"converged"`
+}
+
+// Report is the full fit outcome.
+type Report struct {
+	Model string `json:"model"`
+	// Machine is the fitted clone; the caller's candidate is untouched.
+	Machine     *hw.Machine  `json:"-"`
+	Types       []TypeReport `json:"types"`
+	MaxResidual float64      `json:"max_residual"`
+	Converged   bool         `json:"converged"`
+}
+
+// residual is the worst relative miss across the four observables.
+func residual(obs, want Observables) float64 {
+	rel := func(o, w float64) float64 {
+		if w == 0 {
+			return math.Abs(o)
+		}
+		return math.Abs(o-w) / w
+	}
+	r := rel(obs.LoopCycles, want.LoopCycles)
+	r = math.Max(r, rel(obs.StrideCycles, want.StrideCycles))
+	r = math.Max(r, rel(obs.Gflops, want.Gflops))
+	r = math.Max(r, rel(obs.SpinEnergyJ, want.SpinEnergyJ))
+	return r
+}
+
+func clamp(v, lo, hi float64) float64 { return math.Min(hi, math.Max(lo, v)) }
+
+// strideCyclesAt evaluates the stride observable at a trial penalty.
+func strideCyclesAt(tt *TypeTargets, cand *hw.Machine, ti int, pen float64) (float64, error) {
+	saved := cand.Types[ti].LLCMissPenaltyCycles
+	cand.Types[ti].LLCMissPenaltyCycles = pen
+	res, err := runCase(tt.Stride, cand)
+	cand.Types[ti].LLCMissPenaltyCycles = saved
+	if err != nil {
+		return 0, err
+	}
+	return float64(res.Events[validate.EvCycles].Final), nil
+}
+
+// spinEnergyAt evaluates the spin observable at a trial dynamic power.
+func spinEnergyAt(tt *TypeTargets, cand *hw.Machine, ti int, dyn float64) (float64, error) {
+	saved := cand.Types[ti].DynWattsAtMax
+	cand.Types[ti].DynWattsAtMax = dyn
+	res, err := runCase(tt.Spin, cand)
+	cand.Types[ti].DynWattsAtMax = saved
+	if err != nil {
+		return 0, err
+	}
+	return res.EnergyJ, nil
+}
+
+// secant takes one secant step toward g(x) = target given two evaluated
+// points; falls back to x1 when the slope degenerates.
+func secant(x1, g1, x2, g2, target float64) float64 {
+	slope := (g2 - g1) / (x2 - x1)
+	if slope == 0 || math.IsNaN(slope) || math.IsInf(slope, 0) {
+		return x1
+	}
+	return x1 + (target-g1)/slope
+}
+
+// Fit runs coordinate descent on every core type of the candidate: each
+// sweep updates BaseIPC from the loop cycles (multiplicative — cycles
+// scale as 1/IPC), the LLC miss penalty from the stride cycles (secant —
+// cycles are affine in the penalty, so one step lands), the HPL
+// efficiency from the Gflops figure (multiplicative) and the dynamic
+// power from the spin energy (secant — energy is affine in the
+// coefficient). The candidate is cloned; the fitted machine is returned
+// in the report.
+func Fit(targets *TargetSet, candidate *hw.Machine, opt Options) (*Report, error) {
+	opt.defaults()
+	fitted := candidate.Clone()
+	rep := &Report{Model: targets.Model, Machine: fitted, Converged: true}
+	for i := range targets.Types {
+		tt := &targets.Types[i]
+		ti := -1
+		for j := range fitted.Types {
+			if fitted.Types[j].Name == tt.TypeName {
+				ti = j
+				break
+			}
+		}
+		if ti < 0 {
+			return nil, fmt.Errorf("candidate machine has no core type %q", tt.TypeName)
+		}
+		t := &fitted.Types[ti]
+		tr := TypeReport{TypeName: tt.TypeName, Initial: ParamsOf(t), Target: tt.Target}
+
+		for tr.Iters = 0; tr.Iters < opt.MaxIters; tr.Iters++ {
+			obs, err := observe(targets.Model, tt, fitted)
+			if err != nil {
+				return nil, fmt.Errorf("fit %s/%s: %w", targets.Model, tt.TypeName, err)
+			}
+			tr.Final, tr.Residual = obs, residual(obs, tt.Target)
+			if tr.Residual <= opt.TolRel {
+				tr.Converged = true
+				break
+			}
+
+			// BaseIPC: loop cycles = instructions/IPC.
+			if obs.LoopCycles > 0 && tt.Target.LoopCycles > 0 {
+				t.BaseIPC = clamp(t.BaseIPC*obs.LoopCycles/tt.Target.LoopCycles, 0.05, 32)
+			}
+
+			// LLC miss penalty: secant on the (affine) stride cycles,
+			// evaluated with the updated IPC.
+			pen := t.LLCMissPenaltyCycles
+			g1, err := strideCyclesAt(tt, fitted, ti, pen)
+			if err != nil {
+				return nil, err
+			}
+			pen2 := pen*1.25 + 10
+			g2, err := strideCyclesAt(tt, fitted, ti, pen2)
+			if err != nil {
+				return nil, err
+			}
+			t.LLCMissPenaltyCycles = clamp(secant(pen, g1, pen2, g2, tt.Target.StrideCycles), 1, 5000)
+
+			// HPL efficiency: Gflops scale with the sustained fraction.
+			if obs.Gflops > 0 && tt.Target.Gflops > 0 {
+				t.HPLEfficiency = clamp(t.HPLEfficiency*tt.Target.Gflops/obs.Gflops, 0.01, 1)
+			}
+
+			// Dynamic power: secant on the (affine) spin energy.
+			dyn := t.DynWattsAtMax
+			e1, err := spinEnergyAt(tt, fitted, ti, dyn)
+			if err != nil {
+				return nil, err
+			}
+			dyn2 := dyn*1.25 + 0.5
+			e2, err := spinEnergyAt(tt, fitted, ti, dyn2)
+			if err != nil {
+				return nil, err
+			}
+			t.DynWattsAtMax = clamp(secant(dyn, e1, dyn2, e2, tt.Target.SpinEnergyJ), 0.05, 500)
+		}
+		tr.Fitted = ParamsOf(t)
+		rep.Types = append(rep.Types, tr)
+		rep.MaxResidual = math.Max(rep.MaxResidual, tr.Residual)
+		rep.Converged = rep.Converged && tr.Converged
+	}
+	return rep, nil
+}
+
+// Perturb returns a clone with every core type's calibratable parameters
+// scaled by deterministic pseudo-random factors in [0.8, 1.25] — the
+// self-test harness for the fitting loop (fit the perturbed machine back
+// to the pristine targets and the fit must recover them).
+func Perturb(m *hw.Machine, seed int64) *hw.Machine {
+	out := m.Clone()
+	x := uint64(seed)*2862933555777941757 + 3037000493
+	next := func() float64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		frac := float64(x>>11) / float64(1<<53)
+		return 0.8 + 0.45*frac
+	}
+	for i := range out.Types {
+		t := &out.Types[i]
+		t.BaseIPC *= next()
+		if t.LLCMissPenaltyCycles > 0 {
+			t.LLCMissPenaltyCycles *= next()
+		} else {
+			t.LLCMissPenaltyCycles = workload.DefaultLLCMissPenaltyCycles * next()
+		}
+		t.HPLEfficiency = clamp(t.HPLEfficiency*next(), 0.01, 1)
+		t.DynWattsAtMax *= next()
+	}
+	return out
+}

@@ -110,8 +110,10 @@ PAPI_L1_DCM,arm_cortex_a710,L1D_CACHE_REFILL
 PAPI_L1_DCM,arm_cortex_a510,L1D_CACHE_REFILL
 PAPI_L3_TCA,arm_cortex_x2,L3D_CACHE
 PAPI_L3_TCA,arm_cortex_a710,L3D_CACHE
+PAPI_L3_TCA,arm_cortex_a510,L2D_CACHE
 PAPI_L3_TCM,arm_cortex_x2,L3D_CACHE_REFILL
 PAPI_L3_TCM,arm_cortex_a710,L3D_CACHE_REFILL
+PAPI_L3_TCM,arm_cortex_a510,L2D_CACHE_REFILL
 PAPI_LD_INS,arm_cortex_x2,LD_RETIRED
 PAPI_LD_INS,arm_cortex_a710,LD_RETIRED
 PAPI_LD_INS,arm_cortex_a510,LD_RETIRED
@@ -130,6 +132,7 @@ PAPI_L3_TCH,arm_cortex_a72,L2D_CACHE-L2D_CACHE_REFILL
 PAPI_L3_TCH,arm_cortex_a53,L2D_CACHE-L2D_CACHE_REFILL
 PAPI_L3_TCH,arm_cortex_x2,L3D_CACHE-L3D_CACHE_REFILL
 PAPI_L3_TCH,arm_cortex_a710,L3D_CACHE-L3D_CACHE_REFILL
+PAPI_L3_TCH,arm_cortex_a510,L2D_CACHE-L2D_CACHE_REFILL
 `
 
 // loadPresets parses presetCSV and keeps the rows whose PMU models are

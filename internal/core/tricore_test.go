@@ -117,9 +117,10 @@ func TestTriCorePartialPresets(t *testing.T) {
 	if info := l.QueryPreset(PresetResStl); !info.Available || !info.Partial || len(info.Natives) != 2 {
 		t.Fatalf("PAPI_RES_STL on tri-core = %+v", info)
 	}
-	// L3 events exist on X2 and A710 only (the A510 has no L3 events in
-	// its table): partial with two natives.
-	if info := l.QueryPreset(PresetL3TCM); !info.Available || !info.Partial {
+	// L3 events cover all three types: X2 and A710 count the shared L3
+	// directly, while the A510 maps to its architectural L2D events (the
+	// deepest level its PMU can count, same convention as A53/A72).
+	if info := l.QueryPreset(PresetL3TCM); !info.Available || info.Partial || len(info.Natives) != 3 {
 		t.Fatalf("PAPI_L3_TCM on tri-core = %+v", info)
 	}
 }

@@ -10,76 +10,79 @@ package hw
 // across three natives, and three-way detection groupings.
 func Dimensity9000() *Machine {
 	little := CoreType{
-		Name:             "LITTLE",
-		Microarch:        "Cortex-A510",
-		PfmName:          "arm_cortex_a510",
-		Class:            Efficiency,
-		PMU:              PMUSpec{Name: "armv9_cortex_a510", PerfType: 8, NumGP: 6, NumFixed: 1, FixedEvents: []string{"cycles"}},
-		MinFreqMHz:       500,
-		MaxFreqMHz:       1800,
-		BaseFreqMHz:      1800,
-		FreqStepMHz:      100,
-		ThreadsPerCore:   1,
-		FlopsPerCycle:    4,
-		HPLEfficiency:    0.72,
-		BaseIPC:          1.1,
-		IssueWidth:       3,
-		VecFlopsPerInstr: 4,
-		SMTThroughput:    1.0,
-		Capacity:         250,
-		IdleWatts:        0.02,
-		DynWattsAtMax:    0.45,
-		SpinActivity:     0.30,
-		L1DKB:            32,
-		L2KB:             256,
+		Name:                 "LITTLE",
+		Microarch:            "Cortex-A510",
+		PfmName:              "arm_cortex_a510",
+		Class:                Efficiency,
+		PMU:                  PMUSpec{Name: "armv9_cortex_a510", PerfType: 8, NumGP: 6, NumFixed: 1, FixedEvents: []string{"cycles"}},
+		MinFreqMHz:           500,
+		MaxFreqMHz:           1800,
+		BaseFreqMHz:          1800,
+		FreqStepMHz:          100,
+		ThreadsPerCore:       1,
+		FlopsPerCycle:        4,
+		HPLEfficiency:        0.72,
+		BaseIPC:              1.1,
+		IssueWidth:           3,
+		VecFlopsPerInstr:     4,
+		SMTThroughput:        1.0,
+		Capacity:             250,
+		IdleWatts:            0.02,
+		DynWattsAtMax:        0.45,
+		SpinActivity:         0.30,
+		L1DKB:                32,
+		L2KB:                 256,
+		LLCMissPenaltyCycles: 160, // DRAM ~90 ns at 1.8 GHz
 	}
 	big := CoreType{
-		Name:             "big",
-		Microarch:        "Cortex-A710",
-		PfmName:          "arm_cortex_a710",
-		Class:            Performance,
-		PMU:              PMUSpec{Name: "armv9_cortex_a710", PerfType: 9, NumGP: 6, NumFixed: 1, FixedEvents: []string{"cycles"}},
-		MinFreqMHz:       600,
-		MaxFreqMHz:       2850,
-		BaseFreqMHz:      2850,
-		FreqStepMHz:      150,
-		ThreadsPerCore:   1,
-		FlopsPerCycle:    8,
-		HPLEfficiency:    0.82,
-		BaseIPC:          2.0,
-		IssueWidth:       5,
-		VecFlopsPerInstr: 4,
-		SMTThroughput:    1.0,
-		Capacity:         512,
-		IdleWatts:        0.05,
-		DynWattsAtMax:    2.2,
-		SpinActivity:     0.22,
-		L1DKB:            64,
-		L2KB:             512,
+		Name:                 "big",
+		Microarch:            "Cortex-A710",
+		PfmName:              "arm_cortex_a710",
+		Class:                Performance,
+		PMU:                  PMUSpec{Name: "armv9_cortex_a710", PerfType: 9, NumGP: 6, NumFixed: 1, FixedEvents: []string{"cycles"}},
+		MinFreqMHz:           600,
+		MaxFreqMHz:           2850,
+		BaseFreqMHz:          2850,
+		FreqStepMHz:          150,
+		ThreadsPerCore:       1,
+		FlopsPerCycle:        8,
+		HPLEfficiency:        0.82,
+		BaseIPC:              2.0,
+		IssueWidth:           5,
+		VecFlopsPerInstr:     4,
+		SMTThroughput:        1.0,
+		Capacity:             512,
+		IdleWatts:            0.05,
+		DynWattsAtMax:        2.2,
+		SpinActivity:         0.22,
+		L1DKB:                64,
+		L2KB:                 512,
+		LLCMissPenaltyCycles: 255, // DRAM ~90 ns at 2.85 GHz
 	}
 	prime := CoreType{
-		Name:             "prime",
-		Microarch:        "Cortex-X2",
-		PfmName:          "arm_cortex_x2",
-		Class:            Performance,
-		PMU:              PMUSpec{Name: "armv9_cortex_x2", PerfType: 10, NumGP: 6, NumFixed: 1, FixedEvents: []string{"cycles"}},
-		MinFreqMHz:       700,
-		MaxFreqMHz:       3050,
-		BaseFreqMHz:      3050,
-		FreqStepMHz:      150,
-		ThreadsPerCore:   1,
-		FlopsPerCycle:    8,
-		HPLEfficiency:    0.85,
-		BaseIPC:          2.6,
-		IssueWidth:       6,
-		VecFlopsPerInstr: 4,
-		SMTThroughput:    1.0,
-		Capacity:         1024,
-		IdleWatts:        0.08,
-		DynWattsAtMax:    3.6,
-		SpinActivity:     0.20,
-		L1DKB:            64,
-		L2KB:             1024,
+		Name:                 "prime",
+		Microarch:            "Cortex-X2",
+		PfmName:              "arm_cortex_x2",
+		Class:                Performance,
+		PMU:                  PMUSpec{Name: "armv9_cortex_x2", PerfType: 10, NumGP: 6, NumFixed: 1, FixedEvents: []string{"cycles"}},
+		MinFreqMHz:           700,
+		MaxFreqMHz:           3050,
+		BaseFreqMHz:          3050,
+		FreqStepMHz:          150,
+		ThreadsPerCore:       1,
+		FlopsPerCycle:        8,
+		HPLEfficiency:        0.85,
+		BaseIPC:              2.6,
+		IssueWidth:           6,
+		VecFlopsPerInstr:     4,
+		SMTThroughput:        1.0,
+		Capacity:             1024,
+		IdleWatts:            0.08,
+		DynWattsAtMax:        3.6,
+		SpinActivity:         0.20,
+		L1DKB:                64,
+		L2KB:                 1024,
+		LLCMissPenaltyCycles: 275, // DRAM ~90 ns at 3.05 GHz
 	}
 
 	m := &Machine{

@@ -7,28 +7,29 @@ package hw
 // the multi-PMU machinery.
 func Homogeneous() *Machine {
 	core := CoreType{
-		Name:             "core",
-		Microarch:        "Skylake",
-		PfmName:          "skl",
-		Class:            Performance,
-		PMU:              PMUSpec{Name: "cpu", PerfType: 6, NumGP: 4, NumFixed: 3, FixedEvents: []string{"instructions", "cycles", "ref-cycles"}},
-		MinFreqMHz:       800,
-		MaxFreqMHz:       4200,
-		BaseFreqMHz:      3600,
-		FreqStepMHz:      100,
-		ThreadsPerCore:   2,
-		FlopsPerCycle:    16,
-		HPLEfficiency:    0.90,
-		BaseIPC:          2.0,
-		IssueWidth:       4,
-		VecFlopsPerInstr: 8,
-		SMTThroughput:    0.65,
-		Capacity:         1024,
-		IdleWatts:        0.8,
-		DynWattsAtMax:    18,
-		SpinActivity:     0.20,
-		L1DKB:            32,
-		L2KB:             256,
+		Name:                 "core",
+		Microarch:            "Skylake",
+		PfmName:              "skl",
+		Class:                Performance,
+		PMU:                  PMUSpec{Name: "cpu", PerfType: 6, NumGP: 4, NumFixed: 3, FixedEvents: []string{"instructions", "cycles", "ref-cycles"}},
+		MinFreqMHz:           800,
+		MaxFreqMHz:           4200,
+		BaseFreqMHz:          3600,
+		FreqStepMHz:          100,
+		ThreadsPerCore:       2,
+		FlopsPerCycle:        16,
+		HPLEfficiency:        0.90,
+		BaseIPC:              2.0,
+		IssueWidth:           4,
+		VecFlopsPerInstr:     8,
+		SMTThroughput:        0.65,
+		Capacity:             1024,
+		IdleWatts:            0.8,
+		DynWattsAtMax:        18,
+		SpinActivity:         0.20,
+		L1DKB:                32,
+		L2KB:                 256,
+		LLCMissPenaltyCycles: 230, // DRAM ~55 ns at 4.2 GHz
 	}
 	m := &Machine{
 		Name:     "homogeneous",

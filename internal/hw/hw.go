@@ -139,6 +139,15 @@ type CoreType struct {
 	// 4-core cluster on E-cores and A53s, but modeled per-core here).
 	L1DKB int
 	L2KB  int
+
+	// LLCMissPenaltyCycles is the average core-cycle cost of a load that
+	// misses all the way to DRAM (memory latency expressed in core cycles
+	// at the type's typical operating point). Memory-bound workloads with
+	// analytically known miss counts (workload.Stride) derive their
+	// effective CPI from it, which makes it a calibration knob: fitting it
+	// against a measured strided-access rate pins the machine model's
+	// memory latency. Zero selects a conservative default (200 cycles).
+	LLCMissPenaltyCycles float64
 }
 
 // CPU is one logical CPU (a hardware thread).
@@ -255,6 +264,31 @@ type Machine struct {
 	HasCPUCapacity bool
 	// HasCPUID reports whether the CPUID hybrid leaf (0x1A) is available.
 	HasCPUID bool
+}
+
+// Clone returns a deep copy of the machine sharing no mutable state with
+// the original: Types, CPUs, Uncore and the thermal throttle-floor map
+// all get fresh backing storage. Calibration loops clone a base model and
+// perturb the copy's parameters per fitting iteration, so a candidate
+// machine can never leak its knob values into the published preset.
+func (m *Machine) Clone() *Machine {
+	out := *m
+	out.Types = append([]CoreType(nil), m.Types...)
+	for i := range out.Types {
+		out.Types[i].PMU.FixedEvents = append([]string(nil), m.Types[i].PMU.FixedEvents...)
+	}
+	out.CPUs = append([]CPU(nil), m.CPUs...)
+	out.Uncore = append([]UncorePMU(nil), m.Uncore...)
+	for i := range out.Uncore {
+		out.Uncore[i].PMU.FixedEvents = append([]string(nil), m.Uncore[i].PMU.FixedEvents...)
+	}
+	if m.Thermal.ThrottleFloorMHz != nil {
+		out.Thermal.ThrottleFloorMHz = make(map[string]float64, len(m.Thermal.ThrottleFloorMHz))
+		for k, v := range m.Thermal.ThrottleFloorMHz {
+			out.Thermal.ThrottleFloorMHz[k] = v
+		}
+	}
+	return &out
 }
 
 // Hybrid reports whether the machine has more than one core type.

@@ -15,52 +15,54 @@ package hw
 // faster than two big cores (Figures 3 and 4).
 func OrangePi800() *Machine {
 	little := CoreType{
-		Name:             "LITTLE",
-		Microarch:        "Cortex-A53",
-		PfmName:          "arm_cortex_a53",
-		Class:            Efficiency,
-		PMU:              PMUSpec{Name: "armv8_cortex_a53", PerfType: 8, NumGP: 6, NumFixed: 1, FixedEvents: []string{"cycles"}},
-		MinFreqMHz:       408,
-		MaxFreqMHz:       1416,
-		BaseFreqMHz:      1416,
-		FreqStepMHz:      204, // RK3399 OPP table granularity
-		ThreadsPerCore:   1,
-		FlopsPerCycle:    4, // single 128-bit NEON pipe, in-order
-		HPLEfficiency:    0.70,
-		BaseIPC:          1.0,
-		IssueWidth:       2,
-		VecFlopsPerInstr: 4,
-		SMTThroughput:    1.0,
-		Capacity:         485, // capacity-dmips-mhz from the RK3399 device tree
-		IdleWatts:        0.03,
-		DynWattsAtMax:    0.40,
-		SpinActivity:     0.30,
-		L1DKB:            32,
-		L2KB:             512,
+		Name:                 "LITTLE",
+		Microarch:            "Cortex-A53",
+		PfmName:              "arm_cortex_a53",
+		Class:                Efficiency,
+		PMU:                  PMUSpec{Name: "armv8_cortex_a53", PerfType: 8, NumGP: 6, NumFixed: 1, FixedEvents: []string{"cycles"}},
+		MinFreqMHz:           408,
+		MaxFreqMHz:           1416,
+		BaseFreqMHz:          1416,
+		FreqStepMHz:          204, // RK3399 OPP table granularity
+		ThreadsPerCore:       1,
+		FlopsPerCycle:        4, // single 128-bit NEON pipe, in-order
+		HPLEfficiency:        0.70,
+		BaseIPC:              1.0,
+		IssueWidth:           2,
+		VecFlopsPerInstr:     4,
+		SMTThroughput:        1.0,
+		Capacity:             485, // capacity-dmips-mhz from the RK3399 device tree
+		IdleWatts:            0.03,
+		DynWattsAtMax:        0.40,
+		SpinActivity:         0.30,
+		L1DKB:                32,
+		L2KB:                 512,
+		LLCMissPenaltyCycles: 140, // DRAM ~100 ns at 1.4 GHz
 	}
 	big := CoreType{
-		Name:             "big",
-		Microarch:        "Cortex-A72",
-		PfmName:          "arm_cortex_a72",
-		Class:            Performance,
-		PMU:              PMUSpec{Name: "armv8_cortex_a72", PerfType: 9, NumGP: 6, NumFixed: 1, FixedEvents: []string{"cycles"}},
-		MinFreqMHz:       408,
-		MaxFreqMHz:       1800,
-		BaseFreqMHz:      1800,
-		FreqStepMHz:      204,
-		ThreadsPerCore:   1,
-		FlopsPerCycle:    8, // 2x 128-bit NEON FMA pipes, out-of-order
-		HPLEfficiency:    0.80,
-		BaseIPC:          1.8,
-		IssueWidth:       3,
-		VecFlopsPerInstr: 4,
-		SMTThroughput:    1.0,
-		Capacity:         1024,
-		IdleWatts:        0.05,
-		DynWattsAtMax:    3.0,
-		SpinActivity:     0.25,
-		L1DKB:            32,
-		L2KB:             1024,
+		Name:                 "big",
+		Microarch:            "Cortex-A72",
+		PfmName:              "arm_cortex_a72",
+		Class:                Performance,
+		PMU:                  PMUSpec{Name: "armv8_cortex_a72", PerfType: 9, NumGP: 6, NumFixed: 1, FixedEvents: []string{"cycles"}},
+		MinFreqMHz:           408,
+		MaxFreqMHz:           1800,
+		BaseFreqMHz:          1800,
+		FreqStepMHz:          204,
+		ThreadsPerCore:       1,
+		FlopsPerCycle:        8, // 2x 128-bit NEON FMA pipes, out-of-order
+		HPLEfficiency:        0.80,
+		BaseIPC:              1.8,
+		IssueWidth:           3,
+		VecFlopsPerInstr:     4,
+		SMTThroughput:        1.0,
+		Capacity:             1024,
+		IdleWatts:            0.05,
+		DynWattsAtMax:        3.0,
+		SpinActivity:         0.25,
+		L1DKB:                32,
+		L2KB:                 1024,
+		LLCMissPenaltyCycles: 180, // DRAM ~100 ns at 1.8 GHz
 	}
 
 	m := &Machine{

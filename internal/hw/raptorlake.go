@@ -16,52 +16,54 @@ package hw
 // variants are power- rather than thermally-limited on this system).
 func RaptorLake() *Machine {
 	pcore := CoreType{
-		Name:             "P-core",
-		Microarch:        "RaptorCove",
-		PfmName:          "adl_glc",
-		Class:            Performance,
-		PMU:              PMUSpec{Name: "cpu_core", PerfType: 8, NumGP: 8, NumFixed: 3, FixedEvents: []string{"instructions", "cycles", "ref-cycles"}},
-		MinFreqMHz:       800,
-		MaxFreqMHz:       5100,
-		BaseFreqMHz:      2100,
-		FreqStepMHz:      100,
-		ThreadsPerCore:   2,
-		FlopsPerCycle:    16, // 2x 256-bit FMA pipes, double precision
-		HPLEfficiency:    0.95,
-		BaseIPC:          2.4,
-		IssueWidth:       6,
-		VecFlopsPerInstr: 8,
-		SMTThroughput:    0.62,
-		Capacity:         1024,
-		IdleWatts:        0.6,
-		DynWattsAtMax:    24.7,
-		SpinActivity:     0.18,
-		L1DKB:            48,
-		L2KB:             2048,
+		Name:                 "P-core",
+		Microarch:            "RaptorCove",
+		PfmName:              "adl_glc",
+		Class:                Performance,
+		PMU:                  PMUSpec{Name: "cpu_core", PerfType: 8, NumGP: 8, NumFixed: 3, FixedEvents: []string{"instructions", "cycles", "ref-cycles"}},
+		MinFreqMHz:           800,
+		MaxFreqMHz:           5100,
+		BaseFreqMHz:          2100,
+		FreqStepMHz:          100,
+		ThreadsPerCore:       2,
+		FlopsPerCycle:        16, // 2x 256-bit FMA pipes, double precision
+		HPLEfficiency:        0.95,
+		BaseIPC:              2.4,
+		IssueWidth:           6,
+		VecFlopsPerInstr:     8,
+		SMTThroughput:        0.62,
+		Capacity:             1024,
+		IdleWatts:            0.6,
+		DynWattsAtMax:        24.7,
+		SpinActivity:         0.18,
+		L1DKB:                48,
+		L2KB:                 2048,
+		LLCMissPenaltyCycles: 260, // DRAM ~51 ns at 5.1 GHz
 	}
 	ecore := CoreType{
-		Name:             "E-core",
-		Microarch:        "Gracemont",
-		PfmName:          "adl_grt",
-		Class:            Efficiency,
-		PMU:              PMUSpec{Name: "cpu_atom", PerfType: 10, NumGP: 6, NumFixed: 3, FixedEvents: []string{"instructions", "cycles", "ref-cycles"}},
-		MinFreqMHz:       800,
-		MaxFreqMHz:       4100,
-		BaseFreqMHz:      1500,
-		FreqStepMHz:      100,
-		ThreadsPerCore:   1,
-		FlopsPerCycle:    8, // 2x 128-bit FMA equivalent throughput
-		HPLEfficiency:    0.97,
-		BaseIPC:          1.7,
-		IssueWidth:       5,
-		VecFlopsPerInstr: 8,
-		SMTThroughput:    1.0,
-		Capacity:         450,
-		IdleWatts:        0.3,
-		DynWattsAtMax:    12.0,
-		SpinActivity:     0.22,
-		L1DKB:            32,
-		L2KB:             1024,
+		Name:                 "E-core",
+		Microarch:            "Gracemont",
+		PfmName:              "adl_grt",
+		Class:                Efficiency,
+		PMU:                  PMUSpec{Name: "cpu_atom", PerfType: 10, NumGP: 6, NumFixed: 3, FixedEvents: []string{"instructions", "cycles", "ref-cycles"}},
+		MinFreqMHz:           800,
+		MaxFreqMHz:           4100,
+		BaseFreqMHz:          1500,
+		FreqStepMHz:          100,
+		ThreadsPerCore:       1,
+		FlopsPerCycle:        8, // 2x 128-bit FMA equivalent throughput
+		HPLEfficiency:        0.97,
+		BaseIPC:              1.7,
+		IssueWidth:           5,
+		VecFlopsPerInstr:     8,
+		SMTThroughput:        1.0,
+		Capacity:             450,
+		IdleWatts:            0.3,
+		DynWattsAtMax:        12.0,
+		SpinActivity:         0.22,
+		L1DKB:                32,
+		L2KB:                 1024,
+		LLCMissPenaltyCycles: 210, // DRAM ~51 ns at 4.1 GHz
 	}
 
 	m := &Machine{

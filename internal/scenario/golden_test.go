@@ -18,7 +18,18 @@ var update = flag.Bool("update", false, "regenerate the golden scenario files un
 //
 //	go test ./internal/scenario -update
 func TestGoldenTraces(t *testing.T) {
-	for _, spec := range scenario.Reference() {
+	goldenGate(t, scenario.Reference())
+}
+
+// TestGoldenValidationTraces applies the same gate to the validation
+// micro-workload scenarios — the oracle shapes the accuracy scorecard
+// (internal/validate) is built from.
+func TestGoldenValidationTraces(t *testing.T) {
+	goldenGate(t, scenario.Validation())
+}
+
+func goldenGate(t *testing.T, specs []scenario.Spec) {
+	for _, spec := range specs {
 		spec := spec
 		t.Run(spec.Name, func(t *testing.T) {
 			if !*update {

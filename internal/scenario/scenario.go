@@ -59,6 +59,10 @@ const (
 	WorkloadSpin WorkloadKind = "spin"
 	// WorkloadStream is the LLC-hostile memory streamer.
 	WorkloadStream WorkloadKind = "stream"
+	// WorkloadStride is the deterministic strided sweep whose cache
+	// events follow from the machine geometry (workload.StrideRates) —
+	// the validation suite's memory oracle.
+	WorkloadStride WorkloadKind = "stride"
 )
 
 // WorkloadSpec declares one workload of a scenario. Unused parameter
@@ -87,8 +91,14 @@ type WorkloadSpec struct {
 	Seconds float64
 
 	// Instructions and LLCMissRate parameterize WorkloadStream.
+	// Instructions also parameterizes WorkloadStride.
 	Instructions float64
 	LLCMissRate  float64
+
+	// StrideBytes and FootprintKB parameterize WorkloadStride (together
+	// with Instructions); the machine's LLCKB completes the geometry.
+	StrideBytes int
+	FootprintKB int
 }
 
 func (w *WorkloadSpec) label(i int) string {
@@ -540,6 +550,8 @@ func (sw *spawnedWorkload) build(m *hw.Machine, label string) error {
 		sw.tasks = []workload.Task{workload.NewSpin(label, w.Seconds)}
 	case WorkloadStream:
 		sw.tasks = []workload.Task{workload.NewStream(label, w.Instructions, w.LLCMissRate, w.Seed)}
+	case WorkloadStride:
+		sw.tasks = []workload.Task{workload.NewStride(label, w.Instructions, w.StrideBytes, w.FootprintKB, m.LLCKB)}
 	default:
 		return fmt.Errorf("workload %s: unknown kind %q", label, w.Kind)
 	}

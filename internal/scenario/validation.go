@@ -1,0 +1,101 @@
+package scenario
+
+// Validation returns the golden scenarios behind the counter-accuracy
+// validation suite (internal/validate): single-workload runs whose event
+// totals have closed-form oracles, pinned to one CPU at a fixed operating
+// point so the numbers are pure functions of the machine model. They
+// complement the Reference set — Reference trips on any behavior drift in
+// the rich mixed scenarios, Validation trips specifically on drift in the
+// micro-workload shapes the accuracy scorecard is built from. Digests are
+// committed under testdata/golden/ next to the Reference ones and
+// regenerated the same way (`go test ./internal/scenario -update`).
+func Validation() []Spec {
+	return []Spec{
+		{
+			// The loop oracle shape on the desktop's P-core: exact retired
+			// instruction count, cycles = instructions/BaseIPC. The probe
+			// counts clean (no multiplexing) so both readings must land
+			// within integer truncation of the closed form.
+			Name:            "validate-raptorlake-loop",
+			Machine:         "raptorlake",
+			Seed:            1,
+			MaxSeconds:      5,
+			SamplePeriodSec: 0.25,
+			Workloads: []WorkloadSpec{{
+				Kind:        WorkloadLoop,
+				Name:        "oracle-loop",
+				CPUs:        []int{0},
+				InstrPerRep: 1e6,
+				Reps:        1500,
+			}},
+			Measure: &MeasureSpec{
+				Workload: 0,
+				Events:   []string{"PAPI_TOT_INS", "PAPI_TOT_CYC"},
+			},
+		},
+		{
+			// The stride oracle shape on the board's A72: a DRAM-resident
+			// sweep (footprint 4x the 1 MiB LLC) whose LLC references and
+			// misses follow from the cache geometry. The four-event probe
+			// multiplexes, exercising the scaled-estimate path against an
+			// analytically known truth.
+			Name:            "validate-orangepi-stride",
+			Machine:         "orangepi800",
+			Seed:            2,
+			MaxSeconds:      5,
+			SamplePeriodSec: 0.25,
+			Workloads: []WorkloadSpec{{
+				Kind:         WorkloadStride,
+				Name:         "oracle-stride",
+				CPUs:         []int{4},
+				Instructions: 8e6,
+				StrideBytes:  64,
+				FootprintKB:  4096,
+			}},
+			Measure: &MeasureSpec{
+				Workload:  0,
+				Events:    []string{"PAPI_TOT_INS", "PAPI_TOT_CYC", "PAPI_L3_TCA", "PAPI_L3_TCM"},
+				Multiplex: true,
+			},
+		},
+		{
+			// The spin oracle shape on the phone SoC's prime core: a
+			// fixed-duration busy-wait whose cycle total is f*D and whose
+			// package energy integrates the power model in closed form.
+			Name:            "validate-dimensity-spin",
+			Machine:         "dimensity9000",
+			Seed:            3,
+			MaxSeconds:      5,
+			SamplePeriodSec: 0.25,
+			Workloads: []WorkloadSpec{{
+				Kind:    WorkloadSpin,
+				Name:    "oracle-spin",
+				CPUs:    []int{7},
+				Seconds: 1.5,
+			}},
+			Measure: &MeasureSpec{
+				Workload: 0,
+				Events:   []string{"PAPI_TOT_CYC"},
+			},
+		},
+		{
+			// The mixed shape on the homogeneous baseline: loop and stride
+			// side by side on separate cores, the probe on the stride. A
+			// cache-resident footprint (half the 8 MiB LLC) makes the LLC
+			// miss oracle zero — the suite's sole zero-expectation case.
+			Name:            "validate-homogeneous-mix",
+			Machine:         "homogeneous",
+			Seed:            4,
+			MaxSeconds:      6,
+			SamplePeriodSec: 0.25,
+			Workloads: []WorkloadSpec{
+				{Kind: WorkloadLoop, Name: "oracle-loop", CPUs: []int{0}, InstrPerRep: 1e6, Reps: 1200},
+				{Kind: WorkloadStride, Name: "oracle-stride", CPUs: []int{2}, Instructions: 3e7, StrideBytes: 64, FootprintKB: 4096},
+			},
+			Measure: &MeasureSpec{
+				Workload: 1,
+				Events:   []string{"PAPI_TOT_INS", "PAPI_L3_TCA", "PAPI_L3_TCM"},
+			},
+		},
+	}
+}

@@ -24,8 +24,14 @@ type Welford struct {
 	last float64
 }
 
-// Add ingests one sample.
+// Add ingests one sample. NaN samples are dropped: a single NaN would
+// otherwise poison the running mean, min and max for the rest of the
+// stream (NaN compares false against everything), and the scorecard and
+// fleet roll-ups that serve these aggregates as JSON cannot represent it.
 func (w *Welford) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
 	w.n++
 	if w.n == 1 {
 		w.min, w.max = x, x
@@ -123,7 +129,14 @@ func NewRingQuantile(capacity int) *RingQuantile {
 }
 
 // Add ingests one sample, evicting the oldest once the window is full.
+// NaN samples are dropped: the sorted view is maintained by binary
+// search (sort.SearchFloat64s), whose invariants a NaN entry silently
+// destroys — every later insert and eviction would land at wrong
+// indices and Quantile would return garbage for the window's lifetime.
 func (r *RingQuantile) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
 	if r.n == len(r.ring) {
 		old := r.ring[r.head]
 		i := sort.SearchFloat64s(r.sorted, old)
@@ -143,9 +156,11 @@ func (r *RingQuantile) Add(x float64) {
 func (r *RingQuantile) N() int { return r.n }
 
 // Quantile returns the p-th percentile (0-100) of the current window with
-// the same closest-ranks interpolation as Percentile; 0 when empty.
+// the same closest-ranks interpolation as Percentile; 0 when empty. A NaN
+// percentile returns 0 — int(NaN) is platform-defined and would index out
+// of range.
 func (r *RingQuantile) Quantile(p float64) float64 {
-	if r.n == 0 {
+	if r.n == 0 || math.IsNaN(p) {
 		return 0
 	}
 	s := r.sorted

@@ -165,3 +165,96 @@ func TestRingQuantileEmptyAndTiny(t *testing.T) {
 		t.Fatalf("size-1 window: p50=%g n=%d", r.Quantile(50), r.N())
 	}
 }
+
+// TestWelfordEdgeCases locks the degenerate-input behavior the validation
+// scorecard depends on: empty and single-sample accumulators must divide
+// cleanly, empty merges must be identities in both directions, and NaN
+// samples must not poison the stream.
+func TestWelfordEdgeCases(t *testing.T) {
+	t.Run("empty-merge-identity", func(t *testing.T) {
+		var a, b Welford
+		a.Merge(b) // empty into empty
+		if a.N() != 0 || a.Mean() != 0 || a.Stddev() != 0 || a.Sum() != 0 {
+			t.Fatalf("empty+empty: n=%d mean=%g sd=%g sum=%g", a.N(), a.Mean(), a.Stddev(), a.Sum())
+		}
+		a.Add(5)
+		a.Merge(b) // empty into loaded: identity
+		if a.N() != 1 || a.Mean() != 5 || a.Last() != 5 {
+			t.Fatalf("loaded+empty changed state: n=%d mean=%g last=%g", a.N(), a.Mean(), a.Last())
+		}
+		b.Merge(a) // loaded into empty: copy
+		if b.N() != 1 || b.Mean() != 5 || b.Min() != 5 || b.Max() != 5 {
+			t.Fatalf("empty+loaded: n=%d mean=%g min=%g max=%g", b.N(), b.Mean(), b.Min(), b.Max())
+		}
+	})
+	t.Run("single-sample", func(t *testing.T) {
+		var w Welford
+		w.Add(-3)
+		if w.Variance() != 0 || w.Stddev() != 0 {
+			t.Fatalf("single-sample variance must be 0, got %g", w.Variance())
+		}
+		if w.Mean() != -3 || w.Min() != -3 || w.Max() != -3 || w.Sum() != -3 {
+			t.Fatalf("single-sample aggregates: mean=%g min=%g max=%g sum=%g",
+				w.Mean(), w.Min(), w.Max(), w.Sum())
+		}
+	})
+	t.Run("nan-dropped", func(t *testing.T) {
+		var w Welford
+		w.Add(1)
+		w.Add(math.NaN())
+		w.Add(3)
+		if w.N() != 2 {
+			t.Fatalf("NaN must be dropped, n=%d", w.N())
+		}
+		if w.Mean() != 2 || w.Min() != 1 || w.Max() != 3 || w.Last() != 3 {
+			t.Fatalf("post-NaN aggregates: mean=%g min=%g max=%g last=%g",
+				w.Mean(), w.Min(), w.Max(), w.Last())
+		}
+		if math.IsNaN(w.Stddev()) {
+			t.Fatal("stddev poisoned by NaN")
+		}
+	})
+}
+
+// TestRingQuantileEdgeCases locks single-sample quantiles, NaN sample and
+// NaN percentile handling, and sorted-view integrity after NaN exposure.
+func TestRingQuantileEdgeCases(t *testing.T) {
+	t.Run("single-sample-all-percentiles", func(t *testing.T) {
+		r := NewRingQuantile(8)
+		r.Add(7)
+		for _, p := range []float64{0, 1, 25, 50, 75, 99, 100} {
+			if got := r.Quantile(p); got != 7 {
+				t.Fatalf("Quantile(%g) of one sample = %g, want 7", p, got)
+			}
+		}
+	})
+	t.Run("nan-sample-dropped", func(t *testing.T) {
+		r := NewRingQuantile(4)
+		r.Add(2)
+		r.Add(math.NaN())
+		r.Add(1)
+		r.Add(3)
+		if r.N() != 3 {
+			t.Fatalf("NaN must be dropped, n=%d", r.N())
+		}
+		// The sorted view must still be intact: correct order statistics.
+		if r.Quantile(0) != 1 || r.Quantile(100) != 3 || r.Quantile(50) != 2 {
+			t.Fatalf("order statistics broken after NaN: p0=%g p50=%g p100=%g",
+				r.Quantile(0), r.Quantile(50), r.Quantile(100))
+		}
+		// Evictions must keep working (index bookkeeping unharmed).
+		r.Add(4)
+		r.Add(5)
+		if r.N() != 4 || r.Quantile(100) != 5 {
+			t.Fatalf("post-NaN eviction broken: n=%d max=%g", r.N(), r.Quantile(100))
+		}
+	})
+	t.Run("nan-percentile", func(t *testing.T) {
+		r := NewRingQuantile(4)
+		r.Add(1)
+		r.Add(2)
+		if got := r.Quantile(math.NaN()); got != 0 {
+			t.Fatalf("Quantile(NaN) = %g, want 0", got)
+		}
+	})
+}

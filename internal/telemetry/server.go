@@ -14,6 +14,7 @@ import (
 	"hetpapi/internal/fleet"
 	"hetpapi/internal/profile"
 	"hetpapi/internal/spantrace"
+	"hetpapi/internal/validate"
 )
 
 // Server is the HTTP face of the store: the hetpapid daemon mounts its
@@ -27,6 +28,7 @@ import (
 //	GET /degradations[?machine=M]  latest probe degradation tallies
 //	GET /trace?machine=M   live span trace as Perfetto JSON
 //	GET /profile?machine=M statistical profile as gzipped pprof proto
+//	GET /validate          counter-accuracy scorecard (when published)
 //	GET /metrics           Prometheus-style text exposition
 //
 // Every response body is JSON except /metrics. Errors carry an APIError
@@ -46,6 +48,12 @@ type Server struct {
 	fleetMu      sync.RWMutex
 	fleet        *fleet.Report
 	fleetRunning bool
+
+	// scorecard is the counter-accuracy validation scorecard computed at
+	// daemon startup (nil when validation is disabled); /validate serves
+	// it as the deployment's measurement-trust attestation.
+	scorecardMu sync.RWMutex
+	scorecard   *validate.Scorecard
 }
 
 type machineEntry struct {
@@ -149,12 +157,21 @@ func (s *Server) SetFleetRunning(running bool) {
 	s.fleetMu.Unlock()
 }
 
+// SetScorecard publishes the counter-accuracy scorecard for /validate to
+// serve, replacing any previous one.
+func (s *Server) SetScorecard(card *validate.Scorecard) {
+	s.scorecardMu.Lock()
+	s.scorecard = card
+	s.scorecardMu.Unlock()
+}
+
 // Handler returns the routed (and, when configured, per-request
 // timeout-wrapped) HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/health", s.handleHealth)
 	mux.HandleFunc("/fleet", s.handleFleet)
+	mux.HandleFunc("/validate", s.handleValidate)
 	mux.HandleFunc("/machines", s.handleMachines)
 	mux.HandleFunc("/series", s.handleSeries)
 	mux.HandleFunc("/query", s.handleQuery)
@@ -398,6 +415,20 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		rep = rep.Compact()
 	}
 	writeJSON(w, http.StatusOK, FleetInfo{Running: running, Report: rep})
+}
+
+// handleValidate serves the startup counter-accuracy scorecard: every
+// oracle row, the overhead and sampling ledgers, the summary and the
+// reproducibility digest. 404 until the daemon has published one.
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	s.scorecardMu.RLock()
+	card := s.scorecard
+	s.scorecardMu.RUnlock()
+	if card == nil {
+		writeError(w, http.StatusNotFound, "no validation scorecard (daemon running with -validate=false, or startup validation still pending)")
+		return
+	}
+	writeJSON(w, http.StatusOK, card)
 }
 
 // handleTrace serves a machine's live span-trace buffer as Chrome

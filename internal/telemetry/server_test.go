@@ -19,6 +19,7 @@ import (
 	"hetpapi/internal/scenario"
 	"hetpapi/internal/telemetry"
 	"hetpapi/internal/telemetry/client"
+	"hetpapi/internal/validate"
 )
 
 // seededServer builds a store with known contents and a server with one
@@ -507,5 +508,50 @@ func TestFleetEndpoint(t *testing.T) {
 	}
 	if len(info.Report.Results) != 3 {
 		t.Fatalf("results=1 returned %d machine results", len(info.Report.Results))
+	}
+}
+
+func TestValidateEndpoint(t *testing.T) {
+	_, srv := seededServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/validate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("no scorecard must 404, got %d", resp.StatusCode)
+	}
+
+	src, ok := validate.SourceFor("homogeneous")
+	if !ok {
+		t.Fatal("homogeneous model missing")
+	}
+	card, err := validate.BuildScorecard([]validate.ModelSource{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetScorecard(card)
+
+	resp, err = http.Get(ts.URL + "/validate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("scorecard fetch: status %d body %s", resp.StatusCode, body)
+	}
+	var got validate.Scorecard
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("bad /validate body: %v", err)
+	}
+	if got.Digest != card.Digest || got.Summary.Rows != card.Summary.Rows || got.Summary.Failed != 0 {
+		t.Fatalf("scorecard mismatch: %+v", got.Summary)
 	}
 }

@@ -1,0 +1,132 @@
+package validate
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"testing"
+
+	"hetpapi/internal/faults"
+)
+
+// FuzzScorecard drives the oracle runner with fuzzed workload sizes,
+// modes and faults.Random schedules, and checks the scorecard
+// invariants that must survive ANY run: rows marshal to valid JSON with
+// finite numbers, and on degradation-free runs the observed error stays
+// inside the reported bound.
+func FuzzScorecard(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint32(1_000_000), int64(1), uint8(0))
+	f.Add(uint8(1), uint8(1), uint32(400_000), int64(42), uint8(1))
+	f.Add(uint8(2), uint8(2), uint32(50), int64(7), uint8(2))
+	f.Add(uint8(3), uint8(0), uint32(2_500_000), int64(-3), uint8(1))
+	f.Fuzz(func(t *testing.T, modelSel, workSel uint8, size uint32, seed int64, modeSel uint8) {
+		srcs := StandardSources()
+		src := srcs[int(modelSel)%len(srcs)]
+		m := src.Make()
+		base := Cases(src.Name, m)
+		works := []string{WorkLoop, WorkStride, WorkSpin}
+		work := works[int(workSel)%len(works)]
+		var c Case
+		for _, cand := range base {
+			if cand.Workload == work {
+				c = cand
+				break
+			}
+		}
+		// Rescale to the fuzzed work size, bounded to keep a single
+		// exec under a few simulated milliseconds.
+		switch work {
+		case WorkLoop:
+			c.InstrPerRep = float64(50_000 + size%3_000_000)
+			c.Reps = 2
+		case WorkStride:
+			c.StrideInstr = float64(20_000 + size%1_000_000)
+		case WorkSpin:
+			c.SpinSec = float64(1+size%20) * 1e-3
+		}
+
+		mode := []Mode{ModeClean, ModeMux, ModeFaults}[int(modeSel)%3]
+		var plan *faults.Plan
+		if mode == ModeFaults {
+			// A fuzzed schedule against the case's PMU. Hotplug is
+			// excluded (CPUs: 0): unplugging the pinned CPU would
+			// stall the task forever, which is a scheduler scenario,
+			// not a counter-accuracy one.
+			raw := faults.Random(seed, faults.Profile{
+				HorizonSec: c.EstDurationSec(),
+				PMUs:       []uint32{c.Type().PMU.PerfType},
+				MaxEvents:  8,
+				MinBudget:  1,
+			})
+			var keep []faults.Event
+			for _, ev := range raw.Events() {
+				switch ev.Kind {
+				case faults.KindHotplugOff, faults.KindHotplugOn:
+					continue
+				}
+				keep = append(keep, ev)
+			}
+			plan = faults.NewPlan(keep...)
+		}
+
+		res, err := RunWithPlan(&c, mode, plan)
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+
+		exp := c.Expected()
+		degradationFree := res.Degradations.BusyRetries == 0 &&
+			res.Degradations.DeferredStarts == 0 &&
+			res.Degradations.MultiplexFallback == 0 &&
+			res.Degradations.HotplugRebuilds == 0 &&
+			res.Degradations.StaleReads == 0
+		var rows []Row
+		for _, ev := range eventOrder {
+			want, ok := exp[ev]
+			if !ok {
+				continue
+			}
+			row := scoreRow(&c, mode, ev, want, res)
+			rows = append(rows, row)
+
+			rel, err := strconv.ParseFloat(row.RelErr, 64)
+			if err != nil {
+				t.Fatalf("rel_err %q unparseable: %v", row.RelErr, err)
+			}
+			if _, err := strconv.ParseFloat(row.Tolerance, 64); err != nil {
+				t.Fatalf("tolerance %q unparseable: %v", row.Tolerance, err)
+			}
+			if math.IsNaN(rel) || math.IsInf(rel, 0) {
+				t.Fatalf("%s: non-finite rel err %v", ev, rel)
+			}
+			o := res.Events[ev]
+			scheduledFully := ev == EvEnergyJ || (o.ScaleFactor == 1 && !o.Stale && !o.Degraded)
+			if degradationFree && scheduledFully {
+				var obs float64
+				if ev == EvEnergyJ {
+					obs = res.EnergyJ
+				} else {
+					obs = float64(o.Final)
+				}
+				if absErr := math.Abs(obs - want); absErr > float64(o.Bound)+boundSlack(want)+Tolerance(ev)*want {
+					t.Fatalf("%s degradation-free: error %v exceeds bound %d (+slack)", ev, absErr, o.Bound)
+				}
+			}
+		}
+
+		card := Scorecard{Schema: SchemaVersion, Models: []string{src.Name}, Rows: rows}
+		card.Summary = summarize(rows)
+		card.Digest = card.ComputeDigest()
+		b := card.GoldenBytes()
+		if !json.Valid(b) {
+			t.Fatalf("scorecard is not valid JSON: %q", b)
+		}
+		var back Scorecard
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("scorecard does not round-trip: %v", err)
+		}
+		if back.Digest != card.Digest {
+			t.Fatal("digest lost in round-trip")
+		}
+	})
+}

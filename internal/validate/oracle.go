@@ -1,0 +1,233 @@
+// Package validate scores the simulated counter stack against workloads
+// whose event counts are known in closed form — the methodology of Röhl
+// et al.'s hardware-event validation work, applied to our own simulator:
+// if a microbenchmark's instruction, cycle, LLC and energy totals can be
+// derived analytically from the machine model, then the numbers PAPI
+// reports for it measure the *measurement stack's* accuracy, not the
+// workload's. Each oracle runs through the full stack (sim, sched, dvfs,
+// perfevent, core) clean, under multiplexing, under fault plans and under
+// profiler sampling, and the results are folded into a byte-reproducible
+// accuracy scorecard plus a monitoring-overhead report.
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"hetpapi/internal/hw"
+	"hetpapi/internal/workload"
+)
+
+// Workload kinds with closed-form oracles.
+const (
+	// WorkLoop retires an exact instruction count (instrPerRep × reps);
+	// cycles follow from BaseIPC independent of frequency.
+	WorkLoop = "loop"
+	// WorkStride sweeps memory at a fixed stride; LLC references and
+	// misses follow from the cache geometry (workload.StrideRates).
+	WorkStride = "stride"
+	// WorkSpin busy-waits a fixed duration at a pinned frequency;
+	// cycles and package energy follow from the DVFS and power models.
+	WorkSpin = "spin"
+)
+
+// Event keys scored by the suite.
+const (
+	EvInstructions = "instructions"
+	EvCycles       = "cycles"
+	EvLLCRefs      = "llc-refs"
+	EvLLCMisses    = "llc-misses"
+	EvEnergyJ      = "energy-j"
+)
+
+// Case is one oracle workload pinned to one core type of one machine
+// model at one DVFS operating point. All parameters are explicit values,
+// so Expected is a pure function of the case and the machine constants.
+type Case struct {
+	// Model is the scenario registry name ("raptorlake", ...).
+	Model string
+	// Machine is the resolved hardware description.
+	Machine *hw.Machine
+	// TypeIdx indexes Machine.Types; CPU is the pinned logical CPU
+	// (the first CPU of that type, SMT sibling idle).
+	TypeIdx int
+	CPU     int
+	// Workload selects the oracle kind.
+	Workload string
+	// PinMHz is the user frequency cap, pre-quantized to the type's
+	// OPP grid so the governor runs the core at exactly this value.
+	PinMHz float64
+
+	// Loop parameters.
+	InstrPerRep float64
+	Reps        int
+
+	// Stride parameters.
+	StrideInstr float64
+	StrideBytes int
+	FootprintKB int
+
+	// Spin parameters.
+	SpinSec float64
+}
+
+// Type returns the pinned core type.
+func (c *Case) Type() *hw.CoreType { return &c.Machine.Types[c.TypeIdx] }
+
+// Name identifies the case in scorecards and test output.
+func (c *Case) Name() string {
+	return fmt.Sprintf("%s/%s/%s", c.Model, c.Type().Name, c.Workload)
+}
+
+// PinnedMHz returns the frequency the governor will actually run the
+// type at when capped near frac of its DVFS range: the cap is snapped to
+// the type's OPP grid exactly the way dvfs.Governor.TargetMHz quantizes,
+// so a clean (unthrottled) run sits at this value every busy tick.
+func PinnedMHz(t *hw.CoreType, frac float64) float64 {
+	f := t.MinFreqMHz + frac*(t.MaxFreqMHz-t.MinFreqMHz)
+	if t.FreqStepMHz > 0 {
+		k := math.Round((f - t.MinFreqMHz) / t.FreqStepMHz)
+		f = t.MinFreqMHz + k*t.FreqStepMHz
+	}
+	// Clamp after quantizing, exactly like dvfs.Governor.TargetMHz: the
+	// range endpoints are legal operating points even off the step grid.
+	if f < t.MinFreqMHz {
+		f = t.MinFreqMHz
+	}
+	if f > t.MaxFreqMHz {
+		f = t.MaxFreqMHz
+	}
+	return f
+}
+
+// physIdleWatts sums IdleWatts over the machine's physical cores (SMT
+// siblings share one physical core and one idle term).
+func physIdleWatts(m *hw.Machine) float64 {
+	var w float64
+	seen := map[[2]int]bool{}
+	for _, c := range m.CPUs {
+		key := [2]int{c.TypeIndex, c.PhysCore}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		w += m.Types[c.TypeIndex].IdleWatts
+	}
+	return w
+}
+
+// Expected returns the closed-form expected value of every event the
+// case's workload validates. Keys are the Ev* constants.
+func (c *Case) Expected() map[string]float64 {
+	t := c.Type()
+	out := map[string]float64{}
+	switch c.Workload {
+	case WorkLoop:
+		// The loop retires exactly instrPerRep×reps instructions; the
+		// workload model spends retired/BaseIPC cycles doing it, at any
+		// frequency (IPC is a core-type constant in the simulator).
+		instr := c.InstrPerRep * float64(c.Reps)
+		out[EvInstructions] = instr
+		out[EvCycles] = instr / t.BaseIPC
+	case WorkStride:
+		// Exact instruction budget; memory events follow the geometry
+		// model, cycles follow the stride CPI (pipeline + exposed DRAM
+		// penalty), both shared with the workload implementation.
+		r := workload.StrideRates(t, c.Machine.LLCKB, c.StrideBytes, c.FootprintKB)
+		out[EvInstructions] = c.StrideInstr
+		out[EvCycles] = c.StrideInstr * workload.StrideCPI(t, r)
+		out[EvLLCRefs] = c.StrideInstr * workload.StrideLoadFrac * r.L1 * r.L2
+		out[EvLLCMisses] = c.StrideInstr * workload.StrideLoadFrac * r.Chain()
+	case WorkSpin:
+		// A spin consumes every cycle of its pinned core for exactly
+		// SpinSec: cycles = f·D. Package energy integrates the power
+		// model over the run: all physical cores idle-leak and the
+		// uncore draws its constant for the whole duration, plus the
+		// spinning core's dynamic term (cubic in f/fmax, scaled by the
+		// spin activity factor) for the active duration.
+		cycles := c.PinMHz * 1e6 * c.SpinSec
+		out[EvCycles] = cycles
+		out[EvInstructions] = cycles * t.BaseIPC * 2.2
+		rel := c.PinMHz / t.MaxFreqMHz
+		dyn := t.DynWattsAtMax * t.SpinActivity * rel * rel * rel
+		out[EvEnergyJ] = c.SpinSec*(physIdleWatts(c.Machine)+c.Machine.Power.UncoreWatts) + c.SpinSec*dyn
+	}
+	return out
+}
+
+// EstDurationSec is the closed-form wall (simulated) duration of the
+// case at its pinned frequency — used to place fault-plan transitions at
+// fractions of the run and to bound the runner's step loop.
+func (c *Case) EstDurationSec() float64 {
+	t := c.Type()
+	switch c.Workload {
+	case WorkLoop:
+		return c.InstrPerRep * float64(c.Reps) / (t.BaseIPC * c.PinMHz * 1e6)
+	case WorkStride:
+		r := workload.StrideRates(t, c.Machine.LLCKB, c.StrideBytes, c.FootprintKB)
+		return c.StrideInstr * workload.StrideCPI(t, r) / (c.PinMHz * 1e6)
+	case WorkSpin:
+		return c.SpinSec
+	}
+	return 0
+}
+
+// Task builds a fresh workload task for the case.
+func (c *Case) Task() workload.Task {
+	switch c.Workload {
+	case WorkLoop:
+		return workload.NewInstructionLoop("validate-loop", c.InstrPerRep, c.Reps)
+	case WorkStride:
+		return workload.NewStride("validate-stride", c.StrideInstr, c.StrideBytes, c.FootprintKB, c.Machine.LLCKB)
+	case WorkSpin:
+		return workload.NewSpin("validate-spin", c.SpinSec)
+	}
+	return nil
+}
+
+// Cases builds the full oracle set for one machine model: for every core
+// type, a loop, a stride and a spin case sized to run ~0.1 simulated
+// seconds at a pinned operating point (so fault-plan windows at run
+// fractions are well resolved by the 1 ms tick).
+func Cases(model string, m *hw.Machine) []Case {
+	var out []Case
+	for ti := range m.Types {
+		t := &m.Types[ti]
+		cpus := m.CPUsOfType(t.Name)
+		if len(cpus) == 0 {
+			continue
+		}
+		cpu := cpus[0]
+		pin := PinnedMHz(t, 0.7)
+
+		// Loop: ~0.12 s of retirement at pinned speed, split into 40
+		// reps of a round instruction count.
+		perRep := math.Round(t.BaseIPC * pin * 1e6 * 0.12 / 40)
+		out = append(out, Case{
+			Model: model, Machine: m, TypeIdx: ti, CPU: cpu,
+			Workload: WorkLoop, PinMHz: pin,
+			InstrPerRep: perRep, Reps: 40,
+		})
+
+		// Stride: DRAM-resident sweep (footprint 4× the LLC) sized to
+		// ~0.1 s at the stride CPI.
+		foot := 4 * m.LLCKB
+		r := workload.StrideRates(t, m.LLCKB, workload.StrideLineBytes, foot)
+		cpi := workload.StrideCPI(t, r)
+		instr := math.Round(pin * 1e6 * 0.1 / cpi)
+		out = append(out, Case{
+			Model: model, Machine: m, TypeIdx: ti, CPU: cpu,
+			Workload: WorkStride, PinMHz: pin,
+			StrideInstr: instr, StrideBytes: workload.StrideLineBytes, FootprintKB: foot,
+		})
+
+		// Spin: 80 ms, a multiple of the 1 ms tick so the active span
+		// covers whole ticks and the energy integral is exact.
+		out = append(out, Case{
+			Model: model, Machine: m, TypeIdx: ti, CPU: cpu,
+			Workload: WorkSpin, PinMHz: pin,
+			SpinSec: 0.08,
+		})
+	}
+	return out
+}

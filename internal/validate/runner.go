@@ -1,0 +1,251 @@
+package validate
+
+import (
+	"fmt"
+	"time"
+
+	"hetpapi/internal/core"
+	"hetpapi/internal/faults"
+	"hetpapi/internal/hw"
+	"hetpapi/internal/power"
+	"hetpapi/internal/profile"
+	"hetpapi/internal/sim"
+	"hetpapi/internal/workload"
+)
+
+// Mode is a measurement condition a case runs under.
+type Mode string
+
+const (
+	// ModeClean counts with dedicated counters: exactness is expected.
+	ModeClean Mode = "clean"
+	// ModeMux counts with software multiplexing enabled: the scaled
+	// estimate must bracket the truth within its ErrorBound.
+	ModeMux Mode = "mux"
+	// ModeFaults runs ModeMux under a fault plan (watchdog reservation
+	// plus a counter-budget squeeze mid-run): degradation grows the
+	// bound, and the observed error must stay inside it.
+	ModeFaults Mode = "faults"
+	// ModeSampled is ModeClean with the statistical profiler attached:
+	// sampling must not perturb the counts (observer-effect check).
+	ModeSampled Mode = "sampled"
+)
+
+// Modes lists every mode a workload kind is scored under.
+func Modes(work string) []Mode {
+	switch work {
+	case WorkLoop:
+		return []Mode{ModeClean, ModeMux, ModeFaults, ModeSampled}
+	case WorkStride:
+		return []Mode{ModeClean, ModeMux}
+	case WorkSpin:
+		return []Mode{ModeClean}
+	}
+	return nil
+}
+
+// Observed is one measured event value with its degradation metadata.
+type Observed struct {
+	Final uint64
+	Raw   uint64
+	// Bound is the reported worst-case absolute error: the extrapolated
+	// portion of the scaled estimate (Value.ErrorBound).
+	Bound       uint64
+	ScaleFactor float64
+	Stale       bool
+	Degraded    bool
+}
+
+// RunResult is everything one stack traversal produced.
+type RunResult struct {
+	// Events maps Ev* keys to measured counter values.
+	Events map[string]Observed
+	// ElapsedSec is the simulated duration of the run; EnergyJ the
+	// package energy integrated over it.
+	ElapsedSec float64
+	EnergyJ    float64
+	// Ticks is the number of sim steps the run took.
+	Ticks int
+	// Degradations is the event set's degradation ledger.
+	Degradations core.DegradationReport
+	// LostSamples/EmittedSamples are profiler totals (ModeSampled).
+	LostSamples    uint64
+	EmittedSamples uint64
+	// HostNs is host wall-clock time of the step loop. Not
+	// reproducible across hosts: reported, never hashed.
+	HostNs int64
+}
+
+// presetFor orders the scored events and their PAPI presets.
+var presetFor = []struct {
+	Key    string
+	Preset core.Preset
+}{
+	{EvInstructions, core.PresetTotIns},
+	{EvCycles, core.PresetTotCyc},
+	{EvLLCRefs, core.PresetL3TCA},
+	{EvLLCMisses, core.PresetL3TCM},
+}
+
+// faultPlan builds the ModeFaults schedule for a case: a watchdog
+// reservation over [0.30, 0.55] of the run and a one-counter budget
+// squeeze over [0.35, 0.60], both against the pinned core type's PMU.
+// Both rungs matter: fixed-counter PMUs degrade under the watchdog
+// (cycles groups deschedule), while PMUs with ample general-purpose
+// counters only feel the budget cap.
+func faultPlan(c *Case) *faults.Plan {
+	d := c.EstDurationSec()
+	pmu := c.Type().PMU.PerfType
+	return faults.NewPlan(
+		faults.Event{AtSec: 0.30 * d, Kind: faults.KindWatchdogHold, PMU: pmu},
+		faults.Event{AtSec: 0.35 * d, Kind: faults.KindCounterBudget, PMU: pmu, Cap: 1},
+		faults.Event{AtSec: 0.55 * d, Kind: faults.KindWatchdogRelease, PMU: pmu},
+		faults.Event{AtSec: 0.60 * d, Kind: faults.KindCounterBudget, PMU: pmu, Cap: 0},
+	)
+}
+
+// Run traverses the full stack once: boots a fresh machine, pins the
+// case's core type to its operating point, spawns the oracle task on its
+// CPU, opens the scored events through the PAPI layer before the first
+// tick (so counting covers the task's entire life), and steps the sim
+// until the task completes. ModeFaults runs under the case's standard
+// fault plan.
+func Run(c *Case, mode Mode) (*RunResult, error) {
+	var plan *faults.Plan
+	if mode == ModeFaults {
+		plan = faultPlan(c)
+	}
+	return RunWithPlan(c, mode, plan)
+}
+
+// RunWithPlan is Run with an explicit fault plan (which may be nil).
+// The fuzz harness uses it to drive the stack under arbitrary
+// faults.Random schedules.
+func RunWithPlan(c *Case, mode Mode, plan *faults.Plan) (*RunResult, error) {
+	s := sim.New(c.Machine, sim.DefaultConfig())
+	t := c.Type()
+	s.Governor.SetUserCapMHz(t.Class, c.PinMHz)
+
+	lib, err := core.Init(s, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("%s: core init: %w", c.Name(), err)
+	}
+	task := c.Task()
+	proc := s.Spawn(task, hw.NewCPUSet(c.CPU))
+
+	es := lib.CreateEventSet()
+	if err := es.Attach(proc.PID); err != nil {
+		return nil, fmt.Errorf("%s: attach: %w", c.Name(), err)
+	}
+	if mode == ModeMux || mode == ModeFaults {
+		if err := es.SetMultiplex(); err != nil {
+			return nil, fmt.Errorf("%s: set multiplex: %w", c.Name(), err)
+		}
+	}
+	for _, p := range presetFor {
+		if err := es.AddPreset(p.Preset); err != nil {
+			return nil, fmt.Errorf("%s: add %s: %w", c.Name(), p.Preset, err)
+		}
+	}
+	if plan != nil {
+		s.Kernel.AttachFaults(plan)
+	}
+
+	var col *profile.Collector
+	if mode == ModeSampled {
+		col = profile.NewCollector(s, profile.Config{})
+		col.Attach(proc.PID)
+		defer s.AddStepHook(col.SimHook())()
+	}
+
+	if err := es.Start(); err != nil {
+		return nil, fmt.Errorf("%s: start: %w", c.Name(), err)
+	}
+
+	maxSec := 4*c.EstDurationSec() + 1
+	ticks := 0
+	start := time.Now()
+	for !task.Done() && s.Now() < maxSec {
+		s.Step()
+		ticks++
+	}
+	hostNs := time.Since(start).Nanoseconds()
+	if !task.Done() {
+		return nil, fmt.Errorf("%s: task did not finish within %.2fs simulated", c.Name(), maxSec)
+	}
+	elapsed := s.Now()
+	energy := s.Power.EnergyJ(power.DomainPkg)
+
+	vals, err := es.StopValues()
+	if err != nil {
+		return nil, fmt.Errorf("%s: stop: %w", c.Name(), err)
+	}
+	res := &RunResult{
+		Events:       map[string]Observed{},
+		ElapsedSec:   elapsed,
+		EnergyJ:      energy,
+		Ticks:        ticks,
+		Degradations: es.Degradations(),
+		HostNs:       hostNs,
+	}
+	for i, p := range presetFor {
+		v := vals[i]
+		res.Events[p.Key] = Observed{
+			Final:       v.Final,
+			Raw:         v.Raw,
+			Bound:       v.ErrorBound,
+			ScaleFactor: v.ScaleFactor,
+			Stale:       v.Stale,
+			Degraded:    v.Degraded,
+		}
+	}
+	if col != nil {
+		col.Finish()
+		res.LostSamples = col.LostTotal()
+		res.EmittedSamples = col.EmittedTotal()
+	}
+	if err := es.Cleanup(); err != nil {
+		return nil, fmt.Errorf("%s: cleanup: %w", c.Name(), err)
+	}
+	return res, nil
+}
+
+// RunBare runs the case with no measurement stack at all — no PAPI
+// library, no open kernel events — and reports the same physics
+// quantities. The monitored-vs-bare deltas are the simulator's answer to
+// the RAPL-overhead question: what does measuring cost? (In the
+// simulator the counting substrate is free by construction, so nonzero
+// deltas flag an observer effect — a measurement layer perturbing the
+// physics it observes.)
+func RunBare(c *Case) (*RunResult, error) {
+	s := sim.New(c.Machine, sim.DefaultConfig())
+	s.Governor.SetUserCapMHz(c.Type().Class, c.PinMHz)
+	task := c.Task()
+	s.Spawn(task, hw.NewCPUSet(c.CPU))
+
+	maxSec := 4*c.EstDurationSec() + 1
+	ticks := 0
+	start := time.Now()
+	for !task.Done() && s.Now() < maxSec {
+		s.Step()
+		ticks++
+	}
+	hostNs := time.Since(start).Nanoseconds()
+	if !task.Done() {
+		return nil, fmt.Errorf("%s: bare task did not finish within %.2fs simulated", c.Name(), maxSec)
+	}
+	var retired float64
+	switch w := task.(type) {
+	case *workload.InstructionLoop:
+		retired = w.TotalInstructions()
+	case *workload.Stride:
+		retired = w.TotalInstructions()
+	}
+	return &RunResult{
+		Events:     map[string]Observed{EvInstructions: {Final: uint64(retired)}},
+		ElapsedSec: s.Now(),
+		EnergyJ:    s.Power.EnergyJ(power.DomainPkg),
+		Ticks:      ticks,
+		HostNs:     hostNs,
+	}, nil
+}
