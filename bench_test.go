@@ -24,9 +24,9 @@ import (
 	"testing"
 
 	"hetpapi/internal/core"
-	"hetpapi/internal/fleet"
 	"hetpapi/internal/events"
 	"hetpapi/internal/exp"
+	"hetpapi/internal/fleet"
 	"hetpapi/internal/hw"
 	"hetpapi/internal/perfevent"
 	"hetpapi/internal/pfmlib"
@@ -607,24 +607,111 @@ func BenchmarkTelemetryQueryUnderLoad(b *testing.B) {
 			}
 		}(w)
 	}
-	url := ts.URL + "/query?machine=m&series=" + telemetry.CounterSeriesName(0, "P-core", "instructions") + "&agg=1"
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		for pb.Next() {
-			resp, err := http.Get(url)
-			if err != nil {
-				b.Error(err)
-				return
-			}
-			if resp.StatusCode != 200 {
-				b.Errorf("status %d", resp.StatusCode)
-			}
-			resp.Body.Close()
-		}
-	})
-	b.StopTimer()
+	// Two query shapes: the aggregate path and the raw-points path (the
+	// latter is where the pooled copy-on-read buffer earns its keep —
+	// allocs/op here is the figure the pool is gated on).
+	series := telemetry.CounterSeriesName(0, "P-core", "instructions")
+	for name, url := range map[string]string{
+		"agg": ts.URL + "/query?machine=m&series=" + series + "&agg=1",
+		"raw": ts.URL + "/query?machine=m&series=" + series,
+	} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					resp, err := http.Get(url)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if resp.StatusCode != 200 {
+						b.Errorf("status %d", resp.StatusCode)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			})
+		})
+	}
 	close(stop)
 	writers.Wait()
+}
+
+// BenchmarkFleetIngest is the headline streaming-observability
+// benchmark behind BENCH_9.json: telemetry points ingested per second
+// through the fleet streamer's population shape — many machines each
+// appending machine scalars and per-core-type counter series into one
+// shared sharded store, every point folding through the full
+// raw+1s+10s+1m rung hierarchy and the lifetime aggregates at ingest.
+// ns/point and allocs/point come from the standard bench accounting
+// (one iteration = one point).
+func BenchmarkFleetIngest(b *testing.B) {
+	for _, machines := range []int{16, 256} {
+		b.Run(fmt.Sprintf("machines=%d", machines), func(b *testing.B) {
+			st := telemetry.NewStore(telemetry.Config{Capacity: 512, RungCapacity: 512})
+			series := []string{
+				"power_w", "energy_j", "temp_c", "wall_w",
+				telemetry.TypeSeriesName("P-core", "instructions"),
+				telemetry.TypeSeriesName("P-core", "cycles"),
+				telemetry.TypeSeriesName("E-core", "instructions"),
+				telemetry.TypeSeriesName("E-core", "cycles"),
+			}
+			keys := make([]telemetry.Key, 0, machines*len(series))
+			for m := 0; m < machines; m++ {
+				id := fmt.Sprintf("m%04d", m)
+				st.SetMeta(id, telemetry.MachineMeta{Template: "bench", Model: "homogeneous"})
+				for _, s := range series {
+					keys = append(keys, telemetry.Key{Machine: id, Series: s})
+				}
+			}
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Each goroutine owns a disjoint slice of series — the
+				// fleet's one-writer-per-series discipline.
+				off := int(next.Add(1)-1) * 31
+				i := 0
+				for pb.Next() {
+					k := keys[(off+i)%len(keys)]
+					st.Append(k, float64(i)/4, float64(i))
+					i++
+				}
+			})
+			b.StopTimer()
+			if wall := b.Elapsed().Seconds(); wall > 0 {
+				b.ReportMetric(float64(b.N)/wall, "points/s")
+			}
+		})
+	}
+	// The end-to-end shape: a real fleet run with the streamer hooked
+	// in, reporting the streamer's own self-measured cost.
+	b.Run("streamed-fleet", func(b *testing.B) {
+		var points, ingestNs int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f, err := fleet.Generate(fleet.GenConfig{
+				Machines: 64, Seed: int64(i) + 1, StaggerSec: 0.5,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := telemetry.NewStore(telemetry.Config{Capacity: 512, RungCapacity: 512})
+			rc := fleet.RunConfig{Streamer: fleet.NewStreamer(st, 0)}
+			if _, err := fleet.Run(context.Background(), f, rc); err != nil {
+				b.Fatal(err)
+			}
+			o := rc.Streamer.SelfOverhead()
+			points += o.Points
+			ingestNs += int64(o.IngestSec * 1e9)
+		}
+		b.StopTimer()
+		if points > 0 {
+			b.ReportMetric(float64(ingestNs)/float64(points), "ns/point")
+			b.ReportMetric(float64(points)/float64(b.N), "points/run")
+		}
+	})
 }
 
 // BenchmarkEnergyTable measures energy-to-solution for every Table II

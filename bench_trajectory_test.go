@@ -11,6 +11,10 @@ package hetpapi
 //   - fleet (BENCH_7): machine_sim_s_per_wall_s per case (summed
 //     simulated machine-seconds per wall second across the whole fleet
 //     run), gated on min_throughput.
+//   - ingest (BENCH_9): points_per_s / ns_per_point / allocs_per_point
+//     per case (fleet streaming-observability ingest through the rung
+//     hierarchy), gated on min_throughput (points/s) and
+//     max_allocs_per_point.
 //
 // The test checks the *recorded* numbers, not a live benchmark run, so
 // CI stays deterministic on noisy shared runners; the CI bench-smoke
@@ -32,10 +36,17 @@ type benchCase struct {
 	// Fleet schema.
 	Machines          int     `json:"machines"`
 	MachineSimPerWall float64 `json:"machine_sim_s_per_wall_s"`
+	// Ingest schema.
+	PointsPerSec   float64 `json:"points_per_s"`
+	NsPerPoint     float64 `json:"ns_per_point"`
+	AllocsPerPoint float64 `json:"allocs_per_point"`
 }
 
-// throughput returns the case's headline figure under either schema.
+// throughput returns the case's headline figure under any schema.
 func (c benchCase) throughput() float64 {
+	if c.PointsPerSec > 0 {
+		return c.PointsPerSec
+	}
 	if c.MachineSimPerWall > 0 {
 		return c.MachineSimPerWall
 	}
@@ -51,9 +62,10 @@ type benchFile struct {
 	} `json:"seed_baseline"`
 	Cases map[string]benchCase `json:"cases"`
 	Gate  struct {
-		Case          string  `json:"case"`
-		MinSpeedup    float64 `json:"min_speedup"`
-		MinThroughput float64 `json:"min_throughput"`
+		Case              string  `json:"case"`
+		MinSpeedup        float64 `json:"min_speedup"`
+		MinThroughput     float64 `json:"min_throughput"`
+		MaxAllocsPerPoint float64 `json:"max_allocs_per_point"`
 	} `json:"gate"`
 }
 
@@ -84,6 +96,19 @@ func TestBenchTrajectory(t *testing.T) {
 			}
 			for name, c := range bf.Cases {
 				switch {
+				case c.NsPerPoint > 0:
+					// Ingest schema: points/s and ns/point must agree to
+					// within rounding, and the population size must be
+					// recorded.
+					if c.Machines <= 0 {
+						t.Errorf("case %s: ingest figures without a machine count: %+v", name, c)
+					}
+					if c.PointsPerSec > 0 {
+						if implied := 1e9 / c.NsPerPoint; c.PointsPerSec < implied*0.98 || c.PointsPerSec > implied*1.02 {
+							t.Errorf("case %s: points_per_s %.0f inconsistent with ns_per_point %.1f (implies %.0f)",
+								name, c.PointsPerSec, c.NsPerPoint, implied)
+						}
+					}
 				case c.MachineSimPerWall > 0:
 					// Fleet schema: the case must record its fleet size.
 					if c.Machines <= 0 {
@@ -112,6 +137,10 @@ func TestBenchTrajectory(t *testing.T) {
 						t.Errorf("gate: %s event/tick = %.2fx, below the committed %.1fx floor",
 							bf.Gate.Case, ratio, bf.Gate.MinSpeedup)
 					}
+				}
+				if bf.Gate.MaxAllocsPerPoint > 0 && c.AllocsPerPoint > bf.Gate.MaxAllocsPerPoint {
+					t.Errorf("gate: %s allocs/point %.1f above the committed %.1f ceiling",
+						bf.Gate.Case, c.AllocsPerPoint, bf.Gate.MaxAllocsPerPoint)
 				}
 				if bf.Gate.MinThroughput > 0 && c.throughput() < bf.Gate.MinThroughput {
 					t.Errorf("gate: %s throughput %.1f below the committed %.1f floor",

@@ -13,6 +13,8 @@
 //	GET /trace?machine=M   live span trace as Perfetto JSON
 //	GET /profile?machine=M statistical profile as gzipped pprof proto
 //	GET /fleet             latest fleet roll-up report (with -fleet N)
+//	GET /fleet/query       population aggregates over the streamed fleet
+//	GET /fleet/ui          self-contained live fleet dashboard
 //	GET /validate          startup counter-accuracy scorecard
 //	GET /metrics           Prometheus-style text exposition
 //
@@ -29,6 +31,7 @@
 //	         [-profile] [-profile-period N] [-validate]
 //	         [-fleet N] [-fleet-seed S] [-fleet-stagger W]
 //	         [-fleet-chaos R] [-fleet-workers P]
+//	         [-fleet-stream] [-fleet-anomaly 4.0]
 //
 // With -fleet N the daemon additionally runs an N-machine simulated
 // fleet (default template mix, seed-derived chaos plans on a -fleet-chaos
@@ -36,6 +39,20 @@
 // report — per-core-type aggregates across machines, the incident
 // ledger, and the fleet digest — at /fleet. In loop mode each rerun
 // advances the fleet seed by one.
+//
+// Fleet runs stream by default (-fleet-stream): every fleet machine's
+// scalars, per-core-type counter totals and degradation tallies flow
+// into the shared store tagged by machine id and template, downsampled
+// into 1s/10s/1m rungs at ingest. /fleet/query serves population
+// aggregates (per core type and kind, Welford + quantiles over any
+// rung and window, filterable by template or machine prefix),
+// /query?rung= serves bucketed single-series views, and /fleet/ui is a
+// dependency-free live dashboard. The robust z-score anomaly detector
+// (-fleet-anomaly, 0 disables) flags outlier machines per template
+// population into the report. The streamer measures its own ingest
+// cost and exports it as selfoverhead/* series under machine id
+// "fleet"; between loop rounds the time axis advances past the
+// previous round's last sample so repeated machine ids stay monotonic.
 //
 // Every machine also records a cross-layer span trace (scheduler exec
 // spans and migrations, perf_event syscalls, fault and degradation
@@ -101,6 +118,8 @@ type config struct {
 	fleetStagger float64
 	fleetChaos   float64
 	fleetWorkers int
+	fleetStream  bool
+	fleetAnomaly float64
 }
 
 func main() {
@@ -128,6 +147,10 @@ func main() {
 	flag.Float64Var(&cfg.fleetStagger, "fleet-stagger", 0.5, "fleet cold-start stagger window (simulated seconds)")
 	flag.Float64Var(&cfg.fleetChaos, "fleet-chaos", 0.25, "fraction of fleet machines that draw a chaos fault plan")
 	flag.IntVar(&cfg.fleetWorkers, "fleet-workers", 0, "fleet worker pool size (0 = GOMAXPROCS)")
+	flag.BoolVar(&cfg.fleetStream, "fleet-stream", true,
+		"stream fleet machine series into the store (per-core-type counters, power, degradations; /fleet/query + /fleet/ui)")
+	flag.Float64Var(&cfg.fleetAnomaly, "fleet-anomaly", 4.0,
+		"robust z-score threshold for flagging outlier fleet machines (0 disables detection; needs -fleet-stream)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -188,6 +211,8 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready chan<- string) e
 		Shards:     cfg.shards,
 	})
 	api := telemetry.NewServer(store, cfg.reqTimeout)
+	fleetMon := fleet.NewMonitor()
+	fleetMon.Register(api)
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -227,7 +252,7 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready chan<- string) e
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			collectFleet(runCtx, api, cfg, logw)
+			collectFleet(runCtx, fleetMon, store, cfg, logw)
 		}()
 	}
 
@@ -277,10 +302,14 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready chan<- string) e
 
 // collectFleet runs the daemon's fleet in its own goroutine: generate
 // an N-machine fleet from the default template mix, run it on the
-// bounded pool, and publish the roll-up at /fleet. In loop mode each
-// rerun advances the seed by one so consecutive reports cover fresh —
-// but still fully reproducible — fleets.
-func collectFleet(ctx context.Context, api *telemetry.Server, cfg config, logw io.Writer) {
+// bounded pool, and publish the roll-up at /fleet. With -fleet-stream
+// every machine also streams its live series into the shared store
+// (served by /fleet/query and the /fleet/ui dashboard), the anomaly
+// detector flags outlier machines into the report, and the streaming
+// pipeline's own ingest cost is exported as selfoverhead/* series. In
+// loop mode each rerun advances the seed by one so consecutive reports
+// cover fresh — but still fully reproducible — fleets.
+func collectFleet(ctx context.Context, mon *fleet.Monitor, store *telemetry.Store, cfg config, logw io.Writer) {
 	gen := fleet.GenConfig{
 		Machines:   cfg.fleetN,
 		StaggerSec: cfg.fleetStagger,
@@ -288,6 +317,7 @@ func collectFleet(ctx context.Context, api *telemetry.Server, cfg config, logw i
 	if cfg.fleetChaos > 0 {
 		gen.Chaos = &fleet.ChaosConfig{IncidentRate: cfg.fleetChaos}
 	}
+	base := 0.0
 	for run := 0; ctx.Err() == nil; run++ {
 		gen.Seed = cfg.fleetSeed + int64(run)
 		f, err := fleet.Generate(gen)
@@ -295,16 +325,34 @@ func collectFleet(ctx context.Context, api *telemetry.Server, cfg config, logw i
 			fmt.Fprintf(logw, "hetpapid: fleet: %v\n", err)
 			return
 		}
-		api.SetFleetRunning(true)
-		rep, err := fleet.Run(ctx, f, fleet.RunConfig{Workers: cfg.fleetWorkers})
-		api.SetFleetRunning(false)
+		rc := fleet.RunConfig{Workers: cfg.fleetWorkers}
+		if cfg.fleetStream {
+			rc.Streamer = fleet.NewStreamer(store, 0)
+			rc.Streamer.SetBaseSec(base)
+			if cfg.fleetAnomaly > 0 {
+				rc.Anomaly = &fleet.AnomalyConfig{Threshold: cfg.fleetAnomaly}
+			}
+		}
+		mon.SetRunning(true)
+		rep, err := fleet.Run(ctx, f, rc)
+		mon.SetRunning(false)
 		if err != nil {
 			fmt.Fprintf(logw, "hetpapid: fleet: %v\n", err)
 			return
 		}
-		api.SetFleetReport(rep)
-		fmt.Fprintf(logw, "hetpapid: fleet seed=%d: %d machines, %d completed, %d incidents, digest %s\n",
-			rep.Seed, rep.Machines, rep.Completed, len(rep.Incidents), rep.Digest[:12])
+		var overhead *fleet.SelfOverhead
+		if rc.Streamer != nil {
+			o := rc.Streamer.ExportOverhead(float64(run))
+			overhead = &o
+			base = rc.Streamer.MaxSec() + 1
+		}
+		mon.SetReport(rep, overhead)
+		fmt.Fprintf(logw, "hetpapid: fleet seed=%d: %d machines, %d completed, %d incidents, %d anomalies, digest %s\n",
+			rep.Seed, rep.Machines, rep.Completed, len(rep.Incidents), len(rep.Anomalies), rep.Digest[:12])
+		if overhead != nil {
+			fmt.Fprintf(logw, "hetpapid: fleet streaming self-overhead: %d points in %.1fms (%.0f ns/point)\n",
+				overhead.Points, overhead.IngestSec*1e3, overhead.NsPerPoint)
+		}
 		if !cfg.loop {
 			return
 		}

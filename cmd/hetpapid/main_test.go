@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"hetpapi/internal/fleet"
 	"hetpapi/internal/profile"
 	"hetpapi/internal/telemetry"
 	"hetpapi/internal/telemetry/client"
@@ -232,7 +233,7 @@ func TestDaemonFleetEndpoint(t *testing.T) {
 		t.Fatal("daemon never became ready")
 	}
 
-	var info telemetry.FleetInfo
+	var info fleet.FleetInfo
 	deadline := time.Now().Add(120 * time.Second)
 	for time.Now().Before(deadline) {
 		resp, err := http.Get("http://" + addr + "/fleet")

@@ -12,17 +12,27 @@
 //	             [-chaos 0.25] [-chaos-max-events 8]
 //	             [-workers 0] [-max-seconds S]
 //	             [-templates name,name,...] [-o report.json]
+//	             [-stream] [-stream-period S] [-anomaly-threshold 4.0]
 //	             [-results] [-quiet]
 //	hetpapifleet -list-templates
 //
 // The report JSON is a pure function of (-n, -seed, template mix,
-// -stagger, -chaos): rerunning with the same flags reproduces it
-// byte-for-byte at any worker count. -o - (the default) writes the
+// -stagger, -chaos, -stream): rerunning with the same flags reproduces
+// it byte-for-byte at any worker count. -o - (the default) writes the
 // report to stdout; the human summary goes to stderr unless -quiet.
 // -results includes the per-machine outcome array in the report;
 // without it only the fleet roll-up is written. -templates restricts
 // the built-in mix (see -list-templates) to the named templates,
 // keeping their relative weights.
+//
+// -stream hooks every machine with the telemetry streamer: machine
+// scalars, per-core-type counter totals and degradation tallies flow
+// into an in-process store (downsampled into 1s/10s/1m rungs at
+// ingest), the robust z-score anomaly detector scores each template
+// population and embeds outliers in the report, and the streamer's
+// self-measured ingest cost is printed to stderr. -stream-period
+// overrides the per-template sampling cadence in simulated seconds;
+// -anomaly-threshold tunes the outlier score (0 disables detection).
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"time"
 
 	"hetpapi/internal/fleet"
+	"hetpapi/internal/telemetry"
 )
 
 func main() {
@@ -64,6 +75,9 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		results   = fs.Bool("results", false, "include the per-machine results array in the report")
 		quiet     = fs.Bool("quiet", false, "suppress the progress and summary output on stderr")
 		list      = fs.Bool("list-templates", false, "list the built-in templates and exit")
+		stream    = fs.Bool("stream", false, "stream every machine's series into an in-process telemetry store (enables anomaly detection)")
+		period    = fs.Float64("stream-period", 0, "streaming sample period in simulated seconds (0 = per-template cadence)")
+		anomaly   = fs.Float64("anomaly-threshold", 4.0, "robust z-score threshold for flagging outlier machines (0 disables; needs -stream)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +112,17 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	}
 
 	rc := fleet.RunConfig{Workers: *workers}
+	if *stream {
+		// The CLI's store is in-process only: it feeds the anomaly
+		// detector and the self-overhead accounting. Modest capacities
+		// keep a 1,000-machine run's footprint bounded; the rungs carry
+		// the history population queries would use.
+		store := telemetry.NewStore(telemetry.Config{Capacity: 512, RungCapacity: 512})
+		rc.Streamer = fleet.NewStreamer(store, *period)
+		if *anomaly > 0 {
+			rc.Anomaly = &fleet.AnomalyConfig{Threshold: *anomaly}
+		}
+	}
 	done := 0
 	if !*quiet {
 		rc.OnMachine = func(fleet.MachineResult) {
@@ -117,6 +142,14 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		fmt.Fprint(errw, rep.Summary())
 		fmt.Fprintf(errw, "  wall=%.2fs throughput=%.0f machine-sim-s/wall-s\n",
 			wall, rep.MachineSimSec/wall)
+		if rc.Streamer != nil {
+			o := rc.Streamer.SelfOverhead()
+			fmt.Fprintf(errw, "  streaming self-overhead: %d points in %.1fms (%.0f ns/point, %.1f%% of wall)\n",
+				o.Points, o.IngestSec*1e3, o.NsPerPoint, 100*o.IngestSec/wall)
+		}
+	}
+	if rc.Streamer != nil {
+		rc.Streamer.ExportOverhead(0)
 	}
 
 	if !*results {

@@ -119,6 +119,14 @@ type Report struct {
 
 	Incidents []Incident `json:"incidents"`
 
+	// Anomalies holds the robust z-score outliers the detector flagged
+	// over the streamed rung summaries (present only when a run had
+	// both streaming and anomaly detection enabled). Each is mirrored
+	// into the incident ledger under kind "anomaly". Deterministic: the
+	// detector reads only seed-derived simulated data in machine-index
+	// order.
+	Anomalies []Anomaly `json:"anomalies,omitempty"`
+
 	// Digest chains every machine's behavioral digest in index order;
 	// it is the one-line fingerprint the determinism sweep compares.
 	Digest string `json:"digest"`
@@ -270,6 +278,18 @@ func buildReport(f *Fleet, results []MachineResult) *Report {
 	return r
 }
 
+// attachAnomalies records the detector's output on the report and
+// mirrors each anomaly into the incident ledger. Called after
+// buildReport, in the anomalies' (machine-index, metric) order, so the
+// ledger stays deterministic.
+func (r *Report) attachAnomalies(anomalies []Anomaly) {
+	r.Anomalies = anomalies
+	for _, a := range anomalies {
+		r.Incidents = append(r.Incidents, Incident{
+			Machine: a.Machine, Template: a.Template, Kind: "anomaly", Detail: a.String()})
+	}
+}
+
 func outcomeWord(mr *MachineResult) string {
 	switch {
 	case mr.Skipped:
@@ -313,8 +333,12 @@ func (r *Report) Summary() string {
 	for _, tc := range r.Templates {
 		fmt.Fprintf(&b, " %s=%d", tc.Template, tc.Machines)
 	}
-	fmt.Fprintf(&b, "\n  completed=%d stopped=%d skipped=%d panics=%d errors=%d chaos=%d incidents=%d\n",
+	fmt.Fprintf(&b, "\n  completed=%d stopped=%d skipped=%d panics=%d errors=%d chaos=%d incidents=%d",
 		r.Completed, r.Stopped, r.Skipped, r.Panics, r.Errors, r.ChaosMachines, len(r.Incidents))
+	if len(r.Anomalies) > 0 {
+		fmt.Fprintf(&b, " anomalies=%d", len(r.Anomalies))
+	}
+	b.WriteString("\n")
 	fmt.Fprintf(&b, "  machine-sim-sec=%.3f energy=%.1fJ elapsed p50=%.3fs p95=%.3fs\n",
 		r.MachineSimSec, r.EnergyJ, r.Elapsed.P50, r.Elapsed.P95)
 	typeNames := make([]string, 0, len(r.ByType))

@@ -23,6 +23,17 @@ type RunConfig struct {
 	// scheduling-dependent; it is a progress feed, not part of the
 	// deterministic output.
 	OnMachine func(MachineResult)
+	// Streamer, when set, streams every machine's live series into its
+	// telemetry store (per-core-type counters, machine scalars,
+	// degradations) as the fleet runs. Per-series contents stay
+	// deterministic: each series is written by one machine's goroutine
+	// at simulated times.
+	Streamer *Streamer
+	// Anomaly, when set together with Streamer, runs the robust
+	// z-score outlier detector over the streamed rung summaries after
+	// the pool drains and embeds the (deterministic) result in the
+	// report.
+	Anomaly *AnomalyConfig
 }
 
 // MachineResult is one machine's run outcome, reduced to the figures
@@ -83,7 +94,7 @@ func Run(ctx context.Context, f *Fleet, rc RunConfig) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				results[i] = runMachine(ctx, &f.Machines[i])
+				results[i] = runMachine(ctx, &f.Machines[i], rc.Streamer)
 				if rc.OnMachine != nil {
 					cbMu.Lock()
 					rc.OnMachine(results[i])
@@ -98,12 +109,18 @@ func Run(ctx context.Context, f *Fleet, rc RunConfig) (*Report, error) {
 	close(indices)
 	wg.Wait()
 
-	return buildReport(f, results), nil
+	rep := buildReport(f, results)
+	if rc.Streamer != nil && rc.Anomaly != nil {
+		rep.attachAnomalies(DetectAnomalies(rc.Streamer.Store(), f, *rc.Anomaly))
+	}
+	return rep, nil
 }
 
 // runMachine runs one machine's simulation start to finish, translating
-// panics into a result instead of letting them take down the pool.
-func runMachine(ctx context.Context, ms *MachineSpec) (mr MachineResult) {
+// panics into a result instead of letting them take down the pool. When
+// a streamer is attached, its sampling hook rides along after the
+// machine's own hooks.
+func runMachine(ctx context.Context, ms *MachineSpec, streamer *Streamer) (mr MachineResult) {
 	mr = MachineResult{
 		ID:             ms.ID,
 		Template:       ms.Template,
@@ -135,6 +152,9 @@ func runMachine(ctx context.Context, ms *MachineSpec) (mr MachineResult) {
 				attached = true
 			}
 		})
+	}
+	if streamer != nil {
+		spec.StepHooks = append(spec.StepHooks, streamer.hookFor(ms))
 	}
 	spec.Stop = func() bool { return ctx.Err() != nil }
 

@@ -1,0 +1,241 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"time"
+
+	"hetpapi/internal/power"
+	"hetpapi/internal/scenario"
+	"hetpapi/internal/telemetry"
+)
+
+// Streamer wires a fleet run into a shared telemetry store: every
+// machine gets a step hook that samples its post-tick state on the
+// scenario's monitoring cadence and appends the series under the
+// machine's fleet id, tagged (via Store.SetMeta) with its template and
+// machine model so population queries can group by either.
+//
+// To keep a 1,000-machine run inside one store, the streamer emits the
+// population form of the counter series — per-core-type totals
+// (type/<core-type>/<kind>) rather than one series per CPU — plus the
+// machine scalars (power_w, energy_j, temp_c, wall_w) and the
+// degradation tallies when the machine carries a PAPI probe. Per-series
+// writes happen from exactly one machine's goroutine at deterministic
+// simulated times with deterministic values, so the store's rung
+// contents are a pure function of (seed, config) even though machines
+// ingest concurrently.
+//
+// The streamer accounts for its own cost (Diamond et al.: a monitor
+// must measure itself): every hook invocation adds its wall-clock time
+// and appended-point count to atomic gauges, exported on demand as
+// selfoverhead/* series under the reserved machine id "fleet" and
+// surfaced in SelfOverhead snapshots. The gauges are wall-clock and so
+// live strictly outside the deterministic Report.
+type Streamer struct {
+	store *telemetry.Store
+	// periodSec overrides the per-spec monitoring cadence when > 0.
+	periodSec float64
+	// baseSec offsets every sample's time axis: daemon loop mode reruns
+	// fleets onto the same machine ids, so each round must land after
+	// the previous round's last sample to keep per-series times
+	// monotonic (see SetBaseSec / MaxSec).
+	baseSec float64
+
+	points   atomic.Int64
+	samples  atomic.Int64
+	ingestNs atomic.Int64
+	machines atomic.Int64
+	maxNs    atomic.Int64
+}
+
+// OverheadMachine is the reserved machine id the streamer's
+// self-overhead series are filed under.
+const OverheadMachine = "fleet"
+
+// NewStreamer builds a streamer feeding the store. periodSec sets the
+// sampling cadence in simulated seconds; <= 0 uses each spec's
+// SamplePeriodSec (or the paper's 1 Hz when that is unset too).
+func NewStreamer(store *telemetry.Store, periodSec float64) *Streamer {
+	return &Streamer{store: store, periodSec: periodSec}
+}
+
+// Store returns the telemetry store the streamer feeds.
+func (st *Streamer) Store() *telemetry.Store { return st.store }
+
+// SetBaseSec shifts the streamer's time axis: every sample lands at
+// base + machine sim time. Call between fleet rounds (before any hooks
+// run) with a value past the previous round's MaxSec.
+func (st *Streamer) SetBaseSec(base float64) { st.baseSec = base }
+
+// MaxSec returns the latest (offset) sample time any machine reached.
+func (st *Streamer) MaxSec() float64 { return float64(st.maxNs.Load()) / 1e9 }
+
+// typeAcc accumulates one (core type, kind) counter total during a
+// sample pass; kept in a slice so iteration order follows ctx.Wide.
+type typeAcc struct {
+	typeName string
+	kind     string
+	series   string
+	sum      float64
+	seen     bool
+}
+
+// hookFor builds the per-machine step hook. Each hook owns its sampling
+// state; only the gauges and the store are shared.
+func (st *Streamer) hookFor(ms *MachineSpec) scenario.StepHook {
+	st.machines.Add(1)
+	st.store.SetMeta(ms.ID, telemetry.MachineMeta{Template: ms.Template, Model: ms.Spec.Machine})
+	machine := ms.ID
+	period := st.periodSec
+	if period <= 0 {
+		period = ms.Spec.SamplePeriodSec
+	}
+	if period <= 0 {
+		period = 1.0
+	}
+	base := st.baseSec
+	var accs []typeAcc
+	nextSample := -1.0
+	return func(ctx *scenario.Context) {
+		simNow := ctx.Sim.Now()
+		if nextSample < 0 {
+			nextSample = simNow // sample the first tick, then every period
+		}
+		if simNow < nextSample {
+			return
+		}
+		start := time.Now()
+		nextSample += period
+		if nextSample <= simNow {
+			// The cadence is coarser than the tick but must never fire
+			// twice per tick; realign after a long stall.
+			nextSample = simNow + period
+		}
+		now := base + simNow
+		for ns := int64(now * 1e9); ; {
+			cur := st.maxNs.Load()
+			if ns <= cur || st.maxNs.CompareAndSwap(cur, ns) {
+				break
+			}
+		}
+		n := int64(0)
+		s := ctx.Sim
+		st.store.Append(telemetry.Key{Machine: machine, Series: "power_w"}, now, s.Power.PkgPowerW())
+		st.store.Append(telemetry.Key{Machine: machine, Series: "energy_j"}, now, s.Power.EnergyJ(power.DomainPkg))
+		st.store.Append(telemetry.Key{Machine: machine, Series: "temp_c"}, now, s.Thermal.TempC())
+		st.store.Append(telemetry.Key{Machine: machine, Series: "wall_w"}, now, s.Power.WallPowerW())
+		n += 4
+		for i := range accs {
+			accs[i].sum, accs[i].seen = 0, false
+		}
+		for _, we := range ctx.Wide {
+			if we.Dead {
+				continue
+			}
+			count, err := s.Kernel.Read(we.FD)
+			if err != nil {
+				continue
+			}
+			kind := we.Kind.String()
+			idx := -1
+			for i := range accs {
+				if accs[i].typeName == we.TypeName && accs[i].kind == kind {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				idx = len(accs)
+				accs = append(accs, typeAcc{
+					typeName: we.TypeName, kind: kind,
+					series: telemetry.TypeSeriesName(we.TypeName, kind),
+				})
+			}
+			accs[idx].sum += float64(count.Value)
+			accs[idx].seen = true
+		}
+		for i := range accs {
+			if !accs[i].seen {
+				continue
+			}
+			st.store.Append(telemetry.Key{Machine: machine, Series: accs[i].series}, now, accs[i].sum)
+			n++
+		}
+		if m := ctx.Measure; m != nil && len(m.LastValues) > 0 {
+			r := m.Set.Degradations()
+			for _, g := range [...]struct {
+				name string
+				v    int
+			}{
+				{"busy_retries", r.BusyRetries},
+				{"deferred_starts", r.DeferredStarts},
+				{"multiplex_fallback", r.MultiplexFallback},
+				{"hotplug_rebuilds", r.HotplugRebuilds},
+				{"stale_reads", r.StaleReads},
+				{"degraded_reads", r.DegradedReads},
+			} {
+				st.store.Append(telemetry.Key{Machine: machine, Series: telemetry.DegradationSeriesName(g.name)}, now, float64(g.v))
+				n++
+			}
+		}
+		st.points.Add(n)
+		st.samples.Add(1)
+		st.ingestNs.Add(int64(time.Since(start)))
+	}
+}
+
+// SelfOverhead is a snapshot of the streamer's own measured cost.
+type SelfOverhead struct {
+	// Machines is the number of machine hooks installed; Samples the
+	// sampling passes executed; Points the series points appended.
+	Machines int64 `json:"machines"`
+	Samples  int64 `json:"samples"`
+	Points   int64 `json:"points"`
+	// IngestSec is the summed wall-clock time spent inside hooks;
+	// NsPerPoint and PointsPerSec derive from it.
+	IngestSec    float64 `json:"ingest_sec"`
+	NsPerPoint   float64 `json:"ns_per_point"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	// Rejected is the store's count of non-finite samples dropped.
+	Rejected int64 `json:"rejected"`
+}
+
+// SelfOverhead snapshots the streamer's cost gauges.
+func (st *Streamer) SelfOverhead() SelfOverhead {
+	o := SelfOverhead{
+		Machines:  st.machines.Load(),
+		Samples:   st.samples.Load(),
+		Points:    st.points.Load(),
+		IngestSec: float64(st.ingestNs.Load()) / 1e9,
+		Rejected:  st.store.Rejected(),
+	}
+	if o.Points > 0 && o.IngestSec > 0 {
+		o.NsPerPoint = o.IngestSec * 1e9 / float64(o.Points)
+		o.PointsPerSec = float64(o.Points) / o.IngestSec
+	}
+	return o
+}
+
+// ExportOverhead appends the current self-overhead gauges as
+// selfoverhead/* series under the reserved "fleet" machine id at time
+// tSec (callers use the fleet round number, one export per round).
+// These series are wall-clock measurements: they live in the store for
+// dashboards and /fleet/query, never in the deterministic Report.
+func (st *Streamer) ExportOverhead(tSec float64) SelfOverhead {
+	o := st.SelfOverhead()
+	t := tSec
+	for _, g := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"selfoverhead/points", float64(o.Points)},
+		{"selfoverhead/samples", float64(o.Samples)},
+		{"selfoverhead/ingest_ms", o.IngestSec * 1e3},
+		{"selfoverhead/ns_per_point", o.NsPerPoint},
+		{"selfoverhead/points_per_s", o.PointsPerSec},
+		{"selfoverhead/rejected", float64(o.Rejected)},
+	} {
+		st.store.Append(telemetry.Key{Machine: OverheadMachine, Series: g.name}, t, g.v)
+	}
+	return o
+}

@@ -1,0 +1,71 @@
+package stats
+
+// Bucket is the mergeable aggregate of all samples falling into one
+// downsampling window (a "rung bucket"): count, sum, extrema and the
+// last value, each updatable in O(1) per sample and exactly mergeable
+// across buckets. It is the payload of the telemetry store's
+// pre-computed downsampling rungs — a 1m bucket is the merge of its six
+// 10s buckets, which are each the merge of their ten 1s buckets, so the
+// coarser rungs never need to re-read raw points. The zero value is an
+// empty bucket.
+//
+// Bucket carries no variance term: the rungs exist to bound query cost,
+// and the streaming Welford accumulator on the raw stream already owns
+// the lifetime moments. What a rung query needs per window is the
+// sample mass (N, Sum), the envelope (Min, Max) and the freshest value
+// (Last), all of which merge associatively.
+type Bucket struct {
+	N    int64   `json:"n"`
+	Sum  float64 `json:"sum"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Last float64 `json:"last"`
+}
+
+// Add ingests one sample. Callers are expected to have rejected
+// non-finite values already (the telemetry store drops them at the
+// door); Add itself stays branch-light for the ingest hot path.
+func (b *Bucket) Add(x float64) {
+	if b.N == 0 {
+		b.Min, b.Max = x, x
+	} else {
+		if x < b.Min {
+			b.Min = x
+		}
+		if x > b.Max {
+			b.Max = x
+		}
+	}
+	b.N++
+	b.Sum += x
+	b.Last = x
+}
+
+// Merge folds o into b as if b had also ingested every sample o saw,
+// in order after b's own (Last is taken from o when o is non-empty).
+func (b *Bucket) Merge(o Bucket) {
+	if o.N == 0 {
+		return
+	}
+	if b.N == 0 {
+		*b = o
+		return
+	}
+	b.N += o.N
+	b.Sum += o.Sum
+	if o.Min < b.Min {
+		b.Min = o.Min
+	}
+	if o.Max > b.Max {
+		b.Max = o.Max
+	}
+	b.Last = o.Last
+}
+
+// Mean returns Sum/N, or 0 for an empty bucket.
+func (b Bucket) Mean() float64 {
+	if b.N == 0 {
+		return 0
+	}
+	return b.Sum / float64(b.N)
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBucketAdd(t *testing.T) {
+	var b Bucket
+	if b.Mean() != 0 {
+		t.Fatal("empty bucket mean must be 0")
+	}
+	for _, x := range []float64{3, -1, 4, 1, 5} {
+		b.Add(x)
+	}
+	if b.N != 5 || b.Sum != 12 || b.Min != -1 || b.Max != 5 || b.Last != 5 {
+		t.Fatalf("bucket after adds: %+v", b)
+	}
+	if got, want := b.Mean(), 12.0/5; got != want {
+		t.Fatalf("mean %g, want %g", got, want)
+	}
+}
+
+// TestBucketMergeEqualsSequential: merging any split of a sample stream
+// must equal ingesting the whole stream into one bucket.
+func TestBucketMergeEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 100
+	}
+	var whole Bucket
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for _, cut := range []int{0, 1, 50, 199, 200} {
+		var a, b Bucket
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		// Sum is compared with a 1-ulp-scale tolerance: Merge adds the
+		// two partial sums in one step, which is exact arithmetic over
+		// the parts but not bit-identical to the sequential fold
+		// (float addition is not associative).
+		if math.Abs(a.Sum-whole.Sum) > 1e-12*math.Abs(whole.Sum) {
+			t.Fatalf("cut %d: merged sum %g != sequential %g", cut, a.Sum, whole.Sum)
+		}
+		a.Sum = whole.Sum
+		if a != whole {
+			t.Fatalf("cut %d: merged %+v != sequential %+v", cut, a, whole)
+		}
+	}
+}
+
+// TestBucketMergeAssociative: ((a+b)+c) == (a+(b+c)) — the property the
+// rung hierarchy relies on (1m = merge of 10s = merge of 1s buckets).
+func TestBucketMergeAssociative(t *testing.T) {
+	mk := func(xs ...float64) Bucket {
+		var b Bucket
+		for _, x := range xs {
+			b.Add(x)
+		}
+		return b
+	}
+	a, b, c := mk(1, 2), mk(7), mk(-3, 0.5, 9)
+
+	left := a
+	left.Merge(b)
+	left.Merge(c)
+
+	bc := b
+	bc.Merge(c)
+	right := a
+	right.Merge(bc)
+
+	if left != right {
+		t.Fatalf("merge not associative: %+v vs %+v", left, right)
+	}
+}
+
+func TestBucketMergeEmpty(t *testing.T) {
+	var empty Bucket
+	full := Bucket{N: 2, Sum: 3, Min: 1, Max: 2, Last: 2}
+
+	got := full
+	got.Merge(empty)
+	if got != full {
+		t.Fatalf("merging empty changed bucket: %+v", got)
+	}
+	got = empty
+	got.Merge(full)
+	if got != full {
+		t.Fatalf("merging into empty lost data: %+v", got)
+	}
+}

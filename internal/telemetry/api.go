@@ -103,6 +103,10 @@ type QueryRequest struct {
 	// "llc-misses") for a By="type" grouped query.
 	Kind string
 	By   string
+	// Rung selects a downsampling resolution ("1s", "10s", "1m"):
+	// the response then carries bucket aggregates instead of raw
+	// points. Empty (or "raw") returns the raw ring.
+	Rung string
 }
 
 // Values encodes the request as URL query parameters.
@@ -127,6 +131,9 @@ func (q QueryRequest) Values() url.Values {
 	if q.By != "" {
 		v.Set("by", q.By)
 	}
+	if q.Rung != "" {
+		v.Set("rung", q.Rung)
+	}
 	return v
 }
 
@@ -141,6 +148,11 @@ type QueryResponse struct {
 	Aggregate *Aggregate `json:"aggregate,omitempty"`
 	// Groups holds the per-core-type aggregates (by=type queries).
 	Groups []TypeAggregate `json:"groups,omitempty"`
+	// Rung and Buckets hold the downsampled view (rung= queries):
+	// bucket aggregates at the requested resolution, the still-open
+	// bucket last.
+	Rung    string      `json:"rung,omitempty"`
+	Buckets []RungPoint `json:"buckets,omitempty"`
 }
 
 // MeasureValueInfo is one probe event's latest reading in the

@@ -1,0 +1,195 @@
+package telemetry
+
+import "net/http"
+
+// handleFleetUI serves the self-contained live fleet dashboard: a
+// single HTML page (no external assets, works offline) that polls
+// /fleet/query for per-core-type rung aggregates and sparkline
+// timelines, /fleet for the roll-up report and flagged outliers, and
+// /series?machine=fleet for the pipeline's own self-overhead gauges.
+func (s *Server) handleFleetUI(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(fleetDashboardHTML))
+}
+
+const fleetDashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>hetpapi fleet dashboard</title>
+<style>
+  :root { color-scheme: dark; }
+  body { font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, monospace;
+         background: #0d1117; color: #c9d1d9; margin: 0; padding: 1rem 1.5rem; }
+  h1 { font-size: 1.1rem; color: #58a6ff; margin: 0 0 .25rem; }
+  h2 { font-size: .95rem; color: #8b949e; margin: 1.25rem 0 .5rem;
+       border-bottom: 1px solid #21262d; padding-bottom: .25rem; }
+  .muted { color: #8b949e; } .bad { color: #f85149; } .ok { color: #3fb950; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: right; padding: .15rem .6rem; border-bottom: 1px solid #21262d; }
+  th { color: #8b949e; font-weight: normal; }
+  th:first-child, td:first-child, th:nth-child(2), td:nth-child(2) { text-align: left; }
+  canvas.spark { vertical-align: middle; background: #161b22; border-radius: 3px; }
+  select, button { background: #21262d; color: #c9d1d9; border: 1px solid #30363d;
+                   border-radius: 4px; padding: .15rem .5rem; font: inherit; }
+  .gauges { display: flex; gap: 1.5rem; flex-wrap: wrap; }
+  .gauge { background: #161b22; border: 1px solid #21262d; border-radius: 6px;
+           padding: .5rem .9rem; min-width: 9rem; }
+  .gauge .v { font-size: 1.2rem; color: #e6edf3; }
+  #err { color: #f85149; margin-top: .5rem; white-space: pre-wrap; }
+</style>
+</head>
+<body>
+<h1>hetpapi fleet dashboard</h1>
+<div class="muted">rung <select id="rung">
+  <option>1s</option><option selected>10s</option><option>1m</option>
+</select>
+ refresh <select id="refresh">
+  <option value="0">off</option><option value="1000">1s</option>
+  <option value="2000" selected>2s</option><option value="5000">5s</option>
+</select>
+ <button id="reload">reload</button>
+ <span id="stamp" class="muted"></span></div>
+<div id="err"></div>
+
+<h2>fleet roll-up</h2>
+<div id="rollup" class="gauges"><span class="muted">waiting for /fleet&hellip;</span></div>
+
+<h2>self-overhead (pipeline measuring itself)</h2>
+<div id="overhead" class="gauges"><span class="muted">no selfoverhead/* series yet</span></div>
+
+<h2>core-type / event breakdown</h2>
+<table id="groups"><thead><tr>
+  <th>type</th><th>kind</th><th>machines</th><th>series</th><th>buckets</th>
+  <th>mean</th><th>p50</th><th>p95</th><th>p99</th><th>min</th><th>max</th>
+  <th>last&Sigma;</th><th>trend</th>
+</tr></thead><tbody></tbody></table>
+
+<h2>flagged outliers</h2>
+<table id="outliers"><thead><tr>
+  <th>machine</th><th>template</th><th>metric</th>
+  <th>value</th><th>median</th><th>MAD</th><th>score</th>
+</tr></thead><tbody></tbody></table>
+<div id="nooutliers" class="muted"></div>
+
+<script>
+"use strict";
+const $ = id => document.getElementById(id);
+const fmt = x => {
+  if (x === undefined || x === null || Number.isNaN(x)) return "-";
+  const a = Math.abs(x);
+  if (a !== 0 && (a >= 1e6 || a < 1e-3)) return x.toExponential(2);
+  return x.toLocaleString("en-US", {maximumFractionDigits: 3});
+};
+
+function spark(canvas, pts) {
+  const ctx = canvas.getContext("2d"), W = canvas.width, H = canvas.height;
+  ctx.clearRect(0, 0, W, H);
+  if (!pts || pts.length < 2) return;
+  let lo = Infinity, hi = -Infinity;
+  for (const p of pts) { if (p.v < lo) lo = p.v; if (p.v > hi) hi = p.v; }
+  const span = (hi - lo) || 1;
+  ctx.strokeStyle = "#58a6ff"; ctx.lineWidth = 1.25; ctx.beginPath();
+  const t0 = pts[0].t, t1 = pts[pts.length - 1].t, ts = (t1 - t0) || 1;
+  pts.forEach((p, i) => {
+    const x = 2 + (W - 4) * (p.t - t0) / ts;
+    const y = H - 2 - (H - 4) * (p.v - lo) / span;
+    i ? ctx.lineTo(x, y) : ctx.moveTo(x, y);
+  });
+  ctx.stroke();
+}
+
+function gauge(label, value, cls) {
+  return '<div class="gauge"><div class="muted">' + label +
+         '</div><div class="v ' + (cls || "") + '">' + value + "</div></div>";
+}
+
+async function fetchJSON(url) {
+  const resp = await fetch(url);
+  const body = await resp.json();
+  if (!resp.ok) throw new Error(url + ": " + (body.error || resp.status));
+  return body;
+}
+
+async function refresh() {
+  $("err").textContent = "";
+  const rung = $("rung").value;
+  try {
+    const q = await fetchJSON("/fleet/query?rung=" + rung + "&timeline=1");
+    const tb = $("groups").tBodies[0];
+    tb.innerHTML = "";
+    for (const g of (q.groups || [])) {
+      const tr = tb.insertRow();
+      const cells = [g.type, g.kind, g.machines, g.series, g.buckets,
+        fmt(g.mean), fmt(g.p50), fmt(g.p95), fmt(g.p99),
+        fmt(g.merged.min), fmt(g.merged.max), fmt(g.last_sum)];
+      for (const c of cells) tr.insertCell().textContent = c;
+      const cv = document.createElement("canvas");
+      cv.className = "spark"; cv.width = 120; cv.height = 24;
+      tr.insertCell().appendChild(cv);
+      spark(cv, g.timeline);
+    }
+    $("stamp").textContent = "· " + (q.machines || 0) + " machines · " +
+      new Date().toLocaleTimeString();
+  } catch (e) { $("err").textContent += e + "\n"; }
+
+  try {
+    const f = await fetchJSON("/fleet");
+    const r = f.report, roll = $("rollup");
+    if (r) {
+      roll.innerHTML =
+        gauge("machines", r.machines) +
+        gauge("completed", r.completed, r.completed === r.machines ? "ok" : "") +
+        gauge("incidents", (r.incidents || []).length,
+              (r.incidents || []).length ? "bad" : "ok") +
+        gauge("anomalies", (r.anomalies || []).length,
+              (r.anomalies || []).length ? "bad" : "ok") +
+        gauge("energy J", fmt(r.energy_j)) +
+        gauge("digest", r.digest ? r.digest.slice(0, 12) : "-");
+      const ob = $("outliers").tBodies[0];
+      ob.innerHTML = "";
+      for (const a of (r.anomalies || [])) {
+        const tr = ob.insertRow();
+        for (const c of [a.machine, a.template, a.metric,
+          fmt(a.value), fmt(a.median), fmt(a.mad), fmt(a.score)])
+          tr.insertCell().textContent = c;
+      }
+      $("nooutliers").textContent =
+        (r.anomalies || []).length ? "" : "no machines flagged";
+    } else if (f.running) {
+      roll.innerHTML = gauge("fleet run", "in flight…");
+    }
+  } catch (e) { /* /fleet is 404 until the first run lands; not an error */ }
+
+  try {
+    const series = await fetchJSON("/series?machine=fleet");
+    const oh = {};
+    for (const s of series)
+      if (s.name.startsWith("selfoverhead/"))
+        oh[s.name.slice("selfoverhead/".length)] = s.agg.last;
+    if (Object.keys(oh).length) {
+      $("overhead").innerHTML =
+        gauge("points ingested", fmt(oh.points)) +
+        gauge("samples", fmt(oh.samples)) +
+        gauge("ingest ms", fmt(oh.ingest_ms)) +
+        gauge("ns / point", fmt(oh.ns_per_point)) +
+        gauge("points / s", fmt(oh.points_per_s)) +
+        gauge("rejected", fmt(oh.rejected), oh.rejected ? "bad" : "ok");
+    }
+  } catch (e) { /* no fleet machine yet */ }
+}
+
+let timer = null;
+function arm() {
+  if (timer) clearInterval(timer);
+  const ms = parseInt($("refresh").value, 10);
+  if (ms > 0) timer = setInterval(refresh, ms);
+}
+$("rung").addEventListener("change", refresh);
+$("refresh").addEventListener("change", arm);
+$("reload").addEventListener("click", refresh);
+refresh(); arm();
+</script>
+</body>
+</html>
+`

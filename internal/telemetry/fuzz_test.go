@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzRungDownsample feeds an arbitrary byte-derived sample stream into
+// a small store and checks the downsampling invariants on every rung:
+// ingest never panics, non-finite samples are rejected exactly, bucket
+// starts are width-aligned and strictly increasing, every bucket is
+// internally consistent (N > 0, Min <= Max, Min <= Mean <= Max), and
+// the coarsest rung that never wrapped accounts for every accepted
+// sample.
+func FuzzRungDownsample(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1})
+	// Two in-order samples, then a time jump backwards.
+	seed := make([]byte, 0, 48)
+	for _, v := range []float64{1, 10, 2, 20, 0.5, 30} {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		seed = append(seed, b[:]...)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st := NewStore(Config{Capacity: 32, RungCapacity: 16, Shards: 1})
+		k := Key{Machine: "m", Series: "s"}
+		accepted := int64(0)
+		for off := 0; off+16 <= len(data) && off < 16*512; off += 16 {
+			ts := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+			// Bound the time axis so bucket arithmetic stays exact; the
+			// rejection path still sees raw NaN/Inf inputs.
+			if ts > 1e12 || ts < -1e12 {
+				ts = math.Mod(ts, 1e12)
+			}
+			st.Append(k, ts, v)
+			if !math.IsNaN(ts) && !math.IsInf(ts, 0) && !math.IsNaN(v) && !math.IsInf(v, 0) {
+				accepted++
+			}
+		}
+		if got := st.Rejected(); got != int64(0) && accepted+got == 0 {
+			t.Fatalf("rejected %d with no inputs", got)
+		}
+		for _, r := range Rungs() {
+			pts, ok := st.RungRange(k, r, -1, -1)
+			if accepted == 0 {
+				if ok && len(pts) > 0 {
+					t.Fatalf("rung %v has %d buckets with no accepted samples", r, len(pts))
+				}
+				continue
+			}
+			var total int64
+			for i, p := range pts {
+				if r != RungRaw {
+					if want := math.Floor(p.TimeSec/r.Width()) * r.Width(); p.TimeSec != want {
+						t.Fatalf("rung %v bucket %g not aligned to %g", r, p.TimeSec, r.Width())
+					}
+				}
+				if i > 0 && p.TimeSec <= pts[i-1].TimeSec {
+					t.Fatalf("rung %v buckets not strictly increasing: %g then %g", r, pts[i-1].TimeSec, p.TimeSec)
+				}
+				b := p.Agg
+				if b.N <= 0 || b.Min > b.Max {
+					t.Fatalf("rung %v bucket %+v inconsistent", r, b)
+				}
+				if mean := b.Mean(); mean < b.Min-1e-9*math.Abs(b.Min) || mean > b.Max+1e-9*math.Abs(b.Max) {
+					t.Fatalf("rung %v bucket mean %g outside [%g, %g]", r, mean, b.Min, b.Max)
+				}
+				if math.IsNaN(b.Sum) || math.IsInf(b.Sum, 0) {
+					t.Fatalf("rung %v bucket carries non-finite sum %g", r, b.Sum)
+				}
+				total += b.N
+			}
+			// A rung only loses samples by ring eviction: with 16 closed
+			// buckets retained, a rung that produced fewer buckets than
+			// the ring holds must cover every accepted sample.
+			if r != RungRaw && len(pts) < 16 && total != accepted {
+				t.Fatalf("rung %v covers %d samples, accepted %d (no eviction happened)", r, total, accepted)
+			}
+		}
+	})
+}

@@ -1,0 +1,248 @@
+package telemetry_test
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hetpapi/internal/telemetry"
+)
+
+// fleetSeededServer builds a store carrying a small streamed population
+// (metadata + machine scalars + per-core-type counters) and a server.
+func fleetSeededServer(t *testing.T) (*telemetry.Store, *httptest.Server) {
+	t.Helper()
+	st := telemetry.NewStore(telemetry.Config{Capacity: 256, RungCapacity: 256})
+	for m := 0; m < 3; m++ {
+		machine := "m000" + string(rune('0'+m))
+		st.SetMeta(machine, telemetry.MachineMeta{Template: "tpl", Model: "homogeneous"})
+		for i := 0; i < 30; i++ {
+			ts := float64(i) / 2
+			st.Append(telemetry.Key{Machine: machine, Series: "power_w"}, ts, 40+float64(m))
+			st.Append(telemetry.Key{Machine: machine, Series: telemetry.TypeSeriesName("core", "instructions")}, ts, float64(i)*1e6)
+		}
+	}
+	srv := telemetry.NewServer(st, 0)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return st, ts
+}
+
+// TestGzipNegotiation: /series, /query and /fleet/query honor
+// Accept-Encoding — gzip bodies for clients that ask, identity
+// otherwise, correct Content-Encoding and Vary headers, identical
+// decoded payloads either way.
+func TestGzipNegotiation(t *testing.T) {
+	_, ts := fleetSeededServer(t)
+	for _, path := range []string{
+		"/series?machine=m0000",
+		"/query?machine=m0000&series=power_w",
+		"/fleet/query?rung=1s",
+	} {
+		fetch := func(acceptGzip bool) (*http.Response, []byte) {
+			req, _ := http.NewRequest("GET", ts.URL+path, nil)
+			if acceptGzip {
+				req.Header.Set("Accept-Encoding", "gzip")
+			} else {
+				// Neutralize the transport's automatic gzip so the
+				// server sees no Accept-Encoding at all.
+				req.Header.Set("Accept-Encoding", "identity")
+			}
+			resp, err := http.DefaultTransport.RoundTrip(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp, body
+		}
+
+		plainResp, plainBody := fetch(false)
+		if plainResp.StatusCode != 200 || plainResp.Header.Get("Content-Encoding") == "gzip" {
+			t.Fatalf("%s identity fetch: status %d encoding %q", path, plainResp.StatusCode, plainResp.Header.Get("Content-Encoding"))
+		}
+		if !strings.Contains(plainResp.Header.Get("Vary"), "Accept-Encoding") {
+			t.Fatalf("%s identity response missing Vary: Accept-Encoding", path)
+		}
+
+		gzResp, gzBody := fetch(true)
+		if gzResp.StatusCode != 200 || gzResp.Header.Get("Content-Encoding") != "gzip" {
+			t.Fatalf("%s gzip fetch: status %d encoding %q", path, gzResp.StatusCode, gzResp.Header.Get("Content-Encoding"))
+		}
+		zr, err := gzip.NewReader(strings.NewReader(string(gzBody)))
+		if err != nil {
+			t.Fatalf("%s gzip body does not decode: %v", path, err)
+		}
+		decoded, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatalf("%s gzip stream truncated: %v", path, err)
+		}
+		if string(decoded) != string(plainBody) {
+			t.Fatalf("%s gzip payload differs from identity payload", path)
+		}
+		if len(gzBody) >= len(plainBody) {
+			t.Fatalf("%s gzip body (%d bytes) not smaller than identity (%d bytes)", path, len(gzBody), len(plainBody))
+		}
+	}
+}
+
+// TestQueryRungParameter: /query?rung= returns downsampled buckets
+// instead of raw points, and rejects unknown rungs.
+func TestQueryRungParameter(t *testing.T) {
+	_, ts := fleetSeededServer(t)
+
+	var q telemetry.QueryResponse
+	resp, err := http.Get(ts.URL + "/query?machine=m0000&series=power_w&rung=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("rung query status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Rung != "1s" || len(q.Points) != 0 {
+		t.Fatalf("rung response %+v should carry buckets, not points", q)
+	}
+	// 30 samples at 0.5s cadence → 15 1s-buckets of 2 samples each.
+	if len(q.Buckets) != 15 {
+		t.Fatalf("%d buckets, want 15", len(q.Buckets))
+	}
+	for _, b := range q.Buckets {
+		if b.Agg.N != 2 || b.Agg.Min != 40 || b.Agg.Max != 40 {
+			t.Fatalf("bucket %+v", b)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/query?machine=m0000&series=power_w&rung=7s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("unknown rung status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestFleetQueryEndpoint: the population endpoint groups by core type
+// and kind, honors filters, and rejects bad parameters.
+func TestFleetQueryEndpoint(t *testing.T) {
+	_, ts := fleetSeededServer(t)
+
+	get := func(query string) (int, *telemetry.FleetQueryResponse) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/fleet/query" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			return resp.StatusCode, nil
+		}
+		var out telemetry.FleetQueryResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("bad body %s: %v", body, err)
+		}
+		return resp.StatusCode, &out
+	}
+
+	// Default rung is 10s; both groups cover all three machines.
+	code, out := get("")
+	if code != 200 || out.Rung != "10s" || out.Machines != 3 || len(out.Groups) != 2 {
+		t.Fatalf("default query: code %d resp %+v", code, out)
+	}
+	for _, g := range out.Groups {
+		if g.Machines != 3 || len(g.Timeline) != 0 {
+			t.Fatalf("group %+v (timeline must be opt-in)", g)
+		}
+	}
+
+	code, out = get("?rung=1s&kind=power_w&timeline=1")
+	if code != 200 || len(out.Groups) != 1 {
+		t.Fatalf("filtered query: code %d resp %+v", code, out)
+	}
+	g := out.Groups[0]
+	if g.Type != "machine" || g.Kind != "power_w" || g.Merged.Min != 40 || g.Merged.Max != 42 {
+		t.Fatalf("power group %+v", g)
+	}
+	if len(g.Timeline) == 0 {
+		t.Fatal("timeline requested but absent")
+	}
+
+	if code, _ := get("?rung=raw"); code != 400 {
+		t.Fatalf("raw rung status %d, want 400", code)
+	}
+	if code, _ := get("?rung=2h"); code != 400 {
+		t.Fatalf("unknown rung status %d, want 400", code)
+	}
+	if code, _ := get("?from=bogus"); code != 400 {
+		t.Fatalf("bad bound status %d, want 400", code)
+	}
+}
+
+// TestRangeIntoReusesBuffers: the pooled copy-on-read path the /query
+// handler uses must not allocate once its buffer has grown, while the
+// plain Range path allocates a fresh slice every call — the reduction
+// the point pool exists for.
+func TestRangeIntoReusesBuffers(t *testing.T) {
+	st := telemetry.NewStore(telemetry.Config{Capacity: 4096})
+	k := telemetry.Key{Machine: "m", Series: "power_w"}
+	for i := 0; i < 4096; i++ {
+		st.Append(k, float64(i), float64(i))
+	}
+
+	buf := make([]telemetry.Point, 0, 4096)
+	pooled := testing.AllocsPerRun(50, func() {
+		pts, ok := st.RangeInto(k, -1, -1, buf[:0])
+		if !ok || len(pts) != 4096 {
+			t.Fatalf("RangeInto returned %d points", len(pts))
+		}
+	})
+	if pooled != 0 {
+		t.Fatalf("pooled read path allocates %.0f times per query, want 0", pooled)
+	}
+
+	plain := testing.AllocsPerRun(50, func() {
+		pts, ok := st.Range(k, -1, -1)
+		if !ok || len(pts) != 4096 {
+			t.Fatalf("Range returned %d points", len(pts))
+		}
+	})
+	if plain < 1 {
+		t.Fatalf("copy-on-read Range allocates %.0f times per query; the pool assertion above is vacuous", plain)
+	}
+}
+
+// TestFleetDashboard: /fleet/ui serves the self-contained HTML page.
+func TestFleetDashboard(t *testing.T) {
+	_, ts := fleetSeededServer(t)
+	resp, err := http.Get(ts.URL + "/fleet/ui")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("dashboard status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("dashboard content type %q", ct)
+	}
+	html := string(body)
+	for _, want := range []string{"/fleet/query", "/fleet", "selfoverhead", "canvas", "hetpapi fleet"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+}

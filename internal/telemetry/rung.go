@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"hetpapi/internal/stats"
+)
+
+// Rung identifies one downsampling resolution. Every series carries all
+// rungs, folded at ingest: a query over the 1m rung walks pre-merged
+// bucket aggregates and never touches the raw ring.
+type Rung int
+
+const (
+	// RungRaw is the undownsampled ring itself (width 0).
+	RungRaw Rung = iota
+	// Rung1s buckets samples into 1-second windows of simulated time.
+	Rung1s
+	// Rung10s buckets samples into 10-second windows.
+	Rung10s
+	// Rung1m buckets samples into 60-second windows.
+	Rung1m
+
+	numRungs
+)
+
+var rungWidths = [numRungs]float64{0, 1, 10, 60}
+var rungNames = [numRungs]string{"raw", "1s", "10s", "1m"}
+
+// Width returns the rung's bucket width in seconds (0 for RungRaw).
+func (r Rung) Width() float64 {
+	if r < 0 || r >= numRungs {
+		return 0
+	}
+	return rungWidths[r]
+}
+
+func (r Rung) String() string {
+	if r < 0 || r >= numRungs {
+		return fmt.Sprintf("rung(%d)", int(r))
+	}
+	return rungNames[r]
+}
+
+// ParseRung maps a rung name ("raw", "1s", "10s", "1m"; "" means raw)
+// to its Rung.
+func ParseRung(s string) (Rung, error) {
+	if s == "" {
+		return RungRaw, nil
+	}
+	for i, name := range rungNames {
+		if s == name {
+			return Rung(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown rung %q (want raw, 1s, 10s or 1m)", s)
+}
+
+// Rungs returns the downsampled rungs, finest first (excludes RungRaw).
+func Rungs() []Rung { return []Rung{Rung1s, Rung10s, Rung1m} }
+
+// RungPoint is one closed (or still-open) downsampling bucket: the
+// bucket's aligned start time and the mergeable aggregate of every
+// sample that fell into it.
+type RungPoint struct {
+	TimeSec float64      `json:"t"`
+	Agg     stats.Bucket `json:"agg"`
+}

@@ -1,0 +1,433 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestParseRung(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Rung
+		err  bool
+	}{
+		{"", RungRaw, false},
+		{"raw", RungRaw, false},
+		{"1s", Rung1s, false},
+		{"10s", Rung10s, false},
+		{"1m", Rung1m, false},
+		{"2s", 0, true},
+		{"60s", 0, true},
+	} {
+		got, err := ParseRung(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseRung(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if Rung1s.Width() != 1 || Rung10s.Width() != 10 || Rung1m.Width() != 60 || RungRaw.Width() != 0 {
+		t.Fatal("rung widths wrong")
+	}
+}
+
+// TestRungDownsampleBasics: samples at a known cadence land in the
+// right buckets, the open bucket is returned last, and every rung's
+// merged view equals the raw stream's totals (the associativity the
+// hierarchy promises).
+func TestRungDownsampleBasics(t *testing.T) {
+	st := NewStore(Config{Capacity: 1024, RungCapacity: 1024})
+	k := Key{"m", "power_w"}
+	// 4 samples per second for 25 seconds: values 0..99 at t = i/4.
+	const n = 100
+	var sum float64
+	for i := 0; i < n; i++ {
+		st.Append(k, float64(i)/4, float64(i))
+		sum += float64(i)
+	}
+	for _, r := range Rungs() {
+		pts, ok := st.RungRange(k, r, -1, -1)
+		if !ok || len(pts) == 0 {
+			t.Fatalf("rung %v missing", r)
+		}
+		var total int64
+		var vsum float64
+		for i, p := range pts {
+			if want := math.Floor(p.TimeSec/r.Width()) * r.Width(); p.TimeSec != want {
+				t.Fatalf("rung %v bucket %d start %g not aligned to width %g", r, i, p.TimeSec, r.Width())
+			}
+			if i > 0 && p.TimeSec <= pts[i-1].TimeSec {
+				t.Fatalf("rung %v buckets out of order: %g after %g", r, p.TimeSec, pts[i-1].TimeSec)
+			}
+			total += p.Agg.N
+			vsum += p.Agg.Sum
+		}
+		if total != n || vsum != sum {
+			t.Fatalf("rung %v merged N=%d sum=%g, want %d/%g", r, total, vsum, n, sum)
+		}
+	}
+	// 25s of data at the 1s rung: 24 closed + 1 open bucket, each with 4
+	// samples.
+	pts, _ := st.RungRange(k, Rung1s, -1, -1)
+	if len(pts) != 25 {
+		t.Fatalf("1s rung has %d buckets, want 25", len(pts))
+	}
+	for _, p := range pts {
+		if p.Agg.N != 4 {
+			t.Fatalf("bucket at %g has N=%d, want 4", p.TimeSec, p.Agg.N)
+		}
+	}
+	// Window query: buckets whose start lies in [5, 9].
+	win, _ := st.RungRange(k, Rung1s, 5, 9)
+	if len(win) != 5 || win[0].TimeSec != 5 || win[4].TimeSec != 9 {
+		t.Fatalf("window buckets %+v", win)
+	}
+	// Raw fallback wraps each stored point in a single-sample bucket.
+	raw, _ := st.RungRange(k, RungRaw, 0, 1)
+	if len(raw) != 5 {
+		t.Fatalf("raw rung window returned %d buckets, want 5", len(raw))
+	}
+	for _, p := range raw {
+		if p.Agg.N != 1 || p.Agg.Min != p.Agg.Max || p.Agg.Last != p.Agg.Sum {
+			t.Fatalf("raw bucket %+v not a single-sample wrap", p)
+		}
+	}
+}
+
+// TestRungRingWrapAcrossBoundaries: a raw ring far smaller than the
+// rung window still yields complete rung buckets (rungs fold at ingest,
+// not from the ring), and once the rung ring itself wraps the oldest
+// buckets fall off while the retained window stays contiguous.
+func TestRungRingWrapAcrossBoundaries(t *testing.T) {
+	st := NewStore(Config{Capacity: 8, RungCapacity: 10})
+	k := Key{"m", "s"}
+	// 2 samples/s for 30s: the raw ring (8) wraps many times; the 1s
+	// rung ring (10 closed buckets) wraps too.
+	for i := 0; i < 60; i++ {
+		st.Append(k, float64(i)/2, float64(i))
+	}
+	pts, ok := st.RungRange(k, Rung1s, -1, -1)
+	if !ok {
+		t.Fatal("series missing")
+	}
+	// 29 closed buckets, ring keeps 10, plus the open bucket at t=29.
+	if len(pts) != 11 {
+		t.Fatalf("got %d buckets, want 11 (10 closed + open)", len(pts))
+	}
+	for i, p := range pts {
+		if want := float64(19 + i); p.TimeSec != want {
+			t.Fatalf("bucket %d at t=%g, want %g (contiguous retained window)", i, p.TimeSec, want)
+		}
+		if p.Agg.N != 2 {
+			t.Fatalf("bucket at %g has N=%d, want 2", p.TimeSec, p.Agg.N)
+		}
+	}
+	// The coarser rungs kept everything: 10s rung has 3 buckets + open,
+	// covering all 60 samples.
+	pts10, _ := st.RungRange(k, Rung10s, -1, -1)
+	var n int64
+	for _, p := range pts10 {
+		n += p.Agg.N
+	}
+	if n != 60 {
+		t.Fatalf("10s rung covers %d samples, want 60", n)
+	}
+}
+
+// TestRungSparseSeries: widely separated samples produce only the
+// buckets that actually saw data — no zero-filled gaps.
+func TestRungSparseSeries(t *testing.T) {
+	st := NewStore(Config{})
+	k := Key{"m", "sparse"}
+	for _, tv := range [][2]float64{{0.5, 1}, {100.25, 2}, {100.75, 3}, {3600, 4}} {
+		st.Append(k, tv[0], tv[1])
+	}
+	pts, _ := st.RungRange(k, Rung1s, -1, -1)
+	if len(pts) != 3 {
+		t.Fatalf("sparse 1s rung has %d buckets, want 3", len(pts))
+	}
+	if pts[0].TimeSec != 0 || pts[1].TimeSec != 100 || pts[2].TimeSec != 3600 {
+		t.Fatalf("sparse bucket starts %+v", pts)
+	}
+	if pts[1].Agg.N != 2 || pts[1].Agg.Sum != 5 {
+		t.Fatalf("middle bucket %+v, want two samples summing 5", pts[1].Agg)
+	}
+	// The open (last) bucket is returned even though nothing closed it.
+	if pts[2].Agg.N != 1 || pts[2].Agg.Last != 4 {
+		t.Fatalf("open bucket %+v", pts[2].Agg)
+	}
+}
+
+// TestAppendRejectsNonFinite: NaN/±Inf values or timestamps never reach
+// the rings, aggregates or rungs; the store counts them instead.
+func TestAppendRejectsNonFinite(t *testing.T) {
+	st := NewStore(Config{})
+	k := Key{"m", "s"}
+	st.Append(k, 0, 1)
+	st.Append(k, 1, math.NaN())
+	st.Append(k, 2, math.Inf(1))
+	st.Append(k, 3, math.Inf(-1))
+	st.Append(k, math.NaN(), 4)
+	st.Append(k, math.Inf(1), 5)
+	st.Append(k, 4, 2)
+	if got := st.Rejected(); got != 5 {
+		t.Fatalf("Rejected = %d, want 5", got)
+	}
+	agg, _ := st.Aggregate(k)
+	if agg.Count != 2 || agg.Min != 1 || agg.Max != 2 {
+		t.Fatalf("aggregate %+v polluted by non-finite samples", agg)
+	}
+	pts, _ := st.Snapshot(k)
+	if len(pts) != 2 {
+		t.Fatalf("%d stored points, want 2", len(pts))
+	}
+	for _, r := range Rungs() {
+		for _, p := range mustRung(t, st, k, r) {
+			if p.Agg.N != 1 && p.Agg.N != 2 {
+				t.Fatalf("rung %v bucket %+v", r, p)
+			}
+			if math.IsNaN(p.Agg.Sum) || math.IsInf(p.Agg.Sum, 0) ||
+				math.IsInf(p.Agg.Max, 0) || math.IsInf(p.Agg.Min, 0) {
+				t.Fatalf("rung %v bucket %+v contains non-finite", r, p)
+			}
+		}
+	}
+}
+
+func mustRung(t *testing.T, st *Store, k Key, r Rung) []RungPoint {
+	t.Helper()
+	pts, ok := st.RungRange(k, r, -1, -1)
+	if !ok {
+		t.Fatalf("series %v missing", k)
+	}
+	return pts
+}
+
+// TestRungOutOfOrderFoldsIntoOpenBucket: a late sample (time before the
+// open bucket) folds into the open bucket instead of reopening a closed
+// one, keeping the ring time-ordered.
+func TestRungOutOfOrderFoldsIntoOpenBucket(t *testing.T) {
+	st := NewStore(Config{})
+	k := Key{"m", "s"}
+	st.Append(k, 0.2, 1)
+	st.Append(k, 5.1, 2) // closes bucket 0, opens bucket 5
+	st.Append(k, 3.0, 7) // late: folds into the open bucket 5
+	pts, _ := st.RungRange(k, Rung1s, -1, -1)
+	if len(pts) != 2 {
+		t.Fatalf("%d buckets, want 2", len(pts))
+	}
+	if pts[1].TimeSec != 5 || pts[1].Agg.N != 2 || pts[1].Agg.Sum != 9 {
+		t.Fatalf("open bucket %+v, want late sample folded in", pts[1])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TimeSec <= pts[i-1].TimeSec {
+			t.Fatal("ring not time-ordered after out-of-order ingest")
+		}
+	}
+}
+
+// TestConcurrentIngestVsRungQueries hammers the store with fleet-style
+// concurrent writers while rung and fleet queries run — meaningful
+// under -race.
+func TestConcurrentIngestVsRungQueries(t *testing.T) {
+	st := NewStore(Config{Capacity: 128, RungCapacity: 64, Shards: 4})
+	const writers = 8
+	var wgw, wgr sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wgw.Add(1)
+		go func(w int) {
+			defer wgw.Done()
+			machine := fmt.Sprintf("m%04d", w)
+			st.SetMeta(machine, MachineMeta{Template: "tpl"})
+			for i := 0; i < 2000; i++ {
+				tsec := float64(i) / 10
+				st.Append(Key{machine, "power_w"}, tsec, 40+float64(i%7))
+				st.Append(Key{machine, TypeSeriesName("P-core", "instructions")}, tsec, float64(i)*1e6)
+			}
+		}(w)
+	}
+	wgr.Add(1)
+	go func() {
+		defer wgr.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, r := range Rungs() {
+				st.RungRange(Key{"m0000", "power_w"}, r, -1, -1)
+				st.FleetQuery(FleetQueryRequest{Rung: r, FromSec: -1, ToSec: -1, Timeline: true})
+				st.RungSummary(Key{"m0003", "power_w"}, r, -1, -1)
+			}
+		}
+	}()
+	wgr.Add(1)
+	go func() {
+		defer wgr.Done()
+		buf := make([]Point, 0, 256)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			buf = buf[:0]
+			buf, _ = st.SnapshotInto(Key{"m0001", "power_w"}, buf)
+			st.RangeInto(Key{"m0002", "power_w"}, 10, 50, buf[:0])
+		}
+	}()
+	wgw.Wait()
+	close(stop)
+	wgr.Wait()
+
+	// Post-drain sanity: every machine's rungs carry all 2000 samples.
+	for w := 0; w < writers; w++ {
+		b, ok := st.RungSummary(Key{fmt.Sprintf("m%04d", w), "power_w"}, Rung1m, -1, -1)
+		if !ok || b.N != 2000 {
+			t.Fatalf("writer %d rung summary %+v", w, b)
+		}
+	}
+}
+
+// TestFleetQueryGroupsAndFilters: population aggregation groups by
+// (core type, kind) across machines, honors filters, includes the
+// merged timeline, and rejects the raw rung.
+func TestFleetQueryGroupsAndFilters(t *testing.T) {
+	st := NewStore(Config{})
+	for m := 0; m < 4; m++ {
+		machine := fmt.Sprintf("m%04d", m)
+		tpl := "small"
+		if m >= 2 {
+			tpl = "big"
+		}
+		st.SetMeta(machine, MachineMeta{Template: tpl, Model: "raptorlake"})
+		for i := 0; i < 40; i++ {
+			tsec := float64(i) / 2
+			st.Append(Key{machine, "power_w"}, tsec, float64(40+m))
+			st.Append(Key{machine, TypeSeriesName("P-core", "instructions")}, tsec, float64(i*1000*(m+1)))
+			st.Append(Key{machine, TypeSeriesName("E-core", "instructions")}, tsec, float64(i*100*(m+1)))
+			st.Append(Key{machine, DegradationSeriesName("busy_retries")}, tsec, float64(m))
+		}
+	}
+	// Non-population series must not leak into the view.
+	st.Append(Key{"fleet", "selfoverhead/points"}, 0, 123)
+
+	if _, err := st.FleetQuery(FleetQueryRequest{Rung: RungRaw, FromSec: -1, ToSec: -1}); err == nil {
+		t.Fatal("raw rung must be rejected for population queries")
+	}
+
+	resp, err := st.FleetQuery(FleetQueryRequest{Rung: Rung1s, FromSec: -1, ToSec: -1, Timeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Machines != 4 {
+		t.Fatalf("machines = %d, want 4", resp.Machines)
+	}
+	wantGroups := []string{"E-core/instructions", "P-core/instructions",
+		"degradation/busy_retries", "machine/power_w"}
+	var got []string
+	for _, g := range resp.Groups {
+		got = append(got, g.Type+"/"+g.Kind)
+		if g.Machines != 4 || g.Series != 4 {
+			t.Fatalf("group %s machines=%d series=%d, want 4/4", g.Type+"/"+g.Kind, g.Machines, g.Series)
+		}
+		if len(g.Timeline) == 0 {
+			t.Fatalf("group %s missing timeline", g.Kind)
+		}
+		for i := 1; i < len(g.Timeline); i++ {
+			if g.Timeline[i].TimeSec <= g.Timeline[i-1].TimeSec {
+				t.Fatalf("group %s timeline not sorted", g.Kind)
+			}
+		}
+	}
+	if fmt.Sprint(got) != fmt.Sprint(wantGroups) {
+		t.Fatalf("groups %v, want %v", got, wantGroups)
+	}
+	// power_w group: 4 machines × 20 1s-buckets, every sample in [40,43].
+	for _, g := range resp.Groups {
+		if g.Type == "machine" && g.Kind == "power_w" {
+			if g.Merged.Min != 40 || g.Merged.Max != 43 || g.Samples != 160 {
+				t.Fatalf("power group %+v", g)
+			}
+			if g.LastSum != 40+41+42+43 {
+				t.Fatalf("power LastSum = %g", g.LastSum)
+			}
+		}
+	}
+
+	// Filters: template narrows the population, kind narrows the groups.
+	small, err := st.FleetQuery(FleetQueryRequest{Rung: Rung10s, FromSec: -1, ToSec: -1, Template: "small", Kind: "power_w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.Groups) != 1 || small.Groups[0].Machines != 2 || small.Machines != 2 {
+		t.Fatalf("template filter %+v", small)
+	}
+	if small.Groups[0].Merged.Max != 41 {
+		t.Fatalf("small population max power %g, want 41", small.Groups[0].Merged.Max)
+	}
+	pre, err := st.FleetQuery(FleetQueryRequest{Rung: Rung1s, FromSec: -1, ToSec: -1, Machine: "m000", Kind: "instructions", Type: "P-core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pre.Groups) != 1 || pre.Groups[0].Series != 4 {
+		t.Fatalf("machine-prefix filter %+v", pre)
+	}
+}
+
+// TestFleetQueryDeterministicAcrossIngestOrder: the same logical
+// samples ingested by differently-interleaved writers produce
+// byte-identical FleetQuery results — the shard-map iteration order
+// must not leak into the floating-point accumulation.
+func TestFleetQueryDeterministicAcrossIngestOrder(t *testing.T) {
+	build := func(perm []int) *Store {
+		st := NewStore(Config{Shards: 4})
+		for _, m := range perm {
+			machine := fmt.Sprintf("m%04d", m)
+			for i := 0; i < 30; i++ {
+				v := float64(m+1) * (1.0 + float64(i)*0.1)
+				st.Append(Key{machine, "power_w"}, float64(i)/3, v)
+				st.Append(Key{machine, TypeSeriesName("P-core", "cycles")}, float64(i)/3, v*1e6)
+			}
+		}
+		return st
+	}
+	a := build([]int{0, 1, 2, 3, 4})
+	b := build([]int{4, 2, 0, 3, 1})
+	for _, r := range Rungs() {
+		ra, err := a.FleetQuery(FleetQueryRequest{Rung: r, Timeline: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.FleetQuery(FleetQueryRequest{Rung: r, Timeline: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%+v", ra) != fmt.Sprintf("%+v", rb) {
+			t.Fatalf("rung %v: results differ across ingest orders:\n%+v\n%+v", r, ra, rb)
+		}
+	}
+}
+
+// TestRungSummary merges a window into a single bucket.
+func TestRungSummary(t *testing.T) {
+	st := NewStore(Config{})
+	k := Key{"m", "s"}
+	for i := 0; i < 30; i++ {
+		st.Append(k, float64(i), float64(i))
+	}
+	b, ok := st.RungSummary(k, Rung10s, -1, -1)
+	if !ok || b.N != 30 || b.Min != 0 || b.Max != 29 || b.Last != 29 {
+		t.Fatalf("summary %+v", b)
+	}
+	// Window restricted to bucket starts in [10, 19]: one 10s bucket.
+	b, ok = st.RungSummary(k, Rung10s, 10, 19)
+	if !ok || b.N != 10 || b.Min != 10 || b.Max != 19 {
+		t.Fatalf("windowed summary %+v", b)
+	}
+	if _, ok := st.RungSummary(Key{"m", "nope"}, Rung10s, -1, -1); ok {
+		t.Fatal("missing series must report !ok")
+	}
+}

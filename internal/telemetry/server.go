@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -11,7 +12,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"hetpapi/internal/fleet"
 	"hetpapi/internal/profile"
 	"hetpapi/internal/spantrace"
 	"hetpapi/internal/validate"
@@ -23,17 +23,22 @@ import (
 //	GET /health            liveness + store totals
 //	GET /machines          collector registry with self-overhead gauges
 //	GET /series?machine=M  series inventory of one machine
-//	GET /query?machine=M&series=S[&from=F][&to=T][&agg=1]
+//	GET /query?machine=M&series=S[&from=F][&to=T][&agg=1][&rung=R]
 //	GET /query?machine=M&kind=K&by=type
+//	GET /fleet/query?rung=R[&from=F][&to=T][&type=T][&kind=K][&template=T][&timeline=1]
+//	GET /fleet/ui          self-contained live fleet dashboard (HTML)
 //	GET /degradations[?machine=M]  latest probe degradation tallies
 //	GET /trace?machine=M   live span trace as Perfetto JSON
 //	GET /profile?machine=M statistical profile as gzipped pprof proto
 //	GET /validate          counter-accuracy scorecard (when published)
 //	GET /metrics           Prometheus-style text exposition
 //
-// Every response body is JSON except /metrics. Errors carry an APIError
-// body. All handlers serve from copy-on-read store snapshots, so they
-// never block ingestion beyond a shard's brief read lock.
+// Every response body is JSON except /metrics and /fleet/ui. Errors
+// carry an APIError body. All handlers serve from copy-on-read store
+// snapshots, so they never block ingestion beyond a shard's brief read
+// lock; /series, /query and /fleet/query negotiate gzip via
+// Accept-Encoding. Extra endpoints (the daemon's /fleet report) are
+// attached with Mount before the first Handler call.
 type Server struct {
 	store   *Store
 	timeout time.Duration
@@ -42,12 +47,11 @@ type Server struct {
 	mu       sync.RWMutex
 	machines map[string]*machineEntry
 
-	// fleet is the latest fleet roll-up report (nil until the daemon's
-	// first fleet run completes); /fleet serves it. fleetRunning flags
-	// an in-flight fleet run.
-	fleetMu      sync.RWMutex
-	fleet        *fleet.Report
-	fleetRunning bool
+	// extra holds endpoints mounted by the embedding binary (the
+	// hetpapid daemon mounts the fleet-report handler here), keeping
+	// this package free of upward dependencies.
+	extraMu sync.Mutex
+	extra   map[string]http.Handler
 
 	// scorecard is the counter-accuracy validation scorecard computed at
 	// daemon startup (nil when validation is disabled); /validate serves
@@ -141,20 +145,17 @@ func (s *Server) SetRunning(machine string, running bool) {
 	}
 }
 
-// SetFleetReport publishes a fleet roll-up for /fleet to serve,
-// replacing any previous one.
-func (s *Server) SetFleetReport(r *fleet.Report) {
-	s.fleetMu.Lock()
-	s.fleet = r
-	s.fleetMu.Unlock()
-}
-
-// SetFleetRunning flips the in-flight flag /fleet reports alongside the
-// latest roll-up.
-func (s *Server) SetFleetRunning(running bool) {
-	s.fleetMu.Lock()
-	s.fleetRunning = running
-	s.fleetMu.Unlock()
+// Mount attaches an extra endpoint under the given mux pattern. Call
+// before Handler; later Handler calls pick mounted handlers up. The
+// fleet layer mounts its /fleet report endpoint here, so telemetry
+// never needs to import it.
+func (s *Server) Mount(pattern string, h http.Handler) {
+	s.extraMu.Lock()
+	if s.extra == nil {
+		s.extra = map[string]http.Handler{}
+	}
+	s.extra[pattern] = h
+	s.extraMu.Unlock()
 }
 
 // SetScorecard publishes the counter-accuracy scorecard for /validate to
@@ -166,26 +167,36 @@ func (s *Server) SetScorecard(card *validate.Scorecard) {
 }
 
 // Handler returns the routed (and, when configured, per-request
-// timeout-wrapped) HTTP handler.
+// timeout-wrapped) HTTP handler. The series-heavy endpoints (/series,
+// /query, /fleet/query) negotiate gzip compression.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/health", s.handleHealth)
-	mux.HandleFunc("/fleet", s.handleFleet)
 	mux.HandleFunc("/validate", s.handleValidate)
 	mux.HandleFunc("/machines", s.handleMachines)
-	mux.HandleFunc("/series", s.handleSeries)
-	mux.HandleFunc("/query", s.handleQuery)
+	mux.Handle("/series", gzipHandler(http.HandlerFunc(s.handleSeries)))
+	mux.Handle("/query", gzipHandler(http.HandlerFunc(s.handleQuery)))
+	mux.Handle("/fleet/query", gzipHandler(http.HandlerFunc(s.handleFleetQuery)))
+	mux.HandleFunc("/fleet/ui", s.handleFleetUI)
 	mux.HandleFunc("/degradations", s.handleDegradations)
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.extraMu.Lock()
+	for pattern, h := range s.extra {
+		mux.Handle(pattern, h)
+	}
+	s.extraMu.Unlock()
 	if s.timeout <= 0 {
 		return mux
 	}
 	return http.TimeoutHandler(mux, s.timeout, `{"status":503,"error":"request timed out"}`)
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON writes v as an indented JSON response with the given status
+// code. Exported for handlers mounted onto the server from other
+// packages (the fleet layer's /fleet endpoint).
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
@@ -193,8 +204,49 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// WriteAPIError writes an APIError response, for mounted handlers.
+func WriteAPIError(w http.ResponseWriter, code int, format string, args ...any) {
+	WriteJSON(w, code, APIError{Status: code, Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) { WriteJSON(w, code, v) }
+
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, APIError{Status: code, Error: fmt.Sprintf(format, args...)})
+	WriteAPIError(w, code, format, args...)
+}
+
+// gzipWriterPool recycles compressors across requests; one gzip.Writer
+// holds sizable window buffers.
+var gzipWriterPool = sync.Pool{New: func() any { return gzip.NewWriter(nil) }}
+
+// gzipResponseWriter funnels the handler's body through a gzip stream
+// while leaving headers and status codes alone.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	zw *gzip.Writer
+}
+
+func (g *gzipResponseWriter) Write(b []byte) (int, error) { return g.zw.Write(b) }
+
+// gzipHandler negotiates gzip content encoding: when the client's
+// Accept-Encoding lists gzip, the wrapped handler's response body is
+// compressed and tagged Content-Encoding: gzip. Series payloads are
+// floating-point JSON that compresses 5-10×, which matters once
+// /fleet/query aggregates thousands of machines.
+func gzipHandler(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Add("Vary", "Accept-Encoding")
+		if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			h.ServeHTTP(w, r)
+			return
+		}
+		zw := gzipWriterPool.Get().(*gzip.Writer)
+		zw.Reset(w)
+		w.Header().Set("Content-Encoding", "gzip")
+		h.ServeHTTP(&gzipResponseWriter{ResponseWriter: w, zw: zw}, r)
+		zw.Close()
+		gzipWriterPool.Put(zw)
+	})
 }
 
 // knownMachine reports whether a machine id is registered or present in
@@ -318,8 +370,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := Key{machine, series}
-	pts, ok := s.store.Range(key, from, to)
+	if rungName := q.Get("rung"); rungName != "" && rungName != "raw" {
+		rung, err := ParseRung(rungName)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad rung parameter: %v", err)
+			return
+		}
+		buckets, ok := s.store.RungRange(key, rung, from, to)
+		if !ok {
+			writeError(w, http.StatusNotFound, "machine %q has no series %q", machine, series)
+			return
+		}
+		resp := QueryResponse{Machine: machine, Series: series, Rung: rung.String(), Buckets: buckets}
+		if v := q.Get("agg"); v == "1" || v == "true" {
+			agg, _ := s.store.Aggregate(key)
+			resp.Aggregate = &agg
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// Copy-on-read through a pooled buffer: the hot polling path (live
+	// dashboards re-fetch every second) reuses one point slice per
+	// request instead of allocating a fresh snapshot each time. The
+	// buffer is returned to the pool only after writeJSON has fully
+	// marshalled the response.
+	bufp := pointBufPool.Get().(*[]Point)
+	pts, ok := s.store.RangeInto(key, from, to, (*bufp)[:0])
 	if !ok {
+		pointBufPool.Put(bufp)
 		writeError(w, http.StatusNotFound, "machine %q has no series %q", machine, series)
 		return
 	}
@@ -329,7 +407,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Aggregate = &agg
 	}
 	writeJSON(w, http.StatusOK, resp)
+	*bufp = pts[:0]
+	pointBufPool.Put(bufp)
 }
+
+// pointBufPool recycles /query's copy-on-read point buffers across
+// requests.
+var pointBufPool = sync.Pool{New: func() any {
+	buf := make([]Point, 0, 4096)
+	return &buf
+}}
 
 // handleDegradations reports, per machine carrying a measurement probe,
 // the latest graceful-degradation tallies and probe readings — the
@@ -386,35 +473,49 @@ func (s *Server) handleDegradations(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// FleetInfo is the /fleet response body: the latest fleet roll-up plus
-// the in-flight flag.
-type FleetInfo struct {
-	Running bool          `json:"running"`
-	Report  *fleet.Report `json:"report"`
-}
-
-// handleFleet serves the latest fleet roll-up report. The per-machine
-// results array is omitted unless results=1 is passed; the roll-up
-// aggregates, incident ledger and digest are always included. 404 until
-// the first fleet run has completed (the running flag in the error-free
-// path tells pollers one is underway).
-func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
-	s.fleetMu.RLock()
-	rep, running := s.fleet, s.fleetRunning
-	s.fleetMu.RUnlock()
-	if rep == nil {
-		if running {
-			writeJSON(w, http.StatusOK, FleetInfo{Running: true})
-			return
-		}
-		writeError(w, http.StatusNotFound, "no fleet report (daemon running without -fleet, or first run still pending)")
+// handleFleetQuery serves the population-wide streaming aggregation
+// view: per-(core type, event kind) aggregates over one downsampled
+// rung and time window, merged across every machine in the store. The
+// merge reads only pre-computed rung buckets, so cost is bounded by
+// series × RungCapacity regardless of how much raw data the fleet
+// streamed.
+func (s *Server) handleFleetQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	rungName := q.Get("rung")
+	if rungName == "" {
+		rungName = "10s"
+	}
+	rung, err := ParseRung(rungName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad rung parameter: %v", err)
 		return
 	}
-	q := r.URL.Query().Get("results")
-	if q != "1" && q != "true" {
-		rep = rep.Compact()
+	from, err := parseBound(q.Get("from"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad from parameter: %v", err)
+		return
 	}
-	writeJSON(w, http.StatusOK, FleetInfo{Running: running, Report: rep})
+	to, err := parseBound(q.Get("to"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad to parameter: %v", err)
+		return
+	}
+	tl := q.Get("timeline")
+	resp, err := s.store.FleetQuery(FleetQueryRequest{
+		Rung:     rung,
+		FromSec:  from,
+		ToSec:    to,
+		Type:     q.Get("type"),
+		Kind:     q.Get("kind"),
+		Template: q.Get("template"),
+		Machine:  q.Get("machine"),
+		Timeline: tl == "1" || tl == "true",
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleValidate serves the startup counter-accuracy scorecard: every

@@ -436,11 +436,14 @@ func TestProfileEndpoint(t *testing.T) {
 	}
 }
 
-// TestFleetEndpoint: /fleet 404s before any report, reports the
-// in-flight flag while a run is hot, then serves the published roll-up
-// — compact by default, per-machine results with results=1.
+// TestFleetEndpoint: the fleet monitor's mounted /fleet 404s before any
+// report, reports the in-flight flag while a run is hot, then serves
+// the published roll-up — compact by default, per-machine results with
+// results=1.
 func TestFleetEndpoint(t *testing.T) {
 	_, srv := seededServer(t, 0)
+	mon := fleet.NewMonitor()
+	mon.Register(srv)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -461,7 +464,7 @@ func TestFleetEndpoint(t *testing.T) {
 	if code, _ := get("/fleet"); code != 404 {
 		t.Fatalf("no report must 404, got %d", code)
 	}
-	srv.SetFleetRunning(true)
+	mon.SetRunning(true)
 	if code, body := get("/fleet"); code != 200 || !strings.Contains(string(body), `"running": true`) {
 		t.Fatalf("pending run: status %d body %s", code, body)
 	}
@@ -483,14 +486,14 @@ func TestFleetEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.SetFleetReport(rep)
-	srv.SetFleetRunning(false)
+	mon.SetReport(rep, nil)
+	mon.SetRunning(false)
 
 	code, body := get("/fleet")
 	if code != 200 {
 		t.Fatalf("fleet fetch: status %d", code)
 	}
-	var info telemetry.FleetInfo
+	var info fleet.FleetInfo
 	if err := json.Unmarshal(body, &info); err != nil {
 		t.Fatal(err)
 	}

@@ -2,16 +2,19 @@
 // machines: a sharded, concurrency-safe time-series store that ingests
 // per-tick samples from scenario step hooks (one series per core, event
 // and PMU, plus machine-level power, energy, frequency and temperature),
-// holds them in fixed-capacity ring buffers with configurable
-// downsampling, and answers snapshot/range/aggregate queries without
-// blocking ingestion.
+// holds them in fixed-capacity ring buffers with multi-resolution
+// downsampling rungs, and answers snapshot/range/aggregate queries
+// without blocking ingestion.
 //
 // Layout: series are partitioned across shards by an FNV-1a hash of their
 // key, so concurrent collectors (one goroutine per simulated machine)
 // contend only when they hash to the same shard. The write path takes one
 // shard's write lock for O(1) work per sample; the read path takes the
 // shard's read lock only long enough to copy points out ("copy-on-read"),
-// so queries never hold a lock while marshalling or aggregating.
+// so queries never hold a lock while marshalling or aggregating. Rings
+// grow lazily up to their configured capacity, so a fleet of thousands of
+// short-lived machines pays for the points it stores, not for the
+// capacity it reserves.
 //
 // Aggregates are streaming: every series maintains a Welford
 // mean/variance over its whole lifetime and a RingQuantile window for
@@ -19,14 +22,23 @@
 // no re-sorting of the series on query, the cost model Diamond et al.'s
 // RAPL-overhead study demands of a collector that must account for its
 // own sampling cost.
+//
+// Downsampling rungs: alongside the raw ring, every series maintains one
+// ring of mergeable bucket aggregates (stats.Bucket) per rung resolution
+// (1s/10s/1m of simulated time), folded at ingest. A query over any rung
+// walks at most RungCapacity buckets, and a population-wide query (the
+// /fleet/query endpoint) merges closed buckets across thousands of
+// machines without ever touching a raw ring.
 package telemetry
 
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hetpapi/internal/stats"
 )
@@ -42,15 +54,21 @@ func (k Key) String() string { return k.Machine + "/" + k.Series }
 
 // Config sizes the store.
 type Config struct {
-	// Capacity is the per-series ring capacity in stored points
+	// Capacity is the per-series raw ring capacity in stored points
 	// (default 4096). The percentile window has the same size.
 	Capacity int
 	// Downsample is the number of raw samples averaged into one stored
-	// point (default 1 = store raw). Streaming aggregates always see the
-	// raw values; downsampling only bounds what Snapshot/Range return.
+	// point (default 1 = store raw). Streaming aggregates and the rungs
+	// always see the raw values; downsampling only bounds what
+	// Snapshot/Range return.
 	Downsample int
 	// Shards is the number of lock shards (default 8).
 	Shards int
+	// RungCapacity is the per-series, per-rung ring capacity in closed
+	// buckets (default 1024; at the 1s rung that is ~17 simulated
+	// minutes of history). Rungs cost nothing until samples arrive:
+	// their rings grow lazily like the raw ring.
+	RungCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -63,39 +81,105 @@ func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = 8
 	}
+	if c.RungCapacity <= 0 {
+		c.RungCapacity = 1024
+	}
 	return c
 }
 
-// series is one ring-buffered signal plus its streaming aggregates.
-// Guarded by its shard's mutex.
+// ring is a lazily-grown circular buffer: it appends until it reaches
+// max, then wraps, overwriting the oldest entry. Memory is proportional
+// to the points actually stored, never to the configured capacity.
+type ring[T any] struct {
+	buf  []T
+	max  int
+	head int // next overwrite position once len(buf) == max
+}
+
+func (r *ring[T]) push(v T) {
+	if len(r.buf) < r.max {
+		r.buf = append(r.buf, v)
+		return
+	}
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % r.max
+}
+
+func (r *ring[T]) len() int { return len(r.buf) }
+
+// appendTo appends the ring contents, oldest first, onto dst.
+func (r *ring[T]) appendTo(dst []T) []T {
+	dst = append(dst, r.buf[r.head:]...)
+	return append(dst, r.buf[:r.head]...)
+}
+
+// rungState is one resolution's downsampling state: the currently open
+// bucket plus the ring of closed ones. Guarded by the shard's mutex.
+type rungState struct {
+	width float64 // bucket width in seconds
+	open  bool
+	start float64 // open bucket's aligned start time
+	cur   stats.Bucket
+	ring  ring[RungPoint]
+}
+
+// add folds one sample at time t into the rung, closing the open bucket
+// when t crosses into a later one. Timestamps are assumed non-decreasing
+// per series (the collector contract); a late sample that lands before
+// the open bucket is folded into the open bucket rather than reopening a
+// closed one, which keeps the ring time-ordered.
+func (rs *rungState) add(t, v float64) {
+	bs := math.Floor(t/rs.width) * rs.width
+	if !rs.open {
+		rs.open = true
+		rs.start = bs
+	} else if bs > rs.start {
+		rs.ring.push(RungPoint{TimeSec: rs.start, Agg: rs.cur})
+		rs.cur = stats.Bucket{}
+		rs.start = bs
+	}
+	rs.cur.Add(v)
+}
+
+// appendWindow appends the rung's buckets with from <= TimeSec <= to
+// (negative bounds are open) onto dst, closed buckets first, then the
+// open bucket so live queries see the freshest window.
+func (rs *rungState) appendWindow(fromSec, toSec float64, dst []RungPoint) []RungPoint {
+	emit := func(p RungPoint) []RungPoint {
+		if fromSec >= 0 && p.TimeSec < fromSec {
+			return dst
+		}
+		if toSec >= 0 && p.TimeSec > toSec {
+			return dst
+		}
+		return append(dst, p)
+	}
+	for _, p := range rs.ring.buf[rs.ring.head:] {
+		dst = emit(p)
+	}
+	for _, p := range rs.ring.buf[:rs.ring.head] {
+		dst = emit(p)
+	}
+	if rs.open {
+		dst = emit(RungPoint{TimeSec: rs.start, Agg: rs.cur})
+	}
+	return dst
+}
+
+// series is one ring-buffered signal plus its streaming aggregates and
+// downsampling rungs. Guarded by its shard's mutex.
 type series struct {
-	ring []Point // fixed capacity, time-ordered
-	head int     // next write slot
-	n    int     // fill
-	agg  stats.Welford
-	win  *stats.RingQuantile
+	raw ring[Point]
+	agg stats.Welford
+	win *stats.RingQuantile
+
+	// rungs holds one downsampling state per non-raw rung, indexed by
+	// Rung-1 (Rung1s first).
+	rungs [numRungs - 1]rungState
 
 	// Downsample accumulator: accN raw samples pending, summing accSum.
 	accN   int
 	accSum float64
-}
-
-func (s *series) push(p Point) {
-	s.ring[s.head] = p
-	s.head = (s.head + 1) % len(s.ring)
-	if s.n < len(s.ring) {
-		s.n++
-	}
-}
-
-// points returns a fresh time-ordered copy of the ring.
-func (s *series) points() []Point {
-	out := make([]Point, 0, s.n)
-	start := s.head - s.n
-	for i := 0; i < s.n; i++ {
-		out = append(out, s.ring[(start+i+len(s.ring))%len(s.ring)])
-	}
-	return out
 }
 
 type shard struct {
@@ -107,12 +191,25 @@ type shard struct {
 type Store struct {
 	cfg    Config
 	shards []*shard
+
+	// rejected counts non-finite samples dropped at the door.
+	rejected atomic.Int64
+
+	metaMu sync.RWMutex
+	meta   map[string]MachineMeta
+}
+
+// MachineMeta tags one machine id with fleet metadata, letting
+// population queries group by template without parsing machine ids.
+type MachineMeta struct {
+	Template string `json:"template,omitempty"`
+	Model    string `json:"model,omitempty"`
 }
 
 // NewStore builds a store with the given (defaulted) configuration.
 func NewStore(cfg Config) *Store {
 	cfg = cfg.withDefaults()
-	st := &Store{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	st := &Store{cfg: cfg, shards: make([]*shard, cfg.Shards), meta: map[string]MachineMeta{}}
 	for i := range st.shards {
 		st.shards[i] = &shard{series: map[Key]*series{}}
 	}
@@ -121,6 +218,23 @@ func NewStore(cfg Config) *Store {
 
 // Config returns the effective (defaulted) configuration.
 func (st *Store) Config() Config { return st.cfg }
+
+// SetMeta tags a machine id with fleet metadata (template, model).
+func (st *Store) SetMeta(machine string, m MachineMeta) {
+	st.metaMu.Lock()
+	st.meta[machine] = m
+	st.metaMu.Unlock()
+}
+
+// Meta returns a machine's metadata (zero value when untagged).
+func (st *Store) Meta(machine string) MachineMeta {
+	st.metaMu.RLock()
+	defer st.metaMu.RUnlock()
+	return st.meta[machine]
+}
+
+// Rejected returns the number of non-finite samples dropped at ingest.
+func (st *Store) Rejected() int64 { return st.rejected.Load() }
 
 func (st *Store) shardOf(k Key) *shard {
 	h := fnv.New32a()
@@ -131,24 +245,42 @@ func (st *Store) shardOf(k Key) *shard {
 }
 
 // Append ingests one raw sample into the keyed series, creating it on
-// first use. Safe for concurrent use with other appends and queries.
+// first use. Non-finite values (NaN, ±Inf) are rejected before they can
+// reach any ring or accumulator: a NaN would poison the streaming
+// aggregates and an Inf would destroy every rung bucket's envelope for
+// the rest of its window. Safe for concurrent use with other appends
+// and queries.
 func (st *Store) Append(k Key, timeSec, value float64) {
+	if math.IsNaN(value) || math.IsInf(value, 0) ||
+		math.IsNaN(timeSec) || math.IsInf(timeSec, 0) {
+		st.rejected.Add(1)
+		return
+	}
 	sh := st.shardOf(k)
 	sh.mu.Lock()
 	s := sh.series[k]
 	if s == nil {
 		s = &series{
-			ring: make([]Point, st.cfg.Capacity),
-			win:  stats.NewRingQuantile(st.cfg.Capacity),
+			raw: ring[Point]{max: st.cfg.Capacity},
+			win: stats.NewRingQuantile(st.cfg.Capacity),
+		}
+		for i := range s.rungs {
+			s.rungs[i] = rungState{
+				width: Rung(i + 1).Width(),
+				ring:  ring[RungPoint]{max: st.cfg.RungCapacity},
+			}
 		}
 		sh.series[k] = s
 	}
 	s.agg.Add(value)
 	s.win.Add(value)
+	for i := range s.rungs {
+		s.rungs[i].add(timeSec, value)
+	}
 	s.accSum += value
 	s.accN++
 	if s.accN >= st.cfg.Downsample {
-		s.push(Point{TimeSec: timeSec, Value: s.accSum / float64(s.accN)})
+		s.raw.push(Point{TimeSec: timeSec, Value: s.accSum / float64(s.accN)})
 		s.accN, s.accSum = 0, 0
 	}
 	sh.mu.Unlock()
@@ -161,7 +293,7 @@ func (st *Store) Len(k Key) int {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	if s := sh.series[k]; s != nil {
-		return s.n
+		return s.raw.len()
 	}
 	return 0
 }
@@ -169,28 +301,44 @@ func (st *Store) Len(k Key) int {
 // Snapshot returns a copy of every stored point of a series, oldest
 // first, and whether the series exists.
 func (st *Store) Snapshot(k Key) ([]Point, bool) {
+	return st.SnapshotInto(k, nil)
+}
+
+// SnapshotInto appends every stored point of a series, oldest first,
+// onto dst (which may be a recycled buffer) and reports whether the
+// series exists. The returned slice aliases dst's array when capacity
+// allows — the pooled read path the /query handler uses to avoid a
+// fresh allocation per request.
+func (st *Store) SnapshotInto(k Key, dst []Point) ([]Point, bool) {
 	sh := st.shardOf(k)
 	sh.mu.RLock()
 	s := sh.series[k]
 	if s == nil {
 		sh.mu.RUnlock()
-		return nil, false
+		return dst, false
 	}
-	pts := s.points()
+	dst = s.raw.appendTo(dst)
 	sh.mu.RUnlock()
-	return pts, true
+	return dst, true
 }
 
 // Range returns the stored points with FromSec <= TimeSec <= ToSec. A
 // negative bound is open. The bool reports series existence (an empty
 // range on an existing series is ([], true)).
 func (st *Store) Range(k Key, fromSec, toSec float64) ([]Point, bool) {
-	pts, ok := st.Snapshot(k)
+	return st.RangeInto(k, fromSec, toSec, nil)
+}
+
+// RangeInto is Range appending into a caller-supplied (possibly
+// recycled) buffer, like SnapshotInto.
+func (st *Store) RangeInto(k Key, fromSec, toSec float64, dst []Point) ([]Point, bool) {
+	base := len(dst)
+	dst, ok := st.SnapshotInto(k, dst)
 	if !ok {
-		return nil, false
+		return dst, false
 	}
-	out := pts[:0]
-	for _, p := range pts {
+	out := dst[base:base]
+	for _, p := range dst[base:] {
 		if fromSec >= 0 && p.TimeSec < fromSec {
 			continue
 		}
@@ -199,7 +347,50 @@ func (st *Store) Range(k Key, fromSec, toSec float64) ([]Point, bool) {
 		}
 		out = append(out, p)
 	}
-	return out, true
+	return dst[:base+len(out)], true
+}
+
+// RungRange returns the rung's bucket aggregates with
+// from <= bucket start <= to (negative bounds open), oldest first,
+// including the still-open bucket, and whether the series exists.
+// RungRaw falls back to the raw ring, wrapping each stored point in a
+// single-sample bucket, so callers can treat every resolution
+// uniformly.
+func (st *Store) RungRange(k Key, r Rung, fromSec, toSec float64) ([]RungPoint, bool) {
+	return st.RungRangeInto(k, r, fromSec, toSec, nil)
+}
+
+// RungRangeInto is RungRange appending into a caller-supplied buffer.
+func (st *Store) RungRangeInto(k Key, r Rung, fromSec, toSec float64, dst []RungPoint) ([]RungPoint, bool) {
+	sh := st.shardOf(k)
+	sh.mu.RLock()
+	s := sh.series[k]
+	if s == nil {
+		sh.mu.RUnlock()
+		return dst, false
+	}
+	if r == RungRaw {
+		emit := func(p Point) {
+			if fromSec >= 0 && p.TimeSec < fromSec {
+				return
+			}
+			if toSec >= 0 && p.TimeSec > toSec {
+				return
+			}
+			dst = append(dst, RungPoint{TimeSec: p.TimeSec,
+				Agg: stats.Bucket{N: 1, Sum: p.Value, Min: p.Value, Max: p.Value, Last: p.Value}})
+		}
+		for _, p := range s.raw.buf[s.raw.head:] {
+			emit(p)
+		}
+		for _, p := range s.raw.buf[:s.raw.head] {
+			emit(p)
+		}
+	} else {
+		dst = s.rungs[r-1].appendWindow(fromSec, toSec, dst)
+	}
+	sh.mu.RUnlock()
+	return dst, true
 }
 
 // Aggregate returns the streaming aggregate of a series: lifetime
@@ -292,6 +483,13 @@ func CounterSeriesName(cpu int, typeName, kind string) string {
 	return fmt.Sprintf("cpu%d/%s/%s", cpu, typeName, kind)
 }
 
+// TypeSeriesName is the naming convention for per-core-type counter
+// totals (the fleet streamer's form): type/<core-type>/<kind>, e.g.
+// "type/P-core/instructions".
+func TypeSeriesName(typeName, kind string) string {
+	return "type/" + typeName + "/" + kind
+}
+
 // MeasureSeriesName is the naming convention for the PAPI-probe value
 // series of a fault scenario: measure/<event>/<field>, e.g.
 // "measure/PAPI_TOT_CYC/final".
@@ -312,6 +510,32 @@ func parseCounterSeries(name string) (cpu, typeName, kind string, ok bool) {
 		return "", "", "", false
 	}
 	return strings.TrimPrefix(parts[0], "cpu"), parts[1], parts[2], true
+}
+
+// parseEventSeries classifies a series name for population grouping:
+// per-CPU counters (cpu<N>/<type>/<kind>) and per-type totals
+// (type/<type>/<kind>) map to their core type and event kind; the
+// machine-level scalars map to the pseudo-type "machine"; degradation
+// tallies map to the pseudo-type "degradation". Everything else is not
+// part of the population view.
+func parseEventSeries(name string) (typeName, kind string, ok bool) {
+	if _, tn, kd, isCounter := parseCounterSeries(name); isCounter {
+		return tn, kd, true
+	}
+	if rest, isType := strings.CutPrefix(name, "type/"); isType {
+		if i := strings.IndexByte(rest, '/'); i > 0 && i < len(rest)-1 {
+			return rest[:i], rest[i+1:], true
+		}
+		return "", "", false
+	}
+	switch name {
+	case "power_w", "energy_j", "temp_c", "wall_w":
+		return "machine", name, true
+	}
+	if counter, isDegr := strings.CutPrefix(name, "degradation/"); isDegr {
+		return "degradation", counter, true
+	}
+	return "", "", false
 }
 
 // TypeAggregates groups one machine's counter series of the given kind
