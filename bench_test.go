@@ -1085,3 +1085,54 @@ func BenchmarkSimThroughput(b *testing.B) {
 		})
 	}
 }
+
+// httpObsBenchServer builds a telemetry server over a store seeded with
+// enough points that /query does representative marshalling work.
+func httpObsBenchServer() *telemetry.Server {
+	st := telemetry.NewStore(telemetry.Config{Capacity: 1024})
+	for i := 0; i < 512; i++ {
+		st.Append(telemetry.Key{Machine: "mach", Series: "power_w"}, float64(i), 40+float64(i%7))
+	}
+	return telemetry.NewServer(st, 0)
+}
+
+// httpObsNs drives GET requests straight into the handler (no network)
+// and returns ns per request.
+func httpObsNs(b *testing.B, h http.Handler, target string) float64 {
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+	b.StopTimer()
+	return float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+}
+
+// BenchmarkHTTPObsOverhead measures what the serving-path observer adds
+// to a request: the same telemetry server driven bare
+// (UninstrumentedHandler) and instrumented (Handler, the production
+// composition). The instrumented/bare ratio is reported as a benchmark
+// metric and gated at <= 1.05x by the recorded overhead_ratio in
+// BENCH_10.json, mirroring the spantrace/profiler overhead discipline.
+func BenchmarkHTTPObsOverhead(b *testing.B) {
+	const target = "/query?machine=mach&series=power_w&agg=1"
+	var bareNs, instNs float64
+	b.Run("bare", func(b *testing.B) {
+		bareNs = httpObsNs(b, httpObsBenchServer().UninstrumentedHandler(), target)
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		instNs = httpObsNs(b, httpObsBenchServer().Handler(), target)
+		if bareNs > 0 {
+			b.ReportMetric(instNs/bareNs, "x-bare")
+		}
+	})
+	if bareNs > 0 && printHeader(b, "httpobs-ovh", "Serving-path observer overhead", "") {
+		fmt.Printf("request ns: bare %.0f, instrumented %.0f\n", bareNs, instNs)
+		fmt.Printf("instrumented/bare %.3f (acceptance: <= 1.05)\n", instNs/bareNs)
+	}
+}

@@ -15,6 +15,11 @@ package hetpapi
 //     per case (fleet streaming-observability ingest through the rung
 //     hierarchy), gated on min_throughput (points/s) and
 //     max_allocs_per_point.
+//   - serving (BENCH_10): qps / p50_ms / p99_ms / error_pct /
+//     allocs_per_op per case, produced by the hetpapiload open-loop
+//     harness against the in-process daemon rig, gated on min_qps,
+//     max_p99_ms and max_overhead_ratio (BenchmarkHTTPObsOverhead's
+//     instrumented/bare request cost).
 //
 // The test checks the *recorded* numbers, not a live benchmark run, so
 // CI stays deterministic on noisy shared runners; the CI bench-smoke
@@ -40,10 +45,21 @@ type benchCase struct {
 	PointsPerSec   float64 `json:"points_per_s"`
 	NsPerPoint     float64 `json:"ns_per_point"`
 	AllocsPerPoint float64 `json:"allocs_per_point"`
+	// Serving schema (hetpapiload).
+	Requests      int     `json:"requests"`
+	QPS           float64 `json:"qps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	ErrorPct      float64 `json:"error_pct"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	OverheadRatio float64 `json:"overhead_ratio"`
 }
 
 // throughput returns the case's headline figure under any schema.
 func (c benchCase) throughput() float64 {
+	if c.QPS > 0 {
+		return c.QPS
+	}
 	if c.PointsPerSec > 0 {
 		return c.PointsPerSec
 	}
@@ -66,6 +82,9 @@ type benchFile struct {
 		MinSpeedup        float64 `json:"min_speedup"`
 		MinThroughput     float64 `json:"min_throughput"`
 		MaxAllocsPerPoint float64 `json:"max_allocs_per_point"`
+		MinQPS            float64 `json:"min_qps"`
+		MaxP99Ms          float64 `json:"max_p99_ms"`
+		MaxOverheadRatio  float64 `json:"max_overhead_ratio"`
 	} `json:"gate"`
 }
 
@@ -96,6 +115,22 @@ func TestBenchTrajectory(t *testing.T) {
 			}
 			for name, c := range bf.Cases {
 				switch {
+				case c.QPS > 0:
+					// Serving schema: quantiles must be ordered, the error
+					// rate a valid percentage, and the request count and
+					// allocation figure present.
+					if c.Requests <= 0 {
+						t.Errorf("case %s: serving figures without a request count: %+v", name, c)
+					}
+					if !(c.P50Ms > 0 && c.P50Ms <= c.P99Ms) {
+						t.Errorf("case %s: serving quantiles disordered: p50 %.2f p99 %.2f", name, c.P50Ms, c.P99Ms)
+					}
+					if c.ErrorPct < 0 || c.ErrorPct > 100 {
+						t.Errorf("case %s: error_pct %.2f outside [0,100]", name, c.ErrorPct)
+					}
+					if c.AllocsPerOp <= 0 {
+						t.Errorf("case %s: serving figures without allocs_per_op: %+v", name, c)
+					}
 				case c.NsPerPoint > 0:
 					// Ingest schema: points/s and ns/point must agree to
 					// within rounding, and the population size must be
@@ -141,6 +176,23 @@ func TestBenchTrajectory(t *testing.T) {
 				if bf.Gate.MaxAllocsPerPoint > 0 && c.AllocsPerPoint > bf.Gate.MaxAllocsPerPoint {
 					t.Errorf("gate: %s allocs/point %.1f above the committed %.1f ceiling",
 						bf.Gate.Case, c.AllocsPerPoint, bf.Gate.MaxAllocsPerPoint)
+				}
+				if bf.Gate.MinQPS > 0 && c.QPS < bf.Gate.MinQPS {
+					t.Errorf("gate: %s qps %.1f below the committed %.1f floor",
+						bf.Gate.Case, c.QPS, bf.Gate.MinQPS)
+				}
+				if bf.Gate.MaxP99Ms > 0 && c.P99Ms > bf.Gate.MaxP99Ms {
+					t.Errorf("gate: %s p99 %.2fms above the committed %.1fms ceiling",
+						bf.Gate.Case, c.P99Ms, bf.Gate.MaxP99Ms)
+				}
+				if bf.Gate.MaxOverheadRatio > 0 {
+					if c.OverheadRatio <= 0 {
+						t.Fatalf("gate: max_overhead_ratio on a case without an overhead figure: %+v", c)
+					}
+					if c.OverheadRatio > bf.Gate.MaxOverheadRatio {
+						t.Errorf("gate: %s instrumented/bare overhead %.3fx above the committed %.2fx ceiling",
+							bf.Gate.Case, c.OverheadRatio, bf.Gate.MaxOverheadRatio)
+					}
 				}
 				if bf.Gate.MinThroughput > 0 && c.throughput() < bf.Gate.MinThroughput {
 					t.Errorf("gate: %s throughput %.1f below the committed %.1f floor",

@@ -17,6 +17,8 @@
 //	GET /fleet/ui          self-contained live fleet dashboard
 //	GET /validate          startup counter-accuracy scorecard
 //	GET /metrics           Prometheus-style text exposition
+//	GET /status            serving-path telemetry: per-endpoint latency,
+//	                       errors, SLO attainment, slow-request ring
 //
 // Fault scenarios (reference scenarios carrying a Measure probe) also
 // stream the probe's degradation-aware values and graceful-degradation
@@ -28,6 +30,7 @@
 //	hetpapid [-addr :8080] [-scenarios all|name,name,...] [-loop]
 //	         [-capacity N] [-downsample K] [-shards S] [-every T]
 //	         [-request-timeout D] [-trace-capacity N]
+//	         [-slo-latency-ms 250] [-slo-error-pct 1]
 //	         [-profile] [-profile-period N] [-validate]
 //	         [-fleet N] [-fleet-seed S] [-fleet-stagger W]
 //	         [-fleet-chaos R] [-fleet-workers P]
@@ -60,6 +63,15 @@
 // as Chrome trace-event JSON for ui.perfetto.dev, and /metrics exports
 // the hetpapid_spans_* recorder counters. -trace-capacity 0 turns the
 // recorder off.
+//
+// The serving path measures itself in the same spirit: every request
+// is accounted per endpoint (latency percentiles, status classes,
+// bytes, gzip hits, a bounded slow-request ring), /status reports SLO
+// attainment against the -slo-latency-ms / -slo-error-pct targets with
+// burn flags, /metrics carries the hetpapid_http_* families, and with
+// tracing enabled each request lands one http.<endpoint> span served
+// at /trace?machine=http. The cmd/hetpapiload harness drives this
+// surface under deterministic open-loop load.
 //
 // With -profile (the default), every machine additionally runs the
 // per-core-type statistical profiler: one sampled cycles event per
@@ -96,6 +108,7 @@ import (
 	"hetpapi/internal/scenario"
 	"hetpapi/internal/spantrace"
 	"hetpapi/internal/telemetry"
+	"hetpapi/internal/telemetry/httpobs"
 	"hetpapi/internal/validate"
 )
 
@@ -109,6 +122,8 @@ type config struct {
 	loop       bool
 	reqTimeout time.Duration
 	traceCap   int
+	sloLatMs   float64
+	sloErrPct  float64
 	profile    bool
 	profPeriod uint64
 	validate   bool
@@ -135,6 +150,10 @@ func main() {
 	flag.DurationVar(&cfg.reqTimeout, "request-timeout", 5*time.Second, "per-request handler timeout")
 	flag.IntVar(&cfg.traceCap, "trace-capacity", spantrace.DefaultTrackCapacity,
 		"span-trace ring capacity per track, served at /trace (0 disables tracing)")
+	flag.Float64Var(&cfg.sloLatMs, "slo-latency-ms", httpobs.DefaultSLOLatencyMs,
+		"per-request latency SLO target in milliseconds (judged by /status)")
+	flag.Float64Var(&cfg.sloErrPct, "slo-error-pct", httpobs.DefaultSLOErrorPct,
+		"tolerated per-endpoint error rate in percent (judged by /status)")
 	flag.BoolVar(&cfg.profile, "profile", true,
 		"attach the per-core-type statistical profiler, served at /profile")
 	flag.Uint64Var(&cfg.profPeriod, "profile-period", 0,
@@ -211,6 +230,14 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready chan<- string) e
 		Shards:     cfg.shards,
 	})
 	api := telemetry.NewServer(store, cfg.reqTimeout)
+	api.SetSLO(cfg.sloLatMs, cfg.sloErrPct)
+	if cfg.traceCap > 0 {
+		// The serving path gets its own recorder (separate rings from the
+		// machine recorders), served at /trace?machine=http.
+		httpRec := spantrace.New(spantrace.Config{TrackCapacity: cfg.traceCap})
+		httpRec.Enable()
+		api.AttachHTTPTracer(httpRec)
+	}
 	fleetMon := fleet.NewMonitor()
 	fleetMon.Register(api)
 

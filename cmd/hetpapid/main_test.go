@@ -47,6 +47,9 @@ func TestDaemonLiveQueries(t *testing.T) {
 		every:      1,
 		loop:       true, // keep collection hot for the whole test
 		reqTimeout: 5 * time.Second,
+		traceCap:   1024,
+		sloLatMs:   250,
+		sloErrPct:  1,
 		profile:    true,
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -145,10 +148,50 @@ func TestDaemonLiveQueries(t *testing.T) {
 		`hetpapid_ticks_total{machine="dimensity-mixed-injects"}`,
 		`hetpapiprof_samples_emitted_total{machine="dimensity-mixed-injects"}`,
 		`hetpapiprof_samples_lost_total{machine="homogeneous-powercap"}`,
+		`hetpapid_http_requests_total{endpoint="/health",class="2xx"}`,
+		`hetpapid_http_slo_attainment_pct{endpoint="/machines"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+
+	// The serving path reports on itself: /status carries per-endpoint
+	// accounting for the traffic this test has generated, judged against
+	// the configured SLO targets.
+	status, err := c.Status(rctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Requests == 0 || status.SLOLatencyMs != 250 || status.SLOErrorPct != 1 {
+		t.Fatalf("serving status %+v", status)
+	}
+	foundQuery := false
+	for _, es := range status.Endpoints {
+		if es.Endpoint == "/query" {
+			foundQuery = true
+			if es.Requests == 0 || es.StatusClass["2xx"] == 0 || es.P99Ms <= 0 {
+				t.Fatalf("/query serving stats %+v", es)
+			}
+		}
+	}
+	if !foundQuery {
+		t.Fatalf("/query missing from serving status: %+v", status.Endpoints)
+	}
+
+	// With tracing enabled the serving path records per-request spans,
+	// served as Perfetto JSON under the reserved machine id "http".
+	resp0, err := http.Get("http://" + addr + "/trace?machine=http")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBody, err := io.ReadAll(resp0.Body)
+	resp0.Body.Close()
+	if err != nil || resp0.StatusCode != 200 {
+		t.Fatalf("http trace fetch: status %d, err %v", resp0.StatusCode, err)
+	}
+	if !strings.Contains(string(traceBody), `"http./health"`) {
+		t.Fatalf("serving trace missing request spans: %.200s", traceBody)
 	}
 
 	// The profiler endpoint serves a decodable pprof profile with samples

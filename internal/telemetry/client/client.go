@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"hetpapi/internal/telemetry"
+	"hetpapi/internal/telemetry/httpobs"
 )
 
 // Client talks to one hetpapid instance.
@@ -103,5 +104,13 @@ func (c *Client) Query(ctx context.Context, q telemetry.QueryRequest) (*telemetr
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	var out string
 	err := c.get(ctx, "/metrics", nil, &out)
+	return out, err
+}
+
+// Status fetches /status, the daemon's serving-path telemetry:
+// per-endpoint latency/error accounting and SLO attainment.
+func (c *Client) Status(ctx context.Context) (httpobs.Status, error) {
+	var out httpobs.Status
+	err := c.get(ctx, "/status", nil, &out)
 	return out, err
 }

@@ -5,8 +5,11 @@ import "net/http"
 // handleFleetUI serves the self-contained live fleet dashboard: a
 // single HTML page (no external assets, works offline) that polls
 // /fleet/query for per-core-type rung aggregates and sparkline
-// timelines, /fleet for the roll-up report and flagged outliers, and
-// /series?machine=fleet for the pipeline's own self-overhead gauges.
+// timelines, /fleet for the roll-up report and flagged outliers,
+// /status for the serving path's per-endpoint latency/SLO panel, and
+// /series?machine=fleet for the pipeline's own self-overhead gauges
+// (shown alongside the serving panel: both measure the monitor
+// itself).
 func (s *Server) handleFleetUI(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.Write([]byte(fleetDashboardHTML))
@@ -54,6 +57,14 @@ const fleetDashboardHTML = `<!doctype html>
 
 <h2>fleet roll-up</h2>
 <div id="rollup" class="gauges"><span class="muted">waiting for /fleet&hellip;</span></div>
+
+<h2>serving path (per-endpoint latency / SLO)</h2>
+<div id="servgauges" class="gauges"><span class="muted">waiting for /status&hellip;</span></div>
+<table id="serving"><thead><tr>
+  <th>endpoint</th><th>requests</th><th>err%</th><th>p50 ms</th><th>p95 ms</th>
+  <th>p99 ms</th><th>max ms</th><th>attain%</th><th>slo</th>
+</tr></thead><tbody></tbody></table>
+<div id="burns" class="bad"></div>
 
 <h2>self-overhead (pipeline measuring itself)</h2>
 <div id="overhead" class="gauges"><span class="muted">no selfoverhead/* series yet</span></div>
@@ -160,6 +171,32 @@ async function refresh() {
       roll.innerHTML = gauge("fleet run", "in flight…");
     }
   } catch (e) { /* /fleet is 404 until the first run lands; not an error */ }
+
+  try {
+    const st = await fetchJSON("/status");
+    $("servgauges").innerHTML =
+      gauge("requests", fmt(st.requests)) +
+      gauge("in flight", fmt(st.in_flight)) +
+      gauge("errors", fmt(st.errors), st.errors ? "bad" : "ok") +
+      gauge("slo latency", fmt(st.slo_latency_ms) + " ms") +
+      gauge("burns", (st.burns || []).length,
+            (st.burns || []).length ? "bad" : "ok") +
+      gauge("slow ring", (st.slow_requests || []).length);
+    const sb = $("serving").tBodies[0];
+    sb.innerHTML = "";
+    for (const e of (st.endpoints || [])) {
+      const tr = sb.insertRow();
+      for (const c of [e.endpoint, e.requests, fmt(e.error_pct),
+        fmt(e.p50_ms), fmt(e.p95_ms), fmt(e.p99_ms), fmt(e.max_ms),
+        fmt(e.slo.latency_attain_pct)])
+        tr.insertCell().textContent = c;
+      const cell = tr.insertCell();
+      cell.textContent = e.slo.ok ? "ok" : "burn";
+      cell.className = e.slo.ok ? "ok" : "bad";
+    }
+    $("burns").textContent = (st.burns || [])
+      .map(b => b.endpoint + " [" + b.kind + "] " + b.detail).join("\n");
+  } catch (e) { $("err").textContent += e + "\n"; }
 
   try {
     const series = await fetchJSON("/series?machine=fleet");

@@ -14,6 +14,7 @@ import (
 
 	"hetpapi/internal/profile"
 	"hetpapi/internal/spantrace"
+	"hetpapi/internal/telemetry/httpobs"
 	"hetpapi/internal/validate"
 )
 
@@ -32,13 +33,23 @@ import (
 //	GET /profile?machine=M statistical profile as gzipped pprof proto
 //	GET /validate          counter-accuracy scorecard (when published)
 //	GET /metrics           Prometheus-style text exposition
+//	GET /status            serving-path telemetry: per-endpoint latency,
+//	                       errors, SLO attainment and the slow ring
 //
-// Every response body is JSON except /metrics and /fleet/ui. Errors
-// carry an APIError body. All handlers serve from copy-on-read store
-// snapshots, so they never block ingestion beyond a shard's brief read
-// lock; /series, /query and /fleet/query negotiate gzip via
-// Accept-Encoding. Extra endpoints (the daemon's /fleet report) are
-// attached with Mount before the first Handler call.
+// Every response body is JSON except /metrics and /fleet/ui. Errors —
+// including 404s for unknown paths and 405s for non-GET methods —
+// carry an APIError body ({"status":...,"error":...}). All handlers
+// serve from copy-on-read store snapshots, so they never block
+// ingestion beyond a shard's brief read lock; /series, /query and
+// /fleet/query negotiate gzip via Accept-Encoding. Extra endpoints
+// (the daemon's /fleet report) are attached with Mount before the
+// first Handler call.
+//
+// Every request is accounted by an httpobs observer wrapping the whole
+// chain (including the request-timeout layer, so timeout 503s count):
+// /status serves its report, /metrics carries its hetpapid_http_*
+// families, and AttachHTTPTracer lands one span per request in the
+// same Perfetto export format as the simulator's traces.
 type Server struct {
 	store   *Store
 	timeout time.Duration
@@ -58,6 +69,16 @@ type Server struct {
 	// it as the deployment's measurement-trust attestation.
 	scorecardMu sync.RWMutex
 	scorecard   *validate.Scorecard
+
+	// obs is the serving-path observer: every request through Handler is
+	// accounted here, /status serves its report.
+	obs *httpobs.Obs
+
+	// httpTracer is the span recorder serving-path spans are emitted to
+	// (nil when the daemon runs without tracing); /trace?machine=http
+	// serves its buffer.
+	httpTracerMu sync.Mutex
+	httpTracer   *spantrace.Recorder
 }
 
 type machineEntry struct {
@@ -89,6 +110,14 @@ func (e *machineEntry) profiler() *profile.Collector {
 	return e.prof
 }
 
+// builtinEndpoints are the server's own mux patterns, pre-registered
+// with the request observer so each gets its own accounting bucket.
+var builtinEndpoints = []string{
+	"/health", "/validate", "/machines", "/series", "/query",
+	"/fleet/query", "/fleet/ui", "/degradations", "/trace", "/profile",
+	"/metrics", "/status",
+}
+
 // NewServer wraps a store. requestTimeout bounds each request's handler
 // time (0 disables the limit).
 func NewServer(store *Store, requestTimeout time.Duration) *Server {
@@ -97,7 +126,25 @@ func NewServer(store *Store, requestTimeout time.Duration) *Server {
 		timeout:  requestTimeout,
 		start:    time.Now(),
 		machines: map[string]*machineEntry{},
+		obs:      httpobs.New(httpobs.Config{Endpoints: builtinEndpoints}),
 	}
+}
+
+// Obs exposes the serving-path observer, for the daemon to set SLO
+// targets on and for tests to inspect directly.
+func (s *Server) Obs() *httpobs.Obs { return s.obs }
+
+// SetSLO updates the serving targets /status judges endpoints against.
+func (s *Server) SetSLO(latencyMs, errorPct float64) { s.obs.SetSLO(latencyMs, errorPct) }
+
+// AttachHTTPTracer hands the serving path a span recorder: every
+// request emits one "http.<endpoint>" span, and /trace?machine=http
+// serves the buffer. A nil recorder detaches.
+func (s *Server) AttachHTTPTracer(rec *spantrace.Recorder) {
+	s.httpTracerMu.Lock()
+	s.httpTracer = rec
+	s.httpTracerMu.Unlock()
+	s.obs.AttachTracer(rec)
 }
 
 // Register announces a machine (one collector goroutine) to the API.
@@ -156,6 +203,7 @@ func (s *Server) Mount(pattern string, h http.Handler) {
 	}
 	s.extra[pattern] = h
 	s.extraMu.Unlock()
+	s.obs.Register(pattern)
 }
 
 // SetScorecard publishes the counter-accuracy scorecard for /validate to
@@ -166,10 +214,20 @@ func (s *Server) SetScorecard(card *validate.Scorecard) {
 	s.scorecardMu.Unlock()
 }
 
-// Handler returns the routed (and, when configured, per-request
-// timeout-wrapped) HTTP handler. The series-heavy endpoints (/series,
-// /query, /fleet/query) negotiate gzip compression.
+// Handler returns the fully composed HTTP handler: request observer
+// around method guard around the (when configured) per-request timeout
+// around the routing mux. The observer sits outermost so timeout 503s,
+// 405s and unknown-path 404s all count into the serving metrics. The
+// series-heavy endpoints (/series, /query, /fleet/query) negotiate
+// gzip compression.
 func (s *Server) Handler() http.Handler {
+	return s.obs.Middleware(s.UninstrumentedHandler())
+}
+
+// UninstrumentedHandler is Handler without the request observer — the
+// bare serving chain. BenchmarkHTTPObsOverhead compares the two to
+// gate the middleware's cost; production callers want Handler.
+func (s *Server) UninstrumentedHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/health", s.handleHealth)
 	mux.HandleFunc("/validate", s.handleValidate)
@@ -182,15 +240,46 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/", s.handleNotFound)
 	s.extraMu.Lock()
 	for pattern, h := range s.extra {
 		mux.Handle(pattern, h)
 	}
 	s.extraMu.Unlock()
-	if s.timeout <= 0 {
-		return mux
+	var h http.Handler = mux
+	if s.timeout > 0 {
+		h = http.TimeoutHandler(h, s.timeout, `{"status":503,"error":"request timed out"}`)
 	}
-	return http.TimeoutHandler(mux, s.timeout, `{"status":503,"error":"request timed out"}`)
+	return methodGuard(h)
+}
+
+// methodGuard rejects non-read methods with a JSON 405: the whole API
+// surface is read-only.
+func methodGuard(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed (read-only API)", r.Method)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleNotFound is the mux fallback: unknown paths get the same JSON
+// error shape as every other failure, and — because the observer wraps
+// the whole chain — count into the error metrics under the "other"
+// endpoint bucket.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, "unknown path %q", r.URL.Path)
+}
+
+// handleStatus serves the serving path's own telemetry: per-endpoint
+// request/error/latency accounting, SLO attainment with burn flags,
+// and the slow-request ring.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.obs.Report())
 }
 
 // WriteJSON writes v as an indented JSON response with the given status
@@ -541,14 +630,26 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing machine parameter")
 		return
 	}
-	s.mu.RLock()
-	e := s.machines[machine]
-	s.mu.RUnlock()
-	if e == nil {
-		writeError(w, http.StatusNotFound, "unknown machine %q", machine)
-		return
+	var rec *spantrace.Recorder
+	if machine == "http" {
+		// The serving path's own spans, recorded via AttachHTTPTracer.
+		s.httpTracerMu.Lock()
+		rec = s.httpTracer
+		s.httpTracerMu.Unlock()
+		if rec == nil {
+			writeError(w, http.StatusNotFound, "no serving-path span recorder (tracing disabled)")
+			return
+		}
+	} else {
+		s.mu.RLock()
+		e := s.machines[machine]
+		s.mu.RUnlock()
+		if e == nil {
+			writeError(w, http.StatusNotFound, "unknown machine %q", machine)
+			return
+		}
+		rec = e.recorder()
 	}
-	rec := e.recorder()
 	if rec == nil {
 		writeError(w, http.StatusNotFound, "machine %q has no span recorder (tracing disabled)", machine)
 		return
@@ -692,4 +793,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintln(w, line)
 		}
 	}
+	// The serving path's own families (hetpapid_http_*).
+	s.obs.WritePrometheus(w)
 }

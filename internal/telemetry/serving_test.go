@@ -1,0 +1,360 @@
+package telemetry_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hetpapi/internal/spantrace"
+	"hetpapi/internal/telemetry"
+	"hetpapi/internal/telemetry/client"
+	"hetpapi/internal/telemetry/httpobs"
+)
+
+// statusOf fetches and decodes /status.
+func statusOf(t *testing.T, ts *httptest.Server) httpobs.Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatalf("GET /status: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /status = %d", resp.StatusCode)
+	}
+	var st httpobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding /status: %v", err)
+	}
+	return st
+}
+
+func findEndpoint(t *testing.T, st httpobs.Status, name string) httpobs.EndpointStatus {
+	t.Helper()
+	for _, es := range st.Endpoints {
+		if es.Endpoint == name {
+			return es
+		}
+	}
+	t.Fatalf("endpoint %q missing from /status: %+v", name, st.Endpoints)
+	return httpobs.EndpointStatus{}
+}
+
+// TestServingTimeout503Counted drives a request into a mounted handler
+// that outlives the request timeout: the client sees the TimeoutHandler's
+// JSON 503 and the serving metrics count it against the endpoint.
+func TestServingTimeout503Counted(t *testing.T) {
+	_, srv := seededServer(t, 30*time.Millisecond)
+	release := make(chan struct{})
+	srv.Mount("/slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer close(release)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/slow")
+	if err != nil {
+		t.Fatalf("GET /slow: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /slow = %d, want 503", resp.StatusCode)
+	}
+	var apiErr telemetry.APIError
+	if err := json.Unmarshal(body, &apiErr); err != nil || apiErr.Status != 503 {
+		t.Fatalf("timeout body %q not the JSON error shape (err %v)", body, err)
+	}
+
+	st := statusOf(t, ts)
+	es := findEndpoint(t, st, "/slow")
+	if es.Requests != 1 || es.StatusClass["5xx"] != 1 || es.Errors != 1 {
+		t.Fatalf("/slow accounting after timeout: %+v", es)
+	}
+	if st.Errors < 1 {
+		t.Fatalf("global error count %d after timeout", st.Errors)
+	}
+}
+
+// TestServingErrorShapeUnified checks that the fallback 404, the
+// method-guard 405 and a handler 400 all answer with the shared JSON
+// error shape and count into the serving metrics.
+func TestServingErrorShapeUnified(t *testing.T) {
+	_, srv := seededServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{"GET", "/no/such/path", 404},
+		{"POST", "/health", 405},
+		{"DELETE", "/query", 405},
+		{"GET", "/query?machine=mach", 400},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, ts.URL+c.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", c.method, c.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Fatalf("%s %s = %d, want %d", c.method, c.path, resp.StatusCode, c.wantStatus)
+		}
+		var apiErr telemetry.APIError
+		if err := json.Unmarshal(body, &apiErr); err != nil || apiErr.Status != c.wantStatus || apiErr.Error == "" {
+			t.Fatalf("%s %s body %q is not the unified error shape (err %v)", c.method, c.path, body, err)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/no/such/path"); err == nil {
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("404 content type %q", ct)
+		}
+		resp.Body.Close()
+	}
+
+	st := statusOf(t, ts)
+	// The unknown paths (2 of them now) land in the "other" bucket; the
+	// 405s are attributed to their endpoint's path; the 400 to /query.
+	other := findEndpoint(t, st, httpobs.OtherEndpoint)
+	if other.Requests != 2 || other.Errors != 2 || other.StatusClass["4xx"] != 2 {
+		t.Fatalf("other bucket: %+v", other)
+	}
+	if es := findEndpoint(t, st, "/health"); es.Errors != 1 || es.StatusClass["4xx"] != 1 {
+		t.Fatalf("/health 405 accounting: %+v", es)
+	}
+	if es := findEndpoint(t, st, "/query"); es.Errors != 2 {
+		t.Fatalf("/query 405+400 accounting: %+v", es)
+	}
+}
+
+// TestStatusDeterministicCounts drives a fixed request sequence and
+// checks the count-level view of /status is exactly determined by it
+// (latency fields ride the wall clock; everything else must not).
+func TestStatusDeterministicCounts(t *testing.T) {
+	_, srv := seededServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	paths := []string{
+		"/health", "/health", "/series?machine=mach", "/query?machine=mach&series=power_w",
+		"/query?machine=nope&series=power_w", "/missing", "/metrics",
+	}
+	for _, p := range paths {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatalf("GET %s: %v", p, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	want := map[string]struct {
+		requests, errors uint64
+		class            string
+	}{
+		"/health":             {2, 0, "2xx"},
+		"/series":             {1, 0, "2xx"},
+		"/query":              {2, 1, ""},
+		httpobs.OtherEndpoint: {1, 1, "4xx"},
+		"/metrics":            {1, 0, "2xx"},
+	}
+	for round := 0; round < 2; round++ {
+		st := statusOf(t, ts)
+		for name, w := range want {
+			es := findEndpoint(t, st, name)
+			if es.Requests != w.requests || es.Errors != w.errors {
+				t.Fatalf("round %d: %s = %d req / %d err, want %d / %d",
+					round, name, es.Requests, es.Errors, w.requests, w.errors)
+			}
+			if w.class != "" && es.StatusClass[w.class] != w.requests {
+				t.Fatalf("round %d: %s classes %v", round, name, es.StatusClass)
+			}
+		}
+		// /status itself is counted from the second fetch onward.
+		if round == 1 {
+			if es := findEndpoint(t, st, "/status"); es.Requests != 1 {
+				t.Fatalf("/status self-accounting: %+v", es)
+			}
+		}
+		if st.SlowDropped != 0 {
+			t.Fatalf("round %d: slow drops from a short sequence: %d", round, st.SlowDropped)
+		}
+	}
+}
+
+// TestServingGzipHit checks the gzip-negotiated path increments the
+// endpoint's gzip-hit counter.
+func TestServingGzipHit(t *testing.T) {
+	_, srv := seededServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest("GET", ts.URL+"/series?machine=mach", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	tr := &http.Transport{DisableCompression: true}
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatalf("GET /series: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatal("response not gzip-encoded")
+	}
+
+	st := statusOf(t, ts)
+	if es := findEndpoint(t, st, "/series"); es.GzipHits != 1 {
+		t.Fatalf("/series gzip hits: %+v", es)
+	}
+}
+
+// TestHTTPTraceEndpoint attaches a serving-path tracer and checks the
+// per-request spans come back through /trace?machine=http.
+func TestHTTPTraceEndpoint(t *testing.T) {
+	_, srv := seededServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Before attachment, /trace?machine=http is a JSON 404.
+	resp, err := http.Get(ts.URL + "/trace?machine=http")
+	if err != nil {
+		t.Fatalf("GET /trace: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("trace before attach = %d, want 404", resp.StatusCode)
+	}
+
+	rec := spantrace.New(spantrace.Config{})
+	rec.Enable()
+	srv.AttachHTTPTracer(rec)
+	for i := 0; i < 3; i++ {
+		r, err := http.Get(ts.URL + "/health")
+		if err != nil {
+			t.Fatalf("GET /health: %v", err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+	}
+
+	resp, err = http.Get(ts.URL + "/trace?machine=http")
+	if err != nil {
+		t.Fatalf("GET /trace: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("trace after attach = %d: %s", resp.StatusCode, body)
+	}
+	text := string(body)
+	if !strings.Contains(text, `"http./health"`) || !strings.Contains(text, "http.serve") {
+		t.Fatalf("trace export missing serving spans: %.200s", text)
+	}
+	var export map[string]any
+	if err := json.Unmarshal(body, &export); err != nil {
+		t.Fatalf("trace export not JSON: %v", err)
+	}
+}
+
+// TestServingMetricsExposition checks the hetpapid_http_* families ride
+// the /metrics exposition.
+func TestServingMetricsExposition(t *testing.T) {
+	_, srv := seededServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	if _, err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{
+		`hetpapid_http_requests_total{endpoint="/health",class="2xx"} 1`,
+		"# TYPE hetpapid_http_latency_ms gauge",
+		`hetpapid_http_slo_attainment_pct{endpoint="/health"} 100`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+
+	// The typed client decodes /status too.
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatalf("client status: %v", err)
+	}
+	if st.Requests < 2 {
+		t.Fatalf("client status requests = %d", st.Requests)
+	}
+}
+
+// TestServingConcurrentScrapeVsIngest hammers ingestion and the serving
+// surface at once; the race detector and the final count checks are the
+// assertions.
+func TestServingConcurrentScrapeVsIngest(t *testing.T) {
+	store, srv := seededServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const writers, readers, iters = 4, 4, 50
+	var wg sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			key := telemetry.Key{Machine: "mach", Series: "power_w"}
+			for i := 0; i < iters; i++ {
+				store.Append(key, float64(100+wr*iters+i), 40)
+			}
+		}(wr)
+	}
+	paths := []string{"/status", "/metrics", "/query?machine=mach&series=power_w", "/series?machine=mach"}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp, err := http.Get(ts.URL + paths[(rd+i)%len(paths)])
+				if err != nil {
+					t.Errorf("GET: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(rd)
+	}
+	wg.Wait()
+
+	// The /status request reporting is recorded only after its own
+	// handler returns, so the snapshot covers exactly the load above.
+	st := statusOf(t, ts)
+	if st.Requests != readers*iters {
+		t.Fatalf("requests = %d, want %d", st.Requests, readers*iters)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("errors = %d under concurrent load", st.Errors)
+	}
+}

@@ -3,8 +3,9 @@
 # statement coverage of internal/perfevent (simulated kernel + fault
 # injection), internal/core (degradation ladder), internal/telemetry
 # (time-series store, rungs, fleet query layer), internal/fleet
-# (generator, runner, streamer, anomaly detector) and internal/stats
-# (streaming aggregates) drops below the baseline recorded in
+# (generator, runner, streamer, anomaly detector), internal/stats
+# (streaming aggregates) and internal/telemetry/httpobs (serving-path
+# request observer) drops below the baseline recorded in
 # scripts/coverage_baseline.txt. Update the baseline deliberately, in
 # the same commit that justifies the change.
 set -eu
@@ -13,7 +14,8 @@ baseline=$(cat scripts/coverage_baseline.txt)
 profile=$(mktemp)
 trap 'rm -f "$profile"' EXIT
 go test -coverprofile="$profile" ./internal/perfevent ./internal/core \
-  ./internal/telemetry ./internal/fleet ./internal/stats
+  ./internal/telemetry ./internal/telemetry/httpobs ./internal/fleet \
+  ./internal/stats
 total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 awk -v t="$total" -v b="$baseline" 'BEGIN {
   printf "substrate coverage: %.1f%% (baseline %.1f%%)\n", t, b
